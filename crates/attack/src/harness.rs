@@ -1,0 +1,79 @@
+//! Trial harness: turns per-trial attack closures into success rates.
+
+/// Result of running an attack scenario many times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttackResult {
+    /// Trials executed.
+    pub attempts: usize,
+    /// Trials in which the provider settled a transaction the human never
+    /// approved.
+    pub successes: usize,
+}
+
+impl AttackResult {
+    /// Success rate in `[0, 1]`.
+    pub fn rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.attempts as f64
+        }
+    }
+}
+
+/// Runs `trials` independent attempts of a seeded attack scenario.
+///
+/// Each trial gets a distinct derived seed so the worlds are independent
+/// but the whole experiment is reproducible.
+pub fn run_trials(trials: usize, base_seed: u64, mut attack: impl FnMut(u64) -> bool) -> AttackResult {
+    let mut successes = 0;
+    for i in 0..trials {
+        let seed = base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(i as u64);
+        if attack(seed) {
+            successes += 1;
+        }
+    }
+    AttackResult {
+        attempts: trials,
+        successes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_compute() {
+        let r = AttackResult {
+            attempts: 200,
+            successes: 50,
+        };
+        assert!((r.rate() - 0.25).abs() < 1e-12);
+        assert_eq!(AttackResult { attempts: 0, successes: 0 }.rate(), 0.0);
+    }
+
+    #[test]
+    fn trials_pass_distinct_seeds() {
+        let mut seeds = Vec::new();
+        run_trials(10, 42, |s| {
+            seeds.push(s);
+            false
+        });
+        let unique: std::collections::HashSet<u64> = seeds.iter().copied().collect();
+        assert_eq!(unique.len(), 10);
+    }
+
+    #[test]
+    fn trials_count_successes() {
+        let mut flip = false;
+        let r = run_trials(10, 1, |_| {
+            flip = !flip;
+            flip
+        });
+        assert_eq!(r.attempts, 10);
+        assert_eq!(r.successes, 5);
+    }
+}

@@ -1,0 +1,34 @@
+//! Adversary suite for the uni-directional trusted path.
+//!
+//! The paper's security evaluation pits a *transaction generator* — malware
+//! with full control of the OS — against three server policies: no
+//! protection, CAPTCHA, and the trusted path. This crate implements the
+//! malware. Every attack uses only capabilities the platform model grants
+//! the OS (and the model grants everything real malware has: the TPM at
+//! locality 0, device access while the OS runs, the ability to late-launch
+//! arbitrary code, knowledge of all client-side state including the AIK
+//! handle and certificate):
+//!
+//! * [`scenarios::attack_unprotected`] — submit the forged transaction
+//!   directly (baseline a);
+//! * [`scenarios::attack_captcha`] — solve the provider's CAPTCHA with an
+//!   OCR bot or a paid solving service (baseline b);
+//! * [`scenarios::attack_utp_forged_quote`] — fabricate a confirmation
+//!   token and quote it from the OS (locality 0);
+//! * [`scenarios::attack_utp_evil_pal`] — late-launch malware's own PAL
+//!   that "confirms" without a human;
+//! * [`scenarios::attack_utp_replay`] — replay previously captured genuine
+//!   evidence;
+//! * [`scenarios::attack_utp_key_injection`] — trigger the real PAL and
+//!   try to inject the confirmation keystrokes in software;
+//! * [`scenarios::attack_utp_mitm_swap`] — swap the transaction before
+//!   the PAL launches and hope the human doesn't read the screen.
+//!
+//! [`harness`] turns per-trial closures into success rates for the E5
+//! table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod scenarios;

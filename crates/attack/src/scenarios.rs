@@ -1,0 +1,359 @@
+//! The attack scenarios of the security evaluation (E5).
+//!
+//! Every scenario returns `true` iff the attacker got the provider to
+//! settle a transaction the human never approved.
+
+use utp_captcha::{BotSolver, CaptchaGenerator, Difficulty};
+use utp_core::ca::PrivacyCa;
+use utp_core::client::{Client, ClientConfig};
+use utp_core::operator::{ConfirmingHuman, Intent};
+use utp_core::protocol::{ConfirmMode, ConfirmationToken, Evidence, Verdict};
+use utp_flicker::pal::{Operator, OperatorResponse, Pal, PalEnv, PalError};
+use utp_flicker::runtime::{run_pal, AttestSpec};
+use utp_platform::keyboard::KeyEvent;
+use utp_platform::machine::{Machine, MachineConfig};
+use utp_server::provider::ServiceProvider;
+use utp_tpm::command as tpmcmd;
+use utp_tpm::pcr::PcrSelection;
+use utp_tpm::quote::Quote;
+
+/// A fully provisioned world: provider pinning the CA, victim machine with
+/// an enrolled AIK, and the stock client software (which malware may abuse
+/// but not alter undetectably — the PAL is measured).
+pub struct World {
+    /// The service provider under attack.
+    pub provider: ServiceProvider,
+    /// The victim's machine (malware controls its OS).
+    pub machine: Machine,
+    /// The victim's client stack.
+    pub client: Client,
+}
+
+impl World {
+    /// Builds a world from a seed.
+    pub fn new(seed: u64) -> Self {
+        let ca = PrivacyCa::new(512, seed ^ 0xCA);
+        let mut provider = ServiceProvider::new(ca.public_key().clone(), seed ^ 0x5E);
+        provider.store_mut().open_account("victim", 10_000_000);
+        let mut machine = Machine::new(MachineConfig::fast_for_tests(seed));
+        let enrollment = ca.enroll(&mut machine);
+        let client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+        World {
+            provider,
+            machine,
+            client,
+        }
+    }
+}
+
+/// Baseline (a): the provider requires no confirmation at all. A
+/// transaction generator simply submits the order. Always succeeds — the
+/// row that motivates the paper.
+pub fn attack_unprotected(seed: u64) -> bool {
+    let mut w = World::new(seed);
+    let now = w.machine.now();
+    let (order_id, _request) =
+        w.provider
+            .place_order("victim", "attacker.example", 99_900, "EUR", "loot", now);
+    // No evidence needed: the provider settles on submission.
+    w.provider.store_mut().settle(order_id);
+    w.provider.is_confirmed(order_id)
+}
+
+/// Baseline (b): the provider gates the transaction behind a CAPTCHA.
+/// Malware answers with an automated solver (or a paid solving service).
+pub fn attack_captcha(difficulty: Difficulty, use_solving_service: bool, seed: u64) -> bool {
+    let mut generator = CaptchaGenerator::new(seed ^ 0x11);
+    let challenge = generator.generate(difficulty);
+    let mut solver = if use_solving_service {
+        BotSolver::solving_service(seed ^ 0x22)
+    } else {
+        BotSolver::ocr(seed ^ 0x22)
+    };
+    solver.solve(&challenge).success
+}
+
+/// Attack 1 against UTP: malware fabricates a `Confirmed` token and asks
+/// the TPM (locality 0, the only interface malware has) to quote PCR 17.
+/// The quoted value cannot match `H(H(0‖PAL)‖io)` because malware cannot
+/// reset PCR 17 — that needs locality 4, i.e. a real `SKINIT`.
+pub fn attack_utp_forged_quote(seed: u64) -> bool {
+    let mut w = World::new(seed);
+    let now = w.machine.now();
+    let (order_id, request) =
+        w.provider
+            .place_order("victim", "attacker.example", 99_900, "EUR", "loot", now);
+    let token = ConfirmationToken {
+        tx_digest: request.transaction.digest(),
+        nonce: request.nonce,
+        mode: ConfirmMode::TypeCode,
+        verdict: Verdict::Confirmed,
+        attempts: 1,
+    };
+    let aik = w.client.enrollment().aik_handle;
+    let resp = w.machine.os_tpm_execute(&tpmcmd::req_quote(
+        aik,
+        &request.nonce,
+        &PcrSelection::drtm_only(),
+    ));
+    let resp = tpmcmd::decode_response(&resp).expect("tpm responds");
+    let quote = match Quote::from_bytes(&resp.body) {
+        Some(q) if resp.ok() => q,
+        _ => return false,
+    };
+    let evidence = Evidence {
+        token_bytes: token.to_bytes(),
+        quote,
+        aik_cert: w.client.enrollment().certificate.to_bytes(),
+    };
+    let _ = w.provider.submit_evidence(order_id, &evidence, w.machine.now());
+    w.provider.is_confirmed(order_id)
+}
+
+/// Malware's own PAL: late-launches fine (anyone can SKINIT), but its
+/// measurement lands in PCR 17 and no provider trusts it.
+struct EvilPal;
+
+impl Pal for EvilPal {
+    fn image(&self) -> &[u8] {
+        b"EVIL-AUTOCONFIRM-PAL v1"
+    }
+    fn invoke(&mut self, _env: &mut PalEnv<'_, '_>, input: &[u8]) -> Result<Vec<u8>, PalError> {
+        let request = utp_core::protocol::TransactionRequest::from_bytes(input)
+            .map_err(|e| PalError::Failed(e.to_string()))?;
+        // "Confirm" with no human in the loop.
+        Ok(ConfirmationToken {
+            tx_digest: request.transaction.digest(),
+            nonce: request.nonce,
+            mode: request.mode,
+            verdict: Verdict::Confirmed,
+            attempts: 1,
+        }
+        .to_bytes())
+    }
+}
+
+/// Attack 2 against UTP: malware late-launches its own auto-confirming
+/// PAL. The quote chain is internally consistent — but PCR 17 now attests
+/// to *EvilPal*, whose measurement the provider does not trust.
+pub fn attack_utp_evil_pal(seed: u64) -> bool {
+    let mut w = World::new(seed);
+    let now = w.machine.now();
+    let (order_id, request) =
+        w.provider
+            .place_order("victim", "attacker.example", 99_900, "EUR", "loot", now);
+    let mut evil = EvilPal;
+    let mut nobody = utp_flicker::pal::ScriptedOperator::silent();
+    let report = run_pal(
+        &mut w.machine,
+        &mut evil,
+        &request.to_bytes(),
+        &mut nobody,
+        Some(AttestSpec {
+            aik_handle: w.client.enrollment().aik_handle,
+            nonce: request.nonce,
+            selection: PcrSelection::drtm_only(),
+        }),
+    )
+    .expect("launching evil code is allowed; trusting it is not");
+    let evidence = Evidence {
+        token_bytes: report.output,
+        quote: report.quote.expect("attested"),
+        aik_cert: w.client.enrollment().certificate.to_bytes(),
+    };
+    let _ = w.provider.submit_evidence(order_id, &evidence, w.machine.now());
+    w.provider.is_confirmed(order_id)
+}
+
+/// Attack 3 against UTP: replay. Malware records the evidence of a genuine
+/// purchase and re-submits it for a new attacker order.
+pub fn attack_utp_replay(seed: u64) -> bool {
+    let mut w = World::new(seed);
+    // Step 1: the victim legitimately buys a book; malware records the
+    // evidence off the wire.
+    let now = w.machine.now();
+    let (legit_order, legit_request) =
+        w.provider
+            .place_order("victim", "bookshop.example", 4_200, "EUR", "order", now);
+    let mut human = ConfirmingHuman::new(Intent::approving(&legit_request.transaction), seed ^ 0x7);
+    let captured = w
+        .client
+        .confirm(&mut w.machine, &legit_request, &mut human)
+        .expect("legit flow works");
+    w.provider
+        .submit_evidence(legit_order, &captured, w.machine.now())
+        .expect("legit evidence accepted");
+    // Step 2: malware replays the captured evidence for its own order.
+    let (evil_order, _evil_request) = w.provider.place_order(
+        "victim",
+        "attacker.example",
+        99_900,
+        "EUR",
+        "loot",
+        w.machine.now(),
+    );
+    let _ = w
+        .provider
+        .submit_evidence(evil_order, &captured, w.machine.now());
+    w.provider.is_confirmed(evil_order)
+}
+
+/// Attack 4 against UTP: input injection. Malware triggers the *real*
+/// confirmation PAL for its forged order, pre-loads the keyboard with a
+/// synthetic Enter before the launch, and hopes the PAL reads it. The
+/// platform flushes the queue on ownership transfer and rejects software
+/// injection during the session, so the PAL times out.
+pub fn attack_utp_key_injection(seed: u64) -> bool {
+    let mut w = World::new(seed);
+    let now = w.machine.now();
+    let (order_id, request) = w.provider.place_order(
+        "victim",
+        "attacker.example",
+        99_900,
+        "EUR",
+        "loot",
+        now,
+    );
+    // Pre-load fake confirmations (works while the OS owns the keyboard).
+    for _ in 0..4 {
+        w.machine
+            .os_inject_key(KeyEvent::Enter)
+            .expect("injection works pre-session");
+    }
+    // Nobody is at the physical keyboard: the human didn't initiate this.
+    struct AbsentHuman;
+    impl Operator for AbsentHuman {
+        fn respond(&mut self, _screen: &[String]) -> OperatorResponse {
+            OperatorResponse::default()
+        }
+    }
+    let mut absent = AbsentHuman;
+    let evidence = match w.client.confirm(&mut w.machine, &request, &mut absent) {
+        Ok(e) => e,
+        Err(_) => return false,
+    };
+    let _ = w.provider.submit_evidence(order_id, &evidence, w.machine.now());
+    w.provider.is_confirmed(order_id)
+}
+
+/// Attack 5 against UTP: transaction substitution. Malware swaps the
+/// order before it reaches the provider; the genuine PAL faithfully shows
+/// the *attacker's* payee and amount, and the last line of defense is the
+/// human reading the screen. Succeeds only against inattentive humans —
+/// this is the residual risk the paper accepts (the display leg of the
+/// path is the human's responsibility).
+pub fn attack_utp_mitm_swap(vigilance: f64, seed: u64) -> bool {
+    let mut w = World::new(seed);
+    let now = w.machine.now();
+    // The human meant to buy from the bookshop...
+    let intended =
+        utp_core::protocol::Transaction::new(0, "bookshop.example", 4_200, "EUR", "order");
+    // ...but malware placed this instead:
+    let (order_id, request) = w.provider.place_order(
+        "victim",
+        "attacker.example",
+        99_900,
+        "EUR",
+        "order",
+        now,
+    );
+    let mut human =
+        ConfirmingHuman::with_vigilance(Intent::approving(&intended), vigilance, seed ^ 0x99);
+    let evidence = match w.client.confirm(&mut w.machine, &request, &mut human) {
+        Ok(e) => e,
+        Err(_) => return false,
+    };
+    let _ = w.provider.submit_evidence(order_id, &evidence, w.machine.now());
+    w.provider.is_confirmed(order_id)
+}
+
+/// Control: the legitimate flow (no attack). Returns `true` when the
+/// provider settles the human-approved transaction — the availability /
+/// true-positive side of the E5 table.
+pub fn legitimate_transaction(seed: u64) -> bool {
+    let mut w = World::new(seed);
+    let now = w.machine.now();
+    let (order_id, request) =
+        w.provider
+            .place_order("victim", "bookshop.example", 4_200, "EUR", "order", now);
+    let mut human = ConfirmingHuman::new(Intent::approving(&request.transaction), seed ^ 0x1);
+    let evidence = match w.client.confirm(&mut w.machine, &request, &mut human) {
+        Ok(e) => e,
+        Err(_) => return false,
+    };
+    let _ = w.provider.submit_evidence(order_id, &evidence, w.machine.now());
+    w.provider.is_confirmed(order_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::run_trials;
+
+    #[test]
+    fn unprotected_always_succeeds() {
+        let r = run_trials(20, 1, attack_unprotected);
+        assert_eq!(r.rate(), 1.0);
+    }
+
+    #[test]
+    fn captcha_ocr_beats_easy_sometimes_hard_rarely() {
+        let easy = run_trials(300, 2, |s| attack_captcha(Difficulty::Easy, false, s));
+        let hard = run_trials(300, 3, |s| attack_captcha(Difficulty::Hard, false, s));
+        assert!(easy.rate() > 0.4, "easy rate {}", easy.rate());
+        assert!(hard.rate() < 0.2, "hard rate {}", hard.rate());
+        assert!(hard.successes > 0, "bots are never fully stopped");
+    }
+
+    #[test]
+    fn captcha_solving_service_defeats_hard() {
+        let r = run_trials(200, 4, |s| attack_captcha(Difficulty::Hard, true, s));
+        assert!(r.rate() > 0.85, "rate {}", r.rate());
+    }
+
+    #[test]
+    fn forged_quote_never_succeeds() {
+        let r = run_trials(6, 5, attack_utp_forged_quote);
+        assert_eq!(r.successes, 0);
+    }
+
+    #[test]
+    fn evil_pal_never_succeeds() {
+        let r = run_trials(6, 6, attack_utp_evil_pal);
+        assert_eq!(r.successes, 0);
+    }
+
+    #[test]
+    fn replay_never_succeeds() {
+        let r = run_trials(6, 7, attack_utp_replay);
+        assert_eq!(r.successes, 0);
+    }
+
+    #[test]
+    fn key_injection_never_succeeds() {
+        let r = run_trials(6, 8, attack_utp_key_injection);
+        assert_eq!(r.successes, 0);
+    }
+
+    #[test]
+    fn mitm_swap_blocked_by_vigilant_humans() {
+        let r = run_trials(12, 9, |s| attack_utp_mitm_swap(1.0, s));
+        assert_eq!(r.successes, 0);
+    }
+
+    #[test]
+    fn mitm_swap_exploits_careless_humans() {
+        let r = run_trials(40, 10, |s| attack_utp_mitm_swap(0.0, s));
+        // A human who never reads the screen approves everything (modulo
+        // typing errors on the code).
+        assert!(r.rate() > 0.8, "rate {}", r.rate());
+    }
+
+    #[test]
+    fn legitimate_flow_still_works() {
+        let r = run_trials(10, 11, legitimate_transaction);
+        // Human typos can burn all three code attempts occasionally, so
+        // availability is high but not necessarily 1.0.
+        assert!(r.rate() > 0.9, "rate {}", r.rate());
+    }
+}

@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the crypto substrate: the real host-CPU cost
+//! of the primitives the trusted path executes (supports E4's claim that
+//! server-side verification is cheap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use utp_crypto::hmac::hmac_sha256;
+use utp_crypto::rsa::RsaKeyPair;
+use utp_crypto::sha1::Sha1;
+use utp_crypto::sha256::Sha256;
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha1", size), &data, |b, d| {
+            b.iter(|| Sha1::digest(d))
+        });
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, d| {
+            b.iter(|| Sha256::digest(d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let data = vec![0x5Au8; 512];
+    c.bench_function("hmac_sha256_512B", |b| {
+        b.iter(|| hmac_sha256(b"key material", &data))
+    });
+}
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsa");
+    group.sample_size(20);
+    for bits in [512usize, 1024] {
+        let key = RsaKeyPair::generate(bits, 42);
+        let sig = key.sign_pkcs1_sha1(b"quote info");
+        group.bench_function(BenchmarkId::new("sign_sha1", bits), |b| {
+            b.iter(|| key.sign_pkcs1_sha1(b"quote info"))
+        });
+        group.bench_function(BenchmarkId::new("verify_sha1", bits), |b| {
+            b.iter(|| key.public().verify_pkcs1_sha1(b"quote info", &sig))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashes, bench_hmac, bench_rsa);
+criterion_main!(benches);

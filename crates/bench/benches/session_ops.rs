@@ -1,0 +1,68 @@
+//! Criterion benchmarks for the full client-side stack: one complete
+//! attested confirmation session (host-CPU cost of running the whole
+//! simulator, complementing E2's modeled virtual-time table).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use utp_core::ca::PrivacyCa;
+use utp_core::client::{Client, ClientConfig};
+use utp_core::operator::{ConfirmingHuman, Intent};
+use utp_core::protocol::{ConfirmMode, Transaction};
+use utp_core::verifier::Verifier;
+use utp_platform::machine::{Machine, MachineConfig};
+
+fn bench_full_confirmation(c: &mut Criterion) {
+    let ca = PrivacyCa::new(512, 71);
+    let mut verifier = Verifier::new(ca.public_key().clone(), 72);
+    let mut machine = Machine::new(MachineConfig::fast_for_tests(73));
+    let enrollment = ca.enroll(&mut machine);
+    let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+    let mut group = c.benchmark_group("session");
+    group.sample_size(20);
+    group.bench_function("confirm_and_verify_press_enter", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let tx = Transaction::new(i, "shop.example", 100, "EUR", "x");
+            let request =
+                verifier.issue_request_with_mode(tx.clone(), ConfirmMode::PressEnter, machine.now());
+            let mut human = ConfirmingHuman::new(Intent::approving(&tx), i);
+            let evidence = client
+                .confirm(&mut machine, &request, &mut human)
+                .expect("session succeeds");
+            verifier
+                .verify(&evidence, machine.now())
+                .expect("evidence verifies")
+        })
+    });
+    group.finish();
+}
+
+fn bench_amortized_confirmation(c: &mut Criterion) {
+    use utp_core::amortized::{AmortizedClient, AmortizedVerifier};
+    let ca = PrivacyCa::new(512, 75);
+    let mut verifier = AmortizedVerifier::new(ca.public_key().clone(), 512, 76);
+    let mut machine = Machine::new(MachineConfig::fast_for_tests(77));
+    let enrollment = ca.enroll(&mut machine);
+    let mut client = AmortizedClient::new(enrollment);
+    client.setup(&mut machine, &mut verifier).expect("setup");
+    let mut group = c.benchmark_group("session");
+    group.sample_size(20);
+    group.bench_function("confirm_and_verify_amortized", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let tx = Transaction::new(i, "shop.example", 100, "EUR", "x");
+            let request =
+                verifier.issue_request(tx.clone(), ConfirmMode::PressEnter, machine.now());
+            let mut human = ConfirmingHuman::new(Intent::approving(&tx), i);
+            let (evidence, _) = client
+                .confirm_with_report(&mut machine, &request, &mut human)
+                .expect("session succeeds");
+            verifier.verify(&evidence).expect("mac verifies")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_confirmation, bench_amortized_confirmation);
+criterion_main!(benches);

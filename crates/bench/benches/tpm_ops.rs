@@ -1,0 +1,71 @@
+//! Criterion benchmarks for the software TPM (E1's host-CPU counterpart:
+//! the functional cost of our TPM model, as opposed to the modeled chip
+//! latencies the E1 harness prints).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use utp_crypto::sha1::Sha1Digest;
+use utp_tpm::keys::SRK_HANDLE;
+use utp_tpm::locality::Locality;
+use utp_tpm::pcr::{PcrIndex, PcrSelection};
+use utp_tpm::{Tpm, TpmConfig};
+
+fn fresh_tpm() -> Tpm {
+    let mut t = Tpm::new(TpmConfig::fast_for_tests(7));
+    t.startup_clear();
+    t
+}
+
+fn bench_extend(c: &mut Criterion) {
+    let mut tpm = fresh_tpm();
+    let pcr = PcrIndex::new(0).unwrap();
+    c.bench_function("tpm_extend", |b| {
+        b.iter(|| tpm.extend(Locality::Zero, pcr, &[0u8; 20]).unwrap())
+    });
+}
+
+fn bench_quote(c: &mut Criterion) {
+    let mut tpm = fresh_tpm();
+    let aik = tpm.make_identity();
+    let mut group = c.benchmark_group("tpm_quote");
+    group.sample_size(20);
+    group.bench_function("quote_pcr17", |b| {
+        b.iter(|| {
+            tpm.quote(aik, PcrSelection::drtm_only(), Sha1Digest::zero())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_seal_unseal(c: &mut Criterion) {
+    let mut tpm = fresh_tpm();
+    let sel = PcrSelection::of(&[PcrIndex::new(0).unwrap()]);
+    let blob = tpm.seal_to_current(SRK_HANDLE, sel, &[0u8; 128]).unwrap();
+    c.bench_function("tpm_seal_128B", |b| {
+        b.iter(|| tpm.seal_to_current(SRK_HANDLE, sel, &[0u8; 128]).unwrap())
+    });
+    c.bench_function("tpm_unseal_128B", |b| {
+        b.iter(|| tpm.unseal(SRK_HANDLE, &blob).unwrap())
+    });
+}
+
+fn bench_drtm_sequence(c: &mut Criterion) {
+    c.bench_function("tpm_drtm_hash_sequence_4KiB", |b| {
+        let mut tpm = fresh_tpm();
+        let slb = vec![0xCCu8; 4096];
+        b.iter(|| {
+            tpm.hash_start(Locality::Four).unwrap();
+            tpm.hash_data(Locality::Four, &slb).unwrap();
+            tpm.hash_end(Locality::Four).unwrap();
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_extend,
+    bench_quote,
+    bench_seal_unseal,
+    bench_drtm_sequence
+);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmarks for provider-side evidence verification — the
+//! real-CPU measurement behind E4 (throughput table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use utp_bench::experiments::e4_server_throughput::build_jobs;
+use utp_server::pipeline::{check_crypto, verify_batch_parallel};
+
+fn bench_single_verification(c: &mut Criterion) {
+    let (ca_key, pals, jobs) = build_jobs(1, 512);
+    c.bench_function("verify_evidence_512b_keys", |b| {
+        b.iter(|| check_crypto(&ca_key, &pals, &jobs[0]).unwrap())
+    });
+}
+
+fn bench_batch_threads(c: &mut Criterion) {
+    let (ca_key, pals, jobs) = build_jobs(64, 512);
+    let mut group = c.benchmark_group("verify_batch_64");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| verify_batch_parallel(&ca_key, &pals, &jobs, threads))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_verification, bench_batch_threads);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Prints the E1 table (TPM primitive latencies by vendor).
+use utp_bench::experiments::e1_tpm_micro as e1;
+
+fn main() {
+    let rows = e1::run(1024);
+    println!("{}", e1::render(&rows));
+}

@@ -1,0 +1,7 @@
+//! Prints the E2 table (trusted-session latency breakdown).
+use utp_bench::experiments::e2_session_breakdown as e2;
+
+fn main() {
+    let rows = e2::run(1024);
+    println!("{}", e2::render(&rows));
+}

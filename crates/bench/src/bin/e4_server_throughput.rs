@@ -1,0 +1,7 @@
+//! Prints the E4 table (server verification throughput).
+use utp_bench::experiments::e4_server_throughput as e4;
+
+fn main() {
+    let rows = e4::run(256, 1024, &[1, 2, 4, 8, 16]);
+    println!("{}", e4::render(&rows));
+}

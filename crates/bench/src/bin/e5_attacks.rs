@@ -1,0 +1,7 @@
+//! Prints the E5 table (attack success rates by defense).
+use utp_bench::experiments::e5_attacks as e5;
+
+fn main() {
+    let rows = e5::run(1000, 25);
+    println!("{}", e5::render(&rows));
+}

@@ -1,0 +1,7 @@
+//! Prints the E6 table (CAPTCHA vs trusted path comparison).
+use utp_bench::experiments::e6_captcha_compare as e6;
+
+fn main() {
+    let rows = e6::run(500);
+    println!("{}", e6::render(&rows));
+}

@@ -1,0 +1,7 @@
+//! Prints the E7 table (TCB size by component).
+use utp_bench::experiments::e7_tcb_size as e7;
+
+fn main() {
+    let rows = e7::run();
+    println!("{}", e7::render(&rows));
+}

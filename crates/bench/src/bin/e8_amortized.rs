@@ -1,0 +1,7 @@
+//! Prints the E8 ablation table (quote vs amortized MAC confirmation).
+use utp_bench::experiments::e8_amortized as e8;
+
+fn main() {
+    let rows = e8::run(1024);
+    println!("{}", e8::render(&rows));
+}

@@ -1,0 +1,7 @@
+//! Prints the E9 ablation table (batch confirmation amortization).
+use utp_bench::experiments::e9_batching as e9;
+
+fn main() {
+    let rows = e9::run(1024);
+    println!("{}", e9::render(&rows));
+}

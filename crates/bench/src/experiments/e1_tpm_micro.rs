@@ -1,0 +1,149 @@
+//! E1 — TPM 1.2 primitive latencies by vendor (the Flicker-style
+//! microbenchmark table the paper's session costs decompose into).
+//!
+//! Regenerate: `cargo run -p utp-bench --bin e1_tpm_micro`
+
+use crate::table;
+use std::time::Duration;
+use utp_tpm::keys::SRK_HANDLE;
+use utp_tpm::locality::Locality;
+use utp_tpm::pcr::{PcrIndex, PcrSelection};
+use utp_tpm::{Tpm, TpmConfig, VendorProfile};
+
+/// One vendor's measured primitive latencies.
+#[derive(Debug, Clone)]
+pub struct VendorRow {
+    /// The chip.
+    pub vendor: VendorProfile,
+    /// `TPM_Extend` of one 20-byte digest.
+    pub extend: Duration,
+    /// `TPM_PCRRead`.
+    pub pcr_read: Duration,
+    /// `TPM_Quote` over PCR 17.
+    pub quote: Duration,
+    /// `TPM_Seal` of a 128-byte payload.
+    pub seal: Duration,
+    /// `TPM_Unseal` of the same blob.
+    pub unseal: Duration,
+    /// `TPM_GetRandom` of 20 bytes.
+    pub get_random: Duration,
+}
+
+/// Runs the microbenchmark by driving each vendor's modeled chip through
+/// real command sequences and reading the accumulated busy time.
+pub fn run(key_bits: usize) -> Vec<VendorRow> {
+    VendorProfile::all_real()
+        .iter()
+        .map(|&vendor| {
+            let mut tpm = Tpm::new(TpmConfig {
+                vendor,
+                key_bits,
+                seed: 1,
+                fault_rate: 0.0,
+            });
+            tpm.startup_clear();
+            let aik = tpm.make_identity();
+            let pcr0 = PcrIndex::new(0).unwrap();
+
+            let measure = |tpm: &mut Tpm, f: &mut dyn FnMut(&mut Tpm)| -> Duration {
+                let before = tpm.busy_time();
+                f(tpm);
+                tpm.busy_time() - before
+            };
+
+            let extend = measure(&mut tpm, &mut |t| {
+                t.extend(Locality::Zero, pcr0, &[0u8; 20]).unwrap();
+            });
+            let pcr_read = measure(&mut tpm, &mut |t| {
+                t.pcr_read(pcr0).unwrap();
+            });
+            let quote = measure(&mut tpm, &mut |t| {
+                t.quote(
+                    aik,
+                    PcrSelection::drtm_only(),
+                    utp_crypto::sha1::Sha1Digest::zero(),
+                )
+                .unwrap();
+            });
+            let mut blob = None;
+            let seal = measure(&mut tpm, &mut |t| {
+                blob = Some(
+                    t.seal_to_current(SRK_HANDLE, PcrSelection::of(&[pcr0]), &[0u8; 128])
+                        .unwrap(),
+                );
+            });
+            let blob = blob.expect("sealed");
+            let unseal = measure(&mut tpm, &mut |t| {
+                t.unseal(SRK_HANDLE, &blob).unwrap();
+            });
+            let get_random = measure(&mut tpm, &mut |t| {
+                t.get_random(20).unwrap();
+            });
+            VendorRow {
+                vendor,
+                extend,
+                pcr_read,
+                quote,
+                seal,
+                unseal,
+                get_random,
+            }
+        })
+        .collect()
+}
+
+/// Renders the E1 table.
+pub fn render(rows: &[VendorRow]) -> String {
+    table::render(
+        "E1 - TPM 1.2 primitive latency by vendor (modeled, ms)",
+        &[
+            "chip", "extend", "pcrread", "quote", "seal", "unseal", "getrand",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.vendor.name().to_string(),
+                    table::ms(r.extend),
+                    table::ms(r.pcr_read),
+                    table::ms(r.quote),
+                    table::ms(r.seal),
+                    table::ms(r.unseal),
+                    table::ms(r.get_random),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quote_dominates_on_every_vendor() {
+        for row in run(512) {
+            assert!(row.quote > row.extend * 5, "{:?}", row.vendor);
+            assert!(row.quote > row.pcr_read * 5);
+            assert!(row.quote > row.get_random * 5);
+        }
+    }
+
+    #[test]
+    fn vendor_ordering_matches_flicker_era_data() {
+        let rows = run(512);
+        let quote_of = |v: VendorProfile| rows.iter().find(|r| r.vendor == v).unwrap().quote;
+        assert!(quote_of(VendorProfile::Infineon) < quote_of(VendorProfile::Atmel));
+        assert!(quote_of(VendorProfile::Atmel) < quote_of(VendorProfile::StMicro));
+        assert!(quote_of(VendorProfile::StMicro) < quote_of(VendorProfile::Broadcom));
+    }
+
+    #[test]
+    fn render_includes_all_vendors() {
+        let rows = run(512);
+        let t = render(&rows);
+        for v in VendorProfile::all_real() {
+            assert!(t.contains(v.name()), "{} missing", v.name());
+        }
+    }
+}

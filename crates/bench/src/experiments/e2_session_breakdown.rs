@@ -1,0 +1,143 @@
+//! E2 — trusted-session latency breakdown per TPM vendor: the paper's
+//! core performance table (suspend / SKINIT / PAL+human / quote / resume).
+//!
+//! Regenerate: `cargo run -p utp-bench --bin e2_session_breakdown`
+
+use crate::table;
+use utp_core::ca::PrivacyCa;
+use utp_core::client::{Client, ClientConfig};
+use utp_core::operator::{ConfirmingHuman, Intent};
+use utp_core::protocol::{ConfirmMode, Transaction};
+use utp_core::verifier::Verifier;
+use utp_flicker::runtime::PhaseTimings;
+use utp_platform::machine::{Machine, MachineConfig};
+use utp_tpm::VendorProfile;
+
+/// One vendor × mode session breakdown.
+#[derive(Debug, Clone)]
+pub struct SessionRow {
+    /// The chip.
+    pub vendor: VendorProfile,
+    /// Confirmation mode.
+    pub mode: ConfirmMode,
+    /// Phase breakdown.
+    pub timings: PhaseTimings,
+}
+
+/// Runs one attested confirmation per vendor × mode with a deterministic
+/// human and realistic cost models.
+pub fn run(key_bits: usize) -> Vec<SessionRow> {
+    let mut rows = Vec::new();
+    for &vendor in &VendorProfile::all_real() {
+        for mode in [ConfirmMode::PressEnter, ConfirmMode::TypeCode] {
+            let ca = PrivacyCa::new(key_bits, 7);
+            let mut verifier = Verifier::new(ca.public_key().clone(), 8);
+            let mut machine = Machine::new(MachineConfig::realistic(vendor, 9));
+            let enrollment = ca.enroll(&mut machine);
+            let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+            let tx = Transaction::new(1, "bookshop.example", 4_200, "EUR", "order 7");
+            let request = verifier.issue_request_with_mode(tx.clone(), mode, machine.now());
+            let mut human = ConfirmingHuman::new(Intent::approving(&tx), 10);
+            let (_evidence, report) = client
+                .confirm_with_report(&mut machine, &request, &mut human)
+                .expect("session succeeds");
+            rows.push(SessionRow {
+                vendor,
+                mode,
+                timings: report.timings,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the E2 table.
+pub fn render(rows: &[SessionRow]) -> String {
+    table::render(
+        "E2 - trusted-session latency breakdown (ms of virtual time)",
+        &[
+            "chip", "mode", "suspend", "skinit", "pal", "(human)", "quote", "resume", "total",
+            "machine-only",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.vendor.name().to_string(),
+                    format!("{:?}", r.mode),
+                    table::ms(r.timings.suspend),
+                    table::ms(r.timings.skinit),
+                    table::ms(r.timings.pal),
+                    table::ms(r.timings.human),
+                    table::ms(r.timings.attest),
+                    table::ms(r.timings.resume),
+                    table::ms(r.timings.total()),
+                    table::ms(r.timings.machine_only()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn rows() -> Vec<SessionRow> {
+        run(512)
+    }
+
+    #[test]
+    fn quote_dominates_machine_cost() {
+        for r in rows() {
+            // The attest phase (extend + quote) must dominate suspend,
+            // skinit and resume on every chip — the paper's key claim
+            // about where trusted-session time goes.
+            assert!(r.timings.attest > r.timings.suspend, "{:?}", r.vendor);
+            assert!(r.timings.attest > r.timings.skinit, "{:?}", r.vendor);
+            assert!(r.timings.attest > r.timings.resume, "{:?}", r.vendor);
+        }
+    }
+
+    #[test]
+    fn human_dominates_total() {
+        for r in rows() {
+            assert!(
+                r.timings.human > r.timings.machine_only(),
+                "{:?} {:?}",
+                r.vendor,
+                r.mode
+            );
+        }
+    }
+
+    #[test]
+    fn type_code_costs_more_human_time_than_press_enter() {
+        let rows = rows();
+        for &vendor in &VendorProfile::all_real() {
+            let human_of = |mode: ConfirmMode| {
+                rows.iter()
+                    .find(|r| r.vendor == vendor && r.mode == mode)
+                    .unwrap()
+                    .timings
+                    .human
+            };
+            assert!(human_of(ConfirmMode::TypeCode) > human_of(ConfirmMode::PressEnter));
+        }
+    }
+
+    #[test]
+    fn machine_only_is_sub_two_seconds() {
+        // Practicality: the protocol adds under ~2 s of machine time even
+        // on the slowest chip.
+        for r in rows() {
+            assert!(
+                r.timings.machine_only() < Duration::from_secs(2),
+                "{:?}: {:?}",
+                r.vendor,
+                r.timings.machine_only()
+            );
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! E3 — end-to-end transaction confirmation latency: sweeps network RTT
+//! and transaction payload size (the paper's "is this practical on the
+//! real Internet" figure).
+//!
+//! Regenerate: `cargo run -p utp-bench --bin e3_end_to_end`
+
+use crate::table;
+use std::time::Duration;
+use utp_core::ca::PrivacyCa;
+use utp_core::client::{Client, ClientConfig};
+use utp_core::operator::{ConfirmingHuman, Intent};
+use utp_netsim::{Link, LinkConfig};
+use utp_platform::machine::{Machine, MachineConfig};
+use utp_server::flow::{run_transaction, E2eReport};
+use utp_server::provider::ServiceProvider;
+use utp_tpm::VendorProfile;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct E2eRow {
+    /// Link RTT.
+    pub rtt: Duration,
+    /// Transaction memo size in bytes (payload sweep).
+    pub memo_len: usize,
+    /// The full report.
+    pub report: E2eReport,
+}
+
+fn one_transaction(rtt: Duration, memo_len: usize, seed: u64) -> E2eReport {
+    let ca = PrivacyCa::new(512, seed);
+    let mut provider = ServiceProvider::new(ca.public_key().clone(), seed ^ 1);
+    provider.store_mut().open_account("alice", 100_000_000);
+    let mut machine = Machine::new(MachineConfig::realistic(VendorProfile::Infineon, seed ^ 2));
+    let enrollment = ca.enroll(&mut machine);
+    let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+    let mut link = Link::new(LinkConfig::fixed_rtt(rtt), seed ^ 3);
+    let memo = "m".repeat(memo_len);
+    let mut human = ConfirmingHuman::new(
+        Intent {
+            payee: "bookshop.example".into(),
+            amount: "42.00 EUR".into(),
+            approve: true,
+        },
+        seed ^ 4,
+    );
+    run_transaction(
+        &mut machine,
+        &mut client,
+        &mut provider,
+        &mut link,
+        "alice",
+        "bookshop.example",
+        4_200,
+        &memo,
+        &mut human,
+    )
+    .expect("end-to-end flow succeeds")
+}
+
+/// RTT sweep at a small fixed payload.
+pub fn run_rtt_sweep() -> Vec<E2eRow> {
+    [10u64, 25, 50, 100, 200]
+        .iter()
+        .map(|&ms| {
+            let rtt = Duration::from_millis(ms);
+            E2eRow {
+                rtt,
+                memo_len: 64,
+                report: one_transaction(rtt, 64, 1000 + ms),
+            }
+        })
+        .collect()
+}
+
+/// Payload sweep at a fixed 50 ms RTT. The memo drags the whole request
+/// through the PAL input path, so this exercises SKINIT streaming and the
+/// network serialization together.
+pub fn run_payload_sweep() -> Vec<E2eRow> {
+    [256usize, 1024, 4096, 16_384, 60_000]
+        .iter()
+        .map(|&len| {
+            let rtt = Duration::from_millis(50);
+            E2eRow {
+                rtt,
+                memo_len: len,
+                report: one_transaction(rtt, len, 2000 + len as u64),
+            }
+        })
+        .collect()
+}
+
+/// Renders both sweeps.
+pub fn render(rtt_rows: &[E2eRow], payload_rows: &[E2eRow]) -> String {
+    let fmt = |rows: &[E2eRow], title: &str| {
+        table::render(
+            title,
+            &[
+                "rtt(ms)",
+                "memo(B)",
+                "network",
+                "session",
+                "(human)",
+                "verify",
+                "total",
+                "machine-only",
+            ],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        table::ms(r.rtt),
+                        r.memo_len.to_string(),
+                        table::ms(r.report.network),
+                        table::ms(r.report.session.total()),
+                        table::ms(r.report.session.human),
+                        table::ms(r.report.verify_cpu),
+                        table::ms(r.report.total),
+                        table::ms(r.report.machine_only()),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+    };
+    format!(
+        "{}\n{}",
+        fmt(rtt_rows, "E3a - end-to-end latency vs RTT (ms)"),
+        fmt(payload_rows, "E3b - end-to-end latency vs payload (ms)")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sweep_points_confirm() {
+        for r in run_rtt_sweep() {
+            assert!(r.report.outcome.is_ok(), "rtt {:?}", r.rtt);
+        }
+    }
+
+    #[test]
+    fn total_grows_with_rtt_but_is_human_dominated() {
+        let rows = run_rtt_sweep();
+        let m10 = rows.first().unwrap();
+        let m200 = rows.last().unwrap();
+        assert!(m200.report.network > m10.report.network);
+        // Even at 200 ms RTT the human dwarfs the network.
+        assert!(m200.report.session.human > m200.report.network * 5);
+    }
+
+    #[test]
+    fn payload_grows_machine_cost_moderately() {
+        let rows = run_payload_sweep();
+        let small = rows.first().unwrap().report.machine_only();
+        let large = rows.last().unwrap().report.machine_only();
+        assert!(large > small);
+        // Shape: even a 60 KB payload keeps machine-only under ~2 s.
+        assert!(large < Duration::from_secs(2), "{:?}", large);
+    }
+}

@@ -1,0 +1,133 @@
+//! E4 — server-side verification throughput and latency, measured for
+//! real on the host CPU (the one experiment whose numbers are not
+//! modeled: RSA verification is our actual code).
+//!
+//! Regenerate: `cargo run -p utp-bench --bin e4_server_throughput`
+
+use crate::table;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+use utp_core::ca::PrivacyCa;
+use utp_core::client::{Client, ClientConfig};
+use utp_core::operator::{ConfirmingHuman, Intent};
+use utp_core::pal::ConfirmationPal;
+use utp_core::protocol::Transaction;
+use utp_core::verifier::Verifier;
+use utp_crypto::rsa::RsaPublicKey;
+use utp_crypto::sha1::Sha1Digest;
+use utp_platform::machine::{Machine, MachineConfig};
+use utp_server::metrics::throughput;
+use utp_server::pipeline::{verify_batch_parallel, VerificationJob};
+
+/// One thread-count measurement.
+#[derive(Debug, Clone)]
+pub struct ThroughputRow {
+    /// Worker threads.
+    pub threads: usize,
+    /// Jobs verified.
+    pub jobs: usize,
+    /// Wall-clock elapsed.
+    pub elapsed: Duration,
+    /// Verifications per second.
+    pub ops_per_sec: f64,
+}
+
+/// Builds `n` genuine evidence jobs once (key size configurable; 1024-bit
+/// approximates the paper's 2048-bit AIK verification cost within ~4x).
+pub fn build_jobs(n: usize, key_bits: usize) -> (RsaPublicKey, HashSet<Sha1Digest>, Vec<VerificationJob>) {
+    let ca = PrivacyCa::new(key_bits, 11);
+    let mut verifier = Verifier::new(ca.public_key().clone(), 12);
+    let mut machine = Machine::new(MachineConfig {
+        tpm: utp_tpm::TpmConfig {
+            vendor: utp_tpm::VendorProfile::Instant,
+            key_bits,
+            seed: 13,
+            fault_rate: 0.0,
+        },
+        ..MachineConfig::fast_for_tests(13)
+    });
+    let enrollment = ca.enroll(&mut machine);
+    let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+    let mut jobs = Vec::with_capacity(n);
+    for i in 0..n {
+        let tx = Transaction::new(i as u64, "shop.example", 100, "EUR", "x");
+        let request = verifier.issue_request(tx.clone(), machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&tx), 500 + i as u64);
+        let evidence = client
+            .confirm(&mut machine, &request, &mut human)
+            .expect("confirmation succeeds");
+        jobs.push(VerificationJob {
+            request_bytes: request.to_bytes(),
+            tx_digest: tx.digest(),
+            evidence,
+        });
+    }
+    let mut pals = HashSet::new();
+    pals.insert(ConfirmationPal::v1().measurement());
+    (ca.public_key().clone(), pals, jobs)
+}
+
+/// Measures throughput across thread counts.
+pub fn run(jobs_n: usize, key_bits: usize, thread_counts: &[usize]) -> Vec<ThroughputRow> {
+    let (ca_key, pals, jobs) = build_jobs(jobs_n, key_bits);
+    thread_counts
+        .iter()
+        .map(|&threads| {
+            let start = Instant::now();
+            let results = verify_batch_parallel(&ca_key, &pals, &jobs, threads);
+            let elapsed = start.elapsed();
+            assert!(results.iter().all(|r| r.is_ok()), "all jobs genuine");
+            ThroughputRow {
+                threads,
+                jobs: jobs.len(),
+                elapsed,
+                ops_per_sec: throughput(jobs.len(), elapsed),
+            }
+        })
+        .collect()
+}
+
+/// Renders the E4 table.
+pub fn render(rows: &[ThroughputRow]) -> String {
+    table::render(
+        "E4 - evidence verification throughput (host-measured)",
+        &["threads", "jobs", "elapsed(ms)", "verifications/s"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.threads.to_string(),
+                    r.jobs.to_string(),
+                    table::ms(r.elapsed),
+                    format!("{:.0}", r.ops_per_sec),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_thousands_per_second_per_core() {
+        // The paper's scalability claim: verification is cheap. With our
+        // 512-bit test keys a single thread should far exceed 1k/s.
+        let rows = run(64, 512, &[1]);
+        assert!(rows[0].ops_per_sec > 1_000.0, "{}", rows[0].ops_per_sec);
+    }
+
+    #[test]
+    fn more_threads_do_not_reduce_throughput_much() {
+        let rows = run(128, 512, &[1, 4]);
+        // Parallel overhead must not eat the gain entirely: 4 threads
+        // should be at least as fast as half of single-thread throughput.
+        assert!(
+            rows[1].ops_per_sec > rows[0].ops_per_sec * 0.5,
+            "1t={} 4t={}",
+            rows[0].ops_per_sec,
+            rows[1].ops_per_sec
+        );
+    }
+}

@@ -1,0 +1,145 @@
+//! E5 — the security evaluation: transaction-generator success rates
+//! under (a) no protection, (b) CAPTCHA, (c) the uni-directional trusted
+//! path, across the attack suite.
+//!
+//! Regenerate: `cargo run -p utp-bench --bin e5_attacks`
+
+use crate::table;
+use utp_attack::harness::{run_trials, AttackResult};
+use utp_attack::scenarios;
+use utp_captcha::Difficulty;
+
+/// One attack × defense cell.
+#[derive(Debug, Clone)]
+pub struct AttackRow {
+    /// Scenario label.
+    pub scenario: &'static str,
+    /// Defense label.
+    pub defense: &'static str,
+    /// Measured result.
+    pub result: AttackResult,
+}
+
+/// Runs the full matrix. `trials` controls statistical resolution for the
+/// probabilistic cells; the deterministic UTP cells use fewer trials (each
+/// builds a whole world, including RSA key generation).
+pub fn run(trials: usize, utp_trials: usize) -> Vec<AttackRow> {
+    let mut rows = Vec::new();
+    rows.push(AttackRow {
+        scenario: "transaction generator",
+        defense: "none",
+        result: run_trials(trials.min(200), 1, scenarios::attack_unprotected),
+    });
+    for (label, difficulty) in [
+        ("captcha-easy", Difficulty::Easy),
+        ("captcha-medium", Difficulty::Medium),
+        ("captcha-hard", Difficulty::Hard),
+    ] {
+        rows.push(AttackRow {
+            scenario: "bot solver (OCR)",
+            defense: label,
+            result: run_trials(trials, 2, |s| scenarios::attack_captcha(difficulty, false, s)),
+        });
+    }
+    rows.push(AttackRow {
+        scenario: "solving service",
+        defense: "captcha-hard",
+        result: run_trials(trials, 3, |s| {
+            scenarios::attack_captcha(Difficulty::Hard, true, s)
+        }),
+    });
+    rows.push(AttackRow {
+        scenario: "forged quote (locality 0)",
+        defense: "utp",
+        result: run_trials(utp_trials, 4, scenarios::attack_utp_forged_quote),
+    });
+    rows.push(AttackRow {
+        scenario: "evil PAL (auto-confirm)",
+        defense: "utp",
+        result: run_trials(utp_trials, 5, scenarios::attack_utp_evil_pal),
+    });
+    rows.push(AttackRow {
+        scenario: "evidence replay",
+        defense: "utp",
+        result: run_trials(utp_trials, 6, scenarios::attack_utp_replay),
+    });
+    rows.push(AttackRow {
+        scenario: "keystroke injection",
+        defense: "utp",
+        result: run_trials(utp_trials, 7, scenarios::attack_utp_key_injection),
+    });
+    rows.push(AttackRow {
+        scenario: "tx swap, vigilant human",
+        defense: "utp",
+        result: run_trials(utp_trials, 8, |s| scenarios::attack_utp_mitm_swap(1.0, s)),
+    });
+    rows.push(AttackRow {
+        scenario: "tx swap, careless human",
+        defense: "utp",
+        result: run_trials(utp_trials, 9, |s| scenarios::attack_utp_mitm_swap(0.0, s)),
+    });
+    rows.push(AttackRow {
+        scenario: "(control) legitimate user",
+        defense: "utp",
+        result: run_trials(utp_trials, 10, scenarios::legitimate_transaction),
+    });
+    rows
+}
+
+/// Renders the E5 table.
+pub fn render(rows: &[AttackRow]) -> String {
+    table::render(
+        "E5 - attack success rates by defense",
+        &["scenario", "defense", "attempts", "successes", "rate"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.scenario.to_string(),
+                    r.defense.to_string(),
+                    r.result.attempts.to_string(),
+                    r.result.successes.to_string(),
+                    table::pct(r.result.rate()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape_matches_paper() {
+        let rows = run(300, 5);
+        let rate = |scenario: &str, defense: &str| {
+            rows.iter()
+                .find(|r| r.scenario == scenario && r.defense == defense)
+                .unwrap_or_else(|| panic!("row {} × {}", scenario, defense))
+                .result
+                .rate()
+        };
+        // (a) unprotected: generators always win.
+        assert_eq!(rate("transaction generator", "none"), 1.0);
+        // (b) CAPTCHA: bots get through, more on easy than hard; solving
+        // services defeat even hard.
+        assert!(rate("bot solver (OCR)", "captcha-easy") > rate("bot solver (OCR)", "captcha-hard"));
+        assert!(rate("bot solver (OCR)", "captcha-hard") > 0.0);
+        assert!(rate("solving service", "captcha-hard") > 0.85);
+        // (c) UTP: every automated attack collapses to zero.
+        for scenario in [
+            "forged quote (locality 0)",
+            "evil PAL (auto-confirm)",
+            "evidence replay",
+            "keystroke injection",
+            "tx swap, vigilant human",
+        ] {
+            assert_eq!(rate(scenario, "utp"), 0.0, "{}", scenario);
+        }
+        // Residual risk: careless humans approve swapped transactions.
+        assert!(rate("tx swap, careless human", "utp") > 0.5);
+        // Availability control.
+        assert!(rate("(control) legitimate user", "utp") > 0.7);
+    }
+}

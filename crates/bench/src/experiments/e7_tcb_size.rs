@@ -1,0 +1,167 @@
+//! E7 — TCB size: lines of code the service provider must trust (the PAL
+//! and what runs inside the session) versus the code it explicitly does
+//! *not* have to trust (OS surface, client orchestrator, everything else).
+//!
+//! Counted from the shipped sources at run time; the paper's analogous
+//! table compares its ~250-line PAL against millions of OS/browser lines.
+//!
+//! Regenerate: `cargo run -p utp-bench --bin e7_tcb_size`
+
+use crate::table;
+use std::path::{Path, PathBuf};
+
+/// A component and its code size.
+#[derive(Debug, Clone)]
+pub struct TcbRow {
+    /// Component label.
+    pub component: &'static str,
+    /// Whether the provider must trust it.
+    pub trusted: bool,
+    /// Non-blank, non-comment-only lines of Rust.
+    pub loc: usize,
+}
+
+fn count_loc(path: &Path) -> usize {
+    let Ok(src) = std::fs::read_to_string(path) else {
+        return 0;
+    };
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .count()
+}
+
+fn crate_dir(name: &str) -> PathBuf {
+    // bench crate lives at crates/bench; siblings are ../<name>/src.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join(name)
+        .join("src")
+}
+
+fn count_dir(dir: &Path) -> usize {
+    let mut total = 0;
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            total += count_dir(&p);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            total += count_loc(&p);
+        }
+    }
+    total
+}
+
+/// Computes the TCB table from the shipped sources.
+pub fn run() -> Vec<TcbRow> {
+    vec![
+        TcbRow {
+            component: "confirmation PAL (core/pal.rs)",
+            trusted: true,
+            loc: count_loc(&crate_dir("core").join("pal.rs")),
+        },
+        TcbRow {
+            component: "session runtime (flicker/runtime.rs + pal.rs)",
+            trusted: true,
+            loc: count_loc(&crate_dir("flicker").join("runtime.rs"))
+                + count_loc(&crate_dir("flicker").join("pal.rs")),
+        },
+        TcbRow {
+            component: "protocol structures (core/protocol.rs)",
+            trusted: true,
+            loc: count_loc(&crate_dir("core").join("protocol.rs")),
+        },
+        TcbRow {
+            component: "client orchestrator (untrusted OS side)",
+            trusted: false,
+            loc: count_loc(&crate_dir("core").join("client.rs")),
+        },
+        TcbRow {
+            component: "platform / OS / device models",
+            trusted: false,
+            loc: count_dir(&crate_dir("platform")),
+        },
+        TcbRow {
+            component: "TPM model (hardware, trusted by assumption)",
+            trusted: true,
+            loc: count_dir(&crate_dir("tpm")),
+        },
+        TcbRow {
+            component: "server stack",
+            trusted: false,
+            loc: count_dir(&crate_dir("server")),
+        },
+    ]
+}
+
+/// Measured-code TCB (what SKINIT actually measures into PCR 17): the PAL
+/// plus the in-session runtime.
+pub fn measured_tcb_loc(rows: &[TcbRow]) -> usize {
+    rows.iter()
+        .filter(|r| r.trusted && !r.component.contains("TPM"))
+        .map(|r| r.loc)
+        .sum()
+}
+
+/// Everything else the user's machine runs.
+pub fn untrusted_loc(rows: &[TcbRow]) -> usize {
+    rows.iter().filter(|r| !r.trusted).map(|r| r.loc).sum()
+}
+
+/// Renders the E7 table.
+pub fn render(rows: &[TcbRow]) -> String {
+    let mut body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.component.to_string(),
+                if r.trusted { "yes" } else { "no" }.to_string(),
+                r.loc.to_string(),
+            ]
+        })
+        .collect();
+    body.push(vec![
+        "TOTAL measured into PCR 17".to_string(),
+        "yes".to_string(),
+        measured_tcb_loc(rows).to_string(),
+    ]);
+    body.push(vec![
+        "TOTAL untrusted".to_string(),
+        "no".to_string(),
+        untrusted_loc(rows).to_string(),
+    ]);
+    table::render(
+        "E7 - trusted computing base by component (lines of code)",
+        &["component", "trusted", "loc"],
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_are_found_and_counted() {
+        let rows = run();
+        for r in &rows {
+            assert!(r.loc > 0, "{} not found / empty", r.component);
+        }
+    }
+
+    #[test]
+    fn measured_tcb_is_much_smaller_than_untrusted_code() {
+        let rows = run();
+        let tcb = measured_tcb_loc(&rows);
+        let untrusted = untrusted_loc(&rows);
+        assert!(
+            untrusted > tcb,
+            "tcb {} should be smaller than untrusted {}",
+            tcb,
+            untrusted
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Experiment implementations E1–E7 (see DESIGN.md for the index).
+
+pub mod e1_tpm_micro;
+pub mod e2_session_breakdown;
+pub mod e3_end_to_end;
+pub mod e4_server_throughput;
+pub mod e5_attacks;
+pub mod e6_captcha_compare;
+pub mod e7_tcb_size;
+pub mod e8_amortized;
+pub mod e9_batching;

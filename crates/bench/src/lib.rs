@@ -1,0 +1,13 @@
+//! Experiment harnesses regenerating the paper's evaluation.
+//!
+//! One module per experiment (E1–E7, defined in DESIGN.md); each exposes a
+//! `run(...)` returning structured rows plus a `render(...)` printing the
+//! paper-style table. The `src/bin/eN_*` binaries are thin wrappers; the
+//! integration tests assert the *shapes* the paper reports (who wins, by
+//! roughly what factor) hold on the regenerated data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;

@@ -1,0 +1,90 @@
+//! Minimal fixed-width table rendering for experiment output.
+
+/// Renders a header + rows as a fixed-width text table.
+///
+/// Column widths are the max of header and cell widths; all columns are
+/// left-aligned except those whose header starts with a digit or whose
+/// cells are numeric-looking, which stay as given (callers pre-format
+/// numbers).
+pub fn render(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity must match headers");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(*w))
+        .collect::<Vec<_>>()
+        .join("-+-");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a `Duration` as fixed-point milliseconds.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned_table() {
+        let t = render(
+            "T",
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines[0], "T");
+        assert!(lines[1].contains("name"));
+        assert!(lines[2].starts_with('-'));
+        // All data lines equal width.
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn mismatched_rows_panic() {
+        let _ = render("T", &["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(ms(Duration::from_millis(1500)), "1500.0");
+        assert_eq!(pct(0.123), "12.3%");
+    }
+}

@@ -1,0 +1,223 @@
+//! CAPTCHA service flow: the provider-side challenge lifecycle the
+//! trusted path competes against in E5/E6 — issuance, single-use
+//! answers, expiry, and per-client rate limiting (the standard mitigation
+//! against brute-force bots).
+
+use crate::{CaptchaGenerator, Challenge, Difficulty};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Why a submission was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CaptchaError {
+    /// No such outstanding challenge.
+    UnknownChallenge,
+    /// The answer was wrong.
+    WrongAnswer,
+    /// The challenge expired before the answer arrived.
+    Expired,
+    /// The client exceeded its attempt budget and is locked out.
+    RateLimited,
+}
+
+impl std::fmt::Display for CaptchaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CaptchaError::UnknownChallenge => write!(f, "unknown challenge"),
+            CaptchaError::WrongAnswer => write!(f, "wrong answer"),
+            CaptchaError::Expired => write!(f, "challenge expired"),
+            CaptchaError::RateLimited => write!(f, "rate limited"),
+        }
+    }
+}
+
+impl std::error::Error for CaptchaError {}
+
+struct Outstanding {
+    challenge: Challenge,
+    client: u64,
+    issued_at: Duration,
+}
+
+/// The CAPTCHA service configuration.
+#[derive(Debug, Clone)]
+pub struct CaptchaServiceConfig {
+    /// Challenge difficulty.
+    pub difficulty: Difficulty,
+    /// How long a challenge stays answerable.
+    pub ttl: Duration,
+    /// Wrong answers allowed per client before lockout.
+    pub max_failures_per_client: u32,
+}
+
+impl Default for CaptchaServiceConfig {
+    fn default() -> Self {
+        CaptchaServiceConfig {
+            difficulty: Difficulty::Medium,
+            ttl: Duration::from_secs(120),
+            max_failures_per_client: 10,
+        }
+    }
+}
+
+/// The provider-side CAPTCHA service.
+pub struct CaptchaService {
+    config: CaptchaServiceConfig,
+    generator: CaptchaGenerator,
+    outstanding: HashMap<u64, Outstanding>,
+    failures: HashMap<u64, u32>,
+    next_id: u64,
+    /// Accepted solutions.
+    pub accepted: u64,
+}
+
+impl std::fmt::Debug for CaptchaService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CaptchaService")
+            .field("outstanding", &self.outstanding.len())
+            .field("accepted", &self.accepted)
+            .finish()
+    }
+}
+
+impl CaptchaService {
+    /// Creates a service with the given policy and generator seed.
+    pub fn new(config: CaptchaServiceConfig, seed: u64) -> Self {
+        CaptchaService {
+            config,
+            generator: CaptchaGenerator::new(seed),
+            outstanding: HashMap::new(),
+            failures: HashMap::new(),
+            next_id: 1,
+            accepted: 0,
+        }
+    }
+
+    /// Issues a challenge to `client`; returns `(challenge_id, challenge)`.
+    /// The challenge (with its distorted rendering, here the raw answer
+    /// plus difficulty) travels to the client.
+    pub fn issue(&mut self, client: u64, now: Duration) -> Option<(u64, Challenge)> {
+        if self.is_locked_out(client) {
+            return None;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let challenge = self.generator.generate(self.config.difficulty);
+        self.outstanding.insert(
+            id,
+            Outstanding {
+                challenge: challenge.clone(),
+                client,
+                issued_at: now,
+            },
+        );
+        Some((id, challenge))
+    }
+
+    /// True once a client burned its failure budget.
+    pub fn is_locked_out(&self, client: u64) -> bool {
+        self.failures.get(&client).copied().unwrap_or(0) >= self.config.max_failures_per_client
+    }
+
+    /// Submits an answer. Challenges are single-use: success and wrong
+    /// answers both consume them.
+    ///
+    /// # Errors
+    ///
+    /// [`CaptchaError`] describing the rejection.
+    pub fn submit(&mut self, id: u64, answer: &str, now: Duration) -> Result<(), CaptchaError> {
+        let outstanding = self
+            .outstanding
+            .remove(&id)
+            .ok_or(CaptchaError::UnknownChallenge)?;
+        if self.is_locked_out(outstanding.client) {
+            return Err(CaptchaError::RateLimited);
+        }
+        if now.saturating_sub(outstanding.issued_at) > self.config.ttl {
+            return Err(CaptchaError::Expired);
+        }
+        if answer != outstanding.challenge.answer {
+            *self.failures.entry(outstanding.client).or_insert(0) += 1;
+            return Err(CaptchaError::WrongAnswer);
+        }
+        self.accepted += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn svc() -> CaptchaService {
+        CaptchaService::new(CaptchaServiceConfig::default(), 7)
+    }
+
+    fn t(secs: u64) -> Duration {
+        Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn correct_answer_accepted_once() {
+        let mut s = svc();
+        let (id, ch) = s.issue(1, t(0)).unwrap();
+        s.submit(id, &ch.answer, t(10)).unwrap();
+        assert_eq!(s.accepted, 1);
+        // Single use.
+        assert_eq!(
+            s.submit(id, &ch.answer, t(11)).unwrap_err(),
+            CaptchaError::UnknownChallenge
+        );
+    }
+
+    #[test]
+    fn wrong_answer_consumes_challenge_and_counts_failure() {
+        let mut s = svc();
+        let (id, _ch) = s.issue(1, t(0)).unwrap();
+        assert_eq!(
+            s.submit(id, "nope", t(1)).unwrap_err(),
+            CaptchaError::WrongAnswer
+        );
+        assert_eq!(
+            s.submit(id, "nope", t(1)).unwrap_err(),
+            CaptchaError::UnknownChallenge
+        );
+    }
+
+    #[test]
+    fn expiry_enforced() {
+        let mut s = svc();
+        let (id, ch) = s.issue(1, t(0)).unwrap();
+        assert_eq!(
+            s.submit(id, &ch.answer, t(121)).unwrap_err(),
+            CaptchaError::Expired
+        );
+    }
+
+    #[test]
+    fn brute_force_hits_rate_limit() {
+        let mut s = svc();
+        for i in 0..10 {
+            let (id, _) = s.issue(42, t(i)).unwrap();
+            let _ = s.submit(id, "guess", t(i));
+        }
+        assert!(s.is_locked_out(42));
+        assert!(s.issue(42, t(20)).is_none());
+        // Other clients unaffected.
+        assert!(s.issue(43, t(20)).is_some());
+    }
+
+    #[test]
+    fn lockout_applies_even_with_outstanding_challenge() {
+        let mut s = svc();
+        let (held_id, held_ch) = s.issue(9, t(0)).unwrap();
+        for i in 0..10 {
+            let (id, _) = s.issue(9, t(i)).unwrap();
+            let _ = s.submit(id, "guess", t(i));
+        }
+        assert_eq!(
+            s.submit(held_id, &held_ch.answer, t(15)).unwrap_err(),
+            CaptchaError::RateLimited
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Top-level error type for the UTP client stack.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the client-side trusted-path machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum UtpError {
+    /// The Flicker session failed (launch, TPM or PAL error).
+    Session(utp_flicker::FlickerError),
+    /// A protocol message failed to parse.
+    Protocol(String),
+}
+
+impl fmt::Display for UtpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UtpError::Session(e) => write!(f, "session failed: {}", e),
+            UtpError::Protocol(why) => write!(f, "protocol error: {}", why),
+        }
+    }
+}
+
+impl Error for UtpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            UtpError::Session(e) => Some(e),
+            UtpError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<utp_flicker::FlickerError> for UtpError {
+    fn from(e: utp_flicker::FlickerError) -> Self {
+        UtpError::Session(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_flicker_errors_with_source() {
+        let e = UtpError::from(utp_flicker::FlickerError::Pal("x".into()));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains("session failed"));
+    }
+
+    #[test]
+    fn protocol_errors_display_reason() {
+        let e = UtpError::Protocol("bad token".into());
+        assert!(e.to_string().contains("bad token"));
+    }
+}

@@ -1,0 +1,75 @@
+//! # Uni-directional trusted path (UTP)
+//!
+//! Reproduction of *"Uni-directional trusted path: Transaction confirmation
+//! on just one device"* (Filyanov, McCune, Sadeghi, Winandy — DSN 2011).
+//!
+//! Malware that owns a user's OS can submit transactions the user never
+//! intended ("transaction generators") or tamper with what the user typed.
+//! This crate establishes a **one-way trusted path** from the human at the
+//! keyboard to a remote service provider, using only the machine itself —
+//! no second device, no secure display requirement:
+//!
+//! 1. The provider sends a [`protocol::TransactionRequest`] with a fresh
+//!    nonce.
+//! 2. The client late-launches the tiny [`pal::ConfirmationPal`] via DRTM
+//!    ([`utp_flicker`]); the OS — and any malware in it — is suspended, the
+//!    keyboard is hardware-isolated, and the TPM's PCR 17 records exactly
+//!    which PAL ran.
+//! 3. The PAL displays the transaction, collects the human's verdict
+//!    (press Enter / type a random confirmation code), and emits a
+//!    [`protocol::ConfirmationToken`].
+//! 4. The session binds the token into PCR 17 and quotes it with an AIK
+//!    certified by a privacy CA ([`ca`]).
+//! 5. The provider's [`verifier::Verifier`] checks the certificate chain,
+//!    quote signature, PCR-17 chain, nonce freshness and verdict — gaining
+//!    assurance a *human* confirmed *this* transaction, even though the
+//!    provider trusts nothing else on the machine.
+//!
+//! The path is uni-directional: only the user→provider direction is
+//! authenticated. The provider never claims the user saw authentic output;
+//! the human implicitly checks the displayed transaction against their own
+//! intention, and rejects surprises (modeled in [`operator`]).
+//!
+//! # Example
+//!
+//! ```
+//! use utp_core::ca::PrivacyCa;
+//! use utp_core::client::{Client, ClientConfig};
+//! use utp_core::operator::{ConfirmingHuman, Intent};
+//! use utp_core::protocol::Transaction;
+//! use utp_core::verifier::Verifier;
+//! use utp_platform::machine::{Machine, MachineConfig};
+//!
+//! // Provider side.
+//! let ca = PrivacyCa::new(512, 1);
+//! let mut verifier = Verifier::new(ca.public_key().clone(), 99);
+//!
+//! // Client side: enroll the TPM's AIK with the privacy CA.
+//! let mut machine = Machine::new(MachineConfig::fast_for_tests(2));
+//! let enrollment = ca.enroll(&mut machine);
+//! let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+//!
+//! // A human intends to pay the bookshop.
+//! let tx = Transaction::new(1, "bookshop.example", 4_200, "EUR", "order #77");
+//! let mut human = ConfirmingHuman::new(Intent::approving(&tx), 3);
+//!
+//! let request = verifier.issue_request(tx, machine.now());
+//! let evidence = client.confirm(&mut machine, &request, &mut human).unwrap();
+//! let verified = verifier.verify(&evidence, machine.now()).unwrap();
+//! assert_eq!(verified.transaction.payee, "bookshop.example");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amortized;
+pub mod batch;
+pub mod ca;
+pub mod client;
+pub mod error;
+pub mod operator;
+pub mod pal;
+pub mod protocol;
+pub mod verifier;
+
+pub use error::UtpError;

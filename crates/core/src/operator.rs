@@ -1,0 +1,261 @@
+//! The human operator for confirmation sessions.
+//!
+//! Bridges the platform's [`HumanModel`] (reading/typing speed, typos) to
+//! the PAL's screen: the simulated human reads the transaction the PAL
+//! actually displays, compares it with what they *intended* (the defense
+//! the uni-directional path relies on — there is no trusted display, the
+//! human is the output verifier), and then confirms or rejects.
+
+use crate::pal::CODE_MARKER;
+use crate::protocol::{Transaction, CODE_LEN};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+use utp_flicker::pal::{Operator, OperatorResponse};
+use utp_platform::human::{HumanConfig, HumanModel};
+use utp_platform::keyboard::KeyEvent;
+
+/// What the human believes they are approving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Intent {
+    /// Expected payee substring.
+    pub payee: String,
+    /// Expected rendered amount (e.g. `42.00 EUR`).
+    pub amount: String,
+    /// Whether the human wants to approve at all.
+    pub approve: bool,
+}
+
+impl Intent {
+    /// Intent matching a transaction the human initiated.
+    pub fn approving(tx: &Transaction) -> Self {
+        Intent {
+            payee: tx.payee.clone(),
+            amount: tx.display_amount(),
+            approve: true,
+        }
+    }
+
+    /// The human did not initiate anything and will reject any prompt —
+    /// the situation when malware triggers a confirmation out of the blue.
+    pub fn rejecting() -> Self {
+        Intent {
+            payee: String::new(),
+            amount: String::new(),
+            approve: false,
+        }
+    }
+}
+
+/// A simulated human confirming (or rejecting) transactions at the PAL
+/// screen.
+#[derive(Debug, Clone)]
+pub struct ConfirmingHuman {
+    model: HumanModel,
+    intent: Intent,
+    /// Probability the human actually checks payee/amount before
+    /// confirming (1.0 = always vigilant; the paper's security argument
+    /// assumes the human reads what the PAL shows).
+    vigilance: f64,
+    rng: StdRng,
+    /// Statistics: prompts answered.
+    pub prompts_seen: usize,
+}
+
+impl ConfirmingHuman {
+    /// A fully vigilant human with default speed parameters.
+    pub fn new(intent: Intent, seed: u64) -> Self {
+        Self::with_vigilance(intent, 1.0, seed)
+    }
+
+    /// A human who checks the screen with the given probability.
+    pub fn with_vigilance(intent: Intent, vigilance: f64, seed: u64) -> Self {
+        Self::with_config(intent, vigilance, HumanConfig::default(), seed)
+    }
+
+    /// Full control over the human parameters.
+    pub fn with_config(intent: Intent, vigilance: f64, config: HumanConfig, seed: u64) -> Self {
+        ConfirmingHuman {
+            model: HumanModel::with_config(config, seed),
+            intent,
+            vigilance,
+            rng: StdRng::seed_from_u64(seed ^ 0x4f50u64),
+            prompts_seen: 0,
+        }
+    }
+
+    fn screen_matches_intent(&self, screen: &[String]) -> bool {
+        let payee_ok = !self.intent.payee.is_empty()
+            && screen.iter().any(|r| r.contains(&self.intent.payee));
+        let amount_ok = !self.intent.amount.is_empty()
+            && screen.iter().any(|r| r.contains(&self.intent.amount));
+        payee_ok && amount_ok
+    }
+
+    fn extract_code(screen: &[String]) -> Option<String> {
+        let line = screen.iter().find(|r| r.contains(CODE_MARKER))?;
+        let idx = line.find(CODE_MARKER)? + CODE_MARKER.len();
+        let code: String = line[idx..].chars().take(CODE_LEN).collect();
+        if code.len() == CODE_LEN && code.chars().all(|c| c.is_ascii_digit()) {
+            Some(code)
+        } else {
+            None
+        }
+    }
+
+    fn reject(&mut self, reading: Duration) -> OperatorResponse {
+        let (key, delay) = self.model.press(KeyEvent::Escape);
+        OperatorResponse {
+            events: vec![key],
+            elapsed: reading + delay,
+        }
+    }
+}
+
+impl Operator for ConfirmingHuman {
+    fn respond(&mut self, screen: &[String]) -> OperatorResponse {
+        self.prompts_seen += 1;
+        let screen_text: String = screen.join("\n");
+        let reading = self.model.reading_time(screen_text.trim());
+
+        if !self.intent.approve {
+            return self.reject(reading);
+        }
+        // The crucial human check: does the PAL's screen show what I meant
+        // to pay? (Skipped by inattentive humans with prob 1 - vigilance.)
+        let checks = self.rng.gen::<f64>() < self.vigilance;
+        if checks && !self.screen_matches_intent(screen) {
+            return self.reject(reading);
+        }
+        match Self::extract_code(screen) {
+            Some(code) => {
+                let typed = self.model.type_string(&code);
+                OperatorResponse {
+                    events: typed.events,
+                    elapsed: reading + typed.elapsed,
+                }
+            }
+            None => {
+                // Press-Enter mode.
+                let (key, delay) = self.model.press(KeyEvent::Enter);
+                OperatorResponse {
+                    events: vec![key],
+                    elapsed: reading + delay,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx() -> Transaction {
+        Transaction::new(1, "shop.example", 4_200, "EUR", "order")
+    }
+
+    fn screen_for(tx: &Transaction, code: Option<&str>) -> Vec<String> {
+        let mut s = vec![
+            "=== TRUSTED TRANSACTION CONFIRMATION ===".to_string(),
+            String::new(),
+            format!("Pay to : {}", tx.payee),
+            format!("Amount : {}", tx.display_amount()),
+            "Memo   : order".to_string(),
+            String::new(),
+        ];
+        match code {
+            Some(c) => s.push(format!("To {}{} then press ENTER.", CODE_MARKER, c)),
+            None => s.push("Press ENTER to approve this transaction.".to_string()),
+        }
+        s
+    }
+
+    #[test]
+    fn approves_matching_transaction_with_enter() {
+        let t = tx();
+        let mut h = ConfirmingHuman::new(Intent::approving(&t), 1);
+        let r = h.respond(&screen_for(&t, None));
+        assert_eq!(r.events, vec![KeyEvent::Enter]);
+        assert!(r.elapsed >= Duration::from_millis(500));
+    }
+
+    #[test]
+    fn types_displayed_code_when_asked() {
+        let t = tx();
+        // Perfect typist for determinism.
+        let cfg = HumanConfig {
+            error_rate: 0.0,
+            ..HumanConfig::default()
+        };
+        let mut h = ConfirmingHuman::with_config(Intent::approving(&t), 1.0, cfg, 2);
+        let r = h.respond(&screen_for(&t, Some("483920")));
+        let typed: String = r
+            .events
+            .iter()
+            .filter_map(|e| e.as_char())
+            .collect();
+        assert_eq!(typed, "483920");
+        assert_eq!(*r.events.last().unwrap(), KeyEvent::Enter);
+    }
+
+    #[test]
+    fn vigilant_human_rejects_tampered_payee() {
+        let intended = tx();
+        let mut tampered = tx();
+        tampered.payee = "attacker.example".into();
+        let mut h = ConfirmingHuman::new(Intent::approving(&intended), 3);
+        let r = h.respond(&screen_for(&tampered, None));
+        assert_eq!(r.events, vec![KeyEvent::Escape]);
+    }
+
+    #[test]
+    fn vigilant_human_rejects_tampered_amount() {
+        let intended = tx();
+        let mut tampered = tx();
+        tampered.amount_cents = 999_900;
+        let mut h = ConfirmingHuman::new(Intent::approving(&intended), 4);
+        let r = h.respond(&screen_for(&tampered, None));
+        assert_eq!(r.events, vec![KeyEvent::Escape]);
+    }
+
+    #[test]
+    fn careless_human_sometimes_approves_tampered_transaction() {
+        let intended = tx();
+        let mut tampered = tx();
+        tampered.payee = "attacker.example".into();
+        let mut approved = 0;
+        for seed in 0..200 {
+            let mut h = ConfirmingHuman::with_vigilance(Intent::approving(&intended), 0.5, seed);
+            let r = h.respond(&screen_for(&tampered, None));
+            if r.events == vec![KeyEvent::Enter] {
+                approved += 1;
+            }
+        }
+        // Roughly half slip through at vigilance 0.5.
+        assert!(approved > 50 && approved < 150, "approved {}", approved);
+    }
+
+    #[test]
+    fn uninvolved_human_rejects_everything() {
+        let t = tx();
+        let mut h = ConfirmingHuman::new(Intent::rejecting(), 5);
+        let r = h.respond(&screen_for(&t, None));
+        assert_eq!(r.events, vec![KeyEvent::Escape]);
+        let r = h.respond(&screen_for(&t, Some("111111")));
+        assert_eq!(r.events, vec![KeyEvent::Escape]);
+    }
+
+    #[test]
+    fn code_extraction_handles_absence_and_garbage() {
+        assert_eq!(ConfirmingHuman::extract_code(&[]), None);
+        assert_eq!(
+            ConfirmingHuman::extract_code(&[format!("To {}12ab56 x", CODE_MARKER)]),
+            None
+        );
+        assert_eq!(
+            ConfirmingHuman::extract_code(&[format!("To {}123456 then", CODE_MARKER)]),
+            Some("123456".into())
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Constant-time helpers for verifier code paths.
+
+/// Compares two byte slices in time dependent only on the lengths.
+///
+/// Returns `false` immediately if lengths differ (length is not secret in
+/// any UTP protocol message), otherwise accumulates a XOR difference over
+/// every byte before deciding.
+///
+/// # Example
+///
+/// ```
+/// use utp_crypto::ct::ct_eq;
+/// assert!(ct_eq(b"abc", b"abc"));
+/// assert!(!ct_eq(b"abc", b"abd"));
+/// assert!(!ct_eq(b"abc", b"ab"));
+/// ```
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// Constant-time conditional select: returns `a` if `choice` else `b`.
+#[must_use]
+pub fn ct_select(choice: bool, a: u8, b: u8) -> u8 {
+    let mask = (choice as u8).wrapping_neg();
+    (a & mask) | (b & !mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_on_equal() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+    }
+
+    #[test]
+    fn neq_on_single_bit_difference() {
+        for i in 0..8 {
+            let a = [0u8; 4];
+            let mut b = [0u8; 4];
+            b[2] = 1 << i;
+            assert!(!ct_eq(&a, &b));
+        }
+    }
+
+    #[test]
+    fn neq_on_length_mismatch() {
+        assert!(!ct_eq(b"a", b"ab"));
+    }
+
+    #[test]
+    fn select_behaves() {
+        assert_eq!(ct_select(true, 0xAA, 0x55), 0xAA);
+        assert_eq!(ct_select(false, 0xAA, 0x55), 0x55);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type shared by the crypto primitives.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by cryptographic operations in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A message is too long for the key / padding mode in use.
+    MessageTooLong {
+        /// Maximum number of bytes the operation accepts.
+        max: usize,
+        /// Actual number of bytes supplied.
+        got: usize,
+    },
+    /// A ciphertext or signature is not the same length as the modulus.
+    LengthMismatch {
+        /// Expected length in bytes.
+        expected: usize,
+        /// Actual length in bytes.
+        got: usize,
+    },
+    /// PKCS#1 padding failed to verify on decryption / verification.
+    BadPadding,
+    /// A signature failed verification.
+    BadSignature,
+    /// Key generation could not find suitable parameters.
+    KeyGeneration(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::MessageTooLong { max, got } => {
+                write!(f, "message too long: {} bytes exceeds maximum {}", got, max)
+            }
+            CryptoError::LengthMismatch { expected, got } => {
+                write!(f, "length mismatch: expected {} bytes, got {}", expected, got)
+            }
+            CryptoError::BadPadding => write!(f, "invalid PKCS#1 padding"),
+            CryptoError::BadSignature => write!(f, "signature verification failed"),
+            CryptoError::KeyGeneration(why) => write!(f, "key generation failed: {}", why),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let variants: Vec<CryptoError> = vec![
+            CryptoError::MessageTooLong { max: 10, got: 20 },
+            CryptoError::LengthMismatch { expected: 4, got: 2 },
+            CryptoError::BadPadding,
+            CryptoError::BadSignature,
+            CryptoError::KeyGeneration("no primes"),
+        ];
+        for v in variants {
+            let s = v.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: std::error::Error>(_e: E) {}
+        takes_error(CryptoError::BadPadding);
+    }
+}

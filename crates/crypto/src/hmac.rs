@@ -1,0 +1,172 @@
+//! HMAC (RFC 2104) over SHA-1 and SHA-256.
+//!
+//! The TPM 1.2 authorization protocol (OIAP/OSAP) proves knowledge of usage
+//! secrets with HMAC-SHA1; the UTP wire protocol uses HMAC-SHA256 for
+//! session binding.
+
+use crate::sha1::{Sha1, Sha1Digest};
+use crate::sha256::{Sha256, Sha256Digest};
+
+const BLOCK_LEN: usize = 64; // both SHA-1 and SHA-256 use 64-byte blocks
+
+fn pad_key_sha1(key: &[u8]) -> [u8; BLOCK_LEN] {
+    let mut padded = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let d = Sha1::digest(key);
+        padded[..20].copy_from_slice(d.as_bytes());
+    } else {
+        padded[..key.len()].copy_from_slice(key);
+    }
+    padded
+}
+
+fn pad_key_sha256(key: &[u8]) -> [u8; BLOCK_LEN] {
+    let mut padded = [0u8; BLOCK_LEN];
+    if key.len() > BLOCK_LEN {
+        let d = Sha256::digest(key);
+        padded[..32].copy_from_slice(d.as_bytes());
+    } else {
+        padded[..key.len()].copy_from_slice(key);
+    }
+    padded
+}
+
+/// HMAC-SHA1 of `data` under `key`.
+///
+/// # Example
+///
+/// ```
+/// use utp_crypto::hmac::hmac_sha1;
+/// // RFC 2202 test case 1
+/// let mac = hmac_sha1(&[0x0b; 20], b"Hi There");
+/// assert_eq!(mac.to_hex(), "b617318655057264e28bc0b6fb378c8ef146be00");
+/// ```
+pub fn hmac_sha1(key: &[u8], data: &[u8]) -> Sha1Digest {
+    let padded = pad_key_sha1(key);
+    let mut ipad = [0u8; BLOCK_LEN];
+    let mut opad = [0u8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] = padded[i] ^ 0x36;
+        opad[i] = padded[i] ^ 0x5c;
+    }
+    let inner = Sha1::digest_concat(&ipad, data);
+    Sha1::digest_concat(&opad, inner.as_bytes())
+}
+
+/// HMAC-SHA256 of `data` under `key`.
+///
+/// # Example
+///
+/// ```
+/// use utp_crypto::hmac::hmac_sha256;
+/// // RFC 4231 test case 1
+/// let mac = hmac_sha256(&[0x0b; 20], b"Hi There");
+/// assert_eq!(
+///     mac.to_hex(),
+///     "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+/// );
+/// ```
+pub fn hmac_sha256(key: &[u8], data: &[u8]) -> Sha256Digest {
+    let padded = pad_key_sha256(key);
+    let mut ipad = [0u8; BLOCK_LEN];
+    let mut opad = [0u8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] = padded[i] ^ 0x36;
+        opad[i] = padded[i] ^ 0x5c;
+    }
+    let inner = Sha256::digest_concat(&ipad, data);
+    Sha256::digest_concat(&opad, inner.as_bytes())
+}
+
+/// HMAC-SHA256 over the concatenation of several parts, avoiding an
+/// intermediate allocation at call sites that bind structured messages.
+pub fn hmac_sha256_parts(key: &[u8], parts: &[&[u8]]) -> Sha256Digest {
+    let padded = pad_key_sha256(key);
+    let mut ipad = [0u8; BLOCK_LEN];
+    let mut opad = [0u8; BLOCK_LEN];
+    for i in 0..BLOCK_LEN {
+        ipad[i] = padded[i] ^ 0x36;
+        opad[i] = padded[i] ^ 0x5c;
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    for p in parts {
+        inner.update(p);
+    }
+    let inner = inner.finalize();
+    Sha256::digest_concat(&opad, inner.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 2202 (HMAC-SHA1) vectors.
+    #[test]
+    fn rfc2202_case2() {
+        let mac = hmac_sha1(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(mac.to_hex(), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+    }
+
+    #[test]
+    fn rfc2202_case3() {
+        let mac = hmac_sha1(&[0xaa; 20], &[0xdd; 50]);
+        assert_eq!(mac.to_hex(), "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+    }
+
+    #[test]
+    fn rfc2202_long_key() {
+        // Case 6: 80-byte key (longer than block size).
+        let mac = hmac_sha1(
+            &[0xaa; 80],
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(mac.to_hex(), "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+    }
+
+    // RFC 4231 (HMAC-SHA256) vectors.
+    #[test]
+    fn rfc4231_case2() {
+        let mac = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            mac.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let mac = hmac_sha256(&[0xaa; 20], &[0xdd; 50]);
+        assert_eq!(
+            mac.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_long_key() {
+        // Case 6: 131-byte key.
+        let mac = hmac_sha256(
+            &[0xaa; 131],
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            mac.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn parts_equals_concat() {
+        let key = b"k";
+        let whole = hmac_sha256(key, b"abcdef");
+        let parts = hmac_sha256_parts(key, &[b"ab", b"cd", b"ef"]);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+        assert_ne!(hmac_sha1(b"k1", b"m"), hmac_sha1(b"k2", b"m"));
+    }
+}

@@ -1,0 +1,275 @@
+//! SHA-1 (FIPS 180-4). TPM 1.2 uses SHA-1 for PCRs, quotes and seals, so a
+//! faithful TPM model needs a real SHA-1 even though it is cryptographically
+//! broken for collision resistance today.
+
+use std::fmt;
+
+/// Length of a SHA-1 digest in bytes.
+pub const DIGEST_LEN: usize = 20;
+
+/// A 160-bit SHA-1 digest, the PCR word size of a TPM 1.2.
+///
+/// # Example
+///
+/// ```
+/// use utp_crypto::sha1::Sha1;
+/// let d = Sha1::digest(b"abc");
+/// assert_eq!(
+///     d.to_hex(),
+///     "a9993e364706816aba3e25717850c26c9cd0d89d"
+/// );
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Sha1Digest(pub [u8; DIGEST_LEN]);
+
+impl Sha1Digest {
+    /// The all-zero digest (a freshly reset PCR).
+    pub fn zero() -> Self {
+        Sha1Digest([0u8; DIGEST_LEN])
+    }
+
+    /// The all-ones digest (the reset value of unresettable dynamic PCRs,
+    /// and the "cap" value semantics used by DRTM).
+    pub fn ones() -> Self {
+        Sha1Digest([0xFFu8; DIGEST_LEN])
+    }
+
+    /// View as bytes.
+    pub fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
+        &self.0
+    }
+
+    /// Lowercase hex rendering.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{:02x}", b)).collect()
+    }
+
+    /// Parses a digest from raw bytes.
+    ///
+    /// Returns `None` unless exactly 20 bytes are supplied.
+    pub fn from_slice(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != DIGEST_LEN {
+            return None;
+        }
+        let mut d = [0u8; DIGEST_LEN];
+        d.copy_from_slice(bytes);
+        Some(Sha1Digest(d))
+    }
+}
+
+impl fmt::Debug for Sha1Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sha1({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Sha1Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Sha1Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Streaming SHA-1 context.
+#[derive(Clone, Debug)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a fresh context.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            buf: [0u8; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// One-shot digest of `data`.
+    pub fn digest(data: &[u8]) -> Sha1Digest {
+        let mut ctx = Sha1::new();
+        ctx.update(data);
+        ctx.finalize()
+    }
+
+    /// Digest of the concatenation of two byte strings — the TPM's
+    /// `PCR ← H(old || input)` extend operation uses this shape constantly.
+    pub fn digest_concat(a: &[u8], b: &[u8]) -> Sha1Digest {
+        let mut ctx = Sha1::new();
+        ctx.update(a);
+        ctx.update(b);
+        ctx.finalize()
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Produces the digest, consuming the context.
+    pub fn finalize(mut self) -> Sha1Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80, zeros, 64-bit big-endian length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0x00]);
+        }
+        // The length bytes must not be counted in total_len, but update()
+        // counts them; that is harmless because we read bit_len beforehand.
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Sha1Digest(out)
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999u32),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // FIPS 180-4 / RFC 3174 test vectors.
+    #[test]
+    fn fips_vector_empty() {
+        assert_eq!(
+            Sha1::digest(b"").to_hex(),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+    }
+
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(
+            Sha1::digest(b"abc").to_hex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+    }
+
+    #[test]
+    fn fips_vector_448_bits() {
+        assert_eq!(
+            Sha1::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn fips_vector_million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            Sha1::digest(&data).to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for chunk in [1usize, 3, 63, 64, 65, 127, 999] {
+            let mut ctx = Sha1::new();
+            for piece in data.chunks(chunk) {
+                ctx.update(piece);
+            }
+            assert_eq!(ctx.finalize(), Sha1::digest(&data), "chunk {}", chunk);
+        }
+    }
+
+    #[test]
+    fn digest_concat_equals_concat_digest() {
+        let a = b"hello ";
+        let b = b"world";
+        assert_eq!(Sha1::digest_concat(a, b), Sha1::digest(b"hello world"));
+    }
+
+    #[test]
+    fn from_slice_checks_length() {
+        assert!(Sha1Digest::from_slice(&[0u8; 20]).is_some());
+        assert!(Sha1Digest::from_slice(&[0u8; 19]).is_none());
+        assert!(Sha1Digest::from_slice(&[0u8; 21]).is_none());
+    }
+
+    #[test]
+    fn sentinel_values() {
+        assert_eq!(Sha1Digest::zero().as_bytes(), &[0u8; 20]);
+        assert_eq!(Sha1Digest::ones().as_bytes(), &[0xFFu8; 20]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the crypto substrate: algebraic laws for
+//! `BigUint`, digest/HMAC invariants, and RSA roundtrips.
+
+use proptest::prelude::*;
+use utp_crypto::bigint::BigUint;
+use utp_crypto::hmac::{hmac_sha1, hmac_sha256};
+use utp_crypto::rsa::RsaKeyPair;
+use utp_crypto::sha1::Sha1;
+use utp_crypto::sha256::Sha256;
+
+fn biguint_strategy() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 0..48).prop_map(|v| BigUint::from_be_bytes(&v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_associates(a in biguint_strategy(), b in biguint_strategy(), c in biguint_strategy()) {
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn add_then_sub_is_identity(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn mul_commutes(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(
+        a in biguint_strategy(), b in biguint_strategy(), c in biguint_strategy()
+    ) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert!(r < b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    fn byte_roundtrip(a in biguint_strategy()) {
+        prop_assert_eq!(BigUint::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two(a in biguint_strategy(), s in 0usize..96) {
+        let two_s = BigUint::one().shl(s);
+        prop_assert_eq!(a.shl(s), a.mul(&two_s));
+    }
+
+    #[test]
+    fn mod_pow_add_law(a in biguint_strategy(), x in 0u64..64, y in 0u64..64) {
+        // a^(x+y) == a^x * a^y (mod m)
+        let m = BigUint::from_u64(1_000_000_007);
+        let ax = a.mod_pow(&BigUint::from_u64(x), &m);
+        let ay = a.mod_pow(&BigUint::from_u64(y), &m);
+        let axy = a.mod_pow(&BigUint::from_u64(x + y), &m);
+        prop_assert_eq!(axy, ax.mod_mul(&ay, &m));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in biguint_strategy(), b in biguint_strategy()) {
+        prop_assume!(!a.is_zero() && !b.is_zero());
+        let g = a.gcd(&b);
+        prop_assert!(a.rem(&g).is_zero());
+        prop_assert!(b.rem(&g).is_zero());
+    }
+
+    #[test]
+    fn sha1_is_deterministic_and_sensitive(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let d1 = Sha1::digest(&data);
+        let d2 = Sha1::digest(&data);
+        prop_assert_eq!(d1, d2);
+        let mut flipped = data.clone();
+        if !flipped.is_empty() {
+            flipped[0] ^= 1;
+            prop_assert_ne!(Sha1::digest(&flipped), d1);
+        }
+    }
+
+    #[test]
+    fn sha256_streaming_split_invariant(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in 0usize..512
+    ) {
+        let split = split.min(data.len());
+        let mut ctx = Sha256::new();
+        ctx.update(&data[..split]);
+        ctx.update(&data[split..]);
+        prop_assert_eq!(ctx.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn hmac_key_separation(
+        k1 in proptest::collection::vec(any::<u8>(), 1..64),
+        k2 in proptest::collection::vec(any::<u8>(), 1..64),
+        msg in proptest::collection::vec(any::<u8>(), 0..128)
+    ) {
+        prop_assume!(k1 != k2);
+        prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
+        prop_assert_ne!(hmac_sha1(&k1, &msg), hmac_sha1(&k2, &msg));
+    }
+}
+
+proptest! {
+    // RSA cases are expensive; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn rsa_sign_verify_any_message(msg in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let kp = RsaKeyPair::generate(512, 99);
+        let sig = kp.sign_pkcs1_sha256(&msg);
+        prop_assert!(kp.public().verify_pkcs1_sha256(&msg, &sig));
+        let mut other = msg.clone();
+        other.push(0);
+        prop_assert!(!kp.public().verify_pkcs1_sha256(&other, &sig));
+    }
+
+    #[test]
+    fn rsa_encrypt_decrypt_any_short_message(
+        msg in proptest::collection::vec(any::<u8>(), 0..53),
+        seed in any::<u64>()
+    ) {
+        use rand::SeedableRng;
+        let kp = RsaKeyPair::generate(512, 100);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let ct = kp.public().encrypt_pkcs1(&mut rng, &msg).unwrap();
+        prop_assert_eq!(kp.decrypt_pkcs1(&ct).unwrap(), msg);
+    }
+}

@@ -1,0 +1,410 @@
+//! Verifier-side reconstruction of attested sessions.
+//!
+//! A remote verifier never sees the machine — only a [`Quote`]. These
+//! helpers recompute what PCR 17 *must* contain if (and only if) the
+//! claimed PAL really ran with the claimed input/output, which is the
+//! entire verification logic the service provider applies.
+
+use utp_crypto::sha1::{Sha1, Sha1Digest};
+use utp_tpm::pcr::PcrSelection;
+use utp_tpm::quote::Quote;
+use utp_crypto::rsa::RsaPublicKey;
+
+/// PCR 17 immediately after a DRTM launch of a PAL with measurement `m`:
+/// `H( 0^20 || m )`.
+pub fn pcr17_after_launch(pal_measurement: &Sha1Digest) -> Sha1Digest {
+    Sha1::digest_concat(Sha1Digest::zero().as_bytes(), pal_measurement.as_bytes())
+}
+
+/// PCR 17 after the runtime binds the session I/O:
+/// `H( H(0^20 || m) || io_digest )`.
+pub fn expected_pcr17(pal_measurement: &Sha1Digest, io_digest: &Sha1Digest) -> Sha1Digest {
+    Sha1::digest_concat(
+        pcr17_after_launch(pal_measurement).as_bytes(),
+        io_digest.as_bytes(),
+    )
+}
+
+/// Why verification failed (useful for metrics and the attack harness;
+/// callers that only need a bool can use [`verify_attested_session`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttestationFailure {
+    /// The quote does not cover exactly PCR 17.
+    WrongSelection,
+    /// The quoted PCR 17 value does not match the expected PAL + I/O chain.
+    WrongPcrValue,
+    /// The signature or nonce check failed.
+    BadQuote,
+}
+
+/// Full check: selection, PCR-17 chain, signature, nonce.
+///
+/// # Errors
+///
+/// Returns the first [`AttestationFailure`] encountered.
+pub fn check_attested_session(
+    aik: &RsaPublicKey,
+    nonce: &Sha1Digest,
+    pal_measurement: &Sha1Digest,
+    io_digest: &Sha1Digest,
+    quote: &Quote,
+) -> Result<(), AttestationFailure> {
+    if quote.selection != PcrSelection::drtm_only() || quote.pcr_values.len() != 1 {
+        return Err(AttestationFailure::WrongSelection);
+    }
+    let expected = expected_pcr17(pal_measurement, io_digest);
+    if quote.pcr_values[0] != expected {
+        return Err(AttestationFailure::WrongPcrValue);
+    }
+    if !quote.verify(aik, nonce) {
+        return Err(AttestationFailure::BadQuote);
+    }
+    Ok(())
+}
+
+/// Expected PCR values after a TXT (`GETSEC[SENTER]`) session:
+/// PCR 17 = `H(0^20 ∥ sinit)` (the ACM), PCR 18 = `H(H(0^20 ∥ mle) ∥ io)`
+/// (the MLE with the session I/O bound in).
+pub fn expected_txt_pcrs(
+    sinit_measurement: &Sha1Digest,
+    pal_measurement: &Sha1Digest,
+    io_digest: &Sha1Digest,
+) -> (Sha1Digest, Sha1Digest) {
+    let pcr17 = Sha1::digest_concat(Sha1Digest::zero().as_bytes(), sinit_measurement.as_bytes());
+    let pcr18_base =
+        Sha1::digest_concat(Sha1Digest::zero().as_bytes(), pal_measurement.as_bytes());
+    let pcr18 = Sha1::digest_concat(pcr18_base.as_bytes(), io_digest.as_bytes());
+    (pcr17, pcr18)
+}
+
+/// The PCR selection a TXT session quote must cover: {17, 18}.
+pub fn txt_selection() -> PcrSelection {
+    PcrSelection::of(&[
+        utp_tpm::pcr::PcrIndex::drtm(),
+        utp_tpm::pcr::PcrIndex::new(utp_platform_txt_mle_pcr()).expect("PCR 18 valid"),
+    ])
+}
+
+// Avoid a dependency cycle: mirror the platform's TXT MLE PCR constant.
+const fn utp_platform_txt_mle_pcr() -> u32 {
+    18
+}
+
+/// Full TXT check: selection {17,18}, both PCR chains, signature, nonce.
+/// The verifier pins *both* the SINIT ACM measurement (Intel-published)
+/// and the PAL measurement.
+///
+/// # Errors
+///
+/// Returns the first [`AttestationFailure`] encountered.
+pub fn check_attested_session_txt(
+    aik: &RsaPublicKey,
+    nonce: &Sha1Digest,
+    sinit_measurement: &Sha1Digest,
+    pal_measurement: &Sha1Digest,
+    io_digest: &Sha1Digest,
+    quote: &Quote,
+) -> Result<(), AttestationFailure> {
+    if quote.selection != txt_selection() || quote.pcr_values.len() != 2 {
+        return Err(AttestationFailure::WrongSelection);
+    }
+    let (pcr17, pcr18) = expected_txt_pcrs(sinit_measurement, pal_measurement, io_digest);
+    // Quote values are in ascending PCR order: [17, 18].
+    if quote.pcr_values[0] != pcr17 || quote.pcr_values[1] != pcr18 {
+        return Err(AttestationFailure::WrongPcrValue);
+    }
+    if !quote.verify(aik, nonce) {
+        return Err(AttestationFailure::BadQuote);
+    }
+    Ok(())
+}
+
+/// Boolean convenience wrapper around [`check_attested_session`].
+#[must_use]
+pub fn verify_attested_session(
+    aik: &RsaPublicKey,
+    nonce: &Sha1Digest,
+    pal_measurement: &Sha1Digest,
+    io_digest: &Sha1Digest,
+    quote: &Quote,
+) -> bool {
+    check_attested_session(aik, nonce, pal_measurement, io_digest, quote).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pal::{Pal, PalEnv, PalError, ScriptedOperator};
+    use crate::runtime::{run_pal, AttestSpec};
+    use utp_platform::machine::{Machine, MachineConfig};
+
+    struct Echo;
+    impl Pal for Echo {
+        fn image(&self) -> &[u8] {
+            b"echo"
+        }
+        fn invoke(&mut self, _env: &mut PalEnv<'_, '_>, input: &[u8]) -> Result<Vec<u8>, PalError> {
+            Ok(input.to_vec())
+        }
+    }
+
+    fn attested_report() -> (Machine, utp_crypto::rsa::RsaPublicKey, Sha1Digest, crate::runtime::SessionReport) {
+        let mut m = Machine::new(MachineConfig::fast_for_tests(31));
+        let aik = m.tpm_provision().make_identity();
+        let nonce = Sha1::digest(b"nonce-e2e");
+        let mut op = ScriptedOperator::silent();
+        let report = run_pal(
+            &mut m,
+            &mut Echo,
+            b"transaction",
+            &mut op,
+            Some(AttestSpec {
+                aik_handle: aik,
+                nonce,
+                selection: PcrSelection::drtm_only(),
+            }),
+        )
+        .unwrap();
+        let pk = m.tpm().read_pubkey(aik).unwrap();
+        (m, pk, nonce, report)
+    }
+
+    #[test]
+    fn genuine_session_verifies() {
+        let (_m, pk, nonce, report) = attested_report();
+        let quote = report.quote.as_ref().unwrap();
+        assert_eq!(
+            check_attested_session(&pk, &nonce, &report.measurement, &report.io_digest, quote),
+            Ok(())
+        );
+        assert!(verify_attested_session(
+            &pk,
+            &nonce,
+            &report.measurement,
+            &report.io_digest,
+            quote
+        ));
+    }
+
+    #[test]
+    fn wrong_pal_measurement_rejected() {
+        let (_m, pk, nonce, report) = attested_report();
+        let quote = report.quote.as_ref().unwrap();
+        let fake_measurement = Sha1::digest(b"malicious pal");
+        assert_eq!(
+            check_attested_session(&pk, &nonce, &fake_measurement, &report.io_digest, quote),
+            Err(AttestationFailure::WrongPcrValue)
+        );
+    }
+
+    #[test]
+    fn wrong_io_rejected() {
+        let (_m, pk, nonce, report) = attested_report();
+        let quote = report.quote.as_ref().unwrap();
+        let forged_io = crate::runtime::io_digest(b"transaction", b"FORGED OUTPUT");
+        assert_eq!(
+            check_attested_session(&pk, &nonce, &report.measurement, &forged_io, quote),
+            Err(AttestationFailure::WrongPcrValue)
+        );
+    }
+
+    #[test]
+    fn wrong_nonce_rejected() {
+        let (_m, pk, _nonce, report) = attested_report();
+        let quote = report.quote.as_ref().unwrap();
+        let stale = Sha1::digest(b"previous nonce");
+        assert_eq!(
+            check_attested_session(&pk, &stale, &report.measurement, &report.io_digest, quote),
+            Err(AttestationFailure::BadQuote)
+        );
+    }
+
+    #[test]
+    fn wrong_selection_rejected() {
+        let (_m, pk, nonce, report) = attested_report();
+        let mut quote = report.quote.clone().unwrap();
+        quote
+            .selection
+            .insert(utp_tpm::pcr::PcrIndex::new(0).unwrap());
+        assert_eq!(
+            check_attested_session(&pk, &nonce, &report.measurement, &report.io_digest, &quote),
+            Err(AttestationFailure::WrongSelection)
+        );
+    }
+
+    #[test]
+    fn chain_helpers_compose() {
+        let m = Sha1::digest(b"pal");
+        let io = Sha1::digest(b"io");
+        let p1 = pcr17_after_launch(&m);
+        assert_eq!(
+            expected_pcr17(&m, &io),
+            Sha1::digest_concat(p1.as_bytes(), io.as_bytes())
+        );
+    }
+}
+
+#[cfg(test)]
+mod txt_tests {
+    use super::*;
+    use crate::pal::{Pal, PalEnv, PalError, ScriptedOperator};
+    use crate::runtime::{run_pal_with_launch, AttestSpec, Launch};
+    use utp_platform::machine::{LaunchInfo, Machine, MachineConfig};
+
+    struct Echo;
+    impl Pal for Echo {
+        fn image(&self) -> &[u8] {
+            b"echo-mle"
+        }
+        fn invoke(&mut self, _env: &mut PalEnv<'_, '_>, input: &[u8]) -> Result<Vec<u8>, PalError> {
+            Ok(input.to_vec())
+        }
+    }
+
+    const SINIT: &[u8] = b"intel sinit acm v2.1";
+
+    fn txt_report() -> (
+        utp_crypto::rsa::RsaPublicKey,
+        Sha1Digest,
+        crate::runtime::SessionReport,
+    ) {
+        let mut m = Machine::new(MachineConfig::fast_for_tests(55));
+        let aik = m.tpm_provision().make_identity();
+        let nonce = Sha1::digest(b"txt nonce");
+        let mut op = ScriptedOperator::silent();
+        let report = run_pal_with_launch(
+            &mut m,
+            Launch::Senter {
+                sinit: SINIT.to_vec(),
+            },
+            &mut Echo,
+            b"txn input",
+            &mut op,
+            Some(AttestSpec {
+                aik_handle: aik,
+                nonce,
+                selection: txt_selection(),
+            }),
+        )
+        .unwrap();
+        let pk = m.tpm().read_pubkey(aik).unwrap();
+        (pk, nonce, report)
+    }
+
+    #[test]
+    fn genuine_txt_session_verifies() {
+        let (pk, nonce, report) = txt_report();
+        assert!(matches!(report.launch, LaunchInfo::Senter { .. }));
+        assert_eq!(report.measurement, Sha1::digest(b"echo-mle"));
+        let quote = report.quote.as_ref().unwrap();
+        check_attested_session_txt(
+            &pk,
+            &nonce,
+            &Sha1::digest(SINIT),
+            &report.measurement,
+            &report.io_digest,
+            quote,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn wrong_sinit_rejected() {
+        let (pk, nonce, report) = txt_report();
+        let quote = report.quote.as_ref().unwrap();
+        assert_eq!(
+            check_attested_session_txt(
+                &pk,
+                &nonce,
+                &Sha1::digest(b"rogue sinit"),
+                &report.measurement,
+                &report.io_digest,
+                quote,
+            ),
+            Err(AttestationFailure::WrongPcrValue)
+        );
+    }
+
+    #[test]
+    fn wrong_mle_rejected() {
+        let (pk, nonce, report) = txt_report();
+        let quote = report.quote.as_ref().unwrap();
+        assert_eq!(
+            check_attested_session_txt(
+                &pk,
+                &nonce,
+                &Sha1::digest(SINIT),
+                &Sha1::digest(b"evil mle"),
+                &report.io_digest,
+                quote,
+            ),
+            Err(AttestationFailure::WrongPcrValue)
+        );
+    }
+
+    #[test]
+    fn skinit_quote_does_not_pass_txt_check_and_vice_versa() {
+        // A quote from an AMD-style session covers only PCR 17; the TXT
+        // checker requires {17,18}, so cross-platform confusion fails
+        // closed on selection.
+        let mut m = Machine::new(MachineConfig::fast_for_tests(56));
+        let aik = m.tpm_provision().make_identity();
+        let nonce = Sha1::digest(b"n");
+        let mut op = ScriptedOperator::silent();
+        let report = crate::runtime::run_pal(
+            &mut m,
+            &mut Echo,
+            b"in",
+            &mut op,
+            Some(AttestSpec {
+                aik_handle: aik,
+                nonce,
+                selection: PcrSelection::drtm_only(),
+            }),
+        )
+        .unwrap();
+        let pk = m.tpm().read_pubkey(aik).unwrap();
+        let quote = report.quote.as_ref().unwrap();
+        assert_eq!(
+            check_attested_session_txt(
+                &pk,
+                &nonce,
+                &Sha1::digest(SINIT),
+                &report.measurement,
+                &report.io_digest,
+                quote,
+            ),
+            Err(AttestationFailure::WrongSelection)
+        );
+        // And the TXT quote fails the SKINIT checker the same way.
+        let (pk2, nonce2, txt) = txt_report();
+        assert_eq!(
+            check_attested_session(
+                &pk2,
+                &nonce2,
+                &txt.measurement,
+                &txt.io_digest,
+                txt.quote.as_ref().unwrap(),
+            ),
+            Err(AttestationFailure::WrongSelection)
+        );
+    }
+
+    #[test]
+    fn txt_io_binding_is_enforced() {
+        let (pk, nonce, report) = txt_report();
+        let quote = report.quote.as_ref().unwrap();
+        let forged_io = crate::runtime::io_digest(b"txn input", b"FORGED");
+        assert_eq!(
+            check_attested_session_txt(
+                &pk,
+                &nonce,
+                &Sha1::digest(SINIT),
+                &report.measurement,
+                &forged_io,
+                quote,
+            ),
+            Err(AttestationFailure::WrongPcrValue)
+        );
+    }
+}

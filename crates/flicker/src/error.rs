@@ -1,0 +1,70 @@
+//! Flicker runtime errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from running a PAL session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlickerError {
+    /// The platform refused the late launch.
+    Platform(utp_platform::PlatformError),
+    /// The TPM failed during the session.
+    Tpm(utp_tpm::TpmError),
+    /// The PAL itself reported an error.
+    Pal(String),
+    /// The PAL exceeded its interaction budget (runaway prompt loop).
+    InteractionBudgetExhausted,
+    /// Marshaling of PAL inputs/outputs failed.
+    Marshal(String),
+}
+
+impl fmt::Display for FlickerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlickerError::Platform(e) => write!(f, "platform error: {}", e),
+            FlickerError::Tpm(e) => write!(f, "tpm error: {}", e),
+            FlickerError::Pal(why) => write!(f, "pal failed: {}", why),
+            FlickerError::InteractionBudgetExhausted => {
+                write!(f, "pal exceeded its interaction budget")
+            }
+            FlickerError::Marshal(why) => write!(f, "marshaling failed: {}", why),
+        }
+    }
+}
+
+impl Error for FlickerError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlickerError::Platform(e) => Some(e),
+            FlickerError::Tpm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<utp_platform::PlatformError> for FlickerError {
+    fn from(e: utp_platform::PlatformError) -> Self {
+        FlickerError::Platform(e)
+    }
+}
+
+impl From<utp_tpm::TpmError> for FlickerError {
+    fn from(e: utp_tpm::TpmError) -> Self {
+        FlickerError::Tpm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_are_preserved() {
+        let e = FlickerError::from(utp_tpm::TpmError::NotStarted);
+        assert!(std::error::Error::source(&e).is_some());
+        let e = FlickerError::Pal("oops".into());
+        assert!(std::error::Error::source(&e).is_none());
+        assert!(e.to_string().contains("oops"));
+    }
+}

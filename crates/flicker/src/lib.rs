@@ -1,0 +1,61 @@
+//! Flicker-style isolated execution sessions.
+//!
+//! The paper builds its trusted path on McCune et al.'s *Flicker*: a tiny
+//! Piece of Application Logic (**PAL**) runs with the OS suspended, inside
+//! the protections of a DRTM late launch, and the TPM's dynamic PCR 17
+//! records exactly what ran. This crate provides:
+//!
+//! * [`pal`] — the [`pal::Pal`] trait, the restricted environment a PAL
+//!   executes in ([`pal::PalEnv`]), and the [`pal::Operator`] hook through
+//!   which the (simulated) human answers the PAL's prompts;
+//! * [`runtime`] — the session executor: SKINIT, run the PAL, bind its
+//!   input/output into PCR 17, optionally quote, resume the OS, and report
+//!   a per-phase timing breakdown (the paper's session latency table);
+//! * [`state`] — rollback-protected sealed storage for PAL state across
+//!   sessions (sealed blob + TPM monotonic counter);
+//! * [`attestation`] — verifier-side reconstruction of the expected PCR 17
+//!   value from a PAL measurement and an I/O digest;
+//! * [`marshal`] — length-prefixed encoding helpers shared by PAL
+//!   input/output structures.
+//!
+//! # Example
+//!
+//! ```
+//! use utp_flicker::pal::{Pal, PalEnv, PalError, ScriptedOperator};
+//! use utp_flicker::runtime::{run_pal, AttestSpec};
+//! use utp_platform::machine::{Machine, MachineConfig};
+//! use utp_tpm::pcr::PcrSelection;
+//!
+//! struct Echo;
+//! impl Pal for Echo {
+//!     fn image(&self) -> &[u8] { b"echo-pal-v1" }
+//!     fn invoke(&mut self, _env: &mut PalEnv<'_, '_>, input: &[u8])
+//!         -> Result<Vec<u8>, PalError> { Ok(input.to_vec()) }
+//! }
+//!
+//! let mut machine = Machine::new(MachineConfig::fast_for_tests(1));
+//! let aik = machine.tpm_provision().make_identity();
+//! let nonce = utp_crypto::sha1::Sha1::digest(b"server nonce");
+//! let mut op = ScriptedOperator::silent();
+//! let report = run_pal(
+//!     &mut machine,
+//!     &mut Echo,
+//!     b"hello",
+//!     &mut op,
+//!     Some(AttestSpec { aik_handle: aik, nonce, selection: PcrSelection::drtm_only() }),
+//! ).unwrap();
+//! assert_eq!(report.output, b"hello");
+//! assert!(report.quote.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attestation;
+pub mod error;
+pub mod marshal;
+pub mod pal;
+pub mod runtime;
+pub mod state;
+
+pub use error::FlickerError;

@@ -1,0 +1,130 @@
+//! Length-prefixed encoding helpers for PAL and protocol structures.
+//!
+//! PALs exchange inputs/outputs as flat byte strings (the real Flicker
+//! copies them through a reserved physical-memory window), so every
+//! structured message in this stack bottoms out in these helpers.
+
+use crate::error::FlickerError;
+
+/// Appends `data` with a `u32` big-endian length prefix.
+pub fn put_bytes(buf: &mut Vec<u8>, data: &[u8]) {
+    buf.extend_from_slice(&(data.len() as u32).to_be_bytes());
+    buf.extend_from_slice(data);
+}
+
+/// Appends a `u32` big-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Appends a `u64` big-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// A cursor over a marshaled buffer.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader at offset zero.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], FlickerError> {
+        if self.remaining() < n {
+            return Err(FlickerError::Marshal(format!(
+                "need {} bytes, {} remain",
+                n,
+                self.remaining()
+            )));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a `u32` big-endian.
+    pub fn u32(&mut self) -> Result<u32, FlickerError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` big-endian.
+    pub fn u64(&mut self) -> Result<u64, FlickerError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], FlickerError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Asserts the buffer is fully consumed (rejects trailing garbage).
+    pub fn finish(self) -> Result<(), FlickerError> {
+        if self.remaining() != 0 {
+            return Err(FlickerError::Marshal(format!(
+                "{} trailing bytes",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_fields() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_bytes(&mut buf, b"payload");
+        put_u64(&mut buf, u64::MAX);
+        put_bytes(&mut buf, b"");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.bytes().unwrap(), b"payload");
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(r.bytes().unwrap(), b"");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut buf = Vec::new();
+        put_bytes(&mut buf, b"abcdef");
+        let mut r = Reader::new(&buf[..buf.len() - 1]);
+        assert!(r.bytes().is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_detected() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 1);
+        buf.push(0xFF);
+        let mut r = Reader::new(&buf);
+        r.u32().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn length_prefix_lies_are_detected() {
+        // Prefix claims 100 bytes but only 3 follow.
+        let mut buf = 100u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"abc");
+        let mut r = Reader::new(&buf);
+        assert!(r.bytes().is_err());
+    }
+}

@@ -1,0 +1,399 @@
+//! The PAL abstraction and its execution environment.
+
+use crate::error::FlickerError;
+use std::fmt;
+use std::time::Duration;
+use utp_crypto::sha1::Sha1Digest;
+use utp_platform::keyboard::KeyEvent;
+use utp_platform::machine::SecureSession;
+use utp_tpm::pcr::{PcrIndex, PcrSelection};
+use utp_tpm::seal::SealedBlob;
+use utp_tpm::TpmError;
+
+/// Maximum number of prompts a PAL may issue in one session — a runaway
+/// prompt loop would otherwise hang the suspended machine forever.
+pub const INTERACTION_BUDGET: usize = 16;
+
+/// Errors a PAL can report from [`Pal::invoke`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PalError {
+    /// The PAL hit an internal failure (bad input, TPM refusal, ...).
+    Failed(String),
+    /// The operator did not complete the interaction (timeout / walk-away).
+    InputUnavailable,
+}
+
+impl fmt::Display for PalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PalError::Failed(why) => write!(f, "pal failure: {}", why),
+            PalError::InputUnavailable => write!(f, "operator input unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for PalError {}
+
+impl From<TpmError> for PalError {
+    fn from(e: TpmError) -> Self {
+        PalError::Failed(e.to_string())
+    }
+}
+
+/// A Piece of Application Logic.
+///
+/// `image()` is the exact byte string SKINIT measures into PCR 17 — the
+/// PAL's identity as far as remote verifiers are concerned. `invoke()` is
+/// its behaviour inside the session. In the real system these are the same
+/// bytes; the simulation keeps them adjacent and the runtime treats the
+/// image as the identity, so "same logic, different image" is a *different
+/// PAL*, exactly as on hardware.
+pub trait Pal {
+    /// The measured SLB image.
+    fn image(&self) -> &[u8];
+
+    /// Runs the PAL inside a live session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PalError`] on internal failure; the runtime converts it
+    /// into [`FlickerError::Pal`] and still resumes the OS cleanly.
+    fn invoke(&mut self, env: &mut PalEnv<'_, '_>, input: &[u8]) -> Result<Vec<u8>, PalError>;
+}
+
+/// How a prompt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// The operator pressed Enter.
+    Enter,
+    /// The operator pressed Escape (explicit rejection).
+    Escape,
+    /// The operator stopped responding.
+    Timeout,
+}
+
+/// The operator's answer to one prompt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromptResult {
+    /// The line as reconstructed from key events (backspaces applied).
+    pub text: String,
+    /// How the prompt terminated.
+    pub termination: Termination,
+}
+
+/// The party at the physical keyboard during a session.
+///
+/// Experiments plug in a `HumanModel`-driven operator; the attack harness
+/// plugs in adversarial operators (who, notably, can only act through
+/// *hardware* key events — software injection is blocked by the platform).
+pub trait Operator {
+    /// Reacts to the current screen with key events and the wall-clock
+    /// time the reaction took.
+    fn respond(&mut self, screen: &[String]) -> OperatorResponse;
+}
+
+/// Key events plus elapsed time for one operator reaction.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OperatorResponse {
+    /// Events in press order.
+    pub events: Vec<KeyEvent>,
+    /// Time the operator took to produce them.
+    pub elapsed: Duration,
+}
+
+/// An operator replaying a fixed script of responses; yields empty
+/// responses when the script runs out.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedOperator {
+    script: Vec<OperatorResponse>,
+    cursor: usize,
+    /// Screens observed at each prompt (for assertions).
+    pub observed_screens: Vec<Vec<String>>,
+}
+
+impl ScriptedOperator {
+    /// An operator that never responds (for non-interactive PALs).
+    pub fn silent() -> Self {
+        ScriptedOperator::default()
+    }
+
+    /// An operator that plays the given responses in order.
+    pub fn with_script(script: Vec<OperatorResponse>) -> Self {
+        ScriptedOperator {
+            script,
+            cursor: 0,
+            observed_screens: Vec::new(),
+        }
+    }
+
+    /// Convenience: one response that types `text` then Enter, instantly.
+    pub fn typing(text: &str) -> Self {
+        let mut events: Vec<KeyEvent> = text.chars().map(KeyEvent::Char).collect();
+        events.push(KeyEvent::Enter);
+        Self::with_script(vec![OperatorResponse {
+            events,
+            elapsed: Duration::ZERO,
+        }])
+    }
+
+    /// Convenience: one response that presses a single key, instantly.
+    pub fn pressing(key: KeyEvent) -> Self {
+        Self::with_script(vec![OperatorResponse {
+            events: vec![key],
+            elapsed: Duration::ZERO,
+        }])
+    }
+}
+
+impl Operator for ScriptedOperator {
+    fn respond(&mut self, screen: &[String]) -> OperatorResponse {
+        self.observed_screens.push(screen.to_vec());
+        let r = self.script.get(self.cursor).cloned().unwrap_or_default();
+        self.cursor += 1;
+        r
+    }
+}
+
+/// The restricted environment a PAL executes in: the secure session's
+/// devices and locality-2 TPM, plus the operator hook. Tracks how much of
+/// the session went to human interaction (for the timing breakdown).
+pub struct PalEnv<'s, 'm> {
+    session: &'s mut SecureSession<'m>,
+    operator: &'s mut dyn Operator,
+    human_time: Duration,
+    prompts_used: usize,
+}
+
+impl<'s, 'm> PalEnv<'s, 'm> {
+    /// Wraps a live session and operator.
+    pub fn new(session: &'s mut SecureSession<'m>, operator: &'s mut dyn Operator) -> Self {
+        PalEnv {
+            session,
+            operator,
+            human_time: Duration::ZERO,
+            prompts_used: 0,
+        }
+    }
+
+    /// The PAL's own measurement (as the TPM recorded it).
+    pub fn measurement(&self) -> Sha1Digest {
+        self.session.measurement()
+    }
+
+    /// Time spent waiting on the operator so far.
+    pub fn human_time(&self) -> Duration {
+        self.human_time
+    }
+
+    /// Prompts issued so far.
+    pub fn prompts_used(&self) -> usize {
+        self.prompts_used
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Duration {
+        self.session.now()
+    }
+
+    /// Models PAL compute time (hashing, parsing) advancing the clock.
+    pub fn compute(&mut self, d: Duration) {
+        self.session.advance(d);
+    }
+
+    /// Writes a line on the PAL-owned display.
+    pub fn show(&mut self, row: usize, text: &str) -> Result<(), PalError> {
+        self.session
+            .show(row, 0, text)
+            .map_err(|e| PalError::Failed(e.to_string()))
+    }
+
+    /// Clears a display row (overwrites with spaces).
+    pub fn clear_row(&mut self, row: usize) -> Result<(), PalError> {
+        self.session
+            .show(row, 0, &" ".repeat(utp_platform::display::COLS))
+            .map_err(|e| PalError::Failed(e.to_string()))
+    }
+
+    /// The screen as the human sees it.
+    pub fn screen(&self) -> Vec<String> {
+        self.session.screen()
+    }
+
+    /// Prompts the operator and collects one line of input through the
+    /// isolated keyboard.
+    ///
+    /// # Errors
+    ///
+    /// [`PalError::InputUnavailable`] once [`INTERACTION_BUDGET`] prompts
+    /// have been issued.
+    pub fn prompt_line(&mut self) -> Result<PromptResult, PalError> {
+        if self.prompts_used >= INTERACTION_BUDGET {
+            return Err(PalError::InputUnavailable);
+        }
+        self.prompts_used += 1;
+        let screen = self.session.screen();
+        let response = self.operator.respond(&screen);
+        self.human_time += response.elapsed;
+        self.session.advance(response.elapsed);
+        // Deliver through the hardware path: the keyboard model is what
+        // guarantees malware couldn't have put events here.
+        for ev in response.events {
+            self.session.hardware_key(ev);
+        }
+        let mut text = String::new();
+        let mut termination = Termination::Timeout;
+        while let Some(q) = self.session.read_key() {
+            match q.event {
+                KeyEvent::Char(c) => text.push(c),
+                KeyEvent::Backspace => {
+                    text.pop();
+                }
+                KeyEvent::Enter => {
+                    termination = Termination::Enter;
+                    break;
+                }
+                KeyEvent::Escape => {
+                    termination = Termination::Escape;
+                    break;
+                }
+            }
+        }
+        Ok(PromptResult { text, termination })
+    }
+
+    // ----- TPM (locality 2) ------------------------------------------------
+
+    /// TPM randomness.
+    pub fn get_random(&mut self, len: usize) -> Result<Vec<u8>, PalError> {
+        Ok(self.session.get_random(len)?)
+    }
+
+    /// Extends a PCR with a measurement.
+    pub fn extend(&mut self, pcr: PcrIndex, value: &Sha1Digest) -> Result<Sha1Digest, PalError> {
+        Ok(self.session.extend(pcr, value)?)
+    }
+
+    /// Reads a PCR.
+    pub fn pcr_read(&mut self, pcr: PcrIndex) -> Result<Sha1Digest, PalError> {
+        Ok(self.session.pcr_read(pcr)?)
+    }
+
+    /// Seals `payload` to the current PCR values.
+    pub fn seal_to_current(
+        &mut self,
+        key_handle: u32,
+        selection: PcrSelection,
+        payload: &[u8],
+    ) -> Result<SealedBlob, PalError> {
+        Ok(self.session.seal_to_current(key_handle, selection, payload)?)
+    }
+
+    /// Unseals a blob under this session's PCR state.
+    pub fn unseal(&mut self, key_handle: u32, blob: &SealedBlob) -> Result<Vec<u8>, PalError> {
+        Ok(self.session.unseal(key_handle, blob)?)
+    }
+
+    /// Increments a monotonic counter.
+    pub fn increment_counter(&mut self, handle: u32) -> Result<u64, PalError> {
+        Ok(self.session.increment_counter(handle)?)
+    }
+
+    /// Reads a monotonic counter.
+    pub fn read_counter(&mut self, handle: u32) -> Result<u64, PalError> {
+        Ok(self.session.read_counter(handle)?)
+    }
+}
+
+impl fmt::Debug for PalEnv<'_, '_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PalEnv")
+            .field("human_time", &self.human_time)
+            .field("prompts_used", &self.prompts_used)
+            .finish()
+    }
+}
+
+/// Converts a [`PalError`] into the runtime's error space.
+impl From<PalError> for FlickerError {
+    fn from(e: PalError) -> Self {
+        FlickerError::Pal(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utp_platform::machine::{Machine, MachineConfig};
+
+    #[test]
+    fn scripted_operator_replays_then_goes_silent() {
+        let mut op = ScriptedOperator::typing("42");
+        let r1 = op.respond(&[]);
+        assert_eq!(r1.events.len(), 3); // '4', '2', Enter
+        let r2 = op.respond(&[]);
+        assert!(r2.events.is_empty());
+    }
+
+    #[test]
+    fn prompt_line_reconstructs_text_with_backspace() {
+        let mut m = Machine::new(MachineConfig::fast_for_tests(1));
+        let mut session = m.skinit(b"pal").unwrap();
+        let mut op = ScriptedOperator::with_script(vec![OperatorResponse {
+            events: vec![
+                KeyEvent::Char('4'),
+                KeyEvent::Char('3'),
+                KeyEvent::Backspace,
+                KeyEvent::Char('2'),
+                KeyEvent::Enter,
+            ],
+            elapsed: Duration::from_secs(2),
+        }]);
+        let mut env = PalEnv::new(&mut session, &mut op);
+        let r = env.prompt_line().unwrap();
+        assert_eq!(r.text, "42");
+        assert_eq!(r.termination, Termination::Enter);
+        assert_eq!(env.human_time(), Duration::from_secs(2));
+    }
+
+    #[test]
+    fn prompt_line_reports_escape_and_timeout() {
+        let mut m = Machine::new(MachineConfig::fast_for_tests(1));
+        let mut session = m.skinit(b"pal").unwrap();
+        let mut op = ScriptedOperator::with_script(vec![
+            OperatorResponse {
+                events: vec![KeyEvent::Escape],
+                elapsed: Duration::ZERO,
+            },
+            OperatorResponse::default(),
+        ]);
+        let mut env = PalEnv::new(&mut session, &mut op);
+        assert_eq!(env.prompt_line().unwrap().termination, Termination::Escape);
+        assert_eq!(env.prompt_line().unwrap().termination, Termination::Timeout);
+    }
+
+    #[test]
+    fn interaction_budget_is_enforced() {
+        let mut m = Machine::new(MachineConfig::fast_for_tests(1));
+        let mut session = m.skinit(b"pal").unwrap();
+        let mut op = ScriptedOperator::silent();
+        let mut env = PalEnv::new(&mut session, &mut op);
+        for _ in 0..INTERACTION_BUDGET {
+            env.prompt_line().unwrap();
+        }
+        assert_eq!(env.prompt_line().unwrap_err(), PalError::InputUnavailable);
+    }
+
+    #[test]
+    fn operator_sees_what_pal_displayed() {
+        let mut m = Machine::new(MachineConfig::fast_for_tests(1));
+        let mut session = m.skinit(b"pal").unwrap();
+        let mut op = ScriptedOperator::pressing(KeyEvent::Enter);
+        {
+            let mut env = PalEnv::new(&mut session, &mut op);
+            env.show(0, "CONFIRM PAYMENT OF 10 EUR").unwrap();
+            env.prompt_line().unwrap();
+        }
+        assert!(op.observed_screens[0][0].contains("CONFIRM PAYMENT"));
+    }
+}

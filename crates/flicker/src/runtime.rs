@@ -1,0 +1,316 @@
+//! The session executor: launch, run, bind, quote, resume — with the
+//! per-phase timing breakdown the paper's evaluation reports.
+
+use crate::error::FlickerError;
+use crate::pal::{Operator, Pal, PalEnv};
+use std::time::Duration;
+use utp_crypto::sha1::{Sha1, Sha1Digest};
+use utp_platform::machine::{LaunchInfo, Machine};
+use utp_tpm::pcr::PcrSelection;
+use utp_tpm::quote::Quote;
+
+/// Which late-launch instruction to use for the session.
+#[derive(Debug, Clone)]
+pub enum Launch {
+    /// AMD `SKINIT` (the paper's platform): the PAL is the SLB.
+    Skinit,
+    /// Intel `GETSEC[SENTER]`: launch through the given SINIT ACM image.
+    Senter {
+        /// The SINIT authenticated code module image.
+        sinit: Vec<u8>,
+    },
+}
+
+/// Request to attest the session with a quote after the PAL's I/O has been
+/// bound into PCR 17.
+#[derive(Debug, Clone)]
+pub struct AttestSpec {
+    /// AIK to sign with.
+    pub aik_handle: u32,
+    /// Verifier nonce (`externalData`).
+    pub nonce: Sha1Digest,
+    /// PCRs to cover; normally [`PcrSelection::drtm_only`].
+    pub selection: PcrSelection,
+}
+
+/// Per-phase virtual-time breakdown of one session (the paper's session
+/// latency table, row by row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseTimings {
+    /// OS and device quiesce before `SKINIT`.
+    pub suspend: Duration,
+    /// `SKINIT` microcode incl. streaming the SLB to the TPM.
+    pub skinit: Duration,
+    /// PAL execution, including human interaction.
+    pub pal: Duration,
+    /// Of `pal`, the part spent waiting on the human.
+    pub human: Duration,
+    /// Binding the I/O digest into PCR 17 and (optionally) quoting.
+    pub attest: Duration,
+    /// OS resume.
+    pub resume: Duration,
+}
+
+impl PhaseTimings {
+    /// Total session time.
+    pub fn total(&self) -> Duration {
+        self.suspend + self.skinit + self.pal + self.attest + self.resume
+    }
+
+    /// The machine-only cost (total minus human wait), the number the
+    /// paper compares against CAPTCHA server cost.
+    pub fn machine_only(&self) -> Duration {
+        self.total() - self.human
+    }
+}
+
+/// Everything a session produced.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The PAL's output bytes.
+    pub output: Vec<u8>,
+    /// How the session was launched (incl. the SINIT measurement on TXT).
+    pub launch: LaunchInfo,
+    /// The SLB/MLE measurement (PAL identity).
+    pub measurement: Sha1Digest,
+    /// Digest binding this session's input and output.
+    pub io_digest: Sha1Digest,
+    /// PCR 17 value after the I/O extend (what a quote covers).
+    pub pcr17_after_io: Sha1Digest,
+    /// The quote, if attestation was requested.
+    pub quote: Option<Quote>,
+    /// Per-phase timing breakdown.
+    pub timings: PhaseTimings,
+}
+
+/// Canonical digest binding a PAL invocation's input and output:
+/// `SHA1( len(in) || in || len(out) || out )`.
+pub fn io_digest(input: &[u8], output: &[u8]) -> Sha1Digest {
+    let mut ctx = Sha1::new();
+    ctx.update(&(input.len() as u32).to_be_bytes());
+    ctx.update(input);
+    ctx.update(&(output.len() as u32).to_be_bytes());
+    ctx.update(output);
+    ctx.finalize()
+}
+
+/// Runs one complete Flicker session.
+///
+/// Sequence: `SKINIT(pal.image())` → `pal.invoke(env, input)` → extend
+/// PCR 17 with [`io_digest`] → optional `TPM_Quote` → cap PCR 17 and
+/// resume the OS. The OS is resumed even when the PAL fails.
+///
+/// # Errors
+///
+/// Propagates platform launch failures, TPM failures and PAL failures.
+pub fn run_pal(
+    machine: &mut Machine,
+    pal: &mut dyn Pal,
+    input: &[u8],
+    operator: &mut dyn Operator,
+    attest: Option<AttestSpec>,
+) -> Result<SessionReport, FlickerError> {
+    run_pal_with_launch(machine, Launch::Skinit, pal, input, operator, attest)
+}
+
+/// Like [`run_pal`] but with an explicit launch flavor — use
+/// [`Launch::Senter`] for Intel TXT platforms. The attestation selection
+/// for TXT should cover PCRs 17 and 18 (see
+/// [`crate::attestation::check_attested_session_txt`]).
+///
+/// # Errors
+///
+/// Same as [`run_pal`].
+pub fn run_pal_with_launch(
+    machine: &mut Machine,
+    launch: Launch,
+    pal: &mut dyn Pal,
+    input: &[u8],
+    operator: &mut dyn Operator,
+    attest: Option<AttestSpec>,
+) -> Result<SessionReport, FlickerError> {
+    let suspend = machine.config().suspend_cost;
+    let t0 = machine.now();
+    let image = pal.image().to_vec();
+    let mut session = match &launch {
+        Launch::Skinit => machine.skinit(&image)?,
+        Launch::Senter { sinit } => machine.senter(sinit, &image)?,
+    };
+    let launch_info = session.launch();
+    let measurement = session.measurement();
+    let t_launched = session.now();
+
+    let (pal_result, human) = {
+        let mut env = PalEnv::new(&mut session, operator);
+        let r = pal.invoke(&mut env, input);
+        let human = env.human_time();
+        (r, human)
+    };
+    let t_pal_done = session.now();
+
+    let output = match pal_result {
+        Ok(out) => out,
+        Err(e) => {
+            session.end();
+            return Err(e.into());
+        }
+    };
+
+    let io = io_digest(input, &output);
+    let pcr17_after_io = session.extend(launch_info.io_pcr(), &io)?;
+    let quote = match &attest {
+        Some(spec) => Some(session.quote(spec.aik_handle, spec.selection, spec.nonce)?),
+        None => None,
+    };
+    let t_attested = session.now();
+    session.end();
+    let t_end = machine.now();
+
+    let timings = PhaseTimings {
+        suspend,
+        skinit: (t_launched - t0).saturating_sub(suspend),
+        pal: t_pal_done - t_launched,
+        human,
+        attest: t_attested - t_pal_done,
+        resume: t_end - t_attested,
+    };
+    Ok(SessionReport {
+        output,
+        launch: launch_info,
+        measurement,
+        io_digest: io,
+        pcr17_after_io,
+        quote,
+        timings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pal::{PalError, ScriptedOperator};
+    use utp_platform::machine::MachineConfig;
+    use utp_tpm::VendorProfile;
+
+    struct Echo;
+    impl Pal for Echo {
+        fn image(&self) -> &[u8] {
+            b"echo"
+        }
+        fn invoke(&mut self, _env: &mut PalEnv<'_, '_>, input: &[u8]) -> Result<Vec<u8>, PalError> {
+            Ok(input.to_vec())
+        }
+    }
+
+    struct Failing;
+    impl Pal for Failing {
+        fn image(&self) -> &[u8] {
+            b"failing"
+        }
+        fn invoke(&mut self, _env: &mut PalEnv<'_, '_>, _input: &[u8]) -> Result<Vec<u8>, PalError> {
+            Err(PalError::Failed("deliberate".into()))
+        }
+    }
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::fast_for_tests(21))
+    }
+
+    #[test]
+    fn echo_session_without_attestation() {
+        let mut m = machine();
+        let mut op = ScriptedOperator::silent();
+        let report = run_pal(&mut m, &mut Echo, b"payload", &mut op, None).unwrap();
+        assert_eq!(report.output, b"payload");
+        assert!(report.quote.is_none());
+        assert_eq!(report.measurement, Sha1::digest(b"echo"));
+        assert!(!m.in_secure_session());
+    }
+
+    #[test]
+    fn attested_session_yields_verifiable_quote() {
+        let mut m = machine();
+        let aik = m.tpm_provision().make_identity();
+        let nonce = Sha1::digest(b"n1");
+        let mut op = ScriptedOperator::silent();
+        let report = run_pal(
+            &mut m,
+            &mut Echo,
+            b"in",
+            &mut op,
+            Some(AttestSpec {
+                aik_handle: aik,
+                nonce,
+                selection: PcrSelection::drtm_only(),
+            }),
+        )
+        .unwrap();
+        let quote = report.quote.unwrap();
+        let pk = m.tpm().read_pubkey(aik).unwrap();
+        assert!(quote.verify(&pk, &nonce));
+        // The quoted PCR 17 value equals the expected chain.
+        let expected = crate::attestation::expected_pcr17(&report.measurement, &report.io_digest);
+        assert_eq!(quote.pcr_values[0], expected);
+        assert_eq!(report.pcr17_after_io, expected);
+    }
+
+    #[test]
+    fn io_digest_binds_both_directions() {
+        assert_ne!(io_digest(b"a", b"b"), io_digest(b"b", b"a"));
+        assert_ne!(io_digest(b"ab", b""), io_digest(b"a", b"b"));
+        assert_ne!(io_digest(b"", b"ab"), io_digest(b"a", b"b"));
+    }
+
+    #[test]
+    fn failing_pal_still_resumes_os() {
+        let mut m = machine();
+        let mut op = ScriptedOperator::silent();
+        let err = run_pal(&mut m, &mut Failing, b"", &mut op, None).unwrap_err();
+        assert!(matches!(err, FlickerError::Pal(_)));
+        assert!(!m.in_secure_session());
+        // The machine can launch again.
+        assert!(run_pal(&mut m, &mut Echo, b"", &mut op, None).is_ok());
+    }
+
+    #[test]
+    fn timings_reflect_cost_model() {
+        let mut m = Machine::new(MachineConfig::realistic(VendorProfile::Infineon, 2));
+        let aik = m.tpm_provision().make_identity();
+        let mut op = ScriptedOperator::silent();
+        let report = run_pal(
+            &mut m,
+            &mut Echo,
+            b"x",
+            &mut op,
+            Some(AttestSpec {
+                aik_handle: aik,
+                nonce: Sha1Digest::zero(),
+                selection: PcrSelection::drtm_only(),
+            }),
+        )
+        .unwrap();
+        let t = report.timings;
+        assert_eq!(t.suspend, Duration::from_millis(25));
+        assert!(t.skinit >= Duration::from_millis(10));
+        // Attest phase includes the ~331 ms Infineon quote.
+        assert!(t.attest >= Duration::from_millis(300), "{:?}", t.attest);
+        assert!(t.resume >= Duration::from_millis(35));
+        assert_eq!(
+            t.total(),
+            t.suspend + t.skinit + t.pal + t.attest + t.resume
+        );
+        assert!(t.machine_only() <= t.total());
+    }
+
+    #[test]
+    fn different_inputs_give_different_pcr17() {
+        let mut m = machine();
+        let mut op = ScriptedOperator::silent();
+        let r1 = run_pal(&mut m, &mut Echo, b"tx-1", &mut op, None).unwrap();
+        let r2 = run_pal(&mut m, &mut Echo, b"tx-2", &mut op, None).unwrap();
+        assert_ne!(r1.pcr17_after_io, r2.pcr17_after_io);
+        // Same input reproduces the same binding (fresh launches).
+        let r3 = run_pal(&mut m, &mut Echo, b"tx-1", &mut op, None).unwrap();
+        assert_eq!(r1.pcr17_after_io, r3.pcr17_after_io);
+    }
+}

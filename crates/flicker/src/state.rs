@@ -1,0 +1,150 @@
+//! Rollback-protected sealed state for PALs.
+//!
+//! Sealed storage alone lets a PAL keep secrets across sessions, but the
+//! untrusted OS stores the blob — so it can replay an *old* blob (state
+//! rollback). The standard fix, which the paper's client uses for its
+//! session keys, pairs the blob with a TPM monotonic counter: each save
+//! increments the counter and seals the new count inside; each load checks
+//! the sealed count against the hardware counter.
+
+use crate::error::FlickerError;
+use crate::marshal::{put_bytes, put_u64, Reader};
+use crate::pal::{PalEnv, PalError};
+use utp_tpm::pcr::PcrSelection;
+use utp_tpm::seal::SealedBlob;
+
+/// Saves `data` as the new current state: increments the counter, then
+/// seals `(counter, data)` to the current PCR values (i.e. to *this* PAL).
+///
+/// # Errors
+///
+/// Propagates TPM failures as [`PalError`].
+pub fn save_state(
+    env: &mut PalEnv<'_, '_>,
+    srk_handle: u32,
+    counter_handle: u32,
+    data: &[u8],
+) -> Result<SealedBlob, PalError> {
+    let version = env.increment_counter(counter_handle)?;
+    let mut payload = Vec::with_capacity(12 + data.len());
+    put_u64(&mut payload, version);
+    put_bytes(&mut payload, data);
+    env.seal_to_current(srk_handle, PcrSelection::drtm_only(), &payload)
+}
+
+/// Loads state saved by [`save_state`], rejecting rollbacks.
+///
+/// # Errors
+///
+/// * [`PalError::Failed`] with `"rollback"` in the message when the sealed
+///   version does not match the hardware counter;
+/// * TPM errors (wrong PAL, tampered blob) pass through.
+pub fn load_state(
+    env: &mut PalEnv<'_, '_>,
+    srk_handle: u32,
+    counter_handle: u32,
+    blob: &SealedBlob,
+) -> Result<Vec<u8>, PalError> {
+    let payload = env.unseal(srk_handle, blob)?;
+    let mut r = Reader::new(&payload);
+    let version = r
+        .u64()
+        .map_err(|e: FlickerError| PalError::Failed(e.to_string()))?;
+    let data = r
+        .bytes()
+        .map_err(|e: FlickerError| PalError::Failed(e.to_string()))?
+        .to_vec();
+    r.finish()
+        .map_err(|e: FlickerError| PalError::Failed(e.to_string()))?;
+    let current = env.read_counter(counter_handle)?;
+    if version != current {
+        return Err(PalError::Failed(format!(
+            "rollback detected: blob version {} != counter {}",
+            version, current
+        )));
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pal::ScriptedOperator;
+    use utp_platform::machine::{Machine, MachineConfig};
+    use utp_tpm::keys::SRK_HANDLE;
+
+    fn setup() -> (Machine, u32) {
+        let mut m = Machine::new(MachineConfig::fast_for_tests(41));
+        let counter = m.tpm_provision().create_counter().unwrap();
+        (m, counter)
+    }
+
+    #[test]
+    fn save_load_roundtrip_in_same_pal() {
+        let (mut m, counter) = setup();
+        let mut op = ScriptedOperator::silent();
+        let blob = {
+            let mut s = m.skinit(b"pal").unwrap();
+            let mut env = PalEnv::new(&mut s, &mut op);
+            save_state(&mut env, SRK_HANDLE, counter, b"session key v1").unwrap()
+        };
+        let mut s = m.skinit(b"pal").unwrap();
+        let mut env = PalEnv::new(&mut s, &mut op);
+        assert_eq!(
+            load_state(&mut env, SRK_HANDLE, counter, &blob).unwrap(),
+            b"session key v1"
+        );
+    }
+
+    #[test]
+    fn rollback_is_detected() {
+        let (mut m, counter) = setup();
+        let mut op = ScriptedOperator::silent();
+        let (old_blob, _new_blob) = {
+            let mut s = m.skinit(b"pal").unwrap();
+            let mut env = PalEnv::new(&mut s, &mut op);
+            let old = save_state(&mut env, SRK_HANDLE, counter, b"v1").unwrap();
+            let new = save_state(&mut env, SRK_HANDLE, counter, b"v2").unwrap();
+            (old, new)
+        };
+        // OS replays the stale blob in the next session.
+        let mut s = m.skinit(b"pal").unwrap();
+        let mut env = PalEnv::new(&mut s, &mut op);
+        let err = load_state(&mut env, SRK_HANDLE, counter, &old_blob).unwrap_err();
+        assert!(err.to_string().contains("rollback"), "{}", err);
+    }
+
+    #[test]
+    fn latest_blob_still_loads_after_rollback_attempt() {
+        let (mut m, counter) = setup();
+        let mut op = ScriptedOperator::silent();
+        let (old_blob, new_blob) = {
+            let mut s = m.skinit(b"pal").unwrap();
+            let mut env = PalEnv::new(&mut s, &mut op);
+            let old = save_state(&mut env, SRK_HANDLE, counter, b"v1").unwrap();
+            let new = save_state(&mut env, SRK_HANDLE, counter, b"v2").unwrap();
+            (old, new)
+        };
+        let mut s = m.skinit(b"pal").unwrap();
+        let mut env = PalEnv::new(&mut s, &mut op);
+        assert!(load_state(&mut env, SRK_HANDLE, counter, &old_blob).is_err());
+        assert_eq!(
+            load_state(&mut env, SRK_HANDLE, counter, &new_blob).unwrap(),
+            b"v2"
+        );
+    }
+
+    #[test]
+    fn other_pal_cannot_load_state() {
+        let (mut m, counter) = setup();
+        let mut op = ScriptedOperator::silent();
+        let blob = {
+            let mut s = m.skinit(b"honest pal").unwrap();
+            let mut env = PalEnv::new(&mut s, &mut op);
+            save_state(&mut env, SRK_HANDLE, counter, b"secret").unwrap()
+        };
+        let mut s = m.skinit(b"evil pal").unwrap();
+        let mut env = PalEnv::new(&mut s, &mut op);
+        assert!(load_state(&mut env, SRK_HANDLE, counter, &blob).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! Deterministic network model between the client machine and the service
+//! provider.
+//!
+//! The paper's end-to-end numbers include ordinary Internet round trips.
+//! We model a link as base propagation delay + seedable jitter +
+//! bandwidth-limited serialization, which is all the end-to-end latency
+//! experiment (E3) needs. No packets are simulated — only time.
+//!
+//! # Example
+//!
+//! ```
+//! use utp_netsim::{Link, LinkConfig};
+//! use std::time::Duration;
+//!
+//! let mut link = Link::new(LinkConfig::broadband(), 7);
+//! let d = link.one_way_delay(1500);
+//! assert!(d >= Duration::from_millis(10)); // half the 20 ms base RTT
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Link parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Base round-trip time (propagation both ways, no payload).
+    pub base_rtt: Duration,
+    /// Maximum extra jitter per one-way trip (uniform in `[0, jitter]`).
+    pub jitter: Duration,
+    /// Serialization bandwidth in bytes per second.
+    pub bandwidth: u64,
+}
+
+impl LinkConfig {
+    /// 2011-era home broadband: 20 ms RTT, ±5 ms jitter, 1 MB/s up.
+    pub fn broadband() -> Self {
+        LinkConfig {
+            base_rtt: Duration::from_millis(20),
+            jitter: Duration::from_millis(5),
+            bandwidth: 1_000_000,
+        }
+    }
+
+    /// Continental path: 80 ms RTT.
+    pub fn continental() -> Self {
+        LinkConfig {
+            base_rtt: Duration::from_millis(80),
+            jitter: Duration::from_millis(15),
+            bandwidth: 1_000_000,
+        }
+    }
+
+    /// Intercontinental path: 200 ms RTT.
+    pub fn intercontinental() -> Self {
+        LinkConfig {
+            base_rtt: Duration::from_millis(200),
+            jitter: Duration::from_millis(30),
+            bandwidth: 500_000,
+        }
+    }
+
+    /// A custom symmetric link with the given RTT and no jitter — used by
+    /// parameter sweeps.
+    pub fn fixed_rtt(rtt: Duration) -> Self {
+        LinkConfig {
+            base_rtt: rtt,
+            jitter: Duration::ZERO,
+            bandwidth: 1_000_000,
+        }
+    }
+}
+
+/// A seeded link instance.
+#[derive(Debug, Clone)]
+pub struct Link {
+    config: LinkConfig,
+    rng: StdRng,
+    bytes_carried: u64,
+    messages_carried: u64,
+}
+
+impl Link {
+    /// Creates a link with the given config and jitter seed.
+    pub fn new(config: LinkConfig, seed: u64) -> Self {
+        Link {
+            config,
+            rng: StdRng::seed_from_u64(seed ^ 0x4e45_54u64),
+            bytes_carried: 0,
+            messages_carried: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Time for one message of `payload_len` bytes to cross the link.
+    pub fn one_way_delay(&mut self, payload_len: usize) -> Duration {
+        self.bytes_carried += payload_len as u64;
+        self.messages_carried += 1;
+        let propagation = self.config.base_rtt / 2;
+        let jitter = self
+            .config
+            .jitter
+            .mul_f64(self.rng.gen::<f64>());
+        let serialization =
+            Duration::from_secs_f64(payload_len as f64 / self.config.bandwidth as f64);
+        propagation + jitter + serialization
+    }
+
+    /// Time for a request/response exchange with the given payload sizes.
+    pub fn round_trip(&mut self, request_len: usize, response_len: usize) -> Duration {
+        self.one_way_delay(request_len) + self.one_way_delay(response_len)
+    }
+
+    /// Total bytes carried (both directions).
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried
+    }
+
+    /// Total messages carried.
+    pub fn messages_carried(&self) -> u64 {
+        self.messages_carried
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_has_floor_of_half_rtt() {
+        let mut link = Link::new(LinkConfig::fixed_rtt(Duration::from_millis(100)), 1);
+        for _ in 0..20 {
+            assert!(link.one_way_delay(0) >= Duration::from_millis(50));
+        }
+    }
+
+    #[test]
+    fn larger_payloads_take_longer() {
+        let mut a = Link::new(LinkConfig::fixed_rtt(Duration::from_millis(10)), 1);
+        let small = a.one_way_delay(100);
+        let mut b = Link::new(LinkConfig::fixed_rtt(Duration::from_millis(10)), 1);
+        let large = b.one_way_delay(1_000_000);
+        assert!(large > small + Duration::from_millis(500)); // 1 MB at 1 MB/s
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let cfg = LinkConfig {
+            base_rtt: Duration::from_millis(20),
+            jitter: Duration::from_millis(5),
+            bandwidth: 1_000_000,
+        };
+        let mut a = Link::new(cfg.clone(), 9);
+        let mut b = Link::new(cfg.clone(), 9);
+        for _ in 0..50 {
+            let da = a.one_way_delay(64);
+            let db = b.one_way_delay(64);
+            assert_eq!(da, db);
+            assert!(da >= Duration::from_millis(10));
+            assert!(da <= Duration::from_millis(16));
+        }
+    }
+
+    #[test]
+    fn round_trip_is_sum_of_legs() {
+        let mut link = Link::new(LinkConfig::fixed_rtt(Duration::from_millis(40)), 3);
+        let rt = link.round_trip(100, 100);
+        assert!(rt >= Duration::from_millis(40));
+        assert_eq!(link.messages_carried(), 2);
+        assert_eq!(link.bytes_carried(), 200);
+    }
+
+    #[test]
+    fn presets_order_sensibly() {
+        assert!(LinkConfig::broadband().base_rtt < LinkConfig::continental().base_rtt);
+        assert!(LinkConfig::continental().base_rtt < LinkConfig::intercontinental().base_rtt);
+    }
+}

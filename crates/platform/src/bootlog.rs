@@ -1,0 +1,199 @@
+//! Measured boot: the static root of trust and its event log.
+//!
+//! Before any DRTM session happens, a TCG-style measured boot records the
+//! platform's firmware and boot chain into the static PCRs (0–7) and logs
+//! each event. The uni-directional trusted path deliberately does *not*
+//! rely on these — that is its selling point, the static chain is huge and
+//! unverifiable in practice — but a faithful platform has them, and the
+//! experiments use the log to show the contrast: a verifier can replay
+//! the DRTM chain from two measurements, while the static chain needs a
+//! whole log of them.
+
+use utp_crypto::sha1::{Sha1, Sha1Digest};
+
+/// Standard static PCR assignments (TCG PC client spec, simplified).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BootStage {
+    /// Core root of trust + BIOS (PCR 0).
+    Bios,
+    /// Option ROMs / platform config (PCR 1).
+    PlatformConfig,
+    /// Boot loader (PCR 4).
+    BootLoader,
+    /// OS kernel + initrd (PCR 8 by grub convention).
+    Kernel,
+}
+
+impl BootStage {
+    /// The PCR this stage extends.
+    pub fn pcr(self) -> u32 {
+        match self {
+            BootStage::Bios => 0,
+            BootStage::PlatformConfig => 1,
+            BootStage::BootLoader => 4,
+            BootStage::Kernel => 8,
+        }
+    }
+}
+
+/// One measured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BootEvent {
+    /// Which stage produced the measurement.
+    pub stage: BootStage,
+    /// Human-readable description (e.g. firmware version string).
+    pub description: String,
+    /// The measurement extended into the stage's PCR.
+    pub measurement: Sha1Digest,
+}
+
+/// The boot event log.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BootLog {
+    events: Vec<BootEvent>,
+}
+
+impl BootLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        BootLog::default()
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, stage: BootStage, description: impl Into<String>, data: &[u8]) -> Sha1Digest {
+        let measurement = Sha1::digest(data);
+        self.events.push(BootEvent {
+            stage,
+            description: description.into(),
+            measurement,
+        });
+        measurement
+    }
+
+    /// The recorded events in order.
+    pub fn events(&self) -> &[BootEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was measured.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Replays the log: the PCR value each static PCR must hold if the
+    /// log is truthful. Returns `(pcr_index, expected_value)` pairs in
+    /// first-touched order.
+    pub fn replay(&self) -> Vec<(u32, Sha1Digest)> {
+        let mut out: Vec<(u32, Sha1Digest)> = Vec::new();
+        for event in &self.events {
+            let pcr = event.stage.pcr();
+            let current = out
+                .iter()
+                .find(|(p, _)| *p == pcr)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(Sha1Digest::zero);
+            let next = Sha1::digest_concat(current.as_bytes(), event.measurement.as_bytes());
+            match out.iter_mut().find(|(p, _)| *p == pcr) {
+                Some(slot) => slot.1 = next,
+                None => out.push((pcr, next)),
+            }
+        }
+        out
+    }
+}
+
+/// The default boot sequence a stock machine measures, parameterized by an
+/// OS build identifier so "different OS" worlds measure differently.
+pub fn standard_boot(os_build: &str) -> Vec<(BootStage, String, Vec<u8>)> {
+    vec![
+        (
+            BootStage::Bios,
+            "AMIBIOS 8.17 (2010-11-02)".to_string(),
+            b"bios image v8.17".to_vec(),
+        ),
+        (
+            BootStage::PlatformConfig,
+            "setup defaults".to_string(),
+            b"platform config block".to_vec(),
+        ),
+        (
+            BootStage::BootLoader,
+            "GRUB 1.98".to_string(),
+            b"grub stage2".to_vec(),
+        ),
+        (
+            BootStage::Kernel,
+            format!("linux {}", os_build),
+            format!("vmlinuz {}", os_build).into_bytes(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_matches_manual_chain() {
+        let mut log = BootLog::new();
+        let m1 = log.record(BootStage::Bios, "bios", b"bios bytes");
+        let m2 = log.record(BootStage::Bios, "bios config", b"config bytes");
+        let replayed = log.replay();
+        let expected = Sha1::digest_concat(
+            Sha1::digest_concat(Sha1Digest::zero().as_bytes(), m1.as_bytes()).as_bytes(),
+            m2.as_bytes(),
+        );
+        assert_eq!(replayed, vec![(0, expected)]);
+    }
+
+    #[test]
+    fn stages_map_to_distinct_pcrs() {
+        let stages = [
+            BootStage::Bios,
+            BootStage::PlatformConfig,
+            BootStage::BootLoader,
+            BootStage::Kernel,
+        ];
+        let mut pcrs: Vec<u32> = stages.iter().map(|s| s.pcr()).collect();
+        pcrs.dedup();
+        assert_eq!(pcrs.len(), stages.len());
+    }
+
+    #[test]
+    fn different_os_builds_replay_differently() {
+        let mut a = BootLog::new();
+        let mut b = BootLog::new();
+        for (stage, desc, data) in standard_boot("2.6.32-generic") {
+            a.record(stage, desc, &data);
+        }
+        for (stage, desc, data) in standard_boot("2.6.32-rootkit") {
+            b.record(stage, desc, &data);
+        }
+        let pcr8 = |log: &BootLog| {
+            log.replay()
+                .into_iter()
+                .find(|(p, _)| *p == 8)
+                .map(|(_, v)| v)
+        };
+        assert_ne!(pcr8(&a), pcr8(&b));
+        // But the firmware PCRs agree (same hardware).
+        let pcr0 = |log: &BootLog| {
+            log.replay()
+                .into_iter()
+                .find(|(p, _)| *p == 0)
+                .map(|(_, v)| v)
+        };
+        assert_eq!(pcr0(&a), pcr0(&b));
+    }
+
+    #[test]
+    fn empty_log_replays_empty() {
+        assert!(BootLog::new().replay().is_empty());
+        assert!(BootLog::new().is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Virtual time.
+//!
+//! Every latency in the reproduction is *modeled*, not measured from the
+//! host: TPM command costs, SKINIT microcode time, human think time and
+//! network RTTs all advance a [`SimClock`]. This keeps experiment output
+//! bit-reproducible and lets a laptop regenerate numbers that originally
+//! required a specific 2011 machine.
+
+use std::time::Duration;
+
+/// A monotonically advancing virtual clock.
+///
+/// # Example
+///
+/// ```
+/// use utp_platform::clock::SimClock;
+/// use std::time::Duration;
+/// let mut clock = SimClock::new();
+/// clock.advance(Duration::from_millis(5));
+/// assert_eq!(clock.now(), Duration::from_millis(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimClock {
+    now: Duration,
+}
+
+impl SimClock {
+    /// A clock at time zero (machine power-on).
+    pub fn new() -> Self {
+        SimClock {
+            now: Duration::ZERO,
+        }
+    }
+
+    /// Current virtual time since power-on.
+    pub fn now(&self) -> Duration {
+        self.now
+    }
+
+    /// Advances time by `d`.
+    pub fn advance(&mut self, d: Duration) {
+        self.now += d;
+    }
+
+    /// Elapsed time since an earlier reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is in the future (virtual time is monotonic, so
+    /// this is always a caller bug).
+    pub fn since(&self, earlier: Duration) -> Duration {
+        self.now
+            .checked_sub(earlier)
+            .expect("virtual clock cannot run backwards")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_accumulates() {
+        let mut c = SimClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_micros(10));
+        c.advance(Duration::from_micros(5));
+        assert_eq!(c.now(), Duration::from_micros(15));
+    }
+
+    #[test]
+    fn since_measures_intervals() {
+        let mut c = SimClock::new();
+        c.advance(Duration::from_millis(3));
+        let mark = c.now();
+        c.advance(Duration::from_millis(9));
+        assert_eq!(c.since(mark), Duration::from_millis(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn since_future_panics() {
+        let c = SimClock::new();
+        let _ = c.since(Duration::from_secs(1));
+    }
+}

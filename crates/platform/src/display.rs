@@ -1,0 +1,148 @@
+//! The VGA text console model.
+//!
+//! The PAL renders the pending transaction on an 80×25 text screen it owns
+//! exclusively during the session. The path is *uni-directional*: the
+//! server never relies on the display being trustworthy — but the human
+//! does read it, so the model records exactly what was shown so the human
+//! model (and attack harness) can react to the true screen contents.
+
+use crate::error::PlatformError;
+use crate::keyboard::DeviceOwner;
+
+/// Screen width in characters.
+pub const COLS: usize = 80;
+/// Screen height in rows.
+pub const ROWS: usize = 25;
+
+/// The text-mode display.
+#[derive(Debug, Clone)]
+pub struct Display {
+    owner: DeviceOwner,
+    cells: Vec<char>,
+}
+
+impl Display {
+    /// A blank screen owned by the OS.
+    pub fn new() -> Self {
+        Display {
+            owner: DeviceOwner::Os,
+            cells: vec![' '; COLS * ROWS],
+        }
+    }
+
+    /// Current owner.
+    pub fn owner(&self) -> DeviceOwner {
+        self.owner
+    }
+
+    /// Transfers ownership; entering a session clears the screen so OS
+    /// content cannot masquerade as PAL output, and vice versa.
+    pub(crate) fn set_owner(&mut self, owner: DeviceOwner) {
+        self.owner = owner;
+        self.cells.fill(' ');
+    }
+
+    /// Writes `text` at `(row, col)`, truncating at the line end.
+    ///
+    /// # Errors
+    ///
+    /// [`PlatformError::NotOwner`] if `writer` does not own the display;
+    /// rows past the end are an error, mirroring a real frame buffer's
+    /// bounds.
+    pub fn write_at(
+        &mut self,
+        writer: DeviceOwner,
+        row: usize,
+        col: usize,
+        text: &str,
+    ) -> Result<(), PlatformError> {
+        if writer != self.owner {
+            return Err(PlatformError::NotOwner("display"));
+        }
+        if row >= ROWS || col >= COLS {
+            return Err(PlatformError::NotOwner("display")); // out of bounds
+        }
+        for (i, ch) in text.chars().enumerate() {
+            let c = col + i;
+            if c >= COLS {
+                break;
+            }
+            self.cells[row * COLS + c] = ch;
+        }
+        Ok(())
+    }
+
+    /// Returns row `row` as a trimmed string.
+    pub fn row_text(&self, row: usize) -> String {
+        let start = row * COLS;
+        self.cells[start..start + COLS]
+            .iter()
+            .collect::<String>()
+            .trim_end()
+            .to_string()
+    }
+
+    /// Full-screen snapshot (trimmed rows), for the human model and tests.
+    pub fn snapshot(&self) -> Vec<String> {
+        (0..ROWS).map(|r| self.row_text(r)).collect()
+    }
+
+    /// True if the given needle appears anywhere on screen.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.snapshot().iter().any(|row| row.contains(needle))
+    }
+}
+
+impl Default for Display {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_and_read_back() {
+        let mut d = Display::new();
+        d.write_at(DeviceOwner::Os, 0, 0, "hello").unwrap();
+        assert_eq!(d.row_text(0), "hello");
+        assert!(d.contains("hello"));
+        assert!(!d.contains("goodbye"));
+    }
+
+    #[test]
+    fn non_owner_cannot_write() {
+        let mut d = Display::new();
+        assert!(d.write_at(DeviceOwner::Pal, 0, 0, "spoof").is_err());
+        d.set_owner(DeviceOwner::Pal);
+        assert!(d.write_at(DeviceOwner::Os, 0, 0, "spoof").is_err());
+        d.write_at(DeviceOwner::Pal, 1, 2, "txn").unwrap();
+        assert_eq!(d.row_text(1), "  txn");
+    }
+
+    #[test]
+    fn ownership_transfer_clears_screen() {
+        let mut d = Display::new();
+        d.write_at(DeviceOwner::Os, 3, 0, "PAY $9999 TO MALLORY (fake)").unwrap();
+        d.set_owner(DeviceOwner::Pal);
+        assert!(!d.contains("MALLORY"));
+    }
+
+    #[test]
+    fn long_lines_truncate_at_edge() {
+        let mut d = Display::new();
+        let long = "x".repeat(200);
+        d.write_at(DeviceOwner::Os, 0, 70, &long).unwrap();
+        assert_eq!(d.row_text(0).len(), COLS);
+        assert_eq!(d.row_text(1), ""); // no wrap
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut d = Display::new();
+        assert!(d.write_at(DeviceOwner::Os, ROWS, 0, "x").is_err());
+        assert!(d.write_at(DeviceOwner::Os, 0, COLS, "x").is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! Platform-level errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by the machine model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlatformError {
+    /// Software tried to use a device the PAL currently owns.
+    DeviceIsolated(&'static str),
+    /// A device was accessed by a caller that does not own it.
+    NotOwner(&'static str),
+    /// `skinit` was invoked while a secure session is already active.
+    AlreadyInSecureSession,
+    /// The secure loader block exceeds the architectural 64 KiB limit.
+    SlbTooLarge(usize),
+    /// TPM returned an error during the launch sequence.
+    Tpm(utp_tpm::TpmError),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::DeviceIsolated(dev) => {
+                write!(f, "device {} is isolated by an active secure session", dev)
+            }
+            PlatformError::NotOwner(dev) => write!(f, "caller does not own device {}", dev),
+            PlatformError::AlreadyInSecureSession => {
+                write!(f, "a secure session is already active")
+            }
+            PlatformError::SlbTooLarge(n) => {
+                write!(f, "secure loader block of {} bytes exceeds 64 KiB", n)
+            }
+            PlatformError::Tpm(e) => write!(f, "tpm error during launch: {}", e),
+        }
+    }
+}
+
+impl Error for PlatformError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlatformError::Tpm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<utp_tpm::TpmError> for PlatformError {
+    fn from(e: utp_tpm::TpmError) -> Self {
+        PlatformError::Tpm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(PlatformError::DeviceIsolated("keyboard")
+            .to_string()
+            .contains("keyboard"));
+        assert!(PlatformError::SlbTooLarge(100_000).to_string().contains("100000"));
+    }
+
+    #[test]
+    fn tpm_error_is_source() {
+        let e = PlatformError::from(utp_tpm::TpmError::NotStarted);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

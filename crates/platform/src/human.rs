@@ -1,0 +1,281 @@
+//! The human operator model.
+//!
+//! The paper's user-facing numbers (how long confirmation takes, how often
+//! users mistype a confirmation code, how long CAPTCHA solving takes by
+//! comparison) require a human. We model one with seedable distributions
+//! so every experiment is reproducible:
+//!
+//! * reading: a fixed orientation time plus a per-character rate
+//!   (~250 words/min ≈ 20 chars/s, the usual HCI estimate);
+//! * typing: per-character delays around a configurable mean (~40 wpm for
+//!   a non-expert confirming a code);
+//! * errors: a per-character mistype probability; mistypes are *corrected*
+//!   (backspace + retype) with some probability, otherwise submitted wrong.
+
+use crate::keyboard::KeyEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Configuration of the simulated human.
+#[derive(Debug, Clone)]
+pub struct HumanConfig {
+    /// Fixed time to orient on a freshly drawn screen.
+    pub orientation: Duration,
+    /// Reading rate in characters per second.
+    pub read_cps: f64,
+    /// Mean per-character typing interval.
+    pub key_interval: Duration,
+    /// Probability of mistyping any given character.
+    pub error_rate: f64,
+    /// Probability a mistype is noticed and corrected.
+    pub correction_rate: f64,
+}
+
+impl Default for HumanConfig {
+    fn default() -> Self {
+        HumanConfig {
+            orientation: Duration::from_millis(1200),
+            read_cps: 20.0,
+            key_interval: Duration::from_millis(260),
+            error_rate: 0.02,
+            correction_rate: 0.9,
+        }
+    }
+}
+
+/// What a typing episode produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypedInput {
+    /// The key events, in order, including any backspace corrections.
+    pub events: Vec<KeyEvent>,
+    /// The final string as the receiving device will reconstruct it.
+    pub final_text: String,
+    /// Total virtual time spent typing.
+    pub elapsed: Duration,
+    /// True if an uncorrected error made `final_text` differ from the
+    /// intended string.
+    pub submitted_wrong: bool,
+}
+
+/// A deterministic simulated human operator.
+#[derive(Debug, Clone)]
+pub struct HumanModel {
+    config: HumanConfig,
+    rng: StdRng,
+}
+
+impl HumanModel {
+    /// Creates a human with the default configuration and the given seed.
+    pub fn new(seed: u64) -> Self {
+        Self::with_config(HumanConfig::default(), seed)
+    }
+
+    /// Creates a human with explicit parameters.
+    pub fn with_config(config: HumanConfig, seed: u64) -> Self {
+        HumanModel {
+            config,
+            rng: StdRng::seed_from_u64(seed ^ 0x4855_4d41_4eu64),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HumanConfig {
+        &self.config
+    }
+
+    /// Time to read `text` on screen (orientation + rate), with ±20%
+    /// lognormal-ish jitter.
+    pub fn reading_time(&mut self, text: &str) -> Duration {
+        let base = self.config.orientation.as_secs_f64()
+            + text.chars().count() as f64 / self.config.read_cps;
+        let jitter = 0.8 + 0.4 * self.rng.gen::<f64>();
+        Duration::from_secs_f64(base * jitter)
+    }
+
+    /// Types `intended`, producing key events, timing and error outcome.
+    pub fn type_string(&mut self, intended: &str) -> TypedInput {
+        let mut events = Vec::new();
+        let mut final_text = String::new();
+        let mut elapsed = Duration::ZERO;
+        let mut submitted_wrong = false;
+        for ch in intended.chars() {
+            elapsed += self.key_delay();
+            if self.rng.gen::<f64>() < self.config.error_rate {
+                // Mistype: a neighbouring character.
+                let wrong = Self::neighbour(ch);
+                events.push(KeyEvent::Char(wrong));
+                final_text.push(wrong);
+                if self.rng.gen::<f64>() < self.config.correction_rate {
+                    // Notice and fix: backspace + correct char.
+                    elapsed += self.key_delay() * 2;
+                    events.push(KeyEvent::Backspace);
+                    final_text.pop();
+                    elapsed += self.key_delay();
+                    events.push(KeyEvent::Char(ch));
+                    final_text.push(ch);
+                } else {
+                    submitted_wrong = true;
+                }
+            } else {
+                events.push(KeyEvent::Char(ch));
+                final_text.push(ch);
+            }
+        }
+        elapsed += self.key_delay();
+        events.push(KeyEvent::Enter);
+        TypedInput {
+            events,
+            final_text,
+            elapsed,
+            submitted_wrong,
+        }
+    }
+
+    /// A single keypress (e.g. pressing Enter to confirm, Escape to
+    /// reject) with its think-free motor delay.
+    pub fn press(&mut self, key: KeyEvent) -> (KeyEvent, Duration) {
+        (key, self.key_delay())
+    }
+
+    fn key_delay(&mut self) -> Duration {
+        let mean = self.config.key_interval.as_secs_f64();
+        let jitter = 0.6 + 0.8 * self.rng.gen::<f64>();
+        Duration::from_secs_f64(mean * jitter)
+    }
+
+    fn neighbour(c: char) -> char {
+        // A crude QWERTY-neighbour map; unknown characters slip to 'x'.
+        match c {
+            'a' => 's',
+            'b' => 'v',
+            'c' => 'x',
+            'd' => 'f',
+            'e' => 'r',
+            'f' => 'g',
+            '0' => '9',
+            '1' => '2',
+            '2' => '3',
+            '3' => '4',
+            '4' => '5',
+            '5' => '6',
+            '6' => '7',
+            '7' => '8',
+            '8' => '9',
+            '9' => '0',
+            other => {
+                if other.is_ascii_uppercase() {
+                    'X'
+                } else {
+                    'x'
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reading_time_grows_with_length() {
+        let mut h = HumanModel::new(1);
+        let short: Duration = (0..20).map(|_| h.reading_time("short line")).sum();
+        let mut h = HumanModel::new(1);
+        let long: Duration = (0..20)
+            .map(|_| h.reading_time(&"a much longer line of text ".repeat(5)))
+            .sum();
+        assert!(long > short);
+    }
+
+    #[test]
+    fn typing_is_deterministic_per_seed() {
+        let mut a = HumanModel::new(9);
+        let mut b = HumanModel::new(9);
+        assert_eq!(a.type_string("482913"), b.type_string("482913"));
+    }
+
+    #[test]
+    fn perfect_human_never_errs() {
+        let cfg = HumanConfig {
+            error_rate: 0.0,
+            ..HumanConfig::default()
+        };
+        let mut h = HumanModel::with_config(cfg, 3);
+        for _ in 0..50 {
+            let t = h.type_string("123456");
+            assert_eq!(t.final_text, "123456");
+            assert!(!t.submitted_wrong);
+            assert_eq!(*t.events.last().unwrap(), KeyEvent::Enter);
+        }
+    }
+
+    #[test]
+    fn error_prone_human_sometimes_submits_wrong() {
+        let cfg = HumanConfig {
+            error_rate: 0.3,
+            correction_rate: 0.5,
+            ..HumanConfig::default()
+        };
+        let mut h = HumanModel::with_config(cfg, 4);
+        let mut wrong = 0;
+        for _ in 0..200 {
+            if h.type_string("123456").submitted_wrong {
+                wrong += 1;
+            }
+        }
+        assert!(wrong > 0, "expected some uncorrected errors");
+        assert!(wrong < 200, "not every attempt should fail");
+    }
+
+    #[test]
+    fn corrected_errors_produce_correct_final_text() {
+        let cfg = HumanConfig {
+            error_rate: 0.5,
+            correction_rate: 1.0,
+            ..HumanConfig::default()
+        };
+        let mut h = HumanModel::with_config(cfg, 5);
+        for _ in 0..50 {
+            let t = h.type_string("confirm");
+            assert_eq!(t.final_text, "confirm");
+            assert!(!t.submitted_wrong);
+        }
+    }
+
+    #[test]
+    fn final_text_matches_event_replay() {
+        // Reconstruct the text from events the way the keyboard consumer
+        // would, and check it agrees with final_text.
+        let cfg = HumanConfig {
+            error_rate: 0.3,
+            correction_rate: 0.7,
+            ..HumanConfig::default()
+        };
+        let mut h = HumanModel::with_config(cfg, 6);
+        for _ in 0..50 {
+            let t = h.type_string("9021");
+            let mut replay = String::new();
+            for e in &t.events {
+                match e {
+                    KeyEvent::Char(c) => replay.push(*c),
+                    KeyEvent::Backspace => {
+                        replay.pop();
+                    }
+                    KeyEvent::Enter => {}
+                    KeyEvent::Escape => {}
+                }
+            }
+            assert_eq!(replay, t.final_text);
+        }
+    }
+
+    #[test]
+    fn typing_time_scales_with_length() {
+        let mut h = HumanModel::new(7);
+        let short = h.type_string("12").elapsed;
+        let long = h.type_string("123456789012345678901234").elapsed;
+        assert!(long > short);
+    }
+}

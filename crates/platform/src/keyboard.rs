@@ -1,0 +1,203 @@
+//! The PS/2 keyboard model.
+//!
+//! The trusted path's input leg rests on one hardware fact: during a secure
+//! session the PAL programs the keyboard controller for exclusive access
+//! (and SKINIT's protections prevent DMA/interrupt games), so *malware
+//! cannot synthesize keystrokes that the PAL would accept*. We model that
+//! with an ownership bit and an event-source tag: hardware events (from the
+//! human's fingers) always enter the queue; software injection is an OS
+//! service that fails while the PAL owns the device.
+
+use crate::error::PlatformError;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Who currently owns an input/output device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceOwner {
+    /// The (untrusted) operating system.
+    Os,
+    /// The PAL inside an active secure session.
+    Pal,
+}
+
+/// A decoded key event (we model post-scancode decoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyEvent {
+    /// A printable character.
+    Char(char),
+    /// The Enter key.
+    Enter,
+    /// The Escape key.
+    Escape,
+    /// Backspace.
+    Backspace,
+}
+
+impl KeyEvent {
+    /// The character for `Char`, `None` otherwise.
+    pub fn as_char(self) -> Option<char> {
+        match self {
+            KeyEvent::Char(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Where an event originated. The PAL never sees this tag (hardware does
+/// not label keystrokes); it exists so the *simulation* can enforce that
+/// software injection is impossible during a session, and so tests can
+/// assert the security property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputSource {
+    /// A real key press by the human at the physical keyboard.
+    Hardware,
+    /// Synthesized by software through the OS input-injection service.
+    SoftwareInjected,
+}
+
+/// A queued event with its arrival time and provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedEvent {
+    /// The key event.
+    pub event: KeyEvent,
+    /// Virtual time at which the event entered the controller.
+    pub at: Duration,
+    /// Provenance (simulation-only metadata).
+    pub source: InputSource,
+}
+
+/// The keyboard controller.
+#[derive(Debug, Clone, Default)]
+pub struct Keyboard {
+    owner: Option<DeviceOwner>,
+    queue: VecDeque<QueuedEvent>,
+}
+
+impl Keyboard {
+    /// A keyboard owned by the OS with an empty queue.
+    pub fn new() -> Self {
+        Keyboard {
+            owner: Some(DeviceOwner::Os),
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Current owner.
+    pub fn owner(&self) -> DeviceOwner {
+        self.owner.expect("keyboard always has an owner")
+    }
+
+    /// Transfers ownership (invoked by the machine on session entry/exit).
+    /// Taking ownership flushes the queue — the PAL must not trust input
+    /// buffered while the OS was in control, and vice versa.
+    pub(crate) fn set_owner(&mut self, owner: DeviceOwner) {
+        self.owner = Some(owner);
+        self.queue.clear();
+    }
+
+    /// A hardware key press (the human). Always accepted.
+    pub fn press_hardware(&mut self, event: KeyEvent, at: Duration) {
+        self.queue.push_back(QueuedEvent {
+            event,
+            at,
+            source: InputSource::Hardware,
+        });
+    }
+
+    /// Software injection via the OS service. Rejected while the PAL owns
+    /// the controller — this is the property malware runs into.
+    pub fn inject_software(&mut self, event: KeyEvent, at: Duration) -> Result<(), PlatformError> {
+        if self.owner() == DeviceOwner::Pal {
+            return Err(PlatformError::DeviceIsolated("keyboard"));
+        }
+        self.queue.push_back(QueuedEvent {
+            event,
+            at,
+            source: InputSource::SoftwareInjected,
+        });
+        Ok(())
+    }
+
+    /// Reads the next event as `reader`. Only the owner may read.
+    pub fn read(&mut self, reader: DeviceOwner) -> Result<Option<QueuedEvent>, PlatformError> {
+        if self.owner() != reader {
+            return Err(PlatformError::NotOwner("keyboard"));
+        }
+        Ok(self.queue.pop_front())
+    }
+
+    /// Number of queued events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Duration {
+        Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn os_owns_at_boot_and_reads_injected_input() {
+        let mut kb = Keyboard::new();
+        assert_eq!(kb.owner(), DeviceOwner::Os);
+        kb.inject_software(KeyEvent::Char('x'), t(1)).unwrap();
+        let ev = kb.read(DeviceOwner::Os).unwrap().unwrap();
+        assert_eq!(ev.event, KeyEvent::Char('x'));
+        assert_eq!(ev.source, InputSource::SoftwareInjected);
+    }
+
+    #[test]
+    fn injection_fails_while_pal_owns() {
+        let mut kb = Keyboard::new();
+        kb.set_owner(DeviceOwner::Pal);
+        let err = kb.inject_software(KeyEvent::Enter, t(0)).unwrap_err();
+        assert_eq!(err, PlatformError::DeviceIsolated("keyboard"));
+        // Hardware presses still arrive.
+        kb.press_hardware(KeyEvent::Enter, t(2));
+        assert_eq!(kb.pending(), 1);
+    }
+
+    #[test]
+    fn only_owner_reads() {
+        let mut kb = Keyboard::new();
+        kb.press_hardware(KeyEvent::Char('a'), t(0));
+        assert!(kb.read(DeviceOwner::Pal).is_err());
+        assert!(kb.read(DeviceOwner::Os).unwrap().is_some());
+    }
+
+    #[test]
+    fn ownership_transfer_flushes_stale_input() {
+        let mut kb = Keyboard::new();
+        // Malware pre-loads a fake confirmation before the session starts.
+        kb.inject_software(KeyEvent::Enter, t(0)).unwrap();
+        kb.set_owner(DeviceOwner::Pal);
+        // The PAL sees an empty queue: the pre-loaded event is gone.
+        assert_eq!(kb.read(DeviceOwner::Pal).unwrap(), None);
+        // And the same on the way back to the OS.
+        kb.press_hardware(KeyEvent::Char('q'), t(1));
+        kb.set_owner(DeviceOwner::Os);
+        assert_eq!(kb.read(DeviceOwner::Os).unwrap(), None);
+    }
+
+    #[test]
+    fn events_preserve_fifo_order_and_time() {
+        let mut kb = Keyboard::new();
+        kb.press_hardware(KeyEvent::Char('a'), t(1));
+        kb.press_hardware(KeyEvent::Char('b'), t(2));
+        let e1 = kb.read(DeviceOwner::Os).unwrap().unwrap();
+        let e2 = kb.read(DeviceOwner::Os).unwrap().unwrap();
+        assert_eq!((e1.event, e1.at), (KeyEvent::Char('a'), t(1)));
+        assert_eq!((e2.event, e2.at), (KeyEvent::Char('b'), t(2)));
+    }
+
+    #[test]
+    fn as_char_extracts_only_chars() {
+        assert_eq!(KeyEvent::Char('z').as_char(), Some('z'));
+        assert_eq!(KeyEvent::Enter.as_char(), None);
+    }
+}

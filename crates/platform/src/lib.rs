@@ -1,0 +1,47 @@
+//! Simulated DRTM-capable machine for the uni-directional trusted path.
+//!
+//! The paper runs on an AMD laptop with `SKINIT`, a TPM 1.2 on the LPC bus,
+//! a PS/2 keyboard and a VGA console, operated by a human. This crate
+//! models all of it:
+//!
+//! * [`clock`] — a virtual clock; all experiment latencies are computed in
+//!   virtual time so results are deterministic and hardware costs come from
+//!   the calibrated models instead of the host CPU.
+//! * [`keyboard`] / [`display`] — devices with an *ownership bit*: during a
+//!   secure session the PAL owns them and software-injected input is
+//!   rejected, which is exactly the isolation property SKINIT's DMA/
+//!   interrupt protection provides.
+//! * [`machine`] — the composition: an untrusted OS interface (TPM at
+//!   locality 0, device access, ability to run malware) plus the
+//!   [`machine::Machine::skinit`] late-launch path that is the only way to
+//!   reach TPM locality 4.
+//! * [`human`] — a seedable human operator model (reading speed, typing
+//!   speed, error rates) so user-facing timings are reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use utp_platform::machine::{Machine, MachineConfig};
+//!
+//! let mut m = Machine::new(MachineConfig::fast_for_tests(1));
+//! // The only way to a measured launch is skinit(); the session exposes
+//! // the SLB measurement the TPM recorded in PCR 17.
+//! let session = m.skinit(b"pal code").unwrap();
+//! assert_eq!(session.measurement(), utp_crypto::sha1::Sha1::digest(b"pal code"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootlog;
+pub mod clock;
+pub mod display;
+pub mod error;
+pub mod human;
+pub mod keyboard;
+pub mod machine;
+pub mod scancode;
+
+pub use clock::SimClock;
+pub use error::PlatformError;
+pub use machine::{Machine, MachineConfig};

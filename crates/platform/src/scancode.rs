@@ -1,0 +1,280 @@
+//! PS/2 scancode set 2 codec.
+//!
+//! The paper's PAL contains a minimal keyboard driver: it programs the
+//! i8042 controller and decodes raw set-2 scancodes itself, because no OS
+//! driver exists inside the session. This module is that driver's codec:
+//! [`encode`] turns key events into the make/break byte sequences the
+//! keyboard hardware emits, and [`ScancodeDecoder`] reassembles events
+//! from the byte stream, including shift handling and the `0xF0` break
+//! prefix. The event-level [`crate::keyboard::Keyboard`] API models the
+//! decoder's *output*; round-tripping through this codec is covered by
+//! tests so the modeled events are exactly what the real driver would
+//! produce.
+
+use crate::keyboard::KeyEvent;
+
+/// The `break` (key-release) prefix of scancode set 2.
+pub const BREAK_PREFIX: u8 = 0xF0;
+/// Left-shift make code.
+pub const LSHIFT: u8 = 0x12;
+
+/// Returns the set-2 make code for an unshifted character/key, and whether
+/// shift is required, or `None` for characters outside the driver's map.
+fn make_code(c: char) -> Option<(u8, bool)> {
+    // (code, needs_shift)
+    let unshifted = |code| Some((code, false));
+    let shifted = |code| Some((code, true));
+    match c {
+        'a' => unshifted(0x1C),
+        'b' => unshifted(0x32),
+        'c' => unshifted(0x21),
+        'd' => unshifted(0x23),
+        'e' => unshifted(0x24),
+        'f' => unshifted(0x2B),
+        'g' => unshifted(0x34),
+        'h' => unshifted(0x33),
+        'i' => unshifted(0x43),
+        'j' => unshifted(0x3B),
+        'k' => unshifted(0x42),
+        'l' => unshifted(0x4B),
+        'm' => unshifted(0x3A),
+        'n' => unshifted(0x31),
+        'o' => unshifted(0x44),
+        'p' => unshifted(0x4D),
+        'q' => unshifted(0x15),
+        'r' => unshifted(0x2D),
+        's' => unshifted(0x1B),
+        't' => unshifted(0x2C),
+        'u' => unshifted(0x3C),
+        'v' => unshifted(0x2A),
+        'w' => unshifted(0x1D),
+        'x' => unshifted(0x22),
+        'y' => unshifted(0x35),
+        'z' => unshifted(0x1A),
+        '0' => unshifted(0x45),
+        '1' => unshifted(0x16),
+        '2' => unshifted(0x1E),
+        '3' => unshifted(0x26),
+        '4' => unshifted(0x25),
+        '5' => unshifted(0x2E),
+        '6' => unshifted(0x36),
+        '7' => unshifted(0x3D),
+        '8' => unshifted(0x3E),
+        '9' => unshifted(0x46),
+        ' ' => unshifted(0x29),
+        '.' => unshifted(0x49),
+        '-' => unshifted(0x4E),
+        'A'..='Z' => {
+            let (code, _) = make_code(c.to_ascii_lowercase())?;
+            shifted(code)
+        }
+        _ => None,
+    }
+}
+
+fn char_for_code(code: u8, shift: bool) -> Option<char> {
+    let base = match code {
+        0x1C => 'a',
+        0x32 => 'b',
+        0x21 => 'c',
+        0x23 => 'd',
+        0x24 => 'e',
+        0x2B => 'f',
+        0x34 => 'g',
+        0x33 => 'h',
+        0x43 => 'i',
+        0x3B => 'j',
+        0x42 => 'k',
+        0x4B => 'l',
+        0x3A => 'm',
+        0x31 => 'n',
+        0x44 => 'o',
+        0x4D => 'p',
+        0x15 => 'q',
+        0x2D => 'r',
+        0x1B => 's',
+        0x2C => 't',
+        0x3C => 'u',
+        0x2A => 'v',
+        0x1D => 'w',
+        0x22 => 'x',
+        0x35 => 'y',
+        0x1A => 'z',
+        0x45 => '0',
+        0x16 => '1',
+        0x1E => '2',
+        0x26 => '3',
+        0x25 => '4',
+        0x2E => '5',
+        0x36 => '6',
+        0x3D => '7',
+        0x3E => '8',
+        0x46 => '9',
+        0x29 => ' ',
+        0x49 => '.',
+        0x4E => '-',
+        _ => return None,
+    };
+    Some(if shift {
+        base.to_ascii_uppercase()
+    } else {
+        base
+    })
+}
+
+/// Encodes one key event as the raw make+break byte sequence the keyboard
+/// would emit. Returns `None` for characters outside the driver's map.
+pub fn encode(event: KeyEvent) -> Option<Vec<u8>> {
+    let press_release = |code: u8| vec![code, BREAK_PREFIX, code];
+    match event {
+        KeyEvent::Enter => Some(press_release(0x5A)),
+        KeyEvent::Escape => Some(press_release(0x76)),
+        KeyEvent::Backspace => Some(press_release(0x66)),
+        KeyEvent::Char(c) => {
+            let (code, shift) = make_code(c)?;
+            let mut bytes = Vec::with_capacity(9);
+            if shift {
+                bytes.push(LSHIFT);
+            }
+            bytes.extend_from_slice(&press_release(code));
+            if shift {
+                bytes.push(BREAK_PREFIX);
+                bytes.push(LSHIFT);
+            }
+            Some(bytes)
+        }
+    }
+}
+
+/// Encodes a whole string plus a final Enter — what the human's typing
+/// looks like on the wire.
+pub fn encode_line(text: &str) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    for c in text.chars() {
+        out.extend(encode(KeyEvent::Char(c))?);
+    }
+    out.extend(encode(KeyEvent::Enter)?);
+    Some(out)
+}
+
+/// Stateful set-2 decoder: feed raw bytes, collect key events.
+#[derive(Debug, Clone, Default)]
+pub struct ScancodeDecoder {
+    breaking: bool,
+    shift_held: bool,
+}
+
+impl ScancodeDecoder {
+    /// A fresh decoder (no modifier held).
+    pub fn new() -> Self {
+        ScancodeDecoder::default()
+    }
+
+    /// Consumes one byte; returns a decoded event when a key *press*
+    /// completes (releases update modifier state silently).
+    pub fn feed(&mut self, byte: u8) -> Option<KeyEvent> {
+        if byte == BREAK_PREFIX {
+            self.breaking = true;
+            return None;
+        }
+        let breaking = std::mem::take(&mut self.breaking);
+        if byte == LSHIFT {
+            self.shift_held = !breaking;
+            return None;
+        }
+        if breaking {
+            return None; // key release
+        }
+        match byte {
+            0x5A => Some(KeyEvent::Enter),
+            0x76 => Some(KeyEvent::Escape),
+            0x66 => Some(KeyEvent::Backspace),
+            code => char_for_code(code, self.shift_held).map(KeyEvent::Char),
+        }
+    }
+
+    /// Decodes a whole byte stream.
+    pub fn decode_all(&mut self, bytes: &[u8]) -> Vec<KeyEvent> {
+        bytes.iter().filter_map(|&b| self.feed(b)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(events: &[KeyEvent]) -> Vec<KeyEvent> {
+        let mut bytes = Vec::new();
+        for &e in events {
+            bytes.extend(encode(e).expect("encodable"));
+        }
+        ScancodeDecoder::new().decode_all(&bytes)
+    }
+
+    #[test]
+    fn digits_and_letters_roundtrip() {
+        let events: Vec<KeyEvent> = "confirm 482913".chars().map(KeyEvent::Char).collect();
+        assert_eq!(roundtrip(&events), events);
+    }
+
+    #[test]
+    fn control_keys_roundtrip() {
+        let events = vec![KeyEvent::Enter, KeyEvent::Escape, KeyEvent::Backspace];
+        assert_eq!(roundtrip(&events), events);
+    }
+
+    #[test]
+    fn uppercase_uses_shift() {
+        let bytes = encode(KeyEvent::Char('A')).unwrap();
+        assert_eq!(bytes[0], LSHIFT);
+        assert_eq!(*bytes.last().unwrap(), LSHIFT);
+        assert_eq!(
+            roundtrip(&[KeyEvent::Char('A'), KeyEvent::Char('b')]),
+            vec![KeyEvent::Char('A'), KeyEvent::Char('b')]
+        );
+    }
+
+    #[test]
+    fn shift_state_does_not_leak_across_keys() {
+        // "Ab" then "c": shift released after 'A'.
+        let events: Vec<KeyEvent> = "Abc".chars().map(KeyEvent::Char).collect();
+        assert_eq!(roundtrip(&events), events);
+    }
+
+    #[test]
+    fn encode_line_appends_enter() {
+        let bytes = encode_line("42").unwrap();
+        let events = ScancodeDecoder::new().decode_all(&bytes);
+        assert_eq!(
+            events,
+            vec![KeyEvent::Char('4'), KeyEvent::Char('2'), KeyEvent::Enter]
+        );
+    }
+
+    #[test]
+    fn unknown_characters_are_unencodable() {
+        assert!(encode(KeyEvent::Char('€')).is_none());
+        assert!(encode(KeyEvent::Char('\t')).is_none());
+        assert!(encode_line("naïve").is_none());
+    }
+
+    #[test]
+    fn unknown_scancodes_are_ignored() {
+        let mut d = ScancodeDecoder::new();
+        assert_eq!(d.decode_all(&[0x00, 0xAB, 0xE0]), vec![]);
+        // And the decoder still works afterwards.
+        assert_eq!(d.decode_all(&encode(KeyEvent::Enter).unwrap()), vec![KeyEvent::Enter]);
+    }
+
+    #[test]
+    fn releases_produce_no_events() {
+        let mut d = ScancodeDecoder::new();
+        // A lone break sequence.
+        assert_eq!(d.decode_all(&[BREAK_PREFIX, 0x1C]), vec![]);
+        // Press produces exactly one event despite the trailing release.
+        assert_eq!(
+            d.decode_all(&encode(KeyEvent::Char('a')).unwrap()),
+            vec![KeyEvent::Char('a')]
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Platform invariants under randomized schedules: whatever interleaving
+//! of OS activity, hardware input and launches occurs, the isolation
+//! rules must hold.
+
+use proptest::prelude::*;
+use utp_platform::keyboard::KeyEvent;
+use utp_platform::machine::{Machine, MachineConfig};
+use utp_platform::scancode::{encode, ScancodeDecoder};
+
+/// An abstract action the OS / human can attempt.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    OsInject(char),
+    OsWriteDisplay,
+    HardwareKey(char),
+    OsReadKey,
+    Launch,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        proptest::char::range('a', 'z').prop_map(Action::OsInject),
+        Just(Action::OsWriteDisplay),
+        proptest::char::range('a', 'z').prop_map(Action::HardwareKey),
+        Just(Action::OsReadKey),
+        Just(Action::Launch),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn machine_survives_any_action_sequence(
+        actions in proptest::collection::vec(action_strategy(), 0..40),
+        seed in any::<u64>()
+    ) {
+        let mut m = Machine::new(MachineConfig::fast_for_tests(seed));
+        for action in actions {
+            match action {
+                Action::OsInject(c) => {
+                    // Outside a session this must succeed; there is no
+                    // "inside a session" state reachable here because a
+                    // session borrows the machine exclusively.
+                    m.os_inject_key(KeyEvent::Char(c)).unwrap();
+                }
+                Action::OsWriteDisplay => {
+                    m.os_write_display(0, 0, "os text").unwrap();
+                }
+                Action::HardwareKey(c) => m.hardware_key(KeyEvent::Char(c)),
+                Action::OsReadKey => {
+                    let _ = m.os_read_key().unwrap();
+                }
+                Action::Launch => {
+                    // Every launch must cleanly start and (on drop) end.
+                    let mut session = m.skinit(b"prop pal").unwrap();
+                    session.show(0, 0, "session").unwrap();
+                    // The session never sees pre-session input.
+                    prop_assert!(session.read_key().is_none());
+                    drop(session);
+                    prop_assert!(!m.in_secure_session());
+                }
+            }
+        }
+        // The machine is still fully functional.
+        prop_assert!(m.skinit(b"final").is_ok() || m.in_secure_session());
+    }
+
+    #[test]
+    fn session_input_never_leaks_to_os(
+        keys in proptest::collection::vec(proptest::char::range('0', '9'), 1..10),
+        seed in any::<u64>()
+    ) {
+        let mut m = Machine::new(MachineConfig::fast_for_tests(seed));
+        {
+            let mut session = m.skinit(b"pal").unwrap();
+            for &k in &keys {
+                session.hardware_key(KeyEvent::Char(k));
+            }
+            // Session consumes some of them.
+            let _ = session.read_key();
+            session.end();
+        }
+        // Nothing typed during the session reaches the OS afterwards.
+        prop_assert!(m.os_read_key().unwrap().is_none());
+    }
+
+    #[test]
+    fn scancode_roundtrip_for_typable_lines(text in "[a-z0-9 .-]{0,20}") {
+        let mut bytes = Vec::new();
+        for c in text.chars() {
+            bytes.extend(encode(KeyEvent::Char(c)).expect("typable"));
+        }
+        let events = ScancodeDecoder::new().decode_all(&bytes);
+        let reconstructed: String = events
+            .iter()
+            .filter_map(|e| e.as_char())
+            .collect();
+        prop_assert_eq!(reconstructed, text);
+    }
+}

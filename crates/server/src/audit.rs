@@ -1,0 +1,126 @@
+//! Audit log: the provider's append-only record of verification
+//! decisions, the artifact a compliance review (or the paper's incident
+//! analysis) would consult.
+
+use std::time::Duration;
+use utp_core::verifier::VerifyError;
+
+/// One audited decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEntry {
+    /// Virtual time of the decision.
+    pub at: Duration,
+    /// Order the evidence claimed to settle.
+    pub order_id: u64,
+    /// Outcome: `Ok(())` for accepted, the typed error otherwise.
+    pub outcome: Result<(), VerifyError>,
+}
+
+/// Append-only audit log with simple query helpers.
+#[derive(Debug, Clone, Default)]
+pub struct AuditLog {
+    entries: Vec<AuditEntry>,
+}
+
+impl AuditLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        AuditLog::default()
+    }
+
+    /// Appends a decision.
+    pub fn record(&mut self, at: Duration, order_id: u64, outcome: Result<(), VerifyError>) {
+        self.entries.push(AuditEntry {
+            at,
+            order_id,
+            outcome,
+        });
+    }
+
+    /// All entries, in append order.
+    pub fn entries(&self) -> &[AuditEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accepted decisions.
+    pub fn accepted(&self) -> usize {
+        self.entries.iter().filter(|e| e.outcome.is_ok()).count()
+    }
+
+    /// Entries for one order.
+    pub fn for_order(&self, order_id: u64) -> Vec<&AuditEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.order_id == order_id)
+            .collect()
+    }
+
+    /// Rejections matching a predicate — e.g. count replay attempts in a
+    /// time window, the provider's attack-monitoring signal.
+    pub fn rejections_where(&self, mut pred: impl FnMut(&VerifyError) -> bool) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| matches!(&e.outcome, Err(err) if pred(err)))
+            .count()
+    }
+
+    /// Entries within `[from, to)`.
+    pub fn in_window(&self, from: Duration, to: Duration) -> Vec<&AuditEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.at >= from && e.at < to)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> Duration {
+        Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let mut log = AuditLog::new();
+        log.record(t(1), 1, Ok(()));
+        log.record(t(2), 2, Err(VerifyError::Replayed));
+        log.record(t(3), 2, Err(VerifyError::Replayed));
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.accepted(), 1);
+        assert_eq!(
+            log.rejections_where(|e| matches!(e, VerifyError::Replayed)),
+            2
+        );
+    }
+
+    #[test]
+    fn per_order_and_window_queries() {
+        let mut log = AuditLog::new();
+        log.record(t(1), 7, Err(VerifyError::UntrustedPal));
+        log.record(t(5), 7, Ok(()));
+        log.record(t(9), 8, Ok(()));
+        assert_eq!(log.for_order(7).len(), 2);
+        assert_eq!(log.in_window(t(0), t(6)).len(), 2);
+        assert_eq!(log.in_window(t(6), t(10)).len(), 1);
+    }
+
+    #[test]
+    fn empty_log_behaves() {
+        let log = AuditLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.accepted(), 0);
+        assert!(log.for_order(1).is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Latency/throughput summaries shared by the experiment harnesses.
+
+use std::time::Duration;
+
+/// Summary statistics over a set of duration samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Minimum.
+    pub min: Duration,
+    /// Median (p50).
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// Maximum.
+    pub max: Duration,
+}
+
+impl Summary {
+    /// Computes a summary; returns `None` for an empty sample set.
+    pub fn of(samples: &[Duration]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let total: Duration = sorted.iter().sum();
+        let pct = |p: f64| -> Duration {
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        Some(Summary {
+            count: sorted.len(),
+            mean: total / sorted.len() as u32,
+            min: sorted[0],
+            p50: pct(0.50),
+            p95: pct(0.95),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+
+    /// Renders as `mean / p50 / p95` in milliseconds, the format the
+    /// experiment tables print.
+    pub fn to_ms_row(&self) -> String {
+        format!(
+            "{:>8.1} {:>8.1} {:>8.1}",
+            self.mean.as_secs_f64() * 1e3,
+            self.p50.as_secs_f64() * 1e3,
+            self.p95.as_secs_f64() * 1e3
+        )
+    }
+}
+
+/// Throughput in operations per second given a batch size and elapsed time.
+pub fn throughput(ops: usize, elapsed: Duration) -> f64 {
+    if elapsed.is_zero() {
+        return f64::INFINITY;
+    }
+    ops as f64 / elapsed.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn empty_samples_give_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = Summary::of(&[ms(10)]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, ms(10));
+        assert_eq!(s.min, ms(10));
+        assert_eq!(s.p50, ms(10));
+        assert_eq!(s.p95, ms(10));
+        assert_eq!(s.max, ms(10));
+    }
+
+    #[test]
+    fn percentiles_are_order_invariant() {
+        let a = Summary::of(&[ms(1), ms(2), ms(3), ms(4), ms(100)]).unwrap();
+        let b = Summary::of(&[ms(100), ms(3), ms(1), ms(4), ms(2)]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.p50, ms(3));
+        assert_eq!(a.max, ms(100));
+        assert_eq!(a.min, ms(1));
+        assert_eq!(a.mean, ms(22));
+    }
+
+    #[test]
+    fn p95_tracks_tail() {
+        let mut samples = vec![ms(10); 99];
+        samples.push(ms(1000));
+        let s = Summary::of(&samples).unwrap();
+        assert_eq!(s.p50, ms(10));
+        assert!(s.p95 <= ms(1000));
+        assert_eq!(s.max, ms(1000));
+    }
+
+    #[test]
+    fn throughput_computes_ops_per_sec() {
+        assert!((throughput(100, Duration::from_secs(2)) - 50.0).abs() < 1e-9);
+        assert!(throughput(1, Duration::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn ms_row_is_fixed_width() {
+        let s = Summary::of(&[ms(1), ms(2)]).unwrap();
+        let row = s.to_ms_row();
+        assert_eq!(row.split_whitespace().count(), 3);
+    }
+}

@@ -1,0 +1,244 @@
+//! The service-provider facade.
+
+use crate::audit::AuditLog;
+use crate::store::{OrderStatus, Store};
+use std::time::Duration;
+use utp_core::protocol::{ConfirmMode, Evidence, Transaction, TransactionRequest};
+use utp_core::verifier::{Verifier, VerifierConfig, VerifyError};
+use utp_crypto::rsa::RsaPublicKey;
+
+/// A settled-transaction receipt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Receipt {
+    /// The order this receipt settles.
+    pub order_id: u64,
+    /// Transaction as confirmed.
+    pub transaction: Transaction,
+    /// Code attempts the human needed.
+    pub attempts: u32,
+}
+
+/// An e-commerce provider accepting trusted-path confirmations.
+#[derive(Debug)]
+pub struct ServiceProvider {
+    verifier: Verifier,
+    store: Store,
+    audit: AuditLog,
+    tx_counter: u64,
+}
+
+impl ServiceProvider {
+    /// Creates a provider pinning the given privacy-CA key.
+    pub fn new(ca_key: RsaPublicKey, seed: u64) -> Self {
+        Self::with_config(ca_key, VerifierConfig::default(), seed)
+    }
+
+    /// Creates a provider with explicit verifier policy.
+    pub fn with_config(ca_key: RsaPublicKey, config: VerifierConfig, seed: u64) -> Self {
+        ServiceProvider {
+            verifier: Verifier::with_config(ca_key, config, seed),
+            store: Store::new(),
+            audit: AuditLog::new(),
+            tx_counter: 0,
+        }
+    }
+
+    /// The underlying store (accounts, orders).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Mutable store access (account provisioning).
+    pub fn store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// The verifier (policy + stats).
+    pub fn verifier(&self) -> &Verifier {
+        &self.verifier
+    }
+
+    /// The audit log of verification decisions.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Places an order: creates the transaction and issues the
+    /// confirmation challenge. Returns `(order_id, request)` — the request
+    /// travels to the client.
+    pub fn place_order(
+        &mut self,
+        account: &str,
+        payee: &str,
+        amount_cents: u64,
+        currency: &str,
+        memo: &str,
+        now: Duration,
+    ) -> (u64, TransactionRequest) {
+        self.place_order_with_mode(
+            account,
+            payee,
+            amount_cents,
+            currency,
+            memo,
+            self.verifier.config().default_mode,
+            now,
+        )
+    }
+
+    /// Places an order with an explicit confirmation mode.
+    #[allow(clippy::too_many_arguments)]
+    pub fn place_order_with_mode(
+        &mut self,
+        account: &str,
+        payee: &str,
+        amount_cents: u64,
+        currency: &str,
+        memo: &str,
+        mode: ConfirmMode,
+        now: Duration,
+    ) -> (u64, TransactionRequest) {
+        self.tx_counter += 1;
+        let tx = Transaction::new(self.tx_counter, payee, amount_cents, currency, memo);
+        let order_id = self.store.create_order(account, tx.clone());
+        let request = self.verifier.issue_request_with_mode(tx, mode, now);
+        (order_id, request)
+    }
+
+    /// Accepts evidence for an order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's typed rejection; the order is marked
+    /// rejected for settled-but-unconfirmed outcomes and stays pending on
+    /// retryable ones (see [`Verifier::verify`]).
+    pub fn submit_evidence(
+        &mut self,
+        order_id: u64,
+        evidence: &Evidence,
+        now: Duration,
+    ) -> Result<Receipt, VerifyError> {
+        match self.verifier.verify(evidence, now) {
+            Ok(verified) => {
+                self.audit.record(now, order_id, Ok(()));
+                self.store.settle(order_id);
+                Ok(Receipt {
+                    order_id,
+                    transaction: verified.transaction,
+                    attempts: verified.attempts,
+                })
+            }
+            Err(e) => {
+                self.audit.record(now, order_id, Err(e));
+                // Terminal outcomes mark the order; transport-level ones
+                // leave it pending for retry.
+                match e {
+                    VerifyError::NotConfirmed(_)
+                    | VerifyError::Replayed
+                    | VerifyError::Expired
+                    | VerifyError::UntrustedPal
+                    | VerifyError::BadQuote
+                    | VerifyError::TokenMismatch
+                    | VerifyError::BadCertificate => self.store.reject(order_id, e),
+                    _ => {}
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// True if the order is confirmed.
+    pub fn is_confirmed(&self, order_id: u64) -> bool {
+        matches!(
+            self.store.order(order_id).map(|o| &o.status),
+            Some(OrderStatus::Confirmed)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utp_core::ca::PrivacyCa;
+    use utp_core::client::{Client, ClientConfig};
+    use utp_core::operator::{ConfirmingHuman, Intent};
+    use utp_platform::machine::{Machine, MachineConfig};
+
+    fn setup() -> (ServiceProvider, Machine, Client) {
+        let ca = PrivacyCa::new(512, 91);
+        let mut provider = ServiceProvider::new(ca.public_key().clone(), 92);
+        provider.store_mut().open_account("alice", 100_000);
+        let mut machine = Machine::new(MachineConfig::fast_for_tests(93));
+        let enrollment = ca.enroll(&mut machine);
+        let client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+        (provider, machine, client)
+    }
+
+    #[test]
+    fn order_confirmed_and_settled() {
+        let (mut provider, mut machine, mut client) = setup();
+        let (order_id, request) =
+            provider.place_order("alice", "bookshop", 4_200, "EUR", "order 7", machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&request.transaction), 94);
+        let evidence = client.confirm(&mut machine, &request, &mut human).unwrap();
+        let receipt = provider
+            .submit_evidence(order_id, &evidence, machine.now())
+            .unwrap();
+        assert_eq!(receipt.transaction.payee, "bookshop");
+        assert!(provider.is_confirmed(order_id));
+        assert_eq!(
+            provider.store().account("alice").unwrap().balance_cents,
+            95_800
+        );
+    }
+
+    #[test]
+    fn human_rejection_marks_order_rejected_without_debit() {
+        let (mut provider, mut machine, mut client) = setup();
+        let (order_id, request) =
+            provider.place_order("alice", "attacker", 99_999, "EUR", "??", machine.now());
+        let mut human = ConfirmingHuman::new(Intent::rejecting(), 95);
+        let evidence = client.confirm(&mut machine, &request, &mut human).unwrap();
+        let err = provider
+            .submit_evidence(order_id, &evidence, machine.now())
+            .unwrap_err();
+        assert!(matches!(err, VerifyError::NotConfirmed(_)));
+        assert!(!provider.is_confirmed(order_id));
+        assert_eq!(
+            provider.store().account("alice").unwrap().balance_cents,
+            100_000
+        );
+    }
+
+    #[test]
+    fn replayed_evidence_cannot_settle_twice() {
+        let (mut provider, mut machine, mut client) = setup();
+        let (order_id, request) =
+            provider.place_order("alice", "shop", 1_000, "EUR", "", machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&request.transaction), 96);
+        let evidence = client.confirm(&mut machine, &request, &mut human).unwrap();
+        provider
+            .submit_evidence(order_id, &evidence, machine.now())
+            .unwrap();
+        // Malware re-submits the same evidence against a *new* order.
+        let (order2, _request2) =
+            provider.place_order("alice", "shop", 1_000, "EUR", "", machine.now());
+        let err = provider
+            .submit_evidence(order2, &evidence, machine.now())
+            .unwrap_err();
+        assert_eq!(err, VerifyError::Replayed);
+        assert_eq!(
+            provider.store().account("alice").unwrap().balance_cents,
+            99_000
+        );
+    }
+
+    #[test]
+    fn transaction_ids_are_unique_per_provider() {
+        let (mut provider, machine, _client) = setup();
+        let (_, r1) = provider.place_order("alice", "a", 1, "EUR", "", machine.now());
+        let (_, r2) = provider.place_order("alice", "b", 1, "EUR", "", machine.now());
+        assert_ne!(r1.transaction.id, r2.transaction.id);
+        assert_ne!(r1.nonce, r2.nonce);
+    }
+}

@@ -1,0 +1,168 @@
+//! Accounts and order lifecycle.
+
+use std::collections::HashMap;
+use utp_core::protocol::Transaction;
+use utp_core::verifier::VerifyError;
+
+/// A customer account.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Account {
+    /// Balance in minor units.
+    pub balance_cents: i64,
+}
+
+/// Order status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderStatus {
+    /// Waiting for confirmation evidence.
+    Pending,
+    /// Confirmed and settled.
+    Confirmed,
+    /// Evidence arrived but was rejected.
+    Rejected(VerifyError),
+}
+
+/// An order: a transaction plus the account it debits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Order {
+    /// The underlying transaction.
+    pub transaction: Transaction,
+    /// Account to debit.
+    pub account: String,
+    /// Current status.
+    pub status: OrderStatus,
+}
+
+/// In-memory store.
+#[derive(Debug, Clone, Default)]
+pub struct Store {
+    accounts: HashMap<String, Account>,
+    orders: HashMap<u64, Order>,
+    next_order_id: u64,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Creates an account with an opening balance.
+    pub fn open_account(&mut self, name: impl Into<String>, balance_cents: i64) {
+        self.accounts
+            .insert(name.into(), Account { balance_cents });
+    }
+
+    /// Account lookup.
+    pub fn account(&self, name: &str) -> Option<&Account> {
+        self.accounts.get(name)
+    }
+
+    /// Creates a pending order and returns its id.
+    pub fn create_order(&mut self, account: impl Into<String>, transaction: Transaction) -> u64 {
+        let id = self.next_order_id;
+        self.next_order_id += 1;
+        self.orders.insert(
+            id,
+            Order {
+                transaction,
+                account: account.into(),
+                status: OrderStatus::Pending,
+            },
+        );
+        id
+    }
+
+    /// Order lookup.
+    pub fn order(&self, id: u64) -> Option<&Order> {
+        self.orders.get(&id)
+    }
+
+    /// Marks an order confirmed and debits the account.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the order does not exist (caller bug: ids come from
+    /// [`Store::create_order`]).
+    pub fn settle(&mut self, id: u64) {
+        let order = self.orders.get_mut(&id).expect("order exists");
+        order.status = OrderStatus::Confirmed;
+        if let Some(account) = self.accounts.get_mut(&order.account) {
+            account.balance_cents -= order.transaction.amount_cents as i64;
+        }
+    }
+
+    /// Marks an order rejected with its reason.
+    pub fn reject(&mut self, id: u64, reason: VerifyError) {
+        if let Some(order) = self.orders.get_mut(&id) {
+            order.status = OrderStatus::Rejected(reason);
+        }
+    }
+
+    /// Count of orders in each status: `(pending, confirmed, rejected)`.
+    pub fn status_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for o in self.orders.values() {
+            match o.status {
+                OrderStatus::Pending => c.0 += 1,
+                OrderStatus::Confirmed => c.1 += 1,
+                OrderStatus::Rejected(_) => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(amount: u64) -> Transaction {
+        Transaction::new(1, "shop", amount, "EUR", "")
+    }
+
+    #[test]
+    fn order_lifecycle_confirmed() {
+        let mut s = Store::new();
+        s.open_account("alice", 10_000);
+        let id = s.create_order("alice", tx(2_500));
+        assert_eq!(s.order(id).unwrap().status, OrderStatus::Pending);
+        s.settle(id);
+        assert_eq!(s.order(id).unwrap().status, OrderStatus::Confirmed);
+        assert_eq!(s.account("alice").unwrap().balance_cents, 7_500);
+    }
+
+    #[test]
+    fn order_lifecycle_rejected_leaves_balance() {
+        let mut s = Store::new();
+        s.open_account("bob", 5_000);
+        let id = s.create_order("bob", tx(1_000));
+        s.reject(id, VerifyError::Replayed);
+        assert_eq!(
+            s.order(id).unwrap().status,
+            OrderStatus::Rejected(VerifyError::Replayed)
+        );
+        assert_eq!(s.account("bob").unwrap().balance_cents, 5_000);
+    }
+
+    #[test]
+    fn order_ids_are_unique() {
+        let mut s = Store::new();
+        let a = s.create_order("x", tx(1));
+        let b = s.create_order("x", tx(1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn status_counts_aggregate() {
+        let mut s = Store::new();
+        s.open_account("a", 0);
+        let p = s.create_order("a", tx(1));
+        let c = s.create_order("a", tx(1));
+        let r = s.create_order("a", tx(1));
+        s.settle(c);
+        s.reject(r, VerifyError::Expired);
+        let _ = p;
+        assert_eq!(s.status_counts(), (1, 1, 1));
+    }
+}

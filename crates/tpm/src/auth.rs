@@ -1,0 +1,422 @@
+//! TPM 1.2 authorization sessions (OIAP-style).
+//!
+//! Real TPM commands that touch keys or owner state prove knowledge of a
+//! usage secret with a rolling-nonce HMAC protocol (OIAP). The main UTP
+//! flow does not need it — quotes and PCR operations are unauthorized in
+//! our simplified model — but the ownership / authorized-seal surface is
+//! part of what a TPM *is*, so this module implements it faithfully:
+//!
+//! * [`Tpm::take_ownership`] installs owner and SRK secrets (once);
+//! * [`Tpm::oiap`] opens a session and returns its first even nonce;
+//! * [`Tpm::seal_authorized`] / [`Tpm::unseal_authorized`] are the
+//!   SRK-authorized variants of seal/unseal: the caller must present
+//!   `HMAC-SHA1(srk_secret, paramDigest ‖ nonceEven ‖ nonceOdd)`;
+//! * every successful authorized command rolls the session's even nonce,
+//!   so captured HMACs cannot be replayed.
+
+use crate::device::Tpm;
+use crate::error::TpmError;
+use crate::pcr::PcrSelection;
+use crate::seal::SealedBlob;
+use std::collections::HashMap;
+use utp_crypto::hmac::hmac_sha1;
+use utp_crypto::sha1::{Sha1, Sha1Digest};
+
+/// First handle assigned to OIAP sessions.
+pub const FIRST_AUTH_HANDLE: u32 = 0x0300_0000;
+
+/// Ordinal tags used in parameter digests for authorized commands.
+const ORD_TAG_SEAL: u32 = 0x17;
+const ORD_TAG_UNSEAL: u32 = 0x18;
+
+/// The live authorization sessions of a TPM.
+#[derive(Debug, Clone, Default)]
+pub struct AuthSessions {
+    sessions: HashMap<u32, Sha1Digest>, // handle -> current even nonce
+    next_handle: u32,
+}
+
+impl AuthSessions {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        AuthSessions {
+            sessions: HashMap::new(),
+            next_handle: FIRST_AUTH_HANDLE,
+        }
+    }
+
+    fn open(&mut self, nonce_even: Sha1Digest) -> u32 {
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.sessions.insert(h, nonce_even);
+        h
+    }
+
+    fn nonce(&self, handle: u32) -> Result<Sha1Digest, TpmError> {
+        self.sessions
+            .get(&handle)
+            .copied()
+            .ok_or(TpmError::BadKeyHandle(handle))
+    }
+
+    fn roll(&mut self, handle: u32, next: Sha1Digest) {
+        if let Some(n) = self.sessions.get_mut(&handle) {
+            *n = next;
+        }
+    }
+
+    fn close(&mut self, handle: u32) {
+        self.sessions.remove(&handle);
+    }
+
+    /// Number of open sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True if no session is open.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
+/// Caller-side authorization material for one command.
+#[derive(Debug, Clone, Copy)]
+pub struct CommandAuth {
+    /// The OIAP session handle.
+    pub handle: u32,
+    /// Caller's fresh odd nonce.
+    pub nonce_odd: Sha1Digest,
+    /// `HMAC-SHA1(secret, paramDigest ‖ nonceEven ‖ nonceOdd)`.
+    pub auth: Sha1Digest,
+}
+
+/// Computes the parameter digest for an authorized command.
+pub fn param_digest(ordinal_tag: u32, params: &[&[u8]]) -> Sha1Digest {
+    let mut ctx = Sha1::new();
+    ctx.update(&ordinal_tag.to_be_bytes());
+    for p in params {
+        ctx.update(&(p.len() as u32).to_be_bytes());
+        ctx.update(p);
+    }
+    ctx.finalize()
+}
+
+/// Computes the authorization HMAC a caller must present.
+pub fn compute_auth(
+    secret: &Sha1Digest,
+    params: &Sha1Digest,
+    nonce_even: &Sha1Digest,
+    nonce_odd: &Sha1Digest,
+) -> Sha1Digest {
+    let mut buf = Vec::with_capacity(60);
+    buf.extend_from_slice(params.as_bytes());
+    buf.extend_from_slice(nonce_even.as_bytes());
+    buf.extend_from_slice(nonce_odd.as_bytes());
+    hmac_sha1(secret.as_bytes(), &buf)
+}
+
+impl Tpm {
+    /// `TPM_TakeOwnership`: installs the owner and SRK usage secrets.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the TPM already has an owner.
+    pub fn take_ownership(
+        &mut self,
+        owner_auth: Sha1Digest,
+        srk_auth: Sha1Digest,
+    ) -> Result<(), TpmError> {
+        self.ensure_started_pub()?;
+        if self.owner_auth.is_some() {
+            return Err(TpmError::BadCommand("tpm already owned".into()));
+        }
+        self.owner_auth = Some(owner_auth);
+        self.srk_auth = Some(srk_auth);
+        Ok(())
+    }
+
+    /// True once `take_ownership` has run.
+    pub fn is_owned(&self) -> bool {
+        self.owner_auth.is_some()
+    }
+
+    /// `TPM_OIAP`: opens an authorization session; returns its handle and
+    /// first even nonce.
+    pub fn oiap(&mut self) -> Result<(u32, Sha1Digest), TpmError> {
+        self.ensure_started_pub()?;
+        let bytes = self.get_random(20)?;
+        let nonce_even = Sha1Digest::from_slice(&bytes).expect("20 bytes requested");
+        Ok((self.auth_sessions.open(nonce_even), nonce_even))
+    }
+
+    /// Number of open authorization sessions.
+    pub fn open_auth_sessions(&self) -> usize {
+        self.auth_sessions.len()
+    }
+
+    fn check_auth(
+        &mut self,
+        ordinal_tag: u32,
+        params: &[&[u8]],
+        auth: &CommandAuth,
+    ) -> Result<Sha1Digest, TpmError> {
+        let secret = self.srk_auth.ok_or(TpmError::AuthFail)?;
+        let nonce_even = self.auth_sessions.nonce(auth.handle)?;
+        let digest = param_digest(ordinal_tag, params);
+        let expect = compute_auth(&secret, &digest, &nonce_even, &auth.nonce_odd);
+        if !utp_crypto::ct::ct_eq(expect.as_bytes(), auth.auth.as_bytes()) {
+            // A failed auth terminates the session, per spec.
+            self.auth_sessions.close(auth.handle);
+            return Err(TpmError::AuthFail);
+        }
+        // Roll the even nonce so the next command needs a fresh HMAC.
+        let bytes = self.get_random(20)?;
+        let next = Sha1Digest::from_slice(&bytes).expect("20 bytes requested");
+        self.auth_sessions.roll(auth.handle, next);
+        Ok(next)
+    }
+
+    /// SRK-authorized seal. Returns the blob and the session's next even
+    /// nonce.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::AuthFail`] on a wrong HMAC (the session is terminated),
+    /// plus all ordinary seal errors.
+    pub fn seal_authorized(
+        &mut self,
+        key_handle: u32,
+        selection: PcrSelection,
+        payload: &[u8],
+        auth: &CommandAuth,
+    ) -> Result<(SealedBlob, Sha1Digest), TpmError> {
+        let next =
+            self.check_auth(ORD_TAG_SEAL, &[&key_handle.to_be_bytes(), payload], auth)?;
+        let blob = self.seal_to_current(key_handle, selection, payload)?;
+        Ok((blob, next))
+    }
+
+    /// SRK-authorized unseal. Returns the payload and the session's next
+    /// even nonce.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::AuthFail`] on a wrong HMAC, plus all ordinary unseal
+    /// errors.
+    pub fn unseal_authorized(
+        &mut self,
+        key_handle: u32,
+        blob: &SealedBlob,
+        auth: &CommandAuth,
+    ) -> Result<(Vec<u8>, Sha1Digest), TpmError> {
+        let blob_bytes = blob.to_bytes();
+        let next =
+            self.check_auth(ORD_TAG_UNSEAL, &[&key_handle.to_be_bytes(), &blob_bytes], auth)?;
+        let payload = self.unseal(key_handle, blob)?;
+        Ok((payload, next))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::TpmConfig;
+    use crate::keys::SRK_HANDLE;
+    use crate::pcr::PcrIndex;
+
+    fn owned_tpm() -> (Tpm, Sha1Digest) {
+        let mut t = Tpm::new(TpmConfig::fast_for_tests(60));
+        t.startup_clear();
+        let srk_auth = Sha1::digest(b"srk password");
+        t.take_ownership(Sha1::digest(b"owner password"), srk_auth)
+            .unwrap();
+        (t, srk_auth)
+    }
+
+    fn sel() -> PcrSelection {
+        PcrSelection::of(&[PcrIndex::new(0).unwrap()])
+    }
+
+    fn make_auth(
+        secret: &Sha1Digest,
+        nonce_even: &Sha1Digest,
+        handle: u32,
+        ordinal_tag: u32,
+        params: &[&[u8]],
+        odd_seed: &[u8],
+    ) -> CommandAuth {
+        let nonce_odd = Sha1::digest(odd_seed);
+        let digest = param_digest(ordinal_tag, params);
+        CommandAuth {
+            handle,
+            nonce_odd,
+            auth: compute_auth(secret, &digest, nonce_even, &nonce_odd),
+        }
+    }
+
+    #[test]
+    fn ownership_is_single_shot() {
+        let (mut t, _) = owned_tpm();
+        assert!(t.is_owned());
+        assert!(t
+            .take_ownership(Sha1Digest::zero(), Sha1Digest::zero())
+            .is_err());
+    }
+
+    #[test]
+    fn authorized_seal_unseal_roundtrip() {
+        let (mut t, srk_auth) = owned_tpm();
+        let (handle, ne) = t.oiap().unwrap();
+        let auth = make_auth(
+            &srk_auth,
+            &ne,
+            handle,
+            super::ORD_TAG_SEAL,
+            &[&SRK_HANDLE.to_be_bytes(), b"secret"],
+            b"odd-1",
+        );
+        let (blob, ne2) = t
+            .seal_authorized(SRK_HANDLE, sel(), b"secret", &auth)
+            .unwrap();
+        let blob_bytes = blob.to_bytes();
+        let auth2 = make_auth(
+            &srk_auth,
+            &ne2,
+            handle,
+            super::ORD_TAG_UNSEAL,
+            &[&SRK_HANDLE.to_be_bytes(), &blob_bytes],
+            b"odd-2",
+        );
+        let (payload, _ne3) = t.unseal_authorized(SRK_HANDLE, &blob, &auth2).unwrap();
+        assert_eq!(payload, b"secret");
+    }
+
+    #[test]
+    fn wrong_secret_fails_and_terminates_session() {
+        let (mut t, _srk_auth) = owned_tpm();
+        let (handle, ne) = t.oiap().unwrap();
+        assert_eq!(t.open_auth_sessions(), 1);
+        let wrong = Sha1::digest(b"guess");
+        let auth = make_auth(
+            &wrong,
+            &ne,
+            handle,
+            super::ORD_TAG_SEAL,
+            &[&SRK_HANDLE.to_be_bytes(), b"x"],
+            b"odd",
+        );
+        assert_eq!(
+            t.seal_authorized(SRK_HANDLE, sel(), b"x", &auth).unwrap_err(),
+            TpmError::AuthFail
+        );
+        assert_eq!(t.open_auth_sessions(), 0);
+        // The terminated handle is dead even with the right secret.
+        let auth = make_auth(
+            &Sha1::digest(b"srk password"),
+            &ne,
+            handle,
+            super::ORD_TAG_SEAL,
+            &[&SRK_HANDLE.to_be_bytes(), b"x"],
+            b"odd2",
+        );
+        assert!(t.seal_authorized(SRK_HANDLE, sel(), b"x", &auth).is_err());
+    }
+
+    #[test]
+    fn replayed_hmac_is_rejected_by_nonce_rolling() {
+        let (mut t, srk_auth) = owned_tpm();
+        let (handle, ne) = t.oiap().unwrap();
+        let auth = make_auth(
+            &srk_auth,
+            &ne,
+            handle,
+            super::ORD_TAG_SEAL,
+            &[&SRK_HANDLE.to_be_bytes(), b"p"],
+            b"odd",
+        );
+        t.seal_authorized(SRK_HANDLE, sel(), b"p", &auth).unwrap();
+        // Same CommandAuth again: even nonce has rolled → AuthFail.
+        assert_eq!(
+            t.seal_authorized(SRK_HANDLE, sel(), b"p", &auth).unwrap_err(),
+            TpmError::AuthFail
+        );
+    }
+
+    #[test]
+    fn auth_binds_parameters() {
+        let (mut t, srk_auth) = owned_tpm();
+        let (handle, ne) = t.oiap().unwrap();
+        // HMAC computed over payload "alpha"; command carries "bravo".
+        let auth = make_auth(
+            &srk_auth,
+            &ne,
+            handle,
+            super::ORD_TAG_SEAL,
+            &[&SRK_HANDLE.to_be_bytes(), b"alpha"],
+            b"odd",
+        );
+        assert_eq!(
+            t.seal_authorized(SRK_HANDLE, sel(), b"bravo", &auth)
+                .unwrap_err(),
+            TpmError::AuthFail
+        );
+    }
+
+    #[test]
+    fn unowned_tpm_refuses_authorized_commands() {
+        let mut t = Tpm::new(TpmConfig::fast_for_tests(61));
+        t.startup_clear();
+        let (handle, ne) = t.oiap().unwrap();
+        let auth = make_auth(
+            &Sha1::digest(b"whatever"),
+            &ne,
+            handle,
+            super::ORD_TAG_SEAL,
+            &[&SRK_HANDLE.to_be_bytes(), b"x"],
+            b"odd",
+        );
+        assert_eq!(
+            t.seal_authorized(SRK_HANDLE, sel(), b"x", &auth).unwrap_err(),
+            TpmError::AuthFail
+        );
+    }
+
+    #[test]
+    fn sessions_are_independent() {
+        let (mut t, srk_auth) = owned_tpm();
+        let (h1, ne1) = t.oiap().unwrap();
+        let (h2, ne2) = t.oiap().unwrap();
+        assert_ne!(h1, h2);
+        assert_ne!(ne1, ne2);
+        // Killing h1 with a bad HMAC leaves h2 usable.
+        let bad = make_auth(
+            &Sha1::digest(b"bad"),
+            &ne1,
+            h1,
+            super::ORD_TAG_SEAL,
+            &[&SRK_HANDLE.to_be_bytes(), b"x"],
+            b"o",
+        );
+        let _ = t.seal_authorized(SRK_HANDLE, sel(), b"x", &bad);
+        let good = make_auth(
+            &srk_auth,
+            &ne2,
+            h2,
+            super::ORD_TAG_SEAL,
+            &[&SRK_HANDLE.to_be_bytes(), b"y"],
+            b"o2",
+        );
+        t.seal_authorized(SRK_HANDLE, sel(), b"y", &good).unwrap();
+    }
+
+    #[test]
+    fn param_digest_is_unambiguous() {
+        // ("ab","c") must differ from ("a","bc").
+        let a = param_digest(1, &[b"ab", b"c"]);
+        let b = param_digest(1, &[b"a", b"bc"]);
+        assert_ne!(a, b);
+        // And ordinal tags separate command types.
+        assert_ne!(param_digest(1, &[b"x"]), param_digest(2, &[b"x"]));
+    }
+}

@@ -1,0 +1,474 @@
+//! Byte-level TPM 1.2 command interface.
+//!
+//! Real software talks to the TPM through a memory-mapped TIS interface by
+//! exchanging tagged byte blobs. The OS driver and the PAL's minimal TPM
+//! driver in this reproduction do the same: they marshal requests through
+//! this module, so the untrusted OS cannot reach any "convenience" Rust API
+//! that hardware would not expose.
+//!
+//! Layout (all integers big-endian, as in the TCG spec):
+//!
+//! ```text
+//! request:  tag(u16) paramSize(u32) ordinal(u32) body...
+//! response: tag(u16) paramSize(u32) returnCode(u32) body...
+//! ```
+
+use crate::device::Tpm;
+use crate::error::TpmError;
+use crate::locality::Locality;
+use crate::pcr::{PcrIndex, PcrSelection};
+use utp_crypto::sha1::Sha1Digest;
+
+/// Request tag for unauthorized commands (`TPM_TAG_RQU_COMMAND`).
+pub const TAG_RQU_COMMAND: u16 = 0x00C1;
+/// Response tag (`TPM_TAG_RSP_COMMAND`).
+pub const TAG_RSP_COMMAND: u16 = 0x00C4;
+
+/// TPM_ORD_Extend.
+pub const ORD_EXTEND: u32 = 0x0000_0014;
+/// TPM_ORD_PcrRead.
+pub const ORD_PCR_READ: u32 = 0x0000_0015;
+/// TPM_ORD_Quote.
+pub const ORD_QUOTE: u32 = 0x0000_0016;
+/// TPM_ORD_GetRandom.
+pub const ORD_GET_RANDOM: u32 = 0x0000_0046;
+/// TPM_ORD_ReadCounter.
+pub const ORD_READ_COUNTER: u32 = 0x0000_00DE;
+/// TPM_ORD_IncrementCounter.
+pub const ORD_INCREMENT_COUNTER: u32 = 0x0000_00DD;
+/// TPM_ORD_NV_ReadValue.
+pub const ORD_NV_READ: u32 = 0x0000_00CF;
+/// TPM_ORD_NV_WriteValue.
+pub const ORD_NV_WRITE: u32 = 0x0000_00CD;
+/// TPM_ORD_Seal.
+pub const ORD_SEAL: u32 = 0x0000_0017;
+/// TPM_ORD_Unseal.
+pub const ORD_UNSEAL: u32 = 0x0000_0018;
+
+/// Success return code (`TPM_SUCCESS`).
+pub const RC_SUCCESS: u32 = 0;
+/// Generic failure (`TPM_FAIL`); the body carries a textual reason.
+pub const RC_FAIL: u32 = 9;
+/// Bad locality return code.
+pub const RC_BAD_LOCALITY: u32 = 0x44;
+
+/// Builds a request frame.
+pub fn encode_request(ordinal: u32, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10 + body.len());
+    out.extend_from_slice(&TAG_RQU_COMMAND.to_be_bytes());
+    out.extend_from_slice(&((10 + body.len()) as u32).to_be_bytes());
+    out.extend_from_slice(&ordinal.to_be_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+fn encode_response(rc: u32, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10 + body.len());
+    out.extend_from_slice(&TAG_RSP_COMMAND.to_be_bytes());
+    out.extend_from_slice(&((10 + body.len()) as u32).to_be_bytes());
+    out.extend_from_slice(&rc.to_be_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// A decoded response: return code and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// TPM return code; [`RC_SUCCESS`] on success.
+    pub return_code: u32,
+    /// Response body (meaning depends on the ordinal).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// True on success.
+    pub fn ok(&self) -> bool {
+        self.return_code == RC_SUCCESS
+    }
+}
+
+/// Parses a response frame.
+pub fn decode_response(data: &[u8]) -> Result<Response, TpmError> {
+    if data.len() < 10 {
+        return Err(TpmError::BadCommand("response too short".into()));
+    }
+    let tag = u16::from_be_bytes([data[0], data[1]]);
+    if tag != TAG_RSP_COMMAND {
+        return Err(TpmError::BadCommand(format!("bad response tag {:#x}", tag)));
+    }
+    let size = u32::from_be_bytes(data[2..6].try_into().unwrap()) as usize;
+    if size != data.len() {
+        return Err(TpmError::BadCommand("response size mismatch".into()));
+    }
+    let return_code = u32::from_be_bytes(data[6..10].try_into().unwrap());
+    Ok(Response {
+        return_code,
+        body: data[10..].to_vec(),
+    })
+}
+
+fn err_to_rc(e: &TpmError) -> u32 {
+    match e {
+        TpmError::BadLocality { .. } => RC_BAD_LOCALITY,
+        _ => RC_FAIL,
+    }
+}
+
+/// Executes one marshaled command against the TPM at the asserted locality
+/// and returns the marshaled response. Malformed frames produce `RC_FAIL`
+/// responses rather than errors — the chip never panics at the bus.
+pub fn execute(tpm: &mut Tpm, locality: Locality, request: &[u8]) -> Vec<u8> {
+    match execute_inner(tpm, locality, request) {
+        Ok(body) => encode_response(RC_SUCCESS, &body),
+        Err(e) => encode_response(err_to_rc(&e), e.to_string().as_bytes()),
+    }
+}
+
+fn take<'a>(data: &mut &'a [u8], n: usize) -> Result<&'a [u8], TpmError> {
+    if data.len() < n {
+        return Err(TpmError::BadCommand("truncated body".into()));
+    }
+    let (head, rest) = data.split_at(n);
+    *data = rest;
+    Ok(head)
+}
+
+fn take_u32(data: &mut &[u8]) -> Result<u32, TpmError> {
+    Ok(u32::from_be_bytes(take(data, 4)?.try_into().unwrap()))
+}
+
+fn execute_inner(tpm: &mut Tpm, locality: Locality, request: &[u8]) -> Result<Vec<u8>, TpmError> {
+    if request.len() < 10 {
+        return Err(TpmError::BadCommand("request too short".into()));
+    }
+    let tag = u16::from_be_bytes([request[0], request[1]]);
+    if tag != TAG_RQU_COMMAND {
+        return Err(TpmError::BadCommand(format!("bad request tag {:#x}", tag)));
+    }
+    let size = u32::from_be_bytes(request[2..6].try_into().unwrap()) as usize;
+    if size != request.len() {
+        return Err(TpmError::BadCommand("request size mismatch".into()));
+    }
+    let ordinal = u32::from_be_bytes(request[6..10].try_into().unwrap());
+    let mut body = &request[10..];
+    match ordinal {
+        ORD_EXTEND => {
+            let idx = take_u32(&mut body)?;
+            let digest = take(&mut body, 20)?;
+            let pcr = PcrIndex::new(idx).ok_or(TpmError::BadPcrIndex(idx))?;
+            let new = tpm.extend(locality, pcr, digest)?;
+            Ok(new.as_bytes().to_vec())
+        }
+        ORD_PCR_READ => {
+            let idx = take_u32(&mut body)?;
+            let pcr = PcrIndex::new(idx).ok_or(TpmError::BadPcrIndex(idx))?;
+            let v = tpm.pcr_read(pcr)?;
+            Ok(v.as_bytes().to_vec())
+        }
+        ORD_QUOTE => {
+            let aik = take_u32(&mut body)?;
+            let nonce = Sha1Digest::from_slice(take(&mut body, 20)?)
+                .expect("take returned 20 bytes");
+            let (selection, used) = PcrSelection::from_wire(body)?;
+            let _ = take(&mut body, used)?;
+            let quote = tpm.quote(aik, selection, nonce)?;
+            Ok(quote.to_bytes())
+        }
+        ORD_GET_RANDOM => {
+            let len = take_u32(&mut body)? as usize;
+            if len > 4096 {
+                return Err(TpmError::BadCommand("random request too large".into()));
+            }
+            let bytes = tpm.get_random(len)?;
+            let mut out = (bytes.len() as u32).to_be_bytes().to_vec();
+            out.extend_from_slice(&bytes);
+            Ok(out)
+        }
+        ORD_READ_COUNTER => {
+            let handle = take_u32(&mut body)?;
+            let v = tpm.read_counter(handle)?;
+            Ok(v.to_be_bytes().to_vec())
+        }
+        ORD_INCREMENT_COUNTER => {
+            let handle = take_u32(&mut body)?;
+            let v = tpm.increment_counter(handle)?;
+            Ok(v.to_be_bytes().to_vec())
+        }
+        ORD_NV_READ => {
+            let index = take_u32(&mut body)?;
+            let offset = take_u32(&mut body)? as usize;
+            let len = take_u32(&mut body)? as usize;
+            let data = tpm.nv_read(index, offset, len)?;
+            let mut out = (data.len() as u32).to_be_bytes().to_vec();
+            out.extend_from_slice(&data);
+            Ok(out)
+        }
+        ORD_NV_WRITE => {
+            let index = take_u32(&mut body)?;
+            let offset = take_u32(&mut body)? as usize;
+            let len = take_u32(&mut body)? as usize;
+            let data = take(&mut body, len)?;
+            tpm.nv_write(locality, index, offset, data)?;
+            Ok(Vec::new())
+        }
+        ORD_SEAL => {
+            let key_handle = take_u32(&mut body)?;
+            let (selection, used) = PcrSelection::from_wire(body)?;
+            let _ = take(&mut body, used)?;
+            let len = take_u32(&mut body)? as usize;
+            let payload = take(&mut body, len)?;
+            let blob = tpm.seal_to_current(key_handle, selection, payload)?;
+            Ok(blob.to_bytes())
+        }
+        ORD_UNSEAL => {
+            let key_handle = take_u32(&mut body)?;
+            let len = take_u32(&mut body)? as usize;
+            let blob_bytes = take(&mut body, len)?;
+            let blob = crate::seal::SealedBlob::from_bytes(blob_bytes)
+                .ok_or(TpmError::BadBlob)?;
+            let payload = tpm.unseal(key_handle, &blob)?;
+            let mut out = (payload.len() as u32).to_be_bytes().to_vec();
+            out.extend_from_slice(&payload);
+            Ok(out)
+        }
+        other => Err(TpmError::UnsupportedOrdinal(other)),
+    }
+}
+
+// ----- Typed helpers for driver code ------------------------------------------
+
+/// Builds a `TPM_Extend` request.
+pub fn req_extend(pcr: PcrIndex, digest: &Sha1Digest) -> Vec<u8> {
+    let mut body = pcr.value().to_be_bytes().to_vec();
+    body.extend_from_slice(digest.as_bytes());
+    encode_request(ORD_EXTEND, &body)
+}
+
+/// Builds a `TPM_PCRRead` request.
+pub fn req_pcr_read(pcr: PcrIndex) -> Vec<u8> {
+    encode_request(ORD_PCR_READ, &pcr.value().to_be_bytes())
+}
+
+/// Builds a `TPM_Quote` request.
+pub fn req_quote(aik_handle: u32, nonce: &Sha1Digest, selection: &PcrSelection) -> Vec<u8> {
+    let mut body = aik_handle.to_be_bytes().to_vec();
+    body.extend_from_slice(nonce.as_bytes());
+    body.extend_from_slice(&selection.to_wire());
+    encode_request(ORD_QUOTE, &body)
+}
+
+/// Builds a `TPM_GetRandom` request.
+pub fn req_get_random(len: u32) -> Vec<u8> {
+    encode_request(ORD_GET_RANDOM, &len.to_be_bytes())
+}
+
+/// Builds a `TPM_Seal` request (seal `payload` to the current values of
+/// `selection` under `key_handle`).
+pub fn req_seal(key_handle: u32, selection: &PcrSelection, payload: &[u8]) -> Vec<u8> {
+    let mut body = key_handle.to_be_bytes().to_vec();
+    body.extend_from_slice(&selection.to_wire());
+    body.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    body.extend_from_slice(payload);
+    encode_request(ORD_SEAL, &body)
+}
+
+/// Builds a `TPM_Unseal` request.
+pub fn req_unseal(key_handle: u32, blob_bytes: &[u8]) -> Vec<u8> {
+    let mut body = key_handle.to_be_bytes().to_vec();
+    body.extend_from_slice(&(blob_bytes.len() as u32).to_be_bytes());
+    body.extend_from_slice(blob_bytes);
+    encode_request(ORD_UNSEAL, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::TpmConfig;
+    use utp_crypto::sha1::Sha1;
+
+    fn tpm() -> Tpm {
+        let mut t = Tpm::new(TpmConfig::fast_for_tests(3));
+        t.startup_clear();
+        t
+    }
+
+    #[test]
+    fn extend_and_read_through_bytes() {
+        let mut t = tpm();
+        let pcr = PcrIndex::new(10).unwrap();
+        let digest = Sha1::digest(b"event");
+        let resp = execute(&mut t, Locality::Zero, &req_extend(pcr, &digest));
+        let resp = decode_response(&resp).unwrap();
+        assert!(resp.ok());
+        let read = decode_response(&execute(&mut t, Locality::Zero, &req_pcr_read(pcr))).unwrap();
+        assert_eq!(read.body, resp.body);
+        let expected = Sha1::digest_concat(Sha1Digest::zero().as_bytes(), digest.as_bytes());
+        assert_eq!(read.body, expected.as_bytes());
+    }
+
+    #[test]
+    fn locality_violation_maps_to_rc_bad_locality() {
+        let mut t = tpm();
+        let pcr = PcrIndex::drtm();
+        let resp = execute(
+            &mut t,
+            Locality::Zero,
+            &req_extend(pcr, &Sha1Digest::zero()),
+        );
+        let resp = decode_response(&resp).unwrap();
+        assert_eq!(resp.return_code, RC_BAD_LOCALITY);
+    }
+
+    #[test]
+    fn quote_through_bytes_verifies() {
+        let mut t = tpm();
+        let aik = t.make_identity();
+        let nonce = Sha1::digest(b"n");
+        let resp = execute(
+            &mut t,
+            Locality::Zero,
+            &req_quote(aik, &nonce, &PcrSelection::drtm_only()),
+        );
+        let resp = decode_response(&resp).unwrap();
+        assert!(resp.ok());
+        let quote = crate::quote::Quote::from_bytes(&resp.body).unwrap();
+        assert!(quote.verify(&t.read_pubkey(aik).unwrap(), &nonce));
+    }
+
+    #[test]
+    fn get_random_returns_requested_length() {
+        let mut t = tpm();
+        let resp = decode_response(&execute(&mut t, Locality::Zero, &req_get_random(33))).unwrap();
+        assert!(resp.ok());
+        assert_eq!(u32::from_be_bytes(resp.body[..4].try_into().unwrap()), 33);
+        assert_eq!(resp.body.len(), 4 + 33);
+    }
+
+    #[test]
+    fn oversized_random_request_fails_cleanly() {
+        let mut t = tpm();
+        let resp =
+            decode_response(&execute(&mut t, Locality::Zero, &req_get_random(1 << 20))).unwrap();
+        assert_eq!(resp.return_code, RC_FAIL);
+    }
+
+    #[test]
+    fn malformed_frames_fail_without_panic() {
+        let mut t = tpm();
+        for frame in [
+            &b""[..],
+            &[0u8; 9],
+            &[0xFFu8; 10],                  // bad tag
+            &encode_request(0x9999, &[])[..], // unknown ordinal
+        ] {
+            let resp = decode_response(&execute(&mut t, Locality::Zero, frame)).unwrap();
+            assert_eq!(resp.return_code, RC_FAIL, "frame {:?}", frame);
+        }
+        // Wrong declared size.
+        let mut req = encode_request(ORD_PCR_READ, &0u32.to_be_bytes());
+        req[5] = 0xFF;
+        let resp = decode_response(&execute(&mut t, Locality::Zero, &req)).unwrap();
+        assert_eq!(resp.return_code, RC_FAIL);
+    }
+
+    #[test]
+    fn truncated_body_fails_cleanly() {
+        let mut t = tpm();
+        // Extend with a 5-byte digest.
+        let mut body = 0u32.to_be_bytes().to_vec();
+        body.extend_from_slice(&[1, 2, 3, 4, 5]);
+        let resp =
+            decode_response(&execute(&mut t, Locality::Zero, &encode_request(ORD_EXTEND, &body)))
+                .unwrap();
+        assert_eq!(resp.return_code, RC_FAIL);
+    }
+
+    #[test]
+    fn counters_and_nv_through_bytes() {
+        let mut t = tpm();
+        let handle = t.create_counter().unwrap();
+        let inc = encode_request(ORD_INCREMENT_COUNTER, &handle.to_be_bytes());
+        let resp = decode_response(&execute(&mut t, Locality::Zero, &inc)).unwrap();
+        assert!(resp.ok());
+        assert_eq!(u64::from_be_bytes(resp.body.try_into().unwrap()), 1);
+
+        t.nv_define(0x55, 8, 0);
+        let mut wbody = 0x55u32.to_be_bytes().to_vec();
+        wbody.extend_from_slice(&0u32.to_be_bytes());
+        wbody.extend_from_slice(&4u32.to_be_bytes());
+        wbody.extend_from_slice(b"data");
+        let resp = decode_response(&execute(
+            &mut t,
+            Locality::Zero,
+            &encode_request(ORD_NV_WRITE, &wbody),
+        ))
+        .unwrap();
+        assert!(resp.ok());
+        let mut rbody = 0x55u32.to_be_bytes().to_vec();
+        rbody.extend_from_slice(&0u32.to_be_bytes());
+        rbody.extend_from_slice(&4u32.to_be_bytes());
+        let resp = decode_response(&execute(
+            &mut t,
+            Locality::Zero,
+            &encode_request(ORD_NV_READ, &rbody),
+        ))
+        .unwrap();
+        assert_eq!(&resp.body[4..], b"data");
+    }
+
+    #[test]
+    fn seal_unseal_through_bytes() {
+        let mut t = tpm();
+        let sel = PcrSelection::of(&[PcrIndex::new(0).unwrap()]);
+        let resp = decode_response(&execute(
+            &mut t,
+            Locality::Zero,
+            &req_seal(crate::keys::SRK_HANDLE, &sel, b"wire secret"),
+        ))
+        .unwrap();
+        assert!(resp.ok());
+        let resp = decode_response(&execute(
+            &mut t,
+            Locality::Zero,
+            &req_unseal(crate::keys::SRK_HANDLE, &resp.body),
+        ))
+        .unwrap();
+        assert!(resp.ok());
+        assert_eq!(&resp.body[4..], b"wire secret");
+    }
+
+    #[test]
+    fn unseal_through_bytes_fails_after_pcr_change() {
+        let mut t = tpm();
+        let sel = PcrSelection::of(&[PcrIndex::new(0).unwrap()]);
+        let sealed = decode_response(&execute(
+            &mut t,
+            Locality::Zero,
+            &req_seal(crate::keys::SRK_HANDLE, &sel, b"x"),
+        ))
+        .unwrap();
+        // OS extends PCR 0, changing the policy environment.
+        let _ = execute(
+            &mut t,
+            Locality::Zero,
+            &req_extend(PcrIndex::new(0).unwrap(), &Sha1Digest::zero()),
+        );
+        let resp = decode_response(&execute(
+            &mut t,
+            Locality::Zero,
+            &req_unseal(crate::keys::SRK_HANDLE, &sealed.body),
+        ))
+        .unwrap();
+        assert_eq!(resp.return_code, RC_FAIL);
+    }
+
+    #[test]
+    fn decode_response_validates_frame() {
+        assert!(decode_response(&[]).is_err());
+        assert!(decode_response(&[0u8; 10]).is_err()); // wrong tag
+        let mut good = encode_request(0, &[]); // request tag, not response
+        good[0] = 0;
+        good[1] = 0xC4;
+        assert!(decode_response(&good).is_ok());
+    }
+}

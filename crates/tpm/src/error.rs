@@ -1,0 +1,105 @@
+//! TPM error codes, loosely mirroring TPM 1.2 return codes.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the software TPM.
+///
+/// Variants carry the information a caller needs to distinguish policy
+/// violations (bad locality) from programming errors (bad index).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TpmError {
+    /// The TPM has not received `TPM_Startup` since power-on.
+    NotStarted,
+    /// PCR index outside `0..24`.
+    BadPcrIndex(u32),
+    /// The command is not permitted at the current locality.
+    BadLocality {
+        /// Locality the command arrived at.
+        got: u8,
+        /// Minimum locality the command requires.
+        required: u8,
+    },
+    /// Attempt to reset a PCR that the current locality may not reset.
+    PcrNotResettable(u32),
+    /// Extend value had the wrong length (must be 20 bytes).
+    BadDigestLength(usize),
+    /// Unknown key handle.
+    BadKeyHandle(u32),
+    /// Authorization (HMAC) check failed.
+    AuthFail,
+    /// Unseal failed because the current PCR values do not match the
+    /// values the blob was sealed to.
+    WrongPcrValue,
+    /// A sealed blob failed integrity checks (tampered or wrong TPM).
+    BadBlob,
+    /// Monotonic counter handle unknown.
+    BadCounterHandle(u32),
+    /// NV index not defined or wrong size.
+    BadNvIndex(u32),
+    /// Byte-level command could not be parsed.
+    BadCommand(String),
+    /// The ordinal is not implemented by this model.
+    UnsupportedOrdinal(u32),
+    /// Internal crypto failure (wraps the crypto error text).
+    Crypto(String),
+}
+
+impl fmt::Display for TpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TpmError::NotStarted => write!(f, "tpm has not been started"),
+            TpmError::BadPcrIndex(i) => write!(f, "pcr index {} out of range", i),
+            TpmError::BadLocality { got, required } => {
+                write!(f, "locality {} insufficient, need {}", got, required)
+            }
+            TpmError::PcrNotResettable(i) => write!(f, "pcr {} not resettable here", i),
+            TpmError::BadDigestLength(l) => write!(f, "digest length {} != 20", l),
+            TpmError::BadKeyHandle(h) => write!(f, "unknown key handle {:#x}", h),
+            TpmError::AuthFail => write!(f, "authorization failed"),
+            TpmError::WrongPcrValue => write!(f, "pcr values do not match sealed blob"),
+            TpmError::BadBlob => write!(f, "sealed blob corrupt or from another tpm"),
+            TpmError::BadCounterHandle(h) => write!(f, "unknown counter handle {:#x}", h),
+            TpmError::BadNvIndex(i) => write!(f, "nv index {:#x} undefined or mis-sized", i),
+            TpmError::BadCommand(why) => write!(f, "malformed command: {}", why),
+            TpmError::UnsupportedOrdinal(o) => write!(f, "unsupported ordinal {:#x}", o),
+            TpmError::Crypto(why) => write!(f, "crypto failure: {}", why),
+        }
+    }
+}
+
+impl Error for TpmError {}
+
+impl From<utp_crypto::CryptoError> for TpmError {
+    fn from(e: utp_crypto::CryptoError) -> Self {
+        TpmError::Crypto(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_distinct() {
+        let msgs: Vec<String> = vec![
+            TpmError::NotStarted.to_string(),
+            TpmError::BadPcrIndex(25).to_string(),
+            TpmError::BadLocality { got: 0, required: 4 }.to_string(),
+            TpmError::AuthFail.to_string(),
+            TpmError::WrongPcrValue.to_string(),
+        ];
+        for (i, a) in msgs.iter().enumerate() {
+            for b in msgs.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn from_crypto_error() {
+        let e: TpmError = utp_crypto::CryptoError::BadSignature.into();
+        assert!(matches!(e, TpmError::Crypto(_)));
+    }
+}

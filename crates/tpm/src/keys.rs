@@ -1,0 +1,220 @@
+//! TPM key hierarchy: endorsement key (EK), storage root key (SRK), and
+//! attestation identity keys (AIKs).
+//!
+//! A real TPM 1.2 ships with a unique EK whose public half is certified by
+//! the manufacturer; AIKs are generated inside the chip and certified by a
+//! privacy CA that checks the EK certificate. We model the same structure
+//! with from-scratch RSA keys; key sizes are configurable so tests stay
+//! fast while experiments run the realistic 2048-bit size.
+
+use crate::error::TpmError;
+use std::collections::HashMap;
+use utp_crypto::rsa::{RsaKeyPair, RsaPublicKey};
+
+/// Reserved handle of the storage root key.
+pub const SRK_HANDLE: u32 = 0x4000_0000;
+/// Reserved handle of the endorsement key.
+pub const EK_HANDLE: u32 = 0x4000_0001;
+/// First handle assigned to generated AIKs.
+pub const FIRST_AIK_HANDLE: u32 = 0x0100_0000;
+
+/// What a key slot is allowed to do — TPM 1.2 keys are single-purpose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyUsage {
+    /// Storage keys wrap other keys / sealed data (SRK).
+    Storage,
+    /// Identity keys sign quotes only (AIK).
+    Identity,
+    /// The EK decrypts privacy-CA challenges only.
+    Endorsement,
+}
+
+/// A key slot inside the TPM.
+#[derive(Debug, Clone)]
+pub struct KeySlot {
+    /// Handle used by commands to refer to this key.
+    pub handle: u32,
+    /// Allowed usage.
+    pub usage: KeyUsage,
+    /// The key material (kept inside the TPM in hardware; public here
+    /// because this is a simulator — nothing outside `utp-tpm` touches it).
+    pub keypair: RsaKeyPair,
+}
+
+/// The TPM's key store.
+#[derive(Debug, Clone)]
+pub struct KeyStore {
+    slots: HashMap<u32, KeySlot>,
+    next_aik: u32,
+    next_loaded: u32,
+}
+
+impl KeyStore {
+    /// Creates the factory state: EK and SRK installed, no AIKs.
+    ///
+    /// `key_bits` controls RSA size (use 512 in tests, 1024+ in
+    /// experiments); `seed` differentiates TPM identities.
+    pub fn factory(key_bits: usize, seed: u64) -> Self {
+        let mut slots = HashMap::new();
+        slots.insert(
+            EK_HANDLE,
+            KeySlot {
+                handle: EK_HANDLE,
+                usage: KeyUsage::Endorsement,
+                keypair: RsaKeyPair::generate(key_bits, seed.wrapping_mul(3).wrapping_add(1)),
+            },
+        );
+        slots.insert(
+            SRK_HANDLE,
+            KeySlot {
+                handle: SRK_HANDLE,
+                usage: KeyUsage::Storage,
+                keypair: RsaKeyPair::generate(key_bits, seed.wrapping_mul(3).wrapping_add(2)),
+            },
+        );
+        KeyStore {
+            slots,
+            next_aik: FIRST_AIK_HANDLE,
+            next_loaded: crate::wrapped::FIRST_LOADED_HANDLE,
+        }
+    }
+
+    /// Generates a new AIK and returns its handle.
+    pub fn make_identity(&mut self, key_bits: usize, seed: u64) -> u32 {
+        let handle = self.next_aik;
+        self.next_aik += 1;
+        self.slots.insert(
+            handle,
+            KeySlot {
+                handle,
+                usage: KeyUsage::Identity,
+                keypair: RsaKeyPair::generate(
+                    key_bits,
+                    seed.wrapping_mul(7).wrapping_add(handle as u64),
+                ),
+            },
+        );
+        handle
+    }
+
+    /// Looks up a slot.
+    pub fn get(&self, handle: u32) -> Result<&KeySlot, TpmError> {
+        self.slots.get(&handle).ok_or(TpmError::BadKeyHandle(handle))
+    }
+
+    /// Loads an externally reconstructed key (wrapped-key support);
+    /// returns its fresh handle.
+    pub fn load_external(&mut self, usage: KeyUsage, keypair: RsaKeyPair) -> u32 {
+        let handle = self.next_loaded;
+        self.next_loaded += 1;
+        self.slots.insert(
+            handle,
+            KeySlot {
+                handle,
+                usage,
+                keypair,
+            },
+        );
+        handle
+    }
+
+    /// Unloads a key. The EK and SRK are permanent.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::BadKeyHandle`] for unknown or permanent handles.
+    pub fn evict(&mut self, handle: u32) -> Result<(), TpmError> {
+        if handle == EK_HANDLE || handle == SRK_HANDLE {
+            return Err(TpmError::BadKeyHandle(handle));
+        }
+        self.slots
+            .remove(&handle)
+            .map(|_| ())
+            .ok_or(TpmError::BadKeyHandle(handle))
+    }
+
+    /// Public key of a slot (what `TPM_GetPubKey` returns).
+    pub fn public(&self, handle: u32) -> Result<&RsaPublicKey, TpmError> {
+        Ok(self.get(handle)?.keypair.public())
+    }
+
+    /// Verifies a handle refers to a key with the given usage.
+    pub fn expect_usage(&self, handle: u32, usage: KeyUsage) -> Result<&KeySlot, TpmError> {
+        let slot = self.get(handle)?;
+        if slot.usage != usage {
+            return Err(TpmError::BadKeyHandle(handle));
+        }
+        Ok(slot)
+    }
+
+    /// Number of loaded keys (including EK/SRK).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Never empty: EK and SRK are permanent.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> KeyStore {
+        KeyStore::factory(512, 42)
+    }
+
+    #[test]
+    fn factory_has_ek_and_srk() {
+        let ks = store();
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks.get(EK_HANDLE).unwrap().usage, KeyUsage::Endorsement);
+        assert_eq!(ks.get(SRK_HANDLE).unwrap().usage, KeyUsage::Storage);
+    }
+
+    #[test]
+    fn ek_and_srk_differ() {
+        let ks = store();
+        assert_ne!(
+            ks.public(EK_HANDLE).unwrap(),
+            ks.public(SRK_HANDLE).unwrap()
+        );
+    }
+
+    #[test]
+    fn different_seeds_give_different_identities() {
+        let a = KeyStore::factory(512, 1);
+        let b = KeyStore::factory(512, 2);
+        assert_ne!(a.public(EK_HANDLE).unwrap(), b.public(EK_HANDLE).unwrap());
+    }
+
+    #[test]
+    fn aik_generation_assigns_fresh_handles() {
+        let mut ks = store();
+        let h1 = ks.make_identity(512, 9);
+        let h2 = ks.make_identity(512, 9);
+        assert_ne!(h1, h2);
+        assert_eq!(ks.get(h1).unwrap().usage, KeyUsage::Identity);
+        assert_ne!(ks.public(h1).unwrap(), ks.public(h2).unwrap());
+    }
+
+    #[test]
+    fn unknown_handle_is_error() {
+        let ks = store();
+        assert!(matches!(
+            ks.get(0xDEAD).unwrap_err(),
+            TpmError::BadKeyHandle(0xDEAD)
+        ));
+    }
+
+    #[test]
+    fn usage_check_enforced() {
+        let mut ks = store();
+        let aik = ks.make_identity(512, 3);
+        assert!(ks.expect_usage(aik, KeyUsage::Identity).is_ok());
+        assert!(ks.expect_usage(aik, KeyUsage::Storage).is_err());
+        assert!(ks.expect_usage(SRK_HANDLE, KeyUsage::Identity).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! TPM localities.
+//!
+//! A TPM 1.2 exposes five "localities" — hardware-asserted indications of
+//! *who* is talking to the chip. Locality 4 is asserted only by the CPU
+//! microcode during a DRTM event (`SKINIT` / `GETSEC[SENTER]`); locality 2
+//! belongs to the dynamically launched measured environment (the PAL);
+//! locality 0 is the legacy/OS interface. The uni-directional trusted path
+//! depends on this: *software cannot fake locality 4*, so PCR 17 can only be
+//! reset by a genuine late launch.
+
+use std::fmt;
+
+/// A TPM locality (0–4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Locality {
+    /// Legacy / untrusted OS interface.
+    Zero,
+    /// Trusted OS (unused in this stack, present for completeness).
+    One,
+    /// The measured launch environment — Flicker PALs run here.
+    Two,
+    /// Auxiliary MLE components.
+    Three,
+    /// CPU microcode during DRTM; unreachable from software.
+    Four,
+}
+
+impl Locality {
+    /// Numeric value 0–4.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            Locality::Zero => 0,
+            Locality::One => 1,
+            Locality::Two => 2,
+            Locality::Three => 3,
+            Locality::Four => 4,
+        }
+    }
+
+    /// Parses a numeric locality.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Locality::Zero),
+            1 => Some(Locality::One),
+            2 => Some(Locality::Two),
+            3 => Some(Locality::Three),
+            4 => Some(Locality::Four),
+            _ => None,
+        }
+    }
+
+    /// All localities, ascending.
+    pub fn all() -> [Locality; 5] {
+        [
+            Locality::Zero,
+            Locality::One,
+            Locality::Two,
+            Locality::Three,
+            Locality::Four,
+        ]
+    }
+}
+
+impl fmt::Display for Locality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "locality {}", self.as_u8())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u8() {
+        for l in Locality::all() {
+            assert_eq!(Locality::from_u8(l.as_u8()), Some(l));
+        }
+        assert_eq!(Locality::from_u8(5), None);
+    }
+
+    #[test]
+    fn ordering_matches_privilege() {
+        assert!(Locality::Four > Locality::Two);
+        assert!(Locality::Two > Locality::Zero);
+    }
+}

@@ -1,0 +1,138 @@
+//! Non-volatile storage (`TPM_NV_DefineSpace` / `ReadValue` / `WriteValue`).
+//!
+//! The client stores the AIK certificate and the PAL's sealed-state blob in
+//! NV indices so the trusted path works from first boot without OS help.
+
+use crate::error::TpmError;
+use crate::locality::Locality;
+use std::collections::HashMap;
+
+/// One NV index definition with contents and a minimal access policy.
+#[derive(Debug, Clone)]
+struct NvSpace {
+    data: Vec<u8>,
+    write_locality_min: u8,
+}
+
+/// The TPM's NV storage.
+#[derive(Debug, Clone, Default)]
+pub struct NvStore {
+    spaces: HashMap<u32, NvSpace>,
+}
+
+impl NvStore {
+    /// Creates empty NV storage.
+    pub fn new() -> Self {
+        NvStore::default()
+    }
+
+    /// Defines an index of `size` bytes, writable only at or above
+    /// `write_locality_min`. Redefining an index replaces it (owner-
+    /// authorized in a real TPM; we model the owner as the caller).
+    pub fn define(&mut self, index: u32, size: usize, write_locality_min: u8) {
+        self.spaces.insert(
+            index,
+            NvSpace {
+                data: vec![0u8; size],
+                write_locality_min,
+            },
+        );
+    }
+
+    /// Reads `len` bytes at `offset`.
+    pub fn read(&self, index: u32, offset: usize, len: usize) -> Result<Vec<u8>, TpmError> {
+        let space = self.spaces.get(&index).ok_or(TpmError::BadNvIndex(index))?;
+        if offset + len > space.data.len() {
+            return Err(TpmError::BadNvIndex(index));
+        }
+        Ok(space.data[offset..offset + len].to_vec())
+    }
+
+    /// Writes `data` at `offset`, enforcing the locality policy.
+    pub fn write(
+        &mut self,
+        locality: Locality,
+        index: u32,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<(), TpmError> {
+        let space = self.spaces.get_mut(&index).ok_or(TpmError::BadNvIndex(index))?;
+        if locality.as_u8() < space.write_locality_min {
+            return Err(TpmError::BadLocality {
+                got: locality.as_u8(),
+                required: space.write_locality_min,
+            });
+        }
+        if offset + data.len() > space.data.len() {
+            return Err(TpmError::BadNvIndex(index));
+        }
+        space.data[offset..offset + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Size of an index, if defined.
+    pub fn size_of(&self, index: u32) -> Option<usize> {
+        self.spaces.get(&index).map(|s| s.data.len())
+    }
+
+    /// Number of defined indices.
+    pub fn len(&self) -> usize {
+        self.spaces.len()
+    }
+
+    /// True if nothing is defined.
+    pub fn is_empty(&self) -> bool {
+        self.spaces.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_read_write_roundtrip() {
+        let mut nv = NvStore::new();
+        nv.define(0x1000, 32, 0);
+        nv.write(Locality::Zero, 0x1000, 4, b"hello").unwrap();
+        assert_eq!(nv.read(0x1000, 4, 5).unwrap(), b"hello");
+        assert_eq!(nv.read(0x1000, 0, 4).unwrap(), vec![0u8; 4]);
+    }
+
+    #[test]
+    fn undefined_index_errors() {
+        let nv = NvStore::new();
+        assert!(matches!(
+            nv.read(0x9999, 0, 1).unwrap_err(),
+            TpmError::BadNvIndex(0x9999)
+        ));
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let mut nv = NvStore::new();
+        nv.define(0x1, 8, 0);
+        assert!(nv.read(0x1, 4, 5).is_err());
+        assert!(nv.write(Locality::Zero, 0x1, 7, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn locality_policy_enforced_on_write_not_read() {
+        let mut nv = NvStore::new();
+        nv.define(0x2, 8, 2);
+        let err = nv.write(Locality::Zero, 0x2, 0, &[1]).unwrap_err();
+        assert!(matches!(err, TpmError::BadLocality { required: 2, .. }));
+        nv.write(Locality::Two, 0x2, 0, &[1]).unwrap();
+        // Reads are unrestricted in our model (the blob is ciphertext).
+        assert_eq!(nv.read(0x2, 0, 1).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn redefine_clears_contents() {
+        let mut nv = NvStore::new();
+        nv.define(0x3, 4, 0);
+        nv.write(Locality::Zero, 0x3, 0, &[9, 9, 9, 9]).unwrap();
+        nv.define(0x3, 4, 0);
+        assert_eq!(nv.read(0x3, 0, 4).unwrap(), vec![0; 4]);
+    }
+}

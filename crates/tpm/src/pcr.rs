@@ -1,0 +1,389 @@
+//! Platform Configuration Registers.
+//!
+//! The PCR bank is the heart of the attestation story: a PCR can only be
+//! *extended* (`PCR ← SHA1(PCR || input)`), never written, so the value of
+//! PCR 17 after a DRTM launch is a tamper-evident log of exactly what code
+//! was launched and what it chose to record.
+
+use crate::error::TpmError;
+use crate::locality::Locality;
+use utp_crypto::sha1::{Sha1, Sha1Digest};
+
+/// Number of PCRs in a TPM 1.2.
+pub const NUM_PCRS: usize = 24;
+
+/// First dynamic (DRTM) PCR. PCRs 17–22 reset to all-ones at startup and
+/// can only be reset to zero by a locality-4 DRTM event.
+pub const FIRST_DYNAMIC_PCR: u32 = 17;
+/// Last dynamic (DRTM) PCR.
+pub const LAST_DYNAMIC_PCR: u32 = 22;
+/// The PCR that receives the DRTM measurement of the launched code (SLB).
+pub const DRTM_PCR: u32 = 17;
+
+/// A validated PCR index (`0..24`).
+///
+/// # Example
+///
+/// ```
+/// use utp_tpm::pcr::PcrIndex;
+/// assert!(PcrIndex::new(17).is_some());
+/// assert!(PcrIndex::new(24).is_none());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PcrIndex(u32);
+
+impl PcrIndex {
+    /// Validates and wraps an index.
+    pub fn new(i: u32) -> Option<Self> {
+        if (i as usize) < NUM_PCRS {
+            Some(PcrIndex(i))
+        } else {
+            None
+        }
+    }
+
+    /// The DRTM measurement PCR (17).
+    pub fn drtm() -> Self {
+        PcrIndex(DRTM_PCR)
+    }
+
+    /// Raw index value.
+    pub fn value(self) -> u32 {
+        self.0
+    }
+
+    /// True for PCRs 17–22 (dynamic / DRTM-resettable).
+    pub fn is_dynamic(self) -> bool {
+        (FIRST_DYNAMIC_PCR..=LAST_DYNAMIC_PCR).contains(&self.0)
+    }
+}
+
+/// A set of PCR indices, encoded the way TPM 1.2 encodes
+/// `TPM_PCR_SELECTION` (a little bitmap, LSB of byte 0 = PCR 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PcrSelection {
+    bitmap: u32,
+}
+
+impl PcrSelection {
+    /// The empty selection.
+    pub fn empty() -> Self {
+        PcrSelection { bitmap: 0 }
+    }
+
+    /// A selection containing exactly the given indices.
+    pub fn of(indices: &[PcrIndex]) -> Self {
+        let mut s = Self::empty();
+        for &i in indices {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Selection of just the DRTM PCR (17) — what a UTP quote covers.
+    pub fn drtm_only() -> Self {
+        Self::of(&[PcrIndex::drtm()])
+    }
+
+    /// Adds an index.
+    pub fn insert(&mut self, i: PcrIndex) {
+        self.bitmap |= 1 << i.value();
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: PcrIndex) -> bool {
+        self.bitmap & (1 << i.value()) != 0
+    }
+
+    /// True if no PCR is selected.
+    pub fn is_empty(&self) -> bool {
+        self.bitmap == 0
+    }
+
+    /// Number of selected PCRs.
+    pub fn len(&self) -> usize {
+        self.bitmap.count_ones() as usize
+    }
+
+    /// Iterates selected indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = PcrIndex> + '_ {
+        (0..NUM_PCRS as u32).filter_map(move |i| {
+            if self.bitmap & (1 << i) != 0 {
+                PcrIndex::new(i)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// TPM 1.2 wire encoding: `sizeOfSelect (u16 BE) || bitmap bytes`.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let bytes = [
+            (self.bitmap & 0xFF) as u8,
+            ((self.bitmap >> 8) & 0xFF) as u8,
+            ((self.bitmap >> 16) & 0xFF) as u8,
+        ];
+        let mut out = Vec::with_capacity(5);
+        out.extend_from_slice(&(3u16).to_be_bytes());
+        out.extend_from_slice(&bytes);
+        out
+    }
+
+    /// Parses the wire encoding; returns the selection and bytes consumed.
+    pub fn from_wire(data: &[u8]) -> Result<(Self, usize), TpmError> {
+        if data.len() < 2 {
+            return Err(TpmError::BadCommand("pcr selection truncated".into()));
+        }
+        let size = u16::from_be_bytes([data[0], data[1]]) as usize;
+        if size > 4 || data.len() < 2 + size {
+            return Err(TpmError::BadCommand("pcr selection size invalid".into()));
+        }
+        let mut bitmap = 0u32;
+        for (i, &b) in data[2..2 + size].iter().enumerate() {
+            bitmap |= (b as u32) << (8 * i);
+        }
+        if bitmap >> NUM_PCRS != 0 {
+            return Err(TpmError::BadCommand("pcr selection out of range".into()));
+        }
+        Ok((PcrSelection { bitmap }, 2 + size))
+    }
+}
+
+/// The 24-register PCR bank with locality-aware reset/extend policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcrBank {
+    values: [Sha1Digest; NUM_PCRS],
+}
+
+impl PcrBank {
+    /// Bank state immediately after `TPM_Startup(ST_CLEAR)`: static PCRs
+    /// zero, dynamic PCRs all-ones (the "no DRTM has happened" marker).
+    pub fn at_startup() -> Self {
+        let mut values = [Sha1Digest::zero(); NUM_PCRS];
+        for i in FIRST_DYNAMIC_PCR..=LAST_DYNAMIC_PCR {
+            values[i as usize] = Sha1Digest::ones();
+        }
+        PcrBank { values }
+    }
+
+    /// Reads a PCR.
+    pub fn read(&self, i: PcrIndex) -> Sha1Digest {
+        self.values[i.value() as usize]
+    }
+
+    /// Extends `input` (20 bytes) into PCR `i`: `PCR ← SHA1(PCR || input)`.
+    ///
+    /// Locality policy: any locality may extend static PCRs; dynamic PCRs
+    /// (17–22) accept extends from locality ≥ 1 only after DRTM, but we
+    /// allow locality 0 extends too — as real TPMs do for 23 — except for
+    /// the DRTM PCR 17, which requires locality ≥ 2. This is the property
+    /// the trusted path relies on: the OS (locality 0) can extend PCR 17
+    /// only *through* the TPM driver at locality 0, and the TPM refuses.
+    pub fn extend(
+        &mut self,
+        locality: Locality,
+        i: PcrIndex,
+        input: &[u8],
+    ) -> Result<Sha1Digest, TpmError> {
+        if input.len() != 20 {
+            return Err(TpmError::BadDigestLength(input.len()));
+        }
+        if i.value() == DRTM_PCR && locality < Locality::Two {
+            return Err(TpmError::BadLocality {
+                got: locality.as_u8(),
+                required: 2,
+            });
+        }
+        let old = self.values[i.value() as usize];
+        let new = Sha1::digest_concat(old.as_bytes(), input);
+        self.values[i.value() as usize] = new;
+        Ok(new)
+    }
+
+    /// Resets a dynamic PCR to zero. Only locality 3/4 may reset PCR 17
+    /// (in hardware, only the CPU's DRTM microcode ever runs at 4).
+    pub fn reset(&mut self, locality: Locality, i: PcrIndex) -> Result<(), TpmError> {
+        if !i.is_dynamic() {
+            return Err(TpmError::PcrNotResettable(i.value()));
+        }
+        let required = if i.value() == DRTM_PCR { 4 } else { 2 };
+        if (locality.as_u8()) < required {
+            return Err(TpmError::BadLocality {
+                got: locality.as_u8(),
+                required,
+            });
+        }
+        self.values[i.value() as usize] = Sha1Digest::zero();
+        Ok(())
+    }
+
+    /// Computes the `TPM_PCR_COMPOSITE` digest over a selection:
+    /// `SHA1( selection || valueSize(u32) || PCR values in ascending order )`.
+    pub fn composite_digest(&self, selection: &PcrSelection) -> Sha1Digest {
+        composite_digest_from_values(
+            selection,
+            &selection.iter().map(|i| self.read(i)).collect::<Vec<_>>(),
+        )
+    }
+}
+
+impl Default for PcrBank {
+    fn default() -> Self {
+        Self::at_startup()
+    }
+}
+
+/// Computes a composite digest from explicit PCR values (used by verifiers
+/// that reconstruct the expected composite without a TPM).
+pub fn composite_digest_from_values(
+    selection: &PcrSelection,
+    values: &[Sha1Digest],
+) -> Sha1Digest {
+    assert_eq!(
+        selection.len(),
+        values.len(),
+        "one value per selected PCR required"
+    );
+    let mut buf = selection.to_wire();
+    buf.extend_from_slice(&((values.len() * 20) as u32).to_be_bytes());
+    for v in values {
+        buf.extend_from_slice(v.as_bytes());
+    }
+    Sha1::digest(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PcrIndex {
+        PcrIndex::new(i).unwrap()
+    }
+
+    #[test]
+    fn startup_values() {
+        let bank = PcrBank::at_startup();
+        assert_eq!(bank.read(p(0)), Sha1Digest::zero());
+        assert_eq!(bank.read(p(16)), Sha1Digest::zero());
+        assert_eq!(bank.read(p(17)), Sha1Digest::ones());
+        assert_eq!(bank.read(p(22)), Sha1Digest::ones());
+        assert_eq!(bank.read(p(23)), Sha1Digest::zero());
+    }
+
+    #[test]
+    fn extend_is_hash_chain() {
+        let mut bank = PcrBank::at_startup();
+        let m = [0x11u8; 20];
+        bank.extend(Locality::Zero, p(0), &m).unwrap();
+        let expected = Sha1::digest_concat(Sha1Digest::zero().as_bytes(), &m);
+        assert_eq!(bank.read(p(0)), expected);
+        // Extending again chains.
+        bank.extend(Locality::Zero, p(0), &m).unwrap();
+        let expected2 = Sha1::digest_concat(expected.as_bytes(), &m);
+        assert_eq!(bank.read(p(0)), expected2);
+    }
+
+    #[test]
+    fn extend_order_matters() {
+        let mut b1 = PcrBank::at_startup();
+        let mut b2 = PcrBank::at_startup();
+        let (x, y) = ([1u8; 20], [2u8; 20]);
+        b1.extend(Locality::Zero, p(4), &x).unwrap();
+        b1.extend(Locality::Zero, p(4), &y).unwrap();
+        b2.extend(Locality::Zero, p(4), &y).unwrap();
+        b2.extend(Locality::Zero, p(4), &x).unwrap();
+        assert_ne!(b1.read(p(4)), b2.read(p(4)));
+    }
+
+    #[test]
+    fn os_cannot_extend_drtm_pcr() {
+        let mut bank = PcrBank::at_startup();
+        let err = bank.extend(Locality::Zero, p(17), &[0u8; 20]).unwrap_err();
+        assert!(matches!(err, TpmError::BadLocality { required: 2, .. }));
+        // But the MLE (locality 2) can.
+        bank.extend(Locality::Two, p(17), &[0u8; 20]).unwrap();
+    }
+
+    #[test]
+    fn only_locality4_resets_pcr17() {
+        let mut bank = PcrBank::at_startup();
+        for l in [Locality::Zero, Locality::One, Locality::Two, Locality::Three] {
+            assert!(bank.reset(l, p(17)).is_err(), "{} must not reset 17", l);
+        }
+        bank.reset(Locality::Four, p(17)).unwrap();
+        assert_eq!(bank.read(p(17)), Sha1Digest::zero());
+    }
+
+    #[test]
+    fn static_pcrs_never_reset() {
+        let mut bank = PcrBank::at_startup();
+        assert!(matches!(
+            bank.reset(Locality::Four, p(0)).unwrap_err(),
+            TpmError::PcrNotResettable(0)
+        ));
+    }
+
+    #[test]
+    fn extend_requires_20_bytes() {
+        let mut bank = PcrBank::at_startup();
+        assert!(matches!(
+            bank.extend(Locality::Zero, p(0), &[0u8; 19]).unwrap_err(),
+            TpmError::BadDigestLength(19)
+        ));
+    }
+
+    #[test]
+    fn selection_roundtrip() {
+        let sel = PcrSelection::of(&[p(0), p(17), p(23)]);
+        assert_eq!(sel.len(), 3);
+        assert!(sel.contains(p(17)));
+        assert!(!sel.contains(p(1)));
+        let wire = sel.to_wire();
+        let (parsed, used) = PcrSelection::from_wire(&wire).unwrap();
+        assert_eq!(parsed, sel);
+        assert_eq!(used, wire.len());
+    }
+
+    #[test]
+    fn selection_iter_ascending() {
+        let sel = PcrSelection::of(&[p(23), p(0), p(17)]);
+        let order: Vec<u32> = sel.iter().map(|i| i.value()).collect();
+        assert_eq!(order, vec![0, 17, 23]);
+    }
+
+    #[test]
+    fn selection_from_wire_rejects_truncation() {
+        assert!(PcrSelection::from_wire(&[0]).is_err());
+        assert!(PcrSelection::from_wire(&[0, 3, 1]).is_err());
+    }
+
+    #[test]
+    fn composite_digest_depends_on_values_and_selection() {
+        let bank = PcrBank::at_startup();
+        let a = bank.composite_digest(&PcrSelection::of(&[p(17)]));
+        let b = bank.composite_digest(&PcrSelection::of(&[p(18)]));
+        // 17 and 18 have the same value at startup but different selections.
+        assert_ne!(a, b);
+        let mut bank2 = bank.clone();
+        bank2.reset(Locality::Four, p(17)).unwrap();
+        assert_ne!(bank2.composite_digest(&PcrSelection::of(&[p(17)])), a);
+    }
+
+    #[test]
+    fn composite_from_values_matches_bank() {
+        let mut bank = PcrBank::at_startup();
+        bank.extend(Locality::Zero, p(0), &[9u8; 20]).unwrap();
+        let sel = PcrSelection::of(&[p(0), p(17)]);
+        let by_bank = bank.composite_digest(&sel);
+        let by_values =
+            composite_digest_from_values(&sel, &[bank.read(p(0)), bank.read(p(17))]);
+        assert_eq!(by_bank, by_values);
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per selected PCR")]
+    fn composite_from_values_checks_arity() {
+        let sel = PcrSelection::of(&[p(0), p(1)]);
+        let _ = composite_digest_from_values(&sel, &[Sha1Digest::zero()]);
+    }
+}

@@ -1,0 +1,167 @@
+//! `TPM_Quote`: the attestation primitive.
+//!
+//! A quote is an RSA signature by an AIK over the `TPM_QUOTE_INFO`
+//! structure, which binds (a) the composite digest of the selected PCRs and
+//! (b) 20 bytes of caller-supplied `externalData` — the verifier's nonce.
+//! The uni-directional trusted path puts the transaction/confirmation
+//! binding in PCR 17 and the service-provider nonce in `externalData`, so a
+//! valid quote proves "the known-good PAL ran, saw this transaction, and
+//! the human confirmed it, after you issued this nonce".
+
+use crate::pcr::{PcrSelection, composite_digest_from_values};
+use utp_crypto::rsa::RsaPublicKey;
+use utp_crypto::sha1::Sha1Digest;
+
+/// The fixed version field of `TPM_QUOTE_INFO` (major 1, minor 1, rev 0.0).
+pub const QUOTE_VERSION: [u8; 4] = [1, 1, 0, 0];
+/// The fixed fourcc of `TPM_QUOTE_INFO`.
+pub const QUOTE_FOURCC: &[u8; 4] = b"QUOT";
+
+/// Serializes the `TPM_QUOTE_INFO` structure that gets signed.
+pub fn quote_info_bytes(composite: &Sha1Digest, external_data: &Sha1Digest) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(48);
+    buf.extend_from_slice(&QUOTE_VERSION);
+    buf.extend_from_slice(QUOTE_FOURCC);
+    buf.extend_from_slice(composite.as_bytes());
+    buf.extend_from_slice(external_data.as_bytes());
+    buf
+}
+
+/// A completed quote: everything a remote verifier needs except the AIK
+/// certificate (which travels separately).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    /// Which PCRs the quote covers.
+    pub selection: PcrSelection,
+    /// The PCR values at quote time, in ascending index order.
+    pub pcr_values: Vec<Sha1Digest>,
+    /// The caller's anti-replay nonce (`externalData`).
+    pub external_data: Sha1Digest,
+    /// PKCS#1 v1.5 SHA-1 signature over [`quote_info_bytes`].
+    pub signature: Vec<u8>,
+}
+
+impl Quote {
+    /// The composite digest the quote's signature covers, recomputed from
+    /// the embedded PCR values.
+    pub fn composite_digest(&self) -> Sha1Digest {
+        composite_digest_from_values(&self.selection, &self.pcr_values)
+    }
+
+    /// Verifies the quote's signature under `aik` and that `external_data`
+    /// matches the expected nonce. Returns `false` rather than erroring:
+    /// verifiers treat all failures identically.
+    #[must_use]
+    pub fn verify(&self, aik: &RsaPublicKey, expected_nonce: &Sha1Digest) -> bool {
+        if self.selection.len() != self.pcr_values.len() {
+            return false;
+        }
+        if !utp_crypto::ct::ct_eq(self.external_data.as_bytes(), expected_nonce.as_bytes()) {
+            return false;
+        }
+        let info = quote_info_bytes(&self.composite_digest(), &self.external_data);
+        aik.verify_pkcs1_sha1(&info, &self.signature)
+    }
+
+    /// Stable byte encoding for transport.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.selection.to_wire());
+        out.extend_from_slice(&(self.pcr_values.len() as u32).to_be_bytes());
+        for v in &self.pcr_values {
+            out.extend_from_slice(v.as_bytes());
+        }
+        out.extend_from_slice(self.external_data.as_bytes());
+        out.extend_from_slice(&(self.signature.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Parses the encoding from [`Quote::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Option<Self> {
+        let (selection, mut off) = PcrSelection::from_wire(data).ok()?;
+        let n = u32::from_be_bytes(data.get(off..off + 4)?.try_into().ok()?) as usize;
+        off += 4;
+        if n > crate::pcr::NUM_PCRS {
+            return None;
+        }
+        let mut pcr_values = Vec::with_capacity(n);
+        for _ in 0..n {
+            pcr_values.push(Sha1Digest::from_slice(data.get(off..off + 20)?)?);
+            off += 20;
+        }
+        let external_data = Sha1Digest::from_slice(data.get(off..off + 20)?)?;
+        off += 20;
+        let sig_len = u32::from_be_bytes(data.get(off..off + 4)?.try_into().ok()?) as usize;
+        off += 4;
+        let signature = data.get(off..off + sig_len)?.to_vec();
+        off += sig_len;
+        if off != data.len() {
+            return None;
+        }
+        Some(Quote {
+            selection,
+            pcr_values,
+            external_data,
+            signature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcr::PcrIndex;
+
+    fn dummy_quote() -> Quote {
+        Quote {
+            selection: PcrSelection::of(&[PcrIndex::drtm()]),
+            pcr_values: vec![Sha1Digest::zero()],
+            external_data: Sha1Digest::ones(),
+            signature: vec![0xAB; 64],
+        }
+    }
+
+    #[test]
+    fn quote_info_layout() {
+        let info = quote_info_bytes(&Sha1Digest::zero(), &Sha1Digest::ones());
+        assert_eq!(info.len(), 48);
+        assert_eq!(&info[..4], &QUOTE_VERSION);
+        assert_eq!(&info[4..8], b"QUOT");
+        assert_eq!(&info[8..28], &[0u8; 20]);
+        assert_eq!(&info[28..48], &[0xFFu8; 20]);
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let q = dummy_quote();
+        let parsed = Quote::from_bytes(&q.to_bytes()).unwrap();
+        assert_eq!(parsed, q);
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        let mut bytes = dummy_quote().to_bytes();
+        bytes.push(0);
+        assert!(Quote::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn parse_rejects_truncation() {
+        let bytes = dummy_quote().to_bytes();
+        for cut in [1usize, 5, 10, bytes.len() - 1] {
+            assert!(Quote::from_bytes(&bytes[..cut]).is_none(), "cut {}", cut);
+        }
+    }
+
+    #[test]
+    fn verify_rejects_mismatched_arity() {
+        let mut q = dummy_quote();
+        q.pcr_values.push(Sha1Digest::zero());
+        let aik = utp_crypto::rsa::RsaKeyPair::generate(512, 5);
+        assert!(!q.verify(aik.public(), &Sha1Digest::ones()));
+    }
+
+    // Full sign/verify behaviour is exercised in `device.rs` tests where a
+    // real AIK signs quotes.
+}

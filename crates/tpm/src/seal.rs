@@ -1,0 +1,199 @@
+//! PCR-bound sealed storage (`TPM_Seal` / `TPM_Unseal`).
+//!
+//! A sealed blob can only be opened by *this* TPM and only while the
+//! selected PCRs hold the values specified at seal time. Flicker-style PALs
+//! use this to keep state across sessions: data sealed to "PCR 17 =
+//! measurement of me" can be unsealed only by the same PAL after a genuine
+//! DRTM launch.
+//!
+//! The model encrypts with a keystream derived from an in-TPM secret via
+//! HMAC-SHA256 in counter mode and authenticates with HMAC-SHA256 over the
+//! whole structure (encrypt-then-MAC). A real TPM 1.2 wraps with the SRK
+//! RSA key; the substitution keeps the *policy* semantics identical —
+//! unsealing requires the same chip and matching PCRs — which is the
+//! property the trusted path uses.
+
+use crate::error::TpmError;
+use crate::pcr::PcrSelection;
+use utp_crypto::hmac::hmac_sha256;
+use utp_crypto::sha1::Sha1Digest;
+
+/// A sealed blob as returned by `TPM_Seal`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBlob {
+    /// PCRs whose values gate unsealing.
+    pub selection: PcrSelection,
+    /// Composite digest required at release time.
+    pub digest_at_release: Sha1Digest,
+    /// Composite digest observed at creation (informational, part of the
+    /// real TPM structure; lets auditors see the sealing environment).
+    pub digest_at_creation: Sha1Digest,
+    /// Random IV for the keystream.
+    pub iv: [u8; 16],
+    /// Ciphertext.
+    pub ciphertext: Vec<u8>,
+    /// HMAC over everything above, keyed by the TPM-internal secret.
+    pub mac: [u8; 32],
+}
+
+impl SealedBlob {
+    /// Serializes for transport / storage.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.selection.to_wire());
+        out.extend_from_slice(self.digest_at_release.as_bytes());
+        out.extend_from_slice(self.digest_at_creation.as_bytes());
+        out.extend_from_slice(&self.iv);
+        out.extend_from_slice(&(self.ciphertext.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.ciphertext);
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Parses the encoding from [`SealedBlob::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Option<Self> {
+        let (selection, mut off) = PcrSelection::from_wire(data).ok()?;
+        let digest_at_release = Sha1Digest::from_slice(data.get(off..off + 20)?)?;
+        off += 20;
+        let digest_at_creation = Sha1Digest::from_slice(data.get(off..off + 20)?)?;
+        off += 20;
+        let iv: [u8; 16] = data.get(off..off + 16)?.try_into().ok()?;
+        off += 16;
+        let len = u32::from_be_bytes(data.get(off..off + 4)?.try_into().ok()?) as usize;
+        off += 4;
+        let ciphertext = data.get(off..off + len)?.to_vec();
+        off += len;
+        let mac: [u8; 32] = data.get(off..off + 32)?.try_into().ok()?;
+        off += 32;
+        if off != data.len() {
+            return None;
+        }
+        Some(SealedBlob {
+            selection,
+            digest_at_release,
+            digest_at_creation,
+            iv,
+            ciphertext,
+            mac,
+        })
+    }
+
+    /// The bytes covered by the MAC.
+    pub(crate) fn mac_input(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&self.selection.to_wire());
+        buf.extend_from_slice(self.digest_at_release.as_bytes());
+        buf.extend_from_slice(self.digest_at_creation.as_bytes());
+        buf.extend_from_slice(&self.iv);
+        buf.extend_from_slice(&self.ciphertext);
+        buf
+    }
+}
+
+/// XORs `data` with a keystream derived from `secret` and `iv`
+/// (HMAC-SHA256 counter mode). Symmetric: applying twice decrypts.
+pub(crate) fn keystream_xor(secret: &[u8], iv: &[u8; 16], data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut counter = 0u64;
+    let mut offset = 0usize;
+    while offset < data.len() {
+        let mut block_input = Vec::with_capacity(24);
+        block_input.extend_from_slice(iv);
+        block_input.extend_from_slice(&counter.to_be_bytes());
+        let block = hmac_sha256(secret, &block_input);
+        for (i, &k) in block.as_bytes().iter().enumerate() {
+            if offset + i >= data.len() {
+                break;
+            }
+            out.push(data[offset + i] ^ k);
+        }
+        offset += 32;
+        counter += 1;
+    }
+    out
+}
+
+/// Computes the blob MAC.
+pub(crate) fn blob_mac(secret: &[u8], blob: &SealedBlob) -> [u8; 32] {
+    *hmac_sha256(secret, &blob.mac_input()).as_bytes()
+}
+
+/// Checks a blob's MAC.
+pub(crate) fn check_blob(secret: &[u8], blob: &SealedBlob) -> Result<(), TpmError> {
+    let expect = blob_mac(secret, blob);
+    if !utp_crypto::ct::ct_eq(&expect, &blob.mac) {
+        return Err(TpmError::BadBlob);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcr::PcrIndex;
+
+    fn blob() -> SealedBlob {
+        SealedBlob {
+            selection: PcrSelection::of(&[PcrIndex::drtm()]),
+            digest_at_release: Sha1Digest::zero(),
+            digest_at_creation: Sha1Digest::ones(),
+            iv: [7u8; 16],
+            ciphertext: vec![1, 2, 3, 4, 5],
+            mac: [0u8; 32],
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let b = blob();
+        assert_eq!(SealedBlob::from_bytes(&b.to_bytes()).unwrap(), b);
+    }
+
+    #[test]
+    fn parse_rejects_truncation_and_trailing() {
+        let bytes = blob().to_bytes();
+        assert!(SealedBlob::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(SealedBlob::from_bytes(&extended).is_none());
+    }
+
+    #[test]
+    fn keystream_is_symmetric_and_iv_sensitive() {
+        let secret = b"tpm-internal-secret";
+        let data = b"the PAL's persistent counter state";
+        let ct = keystream_xor(secret, &[1u8; 16], data);
+        assert_ne!(&ct[..], &data[..]);
+        assert_eq!(keystream_xor(secret, &[1u8; 16], &ct), data);
+        let ct2 = keystream_xor(secret, &[2u8; 16], data);
+        assert_ne!(ct, ct2);
+    }
+
+    #[test]
+    fn keystream_handles_non_block_lengths() {
+        let secret = b"s";
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            let data = vec![0xA5u8; len];
+            let ct = keystream_xor(secret, &[9u8; 16], &data);
+            assert_eq!(ct.len(), len);
+            assert_eq!(keystream_xor(secret, &[9u8; 16], &ct), data);
+        }
+    }
+
+    #[test]
+    fn mac_detects_tampering() {
+        let secret = b"k";
+        let mut b = blob();
+        b.mac = blob_mac(secret, &b);
+        check_blob(secret, &b).unwrap();
+        b.ciphertext[0] ^= 1;
+        assert_eq!(check_blob(secret, &b).unwrap_err(), TpmError::BadBlob);
+    }
+
+    #[test]
+    fn mac_is_secret_specific() {
+        let mut b = blob();
+        b.mac = blob_mac(b"tpm-a", &b);
+        assert!(check_blob(b"tpm-b", &b).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Wrapped keys: `TPM_CreateWrapKey` / `TPM_LoadKey2` / `TPM_EvictKey`.
+//!
+//! A TPM has a handful of key slots but can manage unbounded keys by
+//! *wrapping* them: a child key is generated inside the chip, exported as
+//! a blob protected by its parent storage key, and reloaded on demand.
+//! The wrap blob can also carry a PCR policy, giving "this key is usable
+//! only while PCR 17 holds the good PAL's value" — the primitive behind
+//! PAL-private signing keys.
+//!
+//! Like sealed storage, the wrap is modeled with the TPM-internal secret
+//! (HMAC keystream + MAC) rather than RSA-OAEP under the parent key; the
+//! policy semantics — only this chip can load it, only under matching
+//! PCRs — are identical, which is what callers rely on.
+
+use crate::device::Tpm;
+use crate::error::TpmError;
+use crate::keys::KeyUsage;
+use crate::pcr::PcrSelection;
+use crate::seal::SealedBlob;
+use utp_crypto::rsa::RsaKeyPair;
+
+/// First handle assigned to loaded wrapped keys.
+pub const FIRST_LOADED_HANDLE: u32 = 0x0400_0000;
+
+/// A wrapped key blob: the serialized key material protected like a
+/// sealed blob, plus the declared usage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrappedKey {
+    /// The declared usage of the wrapped key.
+    pub usage: KeyUsage,
+    /// The protected key material (reuses the sealed-blob envelope,
+    /// including the PCR release policy).
+    pub blob: SealedBlob,
+}
+
+impl WrappedKey {
+    /// Wire encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![match self.usage {
+            KeyUsage::Storage => 1u8,
+            KeyUsage::Identity => 2,
+            KeyUsage::Endorsement => 3,
+        }];
+        out.extend_from_slice(&self.blob.to_bytes());
+        out
+    }
+
+    /// Parses the wire encoding.
+    pub fn from_bytes(data: &[u8]) -> Option<Self> {
+        let (&tag, rest) = data.split_first()?;
+        let usage = match tag {
+            1 => KeyUsage::Storage,
+            2 => KeyUsage::Identity,
+            3 => KeyUsage::Endorsement,
+            _ => return None,
+        };
+        Some(WrappedKey {
+            usage,
+            blob: SealedBlob::from_bytes(rest)?,
+        })
+    }
+}
+
+impl Tpm {
+    /// `TPM_CreateWrapKey`: generates a fresh key under `parent` (must be
+    /// a storage key), bound to the given PCR policy (pass the current
+    /// values' selection for "this PAL only", or an empty-selection for an
+    /// unrestricted key).
+    ///
+    /// # Errors
+    ///
+    /// Propagates TPM errors; the parent must be a loaded storage key.
+    pub fn create_wrap_key(
+        &mut self,
+        parent: u32,
+        usage: KeyUsage,
+        selection: PcrSelection,
+    ) -> Result<WrappedKey, TpmError> {
+        self.ensure_started_pub()?;
+        self.keys_mut().expect_usage(parent, KeyUsage::Storage)?;
+        // Fresh key material from the chip's RNG-derived seed space.
+        let seed_bytes = self.get_random(8)?;
+        let seed = u64::from_be_bytes(seed_bytes.as_slice().try_into().expect("8 bytes"));
+        let keypair = RsaKeyPair::generate(self.key_bits(), seed);
+        let serialized = serialize_keypair_seed(seed, self.key_bits());
+        // Protect it exactly like sealed data (same chip + PCR policy).
+        let current = self.pcr_values(&selection);
+        let blob = self.seal(parent, selection, &current, &serialized)?;
+        let _ = keypair; // identical regeneration happens at load time
+        Ok(WrappedKey { usage, blob })
+    }
+
+    /// `TPM_LoadKey2`: loads a wrapped key; returns a fresh handle.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::WrongPcrValue`] when the key's PCR policy does not
+    /// match, [`TpmError::BadBlob`] for tampered or foreign blobs.
+    pub fn load_key2(&mut self, parent: u32, wrapped: &WrappedKey) -> Result<u32, TpmError> {
+        self.ensure_started_pub()?;
+        let payload = self.unseal(parent, &wrapped.blob)?;
+        let (seed, bits) = deserialize_keypair_seed(&payload)?;
+        let keypair = RsaKeyPair::generate(bits, seed);
+        Ok(self.keys_mut().load_external(wrapped.usage, keypair))
+    }
+
+    /// `TPM_EvictKey`: unloads a previously loaded key.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::BadKeyHandle`] for unknown or permanent (EK/SRK)
+    /// handles.
+    pub fn evict_key(&mut self, handle: u32) -> Result<(), TpmError> {
+        self.keys_mut().evict(handle)
+    }
+}
+
+/// The wrap payload is the generation seed + size: the chip regenerates
+/// the identical deterministic key at load time. (A real TPM stores the
+/// raw key; storing the seed is equivalent here because generation is
+/// deterministic, and keeps blobs small.)
+fn serialize_keypair_seed(seed: u64, bits: usize) -> Vec<u8> {
+    let mut out = seed.to_be_bytes().to_vec();
+    out.extend_from_slice(&(bits as u32).to_be_bytes());
+    out
+}
+
+fn deserialize_keypair_seed(data: &[u8]) -> Result<(u64, usize), TpmError> {
+    if data.len() != 12 {
+        return Err(TpmError::BadBlob);
+    }
+    let seed = u64::from_be_bytes(data[..8].try_into().expect("8 bytes"));
+    let bits = u32::from_be_bytes(data[8..12].try_into().expect("4 bytes")) as usize;
+    if !(64..=4096).contains(&bits) || bits % 2 != 0 {
+        return Err(TpmError::BadBlob);
+    }
+    Ok((seed, bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::TpmConfig;
+    use crate::keys::SRK_HANDLE;
+    use utp_crypto::sha1::Sha1Digest;
+    use crate::locality::Locality;
+    use crate::pcr::PcrIndex;
+
+    fn tpm() -> Tpm {
+        let mut t = Tpm::new(TpmConfig::fast_for_tests(70));
+        t.startup_clear();
+        t
+    }
+
+    #[test]
+    fn create_load_evict_roundtrip() {
+        let mut t = tpm();
+        let wrapped = t
+            .create_wrap_key(SRK_HANDLE, KeyUsage::Identity, PcrSelection::empty())
+            .unwrap();
+        let handle = t.load_key2(SRK_HANDLE, &wrapped).unwrap();
+        // The loaded key signs quotes like any AIK.
+        let q = t
+            .quote(handle, PcrSelection::drtm_only(), Sha1Digest::zero())
+            .unwrap();
+        assert!(q.verify(&t.read_pubkey(handle).unwrap(), &Sha1Digest::zero()));
+        t.evict_key(handle).unwrap();
+        assert!(t.read_pubkey(handle).is_err());
+    }
+
+    #[test]
+    fn loading_twice_yields_same_public_key() {
+        let mut t = tpm();
+        let wrapped = t
+            .create_wrap_key(SRK_HANDLE, KeyUsage::Identity, PcrSelection::empty())
+            .unwrap();
+        let h1 = t.load_key2(SRK_HANDLE, &wrapped).unwrap();
+        let h2 = t.load_key2(SRK_HANDLE, &wrapped).unwrap();
+        assert_ne!(h1, h2);
+        assert_eq!(
+            t.read_pubkey(h1).unwrap(),
+            t.read_pubkey(h2).unwrap()
+        );
+    }
+
+    #[test]
+    fn distinct_creations_yield_distinct_keys() {
+        let mut t = tpm();
+        let w1 = t
+            .create_wrap_key(SRK_HANDLE, KeyUsage::Identity, PcrSelection::empty())
+            .unwrap();
+        let w2 = t
+            .create_wrap_key(SRK_HANDLE, KeyUsage::Identity, PcrSelection::empty())
+            .unwrap();
+        let h1 = t.load_key2(SRK_HANDLE, &w1).unwrap();
+        let h2 = t.load_key2(SRK_HANDLE, &w2).unwrap();
+        assert_ne!(t.read_pubkey(h1).unwrap(), t.read_pubkey(h2).unwrap());
+    }
+
+    #[test]
+    fn pcr_policy_gates_loading() {
+        let mut t = tpm();
+        let sel = PcrSelection::of(&[PcrIndex::new(0).unwrap()]);
+        let wrapped = t
+            .create_wrap_key(SRK_HANDLE, KeyUsage::Identity, sel)
+            .unwrap();
+        // Loads fine now...
+        let h = t.load_key2(SRK_HANDLE, &wrapped).unwrap();
+        t.evict_key(h).unwrap();
+        // ...but not after PCR 0 changes.
+        t.extend(Locality::Zero, PcrIndex::new(0).unwrap(), &[1u8; 20])
+            .unwrap();
+        assert_eq!(
+            t.load_key2(SRK_HANDLE, &wrapped).unwrap_err(),
+            TpmError::WrongPcrValue
+        );
+    }
+
+    #[test]
+    fn foreign_and_tampered_blobs_rejected() {
+        let mut t1 = tpm();
+        let mut t2 = Tpm::new(TpmConfig::fast_for_tests(71));
+        t2.startup_clear();
+        let wrapped = t1
+            .create_wrap_key(SRK_HANDLE, KeyUsage::Identity, PcrSelection::empty())
+            .unwrap();
+        assert_eq!(
+            t2.load_key2(SRK_HANDLE, &wrapped).unwrap_err(),
+            TpmError::BadBlob
+        );
+        let mut tampered = wrapped.clone();
+        tampered.blob.ciphertext[0] ^= 1;
+        assert_eq!(
+            t1.load_key2(SRK_HANDLE, &tampered).unwrap_err(),
+            TpmError::BadBlob
+        );
+    }
+
+    #[test]
+    fn ek_and_srk_cannot_be_evicted() {
+        let mut t = tpm();
+        assert!(t.evict_key(SRK_HANDLE).is_err());
+        assert!(t.evict_key(crate::keys::EK_HANDLE).is_err());
+    }
+
+    #[test]
+    fn wrapped_key_wire_roundtrip() {
+        let mut t = tpm();
+        let wrapped = t
+            .create_wrap_key(SRK_HANDLE, KeyUsage::Storage, PcrSelection::empty())
+            .unwrap();
+        let parsed = WrappedKey::from_bytes(&wrapped.to_bytes()).unwrap();
+        assert_eq!(parsed, wrapped);
+        assert!(WrappedKey::from_bytes(&[]).is_none());
+        assert!(WrappedKey::from_bytes(&[9, 1, 2]).is_none());
+    }
+
+    #[test]
+    fn parent_must_be_storage_key() {
+        let mut t = tpm();
+        let aik = t.make_identity();
+        assert!(t
+            .create_wrap_key(aik, KeyUsage::Identity, PcrSelection::empty())
+            .is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Attack gauntlet: run the full transaction-generator arsenal against the
+//! trusted path and watch each attack fail for a different, printed
+//! reason.
+//!
+//! Run with: `cargo run --example attack_gauntlet`
+
+use utp::attack::harness::run_trials;
+use utp::attack::scenarios;
+
+fn main() {
+    println!("== Transaction-generator gauntlet vs the trusted path ==\n");
+    let trials = 5;
+
+    let gauntlet: [(&str, &str, fn(u64) -> bool); 5] = [
+        (
+            "forged quote",
+            "malware fabricates a Confirmed token and quotes PCR 17 from the OS \
+             (locality 0) — it cannot reset PCR 17, so the quote attests garbage",
+            scenarios::attack_utp_forged_quote,
+        ),
+        (
+            "evil PAL",
+            "malware SKINITs its own auto-confirming PAL — launch succeeds, but \
+             PCR 17 now measures the evil PAL and no provider trusts it",
+            scenarios::attack_utp_evil_pal,
+        ),
+        (
+            "evidence replay",
+            "malware replays a genuine purchase's evidence — the nonce was \
+             already consumed",
+            scenarios::attack_utp_replay,
+        ),
+        (
+            "keystroke injection",
+            "malware pre-loads fake Enter presses and launches the real PAL — \
+             the keyboard flushes on handover and rejects software injection, \
+             so the PAL times out",
+            scenarios::attack_utp_key_injection,
+        ),
+        (
+            "vigilant-human swap",
+            "malware swaps the payee before the PAL launches — the PAL \
+             faithfully displays the attacker's payee and the human rejects",
+            |s| scenarios::attack_utp_mitm_swap(1.0, s),
+        ),
+    ];
+
+    for (name, how, attack) in gauntlet {
+        let r = run_trials(trials, 0xBAD, attack);
+        println!("[{name}]");
+        println!("   {how}");
+        println!(
+            "   result: {}/{} attempts settled a transaction  → {}\n",
+            r.successes,
+            r.attempts,
+            if r.successes == 0 { "DEFEATED" } else { "BREACH!" }
+        );
+        assert_eq!(r.successes, 0, "{} must not succeed", name);
+    }
+
+    let careless = run_trials(20, 0xCAFE, |s| scenarios::attack_utp_mitm_swap(0.0, s));
+    println!("[careless-human swap]");
+    println!("   same swap, but the human never reads the screen");
+    println!(
+        "   result: {}/{} settled — the residual risk the paper documents:\n   \
+         the human *is* the display verifier on a uni-directional path.",
+        careless.successes, careless.attempts
+    );
+
+    let legit = run_trials(10, 0xFEED, scenarios::legitimate_transaction);
+    println!(
+        "\n[control] legitimate purchases still settle: {}/{}",
+        legit.successes, legit.attempts
+    );
+}

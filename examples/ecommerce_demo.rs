@@ -1,0 +1,129 @@
+//! E-commerce demo: a shop processing a day of orders over the network
+//! model — honest purchases, a malware-forged order, and a tampered
+//! transaction a vigilant customer catches.
+//!
+//! Run with: `cargo run --example ecommerce_demo`
+
+use std::time::Duration;
+use utp::core::ca::PrivacyCa;
+use utp::core::client::{Client, ClientConfig};
+use utp::core::operator::{ConfirmingHuman, Intent};
+use utp::core::protocol::Transaction;
+use utp::netsim::{Link, LinkConfig};
+use utp::platform::machine::{Machine, MachineConfig};
+use utp::server::flow::run_transaction;
+use utp::server::provider::ServiceProvider;
+use utp::tpm::VendorProfile;
+
+fn main() {
+    println!("== E-commerce with the uni-directional trusted path ==\n");
+    let ca = PrivacyCa::new(1024, 11);
+    let mut shop = ServiceProvider::new(ca.public_key().clone(), 12);
+    shop.store_mut().open_account("alice", 100_000);
+
+    let mut machine = Machine::new(MachineConfig::realistic(VendorProfile::Broadcom, 13));
+    let enrollment = ca.enroll(&mut machine);
+    let mut client = Client::new(ClientConfig::default(), enrollment);
+    let mut link = Link::new(LinkConfig::broadband(), 14);
+
+    // --- Three honest purchases --------------------------------------------
+    let orders = [
+        ("books.example", 2_350u64, "three paperbacks"),
+        ("coffee.example", 1_499, "1kg espresso beans"),
+        ("hosting.example", 9_900, "12 months web hosting"),
+    ];
+    for (payee, cents, memo) in orders {
+        let intended = Transaction::new(0, payee, cents, "EUR", memo);
+        let mut human = ConfirmingHuman::new(Intent::approving(&intended), cents);
+        let report = run_transaction(
+            &mut machine,
+            &mut client,
+            &mut shop,
+            &mut link,
+            "alice",
+            payee,
+            cents,
+            memo,
+            &mut human,
+        )
+        .expect("flow runs");
+        match &report.outcome {
+            Ok(receipt) => println!(
+                "[shop] settled order {} — {} to {} in {:.1}s ({:.0} ms machine time)",
+                receipt.order_id,
+                receipt.transaction.display_amount(),
+                receipt.transaction.payee,
+                report.total.as_secs_f64(),
+                report.machine_only().as_secs_f64() * 1e3,
+            ),
+            Err(e) => println!("[shop] order rejected: {}", e),
+        }
+    }
+
+    // --- Malware forges an order while Alice is away ----------------------------
+    println!("\n-- malware places an order; nobody is at the keyboard --");
+    struct Nobody;
+    impl utp::flicker::pal::Operator for Nobody {
+        fn respond(
+            &mut self,
+            _screen: &[String],
+        ) -> utp::flicker::pal::OperatorResponse {
+            utp::flicker::pal::OperatorResponse::default()
+        }
+    }
+    let report = run_transaction(
+        &mut machine,
+        &mut client,
+        &mut shop,
+        &mut link,
+        "alice",
+        "fence.example",
+        89_900,
+        "totally legitimate",
+        &mut Nobody,
+    )
+    .expect("flow runs");
+    println!(
+        "[shop] forged order outcome: {}",
+        match report.outcome {
+            Ok(_) => "SETTLED (bad!)".to_string(),
+            Err(e) => format!("rejected — {}", e),
+        }
+    );
+
+    // --- Malware swaps the payee; Alice reads the PAL screen -------------------
+    println!("\n-- malware swaps the payee on a real purchase; Alice reads the screen --");
+    let intended = Transaction::new(0, "books.example", 1_200, "EUR", "a novel");
+    let mut alice = ConfirmingHuman::new(Intent::approving(&intended), 15);
+    let report = run_transaction(
+        &mut machine,
+        &mut client,
+        &mut shop,
+        &mut link,
+        "alice",
+        "fence.example", // what malware actually submitted
+        99_900,
+        "a novel",
+        &mut alice,
+    )
+    .expect("flow runs");
+    println!(
+        "[shop] swapped order outcome: {}",
+        match report.outcome {
+            Ok(_) => "SETTLED (bad!)".to_string(),
+            Err(e) => format!("rejected — {}", e),
+        }
+    );
+
+    let (pending, confirmed, rejected) = shop.store().status_counts();
+    println!(
+        "\n[shop] day summary: {} confirmed, {} rejected, {} pending",
+        confirmed, rejected, pending
+    );
+    println!(
+        "[shop] alice's balance: {:.2} EUR",
+        shop.store().account("alice").unwrap().balance_cents as f64 / 100.0
+    );
+    assert_eq!(confirmed, 3, "only the honest purchases settle");
+    let _ = Duration::ZERO;
+}

@@ -1,0 +1,94 @@
+//! Interactive demo: *you* are the human at the trusted keyboard.
+//!
+//! Run with: `cargo run --example interactive`
+//!
+//! The PAL's screen is printed to your terminal; whatever you type on
+//! stdin is delivered through the simulated hardware keyboard. Type the
+//! shown code and press Enter to approve, type `esc` to reject, or just
+//! press Enter on an empty line in press-enter mode. Piping from a
+//! non-interactive stdin (EOF) counts as walking away — the session times
+//! out and the provider rejects, exactly like the real system.
+
+use std::io::BufRead;
+use std::time::Duration;
+use utp::core::ca::PrivacyCa;
+use utp::core::client::{Client, ClientConfig};
+use utp::core::protocol::{ConfirmMode, Transaction};
+use utp::core::verifier::Verifier;
+use utp::flicker::pal::{Operator, OperatorResponse};
+use utp::platform::keyboard::KeyEvent;
+use utp::platform::machine::{Machine, MachineConfig};
+use utp::tpm::VendorProfile;
+
+/// Bridges stdin to the PAL's isolated keyboard.
+struct StdinHuman {
+    stdin: std::io::StdinLock<'static>,
+}
+
+impl Operator for StdinHuman {
+    fn respond(&mut self, screen: &[String]) -> OperatorResponse {
+        println!("\n┌──────────────── TRUSTED SCREEN (OS suspended) ────────────────┐");
+        for row in screen.iter().take(12) {
+            println!("│ {:<62} │", row);
+        }
+        println!("└────────────────────────────────────────────────────────────────┘");
+        println!("(type the code / 'esc' to reject / empty Enter to approve)");
+        let mut line = String::new();
+        let events = match self.stdin.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                // EOF: the human walked away.
+                println!("[stdin closed — treating as walk-away]");
+                Vec::new()
+            }
+            Ok(_) => {
+                let trimmed = line.trim();
+                if trimmed.eq_ignore_ascii_case("esc") {
+                    vec![KeyEvent::Escape]
+                } else {
+                    trimmed
+                        .chars()
+                        .map(KeyEvent::Char)
+                        .chain(std::iter::once(KeyEvent::Enter))
+                        .collect()
+                }
+            }
+        };
+        OperatorResponse {
+            events,
+            elapsed: Duration::from_secs(5), // nominal human time
+        }
+    }
+}
+
+fn main() {
+    println!("== Interactive uni-directional trusted path ==");
+    let ca = PrivacyCa::new(1024, 7);
+    let mut verifier = Verifier::new(ca.public_key().clone(), 8);
+    let mut machine = Machine::new(MachineConfig::realistic(VendorProfile::Infineon, 9));
+    let enrollment = ca.enroll(&mut machine);
+    let mut client = Client::new(ClientConfig::default(), enrollment);
+
+    let tx = Transaction::new(1, "bookshop.example", 4_200, "EUR", "order #77");
+    println!(
+        "\nYou are about to confirm: pay {} to {}",
+        tx.display_amount(),
+        tx.payee
+    );
+    let request = verifier.issue_request_with_mode(tx, ConfirmMode::TypeCode, machine.now());
+
+    let mut me = StdinHuman {
+        stdin: std::io::stdin().lock(),
+    };
+    match client.confirm(&mut machine, &request, &mut me) {
+        Ok(evidence) => match verifier.verify(&evidence, machine.now()) {
+            Ok(v) => println!(
+                "\n[provider] VERIFIED — human-confirmed {} to {} ({} attempt(s))",
+                v.transaction.display_amount(),
+                v.transaction.payee,
+                v.attempts
+            ),
+            Err(e) => println!("\n[provider] rejected: {}", e),
+        },
+        Err(e) => println!("\n[client] session failed: {}", e),
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: one human-confirmed transaction, end to end.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! Walks the complete uni-directional trusted path once, printing each
+//! step: enrollment, challenge, DRTM session (with the screen the human
+//! saw), evidence, and server-side verification.
+
+use utp::core::ca::PrivacyCa;
+use utp::core::client::{Client, ClientConfig};
+use utp::core::operator::{ConfirmingHuman, Intent};
+use utp::core::protocol::Transaction;
+use utp::core::verifier::Verifier;
+use utp::platform::machine::{Machine, MachineConfig};
+use utp::tpm::VendorProfile;
+
+fn main() {
+    println!("== Uni-directional trusted path: quickstart ==\n");
+
+    // --- Provider side -----------------------------------------------------
+    // The provider pins the privacy CA key and the published measurement of
+    // the confirmation PAL (baked into the default verifier policy).
+    let ca = PrivacyCa::new(1024, 1);
+    let mut verifier = Verifier::new(ca.public_key().clone(), 2);
+    println!("[provider] pinned privacy-CA key and PAL v1 measurement");
+
+    // --- Client side -------------------------------------------------------
+    // A machine with an Infineon TPM; the CA certifies a fresh AIK.
+    let mut machine = Machine::new(MachineConfig::realistic(VendorProfile::Infineon, 3));
+    let enrollment = ca.enroll(&mut machine);
+    println!(
+        "[client]   enrolled AIK (certificate serial {})",
+        enrollment.certificate.serial
+    );
+    let mut client = Client::new(ClientConfig::default(), enrollment);
+
+    // --- The transaction -----------------------------------------------------
+    let tx = Transaction::new(1, "bookshop.example", 4_200, "EUR", "order #77");
+    println!(
+        "[human]    wants to pay {} to {}",
+        tx.display_amount(),
+        tx.payee
+    );
+    let request = verifier.issue_request(tx.clone(), machine.now());
+    println!("[provider] issued challenge with fresh nonce {}", request.nonce);
+
+    // --- The trusted session ---------------------------------------------------
+    let mut human = ConfirmingHuman::new(Intent::approving(&tx), 4);
+    let (evidence, report) = client
+        .confirm_with_report(&mut machine, &request, &mut human)
+        .expect("confirmation session runs");
+    println!("\n[client]   DRTM session complete:");
+    println!("             PAL measurement : {}", report.measurement);
+    println!("             suspend  {:>8.1} ms", report.timings.suspend.as_secs_f64() * 1e3);
+    println!("             skinit   {:>8.1} ms", report.timings.skinit.as_secs_f64() * 1e3);
+    println!("             pal      {:>8.1} ms (human {:.1} ms)",
+        report.timings.pal.as_secs_f64() * 1e3,
+        report.timings.human.as_secs_f64() * 1e3);
+    println!("             quote    {:>8.1} ms", report.timings.attest.as_secs_f64() * 1e3);
+    println!("             resume   {:>8.1} ms", report.timings.resume.as_secs_f64() * 1e3);
+    println!("             total    {:>8.1} ms", report.timings.total().as_secs_f64() * 1e3);
+
+    // --- Verification ---------------------------------------------------------
+    let verified = verifier
+        .verify(&evidence, machine.now())
+        .expect("evidence verifies");
+    println!(
+        "\n[provider] VERIFIED: a human confirmed '{}' for {} ({} code attempt(s))",
+        verified.transaction.payee,
+        verified.transaction.display_amount(),
+        verified.attempts
+    );
+
+    // Replay is futile.
+    let replay = verifier.verify(&evidence, machine.now());
+    println!("[provider] replaying the same evidence → {:?}", replay.unwrap_err());
+}

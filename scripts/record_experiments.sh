@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates every experiment harness and splices the outputs into
+# EXPERIMENTS.md at the <!--EN--> markers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_and_splice() {
+  local id="$1" bin="$2"
+  echo ">> running $bin"
+  cargo run -q -p utp-bench --bin "$bin" > "/tmp/exp_$id.txt"
+  python3 - "$id" "/tmp/exp_$id.txt" <<'PY'
+import sys
+marker = "<!--%s-->" % sys.argv[1]
+out = open(sys.argv[2]).read().rstrip()
+text = open("EXPERIMENTS.md").read()
+assert marker in text, marker
+text = text.replace(marker, "```text\n" + out + "\n```")
+open("EXPERIMENTS.md", "w").write(text)
+PY
+}
+
+run_and_splice E1 e1_tpm_micro
+run_and_splice E2 e2_session_breakdown
+run_and_splice E3 e3_end_to_end
+run_and_splice E4 e4_server_throughput
+run_and_splice E5 e5_attacks
+run_and_splice E6 e6_captcha_compare
+run_and_splice E7 e7_tcb_size
+run_and_splice E8 e8_amortized
+run_and_splice E9 e9_batching
+echo "EXPERIMENTS.md updated"

@@ -1,0 +1,33 @@
+//! # utp — Uni-directional trusted path
+//!
+//! Umbrella crate for the DSN 2011 reproduction *"Uni-directional trusted
+//! path: Transaction confirmation on just one device"*. Re-exports every
+//! workspace crate under one roof so applications can depend on `utp`
+//! alone:
+//!
+//! * [`core`] — the paper's contribution: confirmation PAL, protocol,
+//!   client, verifier, privacy CA;
+//! * [`flicker`] — DRTM isolated-execution sessions;
+//! * [`platform`] — the simulated SKINIT-capable machine and human model;
+//! * [`tpm`] — the software TPM 1.2 with vendor latency profiles;
+//! * [`crypto`] — from-scratch SHA-1/SHA-256/HMAC/RSA;
+//! * [`server`] — service-provider stack;
+//! * [`netsim`] — client↔provider network model;
+//! * [`captcha`] — the CAPTCHA baseline the paper proposes to replace;
+//! * [`attack`] — the transaction-generator adversary suite.
+//!
+//! See `examples/quickstart.rs` for the five-step end-to-end flow, and
+//! DESIGN.md / EXPERIMENTS.md for the experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use utp_attack as attack;
+pub use utp_captcha as captcha;
+pub use utp_core as core;
+pub use utp_crypto as crypto;
+pub use utp_flicker as flicker;
+pub use utp_netsim as netsim;
+pub use utp_platform as platform;
+pub use utp_server as server;
+pub use utp_tpm as tpm;

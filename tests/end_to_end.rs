@@ -1,0 +1,179 @@
+//! Cross-crate integration tests: the full trusted path from human intent
+//! to provider settlement, exercised through the public `utp` facade.
+
+use utp::core::ca::PrivacyCa;
+use utp::core::client::{Client, ClientConfig};
+use utp::core::operator::{ConfirmingHuman, Intent};
+use utp::core::protocol::{ConfirmMode, Transaction};
+use utp::core::verifier::{Verifier, VerifyError};
+use utp::netsim::{Link, LinkConfig};
+use utp::platform::machine::{Machine, MachineConfig};
+use utp::server::flow::run_transaction;
+use utp::server::provider::ServiceProvider;
+use utp::tpm::VendorProfile;
+
+fn world(seed: u64) -> (PrivacyCa, Verifier, Machine, Client) {
+    let ca = PrivacyCa::new(512, seed);
+    let verifier = Verifier::new(ca.public_key().clone(), seed + 1);
+    let mut machine = Machine::new(MachineConfig::fast_for_tests(seed + 2));
+    let enrollment = ca.enroll(&mut machine);
+    let client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+    (ca, verifier, machine, client)
+}
+
+#[test]
+fn full_flow_on_every_vendor_profile() {
+    for (i, vendor) in VendorProfile::all_real().iter().enumerate() {
+        let ca = PrivacyCa::new(512, 300 + i as u64);
+        let mut verifier = Verifier::new(ca.public_key().clone(), 301 + i as u64);
+        let mut machine = Machine::new(MachineConfig::realistic(*vendor, 302 + i as u64));
+        let enrollment = ca.enroll(&mut machine);
+        let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+        let tx = Transaction::new(1, "shop.example", 999, "EUR", "x");
+        let request = verifier.issue_request(tx.clone(), machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&tx), 303 + i as u64);
+        let evidence = client
+            .confirm(&mut machine, &request, &mut human)
+            .expect("session runs");
+        verifier
+            .verify(&evidence, machine.now())
+            .unwrap_or_else(|e| panic!("{:?}: {}", vendor, e));
+    }
+}
+
+#[test]
+fn both_confirmation_modes_verify() {
+    let (_ca, mut verifier, mut machine, mut client) = world(310);
+    for mode in [ConfirmMode::PressEnter, ConfirmMode::TypeCode] {
+        let tx = Transaction::new(2, "shop.example", 500, "EUR", "m");
+        let request = verifier.issue_request_with_mode(tx.clone(), mode, machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&tx), 311);
+        let evidence = client.confirm(&mut machine, &request, &mut human).unwrap();
+        let verified = verifier.verify(&evidence, machine.now()).unwrap();
+        assert_eq!(verified.mode, mode);
+    }
+}
+
+#[test]
+fn one_verifier_serves_many_machines() {
+    let ca = PrivacyCa::new(512, 320);
+    let mut verifier = Verifier::new(ca.public_key().clone(), 321);
+    for i in 0..3u64 {
+        let mut machine = Machine::new(MachineConfig::fast_for_tests(330 + i));
+        let enrollment = ca.enroll(&mut machine);
+        let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+        let tx = Transaction::new(i, "shop.example", 100 * (i + 1), "EUR", "");
+        let request = verifier.issue_request(tx.clone(), machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&tx), 340 + i);
+        let evidence = client.confirm(&mut machine, &request, &mut human).unwrap();
+        verifier.verify(&evidence, machine.now()).unwrap();
+    }
+    assert_eq!(verifier.stats().accepted, 3);
+}
+
+#[test]
+fn evidence_cannot_cross_machines() {
+    // Evidence quoted by machine A's TPM must not verify for a request
+    // answered from machine B's enrollment (AIK mismatch caught by the
+    // quote signature).
+    let ca = PrivacyCa::new(512, 350);
+    let mut verifier = Verifier::new(ca.public_key().clone(), 351);
+    let mut machine_a = Machine::new(MachineConfig::fast_for_tests(352));
+    let enroll_a = ca.enroll(&mut machine_a);
+    let mut machine_b = Machine::new(MachineConfig::fast_for_tests(353));
+    let enroll_b = ca.enroll(&mut machine_b);
+    let mut client_a = Client::new(ClientConfig::fast_for_tests(), enroll_a);
+    let tx = Transaction::new(1, "shop.example", 100, "EUR", "");
+    let request = verifier.issue_request(tx.clone(), machine_a.now());
+    let mut human = ConfirmingHuman::new(Intent::approving(&tx), 354);
+    let mut evidence = client_a
+        .confirm(&mut machine_a, &request, &mut human)
+        .unwrap();
+    // Malware swaps in machine B's certificate (also CA-signed!).
+    evidence.aik_cert = enroll_b.certificate.to_bytes();
+    assert_eq!(
+        verifier.verify(&evidence, machine_a.now()).unwrap_err(),
+        VerifyError::BadQuote
+    );
+}
+
+#[test]
+fn end_to_end_flow_over_three_link_presets() {
+    for (i, cfg) in [
+        LinkConfig::broadband(),
+        LinkConfig::continental(),
+        LinkConfig::intercontinental(),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let ca = PrivacyCa::new(512, 360 + i as u64);
+        let mut provider = ServiceProvider::new(ca.public_key().clone(), 361 + i as u64);
+        provider.store_mut().open_account("alice", 1_000_000);
+        let mut machine = Machine::new(MachineConfig::fast_for_tests(362 + i as u64));
+        let enrollment = ca.enroll(&mut machine);
+        let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+        let mut link = Link::new(cfg, 363 + i as u64);
+        let mut human = ConfirmingHuman::new(
+            Intent {
+                payee: "shop.example".into(),
+                amount: "10.00 EUR".into(),
+                approve: true,
+            },
+            364 + i as u64,
+        );
+        let report = run_transaction(
+            &mut machine,
+            &mut client,
+            &mut provider,
+            &mut link,
+            "alice",
+            "shop.example",
+            1_000,
+            "memo",
+            &mut human,
+        )
+        .expect("flow runs");
+        assert!(report.outcome.is_ok(), "link preset {} failed", i);
+        assert!(report.network > std::time::Duration::ZERO);
+    }
+}
+
+#[test]
+fn sequential_transactions_share_one_machine_and_verifier() {
+    let (_ca, mut verifier, mut machine, mut client) = world(370);
+    for i in 0..5u64 {
+        let tx = Transaction::new(i, "shop.example", 100 + i, "EUR", "seq");
+        let request = verifier.issue_request(tx.clone(), machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&tx), 380 + i);
+        let evidence = client.confirm(&mut machine, &request, &mut human).unwrap();
+        verifier.verify(&evidence, machine.now()).unwrap();
+    }
+    assert_eq!(machine.skinit_count(), 5);
+    assert_eq!(verifier.stats().accepted, 5);
+}
+
+#[test]
+fn rejected_then_retried_transaction_needs_fresh_nonce() {
+    let (_ca, mut verifier, mut machine, mut client) = world(390);
+    let tx = Transaction::new(9, "shop.example", 700, "EUR", "retry");
+    let request = verifier.issue_request(tx.clone(), machine.now());
+    // First attempt: the human walks away (timeout verdict).
+    let mut absent = ConfirmingHuman::new(Intent::rejecting(), 391);
+    let evidence = client.confirm(&mut machine, &request, &mut absent).unwrap();
+    assert!(matches!(
+        verifier.verify(&evidence, machine.now()).unwrap_err(),
+        VerifyError::NotConfirmed(_)
+    ));
+    // Retrying with the same nonce fails (settled)...
+    let mut human = ConfirmingHuman::new(Intent::approving(&tx), 392);
+    let evidence2 = client.confirm(&mut machine, &request, &mut human).unwrap();
+    assert_eq!(
+        verifier.verify(&evidence2, machine.now()).unwrap_err(),
+        VerifyError::Replayed
+    );
+    // ...but a fresh request for the same transaction succeeds.
+    let request2 = verifier.issue_request(tx.clone(), machine.now());
+    let evidence3 = client.confirm(&mut machine, &request2, &mut human).unwrap();
+    verifier.verify(&evidence3, machine.now()).unwrap();
+}

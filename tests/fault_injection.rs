@@ -1,0 +1,130 @@
+//! Failure-injection tests: with a flaky TPM (transient command faults),
+//! sessions may fail but the system must fail *closed* — the OS always
+//! resumes, no partial evidence ever verifies, and a retry on a healthy
+//! run still succeeds.
+
+use utp::core::ca::PrivacyCa;
+use utp::core::client::{Client, ClientConfig};
+use utp::core::operator::{ConfirmingHuman, Intent};
+use utp::core::protocol::{ConfirmMode, Transaction};
+use utp::core::verifier::Verifier;
+use utp::platform::machine::{Machine, MachineConfig};
+use utp::tpm::{TpmConfig, VendorProfile};
+
+fn flaky_machine(seed: u64, fault_rate: f64) -> Machine {
+    let mut config = MachineConfig::fast_for_tests(seed);
+    config.tpm = TpmConfig {
+        vendor: VendorProfile::Instant,
+        key_bits: 512,
+        seed,
+        fault_rate: 0.0,
+    }
+    .with_fault_rate(fault_rate);
+    Machine::new(config)
+}
+
+#[test]
+fn flaky_tpm_never_leaves_machine_stuck_in_session() {
+    for seed in 0..20u64 {
+        let ca = PrivacyCa::new(512, 900 + seed);
+        let mut verifier = Verifier::new(ca.public_key().clone(), 901 + seed);
+        let mut machine = flaky_machine(902 + seed, 0.3);
+        let enrollment = ca.enroll(&mut machine);
+        let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+        let tx = Transaction::new(seed, "shop.example", 100, "EUR", "");
+        let request =
+            verifier.issue_request_with_mode(tx.clone(), ConfirmMode::PressEnter, machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&tx), 903 + seed);
+        let result = client.confirm(&mut machine, &request, &mut human);
+        // Whatever happened, the OS is running again.
+        assert!(
+            !machine.in_secure_session(),
+            "seed {}: machine stuck in session",
+            seed
+        );
+        // And any evidence that *was* produced is genuine.
+        if let Ok(evidence) = result {
+            verifier
+                .verify(&evidence, machine.now())
+                .unwrap_or_else(|e| panic!("seed {}: produced evidence failed: {}", seed, e));
+        }
+    }
+}
+
+#[test]
+fn some_sessions_fail_under_heavy_faults_and_some_succeed_under_light() {
+    // Sanity-check the fault model actually bites, and is not fatal.
+    let mut failures_heavy = 0;
+    for seed in 0..10u64 {
+        let ca = PrivacyCa::new(512, 950 + seed);
+        let mut verifier = Verifier::new(ca.public_key().clone(), 951);
+        let mut machine = flaky_machine(952 + seed, 0.5);
+        let enrollment = ca.enroll(&mut machine);
+        let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+        let tx = Transaction::new(seed, "shop.example", 100, "EUR", "");
+        let request =
+            verifier.issue_request_with_mode(tx.clone(), ConfirmMode::PressEnter, machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&tx), 953 + seed);
+        if client.confirm(&mut machine, &request, &mut human).is_err() {
+            failures_heavy += 1;
+        }
+    }
+    assert!(failures_heavy > 0, "50% fault rate should break something");
+
+    let mut successes_light = 0;
+    for seed in 0..10u64 {
+        let ca = PrivacyCa::new(512, 970 + seed);
+        let mut verifier = Verifier::new(ca.public_key().clone(), 971);
+        let mut machine = flaky_machine(972 + seed, 0.02);
+        let enrollment = ca.enroll(&mut machine);
+        let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+        let tx = Transaction::new(seed, "shop.example", 100, "EUR", "");
+        let request =
+            verifier.issue_request_with_mode(tx.clone(), ConfirmMode::PressEnter, machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&tx), 973 + seed);
+        if client.confirm(&mut machine, &request, &mut human).is_ok() {
+            successes_light += 1;
+        }
+    }
+    assert!(successes_light > 0, "2% fault rate should mostly work");
+}
+
+#[test]
+fn retry_after_transient_fault_succeeds_with_fresh_nonce() {
+    let ca = PrivacyCa::new(512, 990);
+    let mut verifier = Verifier::new(ca.public_key().clone(), 991);
+    let mut machine = flaky_machine(992, 0.35);
+    let enrollment = ca.enroll(&mut machine);
+    let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+    let tx = Transaction::new(1, "shop.example", 100, "EUR", "");
+    // Keep retrying with fresh nonces until one session survives the
+    // fault rate; each attempt must leave the machine reusable.
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        assert!(attempts < 100, "no session ever succeeded");
+        let request =
+            verifier.issue_request_with_mode(tx.clone(), ConfirmMode::PressEnter, machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&tx), 993 + attempts);
+        match client.confirm(&mut machine, &request, &mut human) {
+            Ok(evidence) => {
+                verifier.verify(&evidence, machine.now()).unwrap();
+                break;
+            }
+            Err(_) => {
+                assert!(!machine.in_secure_session());
+                continue;
+            }
+        }
+    }
+}
+
+#[test]
+fn faulty_skinit_surfaces_as_launch_error() {
+    // With a 100% fault rate the DRTM hash sequence itself fails; skinit
+    // must return an error, not panic or half-launch.
+    let mut machine = flaky_machine(995, 1.0);
+    let err = machine.skinit(b"pal").map(|_| ()).unwrap_err();
+    assert!(err.to_string().contains("fault"), "{}", err);
+    assert!(!machine.in_secure_session());
+}

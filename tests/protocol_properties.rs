@@ -1,0 +1,142 @@
+//! Property-based tests over the full protocol: arbitrary transactions
+//! survive the complete confirm→verify pipeline, and arbitrary mutations
+//! of evidence are rejected.
+
+use proptest::prelude::*;
+use utp::core::ca::PrivacyCa;
+use utp::core::client::{Client, ClientConfig};
+use utp::core::operator::{ConfirmingHuman, Intent};
+use utp::core::protocol::{
+    ConfirmMode, ConfirmationToken, Evidence, Transaction, TransactionRequest,
+};
+use utp::core::verifier::Verifier;
+use utp::platform::machine::{Machine, MachineConfig};
+
+fn arb_transaction() -> impl Strategy<Value = Transaction> {
+    (
+        any::<u64>(),
+        "[a-z0-9.]{1,24}",
+        0u64..100_000_000,
+        "[A-Z]{3}",
+        "[ -~]{0,40}",
+    )
+        .prop_map(|(id, payee, amount, currency, memo)| {
+            Transaction::new(id, payee, amount, currency, memo)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn transaction_wire_roundtrip(tx in arb_transaction()) {
+        prop_assert_eq!(Transaction::from_bytes(&tx.to_bytes()).unwrap(), tx);
+    }
+
+    #[test]
+    fn request_wire_roundtrip(tx in arb_transaction(), nonce in any::<[u8; 20]>()) {
+        let req = TransactionRequest {
+            transaction: tx,
+            nonce: utp::crypto::sha1::Sha1Digest(nonce),
+            mode: ConfirmMode::TypeCode,
+        };
+        prop_assert_eq!(TransactionRequest::from_bytes(&req.to_bytes()).unwrap(), req);
+    }
+
+    #[test]
+    fn token_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = ConfirmationToken::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn evidence_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Evidence::from_bytes(&bytes);
+    }
+}
+
+proptest! {
+    // Full-pipeline cases are expensive (RSA keygen per world); keep low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn any_transaction_confirms_and_verifies(tx in arb_transaction(), seed in any::<u64>()) {
+        let ca = PrivacyCa::new(512, seed);
+        let mut verifier = Verifier::new(ca.public_key().clone(), seed ^ 1);
+        let mut machine = Machine::new(MachineConfig::fast_for_tests(seed ^ 2));
+        let enrollment = ca.enroll(&mut machine);
+        let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+        let request = verifier.issue_request_with_mode(
+            tx.clone(),
+            ConfirmMode::PressEnter,
+            machine.now(),
+        );
+        let mut human = ConfirmingHuman::new(Intent::approving(&tx), seed ^ 3);
+        let evidence = client.confirm(&mut machine, &request, &mut human).unwrap();
+        let verified = verifier.verify(&evidence, machine.now()).unwrap();
+        prop_assert_eq!(verified.transaction, tx);
+    }
+
+    #[test]
+    fn random_mutations_of_evidence_are_rejected(
+        seed in any::<u64>(),
+        target in 0usize..3,
+        offset in any::<proptest::sample::Index>(),
+        flip in 1u8..255
+    ) {
+        let ca = PrivacyCa::new(512, seed);
+        let mut verifier = Verifier::new(ca.public_key().clone(), seed ^ 1);
+        let mut machine = Machine::new(MachineConfig::fast_for_tests(seed ^ 2));
+        let enrollment = ca.enroll(&mut machine);
+        let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+        let tx = Transaction::new(7, "shop.example", 4_200, "EUR", "order");
+        let request = verifier.issue_request(tx.clone(), machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&tx), seed ^ 3);
+        let mut evidence = client.confirm(&mut machine, &request, &mut human).unwrap();
+        match target {
+            0 => {
+                let i = offset.index(evidence.token_bytes.len());
+                evidence.token_bytes[i] ^= flip;
+            }
+            1 => {
+                let i = offset.index(evidence.quote.signature.len());
+                evidence.quote.signature[i] ^= flip;
+            }
+            _ => {
+                let i = offset.index(evidence.aik_cert.len());
+                evidence.aik_cert[i] ^= flip;
+            }
+        }
+        prop_assert!(verifier.verify(&evidence, machine.now()).is_err());
+    }
+}
+
+// ----- parser totality for the extension types --------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aik_certificate_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = utp::core::ca::AikCertificate::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn batch_request_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = utp::core::batch::BatchRequest::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn batch_token_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = utp::core::batch::BatchToken::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn amortized_evidence_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = utp::core::amortized::AmortizedEvidence::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn sealed_blob_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = utp::tpm::seal::SealedBlob::from_bytes(&bytes);
+    }
+}
