@@ -1,0 +1,140 @@
+//! Structured diagnostics and their text / JSON renderings.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; does not affect the exit code.
+    Warn,
+    /// Gate failure; `utp-analyze` exits non-zero if any remain.
+    Deny,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warn => write!(f, "warn"),
+            Severity::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// One finding: file, line, which lint, severity, and an explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Stable lint identifier, e.g. `no-panic-in-tcb`.
+    pub lint: &'static str,
+    /// Gate or advisory.
+    pub severity: Severity,
+    /// Human-oriented explanation, including the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}: [{}] {}",
+            self.severity, self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Renders diagnostics as line-oriented text, one finding per line.
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let denies = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .count();
+    let warns = diags.len() - denies;
+    out.push_str(&format!("{denies} deny, {warns} warn\n"));
+    out
+}
+
+/// Renders diagnostics as a JSON document (hand-rolled; the analyzer is
+/// dependency-light by design).
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\"}}",
+            escape_json(&d.file),
+            d.line,
+            escape_json(d.lint),
+            d.severity,
+            escape_json(&d.message),
+        ));
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    let denies = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .count();
+    out.push_str(&format!(
+        "],\n  \"deny_count\": {denies},\n  \"warn_count\": {}\n}}\n",
+        diags.len() - denies
+    ));
+    out
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![Diagnostic {
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            lint: "no-panic-in-tcb",
+            severity: Severity::Deny,
+            message: "don't \"panic\"".into(),
+        }]
+    }
+
+    #[test]
+    fn text_rendering_includes_location_and_counts() {
+        let text = render_text(&sample());
+        assert!(text.contains("crates/x/src/lib.rs:3"));
+        assert!(text.contains("[no-panic-in-tcb]"));
+        assert!(text.contains("1 deny, 0 warn"));
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_counts() {
+        let json = render_json(&sample());
+        assert!(json.contains("\"deny_count\": 1"));
+        assert!(json.contains("don't \\\"panic\\\""));
+        assert!(json.contains("\"line\": 3"));
+    }
+}

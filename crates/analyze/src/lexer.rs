@@ -1,0 +1,530 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The analyzer's passes only need a comment- and string-aware token
+//! stream with line numbers — not a full parse tree — so this lexer
+//! handles exactly the hard parts of Rust's lexical grammar that would
+//! otherwise cause false positives: nested block comments, string /
+//! raw-string / byte-string literals, char literals vs. lifetimes, and
+//! multi-character operators the passes match on (`::`, `==`, `!=`, range
+//! tokens). Everything else is a single-character punctuation token.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `Instant`, ...).
+    Ident,
+    /// Lifetime such as `'a` (the tick is included in the text).
+    Lifetime,
+    /// Integer or float literal.
+    Number,
+    /// String, raw-string, byte-string or C-string literal (quotes kept).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Punctuation; multi-char for `::`, `==`, `!=`, `..=`, `..`, `->`,
+    /// `=>`, single char otherwise.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokenKind,
+    /// Exact source text (for `Str`, the full literal including quotes).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when this is punctuation with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == text
+    }
+
+    /// True when this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+}
+
+/// A line comment captured during lexing (the passes use these for
+/// `// utp-analyze: allow(...)` annotations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the leading `//`.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus all line comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `//` comments (including `///` doc comments) in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `source`. Never fails: unterminated literals simply consume
+/// the rest of the input, which is good enough for analysis purposes.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                // Raw / byte / C-string prefixes must win over plain idents.
+                'r' | 'b' | 'c' if self.is_literal_prefix() => self.prefixed_literal(),
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                '"' => self.string(line),
+                '\'' => self.char_or_lifetime(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    /// Does the current `r`/`b`/`c` start a literal like `r"`, `r#"`,
+    /// `b"`, `br##"`, `b'`?
+    fn is_literal_prefix(&self) -> bool {
+        let mut i = 1;
+        // Allow a second prefix letter (`br`, `cr`).
+        if matches!(self.peek(i), Some('r' | 'b')) && self.peek(0) != Some('r') {
+            i += 1;
+        }
+        let mut j = i;
+        while self.peek(j) == Some('#') {
+            j += 1;
+        }
+        match self.peek(j) {
+            Some('"') => true,
+            // Byte char literal b'x'.
+            Some('\'') => j == i && self.peek(0) == Some('b') && i == 1,
+            _ => false,
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        // Numbers may contain `_`, type suffixes, hex digits, and one `.`
+        // (but `1..2` is two numbers and a range operator).
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && self.peek(1) != Some('.') && !text.contains('.') {
+                // A digit must follow for this to be part of the number
+                // (`1.max(2)` keeps `1` and `.` separate).
+                if self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, text, line);
+    }
+
+    fn string(&mut self, line: u32) {
+        let mut text = String::new();
+        text.push(self.bump().expect("opening quote"));
+        while let Some(c) = self.bump() {
+            text.push(c);
+            if c == '\\' {
+                if let Some(escaped) = self.bump() {
+                    text.push(escaped);
+                }
+            } else if c == '"' {
+                break;
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Literal starting with `r`, `b`, `c` prefixes: raw strings with any
+    /// number of `#` guards, byte strings, or byte chars.
+    fn prefixed_literal(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        let mut raw = false;
+        while let Some(c) = self.peek(0) {
+            if matches!(c, 'r' | 'b' | 'c') && text.len() < 2 {
+                raw |= c == 'r';
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let mut guards = 0usize;
+        while self.peek(0) == Some('#') {
+            guards += 1;
+            text.push('#');
+            self.bump();
+        }
+        match self.peek(0) {
+            Some('"') if raw || guards > 0 => {
+                // Raw string: ends at `"` followed by `guards` hashes.
+                text.push(self.bump().expect("quote"));
+                loop {
+                    match self.bump() {
+                        None => break,
+                        Some('"') => {
+                            text.push('"');
+                            let mut seen = 0;
+                            while seen < guards && self.peek(0) == Some('#') {
+                                text.push('#');
+                                self.bump();
+                                seen += 1;
+                            }
+                            if seen == guards {
+                                break;
+                            }
+                        }
+                        Some(c) => text.push(c),
+                    }
+                }
+                self.push(TokenKind::Str, text, line);
+            }
+            Some('"') => {
+                // Cooked byte/C string: same escape rules as `string`.
+                text.push(self.bump().expect("quote"));
+                while let Some(c) = self.bump() {
+                    text.push(c);
+                    if c == '\\' {
+                        if let Some(escaped) = self.bump() {
+                            text.push(escaped);
+                        }
+                    } else if c == '"' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Str, text, line);
+            }
+            Some('\'') => {
+                // Byte char literal b'x' / b'\n'.
+                text.push(self.bump().expect("quote"));
+                if self.peek(0) == Some('\\') {
+                    text.push(self.bump().expect("backslash"));
+                }
+                while let Some(c) = self.bump() {
+                    text.push(c);
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Char, text, line);
+            }
+            _ => self.push(TokenKind::Ident, text, line),
+        }
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        // `'a'` / `'\n'` are chars; `'a` (no closing tick) is a lifetime.
+        let is_char = matches!(
+            (self.peek(1), self.peek(2)),
+            (Some('\\'), _) | (Some(_), Some('\''))
+        );
+        if is_char {
+            let mut text = String::new();
+            text.push(self.bump().expect("tick"));
+            if self.peek(0) == Some('\\') {
+                text.push(self.bump().expect("backslash"));
+                if let Some(escaped) = self.bump() {
+                    text.push(escaped);
+                    // Unicode escapes: consume through the closing brace.
+                    if escaped == 'u' {
+                        while let Some(c) = self.bump() {
+                            text.push(c);
+                            if c == '}' {
+                                break;
+                            }
+                        }
+                    }
+                }
+            } else if let Some(c) = self.bump() {
+                text.push(c);
+            }
+            if self.peek(0) == Some('\'') {
+                text.push(self.bump().expect("closing tick"));
+            }
+            self.push(TokenKind::Char, text, line);
+        } else {
+            let mut text = String::new();
+            text.push(self.bump().expect("tick"));
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        }
+    }
+
+    fn punct(&mut self) {
+        let line = self.line;
+        let c = self.bump().expect("punct char");
+        // Join the few multi-char operators the passes care about.
+        let joined = match (c, self.peek(0), self.peek(1)) {
+            (':', Some(':'), _) => Some("::"),
+            ('=', Some('='), _) => Some("=="),
+            ('!', Some('='), _) => Some("!="),
+            ('.', Some('.'), Some('=')) => Some("..="),
+            ('.', Some('.'), _) => Some(".."),
+            ('-', Some('>'), _) => Some("->"),
+            ('=', Some('>'), _) => Some("=>"),
+            _ => None,
+        };
+        if let Some(op) = joined {
+            for _ in 1..op.len() {
+                self.bump();
+            }
+            self.push(TokenKind::Punct, op.to_string(), line);
+        } else {
+            self.push(TokenKind::Punct, c.to_string(), line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let x = "a.unwrap() // not a comment";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        // The unwrap inside the string is not an ident token.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+        // Escaped quotes don't terminate the string early.
+        let toks = kinds(r#"("ab\"cd", next)"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("cd")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "next"));
+    }
+
+    #[test]
+    fn raw_strings_with_guards() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; let t = 1;"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("inside")));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "t"));
+        let toks = kinds(r#"let b = br"bytes"; done"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("bytes")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "done"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_skipped() {
+        let toks = kinds("before /* outer /* inner */ still comment */ after");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["before", "after"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "'x'"));
+        let toks = kinds(r"let c = '\n'; let l: &'static str = s;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == r"'\n'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'static"));
+    }
+
+    #[test]
+    fn byte_char_and_unicode_escape() {
+        let toks = kinds(r"let a = b'x'; let c = '\u{1F600}'; end");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t == "b'x'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && t.starts_with(r"'\u{")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "end"));
+    }
+
+    #[test]
+    fn multi_char_operators_and_ranges() {
+        let toks = kinds("a == b; c != d; e::f; 0..10; 1..=9; x -> y => z");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        for op in ["==", "!=", "::", "..", "..=", "->", "=>"] {
+            assert!(puncts.contains(&op), "missing {op}");
+        }
+        // `0..10` must be two numbers, not a float.
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "10"));
+    }
+
+    #[test]
+    fn float_vs_method_call_on_number() {
+        let toks = kinds("let a = 1.5; let b = 1.max(2);");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "1.5"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn line_numbers_and_comments() {
+        let lexed = lex("line1\n// a comment\nline3 // trailing\nline4");
+        let l3 = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text == "line3")
+            .expect("line3 token");
+        assert_eq!(l3.line, 3);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert_eq!(lexed.comments[1].line, 3);
+        assert!(lexed.comments[1].text.contains("trailing"));
+    }
+}

@@ -1,0 +1,126 @@
+//! `utp-analyze` — workspace-wide TCB / constant-time / panic-freedom
+//! static analyzer for the UTP reproduction.
+//!
+//! The paper's central claim is a *minimal, auditable* trusted computing
+//! base: the confirmation PAL plus the TPM driver. This crate machine-
+//! checks the discipline that claim rests on, in the spirit of the
+//! automated-verification line of work around DRTM protocols:
+//!
+//! 1. [`passes::tcb_boundary`] — TCB files import only allowlisted crates;
+//! 2. [`passes::no_panic`] — no abort paths in TCB code;
+//! 3. [`passes::ct_discipline`] — secret comparisons go through `ct_eq`;
+//! 4. [`passes::forbid_unsafe`] — `#![forbid(unsafe_code)]` everywhere;
+//! 5. [`passes::wallclock`] — the simulated clock is the only time source.
+//!
+//! Violations that are individually justified carry an inline
+//! `// utp-analyze: allow(<lint>) <reason>` annotation; the reason is
+//! mandatory and annotations that suppress nothing are flagged, so the
+//! set of waivers cannot silently rot.
+//!
+//! The analyzer is dependency-light on purpose: a hand-rolled lexer
+//! ([`lexer`]) rather than `syn`, hand-rolled JSON output, no regex. It
+//! runs in the test suite ([`analyze_workspace`] from
+//! `tests/static_analysis.rs` at the workspace root) so `cargo test`
+//! fails on any new deny-level finding.
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod lexer;
+pub mod passes;
+pub mod source;
+pub mod workspace;
+
+use diag::{Diagnostic, Severity};
+use source::SourceFile;
+
+/// Analyzes one file's source text. `path` must be workspace-relative
+/// with forward slashes — pass scoping keys off it.
+pub fn analyze_source(path: &str, text: &str) -> Vec<Diagnostic> {
+    let file = SourceFile::parse(path, text);
+    let registry = passes::registry();
+    let known_lints: Vec<&str> = registry.iter().map(|p| p.id()).collect();
+    let mut diags = Vec::new();
+    let mut used = vec![false; file.suppressions.len()];
+
+    for pass in &registry {
+        for finding in pass.check(&file) {
+            let mut suppressed = false;
+            for (si, s) in file.suppressions.iter().enumerate() {
+                if s.lint == pass.id() && file.suppression_covers(si, finding.line) {
+                    used[si] = true;
+                    suppressed = true;
+                }
+            }
+            if !suppressed {
+                diags.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: finding.line,
+                    lint: pass.id(),
+                    severity: finding.severity,
+                    message: finding.message,
+                });
+            }
+        }
+    }
+
+    for bad in &file.bad_annotations {
+        diags.push(Diagnostic {
+            file: file.path.clone(),
+            line: bad.line,
+            lint: "malformed-allow",
+            severity: Severity::Deny,
+            message: bad.problem.clone(),
+        });
+    }
+    for (si, s) in file.suppressions.iter().enumerate() {
+        if !known_lints.contains(&s.lint.as_str()) {
+            diags.push(Diagnostic {
+                file: file.path.clone(),
+                line: s.line,
+                lint: "malformed-allow",
+                severity: Severity::Deny,
+                message: format!(
+                    "allow({}) names an unknown lint (known: {})",
+                    s.lint,
+                    known_lints.join(", ")
+                ),
+            });
+        } else if !used[si] {
+            diags.push(Diagnostic {
+                file: file.path.clone(),
+                line: s.line,
+                lint: "unused-allow",
+                severity: Severity::Warn,
+                message: format!(
+                    "allow({}) suppresses nothing here; remove it so the waiver list \
+                     stays honest",
+                    s.lint
+                ),
+            });
+        }
+    }
+
+    diags.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
+    diags
+}
+
+/// Analyzes every `.rs` file under `root` (see [`workspace::collect_rs_files`]
+/// for the walk rules). Diagnostics are sorted by path, then line.
+pub fn analyze_workspace(root: &std::path::Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for (rel, abs) in workspace::collect_rs_files(root)? {
+        let text = std::fs::read_to_string(&abs)?;
+        diags.extend(analyze_source(&rel, &text));
+    }
+    diags.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    Ok(diags)
+}
+
+/// Count of deny-level diagnostics (what gates the exit code).
+pub fn deny_count(diags: &[Diagnostic]) -> usize {
+    diags
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .count()
+}

@@ -1,0 +1,101 @@
+//! CLI for the `utp-analyze` static analyzer.
+//!
+//! ```text
+//! utp-analyze [--root <path>] [--format text|json] [--list-passes]
+//! ```
+//!
+//! Exit status: 0 — clean (no deny-level findings); 1 — at least one
+//! deny-level finding; 2 — usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use utp_analyze::{analyze_workspace, deny_count, diag, passes, workspace};
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn usage() -> &'static str {
+    "usage: utp-analyze [--root <path>] [--format text|json] [--list-passes]\n\
+     \n\
+     Runs the UTP workspace's TCB / constant-time / panic-freedom passes\n\
+     over every .rs file and reports structured diagnostics. Exits 1 if\n\
+     any deny-level finding remains unannotated."
+}
+
+fn main() -> ExitCode {
+    let mut format = Format::Text;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    let got = other.unwrap_or("nothing");
+                    eprintln!("--format expects `text` or `json`, got `{got}`");
+                    return ExitCode::from(2);
+                }
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-passes" => {
+                for pass in passes::registry() {
+                    println!("{:<28} {}", pass.id(), pass.description());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match workspace::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("could not locate a workspace root above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let diags = match analyze_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match format {
+        Format::Text => print!("{}", diag::render_text(&diags)),
+        Format::Json => print!("{}", diag::render_json(&diags)),
+    }
+
+    if deny_count(&diags) > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,170 @@
+//! Pass 3: `ct-discipline` — secret comparisons must be constant-time.
+//!
+//! Short-circuiting `==`/`!=` on key/digest/MAC material and early
+//! `return`s inside loops over secrets leak timing information to the
+//! untrusted OS sharing the machine. In `utp-crypto` and the TPM auth
+//! path, comparisons whose operands have secret-carrying names (`key`,
+//! `secret`, `auth`, `hmac`, `digest`, `nonce`, `mac`, `tag`) must go
+//! through `utp_crypto::ct::ct_eq` / `ct_select`, and loops over such
+//! bindings must not exit early. Length inspections (`key.len() == 32`)
+//! are public and exempt.
+
+use super::{Finding, Pass};
+use crate::diag::Severity;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Methods whose results are public even on secret receivers.
+const PUBLIC_PROJECTIONS: &[&str] = &["len", "is_empty", "count", "capacity"];
+
+/// The `ct-discipline` pass.
+pub struct CtDiscipline;
+
+/// Is this file in scope: the crypto crate, or the TPM authorization path?
+fn in_scope(path: &str) -> bool {
+    path.starts_with("crates/crypto/src/")
+        || path == "crates/tpm/src/auth.rs"
+        || path == "crates/tpm/src/seal.rs"
+}
+
+impl Pass for CtDiscipline {
+    fn id(&self) -> &'static str {
+        "ct-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "secret-named values must be compared with ct_eq, and loops over them must not return early"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        if !in_scope(&file.path) {
+            return Vec::new();
+        }
+        let mut findings = Vec::new();
+        self.check_comparisons(file, &mut findings);
+        self.check_loop_returns(file, &mut findings);
+        findings
+    }
+}
+
+impl CtDiscipline {
+    fn check_comparisons(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        let tokens = &file.tokens;
+        for (i, t) in tokens.iter().enumerate() {
+            if !(t.is_punct("==") || t.is_punct("!=")) || file.in_test_code(t.line) {
+                continue;
+            }
+            let left = operand_idents(tokens, i, Direction::Left);
+            let right = operand_idents(tokens, i, Direction::Right);
+            let secret_side = |idents: &[String]| {
+                idents.iter().any(|s| super::is_secret_ident(s))
+                    && !idents
+                        .iter()
+                        .any(|s| PUBLIC_PROJECTIONS.contains(&s.as_str()))
+            };
+            if secret_side(&left) || secret_side(&right) {
+                findings.push(Finding {
+                    line: t.line,
+                    severity: Severity::Deny,
+                    message: format!(
+                        "`{}` on secret-named data short-circuits on the first differing \
+                         byte, leaking a timing oracle; compare with \
+                         `utp_crypto::ct::ct_eq` (or select with `ct_select`)",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+
+    fn check_loop_returns(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        let tokens = &file.tokens;
+        for (i, t) in tokens.iter().enumerate() {
+            if t.kind != TokenKind::Ident
+                || !matches!(t.text.as_str(), "for" | "while" | "loop")
+                || file.in_test_code(t.line)
+            {
+                continue;
+            }
+            // Header = tokens between the keyword and the body's `{`.
+            let Some(body_open) = tokens[i..].iter().position(|t| t.is_punct("{")) else {
+                continue;
+            };
+            let body_open = i + body_open;
+            let header_secret = tokens[i + 1..body_open]
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && super::is_secret_ident(&t.text));
+            if !header_secret {
+                continue;
+            }
+            // Body extent via brace matching.
+            let mut depth = 0usize;
+            let mut close = body_open;
+            while close < tokens.len() {
+                if tokens[close].is_punct("{") {
+                    depth += 1;
+                } else if tokens[close].is_punct("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                close += 1;
+            }
+            for rt in &tokens[body_open..close.min(tokens.len())] {
+                if rt.is_ident("return") {
+                    findings.push(Finding {
+                        line: rt.line,
+                        severity: Severity::Deny,
+                        message: "early `return` inside a loop over secret-named data makes \
+                                  the iteration count observable; accumulate a flag and \
+                                  decide after the loop (see `utp_crypto::ct`)"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+enum Direction {
+    Left,
+    Right,
+}
+
+/// Collects the identifiers of the operand expression adjacent to the
+/// comparison at `idx`, walking over member access / calls / indexing.
+fn operand_idents(tokens: &[crate::lexer::Token], idx: usize, dir: Direction) -> Vec<String> {
+    let mut idents = Vec::new();
+    let mut steps = 0;
+    let mut j = idx;
+    loop {
+        let next = match dir {
+            Direction::Left => j.checked_sub(1),
+            Direction::Right => Some(j + 1),
+        };
+        let Some(next) = next else { break };
+        let Some(t) = tokens.get(next) else { break };
+        steps += 1;
+        if steps > 10 {
+            break;
+        }
+        let continues = match t.kind {
+            TokenKind::Ident => {
+                idents.push(t.text.clone());
+                true
+            }
+            TokenKind::Number | TokenKind::Char | TokenKind::Str => true,
+            TokenKind::Punct => matches!(
+                t.text.as_str(),
+                "." | "::" | "(" | ")" | "[" | "]" | "&" | "*"
+            ),
+            _ => false,
+        };
+        if !continues {
+            break;
+        }
+        j = next;
+    }
+    idents
+}

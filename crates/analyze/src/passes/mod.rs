@@ -1,0 +1,100 @@
+//! The pass registry and shared pass helpers.
+
+pub mod ct_discipline;
+pub mod forbid_unsafe;
+pub mod no_panic;
+pub mod tcb_boundary;
+pub mod wallclock;
+
+use crate::diag::Severity;
+use crate::source::SourceFile;
+
+/// A raw finding from one pass, before suppression filtering.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// 1-based line number.
+    pub line: u32,
+    /// Gate or advisory.
+    pub severity: Severity,
+    /// Explanation including the suggested fix.
+    pub message: String,
+}
+
+/// One analysis pass over a single file.
+pub trait Pass {
+    /// Stable lint id, e.g. `no-panic-in-tcb` (used in allow annotations).
+    fn id(&self) -> &'static str;
+
+    /// One-line description for `--help`-style listings.
+    fn description(&self) -> &'static str;
+
+    /// Runs the pass; returns raw findings (suppressions are applied by
+    /// the driver).
+    fn check(&self, file: &SourceFile) -> Vec<Finding>;
+}
+
+/// All passes, in reporting order.
+pub fn registry() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(tcb_boundary::TcbBoundary),
+        Box::new(no_panic::NoPanicInTcb),
+        Box::new(ct_discipline::CtDiscipline),
+        Box::new(forbid_unsafe::ForbidUnsafeEverywhere),
+        Box::new(wallclock::WallclockInModel),
+    ]
+}
+
+/// Files forming the trusted computing base: the confirmation PAL(s) and
+/// the whole TPM driver crate.
+pub fn is_tcb_path(path: &str) -> bool {
+    path.starts_with("crates/tpm/src/")
+        || path == "crates/flicker/src/pal.rs"
+        || path == "crates/core/src/pal.rs"
+}
+
+/// Words that mark a binding as secret-carrying for ct-discipline.
+const SECRET_WORDS: &[&str] = &[
+    "key", "keys", "secret", "secrets", "auth", "hmac", "digest", "digests", "nonce", "nonces",
+    "mac", "macs", "tag", "tags",
+];
+
+/// Does this identifier name secret material (component-wise match, so
+/// `session_key` and `auth_digest` hit but `machine` does not)?
+/// SCREAMING_CASE identifiers are exempt: constants like `DIGEST_LEN`
+/// are public protocol parameters, not secret bindings.
+pub fn is_secret_ident(ident: &str) -> bool {
+    if ident
+        .chars()
+        .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+    {
+        return false;
+    }
+    ident
+        .split('_')
+        .any(|component| SECRET_WORDS.contains(&component.to_ascii_lowercase().as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secret_ident_matches_components_not_substrings() {
+        assert!(is_secret_ident("key"));
+        assert!(is_secret_ident("session_key"));
+        assert!(is_secret_ident("auth_digest"));
+        assert!(is_secret_ident("expected_hmac"));
+        assert!(!is_secret_ident("machine"));
+        assert!(!is_secret_ident("keyboard"));
+        assert!(!is_secret_ident("monkey"));
+    }
+
+    #[test]
+    fn tcb_paths_cover_pal_and_tpm() {
+        assert!(is_tcb_path("crates/tpm/src/device.rs"));
+        assert!(is_tcb_path("crates/flicker/src/pal.rs"));
+        assert!(is_tcb_path("crates/core/src/pal.rs"));
+        assert!(!is_tcb_path("crates/server/src/flow.rs"));
+        assert!(!is_tcb_path("crates/tpm/tests/properties.rs"));
+    }
+}

@@ -1,0 +1,134 @@
+//! Pass 2: `no-panic-in-tcb` — TCB code must not be able to abort.
+//!
+//! A panic inside the PAL or TPM driver tears down the trusted session
+//! mid-transaction, which at best loses the confirmation and at worst
+//! leaves sealed state half-written. All fallible operations must return
+//! a proper error (`TpmError`, `PalError`, ...). Forbidden in non-test
+//! TCB code: `.unwrap()`, `.expect(...)`, `panic!`, `todo!`,
+//! `unimplemented!`, and panicking index/slice expressions with a dynamic
+//! index. Constant indices (`buf[0]`) and full-range slices (`&buf[..]`)
+//! are tolerated because their bounds behavior is locally evident.
+
+use super::{Finding, Pass};
+use crate::diag::Severity;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// The `no-panic-in-tcb` pass.
+pub struct NoPanicInTcb;
+
+impl Pass for NoPanicInTcb {
+    fn id(&self) -> &'static str {
+        "no-panic-in-tcb"
+    }
+
+    fn description(&self) -> &'static str {
+        "no unwrap/expect/panic!/todo!/unimplemented! or dynamic indexing in TCB code"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        if !super::is_tcb_path(&file.path) {
+            return Vec::new();
+        }
+        let tokens = &file.tokens;
+        let mut findings = Vec::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if file.in_test_code(t.line) {
+                continue;
+            }
+            match t.kind {
+                TokenKind::Ident if t.text == "unwrap" || t.text == "expect" => {
+                    let after_dot = i > 0 && tokens[i - 1].is_punct(".");
+                    let called = tokens.get(i + 1).is_some_and(|n| n.is_punct("("));
+                    if after_dot && called {
+                        findings.push(Finding {
+                            line: t.line,
+                            severity: Severity::Deny,
+                            message: format!(
+                                "`.{}()` can abort the trusted session; propagate a typed \
+                                 error (e.g. `TpmError`) with `?` / `ok_or` instead",
+                                t.text
+                            ),
+                        });
+                    }
+                }
+                TokenKind::Ident
+                    if matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
+                        && tokens.get(i + 1).is_some_and(|n| n.is_punct("!")) =>
+                {
+                    findings.push(Finding {
+                        line: t.line,
+                        severity: Severity::Deny,
+                        message: format!(
+                            "`{}!` aborts the trusted session mid-transaction; TCB code \
+                             must return a typed error instead",
+                            t.text
+                        ),
+                    });
+                }
+                TokenKind::Punct if t.text == "[" => {
+                    if let Some(f) = check_index_expr(file, i) {
+                        findings.push(f);
+                    }
+                }
+                _ => {}
+            }
+        }
+        findings
+    }
+}
+
+/// Flags `expr[...]` indexing whose bracket contents are not a lone
+/// integer literal or a full-range `..`.
+fn check_index_expr(file: &SourceFile, open: usize) -> Option<Finding> {
+    let tokens = &file.tokens;
+    let prev = tokens.get(open.checked_sub(1)?)?;
+    // Indexing only when the bracket follows a value: `ident[`, `)[`, `][`.
+    let is_index = prev.kind == TokenKind::Ident && !is_keyword_before_bracket(&prev.text)
+        || prev.is_punct(")")
+        || prev.is_punct("]");
+    if !is_index {
+        return None;
+    }
+    // Find the closing bracket (same-level scan).
+    let mut depth = 1usize;
+    let mut close = open + 1;
+    while close < tokens.len() {
+        if tokens[close].is_punct("[") {
+            depth += 1;
+        } else if tokens[close].is_punct("]") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        close += 1;
+    }
+    let inner = &tokens[open + 1..close.min(tokens.len())];
+    let benign = match inner {
+        // `buf[3]` — constant index, bounds locally evident.
+        [only] if only.kind == TokenKind::Number => true,
+        // `&buf[..]` — full-range slice, cannot panic.
+        [only] if only.is_punct("..") => true,
+        _ => false,
+    };
+    if benign {
+        return None;
+    }
+    Some(Finding {
+        line: tokens[open].line,
+        severity: Severity::Deny,
+        message: "dynamic index/slice can panic out-of-bounds and abort the trusted \
+                  session; use `.get(..)` / `.get_mut(..)` and propagate a typed error"
+            .to_string(),
+    })
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (e.g. `return [a, b]`).
+fn is_keyword_before_bracket(text: &str) -> bool {
+    matches!(
+        text,
+        "return" | "in" | "else" | "match" | "break" | "mut" | "const" | "static" | "as" | "dyn"
+    )
+}

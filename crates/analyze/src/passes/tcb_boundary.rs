@@ -1,0 +1,148 @@
+//! Pass 1: `tcb-boundary` — the TCB may only import allowlisted crates.
+//!
+//! The paper's minimal-TCB argument only holds if the PAL and TPM driver
+//! cannot quietly grow dependencies on the untrusted world. This pass
+//! checks every `use` declaration in TCB files against a per-file
+//! allowlist, and additionally denies the OS-facing `std` subtrees
+//! (`std::net`, `std::fs`, `std::process`, ...) that a PAL running under
+//! DRTM isolation could never have anyway.
+
+use super::{Finding, Pass};
+use crate::diag::Severity;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Workspace crates that must never appear in TCB code.
+const FORBIDDEN_CRATES: &[&str] = &[
+    "utp_server",
+    "utp_netsim",
+    "utp_attack",
+    "utp_captcha",
+    "utp_bench",
+    "utp",
+];
+
+/// `std` subtrees forbidden in the TCB (OS services a measured PAL does
+/// not have; `core`/`alloc`-style subsets like `fmt`, `collections`,
+/// `time::Duration` remain fine).
+const STD_DENY: &[&str] = &["net", "fs", "process", "thread", "env", "os", "io", "path"];
+
+/// Import roots every TCB file may use.
+const COMMON_ALLOW: &[&str] = &[
+    "crate",
+    "self",
+    "super",
+    "core",
+    "alloc",
+    "std",
+    "utp_crypto",
+];
+
+/// Extra roots allowed per TCB file class, beyond [`COMMON_ALLOW`].
+fn extra_allow(path: &str) -> &'static [&'static str] {
+    if path.starts_with("crates/tpm/src/") {
+        // `rand` models the TPM's internal hardware RNG.
+        &["rand"]
+    } else if path == "crates/flicker/src/pal.rs" {
+        // The PAL drives the TPM and the isolated keyboard/display.
+        &["utp_tpm", "utp_platform"]
+    } else if path == "crates/core/src/pal.rs" {
+        // The confirmation PAL builds on the Flicker session layer.
+        &["utp_tpm", "utp_platform", "utp_flicker"]
+    } else {
+        &[]
+    }
+}
+
+/// The `tcb-boundary` pass.
+pub struct TcbBoundary;
+
+impl Pass for TcbBoundary {
+    fn id(&self) -> &'static str {
+        "tcb-boundary"
+    }
+
+    fn description(&self) -> &'static str {
+        "TCB files (PAL + TPM driver) may only import allowlisted crates"
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        if !super::is_tcb_path(&file.path) {
+            return Vec::new();
+        }
+        let extra = extra_allow(&file.path);
+        // Modules this file declares: `use device::...` in lib.rs is a
+        // local re-export, not a foreign import.
+        let local_mods: Vec<&str> = file
+            .tokens
+            .windows(2)
+            .filter(|w| w[0].is_ident("mod") && w[1].kind == TokenKind::Ident)
+            .map(|w| w[1].text.as_str())
+            .collect();
+        let mut findings = Vec::new();
+        let tokens = &file.tokens;
+        let mut i = 0;
+        while i < tokens.len() {
+            if !tokens[i].is_ident("use") {
+                i += 1;
+                continue;
+            }
+            // Find the declaration's extent (up to `;`) and its root.
+            let mut end = i + 1;
+            while end < tokens.len() && !tokens[end].is_punct(";") {
+                end += 1;
+            }
+            let decl = &tokens[i + 1..end.min(tokens.len())];
+            let line = tokens[i].line;
+            if let Some(root) = decl.iter().find(|t| t.kind == TokenKind::Ident) {
+                let root_name = root.text.as_str();
+                if FORBIDDEN_CRATES.contains(&root_name) {
+                    findings.push(Finding {
+                        line,
+                        severity: Severity::Deny,
+                        message: format!(
+                            "TCB file imports `{root_name}`, which is outside the trusted \
+                             computing base; the PAL/TPM driver must not depend on \
+                             untrusted server/simulation crates"
+                        ),
+                    });
+                } else if root_name == "std" {
+                    for t in decl.iter().filter(|t| t.kind == TokenKind::Ident) {
+                        if STD_DENY.contains(&t.text.as_str()) {
+                            findings.push(Finding {
+                                line: t.line,
+                                severity: Severity::Deny,
+                                message: format!(
+                                    "TCB file imports `std::{}`: OS services are unavailable \
+                                     to a measured PAL and must not leak into the TCB; use \
+                                     core/alloc-style std subsets only",
+                                    t.text
+                                ),
+                            });
+                        }
+                    }
+                } else if !COMMON_ALLOW.contains(&root_name)
+                    && !extra.contains(&root_name)
+                    && !local_mods.contains(&root_name)
+                {
+                    findings.push(Finding {
+                        line,
+                        severity: Severity::Deny,
+                        message: format!(
+                            "TCB file imports `{root_name}`, which is not on the TCB import \
+                             allowlist ({})",
+                            COMMON_ALLOW
+                                .iter()
+                                .chain(extra)
+                                .copied()
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    });
+                }
+            }
+            i = end + 1;
+        }
+        findings
+    }
+}

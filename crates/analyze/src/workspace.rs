@@ -1,0 +1,78 @@
+//! Workspace file discovery.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "node_modules"];
+
+/// Collects every `.rs` file under `root`, skipping build output, VCS
+/// metadata and test fixture directories. Returns
+/// `(workspace-relative path with forward slashes, absolute path)` pairs
+/// in sorted order.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((rel, path));
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares a `[workspace]` — the analyzer's default root.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace_and_skips_target() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("workspace root above crates/analyze");
+        let files = collect_rs_files(&root).expect("walk succeeds");
+        assert!(files
+            .iter()
+            .any(|(rel, _)| rel == "crates/tpm/src/device.rs"));
+        assert!(files.iter().any(|(rel, _)| rel == "src/lib.rs"));
+        assert!(!files.iter().any(|(rel, _)| rel.contains("target/")));
+        // Sorted, relative, forward-slash form.
+        assert!(files.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+}

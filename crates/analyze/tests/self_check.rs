@@ -1,0 +1,52 @@
+//! The analyzer must pass over its own workspace: zero deny-level
+//! findings and zero warnings anywhere in the repository. This is the
+//! clean-run invariant — any new `unwrap()` in the TCB, stray wall-clock
+//! read, or unjustified allow-annotation fails the test suite.
+
+use std::path::Path;
+
+use utp_analyze::{analyze_workspace, deny_count, diag::render_text, workspace};
+
+fn workspace_root() -> std::path::PathBuf {
+    workspace::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("crates/analyze lives inside the utp workspace")
+}
+
+#[test]
+fn workspace_has_no_deny_findings() {
+    let diags = analyze_workspace(&workspace_root()).expect("workspace walk failed");
+    assert_eq!(
+        deny_count(&diags),
+        0,
+        "static analysis found deny-level violations:\n{}",
+        render_text(&diags)
+    );
+}
+
+#[test]
+fn workspace_has_no_warnings_either() {
+    // Warnings are currently only unused-allow annotations; the waiver
+    // list must stay minimal, so we hold the repo to zero of those too.
+    let diags = analyze_workspace(&workspace_root()).expect("workspace walk failed");
+    assert!(
+        diags.is_empty(),
+        "static analysis produced diagnostics:\n{}",
+        render_text(&diags)
+    );
+}
+
+#[test]
+fn analyzer_walks_a_nontrivial_file_set() {
+    // Guard against the walker silently finding nothing (wrong root,
+    // over-aggressive skip rules) and vacuously passing the gate.
+    let files = workspace::collect_rs_files(&workspace_root()).expect("walk");
+    assert!(
+        files.len() > 50,
+        "expected the workspace walk to see the whole repo, got {} files",
+        files.len()
+    );
+    assert!(files
+        .iter()
+        .any(|(rel, _)| rel == "crates/tpm/src/device.rs"));
+    assert!(files.iter().any(|(rel, _)| rel == "crates/core/src/pal.rs"));
+}

@@ -25,7 +25,11 @@ impl AttackResult {
 ///
 /// Each trial gets a distinct derived seed so the worlds are independent
 /// but the whole experiment is reproducible.
-pub fn run_trials(trials: usize, base_seed: u64, mut attack: impl FnMut(u64) -> bool) -> AttackResult {
+pub fn run_trials(
+    trials: usize,
+    base_seed: u64,
+    mut attack: impl FnMut(u64) -> bool,
+) -> AttackResult {
     let mut successes = 0;
     for i in 0..trials {
         let seed = base_seed
@@ -52,7 +56,14 @@ mod tests {
             successes: 50,
         };
         assert!((r.rate() - 0.25).abs() < 1e-12);
-        assert_eq!(AttackResult { attempts: 0, successes: 0 }.rate(), 0.0);
+        assert_eq!(
+            AttackResult {
+                attempts: 0,
+                successes: 0
+            }
+            .rate(),
+            0.0
+        );
     }
 
     #[test]

@@ -106,7 +106,9 @@ pub fn attack_utp_forged_quote(seed: u64) -> bool {
         quote,
         aik_cert: w.client.enrollment().certificate.to_bytes(),
     };
-    let _ = w.provider.submit_evidence(order_id, &evidence, w.machine.now());
+    let _ = w
+        .provider
+        .submit_evidence(order_id, &evidence, w.machine.now());
     w.provider.is_confirmed(order_id)
 }
 
@@ -161,7 +163,9 @@ pub fn attack_utp_evil_pal(seed: u64) -> bool {
         quote: report.quote.expect("attested"),
         aik_cert: w.client.enrollment().certificate.to_bytes(),
     };
-    let _ = w.provider.submit_evidence(order_id, &evidence, w.machine.now());
+    let _ = w
+        .provider
+        .submit_evidence(order_id, &evidence, w.machine.now());
     w.provider.is_confirmed(order_id)
 }
 
@@ -206,14 +210,9 @@ pub fn attack_utp_replay(seed: u64) -> bool {
 pub fn attack_utp_key_injection(seed: u64) -> bool {
     let mut w = World::new(seed);
     let now = w.machine.now();
-    let (order_id, request) = w.provider.place_order(
-        "victim",
-        "attacker.example",
-        99_900,
-        "EUR",
-        "loot",
-        now,
-    );
+    let (order_id, request) =
+        w.provider
+            .place_order("victim", "attacker.example", 99_900, "EUR", "loot", now);
     // Pre-load fake confirmations (works while the OS owns the keyboard).
     for _ in 0..4 {
         w.machine
@@ -232,7 +231,9 @@ pub fn attack_utp_key_injection(seed: u64) -> bool {
         Ok(e) => e,
         Err(_) => return false,
     };
-    let _ = w.provider.submit_evidence(order_id, &evidence, w.machine.now());
+    let _ = w
+        .provider
+        .submit_evidence(order_id, &evidence, w.machine.now());
     w.provider.is_confirmed(order_id)
 }
 
@@ -249,21 +250,18 @@ pub fn attack_utp_mitm_swap(vigilance: f64, seed: u64) -> bool {
     let intended =
         utp_core::protocol::Transaction::new(0, "bookshop.example", 4_200, "EUR", "order");
     // ...but malware placed this instead:
-    let (order_id, request) = w.provider.place_order(
-        "victim",
-        "attacker.example",
-        99_900,
-        "EUR",
-        "order",
-        now,
-    );
+    let (order_id, request) =
+        w.provider
+            .place_order("victim", "attacker.example", 99_900, "EUR", "order", now);
     let mut human =
         ConfirmingHuman::with_vigilance(Intent::approving(&intended), vigilance, seed ^ 0x99);
     let evidence = match w.client.confirm(&mut w.machine, &request, &mut human) {
         Ok(e) => e,
         Err(_) => return false,
     };
-    let _ = w.provider.submit_evidence(order_id, &evidence, w.machine.now());
+    let _ = w
+        .provider
+        .submit_evidence(order_id, &evidence, w.machine.now());
     w.provider.is_confirmed(order_id)
 }
 
@@ -281,7 +279,9 @@ pub fn legitimate_transaction(seed: u64) -> bool {
         Ok(e) => e,
         Err(_) => return false,
     };
-    let _ = w.provider.submit_evidence(order_id, &evidence, w.machine.now());
+    let _ = w
+        .provider
+        .submit_evidence(order_id, &evidence, w.machine.now());
     w.provider.is_confirmed(order_id)
 }
 

@@ -23,8 +23,11 @@ fn bench_full_confirmation(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             let tx = Transaction::new(i, "shop.example", 100, "EUR", "x");
-            let request =
-                verifier.issue_request_with_mode(tx.clone(), ConfirmMode::PressEnter, machine.now());
+            let request = verifier.issue_request_with_mode(
+                tx.clone(),
+                ConfirmMode::PressEnter,
+                machine.now(),
+            );
             let mut human = ConfirmingHuman::new(Intent::approving(&tx), i);
             let evidence = client
                 .confirm(&mut machine, &request, &mut human)
@@ -64,5 +67,9 @@ fn bench_amortized_confirmation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_confirmation, bench_amortized_confirmation);
+criterion_group!(
+    benches,
+    bench_full_confirmation,
+    bench_amortized_confirmation
+);
 criterion_main!(benches);

@@ -21,9 +21,7 @@ fn bench_batch_threads(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(threads),
             &threads,
-            |b, &threads| {
-                b.iter(|| verify_batch_parallel(&ca_key, &pals, &jobs, threads))
-            },
+            |b, &threads| b.iter(|| verify_batch_parallel(&ca_key, &pals, &jobs, threads)),
         );
     }
     group.finish();

@@ -56,7 +56,15 @@ pub fn render(rows: &[SessionRow]) -> String {
     table::render(
         "E2 - trusted-session latency breakdown (ms of virtual time)",
         &[
-            "chip", "mode", "suspend", "skinit", "pal", "(human)", "quote", "resume", "total",
+            "chip",
+            "mode",
+            "suspend",
+            "skinit",
+            "pal",
+            "(human)",
+            "quote",
+            "resume",
+            "total",
             "machine-only",
         ],
         &rows

@@ -34,7 +34,10 @@ pub struct ThroughputRow {
 
 /// Builds `n` genuine evidence jobs once (key size configurable; 1024-bit
 /// approximates the paper's 2048-bit AIK verification cost within ~4x).
-pub fn build_jobs(n: usize, key_bits: usize) -> (RsaPublicKey, HashSet<Sha1Digest>, Vec<VerificationJob>) {
+pub fn build_jobs(
+    n: usize,
+    key_bits: usize,
+) -> (RsaPublicKey, HashSet<Sha1Digest>, Vec<VerificationJob>) {
     let ca = PrivacyCa::new(key_bits, 11);
     let mut verifier = Verifier::new(ca.public_key().clone(), 12);
     let mut machine = Machine::new(MachineConfig {

@@ -38,7 +38,9 @@ pub fn run(trials: usize, utp_trials: usize) -> Vec<AttackRow> {
         rows.push(AttackRow {
             scenario: "bot solver (OCR)",
             defense: label,
-            result: run_trials(trials, 2, |s| scenarios::attack_captcha(difficulty, false, s)),
+            result: run_trials(trials, 2, |s| {
+                scenarios::attack_captcha(difficulty, false, s)
+            }),
         });
     }
     rows.push(AttackRow {
@@ -124,7 +126,9 @@ mod tests {
         assert_eq!(rate("transaction generator", "none"), 1.0);
         // (b) CAPTCHA: bots get through, more on easy than hard; solving
         // services defeat even hard.
-        assert!(rate("bot solver (OCR)", "captcha-easy") > rate("bot solver (OCR)", "captcha-hard"));
+        assert!(
+            rate("bot solver (OCR)", "captcha-easy") > rate("bot solver (OCR)", "captcha-hard")
+        );
         assert!(rate("bot solver (OCR)", "captcha-hard") > 0.0);
         assert!(rate("solving service", "captcha-hard") > 0.85);
         // (c) UTP: every automated attack collapses to zero.

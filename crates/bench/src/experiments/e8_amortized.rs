@@ -160,7 +160,7 @@ mod tests {
     fn break_even_is_finite_and_small() {
         for r in run(512) {
             let be = r.break_even_transactions();
-            assert!(be >= 1 && be < 100, "{:?}: break-even {}", r.vendor, be);
+            assert!((1..100).contains(&be), "{:?}: break-even {}", r.vendor, be);
         }
     }
 

@@ -48,14 +48,11 @@ pub fn run(key_bits: usize) -> Vec<BatchRow> {
         .map(|&k| {
             let ca = PrivacyCa::new(key_bits, 91);
             let mut verifier = BatchVerifier::new(ca.public_key().clone());
-            let mut machine =
-                Machine::new(MachineConfig::realistic(VendorProfile::Infineon, 92));
+            let mut machine = Machine::new(MachineConfig::realistic(VendorProfile::Infineon, 92));
             let enrollment = ca.enroll(&mut machine);
             let mut client = BatchClient::new(enrollment);
             let transactions: Vec<Transaction> = (0..k)
-                .map(|i| {
-                    Transaction::new(i as u64, format!("shop-{}.example", i), 100, "EUR", "")
-                })
+                .map(|i| Transaction::new(i as u64, format!("shop-{}.example", i), 100, "EUR", ""))
                 .collect();
             let request = verifier.issue_batch(transactions, machine.now());
             let mut op = ApproveAll;

@@ -95,7 +95,7 @@ impl HumanSolver {
     /// Creates a solver from a seed.
     pub fn new(seed: u64) -> Self {
         HumanSolver {
-            rng: StdRng::seed_from_u64(seed ^ 0x4855_4du64),
+            rng: StdRng::seed_from_u64(seed ^ 0x48_554d_u64),
         }
     }
 
@@ -134,7 +134,7 @@ impl BotSolver {
     /// per-challenge rates varied widely — these are mid-range).
     pub fn ocr(seed: u64) -> Self {
         BotSolver {
-            rng: StdRng::seed_from_u64(seed ^ 0x424f_54u64),
+            rng: StdRng::seed_from_u64(seed ^ 0x42_4f54_u64),
             success_rates: [0.65, 0.30, 0.08],
         }
     }

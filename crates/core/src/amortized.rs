@@ -65,7 +65,11 @@ impl AmortizedPal {
         Sha1::digest(&self.image)
     }
 
-    fn handle_setup(&self, env: &mut PalEnv<'_, '_>, mut r: Reader<'_>) -> Result<Vec<u8>, PalError> {
+    fn handle_setup(
+        &self,
+        env: &mut PalEnv<'_, '_>,
+        mut r: Reader<'_>,
+    ) -> Result<Vec<u8>, PalError> {
         let server_pub_bytes = r
             .bytes()
             .map_err(|e| PalError::Failed(e.to_string()))?
@@ -195,9 +199,7 @@ impl Pal for AmortizedPal {
 
     fn invoke(&mut self, env: &mut PalEnv<'_, '_>, input: &[u8]) -> Result<Vec<u8>, PalError> {
         let mut r = Reader::new(input);
-        let tag = r
-            .take(1)
-            .map_err(|e| PalError::Failed(e.to_string()))?[0];
+        let tag = r.take(1).map_err(|e| PalError::Failed(e.to_string()))?[0];
         match tag {
             INPUT_TAG_SETUP => self.handle_setup(env, r),
             INPUT_TAG_CONFIRM => self.handle_confirm(env, r),
@@ -296,8 +298,14 @@ impl AmortizedClient {
         )?;
         // Parse the PAL output: key ciphertext + sealed blob.
         let mut r = Reader::new(&report.output);
-        let key_ct = r.bytes().map_err(|e| UtpError::Protocol(e.to_string()))?.to_vec();
-        let blob_bytes = r.bytes().map_err(|e| UtpError::Protocol(e.to_string()))?.to_vec();
+        let key_ct = r
+            .bytes()
+            .map_err(|e| UtpError::Protocol(e.to_string()))?
+            .to_vec();
+        let blob_bytes = r
+            .bytes()
+            .map_err(|e| UtpError::Protocol(e.to_string()))?
+            .to_vec();
         r.finish().map_err(|e| UtpError::Protocol(e.to_string()))?;
         let blob = SealedBlob::from_bytes(&blob_bytes)
             .ok_or_else(|| UtpError::Protocol("bad sealed blob from pal".into()))?;
@@ -434,9 +442,11 @@ impl AmortizedVerifier {
         if !self.setup_nonces.remove(nonce.as_bytes()) {
             return Err(VerifyError::UnknownNonce);
         }
-        let cert = crate::ca::AikCertificate::from_bytes(aik_cert)
+        let cert =
+            crate::ca::AikCertificate::from_bytes(aik_cert).ok_or(VerifyError::BadCertificate)?;
+        let aik = cert
+            .validate(&self.ca_key)
             .ok_or(VerifyError::BadCertificate)?;
-        let aik = cert.validate(&self.ca_key).ok_or(VerifyError::BadCertificate)?;
         let io = utp_flicker::runtime::io_digest(setup_input, setup_output);
         utp_flicker::attestation::check_attested_session(
             &aik,
@@ -482,7 +492,10 @@ impl AmortizedVerifier {
     /// # Errors
     ///
     /// [`VerifyError`] variants on any failed check.
-    pub fn verify(&mut self, evidence: &AmortizedEvidence) -> Result<ConfirmationToken, VerifyError> {
+    pub fn verify(
+        &mut self,
+        evidence: &AmortizedEvidence,
+    ) -> Result<ConfirmationToken, VerifyError> {
         let key = self
             .keys
             .get(&evidence.client_id)
@@ -527,7 +540,9 @@ mod tests {
         let mut machine = Machine::new(MachineConfig::fast_for_tests(seed + 2));
         let enrollment = ca.enroll(&mut machine);
         let mut client = AmortizedClient::new(enrollment);
-        client.setup(&mut machine, &mut verifier).expect("setup runs");
+        client
+            .setup(&mut machine, &mut verifier)
+            .expect("setup runs");
         (verifier, machine, client)
     }
 
@@ -563,7 +578,10 @@ mod tests {
             .confirm_with_report(&mut machine, &request, &mut human)
             .unwrap();
         verifier.verify(&evidence).unwrap();
-        assert_eq!(verifier.verify(&evidence).unwrap_err(), VerifyError::Replayed);
+        assert_eq!(
+            verifier.verify(&evidence).unwrap_err(),
+            VerifyError::Replayed
+        );
     }
 
     #[test]
@@ -579,7 +597,10 @@ mod tests {
         let mut token = ConfirmationToken::from_bytes(&evidence.token_bytes).unwrap();
         token.verdict = Verdict::Confirmed;
         evidence.token_bytes = token.to_bytes();
-        assert_eq!(verifier.verify(&evidence).unwrap_err(), VerifyError::BadQuote);
+        assert_eq!(
+            verifier.verify(&evidence).unwrap_err(),
+            VerifyError::BadQuote
+        );
     }
 
     #[test]
@@ -695,7 +716,8 @@ mod tests {
         let enrollment_a = ca.enroll(&mut machine_a);
         let mut client_a = AmortizedClient::new(enrollment_a);
         client_a.setup(&mut machine_a, &mut verifier_a).unwrap();
-        let request = verifier_a.issue_request(tx.clone(), ConfirmMode::PressEnter, machine_a.now());
+        let request =
+            verifier_a.issue_request(tx.clone(), ConfirmMode::PressEnter, machine_a.now());
         let mut human = ConfirmingHuman::new(Intent::approving(&tx), 776);
         let (_, report_a) = client_a
             .confirm_with_report(&mut machine_a, &request, &mut human)

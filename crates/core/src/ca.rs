@@ -89,7 +89,7 @@ impl PrivacyCa {
     /// Creates a CA with a fresh key of `key_bits`.
     pub fn new(key_bits: usize, seed: u64) -> Self {
         PrivacyCa {
-            keypair: RsaKeyPair::generate(key_bits, seed ^ 0x5052_4943_41u64),
+            keypair: RsaKeyPair::generate(key_bits, seed ^ 0x0050_5249_4341_u64),
             issued: std::cell::Cell::new(0),
         }
     }

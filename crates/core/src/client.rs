@@ -90,10 +90,7 @@ impl Client {
                 selection: PcrSelection::drtm_only(),
             }),
         )?;
-        let quote = report
-            .quote
-            .clone()
-            .expect("attestation was requested");
+        let quote = report.quote.clone().expect("attestation was requested");
         let evidence = Evidence {
             token_bytes: report.output.clone(),
             quote,

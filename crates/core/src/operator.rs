@@ -85,8 +85,8 @@ impl ConfirmingHuman {
     }
 
     fn screen_matches_intent(&self, screen: &[String]) -> bool {
-        let payee_ok = !self.intent.payee.is_empty()
-            && screen.iter().any(|r| r.contains(&self.intent.payee));
+        let payee_ok =
+            !self.intent.payee.is_empty() && screen.iter().any(|r| r.contains(&self.intent.payee));
         let amount_ok = !self.intent.amount.is_empty()
             && screen.iter().any(|r| r.contains(&self.intent.amount));
         payee_ok && amount_ok
@@ -190,11 +190,7 @@ mod tests {
         };
         let mut h = ConfirmingHuman::with_config(Intent::approving(&t), 1.0, cfg, 2);
         let r = h.respond(&screen_for(&t, Some("483920")));
-        let typed: String = r
-            .events
-            .iter()
-            .filter_map(|e| e.as_char())
-            .collect();
+        let typed: String = r.events.iter().filter_map(|e| e.as_char()).collect();
         assert_eq!(typed, "483920");
         assert_eq!(*r.events.last().unwrap(), KeyEvent::Enter);
     }

@@ -78,7 +78,7 @@ impl ConfirmationPal {
     /// Draws a fresh 6-digit code from TPM randomness.
     fn fresh_code(&self, env: &mut PalEnv<'_, '_>) -> Result<String, PalError> {
         let raw = env.get_random(4)?;
-        let n = u32::from_be_bytes(raw.try_into().expect("asked for 4 bytes"));
+        let n = raw.iter().fold(0u32, |acc, &b| (acc << 8) | u32::from(b));
         Ok(format!("{:06}", n % 1_000_000))
     }
 

@@ -165,8 +165,7 @@ impl TransactionRequest {
     pub fn from_bytes(data: &[u8]) -> Result<Self, FlickerError> {
         let mut r = Reader::new(data);
         let transaction = Transaction::read(&mut r)?;
-        let nonce = Sha1Digest::from_slice(r.take(20)?)
-            .expect("take(20) returned 20 bytes");
+        let nonce = Sha1Digest::from_slice(r.take(20)?).expect("take(20) returned 20 bytes");
         let mode_byte = r.take(1)?[0];
         r.finish()?;
         let mode = ConfirmMode::from_u8(mode_byte)
@@ -242,7 +241,10 @@ impl ConfirmationToken {
         let mut r = Reader::new(data);
         let version = r.u32()?;
         if version != PROTOCOL_VERSION {
-            return Err(FlickerError::Marshal(format!("bad token version {}", version)));
+            return Err(FlickerError::Marshal(format!(
+                "bad token version {}",
+                version
+            )));
         }
         let tx_digest = Sha1Digest::from_slice(r.take(20)?).expect("20 bytes");
         let nonce = Sha1Digest::from_slice(r.take(20)?).expect("20 bytes");
@@ -367,7 +369,10 @@ mod tests {
             nonce: Sha1::digest(b"n"),
             mode: ConfirmMode::TypeCode,
         };
-        assert_eq!(TransactionRequest::from_bytes(&req.to_bytes()).unwrap(), req);
+        assert_eq!(
+            TransactionRequest::from_bytes(&req.to_bytes()).unwrap(),
+            req
+        );
     }
 
     #[test]

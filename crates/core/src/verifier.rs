@@ -14,9 +14,7 @@
 //! 4. the token's verdict is `Confirmed` (⇒ the human approved).
 
 use crate::ca::AikCertificate;
-use crate::protocol::{
-    ConfirmMode, Evidence, Transaction, TransactionRequest, Verdict,
-};
+use crate::protocol::{ConfirmMode, Evidence, Transaction, TransactionRequest, Verdict};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::{HashMap, HashSet};
@@ -154,7 +152,7 @@ impl Verifier {
         Verifier {
             ca_key,
             config,
-            rng: StdRng::seed_from_u64(seed ^ 0x5645_52u64),
+            rng: StdRng::seed_from_u64(seed ^ 0x56_4552_u64),
             pending: HashMap::new(),
             used: HashSet::new(),
             stats: VerifierStats::default(),

@@ -87,7 +87,12 @@ impl BigUint {
     /// Panics if the value does not fit in `len` bytes.
     pub fn to_be_bytes_padded(&self, len: usize) -> Vec<u8> {
         let raw = self.to_be_bytes();
-        assert!(raw.len() <= len, "value needs {} bytes > {}", raw.len(), len);
+        assert!(
+            raw.len() <= len,
+            "value needs {} bytes > {}",
+            raw.len(),
+            len
+        );
         let mut out = vec![0u8; len - raw.len()];
         out.extend_from_slice(&raw);
         out
@@ -114,7 +119,7 @@ impl BigUint {
 
     /// True if the lowest bit is clear (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for zero).
@@ -158,9 +163,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &l) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long[i].overflowing_add(b);
+            let (s1, c1) = l.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -317,9 +322,7 @@ impl BigUint {
             let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
             let mut qhat = top / v_top as u128;
             let mut rhat = top % v_top as u128;
-            while qhat >> 64 != 0
-                || qhat * v_next as u128 > ((rhat << 64) | u[j + n - 2] as u128)
-            {
+            while qhat >> 64 != 0 || qhat * v_next as u128 > ((rhat << 64) | u[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v_top as u128;
                 if rhat >> 64 != 0 {
@@ -408,7 +411,7 @@ impl BigUint {
             table.push(next);
         }
         let nbits = exp.bit_len();
-        let nwindows = (nbits + 3) / 4;
+        let nwindows = nbits.div_ceil(4);
         let mut acc = BigUint::one();
         for w in (0..nwindows).rev() {
             if w != nwindows - 1 {
@@ -494,7 +497,11 @@ impl BigUint {
         // s1 is the coefficient for the original `self`.
         let (mag, neg) = s1;
         let mag = mag.rem(m);
-        Some(if neg && !mag.is_zero() { m.sub(&mag) } else { mag })
+        Some(if neg && !mag.is_zero() {
+            m.sub(&mag)
+        } else {
+            mag
+        })
     }
 
     /// Uniformly random value in `[0, bound)` using the given RNG.
@@ -505,7 +512,7 @@ impl BigUint {
     pub fn random_below<R: rand::Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
         assert!(!bound.is_zero(), "bound must be positive");
         let bits = bound.bit_len();
-        let nlimbs = (bits + 63) / 64;
+        let nlimbs = bits.div_ceil(64);
         loop {
             let mut limbs: Vec<u64> = (0..nlimbs).map(|_| rng.gen()).collect();
             // Mask the top limb so the candidate has at most `bits` bits.
@@ -526,12 +533,13 @@ impl BigUint {
     /// Random integer with exactly `bits` bits (top bit set) and odd.
     pub fn random_odd_with_bits<R: rand::Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
         assert!(bits >= 2, "need at least 2 bits");
-        let nlimbs = (bits + 63) / 64;
+        let nlimbs = bits.div_ceil(64);
         let mut limbs: Vec<u64> = (0..nlimbs).map(|_| rng.gen()).collect();
         let extra = nlimbs * 64 - bits;
-        let top = limbs.last_mut().expect("at least one limb");
-        *top &= u64::MAX >> extra;
-        *top |= 1u64 << (63 - extra);
+        if let Some(top) = limbs.last_mut() {
+            *top &= u64::MAX >> extra;
+            *top |= 1u64 << (63 - extra);
+        }
         limbs[0] |= 1;
         let mut n = BigUint { limbs };
         n.normalize();
@@ -542,8 +550,8 @@ impl BigUint {
 /// Signed subtraction on (magnitude, is_negative) pairs: `a - b`.
 fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
     match (a.1, b.1) {
-        (false, true) => (a.0.add(&b.0), false),  // a - (-b) = a + b
-        (true, false) => (a.0.add(&b.0), true),   // -a - b = -(a+b)
+        (false, true) => (a.0.add(&b.0), false), // a - (-b) = a + b
+        (true, false) => (a.0.add(&b.0), true),  // -a - b = -(a+b)
         (false, false) => {
             if a.0 >= b.0 {
                 (a.0.sub(&b.0), false)
@@ -705,7 +713,8 @@ mod tests {
     #[test]
     fn div_rem_multi_limb_divisor() {
         let a = BigUint::from_be_bytes(&[0xFF; 40]);
-        let d = BigUint::from_be_bytes(&[0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF, 0x55, 0x77]);
+        let d =
+            BigUint::from_be_bytes(&[0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD, 0xEF, 0x55, 0x77]);
         let (q, r) = a.div_rem(&d);
         assert!(r < d);
         assert_eq!(q.mul(&d).add(&r), a);

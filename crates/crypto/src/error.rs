@@ -36,7 +36,11 @@ impl fmt::Display for CryptoError {
                 write!(f, "message too long: {} bytes exceeds maximum {}", got, max)
             }
             CryptoError::LengthMismatch { expected, got } => {
-                write!(f, "length mismatch: expected {} bytes, got {}", expected, got)
+                write!(
+                    f,
+                    "length mismatch: expected {} bytes, got {}",
+                    expected, got
+                )
             }
             CryptoError::BadPadding => write!(f, "invalid PKCS#1 padding"),
             CryptoError::BadSignature => write!(f, "signature verification failed"),
@@ -55,7 +59,10 @@ mod tests {
     fn display_is_lowercase_and_nonempty() {
         let variants: Vec<CryptoError> = vec![
             CryptoError::MessageTooLong { max: 10, got: 20 },
-            CryptoError::LengthMismatch { expected: 4, got: 2 },
+            CryptoError::LengthMismatch {
+                expected: 4,
+                got: 2,
+            },
             CryptoError::BadPadding,
             CryptoError::BadSignature,
             CryptoError::KeyGeneration("no primes"),

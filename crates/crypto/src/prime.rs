@@ -78,7 +78,7 @@ pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rng: &mut R) -> bool {
     };
     for &a in &fixed {
         let ab = BigUint::from_u64(a);
-        if &ab >= &n_minus_1 {
+        if ab >= n_minus_1 {
             continue;
         }
         if witness(ab) {

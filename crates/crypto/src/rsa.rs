@@ -20,8 +20,8 @@ const SHA1_PREFIX: [u8; 15] = [
 
 /// ASN.1 DigestInfo prefix for SHA-256.
 const SHA256_PREFIX: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// The public half of an RSA key.
@@ -48,7 +48,7 @@ impl RsaPublicKey {
 
     /// Modulus length in bytes (= signature / ciphertext length).
     pub fn modulus_len(&self) -> usize {
-        (self.n.bit_len() + 7) / 8
+        self.n.bit_len().div_ceil(8)
     }
 
     /// The modulus.
@@ -195,7 +195,7 @@ impl RsaKeyPair {
     /// Panics if `bits < 64` or `bits` is odd.
     pub fn generate(bits: usize, seed: u64) -> Self {
         assert!(bits >= 64, "modulus too small: {} bits", bits);
-        assert!(bits % 2 == 0, "modulus bits must be even");
+        assert!(bits.is_multiple_of(2), "modulus bits must be even");
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5253_4147_454e_u64);
         let e = BigUint::from_u64(65537);
         let one = BigUint::one();
@@ -215,10 +215,14 @@ impl RsaKeyPair {
             if !phi.gcd(&e).is_one() {
                 continue;
             }
-            let d = e.mod_inverse(&phi).expect("gcd checked above");
+            let Some(d) = e.mod_inverse(&phi) else {
+                continue;
+            };
             let dp = d.rem(&p1);
             let dq = d.rem(&q1);
-            let Some(qinv) = q.mod_inverse(&p) else { continue };
+            let Some(qinv) = q.mod_inverse(&p) else {
+                continue;
+            };
             let (p, q) = (p, q);
             return RsaKeyPair {
                 public: RsaPublicKey { n, e },
@@ -281,9 +285,18 @@ impl RsaKeyPair {
     }
 
     /// Signs an already-computed digest with the given DigestInfo prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the modulus is too small to hold the DigestInfo plus
+    /// PKCS#1 padding (62 bytes for SHA-256). Keys in this workspace are
+    /// always ≥ 512 bits, so this is a caller bug, not a runtime state.
+    #[allow(clippy::expect_used)] // documented precondition, see # Panics
     pub fn sign_pkcs1_prehashed(&self, prefix: &[u8], digest: &[u8]) -> Vec<u8> {
         let em = emsa_pkcs1_v15(prefix, digest, self.modulus_len())
             .expect("modulus always large enough for supported digests");
+        // `em` is exactly modulus-sized with a 0x00 top byte, so it is
+        // < n and `raw_private` cannot fail once encoding succeeded.
         self.raw_private(&em)
             .expect("encoded message is modulus-sized and < n")
     }
@@ -301,7 +314,10 @@ impl RsaKeyPair {
         if em.len() < 11 || em[0] != 0x00 || em[1] != 0x02 {
             return Err(CryptoError::BadPadding);
         }
-        let sep = em[2..].iter().position(|&b| b == 0).ok_or(CryptoError::BadPadding)?;
+        let sep = em[2..]
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or(CryptoError::BadPadding)?;
         if sep < 8 {
             return Err(CryptoError::BadPadding);
         }
@@ -313,7 +329,10 @@ impl RsaKeyPair {
 fn emsa_pkcs1_v15(prefix: &[u8], digest: &[u8], k: usize) -> Result<Vec<u8>, CryptoError> {
     let t_len = prefix.len() + digest.len();
     if k < t_len + 11 {
-        return Err(CryptoError::MessageTooLong { max: k - 11, got: t_len });
+        return Err(CryptoError::MessageTooLong {
+            max: k - 11,
+            got: t_len,
+        });
     }
     let mut em = Vec::with_capacity(k);
     em.push(0x00);

@@ -5,10 +5,10 @@
 //! claimed PAL really ran with the claimed input/output, which is the
 //! entire verification logic the service provider applies.
 
+use utp_crypto::rsa::RsaPublicKey;
 use utp_crypto::sha1::{Sha1, Sha1Digest};
 use utp_tpm::pcr::PcrSelection;
 use utp_tpm::quote::Quote;
-use utp_crypto::rsa::RsaPublicKey;
 
 /// PCR 17 immediately after a DRTM launch of a PAL with measurement `m`:
 /// `H( 0^20 || m )`.
@@ -71,8 +71,7 @@ pub fn expected_txt_pcrs(
     io_digest: &Sha1Digest,
 ) -> (Sha1Digest, Sha1Digest) {
     let pcr17 = Sha1::digest_concat(Sha1Digest::zero().as_bytes(), sinit_measurement.as_bytes());
-    let pcr18_base =
-        Sha1::digest_concat(Sha1Digest::zero().as_bytes(), pal_measurement.as_bytes());
+    let pcr18_base = Sha1::digest_concat(Sha1Digest::zero().as_bytes(), pal_measurement.as_bytes());
     let pcr18 = Sha1::digest_concat(pcr18_base.as_bytes(), io_digest.as_bytes());
     (pcr17, pcr18)
 }
@@ -148,7 +147,12 @@ mod tests {
         }
     }
 
-    fn attested_report() -> (Machine, utp_crypto::rsa::RsaPublicKey, Sha1Digest, crate::runtime::SessionReport) {
+    fn attested_report() -> (
+        Machine,
+        utp_crypto::rsa::RsaPublicKey,
+        Sha1Digest,
+        crate::runtime::SessionReport,
+    ) {
         let mut m = Machine::new(MachineConfig::fast_for_tests(31));
         let aik = m.tpm_provision().make_identity();
         let nonce = Sha1::digest(b"nonce-e2e");

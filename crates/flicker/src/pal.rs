@@ -286,7 +286,9 @@ impl<'s, 'm> PalEnv<'s, 'm> {
         selection: PcrSelection,
         payload: &[u8],
     ) -> Result<SealedBlob, PalError> {
-        Ok(self.session.seal_to_current(key_handle, selection, payload)?)
+        Ok(self
+            .session
+            .seal_to_current(key_handle, selection, payload)?)
     }
 
     /// Unseals a blob under this session's PCR state.

@@ -207,7 +207,11 @@ mod tests {
         fn image(&self) -> &[u8] {
             b"failing"
         }
-        fn invoke(&mut self, _env: &mut PalEnv<'_, '_>, _input: &[u8]) -> Result<Vec<u8>, PalError> {
+        fn invoke(
+            &mut self,
+            _env: &mut PalEnv<'_, '_>,
+            _input: &[u8],
+        ) -> Result<Vec<u8>, PalError> {
             Err(PalError::Failed("deliberate".into()))
         }
     }

@@ -88,7 +88,7 @@ impl Link {
     pub fn new(config: LinkConfig, seed: u64) -> Self {
         Link {
             config,
-            rng: StdRng::seed_from_u64(seed ^ 0x4e45_54u64),
+            rng: StdRng::seed_from_u64(seed ^ 0x4e_4554_u64),
             bytes_carried: 0,
             messages_carried: 0,
         }
@@ -104,10 +104,7 @@ impl Link {
         self.bytes_carried += payload_len as u64;
         self.messages_carried += 1;
         let propagation = self.config.base_rtt / 2;
-        let jitter = self
-            .config
-            .jitter
-            .mul_f64(self.rng.gen::<f64>());
+        let jitter = self.config.jitter.mul_f64(self.rng.gen::<f64>());
         let serialization =
             Duration::from_secs_f64(payload_len as f64 / self.config.bandwidth as f64);
         propagation + jitter + serialization

@@ -60,7 +60,12 @@ impl BootLog {
     }
 
     /// Records an event.
-    pub fn record(&mut self, stage: BootStage, description: impl Into<String>, data: &[u8]) -> Sha1Digest {
+    pub fn record(
+        &mut self,
+        stage: BootStage,
+        description: impl Into<String>,
+        data: &[u8],
+    ) -> Sha1Digest {
         let measurement = Sha1::digest(data);
         self.events.push(BootEvent {
             stage,

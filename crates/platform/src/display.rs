@@ -125,7 +125,8 @@ mod tests {
     #[test]
     fn ownership_transfer_clears_screen() {
         let mut d = Display::new();
-        d.write_at(DeviceOwner::Os, 3, 0, "PAY $9999 TO MALLORY (fake)").unwrap();
+        d.write_at(DeviceOwner::Os, 3, 0, "PAY $9999 TO MALLORY (fake)")
+            .unwrap();
         d.set_owner(DeviceOwner::Pal);
         assert!(!d.contains("MALLORY"));
     }

@@ -61,7 +61,9 @@ mod tests {
         assert!(PlatformError::DeviceIsolated("keyboard")
             .to_string()
             .contains("keyboard"));
-        assert!(PlatformError::SlbTooLarge(100_000).to_string().contains("100000"));
+        assert!(PlatformError::SlbTooLarge(100_000)
+            .to_string()
+            .contains("100000"));
     }
 
     #[test]

@@ -75,7 +75,7 @@ impl HumanModel {
     pub fn with_config(config: HumanConfig, seed: u64) -> Self {
         HumanModel {
             config,
-            rng: StdRng::seed_from_u64(seed ^ 0x4855_4d41_4eu64),
+            rng: StdRng::seed_from_u64(seed ^ 0x0048_554d_414e_u64),
         }
     }
 

@@ -62,9 +62,7 @@ impl LaunchInfo {
     pub fn io_pcr(&self) -> PcrIndex {
         match self {
             LaunchInfo::Skinit { .. } => PcrIndex::drtm(),
-            LaunchInfo::Senter { .. } => {
-                PcrIndex::new(TXT_MLE_PCR).expect("PCR 18 is valid")
-            }
+            LaunchInfo::Senter { .. } => PcrIndex::new(TXT_MLE_PCR).expect("PCR 18 is valid"),
         }
     }
 }
@@ -303,11 +301,7 @@ impl Machine {
     /// # Errors
     ///
     /// Same failure modes as [`Machine::skinit`].
-    pub fn senter(
-        &mut self,
-        sinit: &[u8],
-        mle: &[u8],
-    ) -> Result<SecureSession<'_>, PlatformError> {
+    pub fn senter(&mut self, sinit: &[u8], mle: &[u8]) -> Result<SecureSession<'_>, PlatformError> {
         if self.in_session {
             return Err(PlatformError::AlreadyInSecureSession);
         }
@@ -476,7 +470,9 @@ impl<'m> SecureSession<'m> {
 
     /// Writes to the PAL-owned display.
     pub fn show(&mut self, row: usize, col: usize, text: &str) -> Result<(), PlatformError> {
-        self.machine.display.write_at(DeviceOwner::Pal, row, col, text)
+        self.machine
+            .display
+            .write_at(DeviceOwner::Pal, row, col, text)
     }
 
     /// Screen snapshot (what the human sees).
@@ -525,8 +521,7 @@ mod tests {
         // After the session, PCR17 = H(H(0 || H(slb)) || terminator).
         let after_launch =
             Sha1::digest_concat(Sha1Digest::zero().as_bytes(), Sha1::digest(slb).as_bytes());
-        let capped =
-            Sha1::digest_concat(after_launch.as_bytes(), session_terminator().as_bytes());
+        let capped = Sha1::digest_concat(after_launch.as_bytes(), session_terminator().as_bytes());
         let resp = m.os_tpm_execute(&tpmcmd::req_pcr_read(PcrIndex::drtm()));
         let resp = tpmcmd::decode_response(&resp).unwrap();
         assert_eq!(resp.body, capped.as_bytes());
@@ -591,7 +586,8 @@ mod tests {
     #[test]
     fn session_display_is_cleared_on_entry_and_exit() {
         let mut m = machine();
-        m.os_write_display(0, 0, "OS: click OK to pay attacker").unwrap();
+        m.os_write_display(0, 0, "OS: click OK to pay attacker")
+            .unwrap();
         let mut session = m.skinit(b"pal").unwrap();
         assert!(!session.screen().iter().any(|r| r.contains("attacker")));
         session.show(2, 0, "PAY 42.00 EUR TO bookshop").unwrap();
@@ -636,10 +632,7 @@ mod tests {
         // Different PAL: PCR17 differs, unseal fails.
         {
             let mut s = m.skinit(b"pal-B").unwrap();
-            assert_eq!(
-                s.unseal(srk, &blob).unwrap_err(),
-                TpmError::WrongPcrValue
-            );
+            assert_eq!(s.unseal(srk, &blob).unwrap_err(), TpmError::WrongPcrValue);
         }
         // OS after resume: PCR17 is capped, unseal fails.
         assert!(m.tpm_provision().unseal(srk, &blob).is_err());

@@ -263,7 +263,10 @@ mod tests {
         let mut d = ScancodeDecoder::new();
         assert_eq!(d.decode_all(&[0x00, 0xAB, 0xE0]), vec![]);
         // And the decoder still works afterwards.
-        assert_eq!(d.decode_all(&encode(KeyEvent::Enter).unwrap()), vec![KeyEvent::Enter]);
+        assert_eq!(
+            d.decode_all(&encode(KeyEvent::Enter).unwrap()),
+            vec![KeyEvent::Enter]
+        );
     }
 
     #[test]

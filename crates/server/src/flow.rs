@@ -7,7 +7,7 @@
 //! (E3).
 
 use crate::provider::{Receipt, ServiceProvider};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use utp_core::client::Client;
 use utp_core::verifier::VerifyError;
 use utp_flicker::pal::Operator;
@@ -82,10 +82,10 @@ pub fn run_transaction(
     machine.advance(d);
     network += d;
 
-    // Server-side verification: real host CPU, folded into virtual time.
-    let wall = Instant::now();
-    let outcome = provider.submit_evidence(order_id, &evidence, machine.now());
-    let verify_cpu = wall.elapsed();
+    // Server-side verification: real host CPU, measured at the metrics
+    // boundary and folded into virtual time.
+    let (outcome, verify_cpu) =
+        crate::metrics::host_timed(|| provider.submit_evidence(order_id, &evidence, machine.now()));
     machine.advance(verify_cpu);
 
     Ok(E2eReport {
@@ -152,10 +152,8 @@ mod tests {
 
     #[test]
     fn end_to_end_with_realistic_hardware_is_seconds_scale() {
-        let (mut provider, mut machine, mut client) = setup(MachineConfig::realistic(
-            VendorProfile::Infineon,
-            125,
-        ));
+        let (mut provider, mut machine, mut client) =
+            setup(MachineConfig::realistic(VendorProfile::Infineon, 125));
         let mut link = Link::new(LinkConfig::broadband(), 2);
         let mut human = ConfirmingHuman::new(
             Intent {

@@ -54,6 +54,18 @@ impl Summary {
     }
 }
 
+/// Measures the host CPU time of `f` and returns its result alongside.
+///
+/// This module is the single place the simulation may read the host
+/// clock (the `wallclock-in-model` pass exempts it): callers fold the
+/// measured duration into virtual time via `Machine::advance`, so the
+/// rest of the model stays deterministic.
+pub fn host_timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = std::time::Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
 /// Throughput in operations per second given a batch size and elapsed time.
 pub fn throughput(ops: usize, elapsed: Duration) -> f64 {
     if elapsed.is_zero() {

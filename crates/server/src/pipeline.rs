@@ -48,8 +48,8 @@ pub fn check_crypto(
         .evidence
         .token()
         .map_err(|_| VerifyError::MalformedEvidence)?;
-    let cert = AikCertificate::from_bytes(&job.evidence.aik_cert)
-        .ok_or(VerifyError::BadCertificate)?;
+    let cert =
+        AikCertificate::from_bytes(&job.evidence.aik_cert).ok_or(VerifyError::BadCertificate)?;
     let aik = cert.validate(ca_key).ok_or(VerifyError::BadCertificate)?;
     if token.tx_digest != job.tx_digest {
         return Err(VerifyError::TokenMismatch);

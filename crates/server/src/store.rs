@@ -49,8 +49,7 @@ impl Store {
 
     /// Creates an account with an opening balance.
     pub fn open_account(&mut self, name: impl Into<String>, balance_cents: i64) {
-        self.accounts
-            .insert(name.into(), Account { balance_cents });
+        self.accounts.insert(name.into(), Account { balance_cents });
     }
 
     /// Account lookup.

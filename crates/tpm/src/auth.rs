@@ -146,7 +146,8 @@ impl Tpm {
     pub fn oiap(&mut self) -> Result<(u32, Sha1Digest), TpmError> {
         self.ensure_started_pub()?;
         let bytes = self.get_random(20)?;
-        let nonce_even = Sha1Digest::from_slice(&bytes).expect("20 bytes requested");
+        let nonce_even = Sha1Digest::from_slice(&bytes)
+            .ok_or_else(|| TpmError::Crypto("rng returned wrong length".into()))?;
         Ok((self.auth_sessions.open(nonce_even), nonce_even))
     }
 
@@ -172,7 +173,8 @@ impl Tpm {
         }
         // Roll the even nonce so the next command needs a fresh HMAC.
         let bytes = self.get_random(20)?;
-        let next = Sha1Digest::from_slice(&bytes).expect("20 bytes requested");
+        let next = Sha1Digest::from_slice(&bytes)
+            .ok_or_else(|| TpmError::Crypto("rng returned wrong length".into()))?;
         self.auth_sessions.roll(auth.handle, next);
         Ok(next)
     }
@@ -191,8 +193,7 @@ impl Tpm {
         payload: &[u8],
         auth: &CommandAuth,
     ) -> Result<(SealedBlob, Sha1Digest), TpmError> {
-        let next =
-            self.check_auth(ORD_TAG_SEAL, &[&key_handle.to_be_bytes(), payload], auth)?;
+        let next = self.check_auth(ORD_TAG_SEAL, &[&key_handle.to_be_bytes(), payload], auth)?;
         let blob = self.seal_to_current(key_handle, selection, payload)?;
         Ok((blob, next))
     }
@@ -211,8 +212,11 @@ impl Tpm {
         auth: &CommandAuth,
     ) -> Result<(Vec<u8>, Sha1Digest), TpmError> {
         let blob_bytes = blob.to_bytes();
-        let next =
-            self.check_auth(ORD_TAG_UNSEAL, &[&key_handle.to_be_bytes(), &blob_bytes], auth)?;
+        let next = self.check_auth(
+            ORD_TAG_UNSEAL,
+            &[&key_handle.to_be_bytes(), &blob_bytes],
+            auth,
+        )?;
         let payload = self.unseal(key_handle, blob)?;
         Ok((payload, next))
     }
@@ -307,7 +311,8 @@ mod tests {
             b"odd",
         );
         assert_eq!(
-            t.seal_authorized(SRK_HANDLE, sel(), b"x", &auth).unwrap_err(),
+            t.seal_authorized(SRK_HANDLE, sel(), b"x", &auth)
+                .unwrap_err(),
             TpmError::AuthFail
         );
         assert_eq!(t.open_auth_sessions(), 0);
@@ -338,7 +343,8 @@ mod tests {
         t.seal_authorized(SRK_HANDLE, sel(), b"p", &auth).unwrap();
         // Same CommandAuth again: even nonce has rolled → AuthFail.
         assert_eq!(
-            t.seal_authorized(SRK_HANDLE, sel(), b"p", &auth).unwrap_err(),
+            t.seal_authorized(SRK_HANDLE, sel(), b"p", &auth)
+                .unwrap_err(),
             TpmError::AuthFail
         );
     }
@@ -377,7 +383,8 @@ mod tests {
             b"odd",
         );
         assert_eq!(
-            t.seal_authorized(SRK_HANDLE, sel(), b"x", &auth).unwrap_err(),
+            t.seal_authorized(SRK_HANDLE, sel(), b"x", &auth)
+                .unwrap_err(),
             TpmError::AuthFail
         );
     }

@@ -92,18 +92,19 @@ pub fn decode_response(data: &[u8]) -> Result<Response, TpmError> {
     if data.len() < 10 {
         return Err(TpmError::BadCommand("response too short".into()));
     }
-    let tag = u16::from_be_bytes([data[0], data[1]]);
+    let mut cursor = data;
+    let tag = take_u16(&mut cursor)?;
     if tag != TAG_RSP_COMMAND {
         return Err(TpmError::BadCommand(format!("bad response tag {:#x}", tag)));
     }
-    let size = u32::from_be_bytes(data[2..6].try_into().unwrap()) as usize;
+    let size = take_u32(&mut cursor)? as usize;
     if size != data.len() {
         return Err(TpmError::BadCommand("response size mismatch".into()));
     }
-    let return_code = u32::from_be_bytes(data[6..10].try_into().unwrap());
+    let return_code = take_u32(&mut cursor)?;
     Ok(Response {
         return_code,
-        body: data[10..].to_vec(),
+        body: cursor.to_vec(),
     })
 }
 
@@ -133,24 +134,30 @@ fn take<'a>(data: &mut &'a [u8], n: usize) -> Result<&'a [u8], TpmError> {
     Ok(head)
 }
 
+fn take_u16(data: &mut &[u8]) -> Result<u16, TpmError> {
+    let b = take(data, 2)?;
+    Ok(u16::from_be_bytes([b[0], b[1]]))
+}
+
 fn take_u32(data: &mut &[u8]) -> Result<u32, TpmError> {
-    Ok(u32::from_be_bytes(take(data, 4)?.try_into().unwrap()))
+    let b = take(data, 4)?;
+    Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
 }
 
 fn execute_inner(tpm: &mut Tpm, locality: Locality, request: &[u8]) -> Result<Vec<u8>, TpmError> {
     if request.len() < 10 {
         return Err(TpmError::BadCommand("request too short".into()));
     }
-    let tag = u16::from_be_bytes([request[0], request[1]]);
+    let mut body = request;
+    let tag = take_u16(&mut body)?;
     if tag != TAG_RQU_COMMAND {
         return Err(TpmError::BadCommand(format!("bad request tag {:#x}", tag)));
     }
-    let size = u32::from_be_bytes(request[2..6].try_into().unwrap()) as usize;
+    let size = take_u32(&mut body)? as usize;
     if size != request.len() {
         return Err(TpmError::BadCommand("request size mismatch".into()));
     }
-    let ordinal = u32::from_be_bytes(request[6..10].try_into().unwrap());
-    let mut body = &request[10..];
+    let ordinal = take_u32(&mut body)?;
     match ordinal {
         ORD_EXTEND => {
             let idx = take_u32(&mut body)?;
@@ -168,7 +175,7 @@ fn execute_inner(tpm: &mut Tpm, locality: Locality, request: &[u8]) -> Result<Ve
         ORD_QUOTE => {
             let aik = take_u32(&mut body)?;
             let nonce = Sha1Digest::from_slice(take(&mut body, 20)?)
-                .expect("take returned 20 bytes");
+                .ok_or_else(|| TpmError::BadCommand("bad nonce length".into()))?;
             let (selection, used) = PcrSelection::from_wire(body)?;
             let _ = take(&mut body, used)?;
             let quote = tpm.quote(aik, selection, nonce)?;
@@ -224,8 +231,7 @@ fn execute_inner(tpm: &mut Tpm, locality: Locality, request: &[u8]) -> Result<Ve
             let key_handle = take_u32(&mut body)?;
             let len = take_u32(&mut body)? as usize;
             let blob_bytes = take(&mut body, len)?;
-            let blob = crate::seal::SealedBlob::from_bytes(blob_bytes)
-                .ok_or(TpmError::BadBlob)?;
+            let blob = crate::seal::SealedBlob::from_bytes(blob_bytes).ok_or(TpmError::BadBlob)?;
             let payload = tpm.unseal(key_handle, &blob)?;
             let mut out = (payload.len() as u32).to_be_bytes().to_vec();
             out.extend_from_slice(&payload);
@@ -358,7 +364,7 @@ mod tests {
         for frame in [
             &b""[..],
             &[0u8; 9],
-            &[0xFFu8; 10],                  // bad tag
+            &[0xFFu8; 10],                    // bad tag
             &encode_request(0x9999, &[])[..], // unknown ordinal
         ] {
             let resp = decode_response(&execute(&mut t, Locality::Zero, frame)).unwrap();
@@ -377,9 +383,12 @@ mod tests {
         // Extend with a 5-byte digest.
         let mut body = 0u32.to_be_bytes().to_vec();
         body.extend_from_slice(&[1, 2, 3, 4, 5]);
-        let resp =
-            decode_response(&execute(&mut t, Locality::Zero, &encode_request(ORD_EXTEND, &body)))
-                .unwrap();
+        let resp = decode_response(&execute(
+            &mut t,
+            Locality::Zero,
+            &encode_request(ORD_EXTEND, &body),
+        ))
+        .unwrap();
         assert_eq!(resp.return_code, RC_FAIL);
     }
 

@@ -86,7 +86,11 @@ mod tests {
         let msgs: Vec<String> = vec![
             TpmError::NotStarted.to_string(),
             TpmError::BadPcrIndex(25).to_string(),
-            TpmError::BadLocality { got: 0, required: 4 }.to_string(),
+            TpmError::BadLocality {
+                got: 0,
+                required: 4,
+            }
+            .to_string(),
             TpmError::AuthFail.to_string(),
             TpmError::WrongPcrValue.to_string(),
         ];

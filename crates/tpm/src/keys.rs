@@ -99,7 +99,9 @@ impl KeyStore {
 
     /// Looks up a slot.
     pub fn get(&self, handle: u32) -> Result<&KeySlot, TpmError> {
-        self.slots.get(&handle).ok_or(TpmError::BadKeyHandle(handle))
+        self.slots
+            .get(&handle)
+            .ok_or(TpmError::BadKeyHandle(handle))
     }
 
     /// Loads an externally reconstructed key (wrapped-key support);

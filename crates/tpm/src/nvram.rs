@@ -42,10 +42,12 @@ impl NvStore {
     /// Reads `len` bytes at `offset`.
     pub fn read(&self, index: u32, offset: usize, len: usize) -> Result<Vec<u8>, TpmError> {
         let space = self.spaces.get(&index).ok_or(TpmError::BadNvIndex(index))?;
-        if offset + len > space.data.len() {
-            return Err(TpmError::BadNvIndex(index));
-        }
-        Ok(space.data[offset..offset + len].to_vec())
+        let end = offset.checked_add(len).ok_or(TpmError::BadNvIndex(index))?;
+        space
+            .data
+            .get(offset..end)
+            .map(|s| s.to_vec())
+            .ok_or(TpmError::BadNvIndex(index))
     }
 
     /// Writes `data` at `offset`, enforcing the locality policy.
@@ -56,17 +58,24 @@ impl NvStore {
         offset: usize,
         data: &[u8],
     ) -> Result<(), TpmError> {
-        let space = self.spaces.get_mut(&index).ok_or(TpmError::BadNvIndex(index))?;
+        let space = self
+            .spaces
+            .get_mut(&index)
+            .ok_or(TpmError::BadNvIndex(index))?;
         if locality.as_u8() < space.write_locality_min {
             return Err(TpmError::BadLocality {
                 got: locality.as_u8(),
                 required: space.write_locality_min,
             });
         }
-        if offset + data.len() > space.data.len() {
-            return Err(TpmError::BadNvIndex(index));
-        }
-        space.data[offset..offset + data.len()].copy_from_slice(data);
+        let end = offset
+            .checked_add(data.len())
+            .ok_or(TpmError::BadNvIndex(index))?;
+        space
+            .data
+            .get_mut(offset..end)
+            .ok_or(TpmError::BadNvIndex(index))?
+            .copy_from_slice(data);
         Ok(())
     }
 

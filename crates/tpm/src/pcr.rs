@@ -138,8 +138,11 @@ impl PcrSelection {
         if size > 4 || data.len() < 2 + size {
             return Err(TpmError::BadCommand("pcr selection size invalid".into()));
         }
+        let bytes = data
+            .get(2..2 + size)
+            .ok_or_else(|| TpmError::BadCommand("pcr selection truncated".into()))?;
         let mut bitmap = 0u32;
-        for (i, &b) in data[2..2 + size].iter().enumerate() {
+        for (i, &b) in bytes.iter().enumerate() {
             bitmap |= (b as u32) << (8 * i);
         }
         if bitmap >> NUM_PCRS != 0 {
@@ -159,16 +162,26 @@ impl PcrBank {
     /// Bank state immediately after `TPM_Startup(ST_CLEAR)`: static PCRs
     /// zero, dynamic PCRs all-ones (the "no DRTM has happened" marker).
     pub fn at_startup() -> Self {
-        let mut values = [Sha1Digest::zero(); NUM_PCRS];
-        for i in FIRST_DYNAMIC_PCR..=LAST_DYNAMIC_PCR {
-            values[i as usize] = Sha1Digest::ones();
-        }
+        let values = core::array::from_fn(|i| {
+            if (FIRST_DYNAMIC_PCR..=LAST_DYNAMIC_PCR).contains(&(i as u32)) {
+                Sha1Digest::ones()
+            } else {
+                Sha1Digest::zero()
+            }
+        });
         PcrBank { values }
     }
 
     /// Reads a PCR.
     pub fn read(&self, i: PcrIndex) -> Sha1Digest {
+        // utp-analyze: allow(no-panic-in-tcb) PcrIndex validates value() < NUM_PCRS at construction
         self.values[i.value() as usize]
+    }
+
+    /// The mutable register slot for `i` — the only mutation path.
+    fn slot_mut(&mut self, i: PcrIndex) -> &mut Sha1Digest {
+        // utp-analyze: allow(no-panic-in-tcb) PcrIndex validates value() < NUM_PCRS at construction
+        &mut self.values[i.value() as usize]
     }
 
     /// Extends `input` (20 bytes) into PCR `i`: `PCR ← SHA1(PCR || input)`.
@@ -194,9 +207,9 @@ impl PcrBank {
                 required: 2,
             });
         }
-        let old = self.values[i.value() as usize];
+        let old = self.read(i);
         let new = Sha1::digest_concat(old.as_bytes(), input);
-        self.values[i.value() as usize] = new;
+        *self.slot_mut(i) = new;
         Ok(new)
     }
 
@@ -213,7 +226,7 @@ impl PcrBank {
                 required,
             });
         }
-        self.values[i.value() as usize] = Sha1Digest::zero();
+        *self.slot_mut(i) = Sha1Digest::zero();
         Ok(())
     }
 
@@ -235,10 +248,7 @@ impl Default for PcrBank {
 
 /// Computes a composite digest from explicit PCR values (used by verifiers
 /// that reconstruct the expected composite without a TPM).
-pub fn composite_digest_from_values(
-    selection: &PcrSelection,
-    values: &[Sha1Digest],
-) -> Sha1Digest {
+pub fn composite_digest_from_values(selection: &PcrSelection, values: &[Sha1Digest]) -> Sha1Digest {
     assert_eq!(
         selection.len(),
         values.len(),
@@ -307,7 +317,12 @@ mod tests {
     #[test]
     fn only_locality4_resets_pcr17() {
         let mut bank = PcrBank::at_startup();
-        for l in [Locality::Zero, Locality::One, Locality::Two, Locality::Three] {
+        for l in [
+            Locality::Zero,
+            Locality::One,
+            Locality::Two,
+            Locality::Three,
+        ] {
             assert!(bank.reset(l, p(17)).is_err(), "{} must not reset 17", l);
         }
         bank.reset(Locality::Four, p(17)).unwrap();
@@ -375,8 +390,7 @@ mod tests {
         bank.extend(Locality::Zero, p(0), &[9u8; 20]).unwrap();
         let sel = PcrSelection::of(&[p(0), p(17)]);
         let by_bank = bank.composite_digest(&sel);
-        let by_values =
-            composite_digest_from_values(&sel, &[bank.read(p(0)), bank.read(p(17))]);
+        let by_values = composite_digest_from_values(&sel, &[bank.read(p(0)), bank.read(p(17))]);
         assert_eq!(by_bank, by_values);
     }
 

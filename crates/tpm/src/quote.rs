@@ -8,7 +8,7 @@
 //! valid quote proves "the known-good PAL ran, saw this transaction, and
 //! the human confirmed it, after you issued this nonce".
 
-use crate::pcr::{PcrSelection, composite_digest_from_values};
+use crate::pcr::{composite_digest_from_values, PcrSelection};
 use utp_crypto::rsa::RsaPublicKey;
 use utp_crypto::sha1::Sha1Digest;
 

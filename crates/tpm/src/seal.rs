@@ -94,21 +94,12 @@ impl SealedBlob {
 /// (HMAC-SHA256 counter mode). Symmetric: applying twice decrypts.
 pub(crate) fn keystream_xor(secret: &[u8], iv: &[u8; 16], data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len());
-    let mut counter = 0u64;
-    let mut offset = 0usize;
-    while offset < data.len() {
+    for (counter, chunk) in data.chunks(32).enumerate() {
         let mut block_input = Vec::with_capacity(24);
         block_input.extend_from_slice(iv);
-        block_input.extend_from_slice(&counter.to_be_bytes());
+        block_input.extend_from_slice(&(counter as u64).to_be_bytes());
         let block = hmac_sha256(secret, &block_input);
-        for (i, &k) in block.as_bytes().iter().enumerate() {
-            if offset + i >= data.len() {
-                break;
-            }
-            out.push(data[offset + i] ^ k);
-        }
-        offset += 32;
-        counter += 1;
+        out.extend(chunk.iter().zip(block.as_bytes()).map(|(&d, &k)| d ^ k));
     }
     out
 }

@@ -161,7 +161,12 @@ mod tests {
         // bottleneck of a trusted session on every vendor's chip.
         for v in VendorProfile::all_real() {
             let quote = cost(v, TpmOp::Quote, 20);
-            for op in [TpmOp::Extend, TpmOp::PcrRead, TpmOp::GetRandom, TpmOp::NvAccess] {
+            for op in [
+                TpmOp::Extend,
+                TpmOp::PcrRead,
+                TpmOp::GetRandom,
+                TpmOp::NvAccess,
+            ] {
                 assert!(quote > cost(v, op, 20) * 5, "{:?} {:?}", v, op);
             }
         }

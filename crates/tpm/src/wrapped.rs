@@ -80,7 +80,11 @@ impl Tpm {
         self.keys_mut().expect_usage(parent, KeyUsage::Storage)?;
         // Fresh key material from the chip's RNG-derived seed space.
         let seed_bytes = self.get_random(8)?;
-        let seed = u64::from_be_bytes(seed_bytes.as_slice().try_into().expect("8 bytes"));
+        let seed_arr: [u8; 8] = seed_bytes
+            .as_slice()
+            .try_into()
+            .map_err(|_| TpmError::Crypto("rng returned wrong length".into()))?;
+        let seed = u64::from_be_bytes(seed_arr);
         let keypair = RsaKeyPair::generate(self.key_bits(), seed);
         let serialized = serialize_keypair_seed(seed, self.key_bits());
         // Protect it exactly like sealed data (same chip + PCR policy).
@@ -129,9 +133,10 @@ fn deserialize_keypair_seed(data: &[u8]) -> Result<(u64, usize), TpmError> {
     if data.len() != 12 {
         return Err(TpmError::BadBlob);
     }
-    let seed = u64::from_be_bytes(data[..8].try_into().expect("8 bytes"));
-    let bits = u32::from_be_bytes(data[8..12].try_into().expect("4 bytes")) as usize;
-    if !(64..=4096).contains(&bits) || bits % 2 != 0 {
+    let (seed_bytes, bits_bytes) = data.split_at(8);
+    let seed = u64::from_be_bytes(seed_bytes.try_into().map_err(|_| TpmError::BadBlob)?);
+    let bits = u32::from_be_bytes(bits_bytes.try_into().map_err(|_| TpmError::BadBlob)?) as usize;
+    if !(64..=4096).contains(&bits) || !bits.is_multiple_of(2) {
         return Err(TpmError::BadBlob);
     }
     Ok((seed, bits))
@@ -142,9 +147,9 @@ mod tests {
     use super::*;
     use crate::device::TpmConfig;
     use crate::keys::SRK_HANDLE;
-    use utp_crypto::sha1::Sha1Digest;
     use crate::locality::Locality;
     use crate::pcr::PcrIndex;
+    use utp_crypto::sha1::Sha1Digest;
 
     fn tpm() -> Tpm {
         let mut t = Tpm::new(TpmConfig::fast_for_tests(70));
@@ -177,10 +182,7 @@ mod tests {
         let h1 = t.load_key2(SRK_HANDLE, &wrapped).unwrap();
         let h2 = t.load_key2(SRK_HANDLE, &wrapped).unwrap();
         assert_ne!(h1, h2);
-        assert_eq!(
-            t.read_pubkey(h1).unwrap(),
-            t.read_pubkey(h2).unwrap()
-        );
+        assert_eq!(t.read_pubkey(h1).unwrap(), t.read_pubkey(h2).unwrap());
     }
 
     #[test]

@@ -7,11 +7,14 @@
 use utp::attack::harness::run_trials;
 use utp::attack::scenarios;
 
+/// One gauntlet entry: name, narration, and the scenario to run.
+type Attack = (&'static str, &'static str, fn(u64) -> bool);
+
 fn main() {
     println!("== Transaction-generator gauntlet vs the trusted path ==\n");
     let trials = 5;
 
-    let gauntlet: [(&str, &str, fn(u64) -> bool); 5] = [
+    let gauntlet: [Attack; 5] = [
         (
             "forged quote",
             "malware fabricates a Confirmed token and quotes PCR 17 from the OS \
@@ -53,7 +56,11 @@ fn main() {
             "   result: {}/{} attempts settled a transaction  → {}\n",
             r.successes,
             r.attempts,
-            if r.successes == 0 { "DEFEATED" } else { "BREACH!" }
+            if r.successes == 0 {
+                "DEFEATED"
+            } else {
+                "BREACH!"
+            }
         );
         assert_eq!(r.successes, 0, "{} must not succeed", name);
     }

@@ -64,10 +64,7 @@ fn main() {
     println!("\n-- malware places an order; nobody is at the keyboard --");
     struct Nobody;
     impl utp::flicker::pal::Operator for Nobody {
-        fn respond(
-            &mut self,
-            _screen: &[String],
-        ) -> utp::flicker::pal::OperatorResponse {
+        fn respond(&mut self, _screen: &[String]) -> utp::flicker::pal::OperatorResponse {
             utp::flicker::pal::OperatorResponse::default()
         }
     }

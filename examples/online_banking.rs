@@ -32,7 +32,11 @@ fn main() {
     );
 
     // --- Three wire transfers, each MAC-authenticated, no quotes ----------
-    for (payee, cents) in [("landlord.example", 95_000u64), ("energy.example", 8_420), ("isp.example", 3_999)] {
+    for (payee, cents) in [
+        ("landlord.example", 95_000u64),
+        ("energy.example", 8_420),
+        ("isp.example", 3_999),
+    ] {
         let tx = Transaction::new(cents, payee, cents, "EUR", "monthly");
         let request = amortized.issue_request(tx.clone(), ConfirmMode::PressEnter, machine.now());
         let mut human = ConfirmingHuman::new(Intent::approving(&tx), cents);

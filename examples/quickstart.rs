@@ -42,7 +42,10 @@ fn main() {
         tx.payee
     );
     let request = verifier.issue_request(tx.clone(), machine.now());
-    println!("[provider] issued challenge with fresh nonce {}", request.nonce);
+    println!(
+        "[provider] issued challenge with fresh nonce {}",
+        request.nonce
+    );
 
     // --- The trusted session ---------------------------------------------------
     let mut human = ConfirmingHuman::new(Intent::approving(&tx), 4);
@@ -51,14 +54,31 @@ fn main() {
         .expect("confirmation session runs");
     println!("\n[client]   DRTM session complete:");
     println!("             PAL measurement : {}", report.measurement);
-    println!("             suspend  {:>8.1} ms", report.timings.suspend.as_secs_f64() * 1e3);
-    println!("             skinit   {:>8.1} ms", report.timings.skinit.as_secs_f64() * 1e3);
-    println!("             pal      {:>8.1} ms (human {:.1} ms)",
+    println!(
+        "             suspend  {:>8.1} ms",
+        report.timings.suspend.as_secs_f64() * 1e3
+    );
+    println!(
+        "             skinit   {:>8.1} ms",
+        report.timings.skinit.as_secs_f64() * 1e3
+    );
+    println!(
+        "             pal      {:>8.1} ms (human {:.1} ms)",
         report.timings.pal.as_secs_f64() * 1e3,
-        report.timings.human.as_secs_f64() * 1e3);
-    println!("             quote    {:>8.1} ms", report.timings.attest.as_secs_f64() * 1e3);
-    println!("             resume   {:>8.1} ms", report.timings.resume.as_secs_f64() * 1e3);
-    println!("             total    {:>8.1} ms", report.timings.total().as_secs_f64() * 1e3);
+        report.timings.human.as_secs_f64() * 1e3
+    );
+    println!(
+        "             quote    {:>8.1} ms",
+        report.timings.attest.as_secs_f64() * 1e3
+    );
+    println!(
+        "             resume   {:>8.1} ms",
+        report.timings.resume.as_secs_f64() * 1e3
+    );
+    println!(
+        "             total    {:>8.1} ms",
+        report.timings.total().as_secs_f64() * 1e3
+    );
 
     // --- Verification ---------------------------------------------------------
     let verified = verifier
@@ -73,5 +93,8 @@ fn main() {
 
     // Replay is futile.
     let replay = verifier.verify(&evidence, machine.now());
-    println!("[provider] replaying the same evidence → {:?}", replay.unwrap_err());
+    println!(
+        "[provider] replaying the same evidence → {:?}",
+        replay.unwrap_err()
+    );
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, clippy (warnings are errors), the
+# utp-analyze static analyzer, and the test suite. CI runs exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> utp-analyze"
+cargo run -q -p utp-analyze -- --format text
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

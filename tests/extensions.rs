@@ -33,7 +33,8 @@ fn all_three_protocols_coexist_on_one_machine() {
     let mut verifier = Verifier::new(ca.public_key().clone(), 602);
     let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment.clone());
     let tx = Transaction::new(1, "shop.example", 100, "EUR", "base");
-    let request = verifier.issue_request_with_mode(tx.clone(), ConfirmMode::PressEnter, machine.now());
+    let request =
+        verifier.issue_request_with_mode(tx.clone(), ConfirmMode::PressEnter, machine.now());
     let mut human = ConfirmingHuman::new(Intent::approving(&tx), 603);
     let evidence = client.confirm(&mut machine, &request, &mut human).unwrap();
     verifier.verify(&evidence, machine.now()).unwrap();
@@ -82,7 +83,8 @@ fn amortized_key_survives_interleaved_other_pals() {
     let mut verifier = Verifier::new(ca.public_key().clone(), 613);
     let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
     let tx = Transaction::new(1, "other.example", 5, "EUR", "");
-    let request = verifier.issue_request_with_mode(tx.clone(), ConfirmMode::PressEnter, machine.now());
+    let request =
+        verifier.issue_request_with_mode(tx.clone(), ConfirmMode::PressEnter, machine.now());
     let mut human = ConfirmingHuman::new(Intent::approving(&tx), 614);
     client.confirm(&mut machine, &request, &mut human).unwrap();
 

@@ -30,7 +30,12 @@ enum Op {
     Expire,
 }
 
-const OPS: [Op; 4] = [Op::IssueAndConfirm, Op::SubmitNext, Op::ReplayLast, Op::Expire];
+const OPS: [Op; 4] = [
+    Op::IssueAndConfirm,
+    Op::SubmitNext,
+    Op::ReplayLast,
+    Op::Expire,
+];
 
 struct ModelState {
     verifier: Verifier,

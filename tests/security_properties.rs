@@ -5,7 +5,7 @@
 use utp::core::ca::PrivacyCa;
 use utp::core::client::{Client, ClientConfig};
 use utp::core::operator::{ConfirmingHuman, Intent};
-use utp::core::protocol::{Evidence, Transaction, TransactionRequest};
+use utp::core::protocol::{Evidence, Transaction};
 use utp::core::verifier::{Verifier, VerifyError};
 use utp::crypto::sha1::Sha1;
 use utp::platform::machine::{Machine, MachineConfig};
@@ -14,7 +14,6 @@ struct Setup {
     verifier: Verifier,
     machine: Machine,
     evidence: Evidence,
-    request: TransactionRequest,
 }
 
 fn genuine(seed: u64) -> Setup {
@@ -31,7 +30,6 @@ fn genuine(seed: u64) -> Setup {
         verifier,
         machine,
         evidence,
-        request,
     }
 }
 

@@ -1,0 +1,19 @@
+//! Tier-1 gate: `cargo test -q` at the workspace root runs `utp-analyze`
+//! over every `.rs` file and fails on any deny-level finding, so the TCB
+//! discipline the paper's minimal-TCB argument rests on is enforced on
+//! every test run, not just when someone remembers to run the binary.
+
+use utp_analyze::{analyze_workspace, deny_count, diag::render_text};
+
+#[test]
+fn static_analysis_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let diags = analyze_workspace(root).expect("workspace walk failed");
+    assert_eq!(
+        deny_count(&diags),
+        0,
+        "utp-analyze found deny-level violations; fix them or annotate with \
+         `// utp-analyze: allow(<lint>) <reason>`:\n{}",
+        render_text(&diags)
+    );
+}
