@@ -1,0 +1,8 @@
+//! Prints the E10 table (persistent verification service vs. one-shot
+//! batch pipeline, with cert-cache hit rate).
+use utp_bench::experiments::e10_service as e10;
+
+fn main() {
+    let report = e10::run(256, 1024, &[1, 2, 4, 8], &[1, 2, 4]);
+    println!("{}", e10::render(&report));
+}

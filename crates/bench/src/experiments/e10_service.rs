@@ -1,0 +1,181 @@
+//! E10 — persistent `VerifierService` throughput vs. the one-shot batch
+//! pipeline, across shard counts, with cert-cache hit rate.
+//!
+//! Host-measured like E4: the RSA verifies are our actual code. The
+//! legacy baseline (`verify_batch_parallel`) runs with the certificate
+//! cache disabled — its historical cost model revalidated the AIK
+//! certificate on every job — so the service rows isolate what sharding
+//! plus caching buy at equal thread count.
+//!
+//! Regenerate: `cargo run -p utp-bench --bin e10_service`
+
+use crate::experiments::e4_server_throughput::{self as e4, ThroughputRow};
+use crate::table;
+use std::time::{Duration, Instant};
+use utp_server::metrics::throughput;
+use utp_server::pipeline::verify_batch_parallel;
+use utp_server::service::{ServiceConfig, VerifierService};
+
+/// One (threads × shards) service measurement.
+#[derive(Debug, Clone)]
+pub struct ServiceRow {
+    /// Worker threads.
+    pub threads: usize,
+    /// Nonce-settlement shards.
+    pub shards: usize,
+    /// Evidence submissions verified (all settling).
+    pub jobs: usize,
+    /// Wall-clock elapsed.
+    pub elapsed: Duration,
+    /// Settled verifications per second.
+    pub ops_per_sec: f64,
+    /// Fraction of AIK lookups served from the cert cache.
+    pub cache_hit_rate: f64,
+}
+
+/// The experiment output: legacy baseline rows plus service rows.
+#[derive(Debug, Clone)]
+pub struct E10Report {
+    /// `verify_batch_parallel` at each thread count (cache disabled).
+    pub legacy: Vec<ThroughputRow>,
+    /// `VerifierService` at each thread × shard combination.
+    pub service: Vec<ServiceRow>,
+}
+
+/// Runs the comparison. Nonces are consumed by settlement, so each
+/// service row gets a fresh service with the same requests re-registered.
+pub fn run(
+    jobs_n: usize,
+    key_bits: usize,
+    thread_counts: &[usize],
+    shard_counts: &[usize],
+) -> E10Report {
+    let world = e4::build_world(jobs_n, key_bits);
+    let legacy = thread_counts
+        .iter()
+        .map(|&threads| {
+            let start = Instant::now();
+            let results = verify_batch_parallel(&world.ca_key, &world.pals, &world.jobs, threads);
+            let elapsed = start.elapsed();
+            assert!(results.iter().all(|r| r.is_ok()), "all jobs genuine");
+            ThroughputRow {
+                threads,
+                jobs: world.jobs.len(),
+                elapsed,
+                ops_per_sec: throughput(world.jobs.len(), elapsed),
+            }
+        })
+        .collect();
+    let mut service_rows = Vec::new();
+    for &threads in thread_counts {
+        for &shards in shard_counts {
+            let mut config = ServiceConfig::new(threads, shards);
+            config.trusted_pals = world.pals.clone();
+            let service = VerifierService::start(world.ca_key.clone(), config);
+            for request in &world.requests {
+                service.register(request, world.now);
+            }
+            let start = Instant::now();
+            let verdicts = service.verify_evidence_batch(world.evidence.clone(), world.now);
+            let elapsed = start.elapsed();
+            assert!(verdicts.iter().all(|v| v.is_ok()), "all evidence genuine");
+            let stats = service.shutdown();
+            assert_eq!(stats.totals().accepted as usize, world.evidence.len());
+            service_rows.push(ServiceRow {
+                threads,
+                shards,
+                jobs: world.evidence.len(),
+                elapsed,
+                ops_per_sec: throughput(world.evidence.len(), elapsed),
+                cache_hit_rate: stats.cert_cache_hit_rate(),
+            });
+        }
+    }
+    E10Report {
+        legacy,
+        service: service_rows,
+    }
+}
+
+/// Renders the E10 table: legacy rows first (no shards, no cache), then
+/// the service grid.
+pub fn render(report: &E10Report) -> String {
+    let mut rows: Vec<Vec<String>> = report
+        .legacy
+        .iter()
+        .map(|r| {
+            vec![
+                "batch".to_string(),
+                r.threads.to_string(),
+                "-".to_string(),
+                r.jobs.to_string(),
+                table::ms(r.elapsed),
+                format!("{:.0}", r.ops_per_sec),
+                "-".to_string(),
+            ]
+        })
+        .collect();
+    rows.extend(report.service.iter().map(|r| {
+        vec![
+            "service".to_string(),
+            r.threads.to_string(),
+            r.shards.to_string(),
+            r.jobs.to_string(),
+            table::ms(r.elapsed),
+            format!("{:.0}", r.ops_per_sec),
+            format!("{:.2}", r.cache_hit_rate),
+        ]
+    }));
+    table::render(
+        "E10 - VerifierService vs one-shot batch pipeline (host-measured)",
+        &[
+            "pipeline",
+            "threads",
+            "shards",
+            "jobs",
+            "elapsed(ms)",
+            "verifications/s",
+            "cache hit",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_at_least_matches_legacy_at_equal_threads() {
+        // The service skips one of the two RSA verifies per repeat-client
+        // job via the cert cache, so at equal thread count it must not be
+        // slower than the cache-less batch pipeline.
+        let report = run(64, 512, &[2], &[4]);
+        let legacy = report.legacy[0].ops_per_sec;
+        let service = report.service[0].ops_per_sec;
+        assert!(
+            service >= legacy,
+            "service {service:.0}/s < legacy {legacy:.0}/s"
+        );
+    }
+
+    #[test]
+    fn single_client_workload_hits_the_cert_cache() {
+        let report = run(32, 512, &[1], &[1]);
+        // One client: first lookup misses, the remaining 31 hit.
+        assert!(
+            report.service[0].cache_hit_rate > 0.9,
+            "hit rate {}",
+            report.service[0].cache_hit_rate
+        );
+    }
+
+    #[test]
+    fn every_combination_settles_the_whole_batch() {
+        // `run` itself asserts all verdicts Ok and accepted == jobs for
+        // each combination; this pins the row count.
+        let report = run(16, 512, &[1, 2], &[1, 2]);
+        assert_eq!(report.legacy.len(), 2);
+        assert_eq!(report.service.len(), 4);
+    }
+}

@@ -32,12 +32,28 @@ pub struct ThroughputRow {
     pub ops_per_sec: f64,
 }
 
-/// Builds `n` genuine evidence jobs once (key size configurable; 1024-bit
+/// A fixed server-side workload: one enrolled client, `n` genuine
+/// confirmations. E4 consumes the stateless jobs; E10 also needs the
+/// issued requests and raw evidence to drive the settling service path.
+#[derive(Debug, Clone)]
+pub struct ServerWorld {
+    /// The privacy CA's public key (pinned by the verifying side).
+    pub ca_key: RsaPublicKey,
+    /// Trusted PAL measurements.
+    pub pals: HashSet<Sha1Digest>,
+    /// The issued confirmation requests, in transaction order.
+    pub requests: Vec<utp_core::protocol::TransactionRequest>,
+    /// The client's evidence, positionally matching `requests`.
+    pub evidence: Vec<utp_core::protocol::Evidence>,
+    /// Stateless verification jobs assembled from the same data.
+    pub jobs: Vec<VerificationJob>,
+    /// Virtual time at which the requests were issued.
+    pub now: Duration,
+}
+
+/// Builds `n` genuine confirmations once (key size configurable; 1024-bit
 /// approximates the paper's 2048-bit AIK verification cost within ~4x).
-pub fn build_jobs(
-    n: usize,
-    key_bits: usize,
-) -> (RsaPublicKey, HashSet<Sha1Digest>, Vec<VerificationJob>) {
+pub fn build_world(n: usize, key_bits: usize) -> ServerWorld {
     let ca = PrivacyCa::new(key_bits, 11);
     let mut verifier = Verifier::new(ca.public_key().clone(), 12);
     let mut machine = Machine::new(MachineConfig {
@@ -51,6 +67,8 @@ pub fn build_jobs(
     });
     let enrollment = ca.enroll(&mut machine);
     let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+    let mut requests = Vec::with_capacity(n);
+    let mut all_evidence = Vec::with_capacity(n);
     let mut jobs = Vec::with_capacity(n);
     for i in 0..n {
         let tx = Transaction::new(i as u64, "shop.example", 100, "EUR", "x");
@@ -62,12 +80,31 @@ pub fn build_jobs(
         jobs.push(VerificationJob {
             request_bytes: request.to_bytes(),
             tx_digest: tx.digest(),
-            evidence,
+            evidence: evidence.clone(),
         });
+        requests.push(request);
+        all_evidence.push(evidence);
     }
     let mut pals = HashSet::new();
     pals.insert(ConfirmationPal::v1().measurement());
-    (ca.public_key().clone(), pals, jobs)
+    ServerWorld {
+        ca_key: ca.public_key().clone(),
+        pals,
+        requests,
+        evidence: all_evidence,
+        jobs,
+        now: machine.now(),
+    }
+}
+
+/// Builds `n` genuine evidence jobs once. Kept as E4's historical entry
+/// point; see [`build_world`] for the richer workload.
+pub fn build_jobs(
+    n: usize,
+    key_bits: usize,
+) -> (RsaPublicKey, HashSet<Sha1Digest>, Vec<VerificationJob>) {
+    let world = build_world(n, key_bits);
+    (world.ca_key, world.pals, world.jobs)
 }
 
 /// Measures throughput across thread counts.

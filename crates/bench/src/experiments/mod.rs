@@ -1,5 +1,6 @@
 //! Experiment implementations E1–E7 (see DESIGN.md for the index).
 
+pub mod e10_service;
 pub mod e1_tpm_micro;
 pub mod e2_session_breakdown;
 pub mod e3_end_to_end;

@@ -49,6 +49,9 @@ pub enum VerifyError {
     BadQuote,
     /// Everything checked out but the human did not confirm.
     NotConfirmed(Verdict),
+    /// The verification pipeline was shut down (or lost a worker) before
+    /// this submission completed; retryable by the client.
+    ServiceUnavailable,
 }
 
 impl fmt::Display for VerifyError {
@@ -63,6 +66,9 @@ impl fmt::Display for VerifyError {
             VerifyError::UntrustedPal => write!(f, "pcr17 does not match any trusted pal"),
             VerifyError::BadQuote => write!(f, "quote signature or nonce binding invalid"),
             VerifyError::NotConfirmed(v) => write!(f, "human verdict was {:?}, not confirmed", v),
+            VerifyError::ServiceUnavailable => {
+                write!(f, "verification service unavailable; retry")
+            }
         }
     }
 }
@@ -114,10 +120,166 @@ pub struct VerifierStats {
     pub rejected: HashMap<String, u64>,
 }
 
-struct Pending {
-    request_bytes: Vec<u8>,
-    transaction: Transaction,
-    issued_at: Duration,
+/// An issued-but-unsettled confirmation request, as the settlement ledger
+/// tracks it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingNonce {
+    /// Canonical bytes of the issued request (the PAL's exact input).
+    pub request_bytes: Vec<u8>,
+    /// The transaction awaiting confirmation.
+    pub transaction: Transaction,
+    /// Virtual time the request was issued.
+    pub issued_at: Duration,
+}
+
+/// The serialization point of verification: single-use nonce lifecycle.
+///
+/// Everything else the verifier does is stateless cryptography; this
+/// ledger is the one structure that must be consulted and mutated per
+/// evidence submission. Splitting it out of [`Verifier`] lets the server's
+/// `VerifierService` shard settlement by nonce (`hash(nonce) % shards`)
+/// so no global lock serializes the pipeline.
+///
+/// The intended call sequence for a concurrent verifier is
+/// [`NonceLedger::preflight`] (read-mostly, before the expensive crypto)
+/// followed by [`NonceLedger::settle`] (consuming, after the crypto
+/// passed). Both enforce the replay/unknown/expiry rules, so a concurrent
+/// duplicate submission loses the settle race and is reported as
+/// [`VerifyError::Replayed`] — exactly one of N racing duplicates can
+/// settle.
+#[derive(Debug, Default)]
+pub struct NonceLedger {
+    ttl: Duration,
+    pending: HashMap<[u8; 20], PendingNonce>,
+    used: HashSet<[u8; 20]>,
+}
+
+impl NonceLedger {
+    /// An empty ledger whose nonces expire after `ttl` of virtual time.
+    pub fn new(ttl: Duration) -> Self {
+        NonceLedger {
+            ttl,
+            pending: HashMap::new(),
+            used: HashSet::new(),
+        }
+    }
+
+    /// The configured nonce lifetime.
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+
+    /// Number of outstanding (unconsumed, possibly expired) nonces.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of consumed nonces retained for replay detection.
+    pub fn used_count(&self) -> usize {
+        self.used.len()
+    }
+
+    /// Records an issued request under its nonce.
+    pub fn register(&mut self, nonce: &Sha1Digest, pending: PendingNonce) {
+        self.pending.insert(*nonce.as_bytes(), pending);
+    }
+
+    /// Non-consuming settlement check: replay, unknown and expiry rules,
+    /// returning a copy of the pending entry so the caller can run the
+    /// stateless crypto without holding the ledger.
+    ///
+    /// Expired entries are dropped here (mirroring the serial verifier,
+    /// which forgets a nonce the moment it observes it expired).
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::Replayed`], [`VerifyError::UnknownNonce`] or
+    /// [`VerifyError::Expired`].
+    pub fn preflight(
+        &mut self,
+        nonce: &Sha1Digest,
+        now: Duration,
+    ) -> Result<PendingNonce, VerifyError> {
+        let key = *nonce.as_bytes();
+        if self.used.contains(&key) {
+            return Err(VerifyError::Replayed);
+        }
+        let Some(pending) = self.pending.get(&key) else {
+            return Err(VerifyError::UnknownNonce);
+        };
+        if now.saturating_sub(pending.issued_at) > self.ttl {
+            self.pending.remove(&key);
+            return Err(VerifyError::Expired);
+        }
+        Ok(pending.clone())
+    }
+
+    /// Consumes the nonce: marks it used and returns the pending entry.
+    /// Call only after the stateless crypto checks passed.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::Replayed`] if a concurrent duplicate settled first,
+    /// [`VerifyError::UnknownNonce`] / [`VerifyError::Expired`] as in
+    /// [`NonceLedger::preflight`].
+    pub fn settle(
+        &mut self,
+        nonce: &Sha1Digest,
+        now: Duration,
+    ) -> Result<PendingNonce, VerifyError> {
+        let key = *nonce.as_bytes();
+        if self.used.contains(&key) {
+            return Err(VerifyError::Replayed);
+        }
+        let Some(pending) = self.pending.remove(&key) else {
+            return Err(VerifyError::UnknownNonce);
+        };
+        if now.saturating_sub(pending.issued_at) > self.ttl {
+            // Stays removed, matching the serial verifier's behavior of
+            // forgetting a nonce the moment it observes it expired.
+            return Err(VerifyError::Expired);
+        }
+        self.used.insert(key);
+        Ok(pending)
+    }
+
+    /// Drops expired nonces (housekeeping; settlement also checks expiry).
+    pub fn gc(&mut self, now: Duration) {
+        let ttl = self.ttl;
+        self.pending
+            .retain(|_, p| now.saturating_sub(p.issued_at) <= ttl);
+    }
+}
+
+/// The stateless PCR-17/quote chain check shared by the serial verifier
+/// and the server-side pipelines: does any trusted PAL measurement,
+/// combined with this request/token I/O digest, explain the quote?
+///
+/// # Errors
+///
+/// [`VerifyError::BadQuote`] when some trusted PAL's PCR chain matched but
+/// the signature or nonce binding failed, [`VerifyError::UntrustedPal`]
+/// when no trusted PAL explains the quoted PCR value.
+pub fn check_quote_chain<'a>(
+    aik: &RsaPublicKey,
+    nonce: &Sha1Digest,
+    trusted_pals: impl IntoIterator<Item = &'a Sha1Digest>,
+    io: &Sha1Digest,
+    quote: &utp_tpm::quote::Quote,
+) -> Result<(), VerifyError> {
+    let mut saw_pcr_match = false;
+    for pal in trusted_pals {
+        match check_attested_session(aik, nonce, pal, io, quote) {
+            Ok(()) => return Ok(()),
+            Err(AttestationFailure::BadQuote) => saw_pcr_match = true,
+            Err(_) => {}
+        }
+    }
+    Err(if saw_pcr_match {
+        VerifyError::BadQuote
+    } else {
+        VerifyError::UntrustedPal
+    })
 }
 
 /// The provider-side verifier with nonce lifecycle management.
@@ -125,16 +287,15 @@ pub struct Verifier {
     ca_key: RsaPublicKey,
     config: VerifierConfig,
     rng: StdRng,
-    pending: HashMap<[u8; 20], Pending>,
-    used: HashSet<[u8; 20]>,
+    ledger: NonceLedger,
     stats: VerifierStats,
 }
 
 impl fmt::Debug for Verifier {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Verifier")
-            .field("pending", &self.pending.len())
-            .field("used", &self.used.len())
+            .field("pending", &self.ledger.pending_count())
+            .field("used", &self.ledger.used_count())
             .field("stats", &self.stats)
             .finish()
     }
@@ -149,12 +310,12 @@ impl Verifier {
 
     /// Creates a verifier with explicit policy.
     pub fn with_config(ca_key: RsaPublicKey, config: VerifierConfig, seed: u64) -> Self {
+        let ledger = NonceLedger::new(config.nonce_ttl);
         Verifier {
             ca_key,
             config,
             rng: StdRng::seed_from_u64(seed ^ 0x56_4552_u64),
-            pending: HashMap::new(),
-            used: HashSet::new(),
+            ledger,
             stats: VerifierStats::default(),
         }
     }
@@ -171,7 +332,12 @@ impl Verifier {
 
     /// Number of outstanding (unconsumed, possibly expired) nonces.
     pub fn pending_count(&self) -> usize {
-        self.pending.len()
+        self.ledger.pending_count()
+    }
+
+    /// The settlement ledger (read access for dashboards and services).
+    pub fn ledger(&self) -> &NonceLedger {
+        &self.ledger
     }
 
     /// Issues a confirmation request for `tx` with the default mode.
@@ -195,9 +361,9 @@ impl Verifier {
             nonce,
             mode,
         };
-        self.pending.insert(
-            nonce_bytes,
-            Pending {
+        self.ledger.register(
+            &nonce,
+            PendingNonce {
                 request_bytes: request.to_bytes(),
                 transaction: tx,
                 issued_at: now,
@@ -207,11 +373,23 @@ impl Verifier {
         request
     }
 
+    /// Adopts a request issued elsewhere (a replica, or the sharded
+    /// verification service) so this verifier can settle its evidence.
+    pub fn import_request(&mut self, request: &TransactionRequest, issued_at: Duration) {
+        self.ledger.register(
+            &request.nonce,
+            PendingNonce {
+                request_bytes: request.to_bytes(),
+                transaction: request.transaction.clone(),
+                issued_at,
+            },
+        );
+        self.stats.issued += 1;
+    }
+
     /// Drops expired nonces (housekeeping; `verify` also checks expiry).
     pub fn gc(&mut self, now: Duration) {
-        let ttl = self.config.nonce_ttl;
-        self.pending
-            .retain(|_, p| now.saturating_sub(p.issued_at) <= ttl);
+        self.ledger.gc(now);
     }
 
     fn reject(&mut self, e: VerifyError) -> VerifyError {
@@ -236,17 +414,10 @@ impl Verifier {
             Ok(t) => t,
             Err(_) => return Err(self.reject(VerifyError::MalformedEvidence)),
         };
-        let nonce_bytes = *token.nonce.as_bytes();
-        if self.used.contains(&nonce_bytes) {
-            return Err(self.reject(VerifyError::Replayed));
-        }
-        let Some(pending) = self.pending.get(&nonce_bytes) else {
-            return Err(self.reject(VerifyError::UnknownNonce));
+        let pending = match self.ledger.preflight(&token.nonce, now) {
+            Ok(p) => p,
+            Err(e) => return Err(self.reject(e)),
         };
-        if now.saturating_sub(pending.issued_at) > self.config.nonce_ttl {
-            self.pending.remove(&nonce_bytes);
-            return Err(self.reject(VerifyError::Expired));
-        }
         let Some(cert) = AikCertificate::from_bytes(&evidence.aik_cert) else {
             return Err(self.reject(VerifyError::BadCertificate));
         };
@@ -257,31 +428,20 @@ impl Verifier {
             return Err(self.reject(VerifyError::TokenMismatch));
         }
         let io = io_digest(&pending.request_bytes, &evidence.token_bytes);
-        let mut chain_ok = false;
-        let mut saw_pcr_match = false;
-        for pal in &self.config.trusted_pals {
-            match check_attested_session(&aik, &token.nonce, pal, &io, &evidence.quote) {
-                Ok(()) => {
-                    chain_ok = true;
-                    break;
-                }
-                Err(AttestationFailure::BadQuote) => {
-                    saw_pcr_match = true; // PCR chain matched, signature bad
-                }
-                Err(_) => {}
-            }
-        }
-        if !chain_ok {
-            let e = if saw_pcr_match {
-                VerifyError::BadQuote
-            } else {
-                VerifyError::UntrustedPal
-            };
+        if let Err(e) = check_quote_chain(
+            &aik,
+            &token.nonce,
+            &self.config.trusted_pals,
+            &io,
+            &evidence.quote,
+        ) {
             return Err(self.reject(e));
         }
         // All cryptographic checks passed: settle the nonce.
-        let pending = self.pending.remove(&nonce_bytes).expect("checked above");
-        self.used.insert(nonce_bytes);
+        let pending = match self.ledger.settle(&token.nonce, now) {
+            Ok(p) => p,
+            Err(e) => return Err(self.reject(e)),
+        };
         if token.verdict != Verdict::Confirmed {
             return Err(self.reject(VerifyError::NotConfirmed(token.verdict)));
         }

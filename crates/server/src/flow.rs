@@ -45,7 +45,10 @@ impl E2eReport {
 /// The order intent travels client→provider, the challenge comes back,
 /// the client runs the confirmation PAL, the evidence travels up, and the
 /// provider verifies (its real CPU time is measured on the host and folded
-/// into the virtual timeline).
+/// into the virtual timeline). If the provider has a
+/// [`crate::service::VerifierService`] attached, verification goes through
+/// its sharded pipeline; the measured CPU time then includes the queue
+/// round-trip.
 #[allow(clippy::too_many_arguments)]
 pub fn run_transaction(
     machine: &mut Machine,
@@ -148,6 +151,36 @@ mod tests {
         assert!(report.network >= Duration::from_millis(60));
         assert!(report.total >= report.network + report.session.total());
         assert!(report.machine_only() <= report.total);
+    }
+
+    #[test]
+    fn end_to_end_confirms_through_attached_service() {
+        let (mut provider, mut machine, mut client) = setup(MachineConfig::fast_for_tests(127));
+        provider.attach_service(2, 2);
+        let mut link = Link::new(LinkConfig::fixed_rtt(Duration::from_millis(40)), 3);
+        let mut human = ConfirmingHuman::new(
+            Intent {
+                payee: "bookshop".into(),
+                amount: "42.00 EUR".into(),
+                approve: true,
+            },
+            128,
+        );
+        let report = run_transaction(
+            &mut machine,
+            &mut client,
+            &mut provider,
+            &mut link,
+            "alice",
+            "bookshop",
+            4_200,
+            "order",
+            &mut human,
+        )
+        .unwrap();
+        assert!(report.outcome.is_ok());
+        let stats = provider.detach_service().unwrap();
+        assert_eq!(stats.totals().accepted, 1);
     }
 
     #[test]

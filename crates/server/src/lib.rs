@@ -11,6 +11,9 @@
 //! * [`pipeline`] — a multi-threaded verification pipeline (the paper's
 //!   scalability claim: quote verification is a cheap RSA verify, so one
 //!   commodity server sustains thousands of confirmations per second);
+//! * [`service`] — the persistent [`service::VerifierService`]: bounded
+//!   submission queues with backpressure, nonce settlement sharded by
+//!   nonce hash, and an LRU cache of validated AIK certificates;
 //! * [`flow`] — end-to-end orchestration of one transaction across the
 //!   network model (used by the latency experiments and examples);
 //! * [`metrics`] — latency summaries (mean / percentiles) shared by the
@@ -24,4 +27,5 @@ pub mod flow;
 pub mod metrics;
 pub mod pipeline;
 pub mod provider;
+pub mod service;
 pub mod store;

@@ -1,6 +1,89 @@
-//! Latency/throughput summaries shared by the experiment harnesses.
+//! Latency/throughput summaries shared by the experiment harnesses, plus
+//! the lock-free counters the sharded verification service exports.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// A monotonically increasing, thread-safe event counter.
+///
+/// The service's hot path bumps these with relaxed ordering — counts are
+/// monitoring data, not synchronization; a snapshot taken while workers
+/// run may lag individual increments but never loses one.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-shard settlement counters, snapshotted from the live atomics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCounters {
+    /// Nonces registered with this shard.
+    pub registered: u64,
+    /// Evidence accepted (human-confirmed, nonce consumed).
+    pub accepted: u64,
+    /// Evidence rejected before settlement (crypto or nonce rules).
+    pub rejected: u64,
+    /// Replays caught, including concurrent duplicate submissions that
+    /// lost the settle race.
+    pub replayed: u64,
+}
+
+impl ShardCounters {
+    /// Element-wise sum (for whole-service totals).
+    pub fn merge(&self, other: &ShardCounters) -> ShardCounters {
+        ShardCounters {
+            registered: self.registered + other.registered,
+            accepted: self.accepted + other.accepted,
+            rejected: self.rejected + other.rejected,
+            replayed: self.replayed + other.replayed,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the verification service's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// One entry per settlement shard.
+    pub shards: Vec<ShardCounters>,
+    /// AIK-certificate cache hits (an RSA verify skipped each).
+    pub cert_cache_hits: u64,
+    /// AIK-certificate cache misses (full validation performed).
+    pub cert_cache_misses: u64,
+}
+
+impl ServiceStats {
+    /// Whole-service totals across shards.
+    pub fn totals(&self) -> ShardCounters {
+        self.shards
+            .iter()
+            .fold(ShardCounters::default(), |acc, s| acc.merge(s))
+    }
+
+    /// Fraction of certificate lookups served from cache, in `[0, 1]`.
+    /// Zero when no lookups happened yet.
+    pub fn cert_cache_hit_rate(&self) -> f64 {
+        let total = self.cert_cache_hits + self.cert_cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cert_cache_hits as f64 / total as f64
+    }
+}
 
 /// Summary statistics over a set of duration samples.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,5 +213,49 @@ mod tests {
         let s = Summary::of(&[ms(1), ms(2)]).unwrap();
         let row = s.to_ms_row();
         assert_eq!(row.split_whitespace().count(), 3);
+    }
+
+    #[test]
+    fn counter_is_thread_safe() {
+        let c = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn service_stats_totals_and_hit_rate() {
+        let stats = ServiceStats {
+            shards: vec![
+                ShardCounters {
+                    registered: 3,
+                    accepted: 2,
+                    rejected: 1,
+                    replayed: 0,
+                },
+                ShardCounters {
+                    registered: 5,
+                    accepted: 4,
+                    rejected: 0,
+                    replayed: 1,
+                },
+            ],
+            cert_cache_hits: 9,
+            cert_cache_misses: 1,
+        };
+        let t = stats.totals();
+        assert_eq!(t.registered, 8);
+        assert_eq!(t.accepted, 6);
+        assert_eq!(t.rejected, 1);
+        assert_eq!(t.replayed, 1);
+        assert!((stats.cert_cache_hit_rate() - 0.9).abs() < 1e-12);
+        assert_eq!(ServiceStats::default().cert_cache_hit_rate(), 0.0);
     }
 }

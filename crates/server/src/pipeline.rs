@@ -7,16 +7,18 @@
 //! the submitting thread, which is how the paper argues one commodity
 //! server scales to thousands of confirmations per second (experiment E4
 //! measures this for real on the host CPU).
+//!
+//! [`verify_batch_parallel`] is now a thin one-shot wrapper around the
+//! persistent [`crate::service::VerifierService`]; new code should hold a
+//! service instead of paying thread start-up per batch.
 
-use crossbeam::channel;
-use parking_lot::Mutex;
+use crate::service::{ServiceConfig, SubmitError, VerifierService};
 use std::collections::HashSet;
 use utp_core::ca::AikCertificate;
 use utp_core::protocol::{ConfirmationToken, Evidence, Verdict};
-use utp_core::verifier::VerifyError;
+use utp_core::verifier::{check_quote_chain, VerifyError};
 use utp_crypto::rsa::RsaPublicKey;
 use utp_crypto::sha1::Sha1Digest;
-use utp_flicker::attestation::{check_attested_session, AttestationFailure};
 use utp_flicker::runtime::io_digest;
 
 /// One unit of verification work: the issued request bytes (the provider
@@ -55,25 +57,7 @@ pub fn check_crypto(
         return Err(VerifyError::TokenMismatch);
     }
     let io = io_digest(&job.request_bytes, &job.evidence.token_bytes);
-    let mut saw_pcr_match = false;
-    let mut ok = false;
-    for pal in trusted_pals {
-        match check_attested_session(&aik, &token.nonce, pal, &io, &job.evidence.quote) {
-            Ok(()) => {
-                ok = true;
-                break;
-            }
-            Err(AttestationFailure::BadQuote) => saw_pcr_match = true,
-            Err(_) => {}
-        }
-    }
-    if !ok {
-        return Err(if saw_pcr_match {
-            VerifyError::BadQuote
-        } else {
-            VerifyError::UntrustedPal
-        });
-    }
+    check_quote_chain(&aik, &token.nonce, trusted_pals, &io, &job.evidence.quote)?;
     if token.verdict != Verdict::Confirmed {
         return Err(VerifyError::NotConfirmed(token.verdict));
     }
@@ -82,6 +66,14 @@ pub fn check_crypto(
 
 /// Verifies a batch on `threads` worker threads; results are positionally
 /// aligned with `jobs`.
+///
+/// One-shot wrapper over [`VerifierService`]: submissions ride the bounded
+/// queue (bounded memory, unlike the old unbounded index channel), and a
+/// job whose worker is lost resolves to
+/// [`VerifyError::ServiceUnavailable`] instead of panicking. The
+/// certificate cache is disabled so the per-job cost matches the original
+/// revalidate-every-job pipeline — experiment E10 relies on this when it
+/// compares the two.
 ///
 /// # Panics
 ///
@@ -93,29 +85,25 @@ pub fn verify_batch_parallel(
     threads: usize,
 ) -> Vec<Result<ConfirmationToken, VerifyError>> {
     assert!(threads > 0, "need at least one worker");
-    let results: Mutex<Vec<Option<Result<ConfirmationToken, VerifyError>>>> =
-        Mutex::new(vec![None; jobs.len()]);
-    let (tx, rx) = channel::unbounded::<usize>();
-    for i in 0..jobs.len() {
-        tx.send(i).expect("channel open");
-    }
-    drop(tx);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let rx = rx.clone();
-            let results = &results;
-            scope.spawn(move || {
-                while let Ok(i) = rx.recv() {
-                    let r = check_crypto(ca_key, trusted_pals, &jobs[i]);
-                    results.lock()[i] = Some(r);
-                }
-            });
-        }
-    });
-    results
-        .into_inner()
+    let config = ServiceConfig {
+        threads,
+        shards: 1,
+        queue_depth: threads.saturating_mul(4),
+        cert_cache_capacity: 0,
+        trusted_pals: trusted_pals.clone(),
+        ..ServiceConfig::default()
+    };
+    let service = VerifierService::start(ca_key.clone(), config);
+    let tickets: Vec<Result<_, SubmitError>> = jobs
+        .iter()
+        .map(|job| service.submit_job(job.clone()))
+        .collect();
+    tickets
         .into_iter()
-        .map(|r| r.expect("every job processed"))
+        .map(|ticket| match ticket {
+            Ok(ticket) => ticket.wait(),
+            Err(_) => Err(VerifyError::ServiceUnavailable),
+        })
         .collect()
 }
 

@@ -1,6 +1,8 @@
 //! The service-provider facade.
 
 use crate::audit::AuditLog;
+use crate::metrics::ServiceStats;
+use crate::service::{ServiceConfig, VerifierService};
 use crate::store::{OrderStatus, Store};
 use std::time::Duration;
 use utp_core::protocol::{ConfirmMode, Evidence, Transaction, TransactionRequest};
@@ -19,9 +21,16 @@ pub struct Receipt {
 }
 
 /// An e-commerce provider accepting trusted-path confirmations.
+///
+/// Verification runs through the serial [`Verifier`] by default; call
+/// [`ServiceProvider::attach_service`] to route evidence through a
+/// persistent sharded [`VerifierService`] instead (issuance stays on the
+/// serial verifier, which owns the nonce RNG).
 #[derive(Debug)]
 pub struct ServiceProvider {
+    ca_key: RsaPublicKey,
     verifier: Verifier,
+    service: Option<VerifierService>,
     store: Store,
     audit: AuditLog,
     tx_counter: u64,
@@ -36,11 +45,32 @@ impl ServiceProvider {
     /// Creates a provider with explicit verifier policy.
     pub fn with_config(ca_key: RsaPublicKey, config: VerifierConfig, seed: u64) -> Self {
         ServiceProvider {
-            verifier: Verifier::with_config(ca_key, config, seed),
+            verifier: Verifier::with_config(ca_key.clone(), config, seed),
+            ca_key,
+            service: None,
             store: Store::new(),
             audit: AuditLog::new(),
             tx_counter: 0,
         }
+    }
+
+    /// Starts a [`VerifierService`] with the given pool geometry and
+    /// routes all subsequent evidence submissions through it. The service
+    /// inherits this provider's verification policy (TTL, trusted PALs).
+    pub fn attach_service(&mut self, threads: usize, shards: usize) {
+        let config = ServiceConfig::from_verifier_config(self.verifier.config(), threads, shards);
+        self.service = Some(VerifierService::start(self.ca_key.clone(), config));
+    }
+
+    /// Shuts down an attached service (draining in-flight jobs) and
+    /// returns its final counters; `None` if none was attached.
+    pub fn detach_service(&mut self) -> Option<ServiceStats> {
+        self.service.take().map(VerifierService::shutdown)
+    }
+
+    /// The attached verification service, if any.
+    pub fn service(&self) -> Option<&VerifierService> {
+        self.service.as_ref()
     }
 
     /// The underlying store (accounts, orders).
@@ -102,10 +132,20 @@ impl ServiceProvider {
         let tx = Transaction::new(self.tx_counter, payee, amount_cents, currency, memo);
         let order_id = self.store.create_order(account, tx.clone());
         let request = self.verifier.issue_request_with_mode(tx, mode, now);
+        if let Some(service) = &self.service {
+            // The service settles this nonce; the serial ledger's copy is
+            // never consumed, so garbage-collect it by TTL here to keep
+            // the serial ledger bounded.
+            service.register(&request, now);
+            self.verifier.gc(now);
+        }
         (order_id, request)
     }
 
     /// Accepts evidence for an order.
+    ///
+    /// Routed through the attached [`VerifierService`] when one is
+    /// present, otherwise verified inline by the serial [`Verifier`].
     ///
     /// # Errors
     ///
@@ -118,10 +158,19 @@ impl ServiceProvider {
         evidence: &Evidence,
         now: Duration,
     ) -> Result<Receipt, VerifyError> {
-        match self.verifier.verify(evidence, now) {
+        let outcome = match &self.service {
+            Some(service) => match service.submit_evidence(evidence.clone(), now) {
+                Ok(ticket) => ticket.wait(),
+                Err(_) => Err(VerifyError::ServiceUnavailable),
+            },
+            None => self.verifier.verify(evidence, now),
+        };
+        match outcome {
             Ok(verified) => {
                 self.audit.record(now, order_id, Ok(()));
-                self.store.settle(order_id);
+                // `try_settle`: order ids arrive from outside the process,
+                // so an unknown id must not panic the server.
+                self.store.try_settle(order_id);
                 Ok(Receipt {
                     order_id,
                     transaction: verified.transaction,
@@ -231,6 +280,39 @@ mod tests {
             provider.store().account("alice").unwrap().balance_cents,
             99_000
         );
+    }
+
+    #[test]
+    fn attached_service_confirms_and_settles() {
+        let (mut provider, mut machine, mut client) = setup();
+        provider.attach_service(2, 4);
+        let (order_id, request) =
+            provider.place_order("alice", "bookshop", 4_200, "EUR", "order 7", machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&request.transaction), 97);
+        let evidence = client.confirm(&mut machine, &request, &mut human).unwrap();
+        provider
+            .submit_evidence(order_id, &evidence, machine.now())
+            .unwrap();
+        assert!(provider.is_confirmed(order_id));
+        // Replay against a new order is caught by the sharded ledger.
+        let (order2, _) = provider.place_order("alice", "shop", 1_000, "EUR", "", machine.now());
+        let err = provider
+            .submit_evidence(order2, &evidence, machine.now())
+            .unwrap_err();
+        assert_eq!(err, VerifyError::Replayed);
+        let stats = provider.detach_service().unwrap();
+        assert_eq!(stats.totals().accepted, 1);
+        assert_eq!(stats.totals().replayed, 1);
+        assert_eq!(stats.totals().registered, 2);
+        // Detached: the serial verifier takes over again for new orders.
+        let (order3, request3) =
+            provider.place_order("alice", "shop", 500, "EUR", "", machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&request3.transaction), 98);
+        let evidence3 = client.confirm(&mut machine, &request3, &mut human).unwrap();
+        provider
+            .submit_evidence(order3, &evidence3, machine.now())
+            .unwrap();
+        assert!(provider.is_confirmed(order3));
     }
 
     #[test]

@@ -1,0 +1,787 @@
+//! The persistent, sharded verification service.
+//!
+//! [`crate::pipeline::verify_batch_parallel`] proved the paper's claim at
+//! batch scale but not at server scale: it spun up a fresh thread scope
+//! per batch, funneled every result through one mutex, and re-validated
+//! the same AIK certificate on every job. `VerifierService` is the
+//! long-lived shape of the same argument:
+//!
+//! * a pool of worker threads fed by a **bounded** submission queue —
+//!   a full queue blocks (or, via [`VerifierService::try_submit_evidence`],
+//!   reports [`SubmitError::QueueFull`]) instead of buffering without
+//!   limit;
+//! * nonce settlement **sharded** by `hash(nonce) % shards` over
+//!   [`NonceLedger`]s, so the only serialized step of verification no
+//!   longer serializes globally;
+//! * an **LRU cache of validated AIK certificates** keyed by certificate
+//!   digest — a repeat client costs one RSA verify (the quote), not two;
+//! * **graceful shutdown**: dropping the queue lets workers drain every
+//!   in-flight job before joining, and every outstanding [`Ticket`]
+//!   resolves;
+//! * per-shard [`crate::metrics::ShardCounters`] and cache hit counters,
+//!   snapshotted by [`VerifierService::stats`].
+
+use crate::metrics::{Counter, ServiceStats, ShardCounters};
+use crate::pipeline::VerificationJob;
+use crossbeam::channel::{self, TrySendError};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use utp_core::ca::AikCertificate;
+use utp_core::protocol::{ConfirmationToken, Evidence, TransactionRequest, Verdict};
+use utp_core::verifier::{
+    check_quote_chain, NonceLedger, PendingNonce, VerifiedTransaction, VerifierConfig, VerifyError,
+};
+use utp_crypto::rsa::RsaPublicKey;
+use utp_crypto::sha1::{Sha1, Sha1Digest};
+use utp_flicker::runtime::io_digest;
+
+/// Sizing and policy knobs for [`VerifierService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (minimum 1).
+    pub threads: usize,
+    /// Nonce-settlement shards (minimum 1).
+    pub shards: usize,
+    /// Bounded submission-queue depth; submissions beyond it block.
+    pub queue_depth: usize,
+    /// Validated-AIK cache capacity in certificates; `0` disables the
+    /// cache (every job pays the full certificate validation).
+    pub cert_cache_capacity: usize,
+    /// Nonce lifetime, as [`VerifierConfig::nonce_ttl`].
+    pub nonce_ttl: Duration,
+    /// Measurements of PAL versions the provider accepts.
+    pub trusted_pals: HashSet<Sha1Digest>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self::from_verifier_config(&VerifierConfig::default(), 2, 4)
+    }
+}
+
+impl ServiceConfig {
+    /// Default policy with explicit pool geometry.
+    pub fn new(threads: usize, shards: usize) -> Self {
+        Self::from_verifier_config(&VerifierConfig::default(), threads, shards)
+    }
+
+    /// Derives service sizing from an existing serial-verifier policy, so
+    /// a provider that attaches a service keeps identical acceptance
+    /// rules.
+    pub fn from_verifier_config(config: &VerifierConfig, threads: usize, shards: usize) -> Self {
+        ServiceConfig {
+            threads,
+            shards,
+            queue_depth: 256,
+            cert_cache_capacity: 1024,
+            nonce_ttl: config.nonce_ttl,
+            trusted_pals: config.trusted_pals.clone(),
+        }
+    }
+}
+
+/// Why a submission was not enqueued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity (backpressure; retry or shed).
+    QueueFull,
+    /// The service has shut down and accepts no further work.
+    ShutDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "submission queue full"),
+            SubmitError::ShutDown => write!(f, "verification service shut down"),
+        }
+    }
+}
+
+impl Error for SubmitError {}
+
+/// A claim on one in-flight verification; [`Ticket::wait`] blocks until
+/// the worker publishes the verdict.
+#[derive(Debug)]
+pub struct Ticket<T> {
+    rx: channel::Receiver<Result<T, VerifyError>>,
+}
+
+impl<T> Ticket<T> {
+    /// Blocks for the verdict. If the service lost the worker before the
+    /// job completed (it never does in normal operation, including
+    /// shutdown, which drains the queue first), this resolves to
+    /// [`VerifyError::ServiceUnavailable`] rather than hanging.
+    pub fn wait(self) -> Result<T, VerifyError> {
+        self.rx
+            .recv()
+            .unwrap_or(Err(VerifyError::ServiceUnavailable))
+    }
+}
+
+/// One cached, already-validated AIK public key.
+#[derive(Debug)]
+struct CacheEntry {
+    /// Last-touch tick for LRU eviction.
+    tick: u64,
+    aik: RsaPublicKey,
+}
+
+/// LRU cache of validated AIK certificates, keyed by the SHA-1 digest of
+/// the exact certificate bytes (so a hit is sound: those bytes already
+/// validated under the pinned CA key).
+#[derive(Debug)]
+struct CertCache {
+    capacity: usize,
+    state: Mutex<CacheState>,
+    hits: Counter,
+    misses: Counter,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    entries: HashMap<[u8; 20], CacheEntry>,
+    tick: u64,
+}
+
+impl CertCache {
+    fn new(capacity: usize) -> Self {
+        CertCache {
+            capacity,
+            state: Mutex::new(CacheState::default()),
+            hits: Counter::new(),
+            misses: Counter::new(),
+        }
+    }
+
+    /// Parses + validates `cert_bytes` under `ca_key`, serving repeat
+    /// certificates from cache. `None` maps to `BadCertificate`.
+    fn resolve(&self, cert_bytes: &[u8], ca_key: &RsaPublicKey) -> Option<RsaPublicKey> {
+        if self.capacity == 0 {
+            self.misses.incr();
+            return AikCertificate::from_bytes(cert_bytes)?.validate(ca_key);
+        }
+        let key = *Sha1::digest(cert_bytes).as_bytes();
+        {
+            let mut state = self.state.lock();
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some(entry) = state.entries.get_mut(&key) {
+                entry.tick = tick;
+                let aik = entry.aik.clone();
+                drop(state);
+                self.hits.incr();
+                return Some(aik);
+            }
+        }
+        self.misses.incr();
+        let aik = AikCertificate::from_bytes(cert_bytes)?.validate(ca_key)?;
+        let mut state = self.state.lock();
+        state.tick += 1;
+        let tick = state.tick;
+        if state.entries.len() >= self.capacity && !state.entries.contains_key(&key) {
+            // O(capacity) eviction scan; capacities are small (certs are
+            // one per client fleet, not one per transaction).
+            if let Some(victim) = state
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| *k)
+            {
+                state.entries.remove(&victim);
+            }
+        }
+        state.entries.insert(
+            key,
+            CacheEntry {
+                tick,
+                aik: aik.clone(),
+            },
+        );
+        Some(aik)
+    }
+}
+
+/// Live per-shard counter cells (snapshotted into [`ShardCounters`]).
+#[derive(Debug, Default)]
+struct ShardCells {
+    registered: Counter,
+    accepted: Counter,
+    rejected: Counter,
+    replayed: Counter,
+}
+
+impl ShardCells {
+    fn snapshot(&self) -> ShardCounters {
+        ShardCounters {
+            registered: self.registered.get(),
+            accepted: self.accepted.get(),
+            rejected: self.rejected.get(),
+            replayed: self.replayed.get(),
+        }
+    }
+
+    fn count(&self, outcome: &VerifyError) {
+        if matches!(outcome, VerifyError::Replayed) {
+            self.replayed.incr();
+        } else {
+            self.rejected.incr();
+        }
+    }
+}
+
+/// One settlement shard: its slice of the nonce space plus counters.
+#[derive(Debug)]
+struct Shard {
+    ledger: Mutex<NonceLedger>,
+    cells: ShardCells,
+}
+
+/// State shared between the handle and the workers.
+#[derive(Debug)]
+struct Inner {
+    ca_key: RsaPublicKey,
+    trusted_pals: HashSet<Sha1Digest>,
+    shards: Vec<Shard>,
+    cache: CertCache,
+}
+
+impl Inner {
+    fn shard_of(&self, nonce: &Sha1Digest) -> &Shard {
+        let mut prefix = [0u8; 8];
+        prefix.copy_from_slice(&nonce.as_bytes()[..8]);
+        let hash = u64::from_le_bytes(prefix);
+        let index = (hash % self.shards.len() as u64) as usize;
+        &self.shards[index]
+    }
+
+    /// The stateless cryptographic core, cache-accelerated. Mirrors
+    /// `Verifier::verify`'s check order exactly (certificate before token
+    /// binding before quote chain) so verdicts stay bit-identical to the
+    /// serial path.
+    fn check_crypto(
+        &self,
+        token: &ConfirmationToken,
+        expected_digest: &Sha1Digest,
+        request_bytes: &[u8],
+        evidence: &Evidence,
+    ) -> Result<(), VerifyError> {
+        let aik = self
+            .cache
+            .resolve(&evidence.aik_cert, &self.ca_key)
+            .ok_or(VerifyError::BadCertificate)?;
+        if token.tx_digest != *expected_digest {
+            return Err(VerifyError::TokenMismatch);
+        }
+        let io = io_digest(request_bytes, &evidence.token_bytes);
+        check_quote_chain(&aik, &token.nonce, &self.trusted_pals, &io, &evidence.quote)
+    }
+
+    /// Full verification with nonce settlement: preflight the shard
+    /// (read-mostly), run the crypto without holding any lock, then
+    /// settle. A concurrent duplicate loses the settle race and reports
+    /// `Replayed`, exactly like a sequential replay.
+    fn verify_settling(
+        &self,
+        evidence: &Evidence,
+        now: Duration,
+    ) -> Result<VerifiedTransaction, VerifyError> {
+        let token = evidence
+            .token()
+            .map_err(|_| VerifyError::MalformedEvidence)?;
+        let shard = self.shard_of(&token.nonce);
+        let pending = shard
+            .ledger
+            .lock()
+            .preflight(&token.nonce, now)
+            .inspect_err(|e| shard.cells.count(e))?;
+        let expected = pending.transaction.digest();
+        if let Err(e) = self.check_crypto(&token, &expected, &pending.request_bytes, evidence) {
+            shard.cells.count(&e);
+            return Err(e);
+        }
+        let pending = shard
+            .ledger
+            .lock()
+            .settle(&token.nonce, now)
+            .inspect_err(|e| shard.cells.count(e))?;
+        if token.verdict != Verdict::Confirmed {
+            // The nonce is consumed either way — the transaction settled
+            // as rejected — matching the serial verifier.
+            shard.cells.rejected.incr();
+            return Err(VerifyError::NotConfirmed(token.verdict));
+        }
+        shard.cells.accepted.incr();
+        Ok(VerifiedTransaction {
+            transaction: pending.transaction,
+            mode: token.mode,
+            attempts: token.attempts,
+        })
+    }
+
+    /// Stateless verification of a pre-assembled job (no nonce ledger):
+    /// the contract of the old one-shot batch pipeline.
+    fn verify_stateless(&self, job: &VerificationJob) -> Result<ConfirmationToken, VerifyError> {
+        let token = job
+            .evidence
+            .token()
+            .map_err(|_| VerifyError::MalformedEvidence)?;
+        self.check_crypto(&token, &job.tx_digest, &job.request_bytes, &job.evidence)?;
+        if token.verdict != Verdict::Confirmed {
+            return Err(VerifyError::NotConfirmed(token.verdict));
+        }
+        Ok(token)
+    }
+}
+
+/// One queued unit of work.
+enum WorkItem {
+    /// Settling verification of raw evidence against registered nonces.
+    Settle {
+        evidence: Evidence,
+        now: Duration,
+        reply: channel::Sender<Result<VerifiedTransaction, VerifyError>>,
+    },
+    /// Stateless verification of a pre-assembled job.
+    Stateless {
+        job: VerificationJob,
+        reply: channel::Sender<Result<ConfirmationToken, VerifyError>>,
+    },
+}
+
+/// The long-lived sharded verification pool. See the module docs.
+///
+/// Dropping the service (or calling [`VerifierService::shutdown`]) stops
+/// intake, drains every queued job, and joins the workers.
+#[derive(Debug)]
+pub struct VerifierService {
+    inner: Arc<Inner>,
+    queue: Option<channel::Sender<WorkItem>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl VerifierService {
+    /// Starts the worker pool. Thread/shard counts are clamped to ≥ 1.
+    pub fn start(ca_key: RsaPublicKey, config: ServiceConfig) -> Self {
+        let threads = config.threads.max(1);
+        let shard_count = config.shards.max(1);
+        let inner = Arc::new(Inner {
+            ca_key,
+            trusted_pals: config.trusted_pals,
+            shards: (0..shard_count)
+                .map(|_| Shard {
+                    ledger: Mutex::new(NonceLedger::new(config.nonce_ttl)),
+                    cells: ShardCells::default(),
+                })
+                .collect(),
+            cache: CertCache::new(config.cert_cache_capacity),
+        });
+        let (queue, intake) = channel::bounded::<WorkItem>(config.queue_depth.max(1));
+        let workers = (0..threads)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                let intake = intake.clone();
+                std::thread::spawn(move || {
+                    // `recv` drains remaining items after the handle drops
+                    // the sender, so shutdown never abandons a ticket.
+                    while let Ok(item) = intake.recv() {
+                        match item {
+                            WorkItem::Settle {
+                                evidence,
+                                now,
+                                reply,
+                            } => {
+                                let _ = reply.send(inner.verify_settling(&evidence, now));
+                            }
+                            WorkItem::Stateless { job, reply } => {
+                                let _ = reply.send(inner.verify_stateless(&job));
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        VerifierService {
+            inner,
+            queue: Some(queue),
+            workers,
+        }
+    }
+
+    /// Number of settlement shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Number of worker threads.
+    pub fn thread_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Registers an issued request with its settlement shard, enabling
+    /// later evidence submission for its nonce.
+    pub fn register(&self, request: &TransactionRequest, now: Duration) {
+        let shard = self.inner.shard_of(&request.nonce);
+        shard.ledger.lock().register(
+            &request.nonce,
+            PendingNonce {
+                request_bytes: request.to_bytes(),
+                transaction: request.transaction.clone(),
+                issued_at: now,
+            },
+        );
+        shard.cells.registered.incr();
+    }
+
+    /// Submits evidence for settling verification, blocking while the
+    /// queue is full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShutDown`] once [`VerifierService::shutdown`] ran.
+    pub fn submit_evidence(
+        &self,
+        evidence: Evidence,
+        now: Duration,
+    ) -> Result<Ticket<VerifiedTransaction>, SubmitError> {
+        let (reply, rx) = channel::bounded(1);
+        let queue = self.queue.as_ref().ok_or(SubmitError::ShutDown)?;
+        queue
+            .send(WorkItem::Settle {
+                evidence,
+                now,
+                reply,
+            })
+            .map_err(|_| SubmitError::ShutDown)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Non-blocking variant of [`VerifierService::submit_evidence`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`] under backpressure,
+    /// [`SubmitError::ShutDown`] after shutdown.
+    pub fn try_submit_evidence(
+        &self,
+        evidence: Evidence,
+        now: Duration,
+    ) -> Result<Ticket<VerifiedTransaction>, SubmitError> {
+        let (reply, rx) = channel::bounded(1);
+        let queue = self.queue.as_ref().ok_or(SubmitError::ShutDown)?;
+        queue
+            .try_send(WorkItem::Settle {
+                evidence,
+                now,
+                reply,
+            })
+            .map_err(|e| match e {
+                TrySendError::Full(_) => SubmitError::QueueFull,
+                TrySendError::Disconnected(_) => SubmitError::ShutDown,
+            })?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submits a stateless verification job (no nonce settlement),
+    /// blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShutDown`] once the service shut down.
+    pub fn submit_job(
+        &self,
+        job: VerificationJob,
+    ) -> Result<Ticket<ConfirmationToken>, SubmitError> {
+        let (reply, rx) = channel::bounded(1);
+        let queue = self.queue.as_ref().ok_or(SubmitError::ShutDown)?;
+        queue
+            .send(WorkItem::Stateless { job, reply })
+            .map_err(|_| SubmitError::ShutDown)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submits a batch of evidence and waits for all verdicts,
+    /// positionally aligned with the input.
+    pub fn verify_evidence_batch(
+        &self,
+        batch: Vec<Evidence>,
+        now: Duration,
+    ) -> Vec<Result<VerifiedTransaction, VerifyError>> {
+        let tickets: Vec<_> = batch
+            .into_iter()
+            .map(|evidence| self.submit_evidence(evidence, now))
+            .collect();
+        tickets
+            .into_iter()
+            .map(|t| match t {
+                Ok(ticket) => ticket.wait(),
+                Err(_) => Err(VerifyError::ServiceUnavailable),
+            })
+            .collect()
+    }
+
+    /// Outstanding (registered, unsettled) nonces across all shards.
+    pub fn pending_count(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.ledger.lock().pending_count())
+            .sum()
+    }
+
+    /// Snapshot of per-shard settlement counters and cache hit counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            shards: self
+                .inner
+                .shards
+                .iter()
+                .map(|s| s.cells.snapshot())
+                .collect(),
+            cert_cache_hits: self.inner.cache.hits.get(),
+            cert_cache_misses: self.inner.cache.misses.get(),
+        }
+    }
+
+    /// Stops intake, drains every queued job (their tickets resolve) and
+    /// joins the workers. Returns the final counter snapshot.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.finish();
+        self.stats()
+    }
+
+    fn finish(&mut self) {
+        // Dropping the sender disconnects the intake queue; workers drain
+        // what was already accepted and exit.
+        self.queue.take();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for VerifierService {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utp_core::ca::PrivacyCa;
+    use utp_core::client::{Client, ClientConfig};
+    use utp_core::operator::{ConfirmingHuman, Intent};
+    use utp_core::protocol::Transaction;
+    use utp_core::verifier::Verifier;
+    use utp_platform::machine::{Machine, MachineConfig};
+
+    struct World {
+        ca_key: RsaPublicKey,
+        requests: Vec<TransactionRequest>,
+        evidence: Vec<Evidence>,
+        now: Duration,
+    }
+
+    /// `n` genuine confirmations from one enrolled client.
+    fn world(n: usize, seed: u64) -> World {
+        let ca = PrivacyCa::new(512, seed);
+        let mut verifier = Verifier::new(ca.public_key().clone(), seed + 1);
+        let mut machine = Machine::new(MachineConfig::fast_for_tests(seed + 2));
+        let enrollment = ca.enroll(&mut machine);
+        let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+        let mut requests = Vec::new();
+        let mut evidence = Vec::new();
+        for i in 0..n {
+            let tx = Transaction::new(i as u64, "shop", 100 + i as u64, "EUR", "svc");
+            let request = verifier.issue_request(tx.clone(), machine.now());
+            let mut human = ConfirmingHuman::new(Intent::approving(&tx), 300 + i as u64);
+            evidence.push(client.confirm(&mut machine, &request, &mut human).unwrap());
+            requests.push(request);
+        }
+        World {
+            ca_key: ca.public_key().clone(),
+            requests,
+            evidence,
+            now: machine.now(),
+        }
+    }
+
+    fn service(w: &World, threads: usize, shards: usize) -> VerifierService {
+        let svc = VerifierService::start(w.ca_key.clone(), ServiceConfig::new(threads, shards));
+        for r in &w.requests {
+            svc.register(r, w.now);
+        }
+        svc
+    }
+
+    #[test]
+    fn accepts_genuine_evidence_on_every_shard() {
+        let w = world(8, 1000);
+        let svc = service(&w, 2, 4);
+        let verdicts = svc.verify_evidence_batch(w.evidence.clone(), w.now);
+        assert!(verdicts.iter().all(|v| v.is_ok()), "{:?}", verdicts);
+        let stats = svc.shutdown();
+        assert_eq!(stats.totals().accepted, 8);
+        assert_eq!(stats.totals().registered, 8);
+        // Single client: first job misses, the rest hit the cert cache.
+        assert_eq!(stats.cert_cache_misses, 1);
+        assert_eq!(stats.cert_cache_hits, 7);
+    }
+
+    #[test]
+    fn replay_and_unknown_nonce_are_counted() {
+        let w = world(2, 1100);
+        let svc = service(&w, 1, 2);
+        assert!(svc
+            .submit_evidence(w.evidence[0].clone(), w.now)
+            .unwrap()
+            .wait()
+            .is_ok());
+        let replay = svc
+            .submit_evidence(w.evidence[0].clone(), w.now)
+            .unwrap()
+            .wait();
+        assert_eq!(replay, Err(VerifyError::Replayed));
+        // Evidence for a nonce never registered here.
+        let other = world(1, 1200);
+        let unknown = svc
+            .submit_evidence(other.evidence[0].clone(), w.now)
+            .unwrap()
+            .wait();
+        assert_eq!(unknown, Err(VerifyError::UnknownNonce));
+        let totals = svc.stats().totals();
+        assert_eq!(totals.accepted, 1);
+        assert_eq!(totals.replayed, 1);
+        assert_eq!(totals.rejected, 1);
+    }
+
+    #[test]
+    fn expired_nonce_rejected() {
+        let w = world(1, 1300);
+        let svc = service(&w, 1, 1);
+        let late = w.now + Duration::from_secs(301);
+        let verdict = svc
+            .submit_evidence(w.evidence[0].clone(), late)
+            .unwrap()
+            .wait();
+        assert_eq!(verdict, Err(VerifyError::Expired));
+        assert_eq!(svc.pending_count(), 0);
+    }
+
+    #[test]
+    fn corrupted_signature_rejected_and_nonce_stays_pending() {
+        let w = world(1, 1400);
+        let svc = service(&w, 1, 1);
+        let mut bad = w.evidence[0].clone();
+        bad.quote.signature[0] ^= 1;
+        let verdict = svc.submit_evidence(bad, w.now).unwrap().wait();
+        assert_eq!(verdict, Err(VerifyError::BadQuote));
+        // Crypto failures are retryable: the genuine evidence still lands.
+        assert_eq!(svc.pending_count(), 1);
+        assert!(svc
+            .submit_evidence(w.evidence[0].clone(), w.now)
+            .unwrap()
+            .wait()
+            .is_ok());
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_jobs() {
+        let w = world(16, 1500);
+        let svc = service(&w, 2, 2);
+        let tickets: Vec<_> = w
+            .evidence
+            .iter()
+            .map(|e| svc.submit_evidence(e.clone(), w.now).unwrap())
+            .collect();
+        // Shut down immediately: every ticket must still resolve Ok.
+        let stats = svc.shutdown();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        assert_eq!(stats.totals().accepted, 16);
+    }
+
+    #[test]
+    fn tiny_queue_applies_backpressure_without_loss() {
+        let w = world(24, 1600);
+        let mut config = ServiceConfig::new(2, 2);
+        config.queue_depth = 1;
+        let svc = VerifierService::start(w.ca_key.clone(), config);
+        for r in &w.requests {
+            svc.register(r, w.now);
+        }
+        // Blocking sends ride the backpressure; nothing is dropped.
+        let verdicts = svc.verify_evidence_batch(w.evidence.clone(), w.now);
+        assert!(verdicts.iter().all(|v| v.is_ok()));
+    }
+
+    #[test]
+    fn try_submit_retry_loop_completes_under_backpressure() {
+        let w = world(12, 1700);
+        let mut config = ServiceConfig::new(1, 1);
+        config.queue_depth = 1;
+        let svc = VerifierService::start(w.ca_key.clone(), config);
+        for r in &w.requests {
+            svc.register(r, w.now);
+        }
+        let mut tickets = Vec::new();
+        for e in &w.evidence {
+            loop {
+                match svc.try_submit_evidence(e.clone(), w.now) {
+                    Ok(t) => {
+                        tickets.push(t);
+                        break;
+                    }
+                    Err(SubmitError::QueueFull) => std::thread::yield_now(),
+                    Err(SubmitError::ShutDown) => panic!("service alive"),
+                }
+            }
+        }
+        assert!(tickets.into_iter().all(|t| t.wait().is_ok()));
+    }
+
+    #[test]
+    fn cache_disabled_still_verifies() {
+        let w = world(3, 1800);
+        let mut config = ServiceConfig::new(1, 1);
+        config.cert_cache_capacity = 0;
+        let svc = VerifierService::start(w.ca_key.clone(), config);
+        for r in &w.requests {
+            svc.register(r, w.now);
+        }
+        let verdicts = svc.verify_evidence_batch(w.evidence.clone(), w.now);
+        assert!(verdicts.iter().all(|v| v.is_ok()));
+        let stats = svc.stats();
+        assert_eq!(stats.cert_cache_hits, 0);
+        assert_eq!(stats.cert_cache_misses, 3);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let cache = CertCache::new(2);
+        let cas: Vec<PrivacyCa> = (0..3).map(|i| PrivacyCa::new(512, 2000 + i)).collect();
+        let ca_key = cas[0].public_key().clone();
+        // Three distinct certs all signed by CA 0 so they validate.
+        let certs: Vec<Vec<u8>> = (0..3)
+            .map(|i| {
+                let pair = utp_crypto::rsa::RsaKeyPair::generate(512, 2100 + i as u64);
+                cas[0].certify(pair.public()).to_bytes()
+            })
+            .collect();
+        assert!(cache.resolve(&certs[0], &ca_key).is_some()); // miss
+        assert!(cache.resolve(&certs[1], &ca_key).is_some()); // miss
+        assert!(cache.resolve(&certs[0], &ca_key).is_some()); // hit (0 fresh)
+        assert!(cache.resolve(&certs[2], &ca_key).is_some()); // miss, evicts 1
+        assert!(cache.resolve(&certs[0], &ca_key).is_some()); // hit (0 survived)
+        assert!(cache.resolve(&certs[1], &ca_key).is_some()); // miss: was evicted
+        assert_eq!(cache.hits.get(), 2);
+        assert_eq!(cache.misses.get(), 4);
+    }
+}

@@ -82,13 +82,25 @@ impl Store {
     /// # Panics
     ///
     /// Panics if the order does not exist (caller bug: ids come from
-    /// [`Store::create_order`]).
+    /// [`Store::create_order`]). Server-facing code where the id crosses a
+    /// trust boundary should use [`Store::try_settle`].
     pub fn settle(&mut self, id: u64) {
-        let order = self.orders.get_mut(&id).expect("order exists");
+        assert!(self.try_settle(id), "order exists");
+    }
+
+    /// Non-panicking settle: marks the order confirmed and debits the
+    /// account, returning `false` when the id is unknown. This is what the
+    /// verification service's submission path uses, since order ids there
+    /// arrive from outside the process.
+    pub fn try_settle(&mut self, id: u64) -> bool {
+        let Some(order) = self.orders.get_mut(&id) else {
+            return false;
+        };
         order.status = OrderStatus::Confirmed;
         if let Some(account) = self.accounts.get_mut(&order.account) {
             account.balance_cents -= order.transaction.amount_cents as i64;
         }
+        true
     }
 
     /// Marks an order rejected with its reason.
@@ -142,6 +154,14 @@ mod tests {
             OrderStatus::Rejected(VerifyError::Replayed)
         );
         assert_eq!(s.account("bob").unwrap().balance_cents, 5_000);
+    }
+
+    #[test]
+    fn try_settle_unknown_order_is_a_no_op() {
+        let mut s = Store::new();
+        s.open_account("alice", 1_000);
+        assert!(!s.try_settle(999));
+        assert_eq!(s.account("alice").unwrap().balance_cents, 1_000);
     }
 
     #[test]

@@ -16,4 +16,7 @@ cargo run -q -p utp-analyze -- --format text
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> differential pipeline test (timed)"
+cargo test --release -q --test pipeline_differential -- --nocapture
+
 echo "All checks passed."

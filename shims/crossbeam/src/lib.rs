@@ -1,9 +1,11 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Provides `crossbeam::channel::unbounded` — the one API the workspace
-//! uses — as a multi-producer multi-consumer queue over a `Mutex` +
-//! `Condvar`. Throughput is lower than real crossbeam but semantics
-//! (cloneable receivers, disconnect on last-sender drop) match.
+//! Provides `crossbeam::channel::unbounded` and `crossbeam::channel::
+//! bounded` — the APIs the workspace uses — as multi-producer
+//! multi-consumer queues over a `Mutex` + `Condvar` pair. Throughput is
+//! lower than real crossbeam but semantics (cloneable receivers,
+//! disconnect on last-sender/last-receiver drop, blocking backpressure on
+//! full bounded queues) match.
 
 #![forbid(unsafe_code)]
 
@@ -14,20 +16,33 @@ pub mod channel {
 
     struct Shared<T> {
         queue: Mutex<State<T>>,
+        /// Signaled when an item is enqueued or the last sender drops.
         ready: Condvar,
+        /// Signaled when an item is dequeued or the last receiver drops
+        /// (wakes senders blocked on a full bounded queue).
+        space: Condvar,
     }
 
     struct State<T> {
         items: VecDeque<T>,
         senders: usize,
+        receivers: usize,
+        /// `usize::MAX` for unbounded channels.
+        capacity: usize,
     }
 
     /// Error returned by [`Sender::send`] when all receivers are gone.
-    ///
-    /// The shim never reports this (receiver liveness is not tracked), but
-    /// the type keeps call sites source-compatible.
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded queue is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
 
     /// Error returned by [`Receiver::recv`] once the channel is empty and
     /// every sender has been dropped.
@@ -44,14 +59,28 @@ pub mod channel {
         shared: Arc<Shared<T>>,
     }
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    impl<T> core::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> core::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    fn with_capacity<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(State {
                 items: VecDeque::new(),
                 senders: 1,
+                receivers: 1,
+                capacity,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
         });
         (
             Sender {
@@ -61,10 +90,59 @@ pub mod channel {
         )
     }
 
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(usize::MAX)
+    }
+
+    /// Creates a bounded MPMC channel: [`Sender::send`] blocks while the
+    /// queue holds `capacity` items, which is the backpressure the
+    /// verification service relies on. A capacity of zero is rounded up
+    /// to one (the shim has no rendezvous mode).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(capacity.max(1))
+    }
+
     impl<T> Sender<T> {
-        /// Enqueues `value`; never blocks.
+        /// Enqueues `value`, blocking while a bounded queue is full.
+        ///
+        /// # Errors
+        ///
+        /// Returns the value if every receiver has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if state.items.len() < state.capacity {
+                    state.items.push_back(value);
+                    drop(state);
+                    self.shared.ready.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .shared
+                    .space
+                    .wait(state)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Enqueues `value` without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when a bounded queue is at capacity,
+        /// [`TrySendError::Disconnected`] when every receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.items.len() >= state.capacity {
+                return Err(TrySendError::Full(value));
+            }
             state.items.push_back(value);
             drop(state);
             self.shared.ready.notify_one();
@@ -101,6 +179,8 @@ pub mod channel {
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(item) = state.items.pop_front() {
+                    drop(state);
+                    self.shared.space.notify_one();
                     return Ok(item);
                 }
                 if state.senders == 0 {
@@ -117,14 +197,32 @@ pub mod channel {
         /// Returns an item if one is queued, without blocking on producers.
         pub fn try_recv(&self) -> Result<T, RecvError> {
             let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            state.items.pop_front().ok_or(RecvError)
+            let item = state.items.pop_front().ok_or(RecvError)?;
+            drop(state);
+            self.shared.space.notify_one();
+            Ok(item)
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.receivers += 1;
+            drop(state);
             Receiver {
                 shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            state.receivers -= 1;
+            let disconnected = state.receivers == 0;
+            drop(state);
+            if disconnected {
+                self.shared.space.notify_all();
             }
         }
     }
@@ -172,5 +270,61 @@ mod tests {
         drop(tx2);
         assert_eq!(rx.recv(), Ok(7));
         assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_last_receiver_drops() {
+        let (tx, rx) = channel::bounded::<u8>(4);
+        drop(rx);
+        assert_eq!(tx.send(1), Err(channel::SendError(1)));
+        assert_eq!(tx.try_send(2), Err(channel::TrySendError::Disconnected(2)));
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full() {
+        let (tx, rx) = channel::bounded::<u8>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(channel::TrySendError::Full(3)));
+        assert_eq!(rx.try_recv(), Ok(1));
+        tx.try_send(3).unwrap();
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (tx, rx) = channel::bounded::<usize>(1);
+        tx.send(0).unwrap();
+        std::thread::scope(|scope| {
+            let sender = scope.spawn(|| {
+                // Blocks until the main thread drains the first item.
+                tx.send(1).unwrap();
+            });
+            assert_eq!(rx.recv(), Ok(0));
+            sender.join().unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+        });
+    }
+
+    #[test]
+    fn bounded_backpressure_preserves_every_item() {
+        let (tx, rx) = channel::bounded::<usize>(2);
+        std::thread::scope(|scope| {
+            for base in [0usize, 100] {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        tx.send(base + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            let mut seen = Vec::new();
+            while let Ok(i) = rx.recv() {
+                seen.push(i);
+            }
+            seen.sort_unstable();
+            let expected: Vec<usize> = (0..50).chain(100..150).collect();
+            assert_eq!(seen, expected);
+        });
     }
 }
