@@ -1,0 +1,441 @@
+//! Workspace symbol index and conservative call graph.
+//!
+//! Calls are resolved *conservatively*: a call site maps to every
+//! workspace function it could plausibly name, and the passes treat the
+//! union as reachable. Precision comes from three restrictions that are
+//! all sound for this workspace's layout:
+//!
+//! 1. **Crate importability** — a call in file `F` can only target
+//!    crates whose alias (`utp_core`, `parking_lot`, ...) appears as an
+//!    identifier somewhere in `F` (covering both `use` declarations and
+//!    inline qualified paths), plus `F`'s own crate.
+//! 2. **Impl qualification** — `Type::method(..)` resolves to impls of
+//!    `Type` when the workspace defines any; a qualified type the
+//!    workspace has never implemented (e.g. `Vec::new`) is foreign and
+//!    produces no workspace edges.
+//! 3. **Method shape** — `recv.name(..)` only targets impl/trait
+//!    functions, bare `name(..)` only free functions.
+//!
+//! Everything else is worst-case: a method call like `.to_bytes()`
+//! fans out to *every* importable impl of that name. The soundness
+//! caveats are documented in DESIGN.md.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use crate::items::FnItem;
+use crate::passes::is_tcb_path;
+use crate::source::SourceFile;
+
+/// Per-file metadata derived from its path.
+#[derive(Debug)]
+pub struct FileMeta {
+    /// Crate alias as it appears in source (`utp_core`, `rand`, ...).
+    pub crate_alias: String,
+    /// Is this library/bin source (as opposed to tests/examples/benches)?
+    pub is_src_ctx: bool,
+    /// Crate aliases this file can reach (own crate + mentioned aliases).
+    pub importable: BTreeSet<String>,
+}
+
+/// A function node: indexes into `files[file].items.fns[item]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnNode {
+    /// Index into [`WorkspaceIndex::files`].
+    pub file: usize,
+    /// Index into that file's `items.fns`.
+    pub item: usize,
+}
+
+/// Reachability from the TCB entry points.
+#[derive(Debug)]
+pub struct Reachability {
+    /// Is fn `i` reachable (entry points included)?
+    pub reachable: Vec<bool>,
+    /// BFS predecessor for diagnostics chains (`None` for entries).
+    pub parent: Vec<Option<usize>>,
+}
+
+/// The parsed workspace plus its resolved call graph.
+pub struct WorkspaceIndex {
+    /// All parsed files, in the caller-provided (sorted) order.
+    pub files: Vec<SourceFile>,
+    /// Path-derived metadata, parallel to `files`.
+    pub metas: Vec<FileMeta>,
+    /// Flattened function list.
+    pub fns: Vec<FnNode>,
+    /// Resolved callee indexes per function (deduplicated, sorted).
+    pub callees: Vec<Vec<usize>>,
+    /// Transitive closure from the TCB entry points.
+    pub reach: Reachability,
+}
+
+/// Maps a workspace-relative path to the crate alias its code compiles
+/// into.
+pub fn crate_of(path: &str) -> String {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        let dir = rest.split('/').next().unwrap_or(rest);
+        return format!("utp_{}", dir.replace('-', "_"));
+    }
+    if let Some(rest) = path.strip_prefix("shims/") {
+        return rest.split('/').next().unwrap_or(rest).to_string();
+    }
+    // Root src/, tests/, examples/ all belong to the root `utp` package.
+    "utp".to_string()
+}
+
+/// Is this path library/bin source? Tests, examples and benches cannot
+/// be called from shipped code, so they are never resolution targets.
+pub fn is_src_context(path: &str) -> bool {
+    let in_src = path.split('/').rev().skip(1).any(|seg| seg == "src");
+    in_src
+        && !path
+            .split('/')
+            .any(|seg| seg == "tests" || seg == "examples" || seg == "benches")
+}
+
+impl WorkspaceIndex {
+    /// Builds the index and call graph over parsed files.
+    pub fn build(files: Vec<SourceFile>) -> WorkspaceIndex {
+        let known_aliases: HashSet<String> = files.iter().map(|f| crate_of(&f.path)).collect();
+        let metas: Vec<FileMeta> = files
+            .iter()
+            .map(|f| {
+                let own = crate_of(&f.path);
+                let mut importable: BTreeSet<String> = f
+                    .tokens
+                    .iter()
+                    .filter(|t| {
+                        t.kind == crate::lexer::TokenKind::Ident && known_aliases.contains(&t.text)
+                    })
+                    .map(|t| t.text.clone())
+                    .collect();
+                importable.insert(own.clone());
+                FileMeta {
+                    crate_alias: own,
+                    is_src_ctx: is_src_context(&f.path),
+                    importable,
+                }
+            })
+            .collect();
+
+        let mut fns = Vec::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (ii, _) in f.items.fns.iter().enumerate() {
+                fns.push(FnNode { file: fi, item: ii });
+            }
+        }
+
+        // Targets: non-test functions in library source only.
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (idx, node) in fns.iter().enumerate() {
+            if !metas[node.file].is_src_ctx {
+                continue;
+            }
+            let item = &files[node.file].items.fns[node.item];
+            if files[node.file].in_test_code(item.start_line) {
+                continue;
+            }
+            by_name.entry(item.name.as_str()).or_default().push(idx);
+        }
+        // Types the workspace actually implements (for rule 2).
+        let impl_types: HashSet<&str> = files
+            .iter()
+            .zip(&metas)
+            .filter(|(_, m)| m.is_src_ctx)
+            .flat_map(|(f, _)| f.items.impls.iter().map(|i| i.type_name.as_str()))
+            .collect();
+
+        let mut callees: Vec<Vec<usize>> = Vec::with_capacity(fns.len());
+        for node in &fns {
+            let item = &files[node.file].items.fns[node.item];
+            let meta = &metas[node.file];
+            let mut out: BTreeSet<usize> = BTreeSet::new();
+            for call in &item.calls {
+                resolve_call(
+                    call,
+                    item,
+                    meta,
+                    &metas,
+                    &files,
+                    &fns,
+                    &by_name,
+                    &impl_types,
+                    &known_aliases,
+                    &mut out,
+                );
+            }
+            callees.push(out.into_iter().collect());
+        }
+
+        let reach = tcb_reachability(&files, &metas, &fns, &callees);
+        WorkspaceIndex {
+            files,
+            metas,
+            fns,
+            callees,
+            reach,
+        }
+    }
+
+    /// The function item behind node index `idx`.
+    pub fn fn_item(&self, idx: usize) -> &FnItem {
+        let node = self.fns[idx];
+        &self.files[node.file].items.fns[node.item]
+    }
+
+    /// Path of the file defining fn `idx`.
+    pub fn fn_path(&self, idx: usize) -> &str {
+        &self.files[self.fns[idx].file].path
+    }
+
+    /// Is fn `idx` non-test library code?
+    pub fn is_live_fn(&self, idx: usize) -> bool {
+        let node = self.fns[idx];
+        self.metas[node.file].is_src_ctx
+            && !self.files[node.file].in_test_code(self.fn_item(idx).start_line)
+    }
+
+    /// Human-oriented call chain from a TCB entry down to fn `idx`,
+    /// e.g. `invoke -> from_bytes -> take_digest` (capped length).
+    pub fn chain_to(&self, idx: usize) -> String {
+        let mut names = vec![self.fn_item(idx).name.clone()];
+        let mut cur = idx;
+        while let Some(p) = self.reach.parent[cur] {
+            names.push(self.fn_item(p).name.clone());
+            cur = p;
+            if names.len() >= 6 {
+                names.push("...".to_string());
+                break;
+            }
+        }
+        names.reverse();
+        names.join(" -> ")
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn resolve_call(
+    call: &crate::items::CallSite,
+    caller: &FnItem,
+    caller_meta: &FileMeta,
+    metas: &[FileMeta],
+    files: &[SourceFile],
+    fns: &[FnNode],
+    by_name: &HashMap<&str, Vec<usize>>,
+    impl_types: &HashSet<&str>,
+    known_aliases: &HashSet<String>,
+    out: &mut BTreeSet<usize>,
+) {
+    let Some(cands) = by_name.get(call.name.as_str()) else {
+        return;
+    };
+    let importable = |idx: usize| {
+        caller_meta
+            .importable
+            .contains(&metas[fns[idx].file].crate_alias)
+    };
+    let item_of = |idx: usize| &files[fns[idx].file].items.fns[fns[idx].item];
+    match call.qualifier.as_deref() {
+        Some("Self") => {
+            // `Self::helper()` — same impl type as the caller.
+            out.extend(
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| importable(i))
+                    .filter(|&i| {
+                        item_of(i).impl_type == caller.impl_type && caller.impl_type.is_some()
+                    }),
+            );
+        }
+        Some(q) if q == "crate" || known_aliases.contains(q) => {
+            let target = if q == "crate" {
+                caller_meta.crate_alias.clone()
+            } else {
+                q.to_string()
+            };
+            out.extend(
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| metas[fns[i].file].crate_alias == target),
+            );
+        }
+        Some(q) if impl_types.contains(q) => {
+            out.extend(
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| importable(i))
+                    .filter(|&i| item_of(i).impl_type.as_deref() == Some(q)),
+            );
+        }
+        Some(q) if q.starts_with(|c: char| c.is_ascii_uppercase()) => {
+            // A qualified type the workspace never implements: foreign
+            // (std) — calls into it cannot land in workspace code.
+            let _ = q;
+        }
+        Some(_) => {
+            // Module-qualified free function (`mem::take`, `pcr::reset`).
+            out.extend(
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| importable(i))
+                    .filter(|&i| item_of(i).impl_type.is_none()),
+            );
+        }
+        None if call.is_method => {
+            out.extend(
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| importable(i))
+                    .filter(|&i| item_of(i).impl_type.is_some()),
+            );
+        }
+        None => {
+            out.extend(
+                cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| importable(i))
+                    .filter(|&i| item_of(i).impl_type.is_none()),
+            );
+        }
+    }
+}
+
+/// BFS from all non-test functions defined in TCB files.
+fn tcb_reachability(
+    files: &[SourceFile],
+    metas: &[FileMeta],
+    fns: &[FnNode],
+    callees: &[Vec<usize>],
+) -> Reachability {
+    let mut reachable = vec![false; fns.len()];
+    let mut parent = vec![None; fns.len()];
+    let mut queue = std::collections::VecDeque::new();
+    for (idx, node) in fns.iter().enumerate() {
+        if !metas[node.file].is_src_ctx || !is_tcb_path(&files[node.file].path) {
+            continue;
+        }
+        let item = &files[node.file].items.fns[node.item];
+        if files[node.file].in_test_code(item.start_line) {
+            continue;
+        }
+        reachable[idx] = true;
+        queue.push_back(idx);
+    }
+    while let Some(cur) = queue.pop_front() {
+        for &next in &callees[cur] {
+            if !reachable[next] {
+                reachable[next] = true;
+                parent[next] = Some(cur);
+                queue.push_back(next);
+            }
+        }
+    }
+    Reachability { reachable, parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(files: &[(&str, &str)]) -> WorkspaceIndex {
+        WorkspaceIndex::build(files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect())
+    }
+
+    #[test]
+    fn crate_mapping_and_contexts() {
+        assert_eq!(crate_of("crates/tpm/src/device.rs"), "utp_tpm");
+        assert_eq!(crate_of("shims/parking_lot/src/lib.rs"), "parking_lot");
+        assert_eq!(crate_of("src/lib.rs"), "utp");
+        assert!(is_src_context("crates/server/src/bin/serve.rs"));
+        assert!(!is_src_context("crates/tpm/tests/properties.rs"));
+        assert!(!is_src_context("tests/static_analysis.rs"));
+        assert!(!is_src_context("examples/sharded_service.rs"));
+    }
+
+    #[test]
+    fn cross_crate_calls_need_an_importable_alias() {
+        let w = ws(&[
+            ("crates/core/src/pal.rs", "pub fn invoke() { helper(); }\n"),
+            ("crates/flicker/src/lib.rs", "pub fn helper() {}\n"),
+        ]);
+        // `utp_flicker` never mentioned in the caller: no edge.
+        assert_eq!(w.callees[0], Vec::<usize>::new());
+
+        let w = ws(&[
+            (
+                "crates/core/src/pal.rs",
+                "use utp_flicker::helper;\npub fn invoke() { helper(); }\n",
+            ),
+            ("crates/flicker/src/lib.rs", "pub fn helper() {}\n"),
+        ]);
+        assert_eq!(w.callees[0], vec![1]);
+        assert!(w.reach.reachable[1]);
+        assert_eq!(w.chain_to(1), "invoke -> helper");
+    }
+
+    #[test]
+    fn foreign_qualified_types_produce_no_edges() {
+        let w = ws(&[(
+            "crates/tpm/src/x.rs",
+            "pub fn f() { let v = Vec::new(); }\npub struct K;\nimpl K { pub fn new() -> K { K } }\n",
+        )]);
+        // `Vec::new` must not resolve to the workspace `K::new`.
+        assert_eq!(w.callees[0], Vec::<usize>::new());
+    }
+
+    #[test]
+    fn qualified_impl_calls_resolve_precisely() {
+        let w = ws(&[(
+            "crates/tpm/src/x.rs",
+            "pub struct A;\nimpl A { pub fn go() {} }\npub struct B;\nimpl B { pub fn go() {} }\npub fn f() { A::go(); }\n",
+        )]);
+        let f_idx = (0..w.fns.len())
+            .find(|&i| w.fn_item(i).name == "f")
+            .unwrap();
+        assert_eq!(w.callees[f_idx].len(), 1);
+        assert_eq!(
+            w.fn_item(w.callees[f_idx][0]).impl_type.as_deref(),
+            Some("A")
+        );
+    }
+
+    #[test]
+    fn method_calls_fan_out_to_all_importable_impls() {
+        let w = ws(&[
+            (
+                "crates/core/src/pal.rs",
+                "use utp_tpm::T;\npub fn invoke(t: T) { t.to_bytes(); }\n",
+            ),
+            (
+                "crates/tpm/src/a.rs",
+                "pub struct T;\nimpl T { pub fn to_bytes(&self) {} }\n",
+            ),
+            (
+                "crates/server/src/b.rs",
+                "pub struct S;\nimpl S { pub fn to_bytes(&self) {} }\n",
+            ),
+        ]);
+        // Reaches the tpm impl (importable) but not the server one.
+        assert_eq!(w.callees[0].len(), 1);
+        assert_eq!(w.fn_path(w.callees[0][0]), "crates/tpm/src/a.rs");
+    }
+
+    #[test]
+    fn test_code_is_neither_entry_nor_target() {
+        let w = ws(&[(
+            "crates/tpm/src/x.rs",
+            "pub fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() { live(); }\n}\n",
+        )]);
+        let helper = (0..w.fns.len())
+            .find(|&i| w.fn_item(i).name == "helper")
+            .unwrap();
+        assert!(!w.reach.reachable[helper]);
+        assert!(!w.is_live_fn(helper));
+    }
+}

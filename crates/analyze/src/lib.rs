@@ -4,13 +4,27 @@
 //! The paper's central claim is a *minimal, auditable* trusted computing
 //! base: the confirmation PAL plus the TPM driver. This crate machine-
 //! checks the discipline that claim rests on, in the spirit of the
-//! automated-verification line of work around DRTM protocols:
+//! automated-verification line of work around DRTM protocols.
+//!
+//! File-local passes (PR 1):
 //!
 //! 1. [`passes::tcb_boundary`] — TCB files import only allowlisted crates;
 //! 2. [`passes::no_panic`] — no abort paths in TCB code;
 //! 3. [`passes::ct_discipline`] — secret comparisons go through `ct_eq`;
 //! 4. [`passes::forbid_unsafe`] — `#![forbid(unsafe_code)]` everywhere;
 //! 5. [`passes::wallclock`] — the simulated clock is the only time source.
+//!
+//! Interprocedural passes over the conservative call graph ([`graph`]):
+//!
+//! 6. [`passes::tcb_reachability`] — everything reachable from the PAL
+//!    entry points must be in the declared TCB allowlist; the closure is
+//!    also measured into a TCB-size report ([`report`]);
+//! 7. [`passes::no_panic_transitive`] — TCB functions must not
+//!    transitively call panic paths;
+//! 8. [`passes::secret_taint`] — key material must not flow to
+//!    Debug/logging/wire sinks;
+//! 9. [`passes::lock_discipline`] — consistent lock order, no guard held
+//!    across blocking channel ops.
 //!
 //! Violations that are individually justified carry an inline
 //! `// utp-analyze: allow(<lint>) <reason>` annotation; the reason is
@@ -26,95 +40,140 @@
 #![forbid(unsafe_code)]
 
 pub mod diag;
+pub mod graph;
+pub mod items;
 pub mod lexer;
 pub mod passes;
+pub mod report;
 pub mod source;
 pub mod workspace;
 
 use diag::{Diagnostic, Severity};
+use graph::WorkspaceIndex;
 use source::SourceFile;
 
-/// Analyzes one file's source text. `path` must be workspace-relative
-/// with forward slashes — pass scoping keys off it.
-pub fn analyze_source(path: &str, text: &str) -> Vec<Diagnostic> {
-    let file = SourceFile::parse(path, text);
+/// The full result of an analysis run.
+pub struct Analysis {
+    /// Suppression-filtered diagnostics, sorted by (file, line, lint).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Measured TCB-size report for the analyzed set.
+    pub tcb_report: report::TcbReport,
+}
+
+/// Analyzes a set of files as one workspace. Paths must be
+/// workspace-relative with forward slashes — pass scoping and the call
+/// graph's crate mapping key off them.
+pub fn analyze_files(inputs: Vec<(String, String)>) -> Analysis {
+    let files: Vec<SourceFile> = inputs
+        .iter()
+        .map(|(path, text)| SourceFile::parse(path, text))
+        .collect();
+    let ws = WorkspaceIndex::build(files);
     let registry = passes::registry();
     let known_lints: Vec<&str> = registry.iter().map(|p| p.id()).collect();
-    let mut diags = Vec::new();
-    let mut used = vec![false; file.suppressions.len()];
 
+    // (file index, lint, finding), before suppression filtering.
+    let mut raw: Vec<(usize, &'static str, passes::Finding)> = Vec::new();
     for pass in &registry {
-        for finding in pass.check(&file) {
-            let mut suppressed = false;
-            for (si, s) in file.suppressions.iter().enumerate() {
-                if s.lint == pass.id() && file.suppression_covers(si, finding.line) {
-                    used[si] = true;
-                    suppressed = true;
-                }
+        for (fi, file) in ws.files.iter().enumerate() {
+            for finding in pass.check(file) {
+                raw.push((fi, pass.id(), finding));
             }
-            if !suppressed {
+        }
+        for (fi, finding) in pass.check_workspace(&ws) {
+            raw.push((fi, pass.id(), finding));
+        }
+    }
+
+    let mut used: Vec<Vec<bool>> = ws
+        .files
+        .iter()
+        .map(|f| vec![false; f.suppressions.len()])
+        .collect();
+    let mut diags = Vec::new();
+    for (fi, lint, finding) in raw {
+        let file = &ws.files[fi];
+        let mut suppressed = false;
+        for (si, s) in file.suppressions.iter().enumerate() {
+            if s.lint == lint && file.suppression_covers(si, finding.line) {
+                used[fi][si] = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            diags.push(Diagnostic {
+                file: file.path.clone(),
+                line: finding.line,
+                lint,
+                severity: finding.severity,
+                message: finding.message,
+            });
+        }
+    }
+
+    for (fi, file) in ws.files.iter().enumerate() {
+        for bad in &file.bad_annotations {
+            diags.push(Diagnostic {
+                file: file.path.clone(),
+                line: bad.line,
+                lint: "malformed-allow",
+                severity: Severity::Deny,
+                message: bad.problem.clone(),
+            });
+        }
+        for (si, s) in file.suppressions.iter().enumerate() {
+            if !known_lints.contains(&s.lint.as_str()) {
                 diags.push(Diagnostic {
                     file: file.path.clone(),
-                    line: finding.line,
-                    lint: pass.id(),
-                    severity: finding.severity,
-                    message: finding.message,
+                    line: s.line,
+                    lint: "malformed-allow",
+                    severity: Severity::Deny,
+                    message: format!(
+                        "allow({}) names an unknown lint (known: {})",
+                        s.lint,
+                        known_lints.join(", ")
+                    ),
+                });
+            } else if !used[fi][si] {
+                diags.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: s.line,
+                    lint: "unused-allow",
+                    severity: Severity::Warn,
+                    message: format!(
+                        "allow({}) suppresses nothing here; remove it so the waiver list \
+                         stays honest",
+                        s.lint
+                    ),
                 });
             }
         }
     }
 
-    for bad in &file.bad_annotations {
-        diags.push(Diagnostic {
-            file: file.path.clone(),
-            line: bad.line,
-            lint: "malformed-allow",
-            severity: Severity::Deny,
-            message: bad.problem.clone(),
-        });
+    diags.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    diags.dedup();
+    let tcb_report = report::measure(&ws);
+    Analysis {
+        diagnostics: diags,
+        tcb_report,
     }
-    for (si, s) in file.suppressions.iter().enumerate() {
-        if !known_lints.contains(&s.lint.as_str()) {
-            diags.push(Diagnostic {
-                file: file.path.clone(),
-                line: s.line,
-                lint: "malformed-allow",
-                severity: Severity::Deny,
-                message: format!(
-                    "allow({}) names an unknown lint (known: {})",
-                    s.lint,
-                    known_lints.join(", ")
-                ),
-            });
-        } else if !used[si] {
-            diags.push(Diagnostic {
-                file: file.path.clone(),
-                line: s.line,
-                lint: "unused-allow",
-                severity: Severity::Warn,
-                message: format!(
-                    "allow({}) suppresses nothing here; remove it so the waiver list \
-                     stays honest",
-                    s.lint
-                ),
-            });
-        }
-    }
+}
 
-    diags.sort_by(|a, b| (a.line, a.lint).cmp(&(b.line, b.lint)));
-    diags
+/// Analyzes one file's source text (interprocedural passes see a
+/// one-file workspace). `path` must be workspace-relative with forward
+/// slashes.
+pub fn analyze_source(path: &str, text: &str) -> Vec<Diagnostic> {
+    analyze_files(vec![(path.to_string(), text.to_string())]).diagnostics
 }
 
 /// Analyzes every `.rs` file under `root` (see [`workspace::collect_rs_files`]
-/// for the walk rules). Diagnostics are sorted by path, then line.
-pub fn analyze_workspace(root: &std::path::Path) -> std::io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
+/// for the walk rules).
+pub fn analyze_workspace(root: &std::path::Path) -> std::io::Result<Analysis> {
+    let mut inputs = Vec::new();
     for (rel, abs) in workspace::collect_rs_files(root)? {
-        let text = std::fs::read_to_string(&abs)?;
-        diags.extend(analyze_source(&rel, &text));
+        inputs.push((rel, std::fs::read_to_string(&abs)?));
     }
-    diags.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
-    Ok(diags)
+    Ok(analyze_files(inputs))
 }
 
 /// Count of deny-level diagnostics (what gates the exit code).

@@ -2,17 +2,19 @@
 //!
 //! ```text
 //! utp-analyze [--root <path>] [--format text|json] [--list-passes]
+//!             [--tcb-report <out.json>] [--check-tcb-baseline <base.json>]
 //! ```
 //!
-//! Exit status: 0 — clean (no deny-level findings); 1 — at least one
-//! deny-level finding; 2 — usage or I/O error.
+//! Exit status: 0 — clean (no deny-level findings, baseline ok); 1 — at
+//! least one deny-level finding or a TCB-size regression; 2 — usage or
+//! I/O error.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use utp_analyze::{analyze_workspace, deny_count, diag, passes, workspace};
+use utp_analyze::{analyze_workspace, deny_count, diag, passes, report, workspace};
 
 enum Format {
     Text,
@@ -21,15 +23,23 @@ enum Format {
 
 fn usage() -> &'static str {
     "usage: utp-analyze [--root <path>] [--format text|json] [--list-passes]\n\
+     \x20                  [--tcb-report <out.json>] [--check-tcb-baseline <base.json>]\n\
      \n\
      Runs the UTP workspace's TCB / constant-time / panic-freedom passes\n\
      over every .rs file and reports structured diagnostics. Exits 1 if\n\
-     any deny-level finding remains unannotated."
+     any deny-level finding remains unannotated, or if the measured TCB\n\
+     grew beyond the baseline's declared threshold.\n\
+     \n\
+     --tcb-report          write the measured TCB-size report as JSON\n\
+     --check-tcb-baseline  fail on TCB growth beyond the baseline's\n\
+     \x20                    max_growth_pct (see scripts/tcb_report.json)"
 }
 
 fn main() -> ExitCode {
     let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
+    let mut report_out: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -46,6 +56,20 @@ fn main() -> ExitCode {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--root expects a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--tcb-report" => match args.next() {
+                Some(p) => report_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--tcb-report expects an output path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--check-tcb-baseline" => match args.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--check-tcb-baseline expects a baseline JSON path");
                     return ExitCode::from(2);
                 }
             },
@@ -80,20 +104,56 @@ fn main() -> ExitCode {
         }
     };
 
-    let diags = match analyze_workspace(&root) {
-        Ok(d) => d,
+    let analysis = match analyze_workspace(&root) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!("analysis failed: {e}");
             return ExitCode::from(2);
         }
     };
+    let diags = &analysis.diagnostics;
+    let report_json = analysis.tcb_report.to_json();
 
-    match format {
-        Format::Text => print!("{}", diag::render_text(&diags)),
-        Format::Json => print!("{}", diag::render_json(&diags)),
+    if let Some(path) = &report_out {
+        if let Err(e) = std::fs::write(path, &report_json) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
     }
 
-    if deny_count(&diags) > 0 {
+    match format {
+        Format::Text => print!("{}", diag::render_text(diags)),
+        Format::Json => {
+            // One combined document: findings plus the TCB report.
+            let findings = diag::render_json(diags);
+            let findings = findings.trim_end().trim_end_matches('}');
+            let tcb = report_json
+                .trim_start()
+                .trim_start_matches('{')
+                .trim_end()
+                .trim_end_matches('}');
+            println!("{findings},{tcb}}}");
+        }
+    }
+
+    let mut failed = deny_count(diags) > 0;
+    if let Some(path) = &baseline {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match report::check_baseline(&analysis.tcb_report, &text) {
+                Ok(msg) => eprintln!("tcb-baseline: {msg}"),
+                Err(msg) => {
+                    eprintln!("tcb-baseline: FAIL: {msg}");
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

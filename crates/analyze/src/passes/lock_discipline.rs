@@ -1,0 +1,459 @@
+//! `lock-discipline` — a lock-order graph over `Mutex`/`RwLock`
+//! acquisitions, denying the two deadlock shapes PR 2's service layer
+//! can exhibit:
+//!
+//! 1. **Inconsistent acquisition order.** Every acquisition made while
+//!    another guard is held (directly, or transitively through calls)
+//!    contributes an edge `held → acquired` to a global graph keyed by
+//!    lock *field name*; any cycle is a deny at each participating
+//!    site. Re-acquiring the same name while held is denied outright
+//!    (`parking_lot` mutexes are not re-entrant: self-deadlock).
+//! 2. **Guard held across a blocking channel op.** `send`/`recv` on
+//!    the bounded crossbeam queues (plus `join`/`wait`/`park`/`sleep`)
+//!    inside a guard's extent — directly or through a call — is a
+//!    deny: a full queue would park the thread while every other shard
+//!    client spins on the mutex. `try_send`/`try_recv` are fine.
+//!
+//! Guard extents: a `let`-bound guard lives to the end of its enclosing
+//! block or an explicit `drop(guard)`; a temporary (`x.lock().f()`)
+//! lives to the end of its statement. Keying by field name merges
+//! same-named locks on different types — conservative, and the honest
+//! choice for a lexer-level analyzer (documented in DESIGN.md).
+//!
+//! `shims/` are excluded as *subjects* (their internals implement the
+//! blocking primitives out of locks and condvars — that is the point)
+//! but still contribute callee summaries.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::Severity;
+use crate::graph::WorkspaceIndex;
+use crate::lexer::TokenKind;
+use crate::passes::{Finding, Pass};
+use crate::source::SourceFile;
+
+/// Method names that can block the calling thread.
+const BLOCKING: &[&str] = &[
+    "send",
+    "recv",
+    "recv_timeout",
+    "send_timeout",
+    "join",
+    "wait",
+    "park",
+    "sleep",
+];
+
+/// One lock acquisition and its guard extent (token index range).
+#[derive(Debug, Clone)]
+struct Acquisition {
+    name: String,
+    line: u32,
+    tok: usize,
+    extent_end: usize,
+}
+
+/// Lock-order edges `(held, acquired)` mapped to their sites
+/// `(file, line, fn_name)`.
+type EdgeSites = BTreeMap<(String, String), Vec<(usize, u32, String)>>;
+
+/// Per-function summary used transitively.
+#[derive(Debug, Default, Clone)]
+struct Summary {
+    /// Lock names this fn (transitively) acquires.
+    locks: BTreeSet<String>,
+    /// A blocking op this fn (transitively) performs, if any.
+    blocks: Option<String>,
+}
+
+/// The pass.
+pub struct LockDiscipline;
+
+impl Pass for LockDiscipline {
+    fn id(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "consistent lock order; no guard held across blocking channel ops"
+    }
+
+    fn check_workspace(&self, ws: &WorkspaceIndex) -> Vec<(usize, Finding)> {
+        let mut out = Vec::new();
+        let per_fn: Vec<FnLocks> = (0..ws.fns.len()).map(|i| analyze_fn(ws, i)).collect();
+        let summaries = transitive_summaries(ws, &per_fn);
+
+        // Edges of the global lock-order graph, with their sites.
+        let mut edges: EdgeSites = BTreeMap::new();
+
+        for (idx, fl) in per_fn.iter().enumerate() {
+            let fi = ws.fns[idx].file;
+            if !subject(ws, idx) {
+                continue;
+            }
+            let item = ws.fn_item(idx);
+            for a in &fl.acquisitions {
+                // Direct nested acquisitions.
+                for b in &fl.acquisitions {
+                    if b.tok <= a.tok || b.tok >= a.extent_end {
+                        continue;
+                    }
+                    if b.name == a.name {
+                        out.push((
+                            fi,
+                            Finding {
+                                line: b.line,
+                                severity: Severity::Deny,
+                                message: format!(
+                                    "`{}` re-acquires lock `{}` while its guard is still \
+                                     held (parking_lot mutexes are not re-entrant: this \
+                                     self-deadlocks); drop the first guard or merge the \
+                                     critical sections",
+                                    item.name, a.name
+                                ),
+                            },
+                        ));
+                    } else {
+                        edges
+                            .entry((a.name.clone(), b.name.clone()))
+                            .or_default()
+                            .push((fi, b.line, item.name.clone()));
+                    }
+                }
+                // Direct blocking ops inside the extent.
+                for (bi, (line, op)) in fl.blocking.iter().enumerate() {
+                    let t = fl.blocking_toks[bi];
+                    if t > a.tok && t < a.extent_end {
+                        out.push((
+                            fi,
+                            Finding {
+                                line: *line,
+                                severity: Severity::Deny,
+                                message: format!(
+                                    "guard `{}` is held across blocking `.{}()` in `{}`; \
+                                     a full/empty bounded channel parks this thread while \
+                                     holding the lock — drop the guard before blocking",
+                                    a.name, op, item.name
+                                ),
+                            },
+                        ));
+                    }
+                }
+                // Calls inside the extent: fold in callee summaries.
+                for c in &item.calls {
+                    if c.tok <= a.tok || c.tok >= a.extent_end || is_lock_method(&c.name) {
+                        continue;
+                    }
+                    for &g in &ws.callees[idx] {
+                        if ws.fn_item(g).name != c.name {
+                            continue;
+                        }
+                        // A self-edge here is almost always name aliasing
+                        // (`ledger.lock().register(..)` resolving to the
+                        // caller's own `register`); direct recursion under
+                        // a held lock is caught by the nested-acquisition
+                        // check when the lock is re-taken inline.
+                        if g == idx {
+                            continue;
+                        }
+                        let s = &summaries[g];
+                        if let Some(op) = &s.blocks {
+                            out.push((
+                                fi,
+                                Finding {
+                                    line: c.line,
+                                    severity: Severity::Deny,
+                                    message: format!(
+                                        "guard `{}` is held across a call to `{}` which \
+                                         may block (`{}`); drop the guard before calling",
+                                        a.name, c.name, op
+                                    ),
+                                },
+                            ));
+                        }
+                        for l in &s.locks {
+                            if *l == a.name {
+                                out.push((
+                                    fi,
+                                    Finding {
+                                        line: c.line,
+                                        severity: Severity::Deny,
+                                        message: format!(
+                                            "`{}` calls `{}` which re-acquires lock `{}` \
+                                             already held here (self-deadlock)",
+                                            item.name, c.name, a.name
+                                        ),
+                                    },
+                                ));
+                            } else {
+                                edges.entry((a.name.clone(), l.clone())).or_default().push((
+                                    fi,
+                                    c.line,
+                                    item.name.clone(),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cycle detection over the order graph.
+        let adj: BTreeMap<&String, BTreeSet<&String>> = {
+            let mut m: BTreeMap<&String, BTreeSet<&String>> = BTreeMap::new();
+            for (a, b) in edges.keys() {
+                m.entry(a).or_default().insert(b);
+            }
+            m
+        };
+        for ((a, b), sites) in &edges {
+            if reaches(&adj, b, a) {
+                for (fi, line, fn_name) in sites {
+                    out.push((
+                        *fi,
+                        Finding {
+                            line: *line,
+                            severity: Severity::Deny,
+                            message: format!(
+                                "lock-order cycle: `{a}` -> `{b}` (acquired `{b}` in \
+                                 `{fn_name}` while holding `{a}`), but elsewhere `{a}` is \
+                                 acquired while `{b}` is held; pick one global order",
+                            ),
+                        },
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Is fn `idx` a subject for findings (vs summary-only)?
+fn subject(ws: &WorkspaceIndex, idx: usize) -> bool {
+    ws.is_live_fn(idx) && !ws.fn_path(idx).starts_with("shims/")
+}
+
+fn is_lock_method(name: &str) -> bool {
+    name == "lock" || name == "read" || name == "write"
+}
+
+/// Per-fn raw lock facts.
+#[derive(Debug, Default)]
+struct FnLocks {
+    acquisitions: Vec<Acquisition>,
+    /// (line, op-name) of direct blocking calls.
+    blocking: Vec<(u32, String)>,
+    /// Token index of each blocking call, parallel to `blocking`.
+    blocking_toks: Vec<usize>,
+}
+
+fn analyze_fn(ws: &WorkspaceIndex, idx: usize) -> FnLocks {
+    let node = ws.fns[idx];
+    let file = &ws.files[node.file];
+    let item = &file.items.fns[node.item];
+    let mut out = FnLocks::default();
+    let Some((body_open, body_close)) = item.body else {
+        return out;
+    };
+    let has_rwlock = file.tokens.iter().any(|t| t.is_ident("RwLock"));
+    let depth = brace_depths(file);
+
+    for c in &item.calls {
+        if c.is_method && BLOCKING.contains(&c.name.as_str()) && !is_string_join(file, c) {
+            out.blocking.push((c.line, c.name.clone()));
+            out.blocking_toks.push(c.tok);
+        }
+        let is_acquire = c.is_method
+            && c.args.0 == c.args.1
+            && (c.name == "lock" || ((c.name == "read" || c.name == "write") && has_rwlock));
+        if !is_acquire {
+            continue;
+        }
+        // Lock name: the ident before the `.` preceding the method.
+        let Some(recv) = c.tok.checked_sub(2).map(|r| &file.tokens[r]) else {
+            continue;
+        };
+        if recv.kind != TokenKind::Ident {
+            continue;
+        }
+        let extent_end = guard_extent(file, item, c, &depth, body_open, body_close);
+        out.acquisitions.push(Acquisition {
+            name: recv.text.clone(),
+            line: c.line,
+            tok: c.tok,
+            extent_end,
+        });
+    }
+    out
+}
+
+/// `v.join(", ")` string joins are not thread joins.
+fn is_string_join(file: &SourceFile, c: &crate::items::CallSite) -> bool {
+    c.name == "join"
+        && file.tokens[c.args.0..c.args.1]
+            .iter()
+            .any(|t| t.kind == TokenKind::Str)
+}
+
+/// Brace depth per token.
+fn brace_depths(file: &SourceFile) -> Vec<u32> {
+    let mut depth = 0u32;
+    file.tokens
+        .iter()
+        .map(|t| {
+            if t.is_punct("{") {
+                depth += 1;
+                depth
+            } else if t.is_punct("}") {
+                let d = depth;
+                depth = depth.saturating_sub(1);
+                d
+            } else {
+                depth
+            }
+        })
+        .collect()
+}
+
+/// End (exclusive token index) of the guard produced by acquisition `c`.
+fn guard_extent(
+    file: &SourceFile,
+    item: &crate::items::FnItem,
+    c: &crate::items::CallSite,
+    depth: &[u32],
+    body_open: usize,
+    body_close: usize,
+) -> usize {
+    // Statement start: walk back to the nearest `;`, `{` or `}`.
+    let mut s = c.tok;
+    while s > body_open {
+        let t = &file.tokens[s - 1];
+        if t.is_punct(";") || t.is_punct("{") || t.is_punct("}") {
+            break;
+        }
+        s -= 1;
+    }
+    // `foo.lock().method(..)` — the guard is a temporary consumed by the
+    // chained call; any surrounding `let` binds the chain's result, not
+    // the guard, so the guard still dies at the statement's `;`.
+    let chained = file
+        .tokens
+        .get(c.args.1 + 1)
+        .is_some_and(|t| t.is_punct("."));
+    let mut k = s;
+    let bound_var = if !chained && file.tokens[k].is_ident("let") {
+        k += 1;
+        if file.tokens.get(k).is_some_and(|t| t.is_ident("mut")) {
+            k += 1;
+        }
+        file.tokens
+            .get(k)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+    } else {
+        None
+    };
+    match bound_var {
+        Some(var) => {
+            // To the end of the enclosing block, or an explicit drop(var).
+            let mut end = enclosing_block_end(file, c.tok, depth, body_close);
+            for d in &item.calls {
+                if d.name == "drop"
+                    && !d.is_method
+                    && d.tok > c.tok
+                    && d.tok < end
+                    && d.args.1 == d.args.0 + 1
+                    && file.tokens[d.args.0].is_ident(&var)
+                {
+                    end = d.tok;
+                    break;
+                }
+            }
+            end
+        }
+        None => {
+            // Temporary guard: to the statement's `;` at this depth.
+            let d = depth[c.tok];
+            let mut j = c.args.1;
+            while j <= body_close {
+                let t = &file.tokens[j];
+                if t.is_punct(";") && depth[j] <= d {
+                    return j;
+                }
+                if t.is_punct("}") && depth[j] <= d {
+                    return j;
+                }
+                j += 1;
+            }
+            body_close
+        }
+    }
+}
+
+/// Token index of the `}` closing the innermost block containing `tok`.
+fn enclosing_block_end(file: &SourceFile, tok: usize, depth: &[u32], body_close: usize) -> usize {
+    let d = depth[tok];
+    let mut j = tok + 1;
+    while j <= body_close {
+        if file.tokens[j].is_punct("}") && depth[j] <= d {
+            return j;
+        }
+        j += 1;
+    }
+    body_close
+}
+
+/// Fixpoint of per-fn summaries over the call graph.
+fn transitive_summaries(ws: &WorkspaceIndex, per_fn: &[FnLocks]) -> Vec<Summary> {
+    let mut sums: Vec<Summary> = per_fn
+        .iter()
+        .map(|fl| Summary {
+            locks: fl.acquisitions.iter().map(|a| a.name.clone()).collect(),
+            blocks: fl.blocking.first().map(|(_, op)| op.clone()),
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for idx in 0..ws.fns.len() {
+            for &g in &ws.callees[idx] {
+                if g == idx {
+                    continue;
+                }
+                let (callee_locks, callee_blocks) = (sums[g].locks.clone(), sums[g].blocks.clone());
+                let me = &mut sums[idx];
+                for l in callee_locks {
+                    if me.locks.insert(l) {
+                        changed = true;
+                    }
+                }
+                if me.blocks.is_none() {
+                    if let Some(op) = callee_blocks {
+                        me.blocks = Some(op);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            return sums;
+        }
+    }
+}
+
+/// Is `to` reachable from `from` in the order graph?
+fn reaches(adj: &BTreeMap<&String, BTreeSet<&String>>, from: &String, to: &String) -> bool {
+    let mut seen = BTreeSet::new();
+    let mut stack = vec![from];
+    while let Some(cur) = stack.pop() {
+        if cur == to {
+            return true;
+        }
+        if !seen.insert(cur.clone()) {
+            continue;
+        }
+        if let Some(next) = adj.get(cur) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}

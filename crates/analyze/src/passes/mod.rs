@@ -2,11 +2,16 @@
 
 pub mod ct_discipline;
 pub mod forbid_unsafe;
+pub mod lock_discipline;
 pub mod no_panic;
+pub mod no_panic_transitive;
+pub mod secret_taint;
 pub mod tcb_boundary;
+pub mod tcb_reachability;
 pub mod wallclock;
 
 use crate::diag::Severity;
+use crate::graph::WorkspaceIndex;
 use crate::source::SourceFile;
 
 /// A raw finding from one pass, before suppression filtering.
@@ -20,7 +25,9 @@ pub struct Finding {
     pub message: String,
 }
 
-/// One analysis pass over a single file.
+/// One analysis pass. File-local passes implement [`Pass::check`];
+/// interprocedural passes implement [`Pass::check_workspace`] over the
+/// symbol index / call graph. A pass may implement both.
 pub trait Pass {
     /// Stable lint id, e.g. `no-panic-in-tcb` (used in allow annotations).
     fn id(&self) -> &'static str;
@@ -28,9 +35,19 @@ pub trait Pass {
     /// One-line description for `--help`-style listings.
     fn description(&self) -> &'static str;
 
-    /// Runs the pass; returns raw findings (suppressions are applied by
-    /// the driver).
-    fn check(&self, file: &SourceFile) -> Vec<Finding>;
+    /// Runs the file-local pass; returns raw findings (suppressions are
+    /// applied by the driver).
+    fn check(&self, file: &SourceFile) -> Vec<Finding> {
+        let _ = file;
+        Vec::new()
+    }
+
+    /// Runs the workspace-wide pass; returns `(file index, finding)`
+    /// pairs against [`WorkspaceIndex::files`].
+    fn check_workspace(&self, ws: &WorkspaceIndex) -> Vec<(usize, Finding)> {
+        let _ = ws;
+        Vec::new()
+    }
 }
 
 /// All passes, in reporting order.
@@ -41,6 +58,10 @@ pub fn registry() -> Vec<Box<dyn Pass>> {
         Box::new(ct_discipline::CtDiscipline),
         Box::new(forbid_unsafe::ForbidUnsafeEverywhere),
         Box::new(wallclock::WallclockInModel),
+        Box::new(tcb_reachability::TcbReachability),
+        Box::new(no_panic_transitive::NoPanicTransitive),
+        Box::new(secret_taint::SecretTaint),
+        Box::new(lock_discipline::LockDiscipline),
     ]
 }
 

@@ -1,0 +1,84 @@
+//! `no-panic-transitive` — interprocedural extension of
+//! `no-panic-in-tcb`: a TCB function may not *transitively* call a
+//! function containing a panic path.
+//!
+//! Findings land on the panic construct in the callee (that is where
+//! the fix goes), with the TCB call chain in the message. TCB files
+//! themselves are covered by the file-local `no-panic-in-tcb` pass and
+//! are skipped here to avoid double reporting.
+//!
+//! Panic paths counted: `panic!` / `todo!` / `unimplemented!` /
+//! `unreachable!` macros and `.unwrap()` / `.expect(..)` calls.
+//! `assert!`-family macros are deliberately **excluded**: they are
+//! deterministic programmer-error guards on documented preconditions
+//! (and `debug_assert!` compiles out), whereas unwrap/expect abort on
+//! data-dependent state — which is exactly what must not happen inside
+//! a confirmation session. The exclusion is a documented soundness
+//! caveat in DESIGN.md.
+
+use crate::diag::Severity;
+use crate::graph::WorkspaceIndex;
+use crate::passes::{is_tcb_path, Finding, Pass};
+
+/// Macros that abort.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented", "unreachable"];
+
+/// Method calls that abort on `Err`/`None`.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// The pass.
+pub struct NoPanicTransitive;
+
+impl Pass for NoPanicTransitive {
+    fn id(&self) -> &'static str {
+        "no-panic-transitive"
+    }
+
+    fn description(&self) -> &'static str {
+        "TCB functions must not transitively call panic paths"
+    }
+
+    fn check_workspace(&self, ws: &WorkspaceIndex) -> Vec<(usize, Finding)> {
+        let mut out = Vec::new();
+        for idx in 0..ws.fns.len() {
+            if !ws.reach.reachable[idx] || !ws.is_live_fn(idx) {
+                continue;
+            }
+            let path = ws.fn_path(idx);
+            if is_tcb_path(path) {
+                continue;
+            }
+            let item = ws.fn_item(idx);
+            let mut sites: Vec<(u32, String)> = Vec::new();
+            for m in &item.macros {
+                if PANIC_MACROS.contains(&m.name.as_str()) {
+                    sites.push((m.line, format!("`{}!`", m.name)));
+                }
+            }
+            for c in &item.calls {
+                if c.is_method && PANIC_METHODS.contains(&c.name.as_str()) {
+                    sites.push((c.line, format!("`.{}()`", c.name)));
+                }
+            }
+            sites.sort();
+            sites.dedup();
+            for (line, what) in sites {
+                out.push((
+                    ws.fns[idx].file,
+                    Finding {
+                        line,
+                        severity: Severity::Deny,
+                        message: format!(
+                            "{what} in `{}` is reachable from the TCB (chain: {}); \
+                             a panic here aborts a confirmation session mid-prompt — \
+                             return a typed error instead",
+                            item.name,
+                            ws.chain_to(idx),
+                        ),
+                    },
+                ));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,483 @@
+//! `secret-taint` — key material must not flow to Debug/logging/wire
+//! sinks.
+//!
+//! Scope: non-test code in `crates/tpm`, `crates/crypto`, `crates/core`
+//! (the crates that handle seal/auth key material). Three rules:
+//!
+//! 1. **Debug derives.** A `#[derive(Debug)]` on a struct carrying
+//!    secret material is a deny unless every secret field's type has a
+//!    manual (redacting) `impl Debug` in the workspace — the manual
+//!    impl is the approved redaction boundary (see `RsaKeyPair`).
+//!    Secret-carrying is a fixpoint: a field is secret if its *name* is
+//!    secret-shaped, its type is a designated secret type, or its type
+//!    is itself a secret-carrying struct.
+//! 2. **Console/logging sinks.** A tainted identifier reaching
+//!    `println!`/`print!`/`eprintln!`/`eprint!`/`dbg!` (including
+//!    `{ident}` inline captures in the format string) is a deny. Taint
+//!    propagates through `let` bindings from secret-named identifiers
+//!    and from calls returning secret types or bearing secret-shaped
+//!    names.
+//! 3. **Wire sinks.** `.to_bytes()`/`.write()`/`.serialize()` on a
+//!    tainted receiver outside the approved sealing boundary files is a
+//!    deny — private keys leave the TPM model only wrapped or sealed.
+//!
+//! Nonces are deliberately *not* sources here: in this protocol the
+//! nonce is the quote's public `externalData`, not a secret.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diag::Severity;
+use crate::graph::WorkspaceIndex;
+use crate::items::FnItem;
+use crate::lexer::TokenKind;
+use crate::passes::{Finding, Pass};
+use crate::source::SourceFile;
+
+/// Identifier components that mark a binding as key material.
+const SECRET_COMPONENTS: &[&str] = &[
+    "secret",
+    "secrets",
+    "key",
+    "keys",
+    "keypair",
+    "seed",
+    "priv",
+    "private",
+    "passphrase",
+];
+
+/// Components that mark the binding as public/ciphertext even when a
+/// secret component is present (`key_bits`, `public_key`, `sealed_key`).
+const PUBLIC_COMPONENTS: &[&str] = &[
+    "public", "pub", "bits", "len", "size", "count", "id", "ids", "handle", "handles", "cert",
+    "certs", "ca", "aik", "ek", "srk", "usage", "sealed", "wrapped", "wrap", "load", "blob",
+    "store", "slot", "slots", "cache", "hash", "digest", "index", "bound",
+];
+
+/// Types that are secret by fiat, wherever they appear.
+const DESIGNATED_SECRET_TYPES: &[&str] = &["RsaKeyPair"];
+
+/// Call-name components that launder taint: their *output* is protected
+/// ciphertext even when a secret flows in (`seal_to_current(.., &key)`).
+/// Note `unseal`/`decrypt`/`unwrap` are distinct components and do not
+/// match, so the inverse operations keep their outputs secret.
+const SANITIZER_COMPONENTS: &[&str] = &["seal", "encrypt", "wrap"];
+
+/// Console/logging macro sinks.
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+/// Wire-serialization method sinks.
+const WIRE_METHODS: &[&str] = &["to_bytes", "write", "serialize"];
+
+/// Files allowed to serialize key material (the sealing/wrapping
+/// boundary plus the key types' own codecs).
+const WIRE_BOUNDARY_FILES: &[&str] = &[
+    "crates/tpm/src/keys.rs",
+    "crates/tpm/src/seal.rs",
+    "crates/crypto/src/rsa.rs",
+];
+
+/// Is this identifier secret key material (for taint purposes)?
+pub fn is_taint_secret_ident(ident: &str) -> bool {
+    if ident
+        .chars()
+        .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+    {
+        return false;
+    }
+    let lower: Vec<String> = ident.split('_').map(|c| c.to_ascii_lowercase()).collect();
+    lower
+        .iter()
+        .any(|c| SECRET_COMPONENTS.contains(&c.as_str()))
+        && !lower
+            .iter()
+            .any(|c| PUBLIC_COMPONENTS.contains(&c.as_str()))
+}
+
+fn in_scope(path: &str) -> bool {
+    path.starts_with("crates/tpm/src/")
+        || path.starts_with("crates/crypto/src/")
+        || path.starts_with("crates/core/src/")
+}
+
+/// The pass.
+pub struct SecretTaint;
+
+impl Pass for SecretTaint {
+    fn id(&self) -> &'static str {
+        "secret-taint"
+    }
+
+    fn description(&self) -> &'static str {
+        "key material must not reach Debug/logging/wire sinks"
+    }
+
+    fn check_workspace(&self, ws: &WorkspaceIndex) -> Vec<(usize, Finding)> {
+        let mut out = Vec::new();
+        let secret_structs = secret_struct_fixpoint(ws);
+        let manual_debug = manual_debug_types(ws);
+        let redacting = redacting_types(ws, &secret_structs, &manual_debug);
+        let secret_returning = secret_returning_fns(ws, &secret_structs);
+
+        for (fi, file) in ws.files.iter().enumerate() {
+            if !in_scope(&file.path) || !ws.metas[fi].is_src_ctx {
+                continue;
+            }
+            check_debug_derives(file, &secret_structs, &redacting, fi, &mut out);
+        }
+        for idx in 0..ws.fns.len() {
+            let fi = ws.fns[idx].file;
+            let file = &ws.files[fi];
+            if !in_scope(&file.path) || !ws.is_live_fn(idx) {
+                continue;
+            }
+            check_fn_sinks(file, ws.fn_item(idx), &secret_returning, fi, &mut out);
+        }
+        out
+    }
+}
+
+/// Structs that (transitively) carry secret material, mapped to the
+/// field that makes them secret.
+fn secret_struct_fixpoint(ws: &WorkspaceIndex) -> BTreeMap<String, String> {
+    let mut secret: BTreeMap<String, String> = DESIGNATED_SECRET_TYPES
+        .iter()
+        .map(|t| (t.to_string(), "designated secret type".to_string()))
+        .collect();
+    loop {
+        let mut changed = false;
+        for (fi, file) in ws.files.iter().enumerate() {
+            if !in_scope(&file.path) || !ws.metas[fi].is_src_ctx {
+                continue;
+            }
+            for s in &file.items.structs {
+                if secret.contains_key(&s.name) {
+                    continue;
+                }
+                let cause = s.fields.iter().find_map(|f| {
+                    if is_taint_secret_ident(&f.name) {
+                        return Some(format!("field `{}` is secret-named", f.name));
+                    }
+                    f.type_idents
+                        .iter()
+                        .find(|t| secret.contains_key(*t))
+                        .map(|t| format!("field `{}` contains secret type `{}`", f.name, t))
+                });
+                if let Some(cause) = cause {
+                    secret.insert(s.name.clone(), cause);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return secret;
+        }
+    }
+}
+
+/// Types with a manual `impl Debug` anywhere in library source — the
+/// approved redaction boundary.
+fn manual_debug_types(ws: &WorkspaceIndex) -> BTreeSet<String> {
+    ws.files
+        .iter()
+        .enumerate()
+        .filter(|(fi, _)| ws.metas[*fi].is_src_ctx)
+        .flat_map(|(_, f)| f.items.impls.iter())
+        .filter(|i| i.trait_name.as_deref() == Some("Debug"))
+        .map(|i| i.type_name.clone())
+        .collect()
+}
+
+/// Types whose Debug output is redacted: manual impls, plus (by
+/// fixpoint) structs whose derived Debug only ever reaches secrets
+/// through types that already redact. A derive over fully-redacted
+/// fields prints only redacted text, so it is itself a safe boundary.
+fn redacting_types(
+    ws: &WorkspaceIndex,
+    secret_structs: &BTreeMap<String, String>,
+    manual_debug: &BTreeSet<String>,
+) -> BTreeSet<String> {
+    let mut redacting = manual_debug.clone();
+    loop {
+        let mut changed = false;
+        for (fi, file) in ws.files.iter().enumerate() {
+            if !ws.metas[fi].is_src_ctx {
+                continue;
+            }
+            for s in &file.items.structs {
+                if redacting.contains(&s.name)
+                    || s.derive_debug_line.is_none()
+                    || DESIGNATED_SECRET_TYPES.contains(&s.name.as_str())
+                {
+                    continue;
+                }
+                let safe = s.fields.iter().all(|f| {
+                    let secret = is_taint_secret_ident(&f.name)
+                        || f.type_idents.iter().any(|t| secret_structs.contains_key(t));
+                    !secret || f.type_idents.iter().any(|t| redacting.contains(t))
+                });
+                if safe && redacting.insert(s.name.clone()) {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return redacting;
+        }
+    }
+}
+
+/// Function names whose return value is tainted: secret-shaped name or
+/// a return type mentioning a secret struct.
+fn secret_returning_fns(
+    ws: &WorkspaceIndex,
+    secret_structs: &BTreeMap<String, String>,
+) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for idx in 0..ws.fns.len() {
+        let item = ws.fn_item(idx);
+        let ret_secret = item.ret_idents.iter().any(|t| {
+            secret_structs.contains_key(t)
+                || (t == "Self"
+                    && item
+                        .impl_type
+                        .as_ref()
+                        .is_some_and(|ty| secret_structs.contains_key(ty)))
+        });
+        if is_taint_secret_ident(&item.name) || ret_secret {
+            out.insert(item.name.clone());
+        }
+    }
+    out
+}
+
+fn check_debug_derives(
+    file: &SourceFile,
+    secret_structs: &BTreeMap<String, String>,
+    redacting: &BTreeSet<String>,
+    fi: usize,
+    out: &mut Vec<(usize, Finding)>,
+) {
+    for s in &file.items.structs {
+        let Some(line) = s.derive_debug_line else {
+            continue;
+        };
+        if file.in_test_code(s.line) {
+            continue;
+        }
+        // A designated secret type must never derive Debug at all.
+        if DESIGNATED_SECRET_TYPES.contains(&s.name.as_str()) {
+            out.push((
+                fi,
+                Finding {
+                    line,
+                    severity: Severity::Deny,
+                    message: format!(
+                        "derive(Debug) on `{}` formats private key material; write a \
+                         manual redacting `impl fmt::Debug` that prints only public \
+                         parameters",
+                        s.name
+                    ),
+                },
+            ));
+            continue;
+        }
+        let offending: Vec<&str> = s
+            .fields
+            .iter()
+            .filter(|f| {
+                let secret = is_taint_secret_ident(&f.name)
+                    || f.type_idents.iter().any(|t| secret_structs.contains_key(t));
+                let redacted = f.type_idents.iter().any(|t| redacting.contains(t));
+                secret && !redacted
+            })
+            .map(|f| f.name.as_str())
+            .collect();
+        if !offending.is_empty() {
+            out.push((
+                fi,
+                Finding {
+                    line,
+                    severity: Severity::Deny,
+                    message: format!(
+                        "derive(Debug) on `{}` formats secret field(s) `{}` whose types \
+                         have no redacting Debug impl; add a manual `impl fmt::Debug` or \
+                         route the field through a type that redacts",
+                        s.name,
+                        offending.join("`, `")
+                    ),
+                },
+            ));
+        }
+    }
+}
+
+fn check_fn_sinks(
+    file: &SourceFile,
+    item: &FnItem,
+    secret_returning: &BTreeSet<String>,
+    fi: usize,
+    out: &mut Vec<(usize, Finding)>,
+) {
+    let tainted = local_taint(file, item, secret_returning);
+    let is_tainted = |ident: &str| is_taint_secret_ident(ident) || tainted.contains(ident);
+
+    for m in &item.macros {
+        if !PRINT_MACROS.contains(&m.name.as_str()) {
+            continue;
+        }
+        let mut hit: Option<String> = None;
+        for t in &file.tokens[m.args.0..m.args.1] {
+            match t.kind {
+                TokenKind::Ident if is_tainted(&t.text) => {
+                    hit = Some(t.text.clone());
+                }
+                // `println!("{session_key}")` inline captures.
+                TokenKind::Str => {
+                    for name in tainted
+                        .iter()
+                        .map(String::as_str)
+                        .chain(capture_candidates(&t.text))
+                    {
+                        if is_tainted(name)
+                            && (t.text.contains(&format!("{{{name}}}"))
+                                || t.text.contains(&format!("{{{name}:")))
+                        {
+                            hit = Some(name.to_string());
+                        }
+                    }
+                }
+                _ => {}
+            }
+            if hit.is_some() {
+                break;
+            }
+        }
+        if let Some(ident) = hit {
+            out.push((
+                fi,
+                Finding {
+                    line: m.line,
+                    severity: Severity::Deny,
+                    message: format!(
+                        "secret `{ident}` flows into `{}!` in `{}`; secrets must never \
+                         reach console/logging sinks — log a digest or drop the field",
+                        m.name, item.name
+                    ),
+                },
+            ));
+        }
+    }
+
+    if WIRE_BOUNDARY_FILES.contains(&file.path.as_str()) {
+        return;
+    }
+    for c in &item.calls {
+        if !c.is_method || !WIRE_METHODS.contains(&c.name.as_str()) {
+            continue;
+        }
+        // Receiver ident: `recv . name (` — two tokens before the name.
+        let Some(recv) = c.tok.checked_sub(2).map(|r| &file.tokens[r]) else {
+            continue;
+        };
+        if recv.kind == TokenKind::Ident && is_tainted(&recv.text) {
+            out.push((
+                fi,
+                Finding {
+                    line: c.line,
+                    severity: Severity::Deny,
+                    message: format!(
+                        "secret `{}` is serialized via `.{}()` in `{}` outside the \
+                         approved sealing boundary ({}); key material leaves the TPM \
+                         model only wrapped or sealed",
+                        recv.text,
+                        c.name,
+                        item.name,
+                        WIRE_BOUNDARY_FILES.join(", ")
+                    ),
+                },
+            ));
+        }
+    }
+}
+
+/// Identifier-shaped words inside a format string, candidates for
+/// inline-capture checks.
+fn capture_candidates(s: &str) -> impl Iterator<Item = &str> {
+    s.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|w| !w.is_empty())
+}
+
+/// Local flow: `let x = <expr mentioning a secret or calling a
+/// secret-returning fn>;` taints `x`; iterated so chains propagate.
+fn local_taint(
+    file: &SourceFile,
+    item: &FnItem,
+    secret_returning: &BTreeSet<String>,
+) -> BTreeSet<String> {
+    let Some((open, close)) = item.body else {
+        return BTreeSet::new();
+    };
+    let tokens = &file.tokens[open..=close];
+    let mut tainted: BTreeSet<String> = BTreeSet::new();
+    for _ in 0..3 {
+        let mut changed = false;
+        let mut j = 0;
+        while j < tokens.len() {
+            if !tokens[j].is_ident("let") {
+                j += 1;
+                continue;
+            }
+            let mut k = j + 1;
+            if tokens.get(k).is_some_and(|t| t.is_ident("mut")) {
+                k += 1;
+            }
+            let Some(name) = tokens.get(k).filter(|t| t.kind == TokenKind::Ident) else {
+                j += 1;
+                continue;
+            };
+            // Scan the initializer up to the statement's `;`.
+            let mut m = k + 1;
+            let mut secret_rhs = false;
+            let mut sanitized = false;
+            let mut depth = 0i32;
+            while let Some(t) = tokens.get(m) {
+                if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
+                    depth += 1;
+                } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                } else if t.is_punct(";") && depth == 0 {
+                    break;
+                } else if t.kind == TokenKind::Ident
+                    && tokens.get(m + 1).is_some_and(|n| n.is_punct("("))
+                    && t.text
+                        .split('_')
+                        .any(|c| SANITIZER_COMPONENTS.contains(&c.to_ascii_lowercase().as_str()))
+                {
+                    // A sealing/encryption call: its result is ciphertext,
+                    // so this binding stays clean even if secrets flow in.
+                    sanitized = true;
+                } else if t.kind == TokenKind::Ident
+                    && (is_taint_secret_ident(&t.text)
+                        || tainted.contains(&t.text)
+                        || (secret_returning.contains(&t.text)
+                            && tokens.get(m + 1).is_some_and(|n| n.is_punct("("))))
+                {
+                    secret_rhs = true;
+                }
+                m += 1;
+            }
+            if secret_rhs && !sanitized && tainted.insert(name.text.clone()) {
+                changed = true;
+            }
+            j = k + 1;
+        }
+        if !changed {
+            break;
+        }
+    }
+    tainted
+}

@@ -1,0 +1,58 @@
+//! `tcb-reachability` — every function transitively reachable from the
+//! PAL entry points must live in a file with a declared, reviewed TCB
+//! category ([`crate::report::declared_category`]).
+//!
+//! The entry set is all non-test functions in TCB files
+//! ([`crate::passes::is_tcb_path`]); edges come from the conservative
+//! call graph, so anything the PAL *could* name is in the closure. A
+//! reachable function in an undeclared file means either an accidental
+//! trust expansion (break the call edge) or a missing allowlist entry
+//! (extend `declared_category` with a reviewed category).
+
+use crate::diag::Severity;
+use crate::graph::WorkspaceIndex;
+use crate::passes::{Finding, Pass};
+use crate::report::declared_category;
+
+/// The pass.
+pub struct TcbReachability;
+
+impl Pass for TcbReachability {
+    fn id(&self) -> &'static str {
+        "tcb-reachability"
+    }
+
+    fn description(&self) -> &'static str {
+        "functions reachable from the PAL must be in the declared TCB allowlist"
+    }
+
+    fn check_workspace(&self, ws: &WorkspaceIndex) -> Vec<(usize, Finding)> {
+        let mut out = Vec::new();
+        for idx in 0..ws.fns.len() {
+            if !ws.reach.reachable[idx] || !ws.is_live_fn(idx) {
+                continue;
+            }
+            let path = ws.fn_path(idx);
+            if declared_category(path).is_some() {
+                continue;
+            }
+            let item = ws.fn_item(idx);
+            out.push((
+                ws.fns[idx].file,
+                Finding {
+                    line: item.start_line,
+                    severity: Severity::Deny,
+                    message: format!(
+                        "`{}` is reachable from the TCB (chain: {}) but `{}` has no \
+                         declared TCB category; break the call edge or extend \
+                         report::declared_category with a reviewed entry",
+                        item.name,
+                        ws.chain_to(idx),
+                        path
+                    ),
+                },
+            ));
+        }
+        out
+    }
+}

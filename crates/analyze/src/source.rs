@@ -1,5 +1,7 @@
-//! Per-file analysis context: tokens, allow-annotations, test regions.
+//! Per-file analysis context: tokens, allow-annotations, test regions,
+//! item structure.
 
+use crate::items::{parse_items, FileItems};
 use crate::lexer::{lex, Token, TokenKind};
 
 /// An inline `// utp-analyze: allow(<lint>) <reason>` annotation.
@@ -39,6 +41,8 @@ pub struct SourceFile {
     pub bad_annotations: Vec<BadAnnotation>,
     /// Line ranges (inclusive) covered by `#[cfg(test)]` modules.
     pub test_ranges: Vec<(u32, u32)>,
+    /// Item-level structure (functions, structs, impls, item spans).
+    pub items: FileItems,
 }
 
 impl SourceFile {
@@ -65,12 +69,14 @@ impl SourceFile {
             }
         }
         let test_ranges = find_test_ranges(&lexed.tokens);
+        let items = parse_items(&lexed.tokens);
         SourceFile {
             path: path.to_string(),
             tokens: lexed.tokens,
             suppressions,
             bad_annotations,
             test_ranges,
+            items,
         }
     }
 
@@ -88,15 +94,39 @@ impl SourceFile {
     }
 
     /// Does suppression `idx` cover findings on `line`? A trailing
-    /// annotation (code on the same line) covers only that line; a
-    /// standalone annotation line covers the following line.
+    /// annotation (code on the same line) covers only that line. A
+    /// standalone annotation covers the next code line — and when that
+    /// line starts an item (attributes included), the *whole item*: an
+    /// `allow(..)` above a `fn` or `struct` waives every finding inside
+    /// it, not just the first line (this used to be off by one for any
+    /// item with attributes or a multi-line body).
     pub fn suppression_covers(&self, idx: usize, line: u32) -> bool {
         let s = &self.suppressions[idx];
         if s.line == line {
             return true;
         }
         let standalone = !self.tokens.iter().any(|t| t.line == s.line);
-        standalone && s.line + 1 == line
+        if !standalone {
+            return false;
+        }
+        // First code line after the annotation (doc comments and blank
+        // lines in between don't break the association).
+        let Some(target) = self
+            .tokens
+            .iter()
+            .map(|t| t.line)
+            .filter(|&l| l > s.line)
+            .min()
+        else {
+            return false;
+        };
+        if line == target {
+            return true;
+        }
+        self.items
+            .item_spans
+            .iter()
+            .any(|&(start, end)| start == target && (start..=end).contains(&line))
     }
 }
 
@@ -203,6 +233,32 @@ fn f() {
         assert!(file.is_suppressed("no-panic-in-tcb", 4));
         assert!(!file.is_suppressed("no-panic-in-tcb", 5));
         assert!(!file.is_suppressed("ct-discipline", 3));
+    }
+
+    #[test]
+    fn standalone_annotation_covers_the_whole_following_item() {
+        // Regression for the off-by-one: the annotation used to cover
+        // only line 2, missing findings inside the item (line 4 here)
+        // and anything behind an attribute.
+        let src = "\
+// utp-analyze: allow(no-panic-in-tcb) fixture: whole-item waiver
+#[inline]
+pub fn f(v: &[u8]) -> u8 {
+    v[0]
+}
+
+pub fn g(v: &[u8]) -> u8 {
+    v[0]
+}
+";
+        let file = SourceFile::parse("crates/tpm/src/x.rs", src);
+        assert!(file.is_suppressed("no-panic-in-tcb", 2));
+        assert!(file.is_suppressed("no-panic-in-tcb", 3));
+        assert!(file.is_suppressed("no-panic-in-tcb", 4));
+        assert!(file.is_suppressed("no-panic-in-tcb", 5));
+        // The next item is NOT covered.
+        assert!(!file.is_suppressed("no-panic-in-tcb", 7));
+        assert!(!file.is_suppressed("no-panic-in-tcb", 8));
     }
 
     #[test]

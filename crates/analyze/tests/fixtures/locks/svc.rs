@@ -1,0 +1,26 @@
+// Fed as `crates/server/src/svc.rs`. Four lock-discipline violations:
+// a guard held across a blocking `recv()`, an a->b / b->a ordering
+// cycle (one finding per edge site), and a re-entrant double lock.
+pub fn forward(a: &Mutex<u32>, rx: &Receiver<u32>) {
+    let guard = a.lock();
+    let _msg = rx.recv();
+    let _ = guard;
+}
+
+pub fn order_ab(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = a.lock();
+    let gb = b.lock();
+    let _ = (ga, gb);
+}
+
+pub fn order_ba(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let gb = b.lock();
+    let ga = a.lock();
+    let _ = (ga, gb);
+}
+
+pub fn double(a: &Mutex<u32>) {
+    let g1 = a.lock();
+    let g2 = a.lock();
+    let _ = (g1, g2);
+}

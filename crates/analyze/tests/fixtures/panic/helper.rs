@@ -1,0 +1,7 @@
+// Fed as `crates/flicker/src/helper.rs`: a declared session-runtime
+// file, so reachability is fine — but the `.expect()` is a panic path
+// one call away from the TCB, which no-panic-transitive must flag.
+pub fn helper_parse() -> u32 {
+    let s = "42";
+    s.parse().expect("static literal parses")
+}

@@ -1,0 +1,6 @@
+// Fed as `crates/flicker/src/pal.rs` (a TCB file). The function itself
+// is panic-free — the violation is in the helper it calls.
+pub fn invoke() {
+    let v = helper_parse();
+    let _ = v;
+}

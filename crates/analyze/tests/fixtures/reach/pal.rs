@@ -1,0 +1,5 @@
+// Fed to the analyzer as `crates/core/src/pal.rs` (a TCB file): its
+// functions are TCB entry points for the reachability pass.
+pub fn invoke_confirmation() {
+    rogue_helper();
+}

@@ -1,0 +1,6 @@
+// Fed as `crates/core/src/rogue.rs`: same crate as the TCB caller so the
+// call resolves, but the path has no declared TCB category — reachable
+// code outside the allowlist, the exact thing tcb-reachability denies.
+pub fn rogue_helper() {
+    let _ = 1 + 1;
+}

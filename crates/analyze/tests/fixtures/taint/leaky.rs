@@ -1,0 +1,11 @@
+// Fed as `crates/tpm/src/leaky.rs`. Two secret-taint violations:
+// a derive(Debug) over a secret-named field with no redacting type,
+// and key material reaching a println! sink.
+#[derive(Debug)]
+pub struct LeakySlot {
+    pub session_key: Vec<u8>,
+}
+
+pub fn audit_log(session_key: &[u8]) {
+    println!("session key: {:?}", session_key);
+}

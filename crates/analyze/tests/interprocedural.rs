@@ -1,0 +1,211 @@
+//! Fixture-pinned tests for the interprocedural passes.
+//!
+//! Each fixture set under `tests/fixtures/` is fed to [`analyze_files`]
+//! under *fake* workspace-relative paths (pass scoping and the call
+//! graph's crate mapping key off the path, not the on-disk location),
+//! and the resulting diagnostics are pinned exactly: file, line, lint
+//! and the load-bearing part of the message.
+//!
+//! `golden_json_snapshot` additionally locks the full combined JSON
+//! document (findings + TCB report) against `tests/fixtures/golden.json`
+//! so any change to output shape, ordering or content is a conscious
+//! diff. Regenerate with `UPDATE_GOLDEN=1 cargo test -p utp-analyze`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use utp_analyze::diag::{render_json, Severity};
+use utp_analyze::{analyze_files, Analysis};
+
+fn fixture(rel: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Runs the analyzer over fixtures mapped to fake workspace paths.
+fn analyze(map: &[(&str, &str)]) -> Analysis {
+    analyze_files(
+        map.iter()
+            .map(|(fake, rel)| (fake.to_string(), fixture(rel)))
+            .collect(),
+    )
+}
+
+/// Asserts diagnostics match `(file, line, lint, message-substring)`
+/// exactly, in order.
+fn assert_diags(analysis: &Analysis, expected: &[(&str, u32, &str, &str)]) {
+    let got: Vec<String> = analysis
+        .diagnostics
+        .iter()
+        .map(|d| format!("{}:{}: [{}] {}", d.file, d.line, d.lint, d.message))
+        .collect();
+    assert_eq!(
+        analysis.diagnostics.len(),
+        expected.len(),
+        "diagnostic count mismatch:\n{}",
+        got.join("\n")
+    );
+    for (d, (file, line, lint, needle)) in analysis.diagnostics.iter().zip(expected) {
+        assert_eq!(d.file, *file, "wrong file:\n{}", got.join("\n"));
+        assert_eq!(d.line, *line, "wrong line:\n{}", got.join("\n"));
+        assert_eq!(d.lint, *lint, "wrong lint:\n{}", got.join("\n"));
+        assert_eq!(d.severity, Severity::Deny);
+        assert!(
+            d.message.contains(needle),
+            "message `{}` does not contain `{}`",
+            d.message,
+            needle
+        );
+    }
+}
+
+#[test]
+fn tcb_reachability_flags_undeclared_reachable_code() {
+    let analysis = analyze(&[
+        ("crates/core/src/pal.rs", "reach/pal.rs"),
+        ("crates/core/src/rogue.rs", "reach/rogue.rs"),
+    ]);
+    assert_diags(
+        &analysis,
+        &[(
+            "crates/core/src/rogue.rs",
+            4,
+            "tcb-reachability",
+            "`rogue_helper` is reachable from the TCB (chain: invoke_confirmation -> rogue_helper)",
+        )],
+    );
+    // The measured report sees the entry point and the spill.
+    assert_eq!(analysis.tcb_report.entry_points, 1);
+    assert_eq!(analysis.tcb_report.undeclared_reachable, 1);
+}
+
+#[test]
+fn no_panic_transitive_follows_the_call_chain_out_of_the_tcb() {
+    let analysis = analyze(&[
+        ("crates/flicker/src/pal.rs", "panic/pal.rs"),
+        ("crates/flicker/src/helper.rs", "panic/helper.rs"),
+    ]);
+    assert_diags(
+        &analysis,
+        &[(
+            "crates/flicker/src/helper.rs",
+            6,
+            "no-panic-transitive",
+            "`.expect()` in `helper_parse` is reachable from the TCB (chain: invoke -> helper_parse)",
+        )],
+    );
+}
+
+#[test]
+fn secret_taint_flags_debug_derive_and_print_sink() {
+    let analysis = analyze(&[("crates/tpm/src/leaky.rs", "taint/leaky.rs")]);
+    assert_diags(
+        &analysis,
+        &[
+            (
+                "crates/tpm/src/leaky.rs",
+                4,
+                "secret-taint",
+                "derive(Debug) on `LeakySlot` formats secret field(s) `session_key`",
+            ),
+            (
+                "crates/tpm/src/leaky.rs",
+                10,
+                "secret-taint",
+                "`session_key`",
+            ),
+        ],
+    );
+}
+
+#[test]
+fn lock_discipline_flags_blocking_cycle_and_reentrancy() {
+    let analysis = analyze(&[("crates/server/src/svc.rs", "locks/svc.rs")]);
+    assert_diags(
+        &analysis,
+        &[
+            (
+                "crates/server/src/svc.rs",
+                6,
+                "lock-discipline",
+                "guard `a` is held across blocking `.recv()` in `forward`",
+            ),
+            (
+                "crates/server/src/svc.rs",
+                12,
+                "lock-discipline",
+                "lock-order cycle: `a` -> `b`",
+            ),
+            (
+                "crates/server/src/svc.rs",
+                18,
+                "lock-discipline",
+                "lock-order cycle: `b` -> `a`",
+            ),
+            (
+                "crates/server/src/svc.rs",
+                24,
+                "lock-discipline",
+                "`double` re-acquires lock `a` while its guard is still held",
+            ),
+        ],
+    );
+}
+
+/// All fixture sets combined into one workspace: locks the entire JSON
+/// document (findings + TCB report) byte-for-byte, which also pins the
+/// deterministic (file, line, lint) sort order.
+#[test]
+fn golden_json_snapshot() {
+    let analysis = analyze(&[
+        ("crates/core/src/pal.rs", "reach/pal.rs"),
+        ("crates/core/src/rogue.rs", "reach/rogue.rs"),
+        ("crates/flicker/src/pal.rs", "panic/pal.rs"),
+        ("crates/flicker/src/helper.rs", "panic/helper.rs"),
+        ("crates/tpm/src/leaky.rs", "taint/leaky.rs"),
+        ("crates/server/src/svc.rs", "locks/svc.rs"),
+    ]);
+    let findings = render_json(&analysis.diagnostics);
+    let findings = findings.trim_end().trim_end_matches('}');
+    let tcb = analysis.tcb_report.to_json();
+    let tcb = tcb
+        .trim_start()
+        .trim_start_matches('{')
+        .trim_end()
+        .trim_end_matches('}');
+    let document = format!("{findings},{tcb}}}\n");
+
+    let golden_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        fs::write(&golden_path, &document).expect("write golden");
+        return;
+    }
+    let golden = fs::read_to_string(&golden_path).expect(
+        "tests/fixtures/golden.json missing; regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p utp-analyze",
+    );
+    assert_eq!(
+        document, golden,
+        "analyzer JSON output diverged from the golden snapshot; if the \
+         change is intentional regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// Two runs over identical input produce identical output (determinism
+/// satellite: no HashMap iteration order leaks into diagnostics or the
+/// report).
+#[test]
+fn output_is_deterministic_across_runs() {
+    let map = [
+        ("crates/core/src/pal.rs", "reach/pal.rs"),
+        ("crates/core/src/rogue.rs", "reach/rogue.rs"),
+        ("crates/tpm/src/leaky.rs", "taint/leaky.rs"),
+        ("crates/server/src/svc.rs", "locks/svc.rs"),
+    ];
+    let a = analyze(&map);
+    let b = analyze(&map);
+    assert_eq!(render_json(&a.diagnostics), render_json(&b.diagnostics));
+    assert_eq!(a.tcb_report.to_json(), b.tcb_report.to_json());
+}

@@ -14,7 +14,9 @@ fn workspace_root() -> std::path::PathBuf {
 
 #[test]
 fn workspace_has_no_deny_findings() {
-    let diags = analyze_workspace(&workspace_root()).expect("workspace walk failed");
+    let diags = analyze_workspace(&workspace_root())
+        .expect("workspace walk failed")
+        .diagnostics;
     assert_eq!(
         deny_count(&diags),
         0,
@@ -27,7 +29,9 @@ fn workspace_has_no_deny_findings() {
 fn workspace_has_no_warnings_either() {
     // Warnings are currently only unused-allow annotations; the waiver
     // list must stay minimal, so we hold the repo to zero of those too.
-    let diags = analyze_workspace(&workspace_root()).expect("workspace walk failed");
+    let diags = analyze_workspace(&workspace_root())
+        .expect("workspace walk failed")
+        .diagnostics;
     assert!(
         diags.is_empty(),
         "static analysis produced diagnostics:\n{}",

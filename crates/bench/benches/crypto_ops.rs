@@ -35,9 +35,9 @@ fn bench_rsa(c: &mut Criterion) {
     group.sample_size(20);
     for bits in [512usize, 1024] {
         let key = RsaKeyPair::generate(bits, 42);
-        let sig = key.sign_pkcs1_sha1(b"quote info");
+        let sig = key.sign_pkcs1_sha1(b"quote info").unwrap();
         group.bench_function(BenchmarkId::new("sign_sha1", bits), |b| {
-            b.iter(|| key.sign_pkcs1_sha1(b"quote info"))
+            b.iter(|| key.sign_pkcs1_sha1(b"quote info").unwrap())
         });
         group.bench_function(BenchmarkId::new("verify_sha1", bits), |b| {
             b.iter(|| key.public().verify_pkcs1_sha1(b"quote info", &sig))

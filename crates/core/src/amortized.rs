@@ -371,7 +371,6 @@ impl AmortizedClient {
 }
 
 /// Provider-side verifier for the amortized protocol.
-#[derive(Debug)]
 pub struct AmortizedVerifier {
     ca_key: RsaPublicKey,
     server_keypair: RsaKeyPair,
@@ -384,6 +383,19 @@ pub struct AmortizedVerifier {
     nonce_counter: u64,
     /// Accepted confirmations.
     pub accepted: u64,
+}
+
+// Redacting Debug: the per-client MAC keys and the server transport key
+// are long-lived secrets; only bookkeeping state is printed.
+impl std::fmt::Debug for AmortizedVerifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AmortizedVerifier")
+            .field("next_client_id", &self.next_client_id)
+            .field("clients", &self.keys.len())
+            .field("accepted", &self.accepted)
+            .field("secrets", &"<redacted>")
+            .finish_non_exhaustive()
+    }
 }
 
 impl AmortizedVerifier {

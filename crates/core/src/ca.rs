@@ -136,7 +136,10 @@ impl PrivacyCa {
             serial,
             signature: Vec::new(),
         };
-        cert.signature = self.keypair.sign_pkcs1_sha256(&cert.signed_body());
+        cert.signature = self
+            .keypair
+            .sign_pkcs1_sha256(&cert.signed_body())
+            .expect("CA modulus is always large enough for SHA-256");
         cert
     }
 }

@@ -165,7 +165,8 @@ impl TransactionRequest {
     pub fn from_bytes(data: &[u8]) -> Result<Self, FlickerError> {
         let mut r = Reader::new(data);
         let transaction = Transaction::read(&mut r)?;
-        let nonce = Sha1Digest::from_slice(r.take(20)?).expect("take(20) returned 20 bytes");
+        let nonce = Sha1Digest::from_slice(r.take(20)?)
+            .ok_or_else(|| FlickerError::Marshal("nonce needs 20 bytes".into()))?;
         let mode_byte = r.take(1)?[0];
         r.finish()?;
         let mode = ConfirmMode::from_u8(mode_byte)
@@ -246,8 +247,10 @@ impl ConfirmationToken {
                 version
             )));
         }
-        let tx_digest = Sha1Digest::from_slice(r.take(20)?).expect("20 bytes");
-        let nonce = Sha1Digest::from_slice(r.take(20)?).expect("20 bytes");
+        let tx_digest = Sha1Digest::from_slice(r.take(20)?)
+            .ok_or_else(|| FlickerError::Marshal("tx digest needs 20 bytes".into()))?;
+        let nonce = Sha1Digest::from_slice(r.take(20)?)
+            .ok_or_else(|| FlickerError::Marshal("nonce needs 20 bytes".into()))?;
         let mode = ConfirmMode::from_u8(r.take(1)?[0])
             .ok_or_else(|| FlickerError::Marshal("bad mode".into()))?;
         let verdict = Verdict::from_u8(r.take(1)?[0])

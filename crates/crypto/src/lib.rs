@@ -26,7 +26,7 @@
 //! use utp_crypto::sha256::Sha256;
 //!
 //! let key = RsaKeyPair::generate(512, 42); // small key: doc-test speed
-//! let sig = key.sign_pkcs1_sha256(b"transaction #1");
+//! let sig = key.sign_pkcs1_sha256(b"transaction #1").unwrap();
 //! assert!(key.public().verify_pkcs1_sha256(b"transaction #1", &sig));
 //! assert!(!key.public().verify_pkcs1_sha256(b"transaction #2", &sig));
 //! let digest = Sha256::digest(b"transaction #1");

@@ -5,6 +5,8 @@
 //! padding modes live here, plus PKCS#1 v1.5 type-2 encryption used by the
 //! TPM seal model.
 
+use std::fmt;
+
 use crate::bigint::BigUint;
 use crate::error::CryptoError;
 use crate::prime::generate_prime;
@@ -169,7 +171,7 @@ impl RsaPublicKey {
 ///
 /// Key generation uses a dedicated deterministic RNG seeded by the caller so
 /// every experiment in the reproduction is bit-reproducible.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct RsaKeyPair {
     public: RsaPublicKey,
     /// Private exponent; kept (though CRT is used operationally) so tests
@@ -182,6 +184,17 @@ pub struct RsaKeyPair {
     dp: BigUint,
     dq: BigUint,
     qinv: BigUint,
+}
+
+// Redacting Debug: only public parameters are printed. The private
+// exponent and CRT factors must never reach logs or panic messages.
+impl fmt::Debug for RsaKeyPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RsaKeyPair")
+            .field("public", &self.public)
+            .field("private", &"<redacted>")
+            .finish()
+    }
 }
 
 impl RsaKeyPair {
@@ -273,32 +286,42 @@ impl RsaKeyPair {
     }
 
     /// Signs `msg` with PKCS#1 v1.5 over SHA-1 (the TPM 1.2 signature mode).
-    pub fn sign_pkcs1_sha1(&self, msg: &[u8]) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::LengthMismatch`] when the modulus is too small to
+    /// hold the DigestInfo plus PKCS#1 padding. Keys in this workspace are
+    /// always ≥ 512 bits, so this indicates a caller bug.
+    pub fn sign_pkcs1_sha1(&self, msg: &[u8]) -> Result<Vec<u8>, CryptoError> {
         let digest = Sha1::digest(msg);
         self.sign_pkcs1_prehashed(&SHA1_PREFIX, digest.as_bytes())
     }
 
     /// Signs `msg` with PKCS#1 v1.5 over SHA-256.
-    pub fn sign_pkcs1_sha256(&self, msg: &[u8]) -> Vec<u8> {
+    ///
+    /// # Errors
+    ///
+    /// See [`RsaKeyPair::sign_pkcs1_sha1`].
+    pub fn sign_pkcs1_sha256(&self, msg: &[u8]) -> Result<Vec<u8>, CryptoError> {
         let digest = Sha256::digest(msg);
         self.sign_pkcs1_prehashed(&SHA256_PREFIX, digest.as_bytes())
     }
 
     /// Signs an already-computed digest with the given DigestInfo prefix.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the modulus is too small to hold the DigestInfo plus
-    /// PKCS#1 padding (62 bytes for SHA-256). Keys in this workspace are
-    /// always ≥ 512 bits, so this is a caller bug, not a runtime state.
-    #[allow(clippy::expect_used)] // documented precondition, see # Panics
-    pub fn sign_pkcs1_prehashed(&self, prefix: &[u8], digest: &[u8]) -> Vec<u8> {
-        let em = emsa_pkcs1_v15(prefix, digest, self.modulus_len())
-            .expect("modulus always large enough for supported digests");
-        // `em` is exactly modulus-sized with a 0x00 top byte, so it is
-        // < n and `raw_private` cannot fail once encoding succeeded.
+    /// [`CryptoError::LengthMismatch`] when the modulus is too small for
+    /// the encoding; once encoding succeeds the raw private operation
+    /// cannot fail (`em` is exactly modulus-sized with a 0x00 top byte,
+    /// so it is < n).
+    pub fn sign_pkcs1_prehashed(
+        &self,
+        prefix: &[u8],
+        digest: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        let em = emsa_pkcs1_v15(prefix, digest, self.modulus_len())?;
         self.raw_private(&em)
-            .expect("encoded message is modulus-sized and < n")
     }
 
     /// PKCS#1 v1.5 decryption.
@@ -376,7 +399,7 @@ mod tests {
     #[test]
     fn sign_verify_sha1_roundtrip() {
         let kp = keypair();
-        let sig = kp.sign_pkcs1_sha1(b"quote data");
+        let sig = kp.sign_pkcs1_sha1(b"quote data").unwrap();
         assert_eq!(sig.len(), kp.modulus_len());
         assert!(kp.public().verify_pkcs1_sha1(b"quote data", &sig));
         assert!(!kp.public().verify_pkcs1_sha1(b"quote dat@", &sig));
@@ -385,7 +408,7 @@ mod tests {
     #[test]
     fn sign_verify_sha256_roundtrip() {
         let kp = keypair();
-        let sig = kp.sign_pkcs1_sha256(b"certificate body");
+        let sig = kp.sign_pkcs1_sha256(b"certificate body").unwrap();
         assert!(kp.public().verify_pkcs1_sha256(b"certificate body", &sig));
         assert!(!kp.public().verify_pkcs1_sha256(b"certificate bodY", &sig));
     }
@@ -394,14 +417,14 @@ mod tests {
     fn signature_from_other_key_rejected() {
         let kp1 = keypair();
         let kp2 = RsaKeyPair::generate(512, 4321);
-        let sig = kp1.sign_pkcs1_sha256(b"msg");
+        let sig = kp1.sign_pkcs1_sha256(b"msg").unwrap();
         assert!(!kp2.public().verify_pkcs1_sha256(b"msg", &sig));
     }
 
     #[test]
     fn corrupted_signature_rejected() {
         let kp = keypair();
-        let mut sig = kp.sign_pkcs1_sha256(b"msg");
+        let mut sig = kp.sign_pkcs1_sha256(b"msg").unwrap();
         for i in [0usize, 10, 63] {
             sig[i] ^= 0x01;
             assert!(!kp.public().verify_pkcs1_sha256(b"msg", &sig));

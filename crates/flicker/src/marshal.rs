@@ -56,12 +56,20 @@ impl<'a> Reader<'a> {
 
     /// Reads a `u32` big-endian.
     pub fn u32(&mut self) -> Result<u32, FlickerError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        let raw: [u8; 4] = self
+            .take(4)?
+            .try_into()
+            .map_err(|_| FlickerError::Marshal("u32 needs 4 bytes".into()))?;
+        Ok(u32::from_be_bytes(raw))
     }
 
     /// Reads a `u64` big-endian.
     pub fn u64(&mut self) -> Result<u64, FlickerError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        let raw: [u8; 8] = self
+            .take(8)?
+            .try_into()
+            .map_err(|_| FlickerError::Marshal("u64 needs 8 bytes".into()))?;
+        Ok(u64::from_be_bytes(raw))
     }
 
     /// Reads a length-prefixed byte string.

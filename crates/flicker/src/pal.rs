@@ -41,6 +41,12 @@ impl From<TpmError> for PalError {
     }
 }
 
+impl From<utp_platform::PlatformError> for PalError {
+    fn from(e: utp_platform::PlatformError) -> Self {
+        PalError::Failed(e.to_string())
+    }
+}
+
 /// A Piece of Application Logic.
 ///
 /// `image()` is the exact byte string SKINIT measures into PCR 17 — the
@@ -243,7 +249,7 @@ impl<'s, 'm> PalEnv<'s, 'm> {
         }
         let mut text = String::new();
         let mut termination = Termination::Timeout;
-        while let Some(q) = self.session.read_key() {
+        while let Some(q) = self.session.read_key()? {
             match q.event {
                 KeyEvent::Char(c) => text.push(c),
                 KeyEvent::Backspace => {

@@ -68,31 +68,37 @@ pub struct QueuedEvent {
 }
 
 /// The keyboard controller.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Keyboard {
-    owner: Option<DeviceOwner>,
+    owner: DeviceOwner,
     queue: VecDeque<QueuedEvent>,
+}
+
+impl Default for Keyboard {
+    fn default() -> Self {
+        Keyboard::new()
+    }
 }
 
 impl Keyboard {
     /// A keyboard owned by the OS with an empty queue.
     pub fn new() -> Self {
         Keyboard {
-            owner: Some(DeviceOwner::Os),
+            owner: DeviceOwner::Os,
             queue: VecDeque::new(),
         }
     }
 
     /// Current owner.
     pub fn owner(&self) -> DeviceOwner {
-        self.owner.expect("keyboard always has an owner")
+        self.owner
     }
 
     /// Transfers ownership (invoked by the machine on session entry/exit).
     /// Taking ownership flushes the queue — the PAL must not trust input
     /// buffered while the OS was in control, and vice versa.
     pub(crate) fn set_owner(&mut self, owner: DeviceOwner) {
-        self.owner = Some(owner);
+        self.owner = owner;
         self.queue.clear();
     }
 

@@ -460,12 +460,12 @@ impl<'m> SecureSession<'m> {
         self.with_tpm(|tpm| tpm.read_counter(handle))
     }
 
-    /// Reads the next key event from the PAL-owned keyboard.
-    pub fn read_key(&mut self) -> Option<QueuedEvent> {
-        self.machine
-            .keyboard
-            .read(DeviceOwner::Pal)
-            .expect("session owns the keyboard")
+    /// Reads the next key event from the PAL-owned keyboard. The session
+    /// holds the keyboard for its whole lifetime, so `NotOwner` here means
+    /// the machine model itself is broken — surfaced as an error, not a
+    /// panic, so a confirmation session fails closed.
+    pub fn read_key(&mut self) -> Result<Option<QueuedEvent>, PlatformError> {
+        self.machine.keyboard.read(DeviceOwner::Pal)
     }
 
     /// Writes to the PAL-owned display.
@@ -558,7 +558,10 @@ mod tests {
         let mut session = m.skinit(b"pal").unwrap();
         // Hardware (human) events reach the PAL...
         session.hardware_key(KeyEvent::Char('y'));
-        assert_eq!(session.read_key().unwrap().event, KeyEvent::Char('y'));
+        assert_eq!(
+            session.read_key().unwrap().unwrap().event,
+            KeyEvent::Char('y')
+        );
         session.end();
         // ...and software injection works again only after the session.
         m.os_inject_key(KeyEvent::Char('z')).unwrap();

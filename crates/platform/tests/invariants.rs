@@ -56,7 +56,7 @@ proptest! {
                     let mut session = m.skinit(b"prop pal").unwrap();
                     session.show(0, 0, "session").unwrap();
                     // The session never sees pre-session input.
-                    prop_assert!(session.read_key().is_none());
+                    prop_assert!(session.read_key().unwrap().is_none());
                     drop(session);
                     prop_assert!(!m.in_secure_session());
                 }

@@ -426,15 +426,16 @@ impl VerifierService {
     /// Registers an issued request with its settlement shard, enabling
     /// later evidence submission for its nonce.
     pub fn register(&self, request: &TransactionRequest, now: Duration) {
+        // Serialize and clone before taking the shard lock: the receiver
+        // of `lock().register(..)` is evaluated before its arguments, so
+        // building the entry inline would run `to_bytes` under the guard.
+        let entry = PendingNonce {
+            request_bytes: request.to_bytes(),
+            transaction: request.transaction.clone(),
+            issued_at: now,
+        };
         let shard = self.inner.shard_of(&request.nonce);
-        shard.ledger.lock().register(
-            &request.nonce,
-            PendingNonce {
-                request_bytes: request.to_bytes(),
-                transaction: request.transaction.clone(),
-                issued_at: now,
-            },
-        );
+        shard.ledger.lock().register(&request.nonce, entry);
         shard.cells.registered.incr();
     }
 

@@ -16,7 +16,7 @@ use std::time::Duration;
 use utp_crypto::sha1::{Sha1, Sha1Digest};
 
 /// Configuration for instantiating a [`Tpm`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct TpmConfig {
     /// Which vendor's latency profile to model.
     pub vendor: VendorProfile,
@@ -28,6 +28,19 @@ pub struct TpmConfig {
     /// fails with a transient `TPM_FAIL` (models flaky LPC buses and
     /// firmware hiccups; used by the failure-injection tests).
     pub fault_rate: f64,
+}
+
+// Redacting Debug: the seed derives this TPM's unique keys and RNG
+// stream, so it must not reach logs.
+impl std::fmt::Debug for TpmConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TpmConfig")
+            .field("vendor", &self.vendor)
+            .field("key_bits", &self.key_bits)
+            .field("seed", &"<redacted>")
+            .field("fault_rate", &self.fault_rate)
+            .finish()
+    }
 }
 
 impl TpmConfig {
@@ -75,7 +88,6 @@ impl TpmConfig {
 /// (platform crate) is responsible for asserting the true locality, exactly
 /// as the LPC bus does in hardware. The accumulated modeled latency of all
 /// commands executed so far is available from [`Tpm::busy_time`].
-#[derive(Debug)]
 pub struct Tpm {
     config: TpmConfig,
     started: bool,
@@ -96,6 +108,21 @@ pub struct Tpm {
     pub(crate) srk_auth: Option<Sha1Digest>,
     /// Live OIAP sessions.
     pub(crate) auth_sessions: crate::auth::AuthSessions,
+}
+
+// Redacting Debug: the internal secret, auth secrets and key store never
+// leave the chip; only operational state is printed.
+impl std::fmt::Debug for Tpm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tpm")
+            .field("config", &self.config)
+            .field("started", &self.started)
+            .field("pcrs", &self.pcrs)
+            .field("busy", &self.busy)
+            .field("commands_executed", &self.commands_executed)
+            .field("secrets", &"<redacted>")
+            .finish_non_exhaustive()
+    }
 }
 
 impl Tpm {
@@ -306,7 +333,10 @@ impl Tpm {
         let pcr_values = self.pcr_values(&selection);
         let composite = crate::pcr::composite_digest_from_values(&selection, &pcr_values);
         let info = quote_info_bytes(&composite, &external_data);
-        let signature = slot.keypair.sign_pkcs1_sha1(&info);
+        let signature = slot
+            .keypair
+            .sign_pkcs1_sha1(&info)
+            .map_err(|e| TpmError::Crypto(e.to_string()))?;
         Ok(Quote {
             selection,
             pcr_values,

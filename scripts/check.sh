@@ -10,8 +10,11 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> utp-analyze"
-cargo run -q -p utp-analyze -- --format text
+echo "==> utp-analyze (findings + measured TCB report vs baseline)"
+mkdir -p target
+cargo run -q -p utp-analyze -- --format json \
+  --tcb-report target/tcb_report.json \
+  --check-tcb-baseline scripts/tcb_report.json
 
 echo "==> cargo test -q"
 cargo test -q

@@ -8,7 +8,9 @@ use utp_analyze::{analyze_workspace, deny_count, diag::render_text};
 #[test]
 fn static_analysis_is_clean() {
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
-    let diags = analyze_workspace(root).expect("workspace walk failed");
+    let diags = analyze_workspace(root)
+        .expect("workspace walk failed")
+        .diagnostics;
     assert_eq!(
         deny_count(&diags),
         0,
