@@ -20,6 +20,14 @@
 //! 3. **Wire sinks.** `.to_bytes()`/`.write()`/`.serialize()` on a
 //!    tainted receiver outside the approved sealing boundary files is a
 //!    deny — private keys leave the TPM model only wrapped or sealed.
+//! 4. **Trace sinks.** A tainted identifier in the argument list of a
+//!    flight-recorder emission (`span`/`event`/`span_volatile`/
+//!    `event_volatile`) is a deny *workspace-wide*, not just in the key
+//!    crates: trace records are serialized verbatim into the JSONL
+//!    export, which is the least-guarded output the workspace has.
+//!    Idents immediately followed by `::` are path qualifiers (the
+//!    `utp_trace::keys::OP` key-name registry), not values, and are
+//!    skipped.
 //!
 //! Nonces are deliberately *not* sources here: in this protocol the
 //! nonce is the quote's public `externalData`, not a secret.
@@ -68,6 +76,10 @@ const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"]
 
 /// Wire-serialization method sinks.
 const WIRE_METHODS: &[&str] = &["to_bytes", "write", "serialize"];
+
+/// Flight-recorder emission sinks (`utp_trace::span(..)` and friends):
+/// field values land verbatim in the JSONL export.
+const TRACE_SINK_FNS: &[&str] = &["span", "event", "span_volatile", "event_volatile"];
 
 /// Files allowed to serialize key material (the sealing/wrapping
 /// boundary plus the key types' own codecs).
@@ -128,10 +140,13 @@ impl Pass for SecretTaint {
         for idx in 0..ws.fns.len() {
             let fi = ws.fns[idx].file;
             let file = &ws.files[fi];
-            if !in_scope(&file.path) || !ws.is_live_fn(idx) {
+            if !ws.is_live_fn(idx) {
                 continue;
             }
-            check_fn_sinks(file, ws.fn_item(idx), &secret_returning, fi, &mut out);
+            if in_scope(&file.path) {
+                check_fn_sinks(file, ws.fn_item(idx), &secret_returning, fi, &mut out);
+            }
+            check_trace_sinks(file, ws.fn_item(idx), fi, &mut out);
         }
         out
     }
@@ -394,6 +409,57 @@ fn check_fn_sinks(
                         c.name,
                         item.name,
                         WIRE_BOUNDARY_FILES.join(", ")
+                    ),
+                },
+            ));
+        }
+    }
+}
+
+/// Rule 4: tainted identifiers must not appear in the argument list of
+/// a flight-recorder emission. Runs workspace-wide — trace records are
+/// serialized into the JSONL export wherever they are emitted.
+fn check_trace_sinks(file: &SourceFile, item: &FnItem, fi: usize, out: &mut Vec<(usize, Finding)>) {
+    if !item
+        .calls
+        .iter()
+        .any(|c| !c.is_method && TRACE_SINK_FNS.contains(&c.name.as_str()))
+    {
+        return;
+    }
+    // Name-based taint only: the `secret_returning` name set blankets
+    // common constructor names like `new` (any constructor of a secret
+    // type), which is tolerable inside the three key crates but far too
+    // noisy for a workspace-wide rule.
+    let tainted = local_taint(file, item, &BTreeSet::new());
+    let is_tainted = |ident: &str| is_taint_secret_ident(ident) || tainted.contains(ident);
+    for c in &item.calls {
+        if c.is_method || !TRACE_SINK_FNS.contains(&c.name.as_str()) {
+            continue;
+        }
+        let args = &file.tokens[c.args.0..c.args.1];
+        let hit = args.iter().enumerate().find_map(|(j, t)| {
+            if t.kind != TokenKind::Ident || !is_tainted(&t.text) {
+                return None;
+            }
+            // `keys::OP`-style path qualifiers name record *keys*, not
+            // values; only the value position can carry the secret.
+            if args.get(j + 1).is_some_and(|n| n.is_punct("::")) {
+                return None;
+            }
+            Some(t.text.clone())
+        });
+        if let Some(ident) = hit {
+            out.push((
+                fi,
+                Finding {
+                    line: c.line,
+                    severity: Severity::Deny,
+                    message: format!(
+                        "secret `{ident}` flows into trace sink `{}` in `{}`; trace \
+                         records are serialized into the JSONL export — record a \
+                         digest, a length, or nothing",
+                        c.name, item.name
                     ),
                 },
             ));

@@ -8,6 +8,14 @@
 //! reachable function in an undeclared file means either an accidental
 //! trust expansion (break the call edge) or a missing allowlist entry
 //! (extend `declared_category` with a reviewed category).
+//!
+//! The flight recorder (`crates/trace`) gets an *explicit* gate on top
+//! of the allowlist: reachable trace code is denied unconditionally,
+//! with its own message, and declaring a category for `crates/trace`
+//! would not lift it. Trusted code exports data-only journals
+//! (`TpmOpRecord`, `PhaseTimings`) that untrusted code turns into
+//! records — the recorder itself must never be PAL-reachable, or the
+//! measured TCB would silently absorb the whole observability stack.
 
 use crate::diag::Severity;
 use crate::graph::WorkspaceIndex;
@@ -33,10 +41,28 @@ impl Pass for TcbReachability {
                 continue;
             }
             let path = ws.fn_path(idx);
+            let item = ws.fn_item(idx);
+            if path.starts_with("crates/trace/src/") {
+                out.push((
+                    ws.fns[idx].file,
+                    Finding {
+                        line: item.start_line,
+                        severity: Severity::Deny,
+                        message: format!(
+                            "`{}` in the flight recorder is reachable from the TCB \
+                             (chain: {}); trace emission must stay out of the PAL — \
+                             export a data-only journal from trusted code and turn it \
+                             into records outside the TCB",
+                            item.name,
+                            ws.chain_to(idx),
+                        ),
+                    },
+                ));
+                continue;
+            }
             if declared_category(path).is_some() {
                 continue;
             }
-            let item = ws.fn_item(idx);
             out.push((
                 ws.fns[idx].file,
                 Finding {

@@ -1,0 +1,5 @@
+// Fed as `crates/trace/src/lib.rs`: the flight recorder itself.
+// Reachability from a TCB entry point is denied by the explicit trace
+// gate regardless of any declared category.
+#![forbid(unsafe_code)]
+pub fn span_volatile() {}

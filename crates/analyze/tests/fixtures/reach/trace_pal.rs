@@ -1,0 +1,8 @@
+// Fed as `crates/tpm/src/quote_path.rs` (a TCB file). It names the
+// flight-recorder crate, so the call resolves cross-crate — exactly the
+// PAL-reachable trace emission the explicit tcb-reachability gate
+// denies.
+use utp_trace::span_volatile;
+pub fn attest_with_tracing() {
+    span_volatile();
+}

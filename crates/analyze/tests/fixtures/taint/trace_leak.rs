@@ -1,0 +1,7 @@
+// Fed as `crates/tpm/src/trace_leak.rs`. Key material passed as a
+// trace-record field value: the flight recorder would serialize it
+// verbatim into the JSONL export. The `keys::`-qualified path segment
+// names a record *key* and must not trip the scan on its own.
+pub fn record_unseal(session_key: &[u8]) {
+    span("tpm.cmd", 0, 0, &[(keys::OP, session_key)]);
+}

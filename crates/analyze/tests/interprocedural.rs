@@ -82,6 +82,34 @@ fn tcb_reachability_flags_undeclared_reachable_code() {
 }
 
 #[test]
+fn tcb_reachability_trace_gate_denies_pal_reachable_tracing() {
+    let analysis = analyze(&[
+        ("crates/tpm/src/quote_path.rs", "reach/trace_pal.rs"),
+        ("crates/trace/src/lib.rs", "reach/trace_crate.rs"),
+    ]);
+    // Both layers fire: the import itself breaks the TCB boundary, and
+    // the reachable recorder function trips the explicit trace gate.
+    assert_diags(
+        &analysis,
+        &[
+            (
+                "crates/tpm/src/quote_path.rs",
+                5,
+                "tcb-boundary",
+                "TCB file imports `utp_trace`, which is not on the TCB import allowlist",
+            ),
+            (
+                "crates/trace/src/lib.rs",
+                5,
+                "tcb-reachability",
+                "`span_volatile` in the flight recorder is reachable from the TCB \
+                 (chain: attest_with_tracing -> span_volatile)",
+            ),
+        ],
+    );
+}
+
+#[test]
 fn no_panic_transitive_follows_the_call_chain_out_of_the_tcb() {
     let analysis = analyze(&[
         ("crates/flicker/src/pal.rs", "panic/pal.rs"),
@@ -117,6 +145,22 @@ fn secret_taint_flags_debug_derive_and_print_sink() {
                 "`session_key`",
             ),
         ],
+    );
+}
+
+#[test]
+fn secret_taint_flags_trace_sink_but_skips_key_name_paths() {
+    let analysis = analyze(&[("crates/tpm/src/trace_leak.rs", "taint/trace_leak.rs")]);
+    // Exactly one finding: `session_key` in the value position. The
+    // `keys::OP` path segment does not trip the scan.
+    assert_diags(
+        &analysis,
+        &[(
+            "crates/tpm/src/trace_leak.rs",
+            6,
+            "secret-taint",
+            "secret `session_key` flows into trace sink `span` in `record_unseal`",
+        )],
     );
 }
 
@@ -162,9 +206,12 @@ fn golden_json_snapshot() {
     let analysis = analyze(&[
         ("crates/core/src/pal.rs", "reach/pal.rs"),
         ("crates/core/src/rogue.rs", "reach/rogue.rs"),
+        ("crates/tpm/src/quote_path.rs", "reach/trace_pal.rs"),
+        ("crates/trace/src/lib.rs", "reach/trace_crate.rs"),
         ("crates/flicker/src/pal.rs", "panic/pal.rs"),
         ("crates/flicker/src/helper.rs", "panic/helper.rs"),
         ("crates/tpm/src/leaky.rs", "taint/leaky.rs"),
+        ("crates/tpm/src/trace_leak.rs", "taint/trace_leak.rs"),
         ("crates/server/src/svc.rs", "locks/svc.rs"),
     ]);
     let findings = render_json(&analysis.diagnostics);

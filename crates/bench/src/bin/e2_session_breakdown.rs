@@ -1,7 +1,19 @@
-//! Prints the E2 table (trusted-session latency breakdown).
+//! Prints the E2 table (trusted-session latency breakdown), the
+//! aggregate phase table, and one example session waterfall — all read
+//! from the run's flight recording.
 use utp_bench::experiments::e2_session_breakdown as e2;
+use utp_trace::report;
 
 fn main() {
-    let rows = e2::run(1024);
-    println!("{}", e2::render(&rows));
+    let out = e2::run(1024);
+    println!("{}", e2::render(&out));
+    let records = out.recorder.records();
+    println!(
+        "{}",
+        report::phase_table("E2 aggregate phase breakdown", &records)
+    );
+    if let Some(row) = out.rows.first() {
+        println!("{}", report::waterfall(&records, &row.track));
+        println!("{}", report::waterfall(&records, &row.tpm_track));
+    }
 }

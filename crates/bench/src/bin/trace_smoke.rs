@@ -1,0 +1,56 @@
+//! Trace smoke gate: runs E2 twice, asserts the merged canonical JSONL
+//! export is byte-identical across the runs (the determinism contract
+//! of virtual-time tracing), and writes the export plus the rendered
+//! phase report to `target/trace/` for CI artifact upload.
+//!
+//! Run: `cargo run -p utp-bench --bin trace_smoke`
+use std::fs;
+use std::process::ExitCode;
+use utp_bench::experiments::e2_session_breakdown as e2;
+use utp_trace::{report, Export};
+
+fn main() -> ExitCode {
+    let first = e2::run(512);
+    let second = e2::run(512);
+    let a = first.recorder.export_jsonl(Export::Canonical);
+    let b = second.recorder.export_jsonl(Export::Canonical);
+    if a != b {
+        eprintln!("trace smoke FAILED: canonical exports differ across identical runs");
+        for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+            if la != lb {
+                eprintln!(
+                    "first differing line {}:\n  run 1: {la}\n  run 2: {lb}",
+                    i + 1
+                );
+                break;
+            }
+        }
+        if a.lines().count() != b.lines().count() {
+            eprintln!(
+                "line counts differ: {} vs {}",
+                a.lines().count(),
+                b.lines().count()
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+    let records = first.recorder.records();
+    let mut rendered = report::phase_table("E2 aggregate phase breakdown", &records);
+    for track in report::tracks(&records) {
+        rendered.push('\n');
+        rendered.push_str(&report::waterfall(&records, &track));
+    }
+    if let Err(e) = fs::create_dir_all("target/trace")
+        .and_then(|()| fs::write("target/trace/e2_canonical.jsonl", &a))
+        .and_then(|()| fs::write("target/trace/e2_phase_report.txt", &rendered))
+    {
+        eprintln!("trace smoke FAILED: cannot write target/trace artifacts: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "trace smoke OK: {} canonical records byte-identical across 2 runs; \
+         artifacts in target/trace/",
+        a.lines().count()
+    );
+    ExitCode::SUCCESS
+}

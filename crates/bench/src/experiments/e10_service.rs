@@ -7,14 +7,23 @@
 //! certificate on every job — so the service rows isolate what sharding
 //! plus caching buy at equal thread count.
 //!
+//! Each service run carries a `utp-trace` flight recorder: workers emit
+//! volatile `svc.job` records (queue wait + verify CPU per job), the
+//! submitter emits deterministic `svc.submit` events, and the row's
+//! latency distributions are log-scale histograms folded straight from
+//! those records. The canonical export (submitter side only) is
+//! byte-identical across identical runs.
+//!
 //! Regenerate: `cargo run -p utp-bench --bin e10_service`
 
 use crate::experiments::e4_server_throughput::{self as e4, ThroughputRow};
 use crate::table;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use utp_server::metrics::throughput;
 use utp_server::pipeline::verify_batch_parallel;
 use utp_server::service::{ServiceConfig, VerifierService};
+use utp_trace::{keys, names, Export, LatencyHistogram, Recorder, Value};
 
 /// One (threads × shards) service measurement.
 #[derive(Debug, Clone)]
@@ -31,6 +40,10 @@ pub struct ServiceRow {
     pub ops_per_sec: f64,
     /// Fraction of AIK lookups served from the cert cache.
     pub cache_hit_rate: f64,
+    /// Host-measured enqueue-to-dequeue wait, from `svc.job` records.
+    pub wait: LatencyHistogram,
+    /// Host-measured verification CPU, from `svc.job` records.
+    pub verify: LatencyHistogram,
 }
 
 /// The experiment output: legacy baseline rows plus service rows.
@@ -40,6 +53,30 @@ pub struct E10Report {
     pub legacy: Vec<ThroughputRow>,
     /// `VerifierService` at each thread × shard combination.
     pub service: Vec<ServiceRow>,
+    /// Concatenated canonical JSONL exports (one block per service
+    /// combination) — deterministic across identical runs.
+    pub canonical_trace: String,
+}
+
+/// Folds the per-job host measurements out of a recording.
+fn job_histograms(recorder: &Recorder) -> (LatencyHistogram, LatencyHistogram) {
+    let mut wait = LatencyHistogram::new();
+    let mut verify = LatencyHistogram::new();
+    for rec in recorder.records() {
+        if rec.name != names::SVC_JOB {
+            continue;
+        }
+        for (k, v) in &rec.fields {
+            if let Value::HostNs(ns) = v {
+                match *k {
+                    keys::WAIT_HOST => wait.record_ns(*ns),
+                    keys::VERIFY_HOST => verify.record_ns(*ns),
+                    _ => {}
+                }
+            }
+        }
+    }
+    (wait, verify)
 }
 
 /// Runs the comparison. Nonces are consumed by settlement, so each
@@ -67,20 +104,28 @@ pub fn run(
         })
         .collect();
     let mut service_rows = Vec::new();
+    let mut canonical_trace = String::new();
     for &threads in thread_counts {
         for &shards in shard_counts {
+            let recorder = Arc::new(Recorder::new());
             let mut config = ServiceConfig::new(threads, shards);
             config.trusted_pals = world.pals.clone();
+            config.recorder = Some(Arc::clone(&recorder));
             let service = VerifierService::start(world.ca_key.clone(), config);
             for request in &world.requests {
                 service.register(request, world.now);
             }
             let start = Instant::now();
-            let verdicts = service.verify_evidence_batch(world.evidence.clone(), world.now);
+            let verdicts = {
+                let _sink = recorder.install("submit");
+                service.verify_evidence_batch(world.evidence.clone(), world.now)
+            };
             let elapsed = start.elapsed();
             assert!(verdicts.iter().all(|v| v.is_ok()), "all evidence genuine");
             let stats = service.shutdown();
             assert_eq!(stats.totals().accepted as usize, world.evidence.len());
+            let (wait, verify) = job_histograms(&recorder);
+            canonical_trace.push_str(&recorder.export_jsonl(Export::Canonical));
             service_rows.push(ServiceRow {
                 threads,
                 shards,
@@ -88,17 +133,21 @@ pub fn run(
                 elapsed,
                 ops_per_sec: throughput(world.evidence.len(), elapsed),
                 cache_hit_rate: stats.cert_cache_hit_rate(),
+                wait,
+                verify,
             });
         }
     }
     E10Report {
         legacy,
         service: service_rows,
+        canonical_trace,
     }
 }
 
-/// Renders the E10 table: legacy rows first (no shards, no cache), then
-/// the service grid.
+/// Renders the E10 table: legacy rows first (no shards, no cache, no
+/// flight recording), then the service grid with trace-derived queue
+/// wait and verify-CPU percentiles.
 pub fn render(report: &E10Report) -> String {
     let mut rows: Vec<Vec<String>> = report
         .legacy
@@ -112,6 +161,9 @@ pub fn render(report: &E10Report) -> String {
                 table::ms(r.elapsed),
                 format!("{:.0}", r.ops_per_sec),
                 "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
             ]
         })
         .collect();
@@ -124,10 +176,13 @@ pub fn render(report: &E10Report) -> String {
             table::ms(r.elapsed),
             format!("{:.0}", r.ops_per_sec),
             format!("{:.2}", r.cache_hit_rate),
+            table::ms(r.wait.p50()),
+            table::ms(r.wait.p99()),
+            format!("{:.1}", r.verify.p50().as_secs_f64() * 1e6),
         ]
     }));
     table::render(
-        "E10 - VerifierService vs one-shot batch pipeline (host-measured)",
+        "E10 - VerifierService vs one-shot batch pipeline (host-measured, from utp-trace)",
         &[
             "pipeline",
             "threads",
@@ -136,6 +191,9 @@ pub fn render(report: &E10Report) -> String {
             "elapsed(ms)",
             "verifications/s",
             "cache hit",
+            "wait p50(ms)",
+            "wait p99(ms)",
+            "cpu p50(us)",
         ],
         &rows,
     )
@@ -177,5 +235,26 @@ mod tests {
         let report = run(16, 512, &[1, 2], &[1, 2]);
         assert_eq!(report.legacy.len(), 2);
         assert_eq!(report.service.len(), 4);
+    }
+
+    #[test]
+    fn trace_histograms_cover_every_job() {
+        let report = run(24, 512, &[2], &[2]);
+        let row = &report.service[0];
+        assert_eq!(row.wait.count() as usize, row.jobs);
+        assert_eq!(row.verify.count() as usize, row.jobs);
+        assert!(row.verify.sum() > Duration::ZERO, "RSA verifies cost CPU");
+        assert!(row.verify.p50() <= row.verify.p99());
+    }
+
+    #[test]
+    fn two_runs_export_byte_identical_canonical_jsonl() {
+        // The canonical export holds only submitter-side events stamped
+        // with the deterministic virtual clock; scheduling noise lives in
+        // volatile records that the export drops.
+        let a = run(16, 512, &[2], &[2]).canonical_trace;
+        let b = run(16, 512, &[2], &[2]).canonical_trace;
+        assert_eq!(a, b);
+        assert!(a.lines().count() > 16, "submit events + trailer per combo");
     }
 }

@@ -1,35 +1,64 @@
 //! E2 — trusted-session latency breakdown per TPM vendor: the paper's
 //! core performance table (suspend / SKINIT / PAL+human / quote / resume).
 //!
+//! The table is derived from a `utp-trace` flight recording rather than
+//! ad-hoc timing fields: each vendor × mode session emits its phase
+//! spans onto a `session/{vendor}/{mode}` track and its per-command TPM
+//! journal onto a `tpm/{vendor}/{mode}` track, and everything below
+//! reads those records back. The run is fully virtual-time, so the
+//! canonical JSONL export is byte-identical across runs.
+//!
 //! Regenerate: `cargo run -p utp-bench --bin e2_session_breakdown`
 
 use crate::table;
+use std::time::Duration;
 use utp_core::ca::PrivacyCa;
 use utp_core::client::{Client, ClientConfig};
 use utp_core::operator::{ConfirmingHuman, Intent};
 use utp_core::protocol::{ConfirmMode, Transaction};
 use utp_core::verifier::Verifier;
-use utp_flicker::runtime::PhaseTimings;
 use utp_platform::machine::{Machine, MachineConfig};
 use utp_tpm::VendorProfile;
+use utp_trace::{keys, names, Recorder, TraceRecord, Value};
 
-/// One vendor × mode session breakdown.
+/// One vendor × mode session, identified by its trace track.
 #[derive(Debug, Clone)]
 pub struct SessionRow {
     /// The chip.
     pub vendor: VendorProfile,
     /// Confirmation mode.
     pub mode: ConfirmMode,
-    /// Phase breakdown.
-    pub timings: PhaseTimings,
+    /// Track label of the session's phase spans.
+    pub track: String,
+    /// Track label of the session's TPM command spans.
+    pub tpm_track: String,
+}
+
+/// The experiment output: rows plus the flight recording they index.
+#[derive(Debug)]
+pub struct E2Output {
+    /// One row per vendor × mode.
+    pub rows: Vec<SessionRow>,
+    /// The recording every table cell is read from.
+    pub recorder: Recorder,
+}
+
+fn track_labels(vendor: VendorProfile, mode: ConfirmMode) -> (String, String) {
+    (
+        format!("session/{}/{mode:?}", vendor.name()),
+        format!("tpm/{}/{mode:?}", vendor.name()),
+    )
 }
 
 /// Runs one attested confirmation per vendor × mode with a deterministic
-/// human and realistic cost models.
-pub fn run(key_bits: usize) -> Vec<SessionRow> {
+/// human and realistic cost models, recording each session's phase and
+/// TPM-command spans.
+pub fn run(key_bits: usize) -> E2Output {
+    let recorder = Recorder::new();
     let mut rows = Vec::new();
     for &vendor in &VendorProfile::all_real() {
         for mode in [ConfirmMode::PressEnter, ConfirmMode::TypeCode] {
+            let (track, tpm_track) = track_labels(vendor, mode);
             let ca = PrivacyCa::new(key_bits, 7);
             let mut verifier = Verifier::new(ca.public_key().clone(), 8);
             let mut machine = Machine::new(MachineConfig::realistic(vendor, 9));
@@ -38,23 +67,80 @@ pub fn run(key_bits: usize) -> Vec<SessionRow> {
             let tx = Transaction::new(1, "bookshop.example", 4_200, "EUR", "order 7");
             let request = verifier.issue_request_with_mode(tx.clone(), mode, machine.now());
             let mut human = ConfirmingHuman::new(Intent::approving(&tx), 10);
+            // Enrollment already exercised the TPM; drop its journal so
+            // the tpm track holds session commands only.
+            let _ = machine.drain_tpm_op_journal();
+            let busy0 = machine.tpm().busy_time();
+            let t0 = machine.now();
+            let sink = recorder.install(&track);
             let (_evidence, report) = client
                 .confirm_with_report(&mut machine, &request, &mut human)
                 .expect("session succeeds");
+            for (name, start, dur) in report.timings.spans(t0) {
+                utp_trace::span(name, start, dur, &[]);
+            }
+            drop(sink);
+            // TPM commands on their own track, on the *device-busy*
+            // timeline (offset from session start).
+            let sink = recorder.install(&tpm_track);
+            for op in machine.drain_tpm_op_journal() {
+                utp_trace::span(
+                    names::TPM_CMD,
+                    op.at_busy.saturating_sub(busy0),
+                    op.cost,
+                    &[
+                        (keys::OP, Value::Str(op.op.name().to_string())),
+                        (keys::VENDOR, Value::Str(vendor.name().to_string())),
+                        (keys::PAYLOAD, Value::U64(op.payload as u64)),
+                    ],
+                );
+            }
+            drop(sink);
             rows.push(SessionRow {
                 vendor,
                 mode,
-                timings: report.timings,
+                track,
+                tpm_track,
             });
         }
     }
-    rows
+    E2Output { rows, recorder }
 }
 
-/// Renders the E2 table.
-pub fn render(rows: &[SessionRow]) -> String {
+/// Virtual duration of the named span on `track`; zero when absent.
+pub fn phase(records: &[TraceRecord], track: &str, name: &str) -> Duration {
+    records
+        .iter()
+        .find(|r| r.track == track && r.name == name)
+        .and_then(|r| r.dur)
+        .unwrap_or(Duration::ZERO)
+}
+
+/// Session total on `track`: the five tiling phase spans (the human span
+/// overlaps the PAL span's tail and is excluded).
+pub fn total(records: &[TraceRecord], track: &str) -> Duration {
+    [
+        names::SESSION_SUSPEND,
+        names::SESSION_SKINIT,
+        names::SESSION_PAL,
+        names::SESSION_ATTEST,
+        names::SESSION_RESUME,
+    ]
+    .iter()
+    .map(|n| phase(records, track, n))
+    .sum()
+}
+
+/// Session total minus human interaction — the protocol's intrinsic cost.
+pub fn machine_only(records: &[TraceRecord], track: &str) -> Duration {
+    total(records, track).saturating_sub(phase(records, track, names::SESSION_HUMAN))
+}
+
+/// Renders the E2 table from the flight recording.
+pub fn render(output: &E2Output) -> String {
+    let records = output.recorder.records();
     table::render(
-        "E2 - trusted-session latency breakdown (ms of virtual time)",
+        "E2 - trusted-session latency breakdown (ms of virtual time, from utp-trace)",
         &[
             "chip",
             "mode",
@@ -67,20 +153,22 @@ pub fn render(rows: &[SessionRow]) -> String {
             "total",
             "machine-only",
         ],
-        &rows
+        &output
+            .rows
             .iter()
             .map(|r| {
+                let p = |name| phase(&records, &r.track, name);
                 vec![
                     r.vendor.name().to_string(),
                     format!("{:?}", r.mode),
-                    table::ms(r.timings.suspend),
-                    table::ms(r.timings.skinit),
-                    table::ms(r.timings.pal),
-                    table::ms(r.timings.human),
-                    table::ms(r.timings.attest),
-                    table::ms(r.timings.resume),
-                    table::ms(r.timings.total()),
-                    table::ms(r.timings.machine_only()),
+                    table::ms(p(names::SESSION_SUSPEND)),
+                    table::ms(p(names::SESSION_SKINIT)),
+                    table::ms(p(names::SESSION_PAL)),
+                    table::ms(p(names::SESSION_HUMAN)),
+                    table::ms(p(names::SESSION_ATTEST)),
+                    table::ms(p(names::SESSION_RESUME)),
+                    table::ms(total(&records, &r.track)),
+                    table::ms(machine_only(&records, &r.track)),
                 ]
             })
             .collect::<Vec<_>>(),
@@ -90,29 +178,35 @@ pub fn render(rows: &[SessionRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
+    use utp_trace::Export;
 
-    fn rows() -> Vec<SessionRow> {
+    fn output() -> E2Output {
         run(512)
     }
 
     #[test]
     fn quote_dominates_machine_cost() {
-        for r in rows() {
+        let out = output();
+        let records = out.recorder.records();
+        for r in &out.rows {
             // The attest phase (extend + quote) must dominate suspend,
             // skinit and resume on every chip — the paper's key claim
             // about where trusted-session time goes.
-            assert!(r.timings.attest > r.timings.suspend, "{:?}", r.vendor);
-            assert!(r.timings.attest > r.timings.skinit, "{:?}", r.vendor);
-            assert!(r.timings.attest > r.timings.resume, "{:?}", r.vendor);
+            let p = |name| phase(&records, &r.track, name);
+            let attest = p(names::SESSION_ATTEST);
+            assert!(attest > p(names::SESSION_SUSPEND), "{:?}", r.vendor);
+            assert!(attest > p(names::SESSION_SKINIT), "{:?}", r.vendor);
+            assert!(attest > p(names::SESSION_RESUME), "{:?}", r.vendor);
         }
     }
 
     #[test]
     fn human_dominates_total() {
-        for r in rows() {
+        let out = output();
+        let records = out.recorder.records();
+        for r in &out.rows {
             assert!(
-                r.timings.human > r.timings.machine_only(),
+                phase(&records, &r.track, names::SESSION_HUMAN) > machine_only(&records, &r.track),
                 "{:?} {:?}",
                 r.vendor,
                 r.mode
@@ -122,14 +216,12 @@ mod tests {
 
     #[test]
     fn type_code_costs_more_human_time_than_press_enter() {
-        let rows = rows();
+        let out = output();
+        let records = out.recorder.records();
         for &vendor in &VendorProfile::all_real() {
             let human_of = |mode: ConfirmMode| {
-                rows.iter()
-                    .find(|r| r.vendor == vendor && r.mode == mode)
-                    .unwrap()
-                    .timings
-                    .human
+                let (track, _) = track_labels(vendor, mode);
+                phase(&records, &track, names::SESSION_HUMAN)
             };
             assert!(human_of(ConfirmMode::TypeCode) > human_of(ConfirmMode::PressEnter));
         }
@@ -139,13 +231,44 @@ mod tests {
     fn machine_only_is_sub_two_seconds() {
         // Practicality: the protocol adds under ~2 s of machine time even
         // on the slowest chip.
-        for r in rows() {
+        let out = output();
+        let records = out.recorder.records();
+        for r in &out.rows {
             assert!(
-                r.timings.machine_only() < Duration::from_secs(2),
+                machine_only(&records, &r.track) < Duration::from_secs(2),
                 "{:?}: {:?}",
                 r.vendor,
-                r.timings.machine_only()
+                machine_only(&records, &r.track)
             );
         }
+    }
+
+    #[test]
+    fn tpm_journal_spans_include_the_quote() {
+        let out = output();
+        let records = out.recorder.records();
+        for r in &out.rows {
+            let ops: Vec<&TraceRecord> = records
+                .iter()
+                .filter(|rec| rec.track == r.tpm_track && rec.name == names::TPM_CMD)
+                .collect();
+            assert!(!ops.is_empty(), "{}: no TPM commands recorded", r.tpm_track);
+            let quoted = ops.iter().any(|rec| {
+                rec.fields
+                    .iter()
+                    .any(|(k, v)| *k == keys::OP && *v == Value::Str("quote".to_string()))
+            });
+            assert!(quoted, "{}: quote command missing", r.tpm_track);
+        }
+    }
+
+    #[test]
+    fn two_runs_export_byte_identical_canonical_jsonl() {
+        // The whole experiment runs on the virtual clock, so the merged
+        // canonical export must not vary across identical runs.
+        let a = run(512).recorder.export_jsonl(Export::Canonical);
+        let b = run(512).recorder.export_jsonl(Export::Canonical);
+        assert_eq!(a, b);
+        assert!(a.lines().count() > 1, "export is non-trivial");
     }
 }

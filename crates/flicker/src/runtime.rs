@@ -62,6 +62,30 @@ impl PhaseTimings {
     pub fn machine_only(&self) -> Duration {
         self.total() - self.human
     }
+
+    /// The breakdown as `(span name, virtual start, duration)` triples,
+    /// anchored at session start time `t0` — the shape the `utp-trace`
+    /// flight recorder ingests. Names match the `utp-trace` static
+    /// registry; this crate stays data-only (no recorder dependency) so
+    /// nothing PAL-reachable can ever emit a trace record.
+    ///
+    /// The human wait happens *inside* the PAL phase; it is rendered as
+    /// a sub-span at the tail of `session.pal`.
+    pub fn spans(&self, t0: Duration) -> [(&'static str, Duration, Duration); 6] {
+        let skinit_start = t0 + self.suspend;
+        let pal_start = skinit_start + self.skinit;
+        let attest_start = pal_start + self.pal;
+        let resume_start = attest_start + self.attest;
+        let human_start = pal_start + self.pal.saturating_sub(self.human);
+        [
+            ("session.suspend", t0, self.suspend),
+            ("session.skinit", skinit_start, self.skinit),
+            ("session.pal", pal_start, self.pal),
+            ("session.human", human_start, self.human),
+            ("session.attest", attest_start, self.attest),
+            ("session.resume", resume_start, self.resume),
+        ]
+    }
 }
 
 /// Everything a session produced.
@@ -304,6 +328,35 @@ mod tests {
             t.suspend + t.skinit + t.pal + t.attest + t.resume
         );
         assert!(t.machine_only() <= t.total());
+    }
+
+    #[test]
+    fn phase_spans_tile_the_session() {
+        let t = PhaseTimings {
+            suspend: Duration::from_millis(25),
+            skinit: Duration::from_millis(12),
+            pal: Duration::from_millis(100),
+            human: Duration::from_millis(80),
+            attest: Duration::from_millis(331),
+            resume: Duration::from_millis(35),
+        };
+        let t0 = Duration::from_secs(1);
+        let spans = t.spans(t0);
+        assert_eq!(spans[0], ("session.suspend", t0, t.suspend));
+        // Phases (minus the human sub-span) tile [t0, t0 + total()].
+        let mut cursor = t0;
+        for (name, start, dur) in spans {
+            if name == "session.human" {
+                continue;
+            }
+            assert_eq!(start, cursor, "{name} starts where the last ended");
+            cursor += dur;
+        }
+        assert_eq!(cursor, t0 + t.total());
+        // The human sub-span sits at the tail of the PAL phase.
+        let pal = spans[2];
+        let human = spans[3];
+        assert_eq!(human.1 + human.2, pal.1 + pal.2);
     }
 
     #[test]

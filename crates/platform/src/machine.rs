@@ -203,6 +203,14 @@ impl Machine {
         &self.tpm
     }
 
+    /// Drains the TPM's data-only command journal (see
+    /// [`utp_tpm::TpmOpRecord`]). The journal lets an *external* harness
+    /// reconstruct per-command timing without the device — which sits in
+    /// the TCB — ever calling into a recorder.
+    pub fn drain_tpm_op_journal(&mut self) -> Vec<utp_tpm::TpmOpRecord> {
+        self.tpm.take_op_journal()
+    }
+
     // ----- the untrusted OS surface ---------------------------------------
 
     /// Executes a marshaled TPM command at locality 0 (the OS driver path).

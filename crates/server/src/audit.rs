@@ -1,9 +1,21 @@
-//! Audit log: the provider's append-only record of verification
-//! decisions, the artifact a compliance review (or the paper's incident
-//! analysis) would consult.
+//! Audit log: the provider's record of verification decisions, the
+//! artifact a compliance review (or the paper's incident analysis) would
+//! consult.
+//!
+//! Retention is **bounded**: the log holds at most its configured
+//! capacity and evicts the oldest entry first, counting every eviction
+//! (so a truncated history is always detectable). Every recorded
+//! decision also emits a deterministic `audit.decision` trace event on
+//! the calling thread's sink (a no-op when untraced).
 
+use std::collections::VecDeque;
 use std::time::Duration;
 use utp_core::verifier::VerifyError;
+use utp_trace::{keys, names, Value};
+
+/// Default retention: enough for every experiment in the suite while
+/// still bounding a long-lived provider's memory.
+pub const DEFAULT_RETENTION: usize = 65_536;
 
 /// One audited decision.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,33 +28,73 @@ pub struct AuditEntry {
     pub outcome: Result<(), VerifyError>,
 }
 
-/// Append-only audit log with simple query helpers.
-#[derive(Debug, Clone, Default)]
+/// Bounded, oldest-first-evicting audit log with simple query helpers.
+#[derive(Debug, Clone)]
 pub struct AuditLog {
-    entries: Vec<AuditEntry>,
+    entries: VecDeque<AuditEntry>,
+    retention: usize,
+    evicted: u64,
+}
+
+impl Default for AuditLog {
+    fn default() -> Self {
+        AuditLog::new()
+    }
 }
 
 impl AuditLog {
-    /// An empty log.
+    /// An empty log with [`DEFAULT_RETENTION`].
     pub fn new() -> Self {
-        AuditLog::default()
+        AuditLog::with_retention(DEFAULT_RETENTION)
     }
 
-    /// Appends a decision.
+    /// An empty log keeping at most `retention` entries (clamped to 1).
+    pub fn with_retention(retention: usize) -> Self {
+        AuditLog {
+            entries: VecDeque::new(),
+            retention: retention.max(1),
+            evicted: 0,
+        }
+    }
+
+    /// The configured retention capacity.
+    pub fn retention(&self) -> usize {
+        self.retention
+    }
+
+    /// Entries evicted so far to stay within retention.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Appends a decision, evicting the oldest entry when full, and
+    /// emits the `audit.decision` trace event.
     pub fn record(&mut self, at: Duration, order_id: u64, outcome: Result<(), VerifyError>) {
-        self.entries.push(AuditEntry {
+        utp_trace::event(
+            names::AUDIT_DECISION,
+            at,
+            &[
+                (keys::ORDER, Value::U64(order_id)),
+                (keys::OUTCOME, Value::Str(outcome_label(&outcome))),
+            ],
+        );
+        if self.entries.len() >= self.retention {
+            self.entries.pop_front();
+            self.evicted += 1;
+        }
+        self.entries.push_back(AuditEntry {
             at,
             order_id,
             outcome,
         });
     }
 
-    /// All entries, in append order.
-    pub fn entries(&self) -> &[AuditEntry] {
-        &self.entries
+    /// All retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &AuditEntry> {
+        self.entries.iter()
     }
 
-    /// Number of entries.
+    /// Number of retained entries.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -52,7 +104,7 @@ impl AuditLog {
         self.entries.is_empty()
     }
 
-    /// Accepted decisions.
+    /// Accepted decisions among retained entries.
     pub fn accepted(&self) -> usize {
         self.entries.iter().filter(|e| e.outcome.is_ok()).count()
     }
@@ -83,9 +135,18 @@ impl AuditLog {
     }
 }
 
+/// Flattens an outcome into the trace `outcome` field's label.
+fn outcome_label(outcome: &Result<(), VerifyError>) -> String {
+    match outcome {
+        Ok(()) => "ok".to_string(),
+        Err(e) => format!("{e:?}"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use utp_trace::Recorder;
 
     fn t(secs: u64) -> Duration {
         Duration::from_secs(secs)
@@ -103,6 +164,7 @@ mod tests {
             log.rejections_where(|e| matches!(e, VerifyError::Replayed)),
             2
         );
+        assert_eq!(log.evicted(), 0);
     }
 
     #[test]
@@ -122,5 +184,47 @@ mod tests {
         assert!(log.is_empty());
         assert_eq!(log.accepted(), 0);
         assert!(log.for_order(1).is_empty());
+    }
+
+    #[test]
+    fn retention_evicts_oldest_first() {
+        let mut log = AuditLog::with_retention(3);
+        for i in 0..5 {
+            log.record(t(i), i, Ok(()));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.evicted(), 2);
+        let oldest = log.entries().next().unwrap();
+        assert_eq!(oldest.order_id, 2, "orders 0 and 1 were evicted");
+        assert!(log.for_order(0).is_empty());
+        assert_eq!(log.for_order(4).len(), 1);
+    }
+
+    #[test]
+    fn zero_retention_is_clamped_to_one() {
+        let mut log = AuditLog::with_retention(0);
+        log.record(t(1), 1, Ok(()));
+        log.record(t(2), 2, Ok(()));
+        assert_eq!(log.retention(), 1);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.evicted(), 1);
+    }
+
+    #[test]
+    fn decisions_emit_trace_events() {
+        let recorder = Recorder::new();
+        let mut log = AuditLog::new();
+        {
+            let _sink = recorder.install("provider");
+            log.record(t(1), 7, Ok(()));
+            log.record(t(2), 8, Err(VerifyError::Replayed));
+        }
+        let recs = recorder.records();
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().all(|r| r.name == names::AUDIT_DECISION));
+        assert!(!recs[0].volatile, "audit decisions are deterministic");
+        let json = recs[1].to_json();
+        assert!(json.contains("\"order\":8"), "{json}");
+        assert!(json.contains("Replayed"), "{json}");
     }
 }

@@ -14,9 +14,23 @@ use utp_flicker::pal::Operator;
 use utp_flicker::runtime::PhaseTimings;
 use utp_netsim::Link;
 use utp_platform::machine::Machine;
+use utp_trace::{keys, names, Value};
 
 /// Approximate size of the initial order-intent message.
 const ORDER_INTENT_LEN: usize = 256;
+
+/// Emits one deterministic network-leg span on the caller's trace sink.
+fn trace_leg(leg: &str, ts: Duration, dur: Duration, bytes: usize) {
+    utp_trace::span(
+        names::NET_DELIVER,
+        ts,
+        dur,
+        &[
+            (keys::LEG, Value::Str(leg.to_string())),
+            (keys::BYTES, Value::U64(bytes as u64)),
+        ],
+    );
+}
 
 /// Timing and outcome of one end-to-end transaction.
 #[derive(Debug, Clone)]
@@ -66,6 +80,7 @@ pub fn run_transaction(
 
     // Order intent: client → provider.
     let d = link.one_way_delay(ORDER_INTENT_LEN);
+    trace_leg("order", machine.now(), d, ORDER_INTENT_LEN);
     machine.advance(d);
     network += d;
     let (order_id, request) =
@@ -74,21 +89,38 @@ pub fn run_transaction(
     // Challenge: provider → client.
     let request_bytes = request.to_bytes();
     let d = link.one_way_delay(request_bytes.len());
+    trace_leg("challenge", machine.now(), d, request_bytes.len());
     machine.advance(d);
     network += d;
 
     // The trusted session.
+    let t_session = machine.now();
     let (evidence, report) = client.confirm_with_report(machine, &request, operator)?;
+    for (name, start, dur) in report.timings.spans(t_session) {
+        utp_trace::span(name, start, dur, &[]);
+    }
 
     // Evidence: client → provider.
-    let d = link.one_way_delay(evidence.to_bytes().len());
+    let evidence_len = evidence.to_bytes().len();
+    let d = link.one_way_delay(evidence_len);
+    trace_leg("evidence", machine.now(), d, evidence_len);
     machine.advance(d);
     network += d;
 
     // Server-side verification: real host CPU, measured at the metrics
     // boundary and folded into virtual time.
+    let t_verify = machine.now();
     let (outcome, verify_cpu) =
         crate::metrics::host_timed(|| provider.submit_evidence(order_id, &evidence, machine.now()));
+    utp_trace::span_volatile(
+        names::FLOW_VERIFY,
+        t_verify,
+        verify_cpu,
+        &[(
+            keys::VERIFY_HOST,
+            Value::HostNs(verify_cpu.as_nanos() as u64),
+        )],
+    );
     machine.advance(verify_cpu);
 
     Ok(E2eReport {
@@ -181,6 +213,60 @@ mod tests {
         assert!(report.outcome.is_ok());
         let stats = provider.detach_service().unwrap();
         assert_eq!(stats.totals().accepted, 1);
+    }
+
+    #[test]
+    fn transaction_traces_a_full_waterfall() {
+        let recorder = utp_trace::Recorder::new();
+        let (mut provider, mut machine, mut client) = setup(MachineConfig::fast_for_tests(129));
+        let mut link = Link::new(LinkConfig::fixed_rtt(Duration::from_millis(40)), 5);
+        let mut human = ConfirmingHuman::new(
+            Intent {
+                payee: "bookshop".into(),
+                amount: "42.00 EUR".into(),
+                approve: true,
+            },
+            130,
+        );
+        {
+            let _sink = recorder.install("txn/0");
+            run_transaction(
+                &mut machine,
+                &mut client,
+                &mut provider,
+                &mut link,
+                "alice",
+                "bookshop",
+                4_200,
+                "order",
+                &mut human,
+            )
+            .unwrap();
+        }
+        let recs = recorder.records();
+        let count = |n: &str| recs.iter().filter(|r| r.name == n).count();
+        assert_eq!(count(names::NET_DELIVER), 3, "three network legs");
+        for phase in [
+            names::SESSION_SUSPEND,
+            names::SESSION_SKINIT,
+            names::SESSION_PAL,
+            names::SESSION_HUMAN,
+            names::SESSION_ATTEST,
+            names::SESSION_RESUME,
+        ] {
+            assert_eq!(count(phase), 1, "missing session phase {phase}");
+        }
+        assert_eq!(count(names::FLOW_VERIFY), 1);
+        assert_eq!(count(names::AUDIT_DECISION), 1);
+        // The verification span is host-timed, hence volatile-only.
+        let canonical = recorder.export_jsonl(utp_trace::Export::Canonical);
+        assert!(!canonical.contains("flow.verify"));
+        assert!(canonical.contains("net.deliver"));
+        assert!(canonical.contains("session.human"));
+        // The waterfall renders every span of the transaction's track.
+        let wf = utp_trace::report::waterfall(&recs, "txn/0");
+        assert!(wf.contains("session.pal"), "{wf}");
+        assert!(wf.contains("net.deliver"), "{wf}");
     }
 
     #[test]

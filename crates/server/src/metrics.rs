@@ -23,9 +23,58 @@ impl Counter {
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `n` in one atomic step (batch completions).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one and returns the pre-increment value — an atomic sequence
+    /// allocator (submission sequence numbers in trace records).
+    pub fn next(&self) -> u64 {
+        self.0.fetch_add(1, Ordering::Relaxed)
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A thread-safe instantaneous-level gauge (queue depth, in-flight
+/// jobs). Same relaxed-ordering contract as [`Counter`]: monitoring
+/// data, not synchronization.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Sets the level outright.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Raises the level by one.
+    pub fn incr(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by one, saturating at zero (a decrement racing
+    /// a `set(0)` must not wrap to `u64::MAX`).
+    pub fn decr(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
     }
 }
 
@@ -96,8 +145,12 @@ pub struct Summary {
     pub min: Duration,
     /// Median (p50).
     pub p50: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
     /// 95th percentile.
     pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
     /// Maximum.
     pub max: Duration,
 }
@@ -120,19 +173,25 @@ impl Summary {
             mean: total / sorted.len() as u32,
             min: sorted[0],
             p50: pct(0.50),
+            p90: pct(0.90),
             p95: pct(0.95),
-            max: *sorted.last().expect("non-empty"),
+            p99: pct(0.99),
+            // The emptiness check above already ran; index the checked
+            // sorted slice instead of re-proving non-emptiness.
+            max: sorted[sorted.len() - 1],
         })
     }
 
-    /// Renders as `mean / p50 / p95` in milliseconds, the format the
-    /// experiment tables print.
+    /// Renders as `mean / p50 / p90 / p95 / p99` in milliseconds, the
+    /// format the experiment tables print.
     pub fn to_ms_row(&self) -> String {
         format!(
-            "{:>8.1} {:>8.1} {:>8.1}",
+            "{:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
             self.mean.as_secs_f64() * 1e3,
             self.p50.as_secs_f64() * 1e3,
-            self.p95.as_secs_f64() * 1e3
+            self.p90.as_secs_f64() * 1e3,
+            self.p95.as_secs_f64() * 1e3,
+            self.p99.as_secs_f64() * 1e3
         )
     }
 }
@@ -147,6 +206,28 @@ pub fn host_timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     let start = std::time::Instant::now();
     let value = f();
     (value, start.elapsed())
+}
+
+/// A host-clock stopwatch for intervals that cannot be expressed as one
+/// closure — e.g. the enqueue-to-dequeue wait of a job crossing a
+/// channel between threads. Lives here for the same reason as
+/// [`host_timed`]: this module is the single sanctioned host-clock
+/// reader, and all measurements taken through it are treated as
+/// *volatile* (never part of deterministic model state or canonical
+/// trace exports).
+#[derive(Debug, Clone, Copy)]
+pub struct HostStopwatch(std::time::Instant);
+
+impl HostStopwatch {
+    /// Starts the stopwatch now.
+    pub fn start() -> HostStopwatch {
+        HostStopwatch(std::time::Instant::now())
+    }
+
+    /// Host time elapsed since [`HostStopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
 }
 
 /// Throughput in operations per second given a batch size and elapsed time.
@@ -177,7 +258,9 @@ mod tests {
         assert_eq!(s.mean, ms(10));
         assert_eq!(s.min, ms(10));
         assert_eq!(s.p50, ms(10));
+        assert_eq!(s.p90, ms(10));
         assert_eq!(s.p95, ms(10));
+        assert_eq!(s.p99, ms(10));
         assert_eq!(s.max, ms(10));
     }
 
@@ -198,8 +281,22 @@ mod tests {
         samples.push(ms(1000));
         let s = Summary::of(&samples).unwrap();
         assert_eq!(s.p50, ms(10));
+        assert_eq!(s.p90, ms(10));
         assert!(s.p95 <= ms(1000));
+        // Nearest-rank rounding puts p99 of 100 samples at index 98,
+        // one short of the single outlier; max still reports it.
+        assert_eq!(s.p99, ms(10));
         assert_eq!(s.max, ms(1000));
+    }
+
+    #[test]
+    fn p99_lands_on_tail_with_enough_samples() {
+        // Index round(999 * 0.99) = 989 must fall inside the tail block.
+        let mut samples = vec![ms(10); 989];
+        samples.extend(std::iter::repeat_n(ms(1000), 11));
+        let s = Summary::of(&samples).unwrap();
+        assert_eq!(s.p99, ms(1000));
+        assert_eq!(s.p90, ms(10));
     }
 
     #[test]
@@ -212,7 +309,7 @@ mod tests {
     fn ms_row_is_fixed_width() {
         let s = Summary::of(&[ms(1), ms(2)]).unwrap();
         let row = s.to_ms_row();
-        assert_eq!(row.split_whitespace().count(), 3);
+        assert_eq!(row.split_whitespace().count(), 5);
     }
 
     #[test]
@@ -228,6 +325,32 @@ mod tests {
             }
         });
         assert_eq!(c.get(), 4000);
+        c.add(58);
+        assert_eq!(c.get(), 4058);
+        assert_eq!(c.next(), 4058, "next returns the pre-increment value");
+        assert_eq!(c.get(), 4059);
+    }
+
+    #[test]
+    fn gauge_is_thread_safe() {
+        let g = Gauge::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        g.incr();
+                        g.decr();
+                        g.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 4000, "balanced incr/decr leave the net level");
+        g.set(7);
+        assert_eq!(g.get(), 7);
+        g.set(0);
+        g.decr();
+        assert_eq!(g.get(), 0, "decr saturates at zero");
     }
 
     #[test]

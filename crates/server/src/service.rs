@@ -19,9 +19,15 @@
 //!   in-flight job before joining, and every outstanding [`Ticket`]
 //!   resolves;
 //! * per-shard [`crate::metrics::ShardCounters`] and cache hit counters,
-//!   snapshotted by [`VerifierService::stats`].
+//!   snapshotted by [`VerifierService::stats`];
+//! * optional **flight recording**: hand [`ServiceConfig::recorder`] a
+//!   [`utp_trace::Recorder`] and each worker installs a `worker/{i}`
+//!   sink, emitting per-job *volatile* records (queue wait, verify CPU,
+//!   outcome, queue depth) while submissions emit deterministic
+//!   `svc.submit` events on the caller's own sink. Emission never
+//!   happens while a shard or cache lock is held.
 
-use crate::metrics::{Counter, ServiceStats, ShardCounters};
+use crate::metrics::{Counter, Gauge, HostStopwatch, ServiceStats, ShardCounters};
 use crate::pipeline::VerificationJob;
 use crossbeam::channel::{self, TrySendError};
 use parking_lot::Mutex;
@@ -39,6 +45,7 @@ use utp_core::verifier::{
 use utp_crypto::rsa::RsaPublicKey;
 use utp_crypto::sha1::{Sha1, Sha1Digest};
 use utp_flicker::runtime::io_digest;
+use utp_trace::{keys, names, Recorder, Value};
 
 /// Sizing and policy knobs for [`VerifierService`].
 #[derive(Debug, Clone)]
@@ -56,6 +63,9 @@ pub struct ServiceConfig {
     pub nonce_ttl: Duration,
     /// Measurements of PAL versions the provider accepts.
     pub trusted_pals: HashSet<Sha1Digest>,
+    /// Flight recorder the workers install per-thread sinks on; `None`
+    /// (the default) disables tracing entirely.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl Default for ServiceConfig {
@@ -81,6 +91,7 @@ impl ServiceConfig {
             cert_cache_capacity: 1024,
             nonce_ttl: config.nonce_ttl,
             trusted_pals: config.trusted_pals.clone(),
+            recorder: None,
         }
     }
 }
@@ -161,9 +172,14 @@ impl CertCache {
 
     /// Parses + validates `cert_bytes` under `ca_key`, serving repeat
     /// certificates from cache. `None` maps to `BadCertificate`.
+    ///
+    /// Cache hits and misses emit a volatile `svc.cache` trace event on
+    /// the calling worker's sink — always after the state lock is
+    /// released, never under it.
     fn resolve(&self, cert_bytes: &[u8], ca_key: &RsaPublicKey) -> Option<RsaPublicKey> {
         if self.capacity == 0 {
             self.misses.incr();
+            self.trace_lookup(false);
             return AikCertificate::from_bytes(cert_bytes)?.validate(ca_key);
         }
         let key = *Sha1::digest(cert_bytes).as_bytes();
@@ -176,10 +192,12 @@ impl CertCache {
                 let aik = entry.aik.clone();
                 drop(state);
                 self.hits.incr();
+                self.trace_lookup(true);
                 return Some(aik);
             }
         }
         self.misses.incr();
+        self.trace_lookup(false);
         let aik = AikCertificate::from_bytes(cert_bytes)?.validate(ca_key)?;
         let mut state = self.state.lock();
         state.tick += 1;
@@ -204,6 +222,15 @@ impl CertCache {
             },
         );
         Some(aik)
+    }
+
+    /// Emits the volatile hit/miss event (no-op on untraced threads).
+    fn trace_lookup(&self, hit: bool) {
+        utp_trace::event_volatile(
+            names::SVC_CACHE,
+            Duration::ZERO,
+            &[(keys::HIT, Value::Bool(hit))],
+        );
     }
 }
 
@@ -249,6 +276,12 @@ struct Inner {
     trusted_pals: HashSet<Sha1Digest>,
     shards: Vec<Shard>,
     cache: CertCache,
+    /// Jobs accepted into the queue but not yet completed.
+    queue_gauge: Gauge,
+    /// Allocates one sequence number per accepted submission, shared by
+    /// the deterministic `svc.submit` event and the worker's `svc.job`
+    /// record so the two can be joined offline.
+    submit_seq: Counter,
 }
 
 impl Inner {
@@ -337,6 +370,51 @@ impl Inner {
         }
         Ok(token)
     }
+
+    /// Runs one dequeued job on worker `worker`, emitting the volatile
+    /// per-job flight record (queue wait, verify CPU, outcome) on the
+    /// worker's sink. No lock is held at any emission point.
+    fn run(&self, queued: Queued, worker: usize) {
+        let wait = queued.enqueued.elapsed();
+        self.queue_gauge.decr();
+        utp_trace::event_volatile(
+            names::SVC_QUEUE_DEPTH,
+            Duration::ZERO,
+            &[(keys::DEPTH, Value::U64(self.queue_gauge.get()))],
+        );
+        let seq = queued.seq;
+        let job_record = |ts: Duration, cpu: Duration, outcome: String| {
+            utp_trace::span_volatile(
+                names::SVC_JOB,
+                ts,
+                cpu,
+                &[
+                    (keys::SEQ, Value::U64(seq)),
+                    (keys::WORKER, Value::U64(worker as u64)),
+                    (keys::OUTCOME, Value::Str(outcome)),
+                    (keys::WAIT_HOST, Value::HostNs(wait.as_nanos() as u64)),
+                    (keys::VERIFY_HOST, Value::HostNs(cpu.as_nanos() as u64)),
+                ],
+            );
+        };
+        match queued.item {
+            WorkItem::Settle {
+                evidence,
+                now,
+                reply,
+            } => {
+                let (outcome, cpu) =
+                    crate::metrics::host_timed(|| self.verify_settling(&evidence, now));
+                job_record(now, cpu, outcome_label(&outcome));
+                let _ = reply.send(outcome);
+            }
+            WorkItem::Stateless { job, reply } => {
+                let (outcome, cpu) = crate::metrics::host_timed(|| self.verify_stateless(&job));
+                job_record(Duration::ZERO, cpu, outcome_label(&outcome));
+                let _ = reply.send(outcome);
+            }
+        }
+    }
 }
 
 /// One queued unit of work.
@@ -354,6 +432,23 @@ enum WorkItem {
     },
 }
 
+/// A [`WorkItem`] with its flight-recording envelope: the submission
+/// sequence number and the host stopwatch measuring enqueue-to-dequeue
+/// wait across the channel.
+struct Queued {
+    item: WorkItem,
+    seq: u64,
+    enqueued: HostStopwatch,
+}
+
+/// Flattens an outcome to the label the trace's `outcome` field carries.
+fn outcome_label<T>(outcome: &Result<T, VerifyError>) -> String {
+    match outcome {
+        Ok(_) => "ok".to_string(),
+        Err(e) => format!("{e:?}"),
+    }
+}
+
 /// The long-lived sharded verification pool. See the module docs.
 ///
 /// Dropping the service (or calling [`VerifierService::shutdown`]) stops
@@ -361,7 +456,7 @@ enum WorkItem {
 #[derive(Debug)]
 pub struct VerifierService {
     inner: Arc<Inner>,
-    queue: Option<channel::Sender<WorkItem>>,
+    queue: Option<channel::Sender<Queued>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -380,28 +475,25 @@ impl VerifierService {
                 })
                 .collect(),
             cache: CertCache::new(config.cert_cache_capacity),
+            queue_gauge: Gauge::new(),
+            submit_seq: Counter::new(),
         });
-        let (queue, intake) = channel::bounded::<WorkItem>(config.queue_depth.max(1));
+        let (queue, intake) = channel::bounded::<Queued>(config.queue_depth.max(1));
         let workers = (0..threads)
-            .map(|_| {
+            .map(|worker| {
                 let inner = Arc::clone(&inner);
                 let intake = intake.clone();
+                let recorder = config.recorder.clone();
                 std::thread::spawn(move || {
+                    // Holds the worker's trace sink for the thread's whole
+                    // life; dropping it at exit flushes the ring.
+                    let _sink = recorder
+                        .as_ref()
+                        .map(|r| r.install(&format!("worker/{worker}")));
                     // `recv` drains remaining items after the handle drops
                     // the sender, so shutdown never abandons a ticket.
-                    while let Ok(item) = intake.recv() {
-                        match item {
-                            WorkItem::Settle {
-                                evidence,
-                                now,
-                                reply,
-                            } => {
-                                let _ = reply.send(inner.verify_settling(&evidence, now));
-                            }
-                            WorkItem::Stateless { job, reply } => {
-                                let _ = reply.send(inner.verify_stateless(&job));
-                            }
-                        }
+                    while let Ok(queued) = intake.recv() {
+                        inner.run(queued, worker);
                     }
                 })
             })
@@ -452,13 +544,23 @@ impl VerifierService {
     ) -> Result<Ticket<VerifiedTransaction>, SubmitError> {
         let (reply, rx) = channel::bounded(1);
         let queue = self.queue.as_ref().ok_or(SubmitError::ShutDown)?;
+        let seq = self.inner.submit_seq.next();
+        self.inner.queue_gauge.incr();
         queue
-            .send(WorkItem::Settle {
-                evidence,
-                now,
-                reply,
+            .send(Queued {
+                item: WorkItem::Settle {
+                    evidence,
+                    now,
+                    reply,
+                },
+                seq,
+                enqueued: HostStopwatch::start(),
             })
-            .map_err(|_| SubmitError::ShutDown)?;
+            .map_err(|_| {
+                self.inner.queue_gauge.decr();
+                SubmitError::ShutDown
+            })?;
+        utp_trace::event(names::SVC_SUBMIT, now, &[(keys::SEQ, Value::U64(seq))]);
         Ok(Ticket { rx })
     }
 
@@ -475,16 +577,26 @@ impl VerifierService {
     ) -> Result<Ticket<VerifiedTransaction>, SubmitError> {
         let (reply, rx) = channel::bounded(1);
         let queue = self.queue.as_ref().ok_or(SubmitError::ShutDown)?;
+        let seq = self.inner.submit_seq.next();
+        self.inner.queue_gauge.incr();
         queue
-            .try_send(WorkItem::Settle {
-                evidence,
-                now,
-                reply,
+            .try_send(Queued {
+                item: WorkItem::Settle {
+                    evidence,
+                    now,
+                    reply,
+                },
+                seq,
+                enqueued: HostStopwatch::start(),
             })
-            .map_err(|e| match e {
-                TrySendError::Full(_) => SubmitError::QueueFull,
-                TrySendError::Disconnected(_) => SubmitError::ShutDown,
+            .map_err(|e| {
+                self.inner.queue_gauge.decr();
+                match e {
+                    TrySendError::Full(_) => SubmitError::QueueFull,
+                    TrySendError::Disconnected(_) => SubmitError::ShutDown,
+                }
             })?;
+        utp_trace::event(names::SVC_SUBMIT, now, &[(keys::SEQ, Value::U64(seq))]);
         Ok(Ticket { rx })
     }
 
@@ -500,9 +612,25 @@ impl VerifierService {
     ) -> Result<Ticket<ConfirmationToken>, SubmitError> {
         let (reply, rx) = channel::bounded(1);
         let queue = self.queue.as_ref().ok_or(SubmitError::ShutDown)?;
+        let seq = self.inner.submit_seq.next();
+        self.inner.queue_gauge.incr();
         queue
-            .send(WorkItem::Stateless { job, reply })
-            .map_err(|_| SubmitError::ShutDown)?;
+            .send(Queued {
+                item: WorkItem::Stateless { job, reply },
+                seq,
+                enqueued: HostStopwatch::start(),
+            })
+            .map_err(|_| {
+                self.inner.queue_gauge.decr();
+                SubmitError::ShutDown
+            })?;
+        // Stateless jobs carry no virtual clock; their submit events pin
+        // to t=0 and order by sequence number.
+        utp_trace::event(
+            names::SVC_SUBMIT,
+            Duration::ZERO,
+            &[(keys::SEQ, Value::U64(seq))],
+        );
         Ok(Ticket { rx })
     }
 
@@ -524,6 +652,12 @@ impl VerifierService {
                 Err(_) => Err(VerifyError::ServiceUnavailable),
             })
             .collect()
+    }
+
+    /// Jobs accepted into the queue and not yet completed (queued or
+    /// running), sampled from the live gauge.
+    pub fn queue_depth(&self) -> u64 {
+        self.inner.queue_gauge.get()
     }
 
     /// Outstanding (registered, unsettled) nonces across all shards.
@@ -559,9 +693,23 @@ impl VerifierService {
     fn finish(&mut self) {
         // Dropping the sender disconnects the intake queue; workers drain
         // what was already accepted and exit.
-        self.queue.take();
+        let was_running = self.queue.take().is_some();
+        if was_running {
+            utp_trace::event_volatile(
+                names::SVC_DRAIN,
+                Duration::ZERO,
+                &[(keys::PENDING, Value::U64(self.inner.queue_gauge.get()))],
+            );
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if was_running {
+            utp_trace::event_volatile(
+                names::SVC_DRAIN,
+                Duration::ZERO,
+                &[(keys::PENDING, Value::U64(self.inner.queue_gauge.get()))],
+            );
         }
     }
 }
@@ -762,6 +910,41 @@ mod tests {
         let stats = svc.stats();
         assert_eq!(stats.cert_cache_hits, 0);
         assert_eq!(stats.cert_cache_misses, 3);
+    }
+
+    #[test]
+    fn flight_recorder_captures_submit_and_job_records() {
+        let w = world(4, 1900);
+        let recorder = Arc::new(Recorder::new());
+        let mut config = ServiceConfig::new(2, 2);
+        config.recorder = Some(Arc::clone(&recorder));
+        let svc = VerifierService::start(w.ca_key.clone(), config);
+        for r in &w.requests {
+            svc.register(r, w.now);
+        }
+        {
+            let _sink = recorder.install("client");
+            let verdicts = svc.verify_evidence_batch(w.evidence.clone(), w.now);
+            assert!(verdicts.iter().all(|v| v.is_ok()));
+            assert_eq!(svc.queue_depth(), 0, "all jobs completed");
+            svc.shutdown();
+        }
+        let recs = recorder.records();
+        let count = |n: &str| recs.iter().filter(|r| r.name == n).count();
+        assert_eq!(count(names::SVC_SUBMIT), 4, "one submit event per job");
+        assert_eq!(count(names::SVC_JOB), 4, "one worker record per job");
+        assert_eq!(count(names::SVC_CACHE), 4, "one cache lookup per job");
+        assert_eq!(count(names::SVC_QUEUE_DEPTH), 4);
+        assert_eq!(count(names::SVC_DRAIN), 2, "drain start and end markers");
+        // Submitter-side events are deterministic; worker-side records
+        // are volatile and stay out of the canonical export.
+        let canonical = recorder.export_jsonl(utp_trace::Export::Canonical);
+        assert!(canonical.contains("svc.submit"));
+        assert!(!canonical.contains("svc.job"));
+        assert!(!canonical.contains("svc.cache"));
+        let full = recorder.export_jsonl(utp_trace::Export::Full);
+        assert!(full.contains("wait_host"));
+        assert!(full.contains("verify_host"));
     }
 
     #[test]

@@ -82,6 +82,30 @@ impl TpmConfig {
     }
 }
 
+/// Capacity of the device's bounded per-command journal (records).
+pub const OP_JOURNAL_CAPACITY: usize = 4096;
+
+/// One executed command, as held by the device's bounded op journal.
+///
+/// This is plain operational data (command class, sizes, modeled cost) —
+/// no payload bytes and no key material — so draining it into the trace
+/// layer cannot leak chip secrets. The journal lives *inside* the device
+/// model precisely so the TCB never has to call out to a recorder: the
+/// untrusted harness pulls records after the fact via
+/// [`Tpm::take_op_journal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpmOpRecord {
+    /// Command class.
+    pub op: TpmOp,
+    /// Payload length in bytes.
+    pub payload: usize,
+    /// Modeled latency charged for this command.
+    pub cost: Duration,
+    /// The chip's accumulated busy time *before* this command — the
+    /// command's start offset on the TPM's own time axis.
+    pub at_busy: Duration,
+}
+
 /// A software TPM 1.2.
 ///
 /// Every mutating entry point takes the caller's [`Locality`]; the bus
@@ -99,6 +123,10 @@ pub struct Tpm {
     /// Secret never leaves the chip; keys sealed-blob confidentiality.
     internal_secret: [u8; 32],
     busy: Duration,
+    /// Bounded drop-oldest journal of executed commands.
+    op_journal: std::collections::VecDeque<TpmOpRecord>,
+    /// Journal records evicted by overflow since power-on.
+    op_journal_dropped: u64,
     /// Set while the locality-4 DRTM hash sequence is in progress.
     drtm_in_progress: Option<Sha1>,
     commands_executed: u64,
@@ -142,6 +170,8 @@ impl Tpm {
             rng,
             internal_secret,
             busy: Duration::ZERO,
+            op_journal: std::collections::VecDeque::new(),
+            op_journal_dropped: 0,
             drtm_in_progress: None,
             commands_executed: 0,
             owner_auth: None,
@@ -179,12 +209,35 @@ impl Tpm {
 
     fn charge(&mut self, op: TpmOp, payload: usize) -> Result<(), TpmError> {
         let d = cost(self.config.vendor, op, payload);
+        if self.op_journal.len() == OP_JOURNAL_CAPACITY {
+            self.op_journal.pop_front();
+            self.op_journal_dropped += 1;
+        }
+        self.op_journal.push_back(TpmOpRecord {
+            op,
+            payload,
+            cost: d,
+            at_busy: self.busy,
+        });
         self.busy += d;
         self.commands_executed += 1;
         if self.config.fault_rate > 0.0 && self.rng.gen::<f64>() < self.config.fault_rate {
             return Err(TpmError::Crypto("injected transient fault".into()));
         }
         Ok(())
+    }
+
+    /// Drains the per-command journal, oldest first. Faulted commands
+    /// appear too — they still consumed chip time.
+    pub fn take_op_journal(&mut self) -> Vec<TpmOpRecord> {
+        self.op_journal.drain(..).collect()
+    }
+
+    /// Journal records lost to overflow since power-on (the journal is
+    /// bounded at [`OP_JOURNAL_CAPACITY`]; drain it between sessions to
+    /// keep this at zero).
+    pub fn op_journal_dropped(&self) -> u64 {
+        self.op_journal_dropped
     }
 
     /// Key-store access for the wrapped-key module.
@@ -667,6 +720,38 @@ mod tests {
         t.nv_define(0x11, 16, 0);
         t.nv_write(Locality::Zero, 0x11, 0, b"cert").unwrap();
         assert_eq!(t.nv_read(0x11, 0, 4).unwrap(), b"cert");
+    }
+
+    #[test]
+    fn op_journal_records_commands_in_order() {
+        let mut t = Tpm::new(TpmConfig {
+            vendor: VendorProfile::Infineon,
+            key_bits: 512,
+            seed: 3,
+            fault_rate: 0.0,
+        });
+        t.startup_clear();
+        t.pcr_read(p(0)).unwrap();
+        t.extend(Locality::Zero, p(0), &[1u8; 20]).unwrap();
+        assert_eq!(t.op_journal_dropped(), 0);
+        let journal = t.take_op_journal();
+        assert_eq!(journal.len(), 2);
+        assert_eq!(journal[0].op, TpmOp::PcrRead);
+        assert_eq!(journal[0].at_busy, Duration::ZERO);
+        assert_eq!(journal[1].op, TpmOp::Extend);
+        assert_eq!(journal[1].payload, 20);
+        assert_eq!(journal[1].at_busy, journal[0].cost);
+        assert!(t.take_op_journal().is_empty(), "drain empties the journal");
+    }
+
+    #[test]
+    fn op_journal_overflow_drops_oldest() {
+        let mut t = tpm();
+        for _ in 0..OP_JOURNAL_CAPACITY + 3 {
+            t.pcr_read(p(0)).unwrap();
+        }
+        assert_eq!(t.op_journal_dropped(), 3);
+        assert_eq!(t.take_op_journal().len(), OP_JOURNAL_CAPACITY);
     }
 
     #[test]

@@ -46,6 +46,6 @@ pub mod seal;
 pub mod timing;
 pub mod wrapped;
 
-pub use device::{Tpm, TpmConfig};
+pub use device::{Tpm, TpmConfig, TpmOpRecord};
 pub use error::TpmError;
 pub use timing::VendorProfile;

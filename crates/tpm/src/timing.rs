@@ -83,6 +83,24 @@ pub enum TpmOp {
     DrtmHash,
 }
 
+impl TpmOp {
+    /// Stable lower-case command label, used as the `op` field of trace
+    /// records and report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            TpmOp::Extend => "extend",
+            TpmOp::PcrRead => "pcr_read",
+            TpmOp::Quote => "quote",
+            TpmOp::Seal => "seal",
+            TpmOp::Unseal => "unseal",
+            TpmOp::GetRandom => "get_random",
+            TpmOp::CounterIncrement => "counter_incr",
+            TpmOp::NvAccess => "nv_access",
+            TpmOp::DrtmHash => "drtm_hash",
+        }
+    }
+}
+
 /// Modeled latency for one op on one vendor's chip.
 ///
 /// # Example

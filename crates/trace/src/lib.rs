@@ -1,0 +1,99 @@
+//! `utp-trace` — deterministic virtual-time tracing for the UTP
+//! reproduction: a structured span/event model, a per-thread bounded
+//! flight recorder, log-scale latency histograms, and phase-breakdown
+//! reports.
+//!
+//! Design rules (enforced by `utp-analyze`):
+//!
+//! - **Virtual time only.** Records are stamped with the simulated
+//!   `Machine` clock, never the host clock, so a trace of a
+//!   deterministic run is byte-identical across runs. Host-CPU
+//!   measurements enter only through `metrics::host_timed` and must be
+//!   attached via the `*_volatile` emitters; the canonical JSONL export
+//!   drops those records.
+//! - **Never in the TCB.** No PAL-reachable function may call into this
+//!   crate (`tcb-reachability` gates it), and no key material may appear
+//!   in a trace field (`secret-taint` treats the emitters as sinks).
+//! - **Bounded.** Each thread's sink is a fixed-capacity drop-oldest
+//!   ring; overflow is counted and exported, never silently lost.
+//!
+//! Emission is thread-local and lock-free: install a sink with
+//! [`Recorder::install`], then call [`span`]/[`event`] from that thread.
+//! With no sink installed the emitters are no-ops.
+
+#![forbid(unsafe_code)]
+
+pub mod histogram;
+pub mod record;
+pub mod recorder;
+pub mod report;
+pub mod ring;
+
+use std::time::Duration;
+
+pub use histogram::LatencyHistogram;
+pub use record::{keys, names, TraceRecord, Value};
+pub use recorder::{thread_is_traced, Export, Recorder, SinkGuard};
+
+/// Emits a span: `ts` is the virtual start time, `dur` the virtual
+/// duration. No-op unless the calling thread has a sink installed.
+pub fn span(name: &'static str, ts: Duration, dur: Duration, fields: &[(&'static str, Value)]) {
+    recorder::emit(name, ts, Some(dur), fields, false);
+}
+
+/// Emits an instantaneous event at virtual time `ts`.
+pub fn event(name: &'static str, ts: Duration, fields: &[(&'static str, Value)]) {
+    recorder::emit(name, ts, None, fields, false);
+}
+
+/// Emits a volatile span — one carrying host-measured or scheduling-
+/// dependent data, excluded from the canonical export.
+pub fn span_volatile(
+    name: &'static str,
+    ts: Duration,
+    dur: Duration,
+    fields: &[(&'static str, Value)],
+) {
+    recorder::emit(name, ts, Some(dur), fields, true);
+}
+
+/// Emits a volatile event (see [`span_volatile`]).
+pub fn event_volatile(name: &'static str, ts: Duration, fields: &[(&'static str, Value)]) {
+    recorder::emit(name, ts, None, fields, true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_fns_emit_through_the_thread_sink() {
+        let rec = Recorder::new();
+        {
+            let _g = rec.install("lib");
+            span(
+                names::SESSION_PAL,
+                Duration::from_millis(1),
+                Duration::from_millis(2),
+                &[(keys::MODE, Value::Str("press-enter".into()))],
+            );
+            event(names::SVC_SUBMIT, Duration::from_millis(3), &[]);
+            event_volatile(
+                names::SVC_CACHE,
+                Duration::ZERO,
+                &[(keys::HIT, Value::Bool(true))],
+            );
+            span_volatile(
+                names::SVC_JOB,
+                Duration::ZERO,
+                Duration::ZERO,
+                &[(keys::VERIFY_HOST, Value::HostNs(5))],
+            );
+        }
+        let recs = rec.records();
+        assert_eq!(recs.len(), 4);
+        assert_eq!(recs.iter().filter(|r| r.volatile).count(), 2);
+        let pal = recs.iter().find(|r| r.name == names::SESSION_PAL).unwrap();
+        assert_eq!(pal.dur, Some(Duration::from_millis(2)));
+    }
+}

@@ -1,0 +1,338 @@
+//! The flight recorder: per-thread bounded rings feeding one shared
+//! collector, plus the merged, virtual-time-sorted JSONL export.
+//!
+//! The hot path is lock-free: an installed sink lives in a thread-local
+//! and pushes into its own [`Ring`] with no synchronization. The shared
+//! mutex is taken only when a sink flushes (guard drop, or an explicit
+//! [`Recorder::flush_current_thread`]), so tracing adds no contention to
+//! the code being measured.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::record::{names, TraceRecord, Value};
+use crate::ring::{Ring, DEFAULT_CAPACITY};
+
+/// Which records an export includes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Export {
+    /// Deterministic records only — byte-identical across identical
+    /// runs; what the determinism smoke diffs.
+    Canonical,
+    /// Everything, including volatile (host-timed / scheduling-
+    /// dependent) records.
+    Full,
+}
+
+struct Shared {
+    collected: Mutex<Vec<TraceRecord>>,
+    dropped: AtomicU64,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveSink>> = const { RefCell::new(None) };
+}
+
+struct ActiveSink {
+    track: String,
+    ring: Ring,
+    shared: Arc<Shared>,
+}
+
+impl ActiveSink {
+    fn flush(&mut self) {
+        let drained = self.ring.drain();
+        let dropped = self.ring.dropped();
+        if dropped > 0 {
+            self.shared.dropped.fetch_add(dropped, Ordering::Relaxed);
+        }
+        if !drained.is_empty() {
+            self.shared.collected.lock().extend(drained);
+        }
+    }
+}
+
+/// Collects trace records from any number of per-thread sinks and
+/// renders them as merged JSONL sorted on virtual timestamps.
+pub struct Recorder {
+    shared: Arc<Shared>,
+    ring_capacity: usize,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("ring_capacity", &self.ring_capacity)
+            .field("collected", &self.shared.collected.lock().len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl Recorder {
+    /// A recorder whose sinks buffer [`DEFAULT_CAPACITY`] records each.
+    pub fn new() -> Recorder {
+        Recorder::with_ring_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A recorder with a custom per-thread ring capacity.
+    pub fn with_ring_capacity(cap: usize) -> Recorder {
+        Recorder {
+            shared: Arc::new(Shared {
+                collected: Mutex::new(Vec::new()),
+                dropped: AtomicU64::new(0),
+            }),
+            ring_capacity: cap,
+        }
+    }
+
+    /// Installs a sink for the calling thread under the given track
+    /// label. Records emitted on this thread flow into the returned
+    /// guard's ring until it is dropped (which flushes them here). An
+    /// already-installed sink is flushed and replaced.
+    #[must_use = "dropping the guard immediately uninstalls the sink"]
+    pub fn install(&self, track: &str) -> SinkGuard {
+        let sink = ActiveSink {
+            track: track.to_string(),
+            ring: Ring::new(self.ring_capacity),
+            shared: Arc::clone(&self.shared),
+        };
+        ACTIVE.with(|cell| {
+            if let Some(mut prev) = cell.borrow_mut().replace(sink) {
+                prev.flush();
+            }
+        });
+        SinkGuard { _priv: () }
+    }
+
+    /// Flushes the calling thread's sink (if any) without uninstalling
+    /// it — useful mid-run before an export.
+    pub fn flush_current_thread(&self) {
+        ACTIVE.with(|cell| {
+            if let Some(sink) = cell.borrow_mut().as_mut() {
+                sink.flush();
+            }
+        });
+    }
+
+    /// Total records evicted by ring overflow across all flushed sinks.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A sorted snapshot of all flushed records. Sort key is (virtual
+    /// timestamp, rendered line), which totally orders any multiset of
+    /// records, so identical runs snapshot identically.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let mut recs = self.shared.collected.lock().clone();
+        sort_records(&mut recs);
+        recs
+    }
+
+    /// Merged JSONL export. `Export::Canonical` filters volatile
+    /// records and appends a final `trace.dropped` bookkeeping line so
+    /// silent ring overflow cannot masquerade as a complete trace.
+    pub fn export_jsonl(&self, mode: Export) -> String {
+        let recs = self.records();
+        let mut out = String::new();
+        let mut max_ts = Duration::ZERO;
+        for rec in &recs {
+            if mode == Export::Canonical && rec.volatile {
+                continue;
+            }
+            max_ts = max_ts.max(rec.ts);
+            out.push_str(&rec.to_json());
+            out.push('\n');
+        }
+        let trailer = TraceRecord {
+            ts: max_ts,
+            dur: None,
+            track: "recorder".to_string(),
+            name: names::TRACE_DROPPED,
+            fields: vec![(crate::record::keys::DROPPED, Value::U64(self.dropped()))],
+            volatile: false,
+        };
+        out.push_str(&trailer.to_json());
+        out.push('\n');
+        out
+    }
+}
+
+/// Sorts records by (virtual ts, rendered JSON line): a total order
+/// that depends only on record *content*, never on arrival order.
+pub fn sort_records(recs: &mut [TraceRecord]) {
+    recs.sort_by_cached_key(|r| (r.ts, r.to_json()));
+}
+
+/// Uninstalls (and flushes) the calling thread's sink when dropped.
+pub struct SinkGuard {
+    _priv: (),
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|cell| {
+            if let Some(mut sink) = cell.borrow_mut().take() {
+                sink.flush();
+            }
+        });
+    }
+}
+
+/// True when the calling thread has a sink installed (emission is
+/// otherwise a no-op, so instrumented code costs nothing untraced).
+pub fn thread_is_traced() -> bool {
+    ACTIVE.with(|cell| cell.borrow().is_some())
+}
+
+pub(crate) fn emit(
+    name: &'static str,
+    ts: Duration,
+    dur: Option<Duration>,
+    fields: &[(&'static str, Value)],
+    volatile: bool,
+) {
+    debug_assert!(
+        names::is_registered(name),
+        "trace name {name:?} is not in the static registry (record::names)"
+    );
+    ACTIVE.with(|cell| {
+        if let Some(sink) = cell.borrow_mut().as_mut() {
+            for (k, v) in fields {
+                debug_assert!(
+                    crate::record::keys::is_registered(k),
+                    "trace field key {k:?} is not in the static registry (record::keys)"
+                );
+                debug_assert!(
+                    volatile || !v.is_host_measured(),
+                    "host-measured field {k:?} on a non-volatile record"
+                );
+            }
+            sink.ring.push(TraceRecord {
+                ts,
+                dur,
+                track: sink.track.clone(),
+                name,
+                fields: fields.to_vec(),
+                volatile,
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::keys;
+
+    fn ev(recorder: &Recorder, ns: u64) {
+        let _ = recorder; // emitted via the thread-local, not the handle
+        emit(
+            names::TPM_CMD,
+            Duration::from_nanos(ns),
+            None,
+            &[(keys::SEQ, Value::U64(ns))],
+            false,
+        );
+    }
+
+    #[test]
+    fn install_collects_and_guard_flushes() {
+        let recorder = Recorder::new();
+        assert!(!thread_is_traced());
+        {
+            let _guard = recorder.install("main");
+            assert!(thread_is_traced());
+            ev(&recorder, 2);
+            ev(&recorder, 1);
+            assert!(recorder.records().is_empty(), "flush happens at drop");
+        }
+        assert!(!thread_is_traced());
+        let recs = recorder.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].ts, Duration::from_nanos(1), "sorted by virtual ts");
+        assert_eq!(recs[0].track, "main");
+    }
+
+    #[test]
+    fn emission_without_sink_is_a_noop() {
+        let recorder = Recorder::new();
+        ev(&recorder, 7);
+        assert!(recorder.records().is_empty());
+        assert_eq!(recorder.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_counts_surface_in_export() {
+        let recorder = Recorder::with_ring_capacity(2);
+        {
+            let _guard = recorder.install("t");
+            for n in 0..5 {
+                ev(&recorder, n);
+            }
+        }
+        assert_eq!(recorder.records().len(), 2);
+        assert_eq!(recorder.dropped(), 3);
+        let jsonl = recorder.export_jsonl(Export::Canonical);
+        let last = jsonl.lines().last().unwrap();
+        assert!(last.contains("\"name\":\"trace.dropped\""));
+        assert!(last.contains("\"dropped\":3"));
+    }
+
+    #[test]
+    fn canonical_export_excludes_volatile_records() {
+        let recorder = Recorder::new();
+        {
+            let _guard = recorder.install("w");
+            emit(
+                names::SVC_JOB,
+                Duration::ZERO,
+                None,
+                &[(keys::WAIT_HOST, Value::HostNs(9))],
+                true,
+            );
+            emit(names::SVC_SUBMIT, Duration::ZERO, None, &[], false);
+        }
+        let canonical = recorder.export_jsonl(Export::Canonical);
+        let full = recorder.export_jsonl(Export::Full);
+        assert!(!canonical.contains("svc.job"));
+        assert!(canonical.contains("svc.submit"));
+        assert!(full.contains("svc.job"));
+    }
+
+    #[test]
+    fn threads_merge_deterministically() {
+        let recorder = Recorder::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let recorder = &recorder;
+                scope.spawn(move || {
+                    let _guard = recorder.install(&format!("thread/{t}"));
+                    for n in 0..8u64 {
+                        emit(
+                            names::SVC_SUBMIT,
+                            Duration::from_nanos(n),
+                            None,
+                            &[(keys::SEQ, Value::U64(t * 8 + n))],
+                            false,
+                        );
+                    }
+                });
+            }
+        });
+        let a = recorder.export_jsonl(Export::Canonical);
+        let b = recorder.export_jsonl(Export::Canonical);
+        assert_eq!(a, b);
+        assert_eq!(a.lines().count(), 33, "32 records + dropped trailer");
+    }
+}

@@ -1,0 +1,167 @@
+//! Phase-breakdown rendering over a set of trace records: a per-span-
+//! name aggregate table (count, total, p50/p90/p99/p999) and a
+//! per-track waterfall. Both are plain fixed-width text, consumed by
+//! the bench tables and dumped as CI artifacts.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::histogram::LatencyHistogram;
+use crate::record::TraceRecord;
+
+/// Aggregates span durations (virtual time) grouped by span name.
+/// Events (no duration) are counted but contribute no latency samples.
+pub fn aggregate_by_name(records: &[TraceRecord]) -> BTreeMap<&'static str, LatencyHistogram> {
+    let mut by_name: BTreeMap<&'static str, LatencyHistogram> = BTreeMap::new();
+    for rec in records {
+        if let Some(d) = rec.dur {
+            by_name.entry(rec.name).or_default().record(d);
+        }
+    }
+    by_name
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Renders the per-span-name aggregate table.
+pub fn phase_table(title: &str, records: &[TraceRecord]) -> String {
+    let agg = aggregate_by_name(records);
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!(
+        "{:<18} {:>7} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
+        "span", "count", "total_ms", "p50_ms", "p90_ms", "p99_ms", "p999_ms"
+    ));
+    for (name, h) in &agg {
+        out.push_str(&format!(
+            "{:<18} {:>7} {:>10.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2}\n",
+            name,
+            h.count(),
+            ms(h.sum()),
+            ms(h.p50()),
+            ms(h.p90()),
+            ms(h.p99()),
+            ms(h.p999()),
+        ));
+    }
+    if agg.is_empty() {
+        out.push_str("(no spans)\n");
+    }
+    out
+}
+
+/// Renders one track's spans as a waterfall: each line shows the span's
+/// offset from the track's first record, its duration, and a scaled bar.
+pub fn waterfall(records: &[TraceRecord], track: &str) -> String {
+    const WIDTH: usize = 32;
+    let spans: Vec<&TraceRecord> = records
+        .iter()
+        .filter(|r| r.track == track && r.dur.is_some())
+        .collect();
+    let mut out = format!("## waterfall {track}\n");
+    let Some(first) = spans.first() else {
+        out.push_str("(no spans)\n");
+        return out;
+    };
+    let t0 = first.ts;
+    let end = spans
+        .iter()
+        .map(|r| r.ts + r.dur.unwrap_or(Duration::ZERO))
+        .max()
+        .unwrap_or(t0);
+    let span_total = (end - t0).max(Duration::from_nanos(1));
+    out.push_str(&format!(
+        "{:>10} {:>10}  {:<w$}  span\n",
+        "offset_ms",
+        "dur_ms",
+        "timeline",
+        w = WIDTH
+    ));
+    for rec in &spans {
+        let dur = rec.dur.unwrap_or(Duration::ZERO);
+        let off = rec.ts.saturating_sub(t0);
+        let scale = |d: Duration| -> usize {
+            ((d.as_secs_f64() / span_total.as_secs_f64()) * WIDTH as f64).round() as usize
+        };
+        let lead = scale(off).min(WIDTH);
+        let bar = scale(dur).clamp(1, WIDTH - lead.min(WIDTH - 1));
+        let mut lane = " ".repeat(lead);
+        lane.push_str(&"#".repeat(bar));
+        out.push_str(&format!(
+            "{:>10.2} {:>10.2}  {:<w$}  {}\n",
+            ms(off),
+            ms(dur),
+            lane,
+            rec.name,
+            w = WIDTH
+        ));
+    }
+    out
+}
+
+/// Distinct track labels present in a record set, in sorted order.
+pub fn tracks(records: &[TraceRecord]) -> Vec<String> {
+    let mut t: Vec<String> = records.iter().map(|r| r.track.clone()).collect();
+    t.sort();
+    t.dedup();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::names;
+
+    fn span(track: &str, name: &'static str, ts_us: u64, dur_us: u64) -> TraceRecord {
+        TraceRecord {
+            ts: Duration::from_micros(ts_us),
+            dur: Some(Duration::from_micros(dur_us)),
+            track: track.to_string(),
+            name,
+            fields: Vec::new(),
+            volatile: false,
+        }
+    }
+
+    #[test]
+    fn phase_table_aggregates_by_name() {
+        let recs = vec![
+            span("a", names::SESSION_PAL, 0, 100),
+            span("b", names::SESSION_PAL, 0, 300),
+            span("a", names::SESSION_HUMAN, 100, 1000),
+        ];
+        let table = phase_table("t", &recs);
+        assert!(table.contains("session.pal"));
+        assert!(table.contains("session.human"));
+        let agg = aggregate_by_name(&recs);
+        assert_eq!(agg["session.pal"].count(), 2);
+        assert_eq!(agg["session.human"].count(), 1);
+    }
+
+    #[test]
+    fn waterfall_orders_and_scales() {
+        let recs = vec![
+            span("s", names::SESSION_SUSPEND, 0, 50),
+            span("s", names::SESSION_PAL, 50, 150),
+            span("other", names::SESSION_PAL, 0, 1),
+        ];
+        let wf = waterfall(&recs, "s");
+        assert!(wf.contains("session.suspend"));
+        assert!(wf.contains("session.pal"));
+        assert!(!wf.contains("other"));
+        let empty = waterfall(&recs, "missing");
+        assert!(empty.contains("(no spans)"));
+    }
+
+    #[test]
+    fn tracks_are_sorted_and_deduped() {
+        let recs = vec![
+            span("b", names::SESSION_PAL, 0, 1),
+            span("a", names::SESSION_PAL, 0, 1),
+            span("b", names::SESSION_PAL, 1, 1),
+        ];
+        assert_eq!(tracks(&recs), vec!["a".to_string(), "b".to_string()]);
+    }
+}

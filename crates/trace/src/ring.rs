@@ -1,0 +1,107 @@
+//! Bounded drop-oldest ring of trace records — the per-thread flight
+//! recorder's storage. A full ring never blocks and never reallocates
+//! past its capacity: the oldest record is evicted and counted, so a
+//! runaway emitter costs memory proportional to the cap, not the run.
+
+use std::collections::VecDeque;
+
+use crate::record::TraceRecord;
+
+/// Default per-thread ring capacity (records, not bytes).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// A bounded FIFO of trace records with drop-oldest overflow.
+#[derive(Debug)]
+pub struct Ring {
+    slots: VecDeque<TraceRecord>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    /// A ring holding at most `cap` records (`cap` is clamped to ≥ 1).
+    pub fn new(cap: usize) -> Ring {
+        let cap = cap.max(1);
+        Ring {
+            slots: VecDeque::with_capacity(cap),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest when full.
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.slots.len() == self.cap {
+            self.slots.pop_front();
+            self.dropped += 1;
+        }
+        self.slots.push_back(rec);
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Records evicted by overflow since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Moves all buffered records out, oldest first (drop count is kept).
+    pub fn drain(&mut self) -> Vec<TraceRecord> {
+        self.slots.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::names;
+    use std::time::Duration;
+
+    fn rec(n: u64) -> TraceRecord {
+        TraceRecord {
+            ts: Duration::from_nanos(n),
+            dur: None,
+            track: "t".to_string(),
+            name: names::TPM_CMD,
+            fields: Vec::new(),
+            volatile: false,
+        }
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        let mut ring = Ring::new(3);
+        for n in 0..5 {
+            ring.push(rec(n));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let kept: Vec<u128> = ring.drain().iter().map(|r| r.ts.as_nanos()).collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest records evicted first");
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 2, "drain keeps the drop count");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut ring = Ring::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.push(rec(1));
+        ring.push(rec(2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.dropped(), 1);
+    }
+}

@@ -19,6 +19,9 @@ cargo run -q -p utp-analyze -- --format json \
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> trace smoke (two E2 runs, byte-identical canonical JSONL)"
+cargo run --release -q -p utp-bench --bin trace_smoke
+
 echo "==> differential pipeline test (timed)"
 cargo test --release -q --test pipeline_differential -- --nocapture
 
