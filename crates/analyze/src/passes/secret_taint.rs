@@ -28,6 +28,13 @@
 //!    Idents immediately followed by `::` are path qualifiers (the
 //!    `utp_trace::keys::OP` key-name registry), not values, and are
 //!    skipped.
+//! 5. **Journal sinks.** A tainted identifier in the argument list of a
+//!    settlement-journal append (`.append_record()` /
+//!    `.install_snapshot()`) is a deny *workspace-wide*: WAL frames
+//!    land verbatim on the (simulated) disk, outliving the process and
+//!    any zeroization — durable state is the last place key material
+//!    may ever appear. Same `::` path-qualifier exemption as rule 4
+//!    (`JournalRecord::Settle` names a variant, not a value).
 //!
 //! Nonces are deliberately *not* sources here: in this protocol the
 //! nonce is the quote's public `externalData`, not a secret.
@@ -80,6 +87,10 @@ const WIRE_METHODS: &[&str] = &["to_bytes", "write", "serialize"];
 /// Flight-recorder emission sinks (`utp_trace::span(..)` and friends):
 /// field values land verbatim in the JSONL export.
 const TRACE_SINK_FNS: &[&str] = &["span", "event", "span_volatile", "event_volatile"];
+
+/// Settlement-journal append sinks: the record payload is framed onto
+/// the WAL byte-for-byte and survives the process.
+const JOURNAL_SINK_METHODS: &[&str] = &["append_record", "install_snapshot"];
 
 /// Files allowed to serialize key material (the sealing/wrapping
 /// boundary plus the key types' own codecs).
@@ -147,6 +158,7 @@ impl Pass for SecretTaint {
                 check_fn_sinks(file, ws.fn_item(idx), &secret_returning, fi, &mut out);
             }
             check_trace_sinks(file, ws.fn_item(idx), fi, &mut out);
+            check_journal_sinks(file, ws.fn_item(idx), fi, &mut out);
         }
         out
     }
@@ -459,6 +471,60 @@ fn check_trace_sinks(file: &SourceFile, item: &FnItem, fi: usize, out: &mut Vec<
                         "secret `{ident}` flows into trace sink `{}` in `{}`; trace \
                          records are serialized into the JSONL export — record a \
                          digest, a length, or nothing",
+                        c.name, item.name
+                    ),
+                },
+            ));
+        }
+    }
+}
+
+/// Rule 5: tainted identifiers must not appear in the argument list of
+/// a settlement-journal append. Runs workspace-wide — the WAL is
+/// durable, so a leaked secret outlives the process and any in-memory
+/// zeroization.
+fn check_journal_sinks(
+    file: &SourceFile,
+    item: &FnItem,
+    fi: usize,
+    out: &mut Vec<(usize, Finding)>,
+) {
+    if !item
+        .calls
+        .iter()
+        .any(|c| c.is_method && JOURNAL_SINK_METHODS.contains(&c.name.as_str()))
+    {
+        return;
+    }
+    // Name-based taint only, same rationale as the trace-sink rule.
+    let tainted = local_taint(file, item, &BTreeSet::new());
+    let is_tainted = |ident: &str| is_taint_secret_ident(ident) || tainted.contains(ident);
+    for c in &item.calls {
+        if !c.is_method || !JOURNAL_SINK_METHODS.contains(&c.name.as_str()) {
+            continue;
+        }
+        let args = &file.tokens[c.args.0..c.args.1];
+        let hit = args.iter().enumerate().find_map(|(j, t)| {
+            if t.kind != TokenKind::Ident || !is_tainted(&t.text) {
+                return None;
+            }
+            // `JournalRecord::Settle`-style path qualifiers name the
+            // record shape, not a value.
+            if args.get(j + 1).is_some_and(|n| n.is_punct("::")) {
+                return None;
+            }
+            Some(t.text.clone())
+        });
+        if let Some(ident) = hit {
+            out.push((
+                fi,
+                Finding {
+                    line: c.line,
+                    severity: Severity::Deny,
+                    message: format!(
+                        "secret `{ident}` flows into journal sink `{}` in `{}`; WAL \
+                         frames are durable and outlive zeroization — journal a \
+                         digest, a handle, or nothing",
                         c.name, item.name
                     ),
                 },

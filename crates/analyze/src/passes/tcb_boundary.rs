@@ -19,6 +19,7 @@ const FORBIDDEN_CRATES: &[&str] = &[
     "utp_attack",
     "utp_captcha",
     "utp_bench",
+    "utp_journal",
     "utp",
 ];
 

@@ -16,6 +16,13 @@
 //! (`TpmOpRecord`, `PhaseTimings`) that untrusted code turns into
 //! records — the recorder itself must never be PAL-reachable, or the
 //! measured TCB would silently absorb the whole observability stack.
+//!
+//! The settlement journal (`crates/journal`) gets the same explicit
+//! gate: the TCB must never depend on disk. Durability is the untrusted
+//! provider's availability concern — the PAL attests what the human
+//! confirmed and nothing more, and a storage stack (device model, WAL
+//! framing, recovery) reachable from the PAL would both balloon the
+//! measured TCB and hand the disk a way into the trusted path.
 
 use crate::diag::Severity;
 use crate::graph::WorkspaceIndex;
@@ -53,6 +60,24 @@ impl Pass for TcbReachability {
                              (chain: {}); trace emission must stay out of the PAL — \
                              export a data-only journal from trusted code and turn it \
                              into records outside the TCB",
+                            item.name,
+                            ws.chain_to(idx),
+                        ),
+                    },
+                ));
+                continue;
+            }
+            if path.starts_with("crates/journal/src/") {
+                out.push((
+                    ws.fns[idx].file,
+                    Finding {
+                        line: item.start_line,
+                        severity: Severity::Deny,
+                        message: format!(
+                            "`{}` in the settlement journal is reachable from the TCB \
+                             (chain: {}); the TCB must never depend on disk — durability \
+                             is the untrusted provider's concern, the PAL only attests \
+                             what the human confirmed",
                             item.name,
                             ws.chain_to(idx),
                         ),

@@ -1,0 +1,5 @@
+// Fed as `crates/journal/src/lib.rs`: the settlement journal itself.
+// Reachability from a TCB entry point is denied by the explicit journal
+// gate regardless of any declared category.
+#![forbid(unsafe_code)]
+pub fn append_record() {}

@@ -1,0 +1,8 @@
+// Fed as `crates/tpm/src/persist.rs` (a TCB file). It names the
+// settlement journal, so the call resolves cross-crate — a PAL that
+// depends on disk is exactly what the explicit tcb-reachability
+// journal gate denies, and the import itself breaks the TCB boundary.
+use utp_journal::append_record;
+pub fn quote_then_persist() {
+    append_record();
+}

@@ -1,0 +1,9 @@
+// Fed as `crates/server/src/journal_leak.rs`. Key material passed into
+// a settlement-journal append: the WAL frames it byte-for-byte onto the
+// (simulated) disk, where it outlives the process and any zeroization.
+// The rule is workspace-wide — this file is outside the key crates. The
+// `JournalRecord::`-qualified path segment names the record shape and
+// must not trip the scan on its own.
+pub fn persist_session(session_key: &[u8], journal: &Journal) {
+    journal.append_record(&JournalRecord::Settle(session_key));
+}

@@ -110,6 +110,35 @@ fn tcb_reachability_trace_gate_denies_pal_reachable_tracing() {
 }
 
 #[test]
+fn tcb_reachability_journal_gate_denies_pal_reachable_durability() {
+    let analysis = analyze(&[
+        ("crates/tpm/src/persist.rs", "reach/journal_pal.rs"),
+        ("crates/journal/src/lib.rs", "reach/journal_crate.rs"),
+    ]);
+    // Both layers fire: the import breaks the TCB boundary, and the
+    // reachable journal function trips the explicit journal gate — the
+    // TCB must never depend on disk.
+    assert_diags(
+        &analysis,
+        &[
+            (
+                "crates/journal/src/lib.rs",
+                5,
+                "tcb-reachability",
+                "`append_record` in the settlement journal is reachable from the TCB \
+                 (chain: quote_then_persist -> append_record)",
+            ),
+            (
+                "crates/tpm/src/persist.rs",
+                5,
+                "tcb-boundary",
+                "TCB file imports `utp_journal`, which is outside the trusted computing base",
+            ),
+        ],
+    );
+}
+
+#[test]
 fn no_panic_transitive_follows_the_call_chain_out_of_the_tcb() {
     let analysis = analyze(&[
         ("crates/flicker/src/pal.rs", "panic/pal.rs"),
@@ -165,6 +194,23 @@ fn secret_taint_flags_trace_sink_but_skips_key_name_paths() {
 }
 
 #[test]
+fn secret_taint_flags_journal_sink_outside_key_crates() {
+    let analysis = analyze(&[("crates/server/src/journal_leak.rs", "taint/journal_leak.rs")]);
+    // Exactly one finding: `session_key` in the append's value position.
+    // The `JournalRecord::` path segment does not trip the scan, and the
+    // rule fires even though `crates/server` is outside the key crates.
+    assert_diags(
+        &analysis,
+        &[(
+            "crates/server/src/journal_leak.rs",
+            8,
+            "secret-taint",
+            "secret `session_key` flows into journal sink `append_record` in `persist_session`",
+        )],
+    );
+}
+
+#[test]
 fn lock_discipline_flags_blocking_cycle_and_reentrancy() {
     let analysis = analyze(&[("crates/server/src/svc.rs", "locks/svc.rs")]);
     assert_diags(
@@ -208,10 +254,13 @@ fn golden_json_snapshot() {
         ("crates/core/src/rogue.rs", "reach/rogue.rs"),
         ("crates/tpm/src/quote_path.rs", "reach/trace_pal.rs"),
         ("crates/trace/src/lib.rs", "reach/trace_crate.rs"),
+        ("crates/tpm/src/persist.rs", "reach/journal_pal.rs"),
+        ("crates/journal/src/lib.rs", "reach/journal_crate.rs"),
         ("crates/flicker/src/pal.rs", "panic/pal.rs"),
         ("crates/flicker/src/helper.rs", "panic/helper.rs"),
         ("crates/tpm/src/leaky.rs", "taint/leaky.rs"),
         ("crates/tpm/src/trace_leak.rs", "taint/trace_leak.rs"),
+        ("crates/server/src/journal_leak.rs", "taint/journal_leak.rs"),
         ("crates/server/src/svc.rs", "locks/svc.rs"),
     ]);
     let findings = render_json(&analysis.diagnostics);

@@ -1,0 +1,14 @@
+//! Prints the E11 tables (WAL group commit vs flush-per-record, and
+//! recovery time vs log length).
+use utp_bench::experiments::e11_durability as e11;
+
+fn main() {
+    let report = e11::run(2_048, &[1, 4, 16, 64], &[256, 1_024, 4_096]);
+    println!("{}", e11::render(&report));
+    for profile in ["nvme", "ssd", "hdd"] {
+        println!(
+            "{profile}: best batch sustains {:.1}x flush-per-record throughput",
+            e11::best_speedup(&report, profile)
+        );
+    }
+}

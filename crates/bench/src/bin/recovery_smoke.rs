@@ -1,0 +1,182 @@
+//! Recovery smoke gate: runs a journaled end-to-end transaction, crashes
+//! the provider, recovers it on the same virtual clock, and asserts the
+//! whole crash→recover trace is **byte-identical across two runs** (the
+//! determinism contract extended to the durability path). Writes the
+//! canonical trace, a recovered-state summary, and the E11 durability
+//! tables to `target/journal/` for CI artifact upload.
+//!
+//! Run: `cargo run -p utp-bench --bin recovery_smoke`
+use std::fmt::Write as _;
+use std::fs;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+use utp_bench::experiments::e11_durability as e11;
+use utp_core::ca::PrivacyCa;
+use utp_core::client::{Client, ClientConfig};
+use utp_core::operator::{ConfirmingHuman, Intent};
+use utp_core::verifier::VerifierConfig;
+use utp_journal::{Journal, JournalConfig, RecoveredStatus, RecoveryReport};
+use utp_netsim::{Link, LinkConfig};
+use utp_platform::machine::{Machine, MachineConfig};
+use utp_server::flow::{recover_provider, run_transaction};
+use utp_server::provider::ServiceProvider;
+use utp_trace::{Export, Recorder};
+
+/// One full crash→recover cycle; returns the canonical trace of the
+/// restart plus the recovered-state summary.
+///
+/// Only the restart is recorded: `run_transaction` folds *host-measured*
+/// verify CPU into the virtual clock (the RSA verifies are our actual
+/// code), so pre-crash timestamps carry scheduler noise by design. The
+/// recovery path is purely virtual — its trace must be byte-stable.
+fn crash_recover_once() -> (String, String) {
+    let recorder = Recorder::new();
+    let ca = PrivacyCa::new(512, 551);
+    let mut provider = ServiceProvider::new(ca.public_key().clone(), 552);
+    let journal = Arc::new(Journal::new(JournalConfig::fast_for_tests()));
+    provider.attach_journal(Arc::clone(&journal));
+    provider.open_account("alice", 1_000_000);
+    let mut machine = Machine::new(MachineConfig::fast_for_tests(553));
+    let enrollment = ca.enroll(&mut machine);
+    let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+    let mut link = Link::new(LinkConfig::fixed_rtt(Duration::from_millis(40)), 554);
+    for i in 0..3u64 {
+        let mut human = ConfirmingHuman::new(
+            Intent {
+                payee: "bookshop".into(),
+                amount: format!("{}.00 EUR", 10 + i),
+                approve: true,
+            },
+            560 + i,
+        );
+        let report = run_transaction(
+            &mut machine,
+            &mut client,
+            &mut provider,
+            &mut link,
+            "alice",
+            "bookshop",
+            (10 + i) * 100,
+            "order",
+            &mut human,
+        )
+        .expect("link delivers");
+        assert!(report.outcome.is_ok(), "genuine confirmation settles");
+        assert!(report.durability > Duration::ZERO, "WAL time on the clock");
+    }
+
+    // Power fails; the replacement host boots a fresh virtual clock and
+    // replays the WAL.
+    drop(provider);
+    journal.crash();
+    let mut restarted = Machine::new(MachineConfig::fast_for_tests(556));
+    let (mut recovered, report) = {
+        let _sink = recorder.install("restart");
+        recover_provider(
+            &mut restarted,
+            ca.public_key().clone(),
+            VerifierConfig::default(),
+            555,
+            Arc::clone(&journal),
+        )
+    };
+    assert!(
+        restarted.now() > Duration::ZERO,
+        "recovery reads cost device time"
+    );
+    (
+        recorder.export_jsonl(Export::Canonical),
+        summarize(&mut recovered, &report),
+    )
+}
+
+fn summarize(provider: &mut ServiceProvider, report: &RecoveryReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "recovered-state summary (recovery_smoke)");
+    let _ = writeln!(
+        out,
+        "records applied {}, skipped {}, orphan decisions {}, snapshot used {}",
+        report.records_applied,
+        report.records_skipped,
+        report.orphan_decisions,
+        report.snapshot_used
+    );
+    let _ = writeln!(
+        out,
+        "valid log bytes {}, log end {:?}",
+        report.valid_log_bytes, report.log_end
+    );
+    for (name, account) in provider.store().accounts() {
+        let _ = writeln!(out, "account {name}: {} cents", account.balance_cents);
+    }
+    let state = provider
+        .checkpoint()
+        .expect("journaled provider checkpoints");
+    let confirmed = state
+        .orders
+        .values()
+        .filter(|o| o.status == RecoveredStatus::Confirmed)
+        .count();
+    let _ = writeln!(
+        out,
+        "orders {} ({} confirmed), nonces consumed {}, audit entries {}",
+        state.orders.len(),
+        confirmed,
+        state.used.len(),
+        state.audit.len()
+    );
+    out
+}
+
+fn main() -> ExitCode {
+    let (trace_a, summary_a) = crash_recover_once();
+    let (trace_b, summary_b) = crash_recover_once();
+    if trace_a != trace_b || summary_a != summary_b {
+        eprintln!("recovery smoke FAILED: crash→recover runs diverge");
+        for (i, (la, lb)) in trace_a.lines().zip(trace_b.lines()).enumerate() {
+            if la != lb {
+                eprintln!(
+                    "first differing trace line {}:\n  run 1: {la}\n  run 2: {lb}",
+                    i + 1
+                );
+                break;
+            }
+        }
+        return ExitCode::FAILURE;
+    }
+    if !trace_a.contains("journal.recover") {
+        eprintln!("recovery smoke FAILED: no journal.recover span in the canonical trace");
+        return ExitCode::FAILURE;
+    }
+    let e11_report = e11::run(2_048, &[1, 4, 16, 64], &[256, 1_024, 4_096]);
+    let mut e11_table = e11::render(&e11_report);
+    for profile in ["nvme", "ssd", "hdd"] {
+        let speedup = e11::best_speedup(&e11_report, profile);
+        if speedup < 3.0 {
+            eprintln!(
+                "recovery smoke FAILED: {profile} group commit only {speedup:.2}x \
+                 over flush-per-record (acceptance bar is 3x)"
+            );
+            return ExitCode::FAILURE;
+        }
+        let _ = writeln!(
+            e11_table,
+            "{profile}: best batch sustains {speedup:.1}x flush-per-record throughput"
+        );
+    }
+    if let Err(e) = fs::create_dir_all("target/journal")
+        .and_then(|()| fs::write("target/journal/recovery_canonical.jsonl", &trace_a))
+        .and_then(|()| fs::write("target/journal/recovered_state.txt", &summary_a))
+        .and_then(|()| fs::write("target/journal/e11_table.txt", &e11_table))
+    {
+        eprintln!("recovery smoke FAILED: cannot write target/journal artifacts: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "recovery smoke OK: {} canonical records byte-identical across 2 crash→recover runs; \
+         artifacts in target/journal/",
+        trace_a.lines().count()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,6 +1,7 @@
 //! Experiment implementations E1–E7 (see DESIGN.md for the index).
 
 pub mod e10_service;
+pub mod e11_durability;
 pub mod e1_tpm_micro;
 pub mod e2_session_breakdown;
 pub mod e3_end_to_end;

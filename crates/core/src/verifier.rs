@@ -184,6 +184,24 @@ impl NonceLedger {
         self.pending.insert(*nonce.as_bytes(), pending);
     }
 
+    /// Marks a nonce as already consumed without a pending entry —
+    /// recovery support: a journaled settle decision must survive a
+    /// restart as replay protection.
+    pub fn restore_used(&mut self, nonce: [u8; 20]) {
+        self.used.insert(nonce);
+    }
+
+    /// Iterates the outstanding (issued, unsettled) entries — snapshot
+    /// support. Iteration order is unspecified.
+    pub fn pending_entries(&self) -> impl Iterator<Item = (&[u8; 20], &PendingNonce)> {
+        self.pending.iter()
+    }
+
+    /// Iterates the consumed-nonce set — snapshot support.
+    pub fn used_entries(&self) -> impl Iterator<Item = &[u8; 20]> {
+        self.used.iter()
+    }
+
     /// Non-consuming settlement check: replay, unknown and expiry rules,
     /// returning a copy of the pending entry so the caller can run the
     /// stateless crypto without holding the ledger.
@@ -385,6 +403,19 @@ impl Verifier {
             },
         );
         self.stats.issued += 1;
+    }
+
+    /// Restores an outstanding entry from a recovered journal — the
+    /// challenge was issued (and persisted) before the crash, so its
+    /// evidence must still be settleable after restart.
+    pub fn restore_pending(&mut self, nonce: [u8; 20], pending: PendingNonce) {
+        self.ledger.register(&Sha1Digest(nonce), pending);
+    }
+
+    /// Restores a consumed nonce from a recovered journal so replayed
+    /// evidence keeps being rejected after restart.
+    pub fn restore_used(&mut self, nonce: [u8; 20]) {
+        self.ledger.restore_used(nonce);
     }
 
     /// Drops expired nonces (housekeeping; `verify` also checks expiry).

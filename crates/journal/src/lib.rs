@@ -1,0 +1,45 @@
+//! `utp-journal` — crash-safe durability for the settlement path.
+//!
+//! The paper's server-side guarantee (no forged or replayed transaction
+//! is ever accepted) must survive a crash of the verifier: a settled
+//! nonce that is forgotten on restart reopens double-spend. This crate
+//! makes the settlement path durable the way the rest of this repo
+//! models hardware — as a *simulated device* on the virtual clock:
+//!
+//! - [`device`]: an append-only [`StorageDevice`] with calibrated
+//!   write/flush/read latency and injectable faults (torn tails,
+//!   dropped flushes, halts, crash points at every record boundary);
+//! - [`record`]: the checksummed, length-prefixed WAL frame format and
+//!   the typed records of the settlement path;
+//! - [`journal`]: the [`Journal`] facade — group commit (batching
+//!   settle records into one flush), snapshots with log truncation,
+//!   and the WAL-before-ack barrier [`Journal::sync_to`];
+//! - [`snapshot`]: whole-state snapshot frames (last valid wins);
+//! - [`recover`]: pure, total [`replay_bytes`] rebuilding
+//!   [`RecoveredState`] — nonce ledger, store orders/balances, and
+//!   audit history — treating any torn/corrupt suffix as a clean crash
+//!   (prefix-consistent, fail-closed).
+//!
+//! Nothing in here may be reachable from the TCB: the trusted path
+//! must never depend on disk. The `tcb-reachability` analyzer pass
+//! enforces that, and `secret-taint` treats journal appends as sinks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod journal;
+pub mod record;
+pub mod recover;
+pub mod snapshot;
+
+pub use device::{DeviceCounters, DeviceProfile, FaultPlan, StorageDevice};
+pub use journal::{AppendReceipt, Journal, JournalConfig, JournalStats};
+pub use record::{
+    encode_frame, frame_boundaries, scan, Frame, JournalRecord, Scan, ScanEnd, NO_ORDER,
+};
+pub use recover::{
+    replay_bytes, LogEnd, RecoveredDecision, RecoveredOrder, RecoveredState, RecoveredStatus,
+    RecoveryReport,
+};
+pub use snapshot::{decode_snapshot, encode_snapshot};

@@ -1,0 +1,554 @@
+//! WAL frame format and typed journal records.
+//!
+//! On-media layout of one frame:
+//!
+//! ```text
+//! [magic 0xA5] [len: u32 LE] [crc32: u32 LE] [body: len bytes]
+//! body = [seq: u64 BE] [kind: u8] [payload]
+//! ```
+//!
+//! The CRC covers the body only; `len` is the body length. Scanning is
+//! fail-closed: the first frame whose header is torn, whose magic is
+//! wrong, whose checksum mismatches, or whose body does not decode as a
+//! known record ends the valid prefix — everything after it is treated
+//! as crash garbage, never partially applied.
+
+use std::time::Duration;
+
+use utp_core::protocol::{TransactionRequest, Verdict};
+use utp_core::verifier::VerifyError;
+use utp_flicker::marshal::{put_bytes, put_u64, Reader};
+
+/// First byte of every frame; makes zero-fill and text garbage
+/// unambiguous at scan time.
+pub const FRAME_MAGIC: u8 = 0xA5;
+
+/// Fixed header size: magic + len + crc.
+pub const FRAME_HEADER_LEN: usize = 1 + 4 + 4;
+
+/// Sentinel `order_id` for settle decisions not tied to a store order
+/// (e.g. evidence submitted straight to the service).
+pub const NO_ORDER: u64 = u64::MAX;
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE 802.3, reflected) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Outcome of one settle decision, as recorded in the journal. Wire
+/// codes are part of the on-media format; unknown future
+/// [`VerifyError`] variants (`#[non_exhaustive]`) are recorded as
+/// [`VerifyError::ServiceUnavailable`] — retryable, so durably safe.
+pub(crate) fn encode_outcome(buf: &mut Vec<u8>, outcome: &Result<(), VerifyError>) {
+    match outcome {
+        Ok(()) => buf.push(0),
+        Err(VerifyError::NotConfirmed(v)) => {
+            buf.push(1);
+            buf.push(match v {
+                Verdict::Confirmed => 1,
+                Verdict::Rejected => 2,
+                Verdict::Timeout => 3,
+            });
+        }
+        Err(VerifyError::Replayed) => buf.push(3),
+        Err(VerifyError::Expired) => buf.push(4),
+        Err(VerifyError::UntrustedPal) => buf.push(5),
+        Err(VerifyError::BadQuote) => buf.push(6),
+        Err(VerifyError::TokenMismatch) => buf.push(7),
+        Err(VerifyError::BadCertificate) => buf.push(8),
+        Err(VerifyError::UnknownNonce) => buf.push(9),
+        Err(VerifyError::MalformedEvidence) => buf.push(10),
+        Err(VerifyError::ServiceUnavailable) => buf.push(11),
+        // VerifyError is #[non_exhaustive]; map unknown variants to the
+        // retryable code so recovery fails closed.
+        Err(_) => buf.push(11),
+    }
+}
+
+pub(crate) fn decode_outcome(r: &mut Reader<'_>) -> Option<Result<(), VerifyError>> {
+    let code = *r.take(1).ok()?.first()?;
+    Some(match code {
+        0 => Ok(()),
+        1 => {
+            let v = match *r.take(1).ok()?.first()? {
+                1 => Verdict::Confirmed,
+                2 => Verdict::Rejected,
+                3 => Verdict::Timeout,
+                _ => return None,
+            };
+            Err(VerifyError::NotConfirmed(v))
+        }
+        3 => Err(VerifyError::Replayed),
+        4 => Err(VerifyError::Expired),
+        5 => Err(VerifyError::UntrustedPal),
+        6 => Err(VerifyError::BadQuote),
+        7 => Err(VerifyError::TokenMismatch),
+        8 => Err(VerifyError::BadCertificate),
+        9 => Err(VerifyError::UnknownNonce),
+        10 => Err(VerifyError::MalformedEvidence),
+        11 => Err(VerifyError::ServiceUnavailable),
+        _ => return None,
+    })
+}
+
+/// One typed WAL record. Everything the settlement path must not forget
+/// across a crash is expressed as one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// An account was opened with an initial balance (cents, signed —
+    /// encoded as two's-complement u64).
+    OpenAccount {
+        /// Account name.
+        name: String,
+        /// Opening balance in cents.
+        balance_cents: i64,
+    },
+    /// An order was created and its challenge issued. `request_bytes`
+    /// is the canonical [`TransactionRequest`] encoding; it binds the
+    /// nonce (and transaction) to the order, so recovery can rebuild
+    /// the pending side of the nonce ledger.
+    CreateOrder {
+        /// Store order id.
+        order_id: u64,
+        /// Account the order debits.
+        account: String,
+        /// Virtual time the challenge was issued.
+        issued_at: Duration,
+        /// Canonical bytes of the issued [`TransactionRequest`].
+        request_bytes: Vec<u8>,
+    },
+    /// A settle decision: the verifier consumed (or rejected) evidence
+    /// for `nonce`. This is the record written ahead of the ack.
+    Settle {
+        /// Store order id, or [`NO_ORDER`] if untracked.
+        order_id: u64,
+        /// The nonce the evidence settled against.
+        nonce: [u8; 20],
+        /// Virtual time of the decision.
+        at: Duration,
+        /// The decision itself.
+        outcome: Result<(), VerifyError>,
+    },
+}
+
+const KIND_OPEN_ACCOUNT: u8 = 1;
+const KIND_CREATE_ORDER: u8 = 2;
+const KIND_SETTLE: u8 = 3;
+
+impl JournalRecord {
+    /// Encodes the record body (kind byte + payload, no seq/frame).
+    fn encode_payload(&self, buf: &mut Vec<u8>) {
+        match self {
+            JournalRecord::OpenAccount {
+                name,
+                balance_cents,
+            } => {
+                buf.push(KIND_OPEN_ACCOUNT);
+                put_bytes(buf, name.as_bytes());
+                put_u64(buf, *balance_cents as u64);
+            }
+            JournalRecord::CreateOrder {
+                order_id,
+                account,
+                issued_at,
+                request_bytes,
+            } => {
+                buf.push(KIND_CREATE_ORDER);
+                put_u64(buf, *order_id);
+                put_bytes(buf, account.as_bytes());
+                put_u64(buf, issued_at.as_nanos() as u64);
+                put_bytes(buf, request_bytes);
+            }
+            JournalRecord::Settle {
+                order_id,
+                nonce,
+                at,
+                outcome,
+            } => {
+                buf.push(KIND_SETTLE);
+                put_u64(buf, *order_id);
+                buf.extend_from_slice(nonce);
+                put_u64(buf, at.as_nanos() as u64);
+                encode_outcome(buf, outcome);
+            }
+        }
+    }
+
+    /// Decodes a record body (after the seq field). Returns `None` on
+    /// any malformation — the scanner treats that frame as garbage.
+    fn decode_payload(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        let kind = *r.take(1).ok()?.first()?;
+        let record = match kind {
+            KIND_OPEN_ACCOUNT => {
+                let name = String::from_utf8(r.bytes().ok()?.to_vec()).ok()?;
+                let balance_cents = r.u64().ok()? as i64;
+                JournalRecord::OpenAccount {
+                    name,
+                    balance_cents,
+                }
+            }
+            KIND_CREATE_ORDER => {
+                let order_id = r.u64().ok()?;
+                let account = String::from_utf8(r.bytes().ok()?.to_vec()).ok()?;
+                let issued_at = Duration::from_nanos(r.u64().ok()?);
+                let request_bytes = r.bytes().ok()?.to_vec();
+                // The request must parse: recovery re-derives the nonce
+                // and transaction from it, so a record carrying garbage
+                // request bytes is itself garbage.
+                TransactionRequest::from_bytes(&request_bytes).ok()?;
+                JournalRecord::CreateOrder {
+                    order_id,
+                    account,
+                    issued_at,
+                    request_bytes,
+                }
+            }
+            KIND_SETTLE => {
+                let order_id = r.u64().ok()?;
+                let nonce: [u8; 20] = r.take(20).ok()?.try_into().ok()?;
+                let at = Duration::from_nanos(r.u64().ok()?);
+                let outcome = decode_outcome(&mut r)?;
+                JournalRecord::Settle {
+                    order_id,
+                    nonce,
+                    at,
+                    outcome,
+                }
+            }
+            _ => return None,
+        };
+        r.finish().ok()?;
+        Some(record)
+    }
+}
+
+/// A decoded frame: the record plus its sequence number and media span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Monotonic sequence number assigned at append time.
+    pub seq: u64,
+    /// The typed record.
+    pub record: JournalRecord,
+    /// Byte offset of the frame start on the media.
+    pub offset: usize,
+    /// Total encoded frame length (header + body).
+    pub len: usize,
+}
+
+/// Encodes one frame (header + body) for `record` at `seq`.
+pub fn encode_frame(seq: u64, record: &JournalRecord) -> Vec<u8> {
+    let mut body = Vec::new();
+    put_u64(&mut body, seq);
+    record.encode_payload(&mut body);
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
+    frame.push(FRAME_MAGIC);
+    frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&body).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame
+}
+
+/// Why a scan stopped where it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanEnd {
+    /// The log ended exactly at a frame boundary.
+    Clean,
+    /// Fewer than [`FRAME_HEADER_LEN`] bytes remained — a torn header.
+    TornHeader,
+    /// The header promised more body bytes than remain — a torn body.
+    TornBody,
+    /// The next byte was not [`FRAME_MAGIC`].
+    BadMagic,
+    /// The body checksum did not match.
+    BadChecksum,
+    /// The checksum held but the body did not decode as a known record
+    /// (format version skew or a colliding corruption).
+    BadRecord,
+}
+
+/// Result of scanning a byte string for valid frames.
+#[derive(Debug, Clone)]
+pub struct Scan {
+    /// The decoded valid prefix, in order.
+    pub frames: Vec<Frame>,
+    /// Bytes of the valid prefix; everything at and after this offset
+    /// is crash garbage.
+    pub valid_len: usize,
+    /// Why the scan stopped.
+    pub end: ScanEnd,
+}
+
+/// Scans `bytes` from the start, decoding frames until the first
+/// malformation. Never panics; a torn or corrupt suffix simply ends the
+/// valid prefix (fail-closed, prefix-consistent).
+pub fn scan(bytes: &[u8]) -> Scan {
+    let mut frames = Vec::new();
+    let mut pos = 0usize;
+    let end = loop {
+        if pos == bytes.len() {
+            break ScanEnd::Clean;
+        }
+        if bytes.len() - pos < FRAME_HEADER_LEN {
+            break ScanEnd::TornHeader;
+        }
+        if bytes[pos] != FRAME_MAGIC {
+            break ScanEnd::BadMagic;
+        }
+        let len = u32::from_le_bytes([
+            bytes[pos + 1],
+            bytes[pos + 2],
+            bytes[pos + 3],
+            bytes[pos + 4],
+        ]) as usize;
+        let crc = u32::from_le_bytes([
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+            bytes[pos + 8],
+        ]);
+        let body_start = pos + FRAME_HEADER_LEN;
+        if bytes.len() - body_start < len {
+            break ScanEnd::TornBody;
+        }
+        let body = &bytes[body_start..body_start + len];
+        if crc32(body) != crc {
+            break ScanEnd::BadChecksum;
+        }
+        if body.len() < 8 {
+            break ScanEnd::BadRecord;
+        }
+        let seq = u64::from_be_bytes([
+            body[0], body[1], body[2], body[3], body[4], body[5], body[6], body[7],
+        ]);
+        let Some(record) = JournalRecord::decode_payload(&body[8..]) else {
+            break ScanEnd::BadRecord;
+        };
+        frames.push(Frame {
+            seq,
+            record,
+            offset: pos,
+            len: FRAME_HEADER_LEN + len,
+        });
+        pos += FRAME_HEADER_LEN + len;
+    };
+    Scan {
+        frames,
+        valid_len: pos,
+        end,
+    }
+}
+
+/// Byte offsets of every frame boundary in `bytes` (including 0 and the
+/// end), for crash-point sweeps.
+pub fn frame_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let s = scan(bytes);
+    let mut out = vec![0];
+    for f in &s.frames {
+        out.push(f.offset + f.len);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<JournalRecord> {
+        vec![
+            JournalRecord::OpenAccount {
+                name: "alice".into(),
+                balance_cents: -250,
+            },
+            JournalRecord::Settle {
+                order_id: 7,
+                nonce: [0x41; 20],
+                at: Duration::from_millis(1500),
+                outcome: Ok(()),
+            },
+            JournalRecord::Settle {
+                order_id: NO_ORDER,
+                nonce: [2; 20],
+                at: Duration::from_secs(2),
+                outcome: Err(VerifyError::NotConfirmed(Verdict::Timeout)),
+            },
+            JournalRecord::Settle {
+                order_id: 1,
+                nonce: [3; 20],
+                at: Duration::ZERO,
+                outcome: Err(VerifyError::Replayed),
+            },
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip_through_scan() {
+        let records = sample_records();
+        let mut log = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            log.extend_from_slice(&encode_frame(i as u64 + 1, r));
+        }
+        let s = scan(&log);
+        assert_eq!(s.end, ScanEnd::Clean);
+        assert_eq!(s.valid_len, log.len());
+        assert_eq!(s.frames.len(), records.len());
+        for (i, f) in s.frames.iter().enumerate() {
+            assert_eq!(f.seq, i as u64 + 1);
+            assert_eq!(f.record, records[i]);
+        }
+    }
+
+    #[test]
+    fn all_outcome_codes_roundtrip() {
+        let outcomes: Vec<Result<(), VerifyError>> = vec![
+            Ok(()),
+            Err(VerifyError::NotConfirmed(Verdict::Confirmed)),
+            Err(VerifyError::NotConfirmed(Verdict::Rejected)),
+            Err(VerifyError::NotConfirmed(Verdict::Timeout)),
+            Err(VerifyError::Replayed),
+            Err(VerifyError::Expired),
+            Err(VerifyError::UntrustedPal),
+            Err(VerifyError::BadQuote),
+            Err(VerifyError::TokenMismatch),
+            Err(VerifyError::BadCertificate),
+            Err(VerifyError::UnknownNonce),
+            Err(VerifyError::MalformedEvidence),
+            Err(VerifyError::ServiceUnavailable),
+        ];
+        for outcome in outcomes {
+            let rec = JournalRecord::Settle {
+                order_id: 9,
+                nonce: [7; 20],
+                at: Duration::from_secs(1),
+                outcome,
+            };
+            let frame = encode_frame(1, &rec);
+            let s = scan(&frame);
+            assert_eq!(s.frames.len(), 1, "{rec:?}");
+            assert_eq!(s.frames[0].record, rec);
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_length_is_prefix_consistent() {
+        let records = sample_records();
+        let mut log = Vec::new();
+        let mut boundaries = vec![0usize];
+        for (i, r) in records.iter().enumerate() {
+            log.extend_from_slice(&encode_frame(i as u64 + 1, r));
+            boundaries.push(log.len());
+        }
+        for cut in 0..=log.len() {
+            let s = scan(&log[..cut]);
+            // Valid prefix is the largest boundary <= cut.
+            let expect_frames = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(s.frames.len(), expect_frames, "cut={cut}");
+            assert_eq!(s.valid_len, boundaries[expect_frames], "cut={cut}");
+            if cut == boundaries[expect_frames] {
+                assert_eq!(s.end, ScanEnd::Clean);
+            } else {
+                assert_ne!(s.end, ScanEnd::Clean);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_extend_the_valid_prefix_past_the_flip() {
+        let records = sample_records();
+        let mut log = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            log.extend_from_slice(&encode_frame(i as u64 + 1, r));
+        }
+        let clean = scan(&log);
+        for byte in 0..log.len() {
+            for bit in 0..8 {
+                let mut corrupt = log.clone();
+                corrupt[byte] ^= 1 << bit;
+                let s = scan(&corrupt);
+                // Every frame fully before the flipped byte must survive
+                // unchanged; the flipped frame must not decode to a
+                // different record (crc32 catches all 1-bit errors).
+                let intact = clean
+                    .frames
+                    .iter()
+                    .filter(|f| f.offset + f.len <= byte)
+                    .count();
+                assert!(s.frames.len() >= intact, "byte={byte} bit={bit}");
+                for (a, b) in s.frames.iter().zip(clean.frames.iter()).take(intact) {
+                    assert_eq!(a, b);
+                }
+                if let Some(f) = s.frames.get(intact) {
+                    // A frame spanning the flip can only appear if the
+                    // flip was outside it (impossible here) — so it must
+                    // equal the original only when the flip missed it.
+                    assert!(
+                        f.offset + f.len <= byte || f == &clean.frames[intact],
+                        "flip silently altered a frame: byte={byte} bit={bit}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn length_lie_is_rejected() {
+        let rec = sample_records().remove(1);
+        let mut frame = encode_frame(1, &rec);
+        // Lie: claim a huge body.
+        frame[1..5].copy_from_slice(&u32::MAX.to_le_bytes());
+        let s = scan(&frame);
+        assert_eq!(s.frames.len(), 0);
+        assert_eq!(s.end, ScanEnd::TornBody);
+        // Lie small: claim a shorter body than written.
+        let mut frame2 = encode_frame(1, &rec);
+        let real_len = u32::from_le_bytes([frame2[1], frame2[2], frame2[3], frame2[4]]);
+        frame2[1..5].copy_from_slice(&(real_len - 1).to_le_bytes());
+        let s2 = scan(&frame2);
+        assert_eq!(s2.frames.len(), 0, "short lie must fail the checksum");
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn frame_boundaries_enumerates_all_cuts() {
+        let records = sample_records();
+        let mut log = Vec::new();
+        for (i, r) in records.iter().enumerate() {
+            log.extend_from_slice(&encode_frame(i as u64 + 1, r));
+        }
+        let b = frame_boundaries(&log);
+        assert_eq!(b.len(), records.len() + 1);
+        assert_eq!(b[0], 0);
+        assert_eq!(*b.last().unwrap(), log.len());
+    }
+}

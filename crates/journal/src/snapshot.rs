@@ -1,0 +1,321 @@
+//! Snapshot encoding: a whole [`RecoveredState`] as one checksummed
+//! frame on the snapshot device.
+//!
+//! Snapshots are appended, never rewritten in place: a torn snapshot
+//! write therefore can't destroy the previous good one. Decoding scans
+//! for frames and takes the **last valid** snapshot; replay then folds
+//! in only log records with `seq > snapshot.last_seq`.
+
+use std::time::Duration;
+
+use utp_core::protocol::{Transaction, TransactionRequest};
+use utp_core::verifier::PendingNonce;
+use utp_flicker::marshal::{put_bytes, put_u32, put_u64, Reader};
+
+use crate::record::{crc32, decode_outcome, encode_outcome, NO_ORDER};
+use crate::recover::{RecoveredDecision, RecoveredOrder, RecoveredState, RecoveredStatus};
+
+/// First byte of a snapshot frame (distinct from the WAL magic so a
+/// mis-routed device is caught immediately).
+pub const SNAPSHOT_MAGIC: u8 = 0x5A;
+
+/// Snapshot payload format version.
+const SNAPSHOT_VERSION: u32 = 1;
+
+const STATUS_PENDING: u8 = 0;
+const STATUS_CONFIRMED: u8 = 1;
+const STATUS_REJECTED: u8 = 2;
+
+fn encode_state(state: &RecoveredState) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u32(&mut buf, SNAPSHOT_VERSION);
+    put_u64(&mut buf, state.last_seq);
+    put_u64(&mut buf, state.next_order_id);
+    put_u64(&mut buf, state.max_tx_id);
+
+    put_u32(&mut buf, state.accounts.len() as u32);
+    for (name, balance) in &state.accounts {
+        put_bytes(&mut buf, name.as_bytes());
+        put_u64(&mut buf, *balance as u64);
+    }
+
+    put_u32(&mut buf, state.orders.len() as u32);
+    for (id, order) in &state.orders {
+        put_u64(&mut buf, *id);
+        put_bytes(&mut buf, order.account.as_bytes());
+        put_bytes(&mut buf, &order.transaction.to_bytes());
+        match &order.status {
+            RecoveredStatus::Pending => buf.push(STATUS_PENDING),
+            RecoveredStatus::Confirmed => buf.push(STATUS_CONFIRMED),
+            RecoveredStatus::Rejected(e) => {
+                buf.push(STATUS_REJECTED);
+                encode_outcome(&mut buf, &Err(*e));
+            }
+        }
+    }
+
+    // Pending nonces: the request bytes carry the nonce and transaction,
+    // so only (issued_at, request_bytes) need storing.
+    put_u32(&mut buf, state.pending.len() as u32);
+    for pending in state.pending.values() {
+        put_u64(&mut buf, pending.issued_at.as_nanos() as u64);
+        put_bytes(&mut buf, &pending.request_bytes);
+    }
+
+    put_u32(&mut buf, state.used.len() as u32);
+    for nonce in &state.used {
+        buf.extend_from_slice(nonce);
+    }
+
+    put_u32(&mut buf, state.audit.len() as u32);
+    for d in &state.audit {
+        put_u64(&mut buf, d.at.as_nanos() as u64);
+        put_u64(&mut buf, d.order_id.unwrap_or(NO_ORDER));
+        encode_outcome(&mut buf, &d.outcome);
+    }
+    buf
+}
+
+fn decode_state(bytes: &[u8]) -> Option<RecoveredState> {
+    let mut r = Reader::new(bytes);
+    if r.u32().ok()? != SNAPSHOT_VERSION {
+        return None;
+    }
+    let mut state = RecoveredState {
+        last_seq: r.u64().ok()?,
+        next_order_id: r.u64().ok()?,
+        max_tx_id: r.u64().ok()?,
+        ..RecoveredState::default()
+    };
+
+    let n_accounts = r.u32().ok()?;
+    for _ in 0..n_accounts {
+        let name = String::from_utf8(r.bytes().ok()?.to_vec()).ok()?;
+        let balance = r.u64().ok()? as i64;
+        state.accounts.insert(name, balance);
+    }
+
+    let n_orders = r.u32().ok()?;
+    for _ in 0..n_orders {
+        let id = r.u64().ok()?;
+        let account = String::from_utf8(r.bytes().ok()?.to_vec()).ok()?;
+        let transaction = Transaction::from_bytes(r.bytes().ok()?).ok()?;
+        let status = match *r.take(1).ok()?.first()? {
+            STATUS_PENDING => RecoveredStatus::Pending,
+            STATUS_CONFIRMED => RecoveredStatus::Confirmed,
+            STATUS_REJECTED => match decode_outcome(&mut r)? {
+                Err(e) => RecoveredStatus::Rejected(e),
+                Ok(()) => return None,
+            },
+            _ => return None,
+        };
+        state.orders.insert(
+            id,
+            RecoveredOrder {
+                account,
+                transaction,
+                status,
+            },
+        );
+    }
+
+    let n_pending = r.u32().ok()?;
+    for _ in 0..n_pending {
+        let issued_at = Duration::from_nanos(r.u64().ok()?);
+        let request_bytes = r.bytes().ok()?.to_vec();
+        let request = TransactionRequest::from_bytes(&request_bytes).ok()?;
+        state.pending.insert(
+            *request.nonce.as_bytes(),
+            PendingNonce {
+                request_bytes,
+                transaction: request.transaction,
+                issued_at,
+            },
+        );
+    }
+
+    let n_used = r.u32().ok()?;
+    for _ in 0..n_used {
+        let nonce: [u8; 20] = r.take(20).ok()?.try_into().ok()?;
+        state.used.insert(nonce);
+    }
+
+    let n_audit = r.u32().ok()?;
+    for _ in 0..n_audit {
+        let at = Duration::from_nanos(r.u64().ok()?);
+        let order_id = r.u64().ok()?;
+        let outcome = decode_outcome(&mut r)?;
+        state.audit.push(RecoveredDecision {
+            at,
+            order_id: (order_id != NO_ORDER).then_some(order_id),
+            outcome,
+        });
+    }
+    r.finish().ok()?;
+    Some(state)
+}
+
+/// Encodes `state` as one snapshot frame (magic + len + crc + payload).
+pub fn encode_snapshot(state: &RecoveredState) -> Vec<u8> {
+    let payload = encode_state(state);
+    let mut frame = Vec::with_capacity(9 + payload.len());
+    frame.push(SNAPSHOT_MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decodes the **last valid** snapshot frame in `bytes` (the snapshot
+/// device's durable contents). Returns `None` if no valid snapshot
+/// exists. Never panics; torn or corrupt frames end the scan, so a
+/// half-written newest snapshot falls back to the previous one.
+pub fn decode_snapshot(bytes: &[u8]) -> Option<RecoveredState> {
+    let mut best = None;
+    let mut pos = 0usize;
+    while bytes.len() - pos >= 9 {
+        if bytes[pos] != SNAPSHOT_MAGIC {
+            break;
+        }
+        let len = u32::from_le_bytes([
+            bytes[pos + 1],
+            bytes[pos + 2],
+            bytes[pos + 3],
+            bytes[pos + 4],
+        ]) as usize;
+        let crc = u32::from_le_bytes([
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+            bytes[pos + 8],
+        ]);
+        let start = pos + 9;
+        if bytes.len() - start < len {
+            break;
+        }
+        let payload = &bytes[start..start + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        if let Some(state) = decode_state(payload) {
+            best = Some(state);
+        } else {
+            break;
+        }
+        pos = start + len;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, BTreeSet};
+    use utp_core::protocol::ConfirmMode;
+    use utp_core::verifier::VerifyError;
+    use utp_crypto::sha1::Sha1Digest;
+
+    fn sample_state() -> RecoveredState {
+        let tx = Transaction::new(3, "shop", 750, "EUR", "memo");
+        let request = TransactionRequest {
+            transaction: tx.clone(),
+            nonce: Sha1Digest([0x55; 20]),
+            mode: ConfirmMode::TypeCode,
+        };
+        let mut accounts = BTreeMap::new();
+        accounts.insert("alice".to_string(), -120);
+        accounts.insert("bob".to_string(), 9_000);
+        let mut orders = BTreeMap::new();
+        orders.insert(
+            1,
+            RecoveredOrder {
+                account: "alice".into(),
+                transaction: tx.clone(),
+                status: RecoveredStatus::Confirmed,
+            },
+        );
+        orders.insert(
+            2,
+            RecoveredOrder {
+                account: "bob".into(),
+                transaction: tx.clone(),
+                status: RecoveredStatus::Rejected(VerifyError::Expired),
+            },
+        );
+        let mut pending = BTreeMap::new();
+        pending.insert(
+            [0x55; 20],
+            PendingNonce {
+                request_bytes: request.to_bytes(),
+                transaction: tx,
+                issued_at: Duration::from_secs(9),
+            },
+        );
+        let mut used = BTreeSet::new();
+        used.insert([1; 20]);
+        used.insert([2; 20]);
+        RecoveredState {
+            accounts,
+            orders,
+            pending,
+            used,
+            audit: vec![RecoveredDecision {
+                at: Duration::from_secs(10),
+                order_id: Some(1),
+                outcome: Ok(()),
+            }],
+            next_order_id: 3,
+            max_tx_id: 3,
+            last_seq: 17,
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let state = sample_state();
+        let frame = encode_snapshot(&state);
+        let decoded = decode_snapshot(&frame).expect("snapshot decodes");
+        assert_eq!(decoded, state);
+    }
+
+    #[test]
+    fn last_valid_snapshot_wins() {
+        let mut old = sample_state();
+        old.last_seq = 5;
+        let new = sample_state();
+        let mut media = encode_snapshot(&old);
+        media.extend_from_slice(&encode_snapshot(&new));
+        assert_eq!(decode_snapshot(&media).expect("decodes").last_seq, 17);
+    }
+
+    #[test]
+    fn torn_newest_snapshot_falls_back_to_previous() {
+        let old = sample_state();
+        let new_frame = encode_snapshot(&sample_state());
+        let mut media = encode_snapshot(&old);
+        media.extend_from_slice(&new_frame[..new_frame.len() / 2]);
+        let decoded = decode_snapshot(&media).expect("falls back");
+        assert_eq!(decoded, old);
+    }
+
+    #[test]
+    fn corruption_never_panics_and_fails_closed() {
+        let frame = encode_snapshot(&sample_state());
+        assert!(decode_snapshot(&[]).is_none());
+        assert!(decode_snapshot(&frame[..4]).is_none());
+        for byte in 0..frame.len() {
+            let mut corrupt = frame.clone();
+            corrupt[byte] ^= 0x10;
+            // Must not panic; result is either None or (when the flip is
+            // detected) never a silently different state.
+            let _ = decode_snapshot(&corrupt);
+        }
+    }
+
+    #[test]
+    fn empty_state_roundtrips() {
+        let state = RecoveredState::default();
+        let frame = encode_snapshot(&state);
+        assert_eq!(decode_snapshot(&frame).expect("decodes"), state);
+    }
+}

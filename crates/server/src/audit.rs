@@ -7,10 +7,18 @@
 //! (so a truncated history is always detectable). Every recorded
 //! decision also emits a deterministic `audit.decision` trace event on
 //! the calling thread's sink (a no-op when untraced).
+//!
+//! **Durable mode**: when backed by the settlement journal
+//! ([`AuditLog::attach_journal`]), eviction stops losing history — every
+//! settle decision is already on the WAL, so [`AuditLog::for_order_durable`]
+//! and [`AuditLog::in_window_durable`] page evicted entries back in from
+//! the journal instead of silently returning only the retained tail.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Duration;
 use utp_core::verifier::VerifyError;
+use utp_journal::{Journal, NO_ORDER};
 use utp_trace::{keys, names, Value};
 
 /// Default retention: enough for every experiment in the suite while
@@ -34,6 +42,7 @@ pub struct AuditLog {
     entries: VecDeque<AuditEntry>,
     retention: usize,
     evicted: u64,
+    journal: Option<Arc<Journal>>,
 }
 
 impl Default for AuditLog {
@@ -54,7 +63,19 @@ impl AuditLog {
             entries: VecDeque::new(),
             retention: retention.max(1),
             evicted: 0,
+            journal: None,
         }
+    }
+
+    /// Switches to durable mode: evicted entries stay recoverable via
+    /// the settlement journal's WAL records.
+    pub fn attach_journal(&mut self, journal: Arc<Journal>) {
+        self.journal = Some(journal);
+    }
+
+    /// True when a journal backs this log.
+    pub fn is_durable(&self) -> bool {
+        self.journal.is_some()
     }
 
     /// The configured retention capacity.
@@ -133,6 +154,65 @@ impl AuditLog {
             .filter(|e| e.at >= from && e.at < to)
             .collect()
     }
+
+    /// Restores one decision from a recovered journal: same retention
+    /// bookkeeping as [`AuditLog::record`], but no trace event — recovery
+    /// must not re-emit history into the canonical trace.
+    pub fn restore(&mut self, at: Duration, order_id: u64, outcome: Result<(), VerifyError>) {
+        if self.entries.len() >= self.retention {
+            self.entries.pop_front();
+            self.evicted += 1;
+        }
+        self.entries.push_back(AuditEntry {
+            at,
+            order_id,
+            outcome,
+        });
+    }
+
+    /// The full decision history the journal can reproduce (including
+    /// records staged but not yet flushed), mapped to audit entries.
+    /// Untracked decisions carry `order_id == u64::MAX`.
+    fn journal_history(&self) -> Option<Vec<AuditEntry>> {
+        let journal = self.journal.as_ref()?;
+        Some(
+            journal
+                .replay_live()
+                .audit
+                .into_iter()
+                .map(|d| AuditEntry {
+                    at: d.at,
+                    order_id: d.order_id.unwrap_or(NO_ORDER),
+                    outcome: d.outcome,
+                })
+                .collect(),
+        )
+    }
+
+    /// Durable [`AuditLog::for_order`]: in durable mode, pages evicted
+    /// entries back in from the journal so the result covers the whole
+    /// history, not just the retained tail. Falls back to the in-memory
+    /// entries when no journal is attached.
+    pub fn for_order_durable(&self, order_id: u64) -> Vec<AuditEntry> {
+        match self.journal_history() {
+            Some(history) => history
+                .into_iter()
+                .filter(|e| e.order_id == order_id)
+                .collect(),
+            None => self.for_order(order_id).into_iter().cloned().collect(),
+        }
+    }
+
+    /// Durable [`AuditLog::in_window`] (see [`AuditLog::for_order_durable`]).
+    pub fn in_window_durable(&self, from: Duration, to: Duration) -> Vec<AuditEntry> {
+        match self.journal_history() {
+            Some(history) => history
+                .into_iter()
+                .filter(|e| e.at >= from && e.at < to)
+                .collect(),
+            None => self.in_window(from, to).into_iter().cloned().collect(),
+        }
+    }
 }
 
 /// Flattens an outcome into the trace `outcome` field's label.
@@ -208,6 +288,54 @@ mod tests {
         assert_eq!(log.retention(), 1);
         assert_eq!(log.len(), 1);
         assert_eq!(log.evicted(), 1);
+    }
+
+    #[test]
+    fn durable_mode_pages_evicted_entries_from_journal() {
+        let journal = Arc::new(Journal::new(utp_journal::JournalConfig::fast_for_tests()));
+        let mut log = AuditLog::with_retention(2);
+        assert!(!log.is_durable());
+        log.attach_journal(Arc::clone(&journal));
+        assert!(log.is_durable());
+        for i in 0..5u64 {
+            journal.append_record(&utp_journal::JournalRecord::Settle {
+                order_id: i,
+                nonce: [i as u8; 20],
+                at: t(i),
+                outcome: Ok(()),
+            });
+            log.record(t(i), i, Ok(()));
+        }
+        journal.sync();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.evicted(), 3);
+        // Evicted from memory, but the journal still has it.
+        assert!(log.for_order(0).is_empty());
+        let paged = log.for_order_durable(0);
+        assert_eq!(paged.len(), 1);
+        assert_eq!(paged[0].at, t(0));
+        assert!(paged[0].outcome.is_ok());
+        // Window queries cover the full history in durable mode.
+        assert_eq!(log.in_window(t(0), t(5)).len(), 2);
+        assert_eq!(log.in_window_durable(t(0), t(5)).len(), 5);
+    }
+
+    #[test]
+    fn restore_keeps_retention_bookkeeping_without_tracing() {
+        let recorder = Recorder::new();
+        let mut log = AuditLog::with_retention(2);
+        {
+            let _sink = recorder.install("restart");
+            for i in 0..3u64 {
+                log.restore(t(i), i, Ok(()));
+            }
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.evicted(), 1);
+        assert!(
+            recorder.records().is_empty(),
+            "recovery must not re-emit audit history into the trace"
+        );
     }
 
     #[test]

@@ -7,11 +7,14 @@
 //! (E3).
 
 use crate::provider::{Receipt, ServiceProvider};
+use std::sync::Arc;
 use std::time::Duration;
 use utp_core::client::Client;
-use utp_core::verifier::VerifyError;
+use utp_core::verifier::{VerifierConfig, VerifyError};
+use utp_crypto::rsa::RsaPublicKey;
 use utp_flicker::pal::Operator;
 use utp_flicker::runtime::PhaseTimings;
+use utp_journal::{Journal, RecoveryReport};
 use utp_netsim::Link;
 use utp_platform::machine::Machine;
 use utp_trace::{keys, names, Value};
@@ -45,6 +48,9 @@ pub struct E2eReport {
     pub verify_cpu: Duration,
     /// Total virtual time from order click to settlement.
     pub total: Duration,
+    /// Virtual device time the settlement journal consumed (zero when
+    /// the provider runs without one).
+    pub durability: Duration,
 }
 
 impl E2eReport {
@@ -52,6 +58,56 @@ impl E2eReport {
     pub fn machine_only(&self) -> Duration {
         self.total - self.session.human
     }
+}
+
+/// Journal device time consumed so far, `ZERO` without a journal.
+fn journal_time(provider: &ServiceProvider) -> Duration {
+    provider
+        .journal()
+        .map(|j| j.device_time())
+        .unwrap_or(Duration::ZERO)
+}
+
+/// Folds journal device time spent since `before` into the virtual
+/// clock — the disk is one more simulated device on the timeline.
+fn fold_journal_time(
+    machine: &mut Machine,
+    provider: &ServiceProvider,
+    before: Duration,
+) -> Duration {
+    let delta = journal_time(provider).saturating_sub(before);
+    machine.advance(delta);
+    delta
+}
+
+/// Restarts a provider from its journal after a crash, on the machine's
+/// timeline: the recovery read cost advances the virtual clock and is
+/// traced as a deterministic `journal.recover` span. The recovered
+/// provider has the journal re-attached; call
+/// [`ServiceProvider::attach_service`] afterwards to resume sharded
+/// verification (recovered nonces migrate into the shards).
+pub fn recover_provider(
+    machine: &mut Machine,
+    ca_key: RsaPublicKey,
+    config: VerifierConfig,
+    seed: u64,
+    journal: Arc<Journal>,
+) -> (ServiceProvider, RecoveryReport) {
+    let t0 = machine.now();
+    let device_before = journal.device_time();
+    let (provider, report) = ServiceProvider::recover(ca_key, config, seed, journal);
+    let cost = journal_time(&provider).saturating_sub(device_before);
+    utp_trace::span(
+        names::JOURNAL_RECOVER,
+        t0,
+        cost,
+        &[
+            (keys::RECORDS, Value::U64(report.records_applied)),
+            (keys::BYTES, Value::U64(report.valid_log_bytes as u64)),
+        ],
+    );
+    machine.advance(cost);
+    (provider, report)
 }
 
 /// Runs one transaction end to end.
@@ -62,7 +118,9 @@ impl E2eReport {
 /// into the virtual timeline). If the provider has a
 /// [`crate::service::VerifierService`] attached, verification goes through
 /// its sharded pipeline; the measured CPU time then includes the queue
-/// round-trip.
+/// round-trip. With a journal attached, WAL device time for the order and
+/// settle records is folded into the timeline as well and reported as
+/// [`E2eReport::durability`].
 #[allow(clippy::too_many_arguments)]
 pub fn run_transaction(
     machine: &mut Machine,
@@ -77,14 +135,17 @@ pub fn run_transaction(
 ) -> Result<E2eReport, utp_core::UtpError> {
     let t0 = machine.now();
     let mut network = Duration::ZERO;
+    let mut durability = Duration::ZERO;
 
     // Order intent: client → provider.
     let d = link.one_way_delay(ORDER_INTENT_LEN);
     trace_leg("order", machine.now(), d, ORDER_INTENT_LEN);
     machine.advance(d);
     network += d;
+    let j0 = journal_time(provider);
     let (order_id, request) =
         provider.place_order(account, payee, amount_cents, "EUR", memo, machine.now());
+    durability += fold_journal_time(machine, provider, j0);
 
     // Challenge: provider → client.
     let request_bytes = request.to_bytes();
@@ -110,6 +171,7 @@ pub fn run_transaction(
     // Server-side verification: real host CPU, measured at the metrics
     // boundary and folded into virtual time.
     let t_verify = machine.now();
+    let j0 = journal_time(provider);
     let (outcome, verify_cpu) =
         crate::metrics::host_timed(|| provider.submit_evidence(order_id, &evidence, machine.now()));
     utp_trace::span_volatile(
@@ -122,6 +184,7 @@ pub fn run_transaction(
         )],
     );
     machine.advance(verify_cpu);
+    durability += fold_journal_time(machine, provider, j0);
 
     Ok(E2eReport {
         outcome,
@@ -129,6 +192,7 @@ pub fn run_transaction(
         network,
         verify_cpu,
         total: machine.now() - t0,
+        durability,
     })
 }
 
@@ -267,6 +331,75 @@ mod tests {
         let wf = utp_trace::report::waterfall(&recs, "txn/0");
         assert!(wf.contains("session.pal"), "{wf}");
         assert!(wf.contains("net.deliver"), "{wf}");
+    }
+
+    #[test]
+    fn journaled_flow_recovers_after_crash_on_the_same_timeline() {
+        let ca = PrivacyCa::new(512, 221);
+        let mut provider = ServiceProvider::new(ca.public_key().clone(), 222);
+        let journal = Arc::new(Journal::new(utp_journal::JournalConfig::fast_for_tests()));
+        provider.attach_journal(Arc::clone(&journal));
+        provider.open_account("alice", 1_000_000);
+        let mut machine = Machine::new(MachineConfig::fast_for_tests(223));
+        let enrollment = ca.enroll(&mut machine);
+        let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+        let mut link = Link::new(LinkConfig::fixed_rtt(Duration::from_millis(40)), 7);
+        let mut human = ConfirmingHuman::new(
+            Intent {
+                payee: "bookshop".into(),
+                amount: "42.00 EUR".into(),
+                approve: true,
+            },
+            224,
+        );
+        let report = run_transaction(
+            &mut machine,
+            &mut client,
+            &mut provider,
+            &mut link,
+            "alice",
+            "bookshop",
+            4_200,
+            "order",
+            &mut human,
+        )
+        .unwrap();
+        assert!(report.outcome.is_ok());
+        assert!(
+            report.durability > Duration::ZERO,
+            "journal device time is on the timeline"
+        );
+        assert!(report.total >= report.network + report.session.total() + report.durability);
+
+        // Power fails; the restart replays the journal on the same clock.
+        drop(provider);
+        journal.crash();
+        let recorder = utp_trace::Recorder::new();
+        let t_restart = machine.now();
+        let (recovered, rec_report) = {
+            let _sink = recorder.install("restart");
+            recover_provider(
+                &mut machine,
+                ca.public_key().clone(),
+                VerifierConfig::default(),
+                225,
+                Arc::clone(&journal),
+            )
+        };
+        // open + order + settle, all durable before the crash.
+        assert_eq!(rec_report.records_applied, 3);
+        assert!(recovered.is_confirmed(0));
+        assert_eq!(
+            recovered.store().account("alice").unwrap().balance_cents,
+            995_800
+        );
+        assert!(machine.now() > t_restart, "recovery reads cost device time");
+        let recs = recorder.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name, names::JOURNAL_RECOVER);
+        assert!(!recs[0].volatile, "recovery span is deterministic");
+        let canonical = recorder.export_jsonl(utp_trace::Export::Canonical);
+        assert!(canonical.contains("journal.recover"), "{canonical}");
     }
 
     #[test]

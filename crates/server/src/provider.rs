@@ -3,11 +3,15 @@
 use crate::audit::AuditLog;
 use crate::metrics::ServiceStats;
 use crate::service::{ServiceConfig, VerifierService};
-use crate::store::{OrderStatus, Store};
+use crate::store::{Order, OrderStatus, Store};
+use std::sync::Arc;
 use std::time::Duration;
 use utp_core::protocol::{ConfirmMode, Evidence, Transaction, TransactionRequest};
 use utp_core::verifier::{Verifier, VerifierConfig, VerifyError};
 use utp_crypto::rsa::RsaPublicKey;
+use utp_journal::{
+    Journal, JournalRecord, RecoveredState, RecoveredStatus, RecoveryReport, NO_ORDER,
+};
 
 /// A settled-transaction receipt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +38,7 @@ pub struct ServiceProvider {
     store: Store,
     audit: AuditLog,
     tx_counter: u64,
+    journal: Option<Arc<Journal>>,
 }
 
 impl ServiceProvider {
@@ -51,15 +56,102 @@ impl ServiceProvider {
             store: Store::new(),
             audit: AuditLog::new(),
             tx_counter: 0,
+            journal: None,
         }
+    }
+
+    /// Makes the settlement path durable: account openings, order
+    /// creation and every settle decision are written ahead of their
+    /// effects (WAL-before-ack), and the audit log switches to durable
+    /// mode. Attach the journal **before** [`ServiceProvider::attach_service`]
+    /// so the workers inherit it.
+    pub fn attach_journal(&mut self, journal: Arc<Journal>) {
+        self.audit.attach_journal(Arc::clone(&journal));
+        self.journal = Some(journal);
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
+    }
+
+    /// Recovers a provider from a journal after a crash: replays
+    /// snapshot + WAL, rebuilds the store (accounts, orders, balances),
+    /// the audit history, and the verifier's nonce ledger (pending and
+    /// consumed nonces), and re-seeds the transaction-id counter. The
+    /// journal's torn suffix, if any, is repaired in place.
+    pub fn recover(
+        ca_key: RsaPublicKey,
+        config: VerifierConfig,
+        seed: u64,
+        journal: Arc<Journal>,
+    ) -> (Self, RecoveryReport) {
+        let (state, report, _read_cost) = journal.replay();
+        let mut provider = Self::with_config(ca_key, config, seed);
+        for (name, balance) in &state.accounts {
+            provider.store.open_account(name.clone(), *balance);
+        }
+        for (id, order) in &state.orders {
+            provider.store.restore_order(
+                *id,
+                Order {
+                    transaction: order.transaction.clone(),
+                    account: order.account.clone(),
+                    status: match &order.status {
+                        RecoveredStatus::Pending => OrderStatus::Pending,
+                        RecoveredStatus::Confirmed => OrderStatus::Confirmed,
+                        RecoveredStatus::Rejected(e) => OrderStatus::Rejected(*e),
+                    },
+                },
+            );
+        }
+        for (nonce, pending) in &state.pending {
+            provider.verifier.restore_pending(*nonce, pending.clone());
+        }
+        for nonce in &state.used {
+            provider.verifier.restore_used(*nonce);
+        }
+        for d in &state.audit {
+            provider
+                .audit
+                .restore(d.at, d.order_id.unwrap_or(NO_ORDER), d.outcome);
+        }
+        provider.tx_counter = state.max_tx_id;
+        provider.attach_journal(journal);
+        (provider, report)
+    }
+
+    /// Snapshots the journaled state and truncates the WAL. The snapshot
+    /// is derived by replaying the journal itself (after a sync), so it
+    /// is exactly the state a crash-recovery at this instant would
+    /// produce — no drift between live structures and the snapshot is
+    /// possible. No-op returning `None` when no journal is attached.
+    pub fn checkpoint(&mut self) -> Option<RecoveredState> {
+        let journal = self.journal.as_ref()?;
+        journal.sync();
+        let (state, _report, _cost) = journal.replay();
+        journal.install_snapshot(&state);
+        Some(state)
     }
 
     /// Starts a [`VerifierService`] with the given pool geometry and
     /// routes all subsequent evidence submissions through it. The service
     /// inherits this provider's verification policy (TTL, trusted PALs).
     pub fn attach_service(&mut self, threads: usize, shards: usize) {
-        let config = ServiceConfig::from_verifier_config(self.verifier.config(), threads, shards);
-        self.service = Some(VerifierService::start(self.ca_key.clone(), config));
+        let mut config =
+            ServiceConfig::from_verifier_config(self.verifier.config(), threads, shards);
+        config.journal = self.journal.clone();
+        let service = VerifierService::start(self.ca_key.clone(), config);
+        // Migrate the serial ledger into the shards so nonces issued (or
+        // recovered) before the service attached stay settleable — and
+        // consumed nonces stay replay-protected — through the service.
+        for (nonce, pending) in self.verifier.ledger().pending_entries() {
+            service.restore_pending(*nonce, pending.clone());
+        }
+        for nonce in self.verifier.ledger().used_entries() {
+            service.restore_used(*nonce);
+        }
+        self.service = Some(service);
     }
 
     /// Shuts down an attached service (draining in-flight jobs) and
@@ -79,8 +171,25 @@ impl ServiceProvider {
     }
 
     /// Mutable store access (account provisioning).
+    ///
+    /// Prefer [`ServiceProvider::open_account`] when a journal is
+    /// attached: direct store mutation is not journaled and will not
+    /// survive a crash.
     pub fn store_mut(&mut self) -> &mut Store {
         &mut self.store
+    }
+
+    /// Opens an account durably: the opening is journaled (and flushed)
+    /// before the store mutation becomes visible.
+    pub fn open_account(&mut self, name: &str, balance_cents: i64) {
+        if let Some(journal) = &self.journal {
+            journal.append_record(&JournalRecord::OpenAccount {
+                name: name.to_string(),
+                balance_cents,
+            });
+            journal.sync();
+        }
+        self.store.open_account(name, balance_cents);
     }
 
     /// The verifier (policy + stats).
@@ -132,6 +241,18 @@ impl ServiceProvider {
         let tx = Transaction::new(self.tx_counter, payee, amount_cents, currency, memo);
         let order_id = self.store.create_order(account, tx.clone());
         let request = self.verifier.issue_request_with_mode(tx, mode, now);
+        if let Some(journal) = &self.journal {
+            // WAL-before-challenge: the order/nonce binding must be
+            // durable before the request leaves the provider, or a crash
+            // would orphan the evidence the client sends back.
+            journal.append_record(&JournalRecord::CreateOrder {
+                order_id,
+                account: account.to_string(),
+                issued_at: now,
+                request_bytes: request.to_bytes(),
+            });
+            journal.sync();
+        }
         if let Some(service) = &self.service {
             // The service settles this nonce; the serial ledger's copy is
             // never consumed, so garbage-collect it by TTL here to keep
@@ -159,11 +280,33 @@ impl ServiceProvider {
         now: Duration,
     ) -> Result<Receipt, VerifyError> {
         let outcome = match &self.service {
-            Some(service) => match service.submit_evidence(evidence.clone(), now) {
-                Ok(ticket) => ticket.wait(),
-                Err(_) => Err(VerifyError::ServiceUnavailable),
-            },
-            None => self.verifier.verify(evidence, now),
+            Some(service) => {
+                // The worker journals the decision (WAL-before-ack); the
+                // ticket resolves only after a covering flush.
+                match service.submit_evidence_for_order(order_id, evidence.clone(), now) {
+                    Ok(ticket) => ticket.wait(),
+                    Err(_) => Err(VerifyError::ServiceUnavailable),
+                }
+            }
+            None => {
+                let outcome = self.verifier.verify(evidence, now);
+                if let Some(journal) = &self.journal {
+                    // Serial path: journal the decision ahead of every
+                    // effect (audit, store, and the caller's view).
+                    let nonce = evidence
+                        .token()
+                        .map(|t| *t.nonce.as_bytes())
+                        .unwrap_or([0u8; 20]);
+                    let receipt = journal.append_record(&JournalRecord::Settle {
+                        order_id,
+                        nonce,
+                        at: now,
+                        outcome: outcome.as_ref().map(|_| ()).map_err(|e| *e),
+                    });
+                    journal.sync_to(receipt.seq);
+                }
+                outcome
+            }
         };
         match outcome {
             Ok(verified) => {
@@ -313,6 +456,158 @@ mod tests {
             .submit_evidence(order3, &evidence3, machine.now())
             .unwrap();
         assert!(provider.is_confirmed(order3));
+    }
+
+    fn journal() -> Arc<Journal> {
+        Arc::new(Journal::new(utp_journal::JournalConfig::fast_for_tests()))
+    }
+
+    #[test]
+    fn journaled_settlement_survives_crash() {
+        let ca = PrivacyCa::new(512, 191);
+        let mut provider = ServiceProvider::new(ca.public_key().clone(), 192);
+        let journal = journal();
+        provider.attach_journal(Arc::clone(&journal));
+        provider.open_account("alice", 100_000);
+        let mut machine = Machine::new(MachineConfig::fast_for_tests(193));
+        let enrollment = ca.enroll(&mut machine);
+        let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+        let (order_id, request) =
+            provider.place_order("alice", "bookshop", 4_200, "EUR", "order", machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&request.transaction), 194);
+        let evidence = client.confirm(&mut machine, &request, &mut human).unwrap();
+        provider
+            .submit_evidence(order_id, &evidence, machine.now())
+            .unwrap();
+        // A second order is still awaiting confirmation when power fails.
+        let (pending_id, pending_request) =
+            provider.place_order("alice", "cafe", 900, "EUR", "", machine.now());
+        drop(provider);
+        journal.crash();
+
+        let (mut recovered, report) = ServiceProvider::recover(
+            ca.public_key().clone(),
+            VerifierConfig::default(),
+            195,
+            Arc::clone(&journal),
+        );
+        // open + order + settle + pending order, all durable pre-crash.
+        assert_eq!(report.records_applied, 4);
+        assert!(recovered.is_confirmed(order_id));
+        assert_eq!(
+            recovered.store().account("alice").unwrap().balance_cents,
+            95_800
+        );
+        assert_eq!(recovered.audit().len(), 1);
+        // The consumed nonce stays consumed: replaying the settled
+        // evidence against a fresh order is still rejected.
+        let (order2, _) = recovered.place_order("alice", "shop", 1_000, "EUR", "", machine.now());
+        assert_eq!(
+            recovered
+                .submit_evidence(order2, &evidence, machine.now())
+                .unwrap_err(),
+            VerifyError::Replayed
+        );
+        // The order pending at crash time settles exactly once.
+        let mut human = ConfirmingHuman::new(Intent::approving(&pending_request.transaction), 196);
+        let evidence2 = client
+            .confirm(&mut machine, &pending_request, &mut human)
+            .unwrap();
+        recovered
+            .submit_evidence(pending_id, &evidence2, machine.now())
+            .unwrap();
+        assert!(recovered.is_confirmed(pending_id));
+        assert_eq!(
+            recovered.store().account("alice").unwrap().balance_cents,
+            94_900
+        );
+    }
+
+    #[test]
+    fn checkpoint_truncates_log_and_recovery_uses_snapshot() {
+        let ca = PrivacyCa::new(512, 201);
+        let mut provider = ServiceProvider::new(ca.public_key().clone(), 202);
+        let journal = journal();
+        provider.attach_journal(Arc::clone(&journal));
+        provider.open_account("alice", 50_000);
+        let mut machine = Machine::new(MachineConfig::fast_for_tests(203));
+        let enrollment = ca.enroll(&mut machine);
+        let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+        let (o1, r1) = provider.place_order("alice", "shop", 2_000, "EUR", "", machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&r1.transaction), 204);
+        let evidence = client.confirm(&mut machine, &r1, &mut human).unwrap();
+        provider
+            .submit_evidence(o1, &evidence, machine.now())
+            .unwrap();
+
+        assert!(!journal.durable_log_bytes().is_empty());
+        let state = provider.checkpoint().expect("journal attached");
+        assert_eq!(state.accounts.get("alice"), Some(&48_000));
+        assert!(
+            journal.durable_log_bytes().is_empty(),
+            "checkpoint truncates the WAL"
+        );
+
+        // Post-checkpoint activity lands on the (now short) log.
+        let (o2, r2) = provider.place_order("alice", "cafe", 500, "EUR", "", machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&r2.transaction), 205);
+        let evidence2 = client.confirm(&mut machine, &r2, &mut human).unwrap();
+        provider
+            .submit_evidence(o2, &evidence2, machine.now())
+            .unwrap();
+        drop(provider);
+        journal.crash();
+
+        let (recovered, report) = ServiceProvider::recover(
+            ca.public_key().clone(),
+            VerifierConfig::default(),
+            206,
+            Arc::clone(&journal),
+        );
+        assert!(report.snapshot_used, "recovery seeds from the snapshot");
+        assert_eq!(report.records_applied, 2, "only post-checkpoint records");
+        assert!(recovered.is_confirmed(o1));
+        assert!(recovered.is_confirmed(o2));
+        assert_eq!(
+            recovered.store().account("alice").unwrap().balance_cents,
+            47_500
+        );
+    }
+
+    #[test]
+    fn journaled_service_settles_durably_before_ack() {
+        let ca = PrivacyCa::new(512, 211);
+        let mut provider = ServiceProvider::new(ca.public_key().clone(), 212);
+        let journal = journal();
+        provider.attach_journal(Arc::clone(&journal));
+        provider.open_account("alice", 10_000);
+        provider.attach_service(2, 2);
+        let mut machine = Machine::new(MachineConfig::fast_for_tests(213));
+        let enrollment = ca.enroll(&mut machine);
+        let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+        let (order_id, request) =
+            provider.place_order("alice", "bookshop", 4_200, "EUR", "", machine.now());
+        let mut human = ConfirmingHuman::new(Intent::approving(&request.transaction), 214);
+        let evidence = client.confirm(&mut machine, &request, &mut human).unwrap();
+        provider
+            .submit_evidence(order_id, &evidence, machine.now())
+            .unwrap();
+        // WAL-before-ack: by the time the ticket resolved, the settle
+        // record was flushed — a crash right now must not forget it.
+        provider.detach_service();
+        drop(provider);
+        journal.crash();
+        let (recovered, _report) = ServiceProvider::recover(
+            ca.public_key().clone(),
+            VerifierConfig::default(),
+            215,
+            Arc::clone(&journal),
+        );
+        assert!(recovered.is_confirmed(order_id));
+        assert_eq!(
+            recovered.store().account("alice").unwrap().balance_cents,
+            5_800
+        );
     }
 
     #[test]

@@ -45,7 +45,13 @@ use utp_core::verifier::{
 use utp_crypto::rsa::RsaPublicKey;
 use utp_crypto::sha1::{Sha1, Sha1Digest};
 use utp_flicker::runtime::io_digest;
+use utp_journal::{Journal, JournalRecord, NO_ORDER};
 use utp_trace::{keys, names, Recorder, Value};
+
+/// Full nonce-ledger state across all shards, as exported by
+/// [`VerifierService::ledger_export`]: `(outstanding entries, consumed
+/// nonces)`, both sorted by nonce.
+pub type LedgerExport = (Vec<([u8; 20], PendingNonce)>, Vec<[u8; 20]>);
 
 /// Sizing and policy knobs for [`VerifierService`].
 #[derive(Debug, Clone)]
@@ -66,6 +72,12 @@ pub struct ServiceConfig {
     /// Flight recorder the workers install per-thread sinks on; `None`
     /// (the default) disables tracing entirely.
     pub recorder: Option<Arc<Recorder>>,
+    /// Settlement journal. When set, every settle decision is written
+    /// ahead of its acknowledgement (WAL-before-ack): the worker appends
+    /// a `Settle` record and waits for a covering flush before the
+    /// ticket resolves, so no accepted (or consumed-nonce) outcome can
+    /// be forgotten by a crash.
+    pub journal: Option<Arc<Journal>>,
 }
 
 impl Default for ServiceConfig {
@@ -92,6 +104,7 @@ impl ServiceConfig {
             nonce_ttl: config.nonce_ttl,
             trusted_pals: config.trusted_pals.clone(),
             recorder: None,
+            journal: None,
         }
     }
 }
@@ -282,6 +295,8 @@ struct Inner {
     /// the deterministic `svc.submit` event and the worker's `svc.job`
     /// record so the two can be joined offline.
     submit_seq: Counter,
+    /// Settlement WAL (see [`ServiceConfig::journal`]).
+    journal: Option<Arc<Journal>>,
 }
 
 impl Inner {
@@ -401,11 +416,30 @@ impl Inner {
             WorkItem::Settle {
                 evidence,
                 now,
+                order,
                 reply,
             } => {
                 let (outcome, cpu) =
                     crate::metrics::host_timed(|| self.verify_settling(&evidence, now));
                 job_record(now, cpu, outcome_label(&outcome));
+                // WAL-before-ack: the decision must be durable before the
+                // ticket resolves. The nonce comes from the token; if the
+                // evidence didn't even parse, the decision is retryable
+                // and journaled under the zero nonce (no ledger effect on
+                // recovery).
+                if let Some(journal) = &self.journal {
+                    let nonce = evidence
+                        .token()
+                        .map(|t| *t.nonce.as_bytes())
+                        .unwrap_or([0u8; 20]);
+                    let receipt = journal.append_record(&JournalRecord::Settle {
+                        order_id: order,
+                        nonce,
+                        at: now,
+                        outcome: outcome.as_ref().map(|_| ()).map_err(|e| *e),
+                    });
+                    journal.sync_to(receipt.seq);
+                }
                 let _ = reply.send(outcome);
             }
             WorkItem::Stateless { job, reply } => {
@@ -423,6 +457,8 @@ enum WorkItem {
     Settle {
         evidence: Evidence,
         now: Duration,
+        /// Store order id the evidence settles, or [`NO_ORDER`].
+        order: u64,
         reply: channel::Sender<Result<VerifiedTransaction, VerifyError>>,
     },
     /// Stateless verification of a pre-assembled job.
@@ -477,6 +513,7 @@ impl VerifierService {
             cache: CertCache::new(config.cert_cache_capacity),
             queue_gauge: Gauge::new(),
             submit_seq: Counter::new(),
+            journal: config.journal,
         });
         let (queue, intake) = channel::bounded::<Queued>(config.queue_depth.max(1));
         let workers = (0..threads)
@@ -531,6 +568,43 @@ impl VerifierService {
         shard.cells.registered.incr();
     }
 
+    /// Restores an outstanding entry into its settlement shard from a
+    /// recovered journal: the challenge was issued (and persisted)
+    /// before the crash, so its evidence stays settleable after restart.
+    pub fn restore_pending(&self, nonce: [u8; 20], pending: PendingNonce) {
+        let digest = Sha1Digest(nonce);
+        let shard = self.inner.shard_of(&digest);
+        shard.ledger.lock().register(&digest, pending);
+        shard.cells.registered.incr();
+    }
+
+    /// Restores a consumed nonce into its settlement shard so replayed
+    /// evidence keeps losing after a restart.
+    pub fn restore_used(&self, nonce: [u8; 20]) {
+        let digest = Sha1Digest(nonce);
+        self.inner
+            .shard_of(&digest)
+            .ledger
+            .lock()
+            .restore_used(nonce);
+    }
+
+    /// Exports the full ledger state across all shards — snapshot
+    /// support: `(outstanding entries, consumed nonces)`, both sorted by
+    /// nonce for deterministic snapshots.
+    pub fn ledger_export(&self) -> LedgerExport {
+        let mut pending = Vec::new();
+        let mut used = Vec::new();
+        for shard in &self.inner.shards {
+            let ledger = shard.ledger.lock();
+            pending.extend(ledger.pending_entries().map(|(n, p)| (*n, p.clone())));
+            used.extend(ledger.used_entries().copied());
+        }
+        pending.sort_by_key(|(n, _)| *n);
+        used.sort_unstable();
+        (pending, used)
+    }
+
     /// Submits evidence for settling verification, blocking while the
     /// queue is full (backpressure).
     ///
@@ -539,6 +613,22 @@ impl VerifierService {
     /// [`SubmitError::ShutDown`] once [`VerifierService::shutdown`] ran.
     pub fn submit_evidence(
         &self,
+        evidence: Evidence,
+        now: Duration,
+    ) -> Result<Ticket<VerifiedTransaction>, SubmitError> {
+        self.submit_evidence_for_order(NO_ORDER, evidence, now)
+    }
+
+    /// As [`VerifierService::submit_evidence`], but tags the settle
+    /// decision with the store order it concerns so the journaled record
+    /// (and recovered audit history) can name the order.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::ShutDown`] once [`VerifierService::shutdown`] ran.
+    pub fn submit_evidence_for_order(
+        &self,
+        order: u64,
         evidence: Evidence,
         now: Duration,
     ) -> Result<Ticket<VerifiedTransaction>, SubmitError> {
@@ -551,6 +641,7 @@ impl VerifierService {
                 item: WorkItem::Settle {
                     evidence,
                     now,
+                    order,
                     reply,
                 },
                 seq,
@@ -584,6 +675,7 @@ impl VerifierService {
                 item: WorkItem::Settle {
                     evidence,
                     now,
+                    order: NO_ORDER,
                     reply,
                 },
                 seq,

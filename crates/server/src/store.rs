@@ -110,6 +110,24 @@ impl Store {
         }
     }
 
+    /// Iterates all accounts — snapshot support. Order is unspecified.
+    pub fn accounts(&self) -> impl Iterator<Item = (&String, &Account)> {
+        self.accounts.iter()
+    }
+
+    /// Iterates all orders — snapshot support. Order is unspecified.
+    pub fn orders(&self) -> impl Iterator<Item = (&u64, &Order)> {
+        self.orders.iter()
+    }
+
+    /// Restores an order under its original id after recovery, bumping
+    /// the id allocator past it. Balances are **not** touched: recovery
+    /// replays balance effects through account state directly.
+    pub fn restore_order(&mut self, id: u64, order: Order) {
+        self.next_order_id = self.next_order_id.max(id + 1);
+        self.orders.insert(id, order);
+    }
+
     /// Count of orders in each status: `(pending, confirmed, rejected)`.
     pub fn status_counts(&self) -> (usize, usize, usize) {
         let mut c = (0, 0, 0);

@@ -72,6 +72,12 @@ pub mod names {
     pub const AUDIT_DECISION: &str = "audit.decision";
     /// Flight-recorder bookkeeping: ring overflow drop counts.
     pub const TRACE_DROPPED: &str = "trace.dropped";
+    /// One record appended to the settlement WAL.
+    pub const JOURNAL_APPEND: &str = "journal.append";
+    /// One WAL durability barrier (group-commit flush).
+    pub const JOURNAL_FLUSH: &str = "journal.flush";
+    /// One recovery pass (snapshot + log replay).
+    pub const JOURNAL_RECOVER: &str = "journal.recover";
 
     /// Every registered name, for validation and docs.
     pub const ALL: &[&str] = &[
@@ -91,6 +97,9 @@ pub mod names {
         SVC_DRAIN,
         AUDIT_DECISION,
         TRACE_DROPPED,
+        JOURNAL_APPEND,
+        JOURNAL_FLUSH,
+        JOURNAL_RECOVER,
     ];
 
     /// Whether `name` is in the registry.
@@ -135,6 +144,8 @@ pub mod keys {
     pub const LEG: &str = "leg";
     /// Worker thread index.
     pub const WORKER: &str = "worker";
+    /// Journal records covered by an operation (replayed, flushed, ...).
+    pub const RECORDS: &str = "records";
 
     /// Every registered field key.
     pub const ALL: &[&str] = &[
@@ -155,6 +166,7 @@ pub mod keys {
         BYTES,
         LEG,
         WORKER,
+        RECORDS,
     ];
 
     /// Whether `k` is in the registry.

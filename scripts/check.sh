@@ -22,6 +22,9 @@ cargo test -q
 echo "==> trace smoke (two E2 runs, byte-identical canonical JSONL)"
 cargo run --release -q -p utp-bench --bin trace_smoke
 
+echo "==> recovery smoke (two crash->recover runs, byte-identical trace; E11 durability tables)"
+cargo run --release -q -p utp-bench --bin recovery_smoke
+
 echo "==> differential pipeline test (timed)"
 cargo test --release -q --test pipeline_differential -- --nocapture
 

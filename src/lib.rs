@@ -12,6 +12,7 @@
 //! * [`tpm`] — the software TPM 1.2 with vendor latency profiles;
 //! * [`crypto`] — from-scratch SHA-1/SHA-256/HMAC/RSA;
 //! * [`server`] — service-provider stack;
+//! * [`journal`] — crash-safe WAL + snapshots for the settlement path;
 //! * [`netsim`] — client↔provider network model;
 //! * [`captcha`] — the CAPTCHA baseline the paper proposes to replace;
 //! * [`attack`] — the transaction-generator adversary suite.
@@ -27,6 +28,7 @@ pub use utp_captcha as captcha;
 pub use utp_core as core;
 pub use utp_crypto as crypto;
 pub use utp_flicker as flicker;
+pub use utp_journal as journal;
 pub use utp_netsim as netsim;
 pub use utp_platform as platform;
 pub use utp_server as server;
