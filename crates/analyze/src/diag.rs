@@ -45,10 +45,21 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// Renders diagnostics as line-oriented text, one finding per line.
+/// Canonical diagnostic order: (file, line, lint), then deduplicated.
+/// Every consumer (driver, renderers, golden snapshots) goes through
+/// this so output never depends on pass traversal order.
+pub fn sort_canonical(diags: &mut Vec<Diagnostic>) {
+    diags.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
+    diags.dedup();
+}
+
+/// Renders diagnostics as line-oriented text, one finding per line,
+/// in canonical order regardless of how the slice was built.
 pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut diags = diags.to_vec();
+    sort_canonical(&mut diags);
     let mut out = String::new();
-    for d in diags {
+    for d in &diags {
         out.push_str(&d.to_string());
         out.push('\n');
     }
@@ -62,8 +73,11 @@ pub fn render_text(diags: &[Diagnostic]) -> String {
 }
 
 /// Renders diagnostics as a JSON document (hand-rolled; the analyzer is
-/// dependency-light by design).
+/// dependency-light by design), in canonical order.
 pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut sorted = diags.to_vec();
+    sort_canonical(&mut sorted);
+    let diags = &sorted;
     let mut out = String::from("{\n  \"findings\": [");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {
@@ -128,6 +142,37 @@ mod tests {
         assert!(text.contains("crates/x/src/lib.rs:3"));
         assert!(text.contains("[no-panic-in-tcb]"));
         assert!(text.contains("1 deny, 0 warn"));
+    }
+
+    #[test]
+    fn rendering_is_in_canonical_order_regardless_of_input_order() {
+        let a = Diagnostic {
+            file: "a.rs".into(),
+            line: 9,
+            lint: "wallclock-in-model",
+            severity: Severity::Deny,
+            message: "m1".into(),
+        };
+        let b = Diagnostic {
+            file: "a.rs".into(),
+            line: 9,
+            lint: "ct-discipline",
+            severity: Severity::Deny,
+            message: "m2".into(),
+        };
+        let c = Diagnostic {
+            file: "a.rs".into(),
+            line: 2,
+            lint: "no-panic-in-tcb",
+            severity: Severity::Warn,
+            message: "m3".into(),
+        };
+        let scrambled = vec![a.clone(), b.clone(), c.clone(), a.clone()];
+        let mut sorted = scrambled.clone();
+        sort_canonical(&mut sorted);
+        assert_eq!(sorted, vec![c, b, a], "(file, line, lint) order, deduped");
+        assert_eq!(render_text(&scrambled), render_text(&sorted));
+        assert_eq!(render_json(&scrambled), render_json(&sorted));
     }
 
     #[test]

@@ -453,23 +453,30 @@ fn collect_type_until_comma(body: &[Token], mut j: usize) -> (Vec<String>, usize
 /// Parses a `fn` item starting at the keyword; returns the resume index.
 fn parse_fn(tokens: &[Token], kw: usize, impl_type: Option<String>, out: &mut FileItems) -> usize {
     let name = tokens[kw + 1].text.clone();
-    // Signature runs to the first `{` or `;`; `{` can only appear earlier
-    // inside const-generic args, which this workspace does not use.
+    // Signature runs to the first `{` or `;` at group depth 0 — a `;`
+    // inside an array type like `&[u8; 32]` does not end the item.
     let mut j = kw + 2;
     let mut ret_start = None;
     let mut body_open = None;
     let mut semi = None;
+    let mut depth = 0i32;
     while let Some(t) = tokens.get(j) {
-        if t.is_punct("{") {
-            body_open = Some(j);
-            break;
-        }
-        if t.is_punct(";") {
-            semi = Some(j);
-            break;
-        }
-        if t.is_punct("->") && ret_start.is_none() {
-            ret_start = Some(j + 1);
+        if t.is_punct("(") || t.is_punct("[") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") {
+            depth -= 1;
+        } else if depth == 0 {
+            if t.is_punct("{") {
+                body_open = Some(j);
+                break;
+            }
+            if t.is_punct(";") {
+                semi = Some(j);
+                break;
+            }
+            if t.is_punct("->") && ret_start.is_none() {
+                ret_start = Some(j + 1);
+            }
         }
         j += 1;
     }

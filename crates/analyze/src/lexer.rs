@@ -503,6 +503,70 @@ mod tests {
     }
 
     #[test]
+    fn shr_in_nested_generics_is_two_closing_angles() {
+        // The CFG builder brace-matches `<`/`>` by depth, so `>>` in
+        // `Vec<Vec<u8>>` must stay two `>` puncts, never a shift op.
+        let toks = kinds("let x: Vec<Vec<u8>> = make(); x >> 2;");
+        let gt: Vec<usize> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, (k, t))| *k == TokenKind::Punct && t == ">")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(gt.len(), 4, "four single `>` tokens: {toks:?}");
+        // The generic closers are adjacent token positions.
+        assert_eq!(gt[1], gt[0] + 1);
+        assert!(!toks.iter().any(|(_, t)| t == ">>"));
+    }
+
+    #[test]
+    fn if_let_chains_keep_their_structure() {
+        // `&&` must stay two `&` puncts and the `let` keyword an Ident
+        // so statement splitting sees the chain's shape.
+        let toks = kinds("if let Some(a) = m && flag { use_it(a); }");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(&texts[..8], ["if", "let", "Some", "(", "a", ")", "=", "m"]);
+        let amps = texts.iter().filter(|t| **t == "&").count();
+        assert_eq!(amps, 2, "`&&` lexes as two `&`: {texts:?}");
+        assert!(!texts.contains(&"&&"));
+    }
+
+    #[test]
+    fn labeled_breaks_lex_label_as_lifetime() {
+        // `'outer` must not be swallowed as an unterminated char
+        // literal, or everything after the label disappears from the
+        // token stream (and from every CFG built over it).
+        let toks = kinds("'outer: loop { if done() { break 'outer; } continue 'outer; } after");
+        let labels = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Lifetime && t == "'outer")
+            .count();
+        assert_eq!(labels, 3);
+        for kw in ["loop", "break", "continue", "after"] {
+            assert!(
+                toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == kw),
+                "missing {kw}"
+            );
+        }
+    }
+
+    #[test]
+    fn closure_bodies_stay_in_the_token_stream() {
+        // Closure pipes are plain puncts (`||` is two tokens), so a
+        // closure body's statements stay visible to the CFG builder.
+        let toks = kinds("let f = |acc, x| acc + x; items.retain(|| keep());");
+        let pipes = toks.iter().filter(|(_, t)| t == "|").count();
+        assert_eq!(pipes, 4, "{toks:?}");
+        assert!(!toks.iter().any(|(_, t)| t == "||"));
+        for id in ["acc", "x", "retain", "keep"] {
+            assert!(
+                toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == id),
+                "missing {id}"
+            );
+        }
+    }
+
+    #[test]
     fn float_vs_method_call_on_number() {
         let toks = kinds("let a = 1.5; let b = 1.max(2);");
         assert!(toks

@@ -26,6 +26,16 @@
 //! 9. [`passes::lock_discipline`] — consistent lock order, no guard held
 //!    across blocking channel ops.
 //!
+//! Flow-sensitive passes (PR 6) run over statement-level CFGs
+//! ([`cfg`]) with a worklist fixpoint solver ([`dataflow`]): the
+//! secret-taint, ct-discipline and lock-discipline passes track
+//! per-local state through branches and loops (zeroize kills taint,
+//! `drop(guard)` releases a lockset entry), and a fourth pass:
+//!
+//! 10. [`passes::untrusted_arith`] — length/offset values decoded from
+//!     wire or WAL bytes must pass a bounds check before feeding
+//!     arithmetic, indexing, or a narrowing cast.
+//!
 //! Violations that are individually justified carry an inline
 //! `// utp-analyze: allow(<lint>) <reason>` annotation; the reason is
 //! mandatory and annotations that suppress nothing are flagged, so the
@@ -39,6 +49,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cfg;
+pub mod dataflow;
 pub mod diag;
 pub mod graph;
 pub mod items;
@@ -58,6 +70,8 @@ pub struct Analysis {
     pub diagnostics: Vec<Diagnostic>,
     /// Measured TCB-size report for the analyzed set.
     pub tcb_report: report::TcbReport,
+    /// CFG / fixpoint statistics plus flow-pass finding counts.
+    pub dataflow_report: report::DataflowReport,
 }
 
 /// Analyzes a set of files as one workspace. Paths must be
@@ -150,12 +164,13 @@ pub fn analyze_files(inputs: Vec<(String, String)>) -> Analysis {
         }
     }
 
-    diags.sort_by(|a, b| (&a.file, a.line, a.lint).cmp(&(&b.file, b.line, b.lint)));
-    diags.dedup();
+    diag::sort_canonical(&mut diags);
     let tcb_report = report::measure(&ws);
+    let dataflow_report = report::measure_dataflow(&ws, &diags);
     Analysis {
         diagnostics: diags,
         tcb_report,
+        dataflow_report,
     }
 }
 

@@ -3,6 +3,7 @@
 //! ```text
 //! utp-analyze [--root <path>] [--format text|json] [--list-passes]
 //!             [--tcb-report <out.json>] [--check-tcb-baseline <base.json>]
+//!             [--dataflow-report <out.json>]
 //! ```
 //!
 //! Exit status: 0 — clean (no deny-level findings, baseline ok); 1 — at
@@ -24,6 +25,7 @@ enum Format {
 fn usage() -> &'static str {
     "usage: utp-analyze [--root <path>] [--format text|json] [--list-passes]\n\
      \x20                  [--tcb-report <out.json>] [--check-tcb-baseline <base.json>]\n\
+     \x20                  [--dataflow-report <out.json>]\n\
      \n\
      Runs the UTP workspace's TCB / constant-time / panic-freedom passes\n\
      over every .rs file and reports structured diagnostics. Exits 1 if\n\
@@ -32,13 +34,17 @@ fn usage() -> &'static str {
      \n\
      --tcb-report          write the measured TCB-size report as JSON\n\
      --check-tcb-baseline  fail on TCB growth beyond the baseline's\n\
-     \x20                    max_growth_pct (see scripts/tcb_report.json)"
+     \x20                    max_growth_pct (see scripts/tcb_report.json)\n\
+     --dataflow-report     write CFG coverage and flow-pass finding\n\
+     \x20                    counts as JSON (fallback_functions > 0 means\n\
+     \x20                    some body degraded to flow-insensitive)"
 }
 
 fn main() -> ExitCode {
     let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
     let mut report_out: Option<PathBuf> = None;
+    let mut dataflow_out: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,6 +69,13 @@ fn main() -> ExitCode {
                 Some(p) => report_out = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--tcb-report expects an output path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--dataflow-report" => match args.next() {
+                Some(p) => dataflow_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--dataflow-report expects an output path");
                     return ExitCode::from(2);
                 }
             },
@@ -116,6 +129,15 @@ fn main() -> ExitCode {
 
     if let Some(path) = &report_out {
         if let Err(e) = std::fs::write(path, &report_json) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &dataflow_out {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, analysis.dataflow_report.to_json()) {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }

@@ -1,0 +1,91 @@
+//! Token-level helpers shared by the flow-sensitive passes: statement
+//! shapes (`let` / reassignment), local-use detection, and postfix
+//! chains.
+
+use crate::cfg::Stmt;
+use crate::lexer::{Token, TokenKind};
+
+/// Is the ident at `i` a *use of a local* (as opposed to a method or
+/// field name after `.`, or a path segment after `::`)? Keeps a local
+/// named `len` from colliding with every `.len()` call.
+pub fn is_local_use(toks: &[Token], i: usize) -> bool {
+    toks[i].kind == TokenKind::Ident
+        && !i
+            .checked_sub(1)
+            .is_some_and(|j| toks[j].is_punct(".") || toks[j].is_punct("::"))
+}
+
+/// `(bound name, rhs start index, is compound op-assign)` for
+/// `let x = rhs;`, `x = rhs;`, or `x op= rhs;` statements; `None` for
+/// anything else (tuple/struct patterns are conservatively untracked).
+pub fn binding_of(toks: &[Token], s: &Stmt) -> Option<(String, usize, bool)> {
+    let t = &toks[s.lo..s.hi];
+    if t.is_empty() {
+        return None;
+    }
+    if t[0].is_ident("let") {
+        let mut i = 1;
+        if t.get(i).is_some_and(|t| t.is_ident("mut")) {
+            i += 1;
+        }
+        let tok = t.get(i).filter(|t| t.kind == TokenKind::Ident)?;
+        if tok.is_ident("else") {
+            return None;
+        }
+        // A plain binding's name is followed by `=` or `: Type`;
+        // anything else (`Some(x)`, `Point { .. }`, `ref x`) is a
+        // pattern and conservatively untracked.
+        if !t
+            .get(i + 1)
+            .is_some_and(|n| n.is_punct("=") || n.is_punct(":"))
+        {
+            return None;
+        }
+        let name = tok.text.clone();
+        // First `=` after the pattern (skips `: Type` annotations; `==`
+        // lexes as its own token so comparisons can't match).
+        let eq = (i + 1..t.len()).find(|&j| t[j].is_punct("="))?;
+        return Some((name, s.lo + eq + 1, false));
+    }
+    if t[0].kind == TokenKind::Ident && t.len() >= 3 {
+        if t[1].is_punct("=") {
+            return Some((t[0].text.clone(), s.lo + 2, false));
+        }
+        const OPS: &[&str] = &["+", "-", "*", "/", "%", "&", "|", "^"];
+        if OPS.iter().any(|o| t[1].is_punct(o)) && t[2].is_punct("=") {
+            return Some((t[0].text.clone(), s.lo + 3, true));
+        }
+    }
+    None
+}
+
+/// Walks the postfix chain after the ident at `i` (`.method(...)`,
+/// `.field`, `[...]`, `?`) and reports whether any projection in the
+/// chain is one of `public` — e.g. `key.as_bytes().len()` is public
+/// because of the final `.len()`.
+pub fn postfix_projects_public(toks: &[Token], i: usize, public: &[&str]) -> bool {
+    let mut j = i + 1;
+    while j < toks.len() {
+        if toks[j].is_punct(".") && toks.get(j + 1).is_some_and(|t| t.kind == TokenKind::Ident) {
+            if public.contains(&toks[j + 1].text.as_str()) {
+                return true;
+            }
+            j += 2;
+        } else if toks[j].is_punct("(") {
+            match crate::items::matching(toks, j, "(", ")") {
+                Some(c) => j = c + 1,
+                None => return false,
+            }
+        } else if toks[j].is_punct("[") {
+            match crate::items::matching(toks, j, "[", "]") {
+                Some(c) => j = c + 1,
+                None => return false,
+            }
+        } else if toks[j].is_punct("?") {
+            j += 1;
+        } else {
+            return false;
+        }
+    }
+    false
+}

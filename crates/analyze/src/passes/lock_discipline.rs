@@ -1,22 +1,39 @@
-//! `lock-discipline` — a lock-order graph over `Mutex`/`RwLock`
-//! acquisitions, denying the two deadlock shapes PR 2's service layer
-//! can exhibit:
+//! `lock-discipline` — a flow-sensitive lockset over `Mutex`/`RwLock`
+//! acquisitions, denying the deadlock and staleness shapes PR 2's
+//! service layer can exhibit:
 //!
 //! 1. **Inconsistent acquisition order.** Every acquisition made while
-//!    another guard is held (directly, or transitively through calls)
-//!    contributes an edge `held → acquired` to a global graph keyed by
-//!    lock *field name*; any cycle is a deny at each participating
-//!    site. Re-acquiring the same name while held is denied outright
-//!    (`parking_lot` mutexes are not re-entrant: self-deadlock).
+//!    another guard may be held (directly, or transitively through
+//!    calls) contributes an edge `held → acquired` to a global graph
+//!    keyed by lock *field name*; any cycle is a deny at each
+//!    participating site. Re-acquiring the same name while held is
+//!    denied outright (`parking_lot` mutexes are not re-entrant:
+//!    self-deadlock).
 //! 2. **Guard held across a blocking channel op.** `send`/`recv` on
 //!    the bounded crossbeam queues (plus `join`/`wait`/`park`/`sleep`)
-//!    inside a guard's extent — directly or through a call — is a
+//!    while a guard may be held — directly or through a call — is a
 //!    deny: a full queue would park the thread while every other shard
 //!    client spins on the mutex. `try_send`/`try_recv` are fine.
+//! 3. **Stale guarded read.** A local bound from a guard projection
+//!    (`let head = g.head;`) that is reused after the guard was
+//!    released and the same lock re-acquired is a deny: the guarded
+//!    state may have changed between the two critical sections.
 //!
-//! Guard extents: a `let`-bound guard lives to the end of its enclosing
-//! block or an explicit `drop(guard)`; a temporary (`x.lock().f()`)
-//! lives to the end of its statement. Keying by field name merges
+//! The lockset is a forward may-analysis over the statement-level CFG
+//! (`crate::cfg`): a `let`-bound guard is *gen*'d at its acquisition
+//! and *killed* by `drop(guard)`, by moving the bare guard into a
+//! call, or by leaving its lexical scope (including loop back edges);
+//! a chained temporary (`x.lock().f()`) lives only to its statement's
+//! `;`. Path-sensitivity is what rules 1–2 gain over the old extent
+//! scan: a guard dropped on the `then` path is still reported when the
+//! `else` path blocks, and a guard handed off to a callee no longer
+//! counts as held afterwards.
+//!
+//! Method calls *on a guard* — chained directly on `.lock()`, or
+//! invoked on a guard variable — are excluded from name-based callee
+//! summary folding: `ledger.lock().register(..)` calls the guarded
+//! value's `register`, not a same-named service method that happens to
+//! acquire locks. Keying the graph by field name still merges
 //! same-named locks on different types — conservative, and the honest
 //! choice for a lexer-level analyzer (documented in DESIGN.md).
 //!
@@ -26,10 +43,13 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::cfg::{build_cfg, Stmt};
+use crate::dataflow::{solve, Lattice};
 use crate::diag::Severity;
 use crate::graph::WorkspaceIndex;
+use crate::items::{CallSite, FnItem};
 use crate::lexer::TokenKind;
-use crate::passes::{Finding, Pass};
+use crate::passes::{flow, Finding, Pass};
 use crate::source::SourceFile;
 
 /// Method names that can block the calling thread.
@@ -44,13 +64,18 @@ const BLOCKING: &[&str] = &[
     "sleep",
 ];
 
-/// One lock acquisition and its guard extent (token index range).
+/// One lock acquisition and the shape of its guard.
 #[derive(Debug, Clone)]
 struct Acquisition {
     name: String,
     line: u32,
     tok: usize,
-    extent_end: usize,
+    /// `let`-bound guard variable; `None` for chained temporaries.
+    guard_var: Option<String>,
+    /// Exclusive lexical upper bound of the guard's life: the
+    /// enclosing block's `}` for bound guards, the statement's `;`
+    /// for temporaries. Flow kills can end it earlier.
+    scope_end: usize,
 }
 
 /// Lock-order edges `(held, acquired)` mapped to their sites
@@ -64,6 +89,41 @@ struct Summary {
     locks: BTreeSet<String>,
     /// A blocking op this fn (transitively) performs, if any.
     blocks: Option<String>,
+}
+
+/// The dataflow state: may-held guards plus guard-derived locals.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct LockState {
+    /// Indices into `FnLocks::acquisitions` whose guards may be live.
+    held: BTreeSet<usize>,
+    /// Locals bound from a guard projection: name -> (lock, stale).
+    derived: BTreeMap<String, (String, bool)>,
+}
+
+impl Lattice for LockState {
+    fn join_from(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        for &i in &other.held {
+            changed |= self.held.insert(i);
+        }
+        for (k, v) in &other.derived {
+            match self.derived.get_mut(k) {
+                None => {
+                    self.derived.insert(k.clone(), v.clone());
+                    changed = true;
+                }
+                Some(cur) => {
+                    // Stale on any path means stale at the join; a
+                    // differing lock name keeps the existing entry.
+                    if v.1 && !cur.1 && cur.0 == v.0 {
+                        cur.1 = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        changed
+    }
 }
 
 /// The pass.
@@ -87,115 +147,10 @@ impl Pass for LockDiscipline {
         let mut edges: EdgeSites = BTreeMap::new();
 
         for (idx, fl) in per_fn.iter().enumerate() {
-            let fi = ws.fns[idx].file;
             if !subject(ws, idx) {
                 continue;
             }
-            let item = ws.fn_item(idx);
-            for a in &fl.acquisitions {
-                // Direct nested acquisitions.
-                for b in &fl.acquisitions {
-                    if b.tok <= a.tok || b.tok >= a.extent_end {
-                        continue;
-                    }
-                    if b.name == a.name {
-                        out.push((
-                            fi,
-                            Finding {
-                                line: b.line,
-                                severity: Severity::Deny,
-                                message: format!(
-                                    "`{}` re-acquires lock `{}` while its guard is still \
-                                     held (parking_lot mutexes are not re-entrant: this \
-                                     self-deadlocks); drop the first guard or merge the \
-                                     critical sections",
-                                    item.name, a.name
-                                ),
-                            },
-                        ));
-                    } else {
-                        edges
-                            .entry((a.name.clone(), b.name.clone()))
-                            .or_default()
-                            .push((fi, b.line, item.name.clone()));
-                    }
-                }
-                // Direct blocking ops inside the extent.
-                for (bi, (line, op)) in fl.blocking.iter().enumerate() {
-                    let t = fl.blocking_toks[bi];
-                    if t > a.tok && t < a.extent_end {
-                        out.push((
-                            fi,
-                            Finding {
-                                line: *line,
-                                severity: Severity::Deny,
-                                message: format!(
-                                    "guard `{}` is held across blocking `.{}()` in `{}`; \
-                                     a full/empty bounded channel parks this thread while \
-                                     holding the lock — drop the guard before blocking",
-                                    a.name, op, item.name
-                                ),
-                            },
-                        ));
-                    }
-                }
-                // Calls inside the extent: fold in callee summaries.
-                for c in &item.calls {
-                    if c.tok <= a.tok || c.tok >= a.extent_end || is_lock_method(&c.name) {
-                        continue;
-                    }
-                    for &g in &ws.callees[idx] {
-                        if ws.fn_item(g).name != c.name {
-                            continue;
-                        }
-                        // A self-edge here is almost always name aliasing
-                        // (`ledger.lock().register(..)` resolving to the
-                        // caller's own `register`); direct recursion under
-                        // a held lock is caught by the nested-acquisition
-                        // check when the lock is re-taken inline.
-                        if g == idx {
-                            continue;
-                        }
-                        let s = &summaries[g];
-                        if let Some(op) = &s.blocks {
-                            out.push((
-                                fi,
-                                Finding {
-                                    line: c.line,
-                                    severity: Severity::Deny,
-                                    message: format!(
-                                        "guard `{}` is held across a call to `{}` which \
-                                         may block (`{}`); drop the guard before calling",
-                                        a.name, c.name, op
-                                    ),
-                                },
-                            ));
-                        }
-                        for l in &s.locks {
-                            if *l == a.name {
-                                out.push((
-                                    fi,
-                                    Finding {
-                                        line: c.line,
-                                        severity: Severity::Deny,
-                                        message: format!(
-                                            "`{}` calls `{}` which re-acquires lock `{}` \
-                                             already held here (self-deadlock)",
-                                            item.name, c.name, a.name
-                                        ),
-                                    },
-                                ));
-                            } else {
-                                edges.entry((a.name.clone(), l.clone())).or_default().push((
-                                    fi,
-                                    c.line,
-                                    item.name.clone(),
-                                ));
-                            }
-                        }
-                    }
-                }
-            }
+            check_fn(ws, idx, fl, &summaries, &mut edges, &mut out);
         }
 
         // Cycle detection over the order graph.
@@ -245,6 +200,24 @@ struct FnLocks {
     blocking: Vec<(u32, String)>,
     /// Token index of each blocking call, parallel to `blocking`.
     blocking_toks: Vec<usize>,
+    /// Name-token indices of method calls whose receiver is a guard
+    /// (chained on `.lock()`, or invoked on a guard variable). These
+    /// call the *guarded value's* method, so name-based summary
+    /// folding must not resolve them to workspace fns.
+    guard_chained: BTreeSet<usize>,
+    /// Call names eligible for callee summary folding.
+    foldable: BTreeSet<String>,
+}
+
+/// Shared per-fn context for the check walk.
+struct FnCtx<'a> {
+    ws: &'a WorkspaceIndex,
+    idx: usize,
+    fi: usize,
+    file: &'a SourceFile,
+    item: &'a FnItem,
+    fl: &'a FnLocks,
+    summaries: &'a [Summary],
 }
 
 fn analyze_fn(ws: &WorkspaceIndex, idx: usize) -> FnLocks {
@@ -276,19 +249,55 @@ fn analyze_fn(ws: &WorkspaceIndex, idx: usize) -> FnLocks {
         if recv.kind != TokenKind::Ident {
             continue;
         }
-        let extent_end = guard_extent(file, item, c, &depth, body_open, body_close);
+        let (guard_var, scope_end) = guard_shape(file, c, &depth, body_open, body_close);
+        if guard_var.is_none() {
+            // `x.lock().f(..)` — the chained name calls a method of
+            // the guarded value, never a workspace fn of that name.
+            if file
+                .tokens
+                .get(c.args.1 + 1)
+                .is_some_and(|t| t.is_punct("."))
+            {
+                out.guard_chained.insert(c.args.1 + 2);
+            }
+        }
         out.acquisitions.push(Acquisition {
             name: recv.text.clone(),
             line: c.line,
             tok: c.tok,
-            extent_end,
+            guard_var,
+            scope_end,
         });
+    }
+
+    // Method calls on a guard variable are also guarded-value methods.
+    let vars: BTreeSet<&str> = out
+        .acquisitions
+        .iter()
+        .filter_map(|a| a.guard_var.as_deref())
+        .collect();
+    for c in &item.calls {
+        if !c.is_method {
+            continue;
+        }
+        let Some(recv) = c.tok.checked_sub(2).map(|r| &file.tokens[r]) else {
+            continue;
+        };
+        if recv.kind == TokenKind::Ident && vars.contains(recv.text.as_str()) {
+            out.guard_chained.insert(c.tok);
+        }
+    }
+    for c in &item.calls {
+        if is_lock_method(&c.name) || out.guard_chained.contains(&c.tok) {
+            continue;
+        }
+        out.foldable.insert(c.name.clone());
     }
     out
 }
 
 /// `v.join(", ")` string joins are not thread joins.
-fn is_string_join(file: &SourceFile, c: &crate::items::CallSite) -> bool {
+fn is_string_join(file: &SourceFile, c: &CallSite) -> bool {
     c.name == "join"
         && file.tokens[c.args.0..c.args.1]
             .iter()
@@ -315,15 +324,15 @@ fn brace_depths(file: &SourceFile) -> Vec<u32> {
         .collect()
 }
 
-/// End (exclusive token index) of the guard produced by acquisition `c`.
-fn guard_extent(
+/// Guard variable (if `let`-bound) and lexical upper bound of the
+/// guard produced by acquisition `c`.
+fn guard_shape(
     file: &SourceFile,
-    item: &crate::items::FnItem,
-    c: &crate::items::CallSite,
+    c: &CallSite,
     depth: &[u32],
     body_open: usize,
     body_close: usize,
-) -> usize {
+) -> (Option<String>, usize) {
     // Statement start: walk back to the nearest `;`, `{` or `}`.
     let mut s = c.tok;
     while s > body_open {
@@ -355,21 +364,12 @@ fn guard_extent(
     };
     match bound_var {
         Some(var) => {
-            // To the end of the enclosing block, or an explicit drop(var).
-            let mut end = enclosing_block_end(file, c.tok, depth, body_close);
-            for d in &item.calls {
-                if d.name == "drop"
-                    && !d.is_method
-                    && d.tok > c.tok
-                    && d.tok < end
-                    && d.args.1 == d.args.0 + 1
-                    && file.tokens[d.args.0].is_ident(&var)
-                {
-                    end = d.tok;
-                    break;
-                }
-            }
-            end
+            // To the end of the enclosing block; `drop(var)` and moves
+            // are flow kills applied by the transfer function.
+            (
+                Some(var),
+                enclosing_block_end(file, c.tok, depth, body_close),
+            )
         }
         None => {
             // Temporary guard: to the statement's `;` at this depth.
@@ -377,15 +377,12 @@ fn guard_extent(
             let mut j = c.args.1;
             while j <= body_close {
                 let t = &file.tokens[j];
-                if t.is_punct(";") && depth[j] <= d {
-                    return j;
-                }
-                if t.is_punct("}") && depth[j] <= d {
-                    return j;
+                if (t.is_punct(";") || t.is_punct("}")) && depth[j] <= d {
+                    return (None, j);
                 }
                 j += 1;
             }
-            body_close
+            (None, body_close)
         }
     }
 }
@@ -403,7 +400,367 @@ fn enclosing_block_end(file: &SourceFile, tok: usize, depth: &[u32], body_close:
     body_close
 }
 
-/// Fixpoint of per-fn summaries over the call graph.
+/// Runs the lockset fixpoint over `idx`'s CFG, then re-walks every
+/// reached block checking blocking ops, nested acquisitions, callee
+/// summaries and stale guarded reads against per-statement state.
+fn check_fn(
+    ws: &WorkspaceIndex,
+    idx: usize,
+    fl: &FnLocks,
+    summaries: &[Summary],
+    edges: &mut EdgeSites,
+    out: &mut Vec<(usize, Finding)>,
+) {
+    if fl.acquisitions.is_empty() {
+        return;
+    }
+    let node = ws.fns[idx];
+    let fi = node.file;
+    let file = &ws.files[fi];
+    let item = ws.fn_item(idx);
+    let Some(body) = item.body else {
+        return;
+    };
+    let cfg = build_cfg(&file.tokens, body);
+    let entries = solve(&cfg, LockState::default(), |s, st| {
+        prune(st, s, fl);
+        gen_kill(st, s, file, item, fl);
+    });
+    let cx = FnCtx {
+        ws,
+        idx,
+        fi,
+        file,
+        item,
+        fl,
+        summaries,
+    };
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        let Some(entry) = &entries[bi] else {
+            continue;
+        };
+        let mut st = entry.clone();
+        for s in &block.stmts {
+            prune(&mut st, s, fl);
+            check_stmt(&cx, &st, s, edges, out);
+            gen_kill(&mut st, s, file, item, fl);
+        }
+    }
+}
+
+/// Drops guards whose lexical scope does not cover this statement —
+/// including loop back edges, where re-entering the body means the
+/// previous iteration's guard was released at the block's `}`.
+fn prune(st: &mut LockState, s: &Stmt, fl: &FnLocks) {
+    let dead: Vec<usize> = st
+        .held
+        .iter()
+        .copied()
+        .filter(|&i| {
+            let a = &fl.acquisitions[i];
+            !(a.tok < s.lo && s.lo < a.scope_end)
+        })
+        .collect();
+    for i in dead {
+        release(st, i, fl);
+    }
+}
+
+/// Removes a guard from the lockset; once no guard of that lock
+/// remains, every local derived from it becomes stale.
+fn release(st: &mut LockState, i: usize, fl: &FnLocks) {
+    if !st.held.remove(&i) {
+        return;
+    }
+    let name = &fl.acquisitions[i].name;
+    if st.held.iter().any(|&j| fl.acquisitions[j].name == *name) {
+        return;
+    }
+    for v in st.derived.values_mut() {
+        if v.0 == *name {
+            v.1 = true;
+        }
+    }
+}
+
+/// The transfer function: guard gens, `drop`/move kills, and
+/// derived-local tracking across one statement.
+fn gen_kill(st: &mut LockState, s: &Stmt, file: &SourceFile, item: &FnItem, fl: &FnLocks) {
+    for (i, a) in fl.acquisitions.iter().enumerate() {
+        if a.guard_var.is_some() && s.lo <= a.tok && a.tok < s.hi {
+            st.held.insert(i);
+        }
+    }
+    for c in &item.calls {
+        if c.tok < s.lo || c.tok >= s.hi {
+            continue;
+        }
+        if c.name == "drop" && !c.is_method && c.args.1 == c.args.0 + 1 {
+            let t = &file.tokens[c.args.0];
+            if t.kind == TokenKind::Ident {
+                if let Some(i) = held_guard_named(st, fl, &t.text) {
+                    release(st, i, fl);
+                }
+            }
+            continue;
+        }
+        // A bare guard var as a whole argument: ownership moves into
+        // the call and the guard unlocks inside it.
+        let mut j = c.args.0;
+        while j < c.args.1 {
+            let t = &file.tokens[j];
+            if t.kind == TokenKind::Ident {
+                let starts = j == c.args.0 || file.tokens[j - 1].is_punct(",");
+                let ends = j + 1 == c.args.1 || file.tokens[j + 1].is_punct(",");
+                if starts && ends {
+                    if let Some(i) = held_guard_named(st, fl, &t.text) {
+                        release(st, i, fl);
+                    }
+                }
+            }
+            j += 1;
+        }
+    }
+    // Plain bindings from a guard projection become derived locals;
+    // `x += g.f` accumulators keep their own history and are neither
+    // derived nor killed.
+    if let Some((name, rhs_lo, compound)) = flow::binding_of(&file.tokens, s) {
+        if !compound {
+            match derived_lock(st, file, fl, rhs_lo, s.hi) {
+                Some(lock) => {
+                    st.derived.insert(name, (lock, false));
+                }
+                None => {
+                    st.derived.remove(&name);
+                }
+            }
+        }
+    }
+}
+
+/// The held acquisition whose guard variable is `var`, if any.
+fn held_guard_named(st: &LockState, fl: &FnLocks, var: &str) -> Option<usize> {
+    st.held
+        .iter()
+        .copied()
+        .find(|&i| fl.acquisitions[i].guard_var.as_deref() == Some(var))
+}
+
+/// The lock name behind a guard projection (`g.field` / `g.method()`)
+/// in `[lo, hi)`, if a held guard is projected.
+fn derived_lock(
+    st: &LockState,
+    file: &SourceFile,
+    fl: &FnLocks,
+    lo: usize,
+    hi: usize,
+) -> Option<String> {
+    for j in lo..hi {
+        let t = &file.tokens[j];
+        if t.kind != TokenKind::Ident || !flow::is_local_use(&file.tokens, j) {
+            continue;
+        }
+        if !file.tokens.get(j + 1).is_some_and(|n| n.is_punct(".")) {
+            continue;
+        }
+        if let Some(i) = held_guard_named(st, fl, &t.text) {
+            return Some(fl.acquisitions[i].name.clone());
+        }
+    }
+    None
+}
+
+/// Checks one statement against its entry lockset.
+fn check_stmt(
+    cx: &FnCtx<'_>,
+    st: &LockState,
+    s: &Stmt,
+    edges: &mut EdgeSites,
+    out: &mut Vec<(usize, Finding)>,
+) {
+    let fl = cx.fl;
+    // Guards that may be held at token `t`: the entry set plus any
+    // acquisition earlier in this statement (temporaries only up to
+    // their `;`).
+    let held_at = |t: usize| -> Vec<usize> {
+        let mut v: Vec<usize> = st.held.iter().copied().collect();
+        for (i, a) in fl.acquisitions.iter().enumerate() {
+            if s.lo <= a.tok && a.tok < t && !v.contains(&i) {
+                let live = match a.guard_var {
+                    Some(_) => true,
+                    None => t < a.scope_end,
+                };
+                if live {
+                    v.push(i);
+                }
+            }
+        }
+        v.sort_unstable();
+        v
+    };
+
+    // 1. Blocking ops while a guard may be held.
+    for (bi, (line, op)) in fl.blocking.iter().enumerate() {
+        let t = fl.blocking_toks[bi];
+        if t < s.lo || t >= s.hi {
+            continue;
+        }
+        for i in held_at(t) {
+            let a = &fl.acquisitions[i];
+            out.push((
+                cx.fi,
+                Finding {
+                    line: *line,
+                    severity: Severity::Deny,
+                    message: format!(
+                        "guard `{}` is held across blocking `.{}()` in `{}`; \
+                         a full/empty bounded channel parks this thread while \
+                         holding the lock — drop the guard before blocking",
+                        a.name, op, cx.item.name
+                    ),
+                },
+            ));
+        }
+    }
+
+    // 2. Nested acquisitions: re-entrancy and order edges.
+    for (bidx, b) in fl.acquisitions.iter().enumerate() {
+        if b.tok < s.lo || b.tok >= s.hi {
+            continue;
+        }
+        for i in held_at(b.tok) {
+            if i == bidx {
+                continue;
+            }
+            let a = &fl.acquisitions[i];
+            if a.name == b.name {
+                out.push((
+                    cx.fi,
+                    Finding {
+                        line: b.line,
+                        severity: Severity::Deny,
+                        message: format!(
+                            "`{}` re-acquires lock `{}` while its guard is still \
+                             held (parking_lot mutexes are not re-entrant: this \
+                             self-deadlocks); drop the first guard or merge the \
+                             critical sections",
+                            cx.item.name, a.name
+                        ),
+                    },
+                ));
+            } else {
+                edges
+                    .entry((a.name.clone(), b.name.clone()))
+                    .or_default()
+                    .push((cx.fi, b.line, cx.item.name.clone()));
+            }
+        }
+    }
+
+    // 3. Calls while held: fold in callee summaries.
+    for c in &cx.item.calls {
+        if c.tok < s.lo || c.tok >= s.hi {
+            continue;
+        }
+        if is_lock_method(&c.name) || c.name == "drop" || fl.guard_chained.contains(&c.tok) {
+            continue;
+        }
+        let held = held_at(c.tok);
+        if held.is_empty() {
+            continue;
+        }
+        for &g in &cx.ws.callees[cx.idx] {
+            if cx.ws.fn_item(g).name != c.name {
+                continue;
+            }
+            // A self-edge here is almost always name aliasing; direct
+            // recursion under a held lock is caught by the nested-
+            // acquisition check when the lock is re-taken inline.
+            if g == cx.idx {
+                continue;
+            }
+            let sum = &cx.summaries[g];
+            for &i in &held {
+                let a = &fl.acquisitions[i];
+                if let Some(op) = &sum.blocks {
+                    out.push((
+                        cx.fi,
+                        Finding {
+                            line: c.line,
+                            severity: Severity::Deny,
+                            message: format!(
+                                "guard `{}` is held across a call to `{}` which \
+                                 may block (`{}`); drop the guard before calling",
+                                a.name, c.name, op
+                            ),
+                        },
+                    ));
+                }
+                for l in &sum.locks {
+                    if *l == a.name {
+                        out.push((
+                            cx.fi,
+                            Finding {
+                                line: c.line,
+                                severity: Severity::Deny,
+                                message: format!(
+                                    "`{}` calls `{}` which re-acquires lock `{}` \
+                                     already held here (self-deadlock)",
+                                    cx.item.name, c.name, a.name
+                                ),
+                            },
+                        ));
+                    } else {
+                        edges.entry((a.name.clone(), l.clone())).or_default().push((
+                            cx.fi,
+                            c.line,
+                            cx.item.name.clone(),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // 4. Stale guarded reads under a re-acquired lock. The binding
+    //    occurrence on a `let`/`=` lhs is not a use, so scan the rhs.
+    let scan_lo = flow::binding_of(&cx.file.tokens, s)
+        .map(|(_, rhs, _)| rhs)
+        .unwrap_or(s.lo);
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for j in scan_lo..s.hi {
+        let t = &cx.file.tokens[j];
+        if t.kind != TokenKind::Ident || !flow::is_local_use(&cx.file.tokens, j) {
+            continue;
+        }
+        let Some((lock, stale)) = st.derived.get(&t.text) else {
+            continue;
+        };
+        if !*stale {
+            continue;
+        }
+        if held_at(j).iter().any(|&i| fl.acquisitions[i].name == *lock)
+            && reported.insert(t.text.clone())
+        {
+            out.push((
+                cx.fi,
+                Finding {
+                    line: s.line,
+                    severity: Severity::Deny,
+                    message: format!(
+                        "`{}` was read under an earlier `{}` guard and reused \
+                         after that guard was released; the state may have \
+                         changed — re-read it under the current `{}` guard",
+                        t.text, lock, lock
+                    ),
+                },
+            ));
+        }
+    }
+}
+
+/// Fixpoint of per-fn summaries over the call graph. Guard-chained
+/// calls do not fold: they resolve to the guarded value's methods.
 fn transitive_summaries(ws: &WorkspaceIndex, per_fn: &[FnLocks]) -> Vec<Summary> {
     let mut sums: Vec<Summary> = per_fn
         .iter()
@@ -416,7 +773,7 @@ fn transitive_summaries(ws: &WorkspaceIndex, per_fn: &[FnLocks]) -> Vec<Summary>
         let mut changed = false;
         for idx in 0..ws.fns.len() {
             for &g in &ws.callees[idx] {
-                if g == idx {
+                if g == idx || !per_fn[idx].foldable.contains(&ws.fn_item(g).name) {
                     continue;
                 }
                 let (callee_locks, callee_blocks) = (sums[g].locks.clone(), sums[g].blocks.clone());

@@ -1,6 +1,7 @@
 //! The pass registry and shared pass helpers.
 
 pub mod ct_discipline;
+pub mod flow;
 pub mod forbid_unsafe;
 pub mod lock_discipline;
 pub mod no_panic;
@@ -8,6 +9,7 @@ pub mod no_panic_transitive;
 pub mod secret_taint;
 pub mod tcb_boundary;
 pub mod tcb_reachability;
+pub mod untrusted_arith;
 pub mod wallclock;
 
 use crate::diag::Severity;
@@ -62,6 +64,7 @@ pub fn registry() -> Vec<Box<dyn Pass>> {
         Box::new(no_panic_transitive::NoPanicTransitive),
         Box::new(secret_taint::SecretTaint),
         Box::new(lock_discipline::LockDiscipline),
+        Box::new(untrusted_arith::UntrustedArith),
     ]
 }
 

@@ -2,7 +2,7 @@
 //! sinks.
 //!
 //! Scope: non-test code in `crates/tpm`, `crates/crypto`, `crates/core`
-//! (the crates that handle seal/auth key material). Three rules:
+//! (the crates that handle seal/auth key material). Five rules:
 //!
 //! 1. **Debug derives.** A `#[derive(Debug)]` on a struct carrying
 //!    secret material is a deny unless every secret field's type has a
@@ -13,10 +13,7 @@
 //!    is itself a secret-carrying struct.
 //! 2. **Console/logging sinks.** A tainted identifier reaching
 //!    `println!`/`print!`/`eprintln!`/`eprint!`/`dbg!` (including
-//!    `{ident}` inline captures in the format string) is a deny. Taint
-//!    propagates through `let` bindings from secret-named identifiers
-//!    and from calls returning secret types or bearing secret-shaped
-//!    names.
+//!    `{ident}` inline captures in the format string) is a deny.
 //! 3. **Wire sinks.** `.to_bytes()`/`.write()`/`.serialize()` on a
 //!    tainted receiver outside the approved sealing boundary files is a
 //!    deny — private keys leave the TPM model only wrapped or sealed.
@@ -36,16 +33,35 @@
 //!    may ever appear. Same `::` path-qualifier exemption as rule 4
 //!    (`JournalRecord::Settle` names a variant, not a value).
 //!
+//! **Taint is flow-sensitive** (statement-level CFG + worklist, see
+//! `crate::cfg` / `crate::dataflow`): a binding or *reassignment* from
+//! a secret-mentioning expression taints the local on the paths that
+//! execute it, `zeroize(&mut x)` / `x.zeroize()` kills the taint, and
+//! a binding from a clean expression clears a secret-*named* local
+//! (the flow fact overrides the name heuristic in both directions;
+//! idents with no flow fact fall back to the name heuristic). Public
+//! projections (`key.len()`) do not taint. On top of the per-fn flow,
+//! a bounded interprocedural fixpoint marks fns whose *return
+//! position* is tainted as secret-returning — unless the fn's name
+//! marks the result public or one-way (`hash`/`hmac`/`digest`: MAC
+//! tags and digests authenticate data, they do not reveal it) — so
+//! `let sub = derive_subkey(seed)` taints `sub` two calls deep. The
+//! workspace-wide trace/journal rules keep an *empty* secret-returning
+//! set: the name set blankets constructor names like `new`, tolerable
+//! inside the key crates but far too noisy workspace-wide.
+//!
 //! Nonces are deliberately *not* sources here: in this protocol the
 //! nonce is the quote's public `externalData`, not a secret.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::cfg::{build_cfg, Role, Stmt};
+use crate::dataflow::{solve, JoinMap, Lattice};
 use crate::diag::Severity;
 use crate::graph::WorkspaceIndex;
 use crate::items::FnItem;
 use crate::lexer::TokenKind;
-use crate::passes::{Finding, Pass};
+use crate::passes::{flow, Finding, Pass};
 use crate::source::SourceFile;
 
 /// Identifier components that mark a binding as key material.
@@ -69,6 +85,11 @@ const PUBLIC_COMPONENTS: &[&str] = &[
     "store", "slot", "slots", "cache", "hash", "digest", "index", "bound",
 ];
 
+/// Fn-name components whose *output* is safe by construction: one-way
+/// functions (MACs, digests) authenticate data without revealing it,
+/// so their return values are exempt from the return-taint fixpoint.
+const ONE_WAY_COMPONENTS: &[&str] = &["hmac", "mac", "digest", "hash", "checksum", "fingerprint"];
+
 /// Types that are secret by fiat, wherever they appear.
 const DESIGNATED_SECRET_TYPES: &[&str] = &["RsaKeyPair"];
 
@@ -77,6 +98,9 @@ const DESIGNATED_SECRET_TYPES: &[&str] = &["RsaKeyPair"];
 /// Note `unseal`/`decrypt`/`unwrap` are distinct components and do not
 /// match, so the inverse operations keep their outputs secret.
 const SANITIZER_COMPONENTS: &[&str] = &["seal", "encrypt", "wrap"];
+
+/// Method projections whose result is public arithmetic, not material.
+const PUBLIC_PROJECTIONS: &[&str] = &["len", "is_empty", "count", "capacity"];
 
 /// Console/logging macro sinks.
 const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
@@ -117,6 +141,15 @@ pub fn is_taint_secret_ident(ident: &str) -> bool {
             .any(|c| PUBLIC_COMPONENTS.contains(&c.as_str()))
 }
 
+/// Does this fn name mark its result as public or one-way, exempting
+/// it from the return-taint fixpoint?
+fn launders_by_name(name: &str) -> bool {
+    name.split('_').any(|c| {
+        let c = c.to_ascii_lowercase();
+        PUBLIC_COMPONENTS.contains(&c.as_str()) || ONE_WAY_COMPONENTS.contains(&c.as_str())
+    })
+}
+
 fn in_scope(path: &str) -> bool {
     path.starts_with("crates/tpm/src/")
         || path.starts_with("crates/crypto/src/")
@@ -140,7 +173,42 @@ impl Pass for SecretTaint {
         let secret_structs = secret_struct_fixpoint(ws);
         let manual_debug = manual_debug_types(ws);
         let redacting = redacting_types(ws, &secret_structs, &manual_debug);
-        let secret_returning = secret_returning_fns(ws, &secret_structs);
+
+        // Interprocedural return taint: seed with secret-shaped names
+        // and secret return types, then (bounded) close over non-test
+        // fns whose return position the per-fn flow proves tainted.
+        let mut secret_returning = secret_returning_fns(ws, &secret_structs);
+        for _round in 0..3 {
+            let mut changed = false;
+            for idx in 0..ws.fns.len() {
+                if !ws.is_live_fn(idx) || !ws.metas[ws.fns[idx].file].is_src_ctx {
+                    continue;
+                }
+                let file = &ws.files[ws.fns[idx].file];
+                if !in_scope(&file.path) {
+                    continue;
+                }
+                let item = ws.fn_item(idx);
+                if file.in_test_code(item.start_line)
+                    || launders_by_name(&item.name)
+                    || secret_returning.contains(&item.name)
+                {
+                    continue;
+                }
+                let cx = TaintCtx {
+                    secret_returning: &secret_returning,
+                    secret_structs: &secret_structs,
+                };
+                if fn_flow(file, item, &cx).returns_tainted
+                    && secret_returning.insert(item.name.clone())
+                {
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
 
         for (fi, file) in ws.files.iter().enumerate() {
             if !in_scope(&file.path) || !ws.metas[fi].is_src_ctx {
@@ -148,6 +216,17 @@ impl Pass for SecretTaint {
             }
             check_debug_derives(file, &secret_structs, &redacting, fi, &mut out);
         }
+        let cx = TaintCtx {
+            secret_returning: &secret_returning,
+            secret_structs: &secret_structs,
+        };
+        // The workspace-wide trace/journal scans drop the name-seeded
+        // secret-returning set (see the module docs).
+        let empty = BTreeSet::new();
+        let scan_cx = TaintCtx {
+            secret_returning: &empty,
+            secret_structs: &secret_structs,
+        };
         for idx in 0..ws.fns.len() {
             let fi = ws.fns[idx].file;
             let file = &ws.files[fi];
@@ -155,10 +234,11 @@ impl Pass for SecretTaint {
                 continue;
             }
             if in_scope(&file.path) {
-                check_fn_sinks(file, ws.fn_item(idx), &secret_returning, fi, &mut out);
+                let ft = fn_flow(file, ws.fn_item(idx), &cx);
+                check_fn_sinks(file, ws.fn_item(idx), &ft, fi, &mut out);
             }
-            check_trace_sinks(file, ws.fn_item(idx), fi, &mut out);
-            check_journal_sinks(file, ws.fn_item(idx), fi, &mut out);
+            check_trace_sinks(file, ws.fn_item(idx), &scan_cx, fi, &mut out);
+            check_journal_sinks(file, ws.fn_item(idx), &scan_cx, fi, &mut out);
         }
         out
     }
@@ -339,34 +419,313 @@ fn check_debug_derives(
     }
 }
 
+// ---------------------------------------------------------------------
+// Flow-sensitive local taint.
+// ---------------------------------------------------------------------
+
+/// The per-local taint lattice (`Tainted` is top).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Tn {
+    Clean,
+    Tainted,
+}
+
+impl Lattice for Tn {
+    fn join_from(&mut self, other: &Self) -> bool {
+        if *other > *self {
+            *self = *other;
+            return true;
+        }
+        false
+    }
+}
+
+type Env = JoinMap<Tn>;
+
+/// Shared inputs for the per-fn flow.
+struct TaintCtx<'a> {
+    secret_returning: &'a BTreeSet<String>,
+    secret_structs: &'a BTreeMap<String, String>,
+}
+
+/// Env fact wins in both directions; no fact falls back to the name
+/// heuristic.
+fn ident_tainted(name: &str, env: &Env) -> bool {
+    match env.0.get(name) {
+        Some(Tn::Tainted) => true,
+        Some(Tn::Clean) => false,
+        None => is_taint_secret_ident(name),
+    }
+}
+
+/// The solved flow of one fn: the entry environment of every reached
+/// statement, plus whether any return position is tainted.
+struct FnTaint {
+    states: Vec<(Stmt, Env)>,
+    returns_tainted: bool,
+}
+
+impl FnTaint {
+    fn env_at(&self, tok: usize) -> Option<&Env> {
+        self.states
+            .iter()
+            .find(|(s, _)| s.lo <= tok && tok < s.hi)
+            .map(|(_, e)| e)
+    }
+
+    /// Flow fact wins in both directions; no fact falls back to the
+    /// name heuristic.
+    fn tainted_at(&self, name: &str, tok: usize) -> bool {
+        match self.env_at(tok) {
+            Some(env) => ident_tainted(name, env),
+            None => is_taint_secret_ident(name),
+        }
+    }
+
+    /// Locals the flow knows to be tainted at `tok` (for format-string
+    /// capture checks).
+    fn tainted_locals_at(&self, tok: usize) -> Vec<&str> {
+        self.env_at(tok)
+            .map(|e| {
+                e.0.iter()
+                    .filter(|(_, v)| **v == Tn::Tainted)
+                    .map(|(k, _)| k.as_str())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Solves the taint flow for one fn body.
+fn fn_flow(file: &SourceFile, item: &FnItem, cx: &TaintCtx) -> FnTaint {
+    let mut ft = FnTaint {
+        states: Vec::new(),
+        returns_tainted: false,
+    };
+    let Some(body) = item.body else {
+        return ft;
+    };
+    let cfg = build_cfg(&file.tokens, body);
+    let entries = solve(&cfg, Env::default(), |s, env| {
+        transfer(file, item, cx, s, env);
+    });
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        let Some(entry) = &entries[bi] else {
+            continue;
+        };
+        let mut env = entry.clone();
+        for s in &block.stmts {
+            ft.states.push((s.clone(), env.clone()));
+            if let Some((lo, hi)) = return_range(file, s) {
+                if classify(file, item, cx, lo, hi, &env) == Tn::Tainted {
+                    ft.returns_tainted = true;
+                }
+            }
+            transfer(file, item, cx, s, &mut env);
+        }
+    }
+    ft
+}
+
+/// The expression range of a return position: a statement-initial
+/// `return`, or a tail expression (no trailing `;`). Non-`()` values
+/// in non-tail statement position do not compile, so every `;`-less
+/// `Normal` statement is a return position.
+fn return_range(file: &SourceFile, s: &Stmt) -> Option<(usize, usize)> {
+    if s.role != Role::Normal {
+        return None;
+    }
+    if file.tokens[s.lo].is_ident("return") {
+        return Some((s.lo + 1, s.hi));
+    }
+    if !file.tokens.get(s.hi).is_some_and(|t| t.is_punct(";")) {
+        return Some((s.lo, s.hi));
+    }
+    None
+}
+
+/// Transfer across one statement: bindings/reassignments classify
+/// their rhs, `zeroize` kills, `for` headers bind their pattern.
+fn transfer(file: &SourceFile, item: &FnItem, cx: &TaintCtx, s: &Stmt, env: &mut Env) {
+    let toks = &file.tokens;
+    // `for PAT in EXPR` binds the pattern idents with EXPR's taint.
+    if s.role == Role::For {
+        let mut j = s.lo + 1;
+        let mut pat = Vec::new();
+        while j < s.hi && !toks[j].is_ident("in") {
+            if toks[j].kind == TokenKind::Ident && !toks[j].is_ident("mut") {
+                pat.push(toks[j].text.clone());
+            }
+            j += 1;
+        }
+        if j < s.hi {
+            let v = classify(file, item, cx, j + 1, s.hi, env);
+            for name in pat {
+                env.0.insert(name, v);
+            }
+        }
+        return;
+    }
+    if let Some((name, rhs_lo, compound)) = flow::binding_of(toks, s) {
+        let mut v = classify(file, item, cx, rhs_lo, s.hi, env);
+        // A compound assign keeps the old value's taint.
+        if compound && matches!(env.0.get(&name), Some(Tn::Tainted)) {
+            v = Tn::Tainted;
+        }
+        env.0.insert(name, v);
+    }
+    // `zeroize(&mut x)` / `x.zeroize()` overwrites the bytes: the
+    // local no longer carries the secret, whatever its name says.
+    for c in &item.calls {
+        if c.tok < s.lo || c.tok >= s.hi || c.name != "zeroize" {
+            continue;
+        }
+        if c.is_method {
+            if let Some(recv) = c.tok.checked_sub(2).map(|r| &toks[r]) {
+                if recv.kind == TokenKind::Ident {
+                    env.0.insert(recv.text.clone(), Tn::Clean);
+                }
+            }
+        } else if let Some(arg) = toks[c.args.0..c.args.1]
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && !t.is_ident("mut"))
+        {
+            env.0.insert(arg.text.clone(), Tn::Clean);
+        }
+    }
+}
+
+/// Classifies an expression range: `Tainted` if a value position
+/// mentions a tainted local (flow env, falling back to the name
+/// heuristic for untracked idents such as parameters), a secret field
+/// projection (`self.key`), or a call that produces secret material.
+///
+/// Call results are gated by where the call *starts*: a free fn only
+/// taints by its own name; `T::f(..)` only when `T` is a secret type;
+/// `recv.f(..)` only when the receiver is tainted (so the polluted
+/// bare-name `secret_returning` set cannot blanket every `from_bytes`
+/// or `new` in the workspace). A sanitizer call makes the whole
+/// expression ciphertext, and public projections (`key.len()`) stay
+/// clean.
+fn classify(
+    file: &SourceFile,
+    item: &FnItem,
+    cx: &TaintCtx,
+    lo: usize,
+    hi: usize,
+    env: &Env,
+) -> Tn {
+    let toks = &file.tokens;
+    let hi = hi.min(toks.len());
+    for c in &item.calls {
+        if c.tok >= lo
+            && c.tok < hi
+            && c.name
+                .split('_')
+                .any(|w| SANITIZER_COMPONENTS.contains(&w.to_ascii_lowercase().as_str()))
+        {
+            // A sealing/encryption call: its result is ciphertext, so
+            // this expression stays clean even if secrets flow in.
+            return Tn::Clean;
+        }
+    }
+    let mut tainted = false;
+    for j in lo..hi {
+        let t = &toks[j];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let hot = if let Some(c) = item.calls.iter().find(|c| c.tok == j) {
+            call_result_tainted(toks, c, cx, env)
+        } else {
+            // Field names in struct literals / type ascriptions
+            // (`key: ..`) and path qualifiers (`keys::OP`) are not
+            // value uses.
+            if toks
+                .get(j + 1)
+                .is_some_and(|n| n.is_punct(":") || n.is_punct("::"))
+            {
+                continue;
+            }
+            if j > lo && toks[j - 1].is_punct("::") {
+                // Path tail (`mod::CONST`): SCREAMING consts are
+                // exempt by name anyway; skip.
+                continue;
+            }
+            if j > lo && toks[j - 1].is_punct(".") {
+                // Field projection: the env tracks locals, not
+                // fields, so only the name heuristic applies
+                // (`self.key` is secret, `req.nonce` is not).
+                is_taint_secret_ident(&t.text)
+            } else {
+                ident_tainted(&t.text, env)
+            }
+        };
+        if hot && !flow::postfix_projects_public(toks, j, PUBLIC_PROJECTIONS) {
+            tainted = true;
+        }
+    }
+    if tainted {
+        Tn::Tainted
+    } else {
+        Tn::Clean
+    }
+}
+
+/// Does this call produce secret material?
+fn call_result_tainted(
+    toks: &[crate::lexer::Token],
+    c: &crate::items::CallSite,
+    cx: &TaintCtx,
+    env: &Env,
+) -> bool {
+    if is_taint_secret_ident(&c.name) {
+        return true;
+    }
+    if !cx.secret_returning.contains(&c.name) {
+        return false;
+    }
+    if c.is_method {
+        // `recv.f(..)`: the shared name only counts when the receiver
+        // itself carries the secret.
+        return c.tok.checked_sub(2).is_some_and(|r| {
+            toks[r].kind == TokenKind::Ident && ident_tainted(&toks[r].text, env)
+        });
+    }
+    match &c.qualifier {
+        // `T::f(..)`: only a secret type's constructor/accessor taints.
+        Some(q) => cx.secret_structs.contains_key(q) || is_taint_secret_ident(q),
+        // A free fn owns its name: `derive_subkey(..)` taints.
+        None => true,
+    }
+}
+
 fn check_fn_sinks(
     file: &SourceFile,
     item: &FnItem,
-    secret_returning: &BTreeSet<String>,
+    ft: &FnTaint,
     fi: usize,
     out: &mut Vec<(usize, Finding)>,
 ) {
-    let tainted = local_taint(file, item, secret_returning);
-    let is_tainted = |ident: &str| is_taint_secret_ident(ident) || tainted.contains(ident);
-
     for m in &item.macros {
         if !PRINT_MACROS.contains(&m.name.as_str()) {
             continue;
         }
         let mut hit: Option<String> = None;
-        for t in &file.tokens[m.args.0..m.args.1] {
+        for (off, t) in file.tokens[m.args.0..m.args.1].iter().enumerate() {
+            let tok = m.args.0 + off;
             match t.kind {
-                TokenKind::Ident if is_tainted(&t.text) => {
+                TokenKind::Ident if ft.tainted_at(&t.text, tok) => {
                     hit = Some(t.text.clone());
                 }
                 // `println!("{session_key}")` inline captures.
                 TokenKind::Str => {
-                    for name in tainted
-                        .iter()
-                        .map(String::as_str)
+                    for name in ft
+                        .tainted_locals_at(tok)
+                        .into_iter()
                         .chain(capture_candidates(&t.text))
                     {
-                        if is_tainted(name)
+                        if ft.tainted_at(name, tok)
                             && (t.text.contains(&format!("{{{name}}}"))
                                 || t.text.contains(&format!("{{{name}:")))
                         {
@@ -404,10 +763,11 @@ fn check_fn_sinks(
             continue;
         }
         // Receiver ident: `recv . name (` — two tokens before the name.
-        let Some(recv) = c.tok.checked_sub(2).map(|r| &file.tokens[r]) else {
+        let Some(r) = c.tok.checked_sub(2) else {
             continue;
         };
-        if recv.kind == TokenKind::Ident && is_tainted(&recv.text) {
+        let recv = &file.tokens[r];
+        if recv.kind == TokenKind::Ident && ft.tainted_at(&recv.text, r) {
             out.push((
                 fi,
                 Finding {
@@ -431,7 +791,13 @@ fn check_fn_sinks(
 /// Rule 4: tainted identifiers must not appear in the argument list of
 /// a flight-recorder emission. Runs workspace-wide — trace records are
 /// serialized into the JSONL export wherever they are emitted.
-fn check_trace_sinks(file: &SourceFile, item: &FnItem, fi: usize, out: &mut Vec<(usize, Finding)>) {
+fn check_trace_sinks(
+    file: &SourceFile,
+    item: &FnItem,
+    cx: &TaintCtx,
+    fi: usize,
+    out: &mut Vec<(usize, Finding)>,
+) {
     if !item
         .calls
         .iter()
@@ -439,19 +805,14 @@ fn check_trace_sinks(file: &SourceFile, item: &FnItem, fi: usize, out: &mut Vec<
     {
         return;
     }
-    // Name-based taint only: the `secret_returning` name set blankets
-    // common constructor names like `new` (any constructor of a secret
-    // type), which is tolerable inside the three key crates but far too
-    // noisy for a workspace-wide rule.
-    let tainted = local_taint(file, item, &BTreeSet::new());
-    let is_tainted = |ident: &str| is_taint_secret_ident(ident) || tainted.contains(ident);
+    let ft = fn_flow(file, item, cx);
     for c in &item.calls {
         if c.is_method || !TRACE_SINK_FNS.contains(&c.name.as_str()) {
             continue;
         }
         let args = &file.tokens[c.args.0..c.args.1];
         let hit = args.iter().enumerate().find_map(|(j, t)| {
-            if t.kind != TokenKind::Ident || !is_tainted(&t.text) {
+            if t.kind != TokenKind::Ident || !ft.tainted_at(&t.text, c.args.0 + j) {
                 return None;
             }
             // `keys::OP`-style path qualifiers name record *keys*, not
@@ -486,6 +847,7 @@ fn check_trace_sinks(file: &SourceFile, item: &FnItem, fi: usize, out: &mut Vec<
 fn check_journal_sinks(
     file: &SourceFile,
     item: &FnItem,
+    cx: &TaintCtx,
     fi: usize,
     out: &mut Vec<(usize, Finding)>,
 ) {
@@ -496,16 +858,14 @@ fn check_journal_sinks(
     {
         return;
     }
-    // Name-based taint only, same rationale as the trace-sink rule.
-    let tainted = local_taint(file, item, &BTreeSet::new());
-    let is_tainted = |ident: &str| is_taint_secret_ident(ident) || tainted.contains(ident);
+    let ft = fn_flow(file, item, cx);
     for c in &item.calls {
         if !c.is_method || !JOURNAL_SINK_METHODS.contains(&c.name.as_str()) {
             continue;
         }
         let args = &file.tokens[c.args.0..c.args.1];
         let hit = args.iter().enumerate().find_map(|(j, t)| {
-            if t.kind != TokenKind::Ident || !is_tainted(&t.text) {
+            if t.kind != TokenKind::Ident || !ft.tainted_at(&t.text, c.args.0 + j) {
                 return None;
             }
             // `JournalRecord::Settle`-style path qualifiers name the
@@ -538,78 +898,4 @@ fn check_journal_sinks(
 fn capture_candidates(s: &str) -> impl Iterator<Item = &str> {
     s.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
         .filter(|w| !w.is_empty())
-}
-
-/// Local flow: `let x = <expr mentioning a secret or calling a
-/// secret-returning fn>;` taints `x`; iterated so chains propagate.
-fn local_taint(
-    file: &SourceFile,
-    item: &FnItem,
-    secret_returning: &BTreeSet<String>,
-) -> BTreeSet<String> {
-    let Some((open, close)) = item.body else {
-        return BTreeSet::new();
-    };
-    let tokens = &file.tokens[open..=close];
-    let mut tainted: BTreeSet<String> = BTreeSet::new();
-    for _ in 0..3 {
-        let mut changed = false;
-        let mut j = 0;
-        while j < tokens.len() {
-            if !tokens[j].is_ident("let") {
-                j += 1;
-                continue;
-            }
-            let mut k = j + 1;
-            if tokens.get(k).is_some_and(|t| t.is_ident("mut")) {
-                k += 1;
-            }
-            let Some(name) = tokens.get(k).filter(|t| t.kind == TokenKind::Ident) else {
-                j += 1;
-                continue;
-            };
-            // Scan the initializer up to the statement's `;`.
-            let mut m = k + 1;
-            let mut secret_rhs = false;
-            let mut sanitized = false;
-            let mut depth = 0i32;
-            while let Some(t) = tokens.get(m) {
-                if t.is_punct("{") || t.is_punct("(") || t.is_punct("[") {
-                    depth += 1;
-                } else if t.is_punct("}") || t.is_punct(")") || t.is_punct("]") {
-                    depth -= 1;
-                    if depth < 0 {
-                        break;
-                    }
-                } else if t.is_punct(";") && depth == 0 {
-                    break;
-                } else if t.kind == TokenKind::Ident
-                    && tokens.get(m + 1).is_some_and(|n| n.is_punct("("))
-                    && t.text
-                        .split('_')
-                        .any(|c| SANITIZER_COMPONENTS.contains(&c.to_ascii_lowercase().as_str()))
-                {
-                    // A sealing/encryption call: its result is ciphertext,
-                    // so this binding stays clean even if secrets flow in.
-                    sanitized = true;
-                } else if t.kind == TokenKind::Ident
-                    && (is_taint_secret_ident(&t.text)
-                        || tainted.contains(&t.text)
-                        || (secret_returning.contains(&t.text)
-                            && tokens.get(m + 1).is_some_and(|n| n.is_punct("("))))
-                {
-                    secret_rhs = true;
-                }
-                m += 1;
-            }
-            if secret_rhs && !sanitized && tainted.insert(name.text.clone()) {
-                changed = true;
-            }
-            j = k + 1;
-        }
-        if !changed {
-            break;
-        }
-    }
-    tainted
 }

@@ -159,6 +159,89 @@ fn render_map(out: &mut String, key: &str, map: &BTreeMap<String, Stats>) {
     out.push('}');
 }
 
+/// Lints whose findings are produced by the flow-sensitive engine
+/// (statement-level CFGs + fixpoint solver).
+const FLOW_LINTS: &[&str] = &[
+    "ct-discipline",
+    "lock-discipline",
+    "secret-taint",
+    "untrusted-arith",
+];
+
+/// Statistics from the flow-sensitive engine: how much of the
+/// workspace lowered into structured CFGs (vs the single-block
+/// fallback) and what the flow passes found. Written to
+/// `target/analyze/dataflow_report.json` by CI so coverage regressions
+/// in the CFG builder are visible as a fallback-count jump.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct DataflowReport {
+    /// Function bodies lowered to CFGs.
+    pub functions: usize,
+    /// Total basic blocks across all CFGs.
+    pub blocks: usize,
+    /// Total statements across all CFGs.
+    pub statements: usize,
+    /// Bodies where structure recovery failed and the single-block
+    /// over-approximation was used (flow passes degrade to
+    /// flow-insensitive behavior there).
+    pub fallback_functions: usize,
+    /// Post-suppression finding counts for each flow-sensitive lint.
+    pub findings_by_lint: BTreeMap<String, usize>,
+}
+
+/// Measures CFG coverage and flow-pass finding counts.
+pub fn measure_dataflow(ws: &WorkspaceIndex, diags: &[crate::diag::Diagnostic]) -> DataflowReport {
+    let mut r = DataflowReport::default();
+    for lint in FLOW_LINTS {
+        r.findings_by_lint.insert(lint.to_string(), 0);
+    }
+    for file in &ws.files {
+        for f in &file.items.fns {
+            let Some(body) = f.body else { continue };
+            let cfg = crate::cfg::build_cfg(&file.tokens, body);
+            r.functions += 1;
+            r.blocks += cfg.blocks.len();
+            r.statements += cfg.stmt_count();
+            if cfg.fallback {
+                r.fallback_functions += 1;
+            }
+        }
+    }
+    for d in diags {
+        if let Some(count) = r.findings_by_lint.get_mut(d.lint) {
+            *count += 1;
+        }
+    }
+    r
+}
+
+impl DataflowReport {
+    /// Stable, hand-rolled JSON rendering (same conventions as
+    /// [`TcbReport::to_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"dataflow_report\": {\n");
+        out.push_str(&format!("    \"functions\": {},\n", self.functions));
+        out.push_str(&format!("    \"blocks\": {},\n", self.blocks));
+        out.push_str(&format!("    \"statements\": {},\n", self.statements));
+        out.push_str(&format!(
+            "    \"fallback_functions\": {},\n",
+            self.fallback_functions
+        ));
+        out.push_str("    \"findings_by_lint\": {");
+        for (i, (lint, n)) in self.findings_by_lint.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n      \"{lint}\": {n}"));
+        }
+        if !self.findings_by_lint.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("}\n  }\n}\n");
+        out
+    }
+}
+
 /// Compares a freshly measured report against a checked-in baseline
 /// JSON. Fails when the measured TCB grew beyond the baseline's
 /// declared `max_growth_pct`, or when undeclared reachable code

@@ -1,0 +1,127 @@
+//! End-to-end CLI checks: flag plumbing, JSON document shape, report
+//! side-outputs, and exit codes. These run the real binary against the
+//! real workspace, so they double as a smoke test that the repo stays
+//! analyzer-clean through the CLI path (not just the library path the
+//! self-check uses).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn workspace_root() -> PathBuf {
+    utp_analyze::workspace::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("crates/analyze lives inside the utp workspace")
+}
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_utp-analyze"))
+}
+
+#[test]
+fn clean_workspace_exits_zero_and_writes_both_reports() {
+    let dir = std::env::temp_dir().join(format!("utp-analyze-cli-{}", std::process::id()));
+    let tcb = dir.join("tcb_report.json");
+    // Nested path on purpose: the CLI must create missing parents for
+    // the dataflow report (CI writes into target/analyze/).
+    let dataflow = dir.join("nested/dataflow_report.json");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    let out = bin()
+        .args(["--root".as_ref(), workspace_root().as_os_str()])
+        .args(["--format", "json"])
+        .args(["--tcb-report".as_ref(), tcb.as_os_str()])
+        .args(["--dataflow-report".as_ref(), dataflow.as_os_str()])
+        .output()
+        .expect("run utp-analyze");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "expected exit 0 on a clean workspace:\n{stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The combined JSON document carries findings plus the TCB report.
+    assert!(stdout.contains("\"findings\""), "stdout:\n{stdout}");
+    assert!(stdout.contains("\"tcb_report\""), "stdout:\n{stdout}");
+
+    let tcb_json = std::fs::read_to_string(&tcb).expect("tcb report written");
+    assert!(tcb_json.contains("\"measured_functions\""));
+
+    let df_json = std::fs::read_to_string(&dataflow).expect("dataflow report written");
+    for key in [
+        "\"dataflow_report\"",
+        "\"functions\"",
+        "\"blocks\"",
+        "\"statements\"",
+        "\"fallback_functions\"",
+        "\"findings_by_lint\"",
+        "\"ct-discipline\"",
+        "\"lock-discipline\"",
+        "\"secret-taint\"",
+        "\"untrusted-arith\"",
+    ] {
+        assert!(df_json.contains(key), "missing {key} in:\n{df_json}");
+    }
+    // The clean-run invariant seen through the CLI: every flow lint
+    // reports zero post-suppression findings on this workspace.
+    for lint in [
+        "ct-discipline",
+        "lock-discipline",
+        "secret-taint",
+        "untrusted-arith",
+    ] {
+        assert!(
+            df_json.contains(&format!("\"{lint}\": 0")),
+            "expected zero {lint} findings in:\n{df_json}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deny_findings_exit_nonzero_in_json_mode_too() {
+    // Machine-readable output must not soften the exit code: CI pipes
+    // `--format json` and still relies on exit 1 to fail the build.
+    let root = std::env::temp_dir().join(format!("utp-analyze-deny-{}", std::process::id()));
+    let tpm_src = root.join("crates/tpm/src");
+    std::fs::create_dir_all(&tpm_src).expect("create fake workspace");
+    let leaky = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/taint/leaky.rs"),
+    )
+    .expect("read leaky fixture");
+    std::fs::write(tpm_src.join("leaky.rs"), leaky).expect("write fixture");
+
+    let out = bin()
+        .args(["--root".as_ref(), root.as_os_str()])
+        .args(["--format", "json"])
+        .output()
+        .expect("run utp-analyze");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "deny findings must exit 1 in JSON mode:\n{stdout}"
+    );
+    assert!(stdout.contains("\"secret-taint\""), "stdout:\n{stdout}");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn missing_flag_operand_is_a_usage_error() {
+    for flag in ["--dataflow-report", "--tcb-report", "--root", "--format"] {
+        let out = bin().arg(flag).output().expect("run utp-analyze");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "`utp-analyze {flag}` (no operand) must exit 2, stderr:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn unknown_argument_is_a_usage_error() {
+    let out = bin().arg("--no-such-flag").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument"));
+}

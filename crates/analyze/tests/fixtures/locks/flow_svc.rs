@@ -1,0 +1,40 @@
+// Fed as `crates/server/src/flow_svc.rs`. Flow-sensitive lockset
+// cases: a guard dropped on only one path is still held across the
+// other path's recv() (deny); a guard moved into a call before a
+// recv() is released (clean — the old extent scan flagged this); a
+// guarded read reused under a re-acquired lock is stale (deny); and a
+// `.lock().register(..)` chained call must not resolve by name to the
+// locking `register` below (clean — the old folding flagged this).
+pub fn branchy(a: &Mutex<u32>, rx: &Receiver<u32>, fast: bool) {
+    let g = a.lock();
+    if fast {
+        drop(g);
+    } else {
+        let _m = rx.recv();
+    }
+}
+
+pub fn handoff(a: &Mutex<u32>, rx: &Receiver<u32>) {
+    let g = a.lock();
+    consume(g);
+    let _m = rx.recv();
+}
+
+pub fn stale_resume(a: &Mutex<Ledger>) {
+    let g = a.lock();
+    let head = g.head;
+    drop(g);
+    let g2 = a.lock();
+    g2.apply(head);
+}
+
+pub fn restore(svc: &Svc) {
+    svc.ledger.lock().register(7);
+}
+
+pub fn register(svc: &Svc) {
+    let g = svc.ledger.lock();
+    g.push(7);
+}
+
+pub fn consume(_g: MutexGuard<u32>) {}

@@ -1,0 +1,26 @@
+// Fed as `crates/tpm/src/flow_leak.rs`. Flow-sensitive taint cases:
+// a neutral-named buffer *reassigned* from a secret is tainted on the
+// paths after the assignment (deny — the old let-only scan missed
+// it); a zeroized secret-named local is clean afterwards (clean — the
+// old name heuristic flagged it); and a neutral-named fn returning
+// tainted data taints its callers' bindings (deny, two hops).
+pub fn reassign_then_print(session_key: [u8; 4]) {
+    let mut buf = [0u8; 4];
+    buf = session_key;
+    println!("buf = {:?}", buf);
+}
+
+pub fn zeroize_then_print(mut scratch_key: [u8; 4]) {
+    zeroize(&mut scratch_key);
+    println!("scratch = {:?}", scratch_key);
+}
+
+pub fn derive_subkey(seed: &[u8]) -> Vec<u8> {
+    let expanded = expand(seed);
+    expanded
+}
+
+pub fn log_derived(material: &[u8]) {
+    let sub = derive_subkey(material);
+    println!("sub = {:?}", sub);
+}

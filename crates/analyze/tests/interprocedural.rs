@@ -210,6 +210,33 @@ fn secret_taint_flags_journal_sink_outside_key_crates() {
     );
 }
 
+/// Flow-sensitive taint cases: a reassignment into a neutral-named
+/// buffer taints it (the old let-only scan missed this), a zeroized
+/// secret-named local is clean afterwards (the old name heuristic
+/// flagged it), and return taint propagates through a neutral-named
+/// fn into its caller's binding.
+#[test]
+fn secret_taint_flow_tracks_reassignment_zeroize_and_return_taint() {
+    let analysis = analyze(&[("crates/tpm/src/flow_leak.rs", "taint/flow_leak.rs")]);
+    assert_diags(
+        &analysis,
+        &[
+            (
+                "crates/tpm/src/flow_leak.rs",
+                10,
+                "secret-taint",
+                "secret `buf` flows into `println!` in `reassign_then_print`",
+            ),
+            (
+                "crates/tpm/src/flow_leak.rs",
+                25,
+                "secret-taint",
+                "secret `sub` flows into `println!` in `log_derived`",
+            ),
+        ],
+    );
+}
+
 #[test]
 fn lock_discipline_flags_blocking_cycle_and_reentrancy() {
     let analysis = analyze(&[("crates/server/src/svc.rs", "locks/svc.rs")]);
@@ -239,6 +266,32 @@ fn lock_discipline_flags_blocking_cycle_and_reentrancy() {
                 24,
                 "lock-discipline",
                 "`double` re-acquires lock `a` while its guard is still held",
+            ),
+        ],
+    );
+}
+
+/// Flow-sensitive lockset cases: path-sensitive holds are caught, and
+/// the two shapes the old extent scan mis-handled — a guard moved into
+/// a call before blocking, and a `.lock().method(..)` chained call
+/// aliasing a locking workspace fn by name — stay clean.
+#[test]
+fn lock_discipline_flow_kills_paths_and_stale_reads() {
+    let analysis = analyze(&[("crates/server/src/flow_svc.rs", "locks/flow_svc.rs")]);
+    assert_diags(
+        &analysis,
+        &[
+            (
+                "crates/server/src/flow_svc.rs",
+                13,
+                "lock-discipline",
+                "guard `a` is held across blocking `.recv()` in `branchy`",
+            ),
+            (
+                "crates/server/src/flow_svc.rs",
+                28,
+                "lock-discipline",
+                "`head` was read under an earlier `a` guard and reused after that guard was released",
             ),
         ],
     );

@@ -33,6 +33,28 @@ pub fn ct_select(choice: bool, a: u8, b: u8) -> u8 {
     (a & mask) | (b & !mask)
 }
 
+/// Best-effort secure wipe: overwrites `buf` with zeros and pins the
+/// stores behind a compiler fence so they are not elided as dead
+/// writes to a buffer about to go out of scope. Key-derived scratch
+/// (padded HMAC key blocks, unsealed payload staging) must be wiped
+/// before it leaves scope; this is also the taint kill recognized by
+/// the `secret-taint` static analysis.
+///
+/// # Example
+///
+/// ```
+/// use utp_crypto::ct::zeroize;
+/// let mut key_block = [0xAAu8; 4];
+/// zeroize(&mut key_block);
+/// assert_eq!(key_block, [0u8; 4]);
+/// ```
+pub fn zeroize(buf: &mut [u8]) {
+    for b in buf.iter_mut() {
+        *b = 0;
+    }
+    core::sync::atomic::compiler_fence(core::sync::atomic::Ordering::SeqCst);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,5 +84,14 @@ mod tests {
     fn select_behaves() {
         assert_eq!(ct_select(true, 0xAA, 0x55), 0xAA);
         assert_eq!(ct_select(false, 0xAA, 0x55), 0x55);
+    }
+
+    #[test]
+    fn zeroize_clears_every_byte() {
+        let mut buf = [0xFFu8; 64];
+        zeroize(&mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        let mut empty: [u8; 0] = [];
+        zeroize(&mut empty);
     }
 }

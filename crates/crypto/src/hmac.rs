@@ -4,6 +4,7 @@
 //! secrets with HMAC-SHA1; the UTP wire protocol uses HMAC-SHA256 for
 //! session binding.
 
+use crate::ct::zeroize;
 use crate::sha1::{Sha1, Sha1Digest};
 use crate::sha256::{Sha256, Sha256Digest};
 
@@ -42,7 +43,7 @@ fn pad_key_sha256(key: &[u8]) -> [u8; BLOCK_LEN] {
 /// assert_eq!(mac.to_hex(), "b617318655057264e28bc0b6fb378c8ef146be00");
 /// ```
 pub fn hmac_sha1(key: &[u8], data: &[u8]) -> Sha1Digest {
-    let padded = pad_key_sha1(key);
+    let mut padded = pad_key_sha1(key);
     let mut ipad = [0u8; BLOCK_LEN];
     let mut opad = [0u8; BLOCK_LEN];
     for i in 0..BLOCK_LEN {
@@ -50,7 +51,14 @@ pub fn hmac_sha1(key: &[u8], data: &[u8]) -> Sha1Digest {
         opad[i] = padded[i] ^ 0x5c;
     }
     let inner = Sha1::digest_concat(&ipad, data);
-    Sha1::digest_concat(&opad, inner.as_bytes())
+    let mac = Sha1::digest_concat(&opad, inner.as_bytes());
+    // The padded block and both pads are key-equivalent material
+    // (each pad is the key XOR a public constant); wipe them before
+    // the stack frame is recycled.
+    zeroize(&mut padded);
+    zeroize(&mut ipad);
+    zeroize(&mut opad);
+    mac
 }
 
 /// HMAC-SHA256 of `data` under `key`.
@@ -67,7 +75,7 @@ pub fn hmac_sha1(key: &[u8], data: &[u8]) -> Sha1Digest {
 /// );
 /// ```
 pub fn hmac_sha256(key: &[u8], data: &[u8]) -> Sha256Digest {
-    let padded = pad_key_sha256(key);
+    let mut padded = pad_key_sha256(key);
     let mut ipad = [0u8; BLOCK_LEN];
     let mut opad = [0u8; BLOCK_LEN];
     for i in 0..BLOCK_LEN {
@@ -75,13 +83,18 @@ pub fn hmac_sha256(key: &[u8], data: &[u8]) -> Sha256Digest {
         opad[i] = padded[i] ^ 0x5c;
     }
     let inner = Sha256::digest_concat(&ipad, data);
-    Sha256::digest_concat(&opad, inner.as_bytes())
+    let mac = Sha256::digest_concat(&opad, inner.as_bytes());
+    // Key-equivalent scratch; see `hmac_sha1`.
+    zeroize(&mut padded);
+    zeroize(&mut ipad);
+    zeroize(&mut opad);
+    mac
 }
 
 /// HMAC-SHA256 over the concatenation of several parts, avoiding an
 /// intermediate allocation at call sites that bind structured messages.
 pub fn hmac_sha256_parts(key: &[u8], parts: &[&[u8]]) -> Sha256Digest {
-    let padded = pad_key_sha256(key);
+    let mut padded = pad_key_sha256(key);
     let mut ipad = [0u8; BLOCK_LEN];
     let mut opad = [0u8; BLOCK_LEN];
     for i in 0..BLOCK_LEN {
@@ -94,7 +107,12 @@ pub fn hmac_sha256_parts(key: &[u8], parts: &[&[u8]]) -> Sha256Digest {
         inner.update(p);
     }
     let inner = inner.finalize();
-    Sha256::digest_concat(&opad, inner.as_bytes())
+    let mac = Sha256::digest_concat(&opad, inner.as_bytes());
+    // Key-equivalent scratch; see `hmac_sha1`.
+    zeroize(&mut padded);
+    zeroize(&mut ipad);
+    zeroize(&mut opad);
+    mac
 }
 
 #[cfg(test)]

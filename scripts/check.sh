@@ -10,11 +10,15 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> utp-analyze (findings + measured TCB report vs baseline)"
+echo "==> utp-analyze (findings + measured TCB report vs baseline + dataflow coverage)"
 mkdir -p target
 cargo run -q -p utp-analyze -- --format json \
   --tcb-report target/tcb_report.json \
-  --check-tcb-baseline scripts/tcb_report.json
+  --check-tcb-baseline scripts/tcb_report.json \
+  --dataflow-report target/analyze/dataflow_report.json
+
+echo "==> utp-analyze self-check (analyzer's own crate must be clean)"
+cargo run -q -p utp-analyze -- --root crates/analyze --format json > /dev/null
 
 echo "==> cargo test -q"
 cargo test -q
