@@ -20,6 +20,7 @@ const FORBIDDEN_CRATES: &[&str] = &[
     "utp_captcha",
     "utp_bench",
     "utp_journal",
+    "utp_explore",
     "utp",
 ];
 

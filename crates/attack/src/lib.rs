@@ -25,10 +25,13 @@
 //!   the PAL launches and hope the human doesn't read the screen.
 //!
 //! [`harness`] turns per-trial closures into success rates for the E5
-//! table.
+//! table. [`playbooks`] names multi-step adversary campaigns in the
+//! `utp-explore` action vocabulary so the explorer, the replayer and
+//! the docs all speak about the same schedules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod playbooks;
 pub mod scenarios;

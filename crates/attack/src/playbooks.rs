@@ -1,0 +1,193 @@
+//! Named adversary playbooks in the shared [`utp_explore`] action
+//! vocabulary.
+//!
+//! The scenario attacks in [`crate::scenarios`] are *capability*
+//! demonstrations: each shows one forgery technique failing against the
+//! trusted path. Playbooks are *schedules* — multi-step message-level
+//! campaigns expressed as [`utp_explore::Schedule`]s, so the same
+//! sequence the explorer might discover can be named, documented,
+//! replayed against any [`utp_explore::System`], and shrunk. They
+//! double as regression seeds: each playbook pins the exact adversary
+//! interleaving that motivated a provider-side defence.
+
+use utp_explore::{Action, CrashKind, EvidenceKind, Schedule};
+
+/// A named adversary campaign.
+#[derive(Debug, Clone)]
+pub struct Playbook {
+    /// Stable identifier (`replay-storm`, `rollback-then-replay`, ...).
+    pub name: &'static str,
+    /// What the campaign attempts and which defence stops it.
+    pub summary: &'static str,
+    /// The move sequence, over a two-order scenario.
+    pub schedule: Schedule,
+}
+
+/// Replay storm: settle genuinely once, then hammer the provider with
+/// the same captured evidence — against its own order, the other
+/// order, and again after a crash. The nonce ledger and the
+/// evidence-order binding must hold every time.
+pub fn replay_storm() -> Playbook {
+    Playbook {
+        name: "replay-storm",
+        summary: "repeated replay of captured genuine evidence across orders and a crash; \
+                  stopped by nonce consumption and evidence-order binding",
+        schedule: vec![
+            Action::Deliver {
+                order: 0,
+                kind: EvidenceKind::Genuine,
+            },
+            Action::Deliver {
+                order: 0,
+                kind: EvidenceKind::Genuine,
+            },
+            Action::CrossDeliver {
+                evidence_from: 0,
+                to_order: 1,
+            },
+            Action::Crash(CrashKind::PowerLoss),
+            Action::Deliver {
+                order: 0,
+                kind: EvidenceKind::Genuine,
+            },
+            Action::CrossDeliver {
+                evidence_from: 0,
+                to_order: 1,
+            },
+        ],
+    }
+}
+
+/// Rollback-then-replay: let a settlement go durable, roll the storage
+/// back to the pre-settlement checkpoint image, and replay the
+/// evidence. Within the rolled-back timeline the books balance — the
+/// double-spend is only visible across timelines, which is why it is a
+/// documented model caveat rather than an invariant (see DESIGN.md).
+pub fn rollback_then_replay() -> Playbook {
+    Playbook {
+        name: "rollback-then-replay",
+        summary: "settle, roll durable storage back to a pre-settlement image, replay; \
+                  per-timeline invariants hold — cross-timeline detection is out of scope",
+        schedule: vec![
+            Action::Checkpoint,
+            Action::Deliver {
+                order: 0,
+                kind: EvidenceKind::Genuine,
+            },
+            Action::Crash(CrashKind::Rollback),
+            Action::Deliver {
+                order: 0,
+                kind: EvidenceKind::Genuine,
+            },
+        ],
+    }
+}
+
+/// Certificate substitution: genuine token and quote, but the AIK
+/// certificate is swapped for one issued by a CA the provider does not
+/// trust — then a tampered-token variant for good measure. Both die in
+/// evidence verification; the order must stay settleable afterwards.
+pub fn cert_substitution() -> Playbook {
+    Playbook {
+        name: "cert-substitution",
+        summary: "genuine evidence under a rogue CA's AIK certificate, then a tampered token; \
+                  stopped by certificate validation and the quote chain",
+        schedule: vec![
+            Action::Deliver {
+                order: 0,
+                kind: EvidenceKind::RogueCert,
+            },
+            Action::Deliver {
+                order: 0,
+                kind: EvidenceKind::TamperedToken,
+            },
+            Action::Deliver {
+                order: 0,
+                kind: EvidenceKind::Genuine,
+            },
+        ],
+    }
+}
+
+/// Crash-mid-settle: interleave every crash flavor with deliveries so
+/// recovery runs with a settlement in flight — power loss right after
+/// acknowledgement, a torn WAL tail, and a frame truncation before the
+/// second order settles.
+pub fn crash_mid_settle() -> Playbook {
+    Playbook {
+        name: "crash-mid-settle",
+        summary: "settlements interleaved with power loss, torn-tail and truncated-frame \
+                  crashes; recovery must neither invent nor forget acknowledged decisions",
+        schedule: vec![
+            Action::Deliver {
+                order: 0,
+                kind: EvidenceKind::Genuine,
+            },
+            Action::Crash(CrashKind::PowerLoss),
+            Action::Crash(CrashKind::TornTail { bytes: 3 }),
+            Action::Deliver {
+                order: 1,
+                kind: EvidenceKind::Genuine,
+            },
+            Action::Crash(CrashKind::Truncate { drop_frames: 1 }),
+            Action::Deliver {
+                order: 1,
+                kind: EvidenceKind::Genuine,
+            },
+        ],
+    }
+}
+
+/// Every named playbook.
+pub fn all() -> Vec<Playbook> {
+    vec![
+        replay_storm(),
+        rollback_then_replay(),
+        cert_substitution(),
+        crash_mid_settle(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use utp_explore::{replay_schedule, Scenario};
+
+    #[test]
+    fn playbook_names_are_unique_and_schedules_nonempty() {
+        let books = all();
+        assert_eq!(books.len(), 4);
+        for (i, a) in books.iter().enumerate() {
+            assert!(!a.schedule.is_empty(), "{} is empty", a.name);
+            for b in &books[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn no_playbook_violates_an_invariant_on_the_real_stack() {
+        for book in all() {
+            let (scenario, root) = Scenario::build(7, 2);
+            let outcome = replay_schedule(&scenario, &root, &book.schedule);
+            assert!(
+                outcome.violation.is_none(),
+                "playbook {} broke invariant {:?}:\n{}",
+                book.name,
+                outcome.violation,
+                outcome.trace
+            );
+        }
+    }
+
+    #[test]
+    fn playbooks_replay_deterministically() {
+        for book in all() {
+            let run = || {
+                let (scenario, root) = Scenario::build(7, 2);
+                replay_schedule(&scenario, &root, &book.schedule).trace
+            };
+            assert_eq!(run(), run(), "playbook {} trace differs", book.name);
+        }
+    }
+}

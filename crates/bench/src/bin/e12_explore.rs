@@ -1,0 +1,9 @@
+//! Prints the E12 tables (bounded adversarial exploration coverage and
+//! seeded-bug detection).
+use utp_bench::experiments::e12_explore as e12;
+
+fn main() {
+    let report = e12::run(&[1, 2, 3], 2_000);
+    println!("{}", e12::render(&report));
+    assert!(e12::clean(&report), "real stack must be violation-free");
+}

@@ -147,7 +147,7 @@ pub struct PendingNonce {
 /// duplicate submission loses the settle race and is reported as
 /// [`VerifyError::Replayed`] — exactly one of N racing duplicates can
 /// settle.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct NonceLedger {
     ttl: Duration,
     pending: HashMap<[u8; 20], PendingNonce>,
@@ -301,6 +301,13 @@ pub fn check_quote_chain<'a>(
 }
 
 /// The provider-side verifier with nonce lifecycle management.
+///
+/// `Clone` is the checkpoint/restore hook for the adversarial
+/// explorer: a clone carries the full nonce ledger (pending and
+/// consumed sets), the policy, the statistics and the nonce RNG
+/// state, so a forked branch issues and settles independently of the
+/// original timeline.
+#[derive(Clone)]
 pub struct Verifier {
     ca_key: RsaPublicKey,
     config: VerifierConfig,

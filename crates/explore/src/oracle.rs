@@ -1,0 +1,190 @@
+//! The invariant oracle: the paper's server-side guarantees as
+//! executable checks over [`StateView`]s.
+//!
+//! Four invariants, checked in a fixed order after every action:
+//!
+//! 1. **no-unauthorized-settle** — every confirmed order's transaction
+//!    digest is one a human actually approved in a PAL run. The
+//!    adversary holds tampered tokens, rogue certificates, and other
+//!    orders' evidence; none of it may mint a confirmation for a
+//!    transaction the human never saw.
+//! 2. **balance-conservation** — each account's balance equals its
+//!    opening balance minus the sum of its confirmed orders, and every
+//!    confirmed order's challenge nonce is in the consumed set
+//!    (at-most-once settlement per nonce: a replayed or rolled-back
+//!    nonce can never pay twice).
+//! 3. **audit-append-only** — across non-crash actions the audit log
+//!    only grows by appending; across a crash it may shrink only to a
+//!    prefix of what it was (recovery cannot reorder or rewrite
+//!    history, only lose an un-synced tail).
+//! 4. **recovery-matches-durable** — the live state equals the pure
+//!    replay of its own durable bytes. Because the provider journals
+//!    and syncs before acknowledging any decision, this can be checked
+//!    after *every* action, not just crashes: recovery never invents
+//!    history and never forgets an acknowledged decision.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::scenario::Scenario;
+use crate::sut::StateView;
+
+/// A violated invariant with enough detail to debug the counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Stable invariant name (`no-unauthorized-settle`,
+    /// `balance-conservation`, `audit-append-only`,
+    /// `recovery-matches-durable`).
+    pub invariant: &'static str,
+    /// Human-readable description of the failure.
+    pub detail: String,
+}
+
+/// Number of invariants [`Oracle::check`] evaluates per call.
+pub const INVARIANT_COUNT: u64 = 4;
+
+/// Per-branch invariant state. Cloned alongside the system on every
+/// fork because the audit-prefix truth evolves per timeline.
+#[derive(Debug, Clone)]
+pub struct Oracle {
+    /// Opening balance per account, captured at the branch point.
+    opening: Vec<(String, i64)>,
+    /// Transaction digests a human approved during the prologue.
+    approved: HashSet<[u8; 20]>,
+    /// order id → (amount, challenge nonce) from the prologue.
+    orders: HashMap<u64, (u64, [u8; 20])>,
+    /// The audit history this branch has already accepted as truth.
+    truth_audit_len: usize,
+    truth_audit: Vec<crate::sut::AuditView>,
+}
+
+impl Oracle {
+    /// Builds the oracle from the scenario and the branch-point view.
+    pub fn new(scenario: &Scenario, initial: &StateView) -> Self {
+        let approved = scenario.orders.iter().map(|o| o.tx_digest).collect();
+        let orders = scenario
+            .orders
+            .iter()
+            .map(|o| (o.order_id, (o.amount_cents, o.nonce)))
+            .collect();
+        Oracle {
+            opening: initial.accounts.clone(),
+            approved,
+            orders,
+            truth_audit_len: initial.audit.len(),
+            truth_audit: initial.audit.clone(),
+        }
+    }
+
+    /// Checks all four invariants against `view`; `crashed` selects the
+    /// audit-prefix direction for the action that produced it.
+    pub fn check(&mut self, view: &StateView, crashed: bool) -> Result<(), Violation> {
+        self.check_unauthorized_settle(view)?;
+        self.check_balance_conservation(view)?;
+        self.check_audit_append_only(view, crashed)?;
+        self.check_recovery_matches_durable(view)?;
+        Ok(())
+    }
+
+    fn check_unauthorized_settle(&self, view: &StateView) -> Result<(), Violation> {
+        for order in &view.orders {
+            if order.status == "Confirmed" && !self.approved.contains(&order.tx_digest) {
+                return Err(Violation {
+                    invariant: "no-unauthorized-settle",
+                    detail: format!(
+                        "order {} confirmed but its transaction digest was never human-approved",
+                        order.id
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_balance_conservation(&self, view: &StateView) -> Result<(), Violation> {
+        let used: HashSet<&[u8; 20]> = view.used.iter().collect();
+        let mut debits: HashMap<&str, i64> = HashMap::new();
+        for order in &view.orders {
+            if order.status != "Confirmed" {
+                continue;
+            }
+            *debits.entry(order.account.as_str()).or_insert(0) += order.amount_cents as i64;
+            if let Some((_, nonce)) = self.orders.get(&order.id) {
+                if !used.contains(nonce) {
+                    return Err(Violation {
+                        invariant: "balance-conservation",
+                        detail: format!(
+                            "order {} confirmed but its challenge nonce is not consumed",
+                            order.id
+                        ),
+                    });
+                }
+            }
+        }
+        for (name, opening) in &self.opening {
+            let debit = debits.get(name.as_str()).copied().unwrap_or(0);
+            let expected = opening - debit;
+            let actual = view
+                .accounts
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, b)| *b);
+            if actual != Some(expected) {
+                return Err(Violation {
+                    invariant: "balance-conservation",
+                    detail: format!(
+                        "account {name}: balance {actual:?} != opening {opening} - confirmed debits {debit}"
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_audit_append_only(
+        &mut self,
+        view: &StateView,
+        crashed: bool,
+    ) -> Result<(), Violation> {
+        let (prefix, whole, direction) = if crashed {
+            // A crash may lose an un-synced tail, never synced history.
+            (
+                &view.audit,
+                &self.truth_audit,
+                "crash rewrote audit history",
+            )
+        } else {
+            (
+                &self.truth_audit,
+                &view.audit,
+                "audit log shrank or was rewritten without a crash",
+            )
+        };
+        let is_prefix = prefix.len() <= whole.len() && whole[..prefix.len()] == prefix[..];
+        if !is_prefix {
+            return Err(Violation {
+                invariant: "audit-append-only",
+                detail: format!(
+                    "{direction} (had {} entries, now {})",
+                    self.truth_audit_len,
+                    view.audit.len()
+                ),
+            });
+        }
+        self.truth_audit = view.audit.clone();
+        self.truth_audit_len = view.audit.len();
+        Ok(())
+    }
+
+    fn check_recovery_matches_durable(&self, view: &StateView) -> Result<(), Violation> {
+        let replayed = view.replay_durable();
+        if let Some(field) = view.semantic_diff(&replayed) {
+            return Err(Violation {
+                invariant: "recovery-matches-durable",
+                detail: format!(
+                    "live state diverges from replay of its own durable bytes in `{field}`"
+                ),
+            });
+        }
+        Ok(())
+    }
+}

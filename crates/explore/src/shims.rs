@@ -1,0 +1,194 @@
+//! Deliberately buggy providers — the oracle's self-check.
+//!
+//! A model checker that never fires is indistinguishable from one that
+//! checks nothing. Each shim here wraps the real stack and injects one
+//! specific class of provider bug; the explorer MUST find a
+//! counterexample against every one of them, and the counterexample
+//! must shrink to the pinned minimal schedule. The injected bugs map
+//! one-to-one onto oracle invariants:
+//!
+//! * [`DoubleSettleShim`] — settles twice on one evidence
+//!   (`balance-conservation`).
+//! * [`ForgottenOrderShim`] — recovery drops the latest settlement
+//!   (`recovery-matches-durable`).
+//! * [`AuditTruncationShim`] — the audit log silently sheds its oldest
+//!   entry (`audit-append-only`).
+
+use std::time::Duration;
+
+use utp_core::protocol::Evidence;
+use utp_core::verifier::VerifyError;
+use utp_journal::RecoveryReport;
+use utp_server::store::OrderStatus;
+
+use crate::action::CrashKind;
+use crate::sut::{Fork, RealSystem, StateView, System};
+
+/// A provider that debits an account twice per successful settlement —
+/// the classic lost-idempotency bug.
+#[derive(Debug)]
+pub struct DoubleSettleShim {
+    inner: RealSystem,
+}
+
+impl DoubleSettleShim {
+    /// Wraps the real stack.
+    pub fn new(inner: RealSystem) -> Self {
+        DoubleSettleShim { inner }
+    }
+}
+
+impl System for DoubleSettleShim {
+    fn submit(
+        &mut self,
+        order_id: u64,
+        evidence: &Evidence,
+        now: Duration,
+    ) -> Result<(), VerifyError> {
+        let result = self.inner.submit(order_id, evidence, now);
+        if result.is_ok() {
+            // Bug: settle runs a second time. `try_settle` debits
+            // unconditionally, so the account pays twice.
+            self.inner.provider_mut().store_mut().try_settle(order_id);
+        }
+        result
+    }
+
+    fn crash_recover(&mut self, kind: &CrashKind) -> RecoveryReport {
+        self.inner.crash_recover(kind)
+    }
+
+    fn checkpoint(&mut self) {
+        self.inner.checkpoint();
+    }
+
+    fn view(&self) -> StateView {
+        self.inner.view()
+    }
+}
+
+impl Fork for DoubleSettleShim {
+    fn fork(&self) -> Self {
+        DoubleSettleShim {
+            inner: self.inner.fork(),
+        }
+    }
+}
+
+/// A provider whose recovery "forgets" the most recent settlement: the
+/// order comes back pending and the debit is refunded, even though the
+/// WAL acknowledged it. Balances stay conserved — only the
+/// durable-consistency invariant can catch this one.
+#[derive(Debug)]
+pub struct ForgottenOrderShim {
+    inner: RealSystem,
+}
+
+impl ForgottenOrderShim {
+    /// Wraps the real stack.
+    pub fn new(inner: RealSystem) -> Self {
+        ForgottenOrderShim { inner }
+    }
+}
+
+impl System for ForgottenOrderShim {
+    fn submit(
+        &mut self,
+        order_id: u64,
+        evidence: &Evidence,
+        now: Duration,
+    ) -> Result<(), VerifyError> {
+        self.inner.submit(order_id, evidence, now)
+    }
+
+    fn crash_recover(&mut self, kind: &CrashKind) -> RecoveryReport {
+        let report = self.inner.crash_recover(kind);
+        // Bug: after replaying the WAL, the highest-id confirmed order
+        // is quietly reset to pending and its debit refunded.
+        let store = self.inner.provider_mut().store_mut();
+        let forgotten = store
+            .orders()
+            .filter(|(_, o)| o.status == OrderStatus::Confirmed)
+            .map(|(id, o)| (*id, o.clone()))
+            .max_by_key(|(id, _)| *id);
+        if let Some((id, mut order)) = forgotten {
+            let refund = order.transaction.amount_cents as i64;
+            let balance = store
+                .account(&order.account)
+                .map(|a| a.balance_cents)
+                .unwrap_or(0);
+            order.status = OrderStatus::Pending;
+            let account = order.account.clone();
+            store.restore_order(id, order);
+            store.open_account(account, balance + refund);
+        }
+        report
+    }
+
+    fn checkpoint(&mut self) {
+        self.inner.checkpoint();
+    }
+
+    fn view(&self) -> StateView {
+        self.inner.view()
+    }
+}
+
+impl Fork for ForgottenOrderShim {
+    fn fork(&self) -> Self {
+        ForgottenOrderShim {
+            inner: self.inner.fork(),
+        }
+    }
+}
+
+/// A provider whose audit log caps itself by discarding the *oldest*
+/// entry once a second decision lands — history rewritten in place.
+#[derive(Debug)]
+pub struct AuditTruncationShim {
+    inner: RealSystem,
+}
+
+impl AuditTruncationShim {
+    /// Wraps the real stack.
+    pub fn new(inner: RealSystem) -> Self {
+        AuditTruncationShim { inner }
+    }
+}
+
+impl System for AuditTruncationShim {
+    fn submit(
+        &mut self,
+        order_id: u64,
+        evidence: &Evidence,
+        now: Duration,
+    ) -> Result<(), VerifyError> {
+        self.inner.submit(order_id, evidence, now)
+    }
+
+    fn crash_recover(&mut self, kind: &CrashKind) -> RecoveryReport {
+        self.inner.crash_recover(kind)
+    }
+
+    fn checkpoint(&mut self) {
+        self.inner.checkpoint();
+    }
+
+    fn view(&self) -> StateView {
+        let mut view = self.inner.view();
+        // Bug: the observable audit history drops its oldest entry as
+        // soon as there is more than one.
+        if view.audit.len() >= 2 {
+            view.audit.remove(0);
+        }
+        view
+    }
+}
+
+impl Fork for AuditTruncationShim {
+    fn fork(&self) -> Self {
+        AuditTruncationShim {
+            inner: self.inner.fork(),
+        }
+    }
+}

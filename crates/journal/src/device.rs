@@ -128,7 +128,11 @@ pub struct DeviceCounters {
 
 /// The simulated append-only device: durable media plus a volatile
 /// write cache, with deterministic costs and scripted faults.
-#[derive(Debug)]
+///
+/// `Clone` copies the whole device — media, cache, fault script and
+/// counters — which is how the adversarial explorer forks a branch of
+/// the state space without disturbing the original timeline.
+#[derive(Debug, Clone)]
 pub struct StorageDevice {
     profile: DeviceProfile,
     faults: FaultPlan,

@@ -82,7 +82,7 @@ pub struct JournalStats {
     pub snapshots: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Inner {
     log: StorageDevice,
     snap: StorageDevice,
@@ -154,6 +154,17 @@ impl Journal {
             inner.durable_seq = state.last_seq;
         }
         j
+    }
+
+    /// Deep copy of the journal — devices (media *and* unflushed
+    /// caches), sequence counters, device timeline and statistics. The
+    /// fork and the original share nothing; this is the branch
+    /// primitive the adversarial state-space explorer uses to try
+    /// different action interleavings against the same durable history.
+    pub fn fork(&self) -> Journal {
+        Journal {
+            mu: Mutex::new(self.mu.lock().clone()),
+        }
     }
 
     /// Appends one record, staging it in the device cache. If the batch

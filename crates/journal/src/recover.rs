@@ -162,7 +162,12 @@ impl RecoveredState {
                         | VerifyError::TokenMismatch
                         | VerifyError::BadCertificate),
                     ) => {
-                        order.status = RecoveredStatus::Rejected(*e);
+                        // Confirmed is sticky, mirroring Store::reject: a
+                        // settled order keeps its debit, so a later
+                        // terminal error cannot demote it.
+                        if order.status != RecoveredStatus::Confirmed {
+                            order.status = RecoveredStatus::Rejected(*e);
+                        }
                     }
                     Err(_) => {}
                 }

@@ -134,6 +134,32 @@ impl ServiceProvider {
         Some(state)
     }
 
+    /// Deep copy of the provider for state-space branching: the store,
+    /// the audit history, the verifier (nonce ledger, policy, stats and
+    /// nonce-RNG state) and the journal (media *and* unflushed caches)
+    /// are all cloned, so the fork and the original evolve
+    /// independently. An attached [`VerifierService`] is **not**
+    /// carried over — a live worker pool owns shard state that cannot
+    /// be duplicated — so forks always verify through the serial path.
+    pub fn fork(&self) -> Self {
+        let journal = self.journal.as_ref().map(|j| Arc::new(j.fork()));
+        let mut audit = self.audit.clone();
+        if let Some(j) = &journal {
+            // Point the cloned audit log at the forked journal, not the
+            // original: durable paging must read the fork's timeline.
+            audit.attach_journal(Arc::clone(j));
+        }
+        ServiceProvider {
+            ca_key: self.ca_key.clone(),
+            verifier: self.verifier.clone(),
+            service: None,
+            store: self.store.clone(),
+            audit,
+            tx_counter: self.tx_counter,
+            journal,
+        }
+    }
+
     /// Starts a [`VerifierService`] with the given pool geometry and
     /// routes all subsequent evidence submissions through it. The service
     /// inherits this provider's verification policy (TTL, trusted PALs).
@@ -279,6 +305,36 @@ impl ServiceProvider {
         evidence: &Evidence,
         now: Duration,
     ) -> Result<Receipt, VerifyError> {
+        // Bind the evidence to *this* order before dispatch: the token
+        // carries the digest of the transaction the human saw, and it
+        // must be the transaction this order would settle. Without this
+        // check, evidence confirming order A delivered against order B
+        // would debit B's amount on A's approval — a settle without a
+        // matching human-confirmed quote.
+        if let Ok(token) = evidence.token() {
+            let mismatch = self
+                .store
+                .order(order_id)
+                .is_some_and(|o| token.tx_digest != o.transaction.digest());
+            if mismatch {
+                let e = VerifyError::TokenMismatch;
+                if let Some(journal) = &self.journal {
+                    // Same WAL-before-effect discipline as the verify
+                    // paths below: the terminal decision is durable
+                    // before the audit log, store or caller see it.
+                    let receipt = journal.append_record(&JournalRecord::Settle {
+                        order_id,
+                        nonce: *token.nonce.as_bytes(),
+                        at: now,
+                        outcome: Err(e),
+                    });
+                    journal.sync_to(receipt.seq);
+                }
+                self.audit.record(now, order_id, Err(e));
+                self.store.reject(order_id, e);
+                return Err(e);
+            }
+        }
         let outcome = match &self.service {
             Some(service) => {
                 // The worker journals the decision (WAL-before-ack); the
@@ -412,11 +468,22 @@ mod tests {
         provider
             .submit_evidence(order_id, &evidence, machine.now())
             .unwrap();
-        // Malware re-submits the same evidence against a *new* order.
+        // Malware re-submits the same evidence against a *new* order:
+        // the order-binding check rejects it before the ledger is even
+        // consulted (the token digests a different transaction).
         let (order2, _request2) =
             provider.place_order("alice", "shop", 1_000, "EUR", "", machine.now());
         let err = provider
             .submit_evidence(order2, &evidence, machine.now())
+            .unwrap_err();
+        assert_eq!(err, VerifyError::TokenMismatch);
+        assert_eq!(
+            provider.store().account("alice").unwrap().balance_cents,
+            99_000
+        );
+        // Replaying against the *same* order is the ledger's business.
+        let err = provider
+            .submit_evidence(order_id, &evidence, machine.now())
             .unwrap_err();
         assert_eq!(err, VerifyError::Replayed);
         assert_eq!(
@@ -437,12 +504,19 @@ mod tests {
             .submit_evidence(order_id, &evidence, machine.now())
             .unwrap();
         assert!(provider.is_confirmed(order_id));
-        // Replay against a new order is caught by the sharded ledger.
+        // Replay against a new order is caught by the order-binding
+        // check before the request ever reaches the shards.
         let (order2, _) = provider.place_order("alice", "shop", 1_000, "EUR", "", machine.now());
         let err = provider
             .submit_evidence(order2, &evidence, machine.now())
             .unwrap_err();
+        assert_eq!(err, VerifyError::TokenMismatch);
+        // Replay against its *own* order reaches the sharded ledger.
+        let err = provider
+            .submit_evidence(order_id, &evidence, machine.now())
+            .unwrap_err();
         assert_eq!(err, VerifyError::Replayed);
+        assert!(provider.is_confirmed(order_id), "confirmed is sticky");
         let stats = provider.detach_service().unwrap();
         assert_eq!(stats.totals().accepted, 1);
         assert_eq!(stats.totals().replayed, 1);
@@ -499,12 +573,19 @@ mod tests {
             95_800
         );
         assert_eq!(recovered.audit().len(), 1);
-        // The consumed nonce stays consumed: replaying the settled
-        // evidence against a fresh order is still rejected.
+        // Replaying the settled evidence against a fresh order trips
+        // the order-binding check; against its own (recovered) order,
+        // the consumed nonce stays consumed.
         let (order2, _) = recovered.place_order("alice", "shop", 1_000, "EUR", "", machine.now());
         assert_eq!(
             recovered
                 .submit_evidence(order2, &evidence, machine.now())
+                .unwrap_err(),
+            VerifyError::TokenMismatch
+        );
+        assert_eq!(
+            recovered
+                .submit_evidence(order_id, &evidence, machine.now())
                 .unwrap_err(),
             VerifyError::Replayed
         );

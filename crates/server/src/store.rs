@@ -103,10 +103,15 @@ impl Store {
         true
     }
 
-    /// Marks an order rejected with its reason.
+    /// Marks an order rejected with its reason. Confirmed is sticky: a
+    /// settled order keeps its debit, so a late terminal error (e.g. a
+    /// replay of its own evidence) must not demote it — the audit log,
+    /// not the order status, records the failed attempt.
     pub fn reject(&mut self, id: u64, reason: VerifyError) {
         if let Some(order) = self.orders.get_mut(&id) {
-            order.status = OrderStatus::Rejected(reason);
+            if !matches!(order.status, OrderStatus::Confirmed) {
+                order.status = OrderStatus::Rejected(reason);
+            }
         }
     }
 

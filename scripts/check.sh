@@ -32,4 +32,7 @@ cargo run --release -q -p utp-bench --bin recovery_smoke
 echo "==> differential pipeline test (timed)"
 cargo test --release -q --test pipeline_differential -- --nocapture
 
+echo "==> explore smoke (bounded adversarial exploration: 0 violations, byte-identical log, seeded bugs caught; E12 tables)"
+cargo run --release -q -p utp-bench --bin explore_smoke
+
 echo "All checks passed."

@@ -15,7 +15,9 @@
 //! * [`journal`] — crash-safe WAL + snapshots for the settlement path;
 //! * [`netsim`] — client↔provider network model;
 //! * [`captcha`] — the CAPTCHA baseline the paper proposes to replace;
-//! * [`attack`] — the transaction-generator adversary suite.
+//! * [`attack`] — the transaction-generator adversary suite;
+//! * [`explore`] — bounded adversarial state-space explorer with
+//!   replayable, shrinkable counterexamples.
 //!
 //! See `examples/quickstart.rs` for the five-step end-to-end flow, and
 //! DESIGN.md / EXPERIMENTS.md for the experiment index.
@@ -27,6 +29,7 @@ pub use utp_attack as attack;
 pub use utp_captcha as captcha;
 pub use utp_core as core;
 pub use utp_crypto as crypto;
+pub use utp_explore as explore;
 pub use utp_flicker as flicker;
 pub use utp_journal as journal;
 pub use utp_netsim as netsim;

@@ -1,0 +1,131 @@
+//! Tier-1 adversarial exploration smoke tests.
+//!
+//! The full explorer suite lives in `crates/explore/tests`; this file
+//! pins the properties the roadmap's acceptance gate depends on:
+//!
+//! - at the CI smoke budget the **real** provider stack survives every
+//!   interleaving of adversary actions with **zero** invariant
+//!   violations and without exhausting the state budget;
+//! - the exploration log is **byte-identical** across two runs — the
+//!   explorer itself is a deterministic artifact, like the journal's
+//!   crash-recovery sweep;
+//! - every deliberately buggy provider shim is caught, so a green
+//!   "zero violations" from the real stack is evidence, not silence;
+//! - a pinned counterexample schedule replays byte-identically.
+
+use utp::explore::{
+    default_alphabet, explore, replay_schedule, Action, AuditTruncationShim, CrashKind,
+    DoubleSettleShim, EvidenceKind, ExploreConfig, ForgottenOrderShim, Scenario, Strategy,
+};
+
+const SEED: u64 = 7;
+const ORDERS: usize = 2;
+
+fn smoke_config() -> ExploreConfig {
+    ExploreConfig {
+        max_depth: 2,
+        max_states: 5_000,
+        strategy: Strategy::Bfs,
+        stop_at_first_violation: false,
+    }
+}
+
+#[test]
+fn bounded_exploration_of_the_real_stack_is_clean() {
+    let (scenario, root) = Scenario::build(SEED, ORDERS);
+    let alphabet = default_alphabet(scenario.order_count(), scenario.nonce_ttl);
+    let report = explore(&scenario, &root, &alphabet, &smoke_config());
+    assert!(
+        report.violations.is_empty(),
+        "adversary found an invariant violation: {:?}\nschedule:\n{}",
+        report.violations[0].violation,
+        utp::explore::render_schedule(&report.violations[0].schedule)
+    );
+    assert!(
+        !report.budget_exhausted,
+        "smoke budget must drain the frontier"
+    );
+    assert!(report.explored > 100);
+    assert!(report.checks >= report.explored * utp::explore::INVARIANT_COUNT);
+}
+
+#[test]
+fn exploration_log_is_deterministic_across_runs() {
+    let run = || {
+        let (scenario, root) = Scenario::build(SEED, ORDERS);
+        let alphabet = default_alphabet(scenario.order_count(), scenario.nonce_ttl);
+        explore(&scenario, &root, &alphabet, &smoke_config()).log
+    };
+    assert_eq!(run(), run(), "exploration log must be byte-identical");
+}
+
+#[test]
+fn oracle_self_check_catches_every_seeded_bug() {
+    let config = ExploreConfig {
+        stop_at_first_violation: true,
+        ..smoke_config()
+    };
+    let caught = |report: utp::explore::ExploreReport| {
+        report
+            .violations
+            .first()
+            .map(|c| c.violation.invariant)
+            .unwrap_or("none")
+    };
+
+    let (scenario, root) = Scenario::build(SEED, ORDERS);
+    let alphabet = default_alphabet(scenario.order_count(), scenario.nonce_ttl);
+    assert_eq!(
+        caught(explore(
+            &scenario,
+            &DoubleSettleShim::new(root),
+            &alphabet,
+            &config
+        )),
+        "balance-conservation"
+    );
+
+    let (scenario, root) = Scenario::build(SEED, ORDERS);
+    assert_eq!(
+        caught(explore(
+            &scenario,
+            &ForgottenOrderShim::new(root),
+            &alphabet,
+            &config
+        )),
+        "recovery-matches-durable"
+    );
+
+    let (scenario, root) = Scenario::build(SEED, ORDERS);
+    assert_eq!(
+        caught(explore(
+            &scenario,
+            &AuditTruncationShim::new(root),
+            &alphabet,
+            &config
+        )),
+        "audit-append-only"
+    );
+}
+
+#[test]
+fn pinned_counterexample_replays_byte_identically() {
+    let minimal = vec![
+        Action::Deliver {
+            order: 0,
+            kind: EvidenceKind::Genuine,
+        },
+        Action::Crash(CrashKind::PowerLoss),
+    ];
+    let run = || {
+        let (scenario, root) = Scenario::build(SEED, ORDERS);
+        replay_schedule(&scenario, &ForgottenOrderShim::new(root), &minimal)
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first.trace, second.trace);
+    assert_eq!(
+        first.violation.map(|(step, v)| (step, v.invariant)),
+        Some((1, "recovery-matches-durable"))
+    );
+}
