@@ -365,8 +365,34 @@ impl<'a> Builder<'a> {
     /// `from` (group depth 0; conditions cannot contain bare struct
     /// literals, so the first depth-0 `{` is the body).
     fn body_open(&self, from: usize, end: usize) -> Option<usize> {
-        let mut depth = 0i32;
         let mut j = from;
+        // `if let` / `while let`: the *pattern* side may contain struct
+        // braces (`WorkItem::Settle { .. }`), so skip to the binding's
+        // `=` first — the scrutinee expression after it, like plain
+        // conditions, cannot contain a bare struct literal. (`..=` and
+        // `=>` lex as single tokens, so a lone `=` is unambiguous.)
+        if self.toks.get(from).is_some_and(|t| t.is_ident("let")) {
+            let mut group = 0i32;
+            let mut brace = 0i32;
+            let mut k = from + 1;
+            while k < end {
+                let t = &self.toks[k];
+                if t.is_punct("(") || t.is_punct("[") {
+                    group += 1;
+                } else if t.is_punct(")") || t.is_punct("]") {
+                    group -= 1;
+                } else if t.is_punct("{") {
+                    brace += 1;
+                } else if t.is_punct("}") {
+                    brace -= 1;
+                } else if t.is_punct("=") && group == 0 && brace == 0 {
+                    j = k + 1;
+                    break;
+                }
+                k += 1;
+            }
+        }
+        let mut depth = 0i32;
         while j < end {
             let t = &self.toks[j];
             if t.is_punct("(") || t.is_punct("[") {
@@ -622,6 +648,28 @@ mod tests {
         joins.dedup();
         assert_eq!(joins.len(), 1);
         assert!(block_text(&toks, &cfg, joins[0]).contains("after"));
+    }
+
+    #[test]
+    fn if_let_struct_pattern_brace_is_not_the_body() {
+        // The pattern's `{ .. }` must not be mistaken for the branch
+        // body: the condition stays one stmt and the body's two calls
+        // become separate stmts in the then-block.
+        let (toks, cfg) =
+            cfg_of("fn f(item: Item) { if let Item::Settle { ok, .. } = item { a(); b(); } }");
+        assert!(!cfg.fallback);
+        let entry = &cfg.blocks[cfg.entry];
+        assert_eq!(entry.stmts.len(), 1);
+        assert_eq!(entry.stmts[0].role, Role::If);
+        assert_eq!(entry.succs.len(), 2);
+        let then = entry
+            .succs
+            .iter()
+            .copied()
+            .find(|&s| block_text(&toks, &cfg, s).contains("a"))
+            .expect("then block");
+        assert_eq!(cfg.blocks[then].stmts.len(), 2);
+        assert!(block_text(&toks, &cfg, then).contains("b"));
     }
 
     #[test]

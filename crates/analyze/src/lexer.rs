@@ -118,6 +118,13 @@ impl Lexer {
                 '/' if self.peek(1) == Some('*') => self.block_comment(),
                 // Raw / byte / C-string prefixes must win over plain idents.
                 'r' | 'b' | 'c' if self.is_literal_prefix() => self.prefixed_literal(),
+                // Raw identifiers (`r#match`) are one ident token, not
+                // `r` + `#` + `match`.
+                'r' if self.peek(1) == Some('#')
+                    && self.peek(2).is_some_and(|c| c.is_alphabetic() || c == '_') =>
+                {
+                    self.raw_ident()
+                }
                 c if c.is_alphabetic() || c == '_' => self.ident(),
                 c if c.is_ascii_digit() => self.number(),
                 '"' => self.string(line),
@@ -190,6 +197,24 @@ impl Lexer {
     fn ident(&mut self) {
         let line = self.line;
         let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+
+    /// `r#name` — the `r#` stays in the token text so a raw `r#match`
+    /// never collides with the `match` keyword in downstream scans.
+    fn raw_ident(&mut self) {
+        let line = self.line;
+        let mut text = String::from("r#");
+        self.bump();
+        self.bump();
         while let Some(c) = self.peek(0) {
             if c.is_alphanumeric() || c == '_' {
                 text.push(c);
@@ -448,6 +473,40 @@ mod tests {
             .map(|(_, t)| t.as_str())
             .collect();
         assert_eq!(idents, ["before", "after"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_one_token() {
+        // `r#match` must not split into `r` + `#` + `match` (which used
+        // to happen — the literal-prefix probe only claims `r#"`), and
+        // the keyword scanners must not see a bare `match` ident.
+        let toks = kinds("let r#match = r#fn + other;");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "r#match", "r#fn", "other"]);
+        assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Punct && t == "#"));
+        // `r#"…"#` still lexes as a raw string, not a raw ident.
+        let toks = kinds(r###"let s = r#"text"#;"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("text")));
+    }
+
+    #[test]
+    fn raw_strings_comments_and_raw_idents_interleave() {
+        let toks = kinds(
+            r###"let r#type = r#"raw " body"#; /* note /* nested */ gone */ let tail = 2;"###,
+        );
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "r#type", "let", "tail"]);
+        assert!(!toks.iter().any(|(_, t)| t.contains("gone")));
     }
 
     #[test]

@@ -36,6 +36,16 @@
 //!     wire or WAL bytes must pass a bounds check before feeding
 //!     arithmetic, indexing, or a narrowing cast.
 //!
+//! Authorization-flow passes (PR 8) lift the same machinery across the
+//! call graph against the policy in `scripts/authz_spec.json` ([`spec`]):
+//!
+//! 11. [`passes::authz_flow`] — settlement sinks (store settle, `Settle`
+//!     journal records, Confirmed audit decisions, `Receipt`
+//!     construction, status demotion) must be dominated by their
+//!     authorization sources on every path;
+//! 12. [`passes::protocol_order`] — declarative happens-before rules
+//!     (WAL-before-ack, WAL-before-challenge) hold on every path.
+//!
 //! Violations that are individually justified carry an inline
 //! `// utp-analyze: allow(<lint>) <reason>` annotation; the reason is
 //! mandatory and annotations that suppress nothing are flagged, so the
@@ -58,6 +68,7 @@ pub mod lexer;
 pub mod passes;
 pub mod report;
 pub mod source;
+pub mod spec;
 pub mod workspace;
 
 use diag::{Diagnostic, Severity};
@@ -72,19 +83,36 @@ pub struct Analysis {
     pub tcb_report: report::TcbReport,
     /// CFG / fixpoint statistics plus flow-pass finding counts.
     pub dataflow_report: report::DataflowReport,
+    /// Authorization-spec coverage report (grant/sink/order site counts
+    /// and the anchor check backing `--check-authz-spec`).
+    pub authz_report: spec::AuthzReport,
 }
 
 /// Analyzes a set of files as one workspace. Paths must be
 /// workspace-relative with forward slashes — pass scoping and the call
 /// graph's crate mapping key off them.
 pub fn analyze_files(inputs: Vec<(String, String)>) -> Analysis {
+    analyze_files_filtered(inputs, None)
+}
+
+/// Like [`analyze_files`], restricted to the single pass named `only`
+/// when set (the `--pass` CLI filter). Suppressions for lints whose
+/// pass did not run are left alone — a filtered run must not flag
+/// another pass's waivers as unused.
+pub fn analyze_files_filtered(inputs: Vec<(String, String)>, only: Option<&str>) -> Analysis {
     let files: Vec<SourceFile> = inputs
         .iter()
         .map(|(path, text)| SourceFile::parse(path, text))
         .collect();
     let ws = WorkspaceIndex::build(files);
-    let registry = passes::registry();
-    let known_lints: Vec<&str> = registry.iter().map(|p| p.id()).collect();
+    // Malformed-allow keeps judging against the FULL lint universe even
+    // under --pass; only the findings and unused-allow checks narrow.
+    let known_lints: Vec<&str> = passes::registry().iter().map(|p| p.id()).collect();
+    let registry: Vec<Box<dyn passes::Pass>> = passes::registry()
+        .into_iter()
+        .filter(|p| only.is_none_or(|name| p.id() == name))
+        .collect();
+    let ran_lints: Vec<&str> = registry.iter().map(|p| p.id()).collect();
 
     // (file index, lint, finding), before suppression filtering.
     let mut raw: Vec<(usize, &'static str, passes::Finding)> = Vec::new();
@@ -148,7 +176,7 @@ pub fn analyze_files(inputs: Vec<(String, String)>) -> Analysis {
                         known_lints.join(", ")
                     ),
                 });
-            } else if !used[fi][si] {
+            } else if !used[fi][si] && ran_lints.contains(&s.lint.as_str()) {
                 diags.push(Diagnostic {
                     file: file.path.clone(),
                     line: s.line,
@@ -167,10 +195,31 @@ pub fn analyze_files(inputs: Vec<(String, String)>) -> Analysis {
     diag::sort_canonical(&mut diags);
     let tcb_report = report::measure(&ws);
     let dataflow_report = report::measure_dataflow(&ws, &diags);
+    let authz_report = measure_authz(&ws, &diags);
     Analysis {
         diagnostics: diags,
         tcb_report,
         dataflow_report,
+        authz_report,
+    }
+}
+
+/// Builds the authorization-spec coverage report against the embedded
+/// spec (site counts, post-suppression findings, anchor check).
+fn measure_authz(ws: &WorkspaceIndex, diags: &[Diagnostic]) -> spec::AuthzReport {
+    let authz = spec::embedded();
+    let (scope_files, functions) = passes::authz_flow::scope_stats(ws, authz);
+    spec::AuthzReport {
+        scope_files,
+        functions,
+        grant_sites: passes::authz_flow::grant_site_counts(ws, authz),
+        sink_sites: passes::authz_flow::sink_site_counts(ws, authz),
+        order_sites: passes::protocol_order::order_site_counts(ws, authz),
+        findings: diags
+            .iter()
+            .filter(|d| d.lint == "authorization-flow" || d.lint == "protocol-order")
+            .count(),
+        missing_anchors: spec::missing_anchors(ws, authz),
     }
 }
 
@@ -184,11 +233,20 @@ pub fn analyze_source(path: &str, text: &str) -> Vec<Diagnostic> {
 /// Analyzes every `.rs` file under `root` (see [`workspace::collect_rs_files`]
 /// for the walk rules).
 pub fn analyze_workspace(root: &std::path::Path) -> std::io::Result<Analysis> {
+    analyze_workspace_filtered(root, None)
+}
+
+/// Like [`analyze_workspace`], restricted to the single pass named
+/// `only` when set.
+pub fn analyze_workspace_filtered(
+    root: &std::path::Path,
+    only: Option<&str>,
+) -> std::io::Result<Analysis> {
     let mut inputs = Vec::new();
     for (rel, abs) in workspace::collect_rs_files(root)? {
         inputs.push((rel, std::fs::read_to_string(&abs)?));
     }
-    Ok(analyze_files(inputs))
+    Ok(analyze_files_filtered(inputs, only))
 }
 
 /// Count of deny-level diagnostics (what gates the exit code).

@@ -2,20 +2,22 @@
 //!
 //! ```text
 //! utp-analyze [--root <path>] [--format text|json] [--list-passes]
+//!             [--pass <name>]
 //!             [--tcb-report <out.json>] [--check-tcb-baseline <base.json>]
-//!             [--dataflow-report <out.json>]
+//!             [--dataflow-report <out.json>] [--authz-report <out.json>]
+//!             [--check-authz-spec <spec.json>]
 //! ```
 //!
 //! Exit status: 0 — clean (no deny-level findings, baseline ok); 1 — at
-//! least one deny-level finding or a TCB-size regression; 2 — usage or
-//! I/O error.
+//! least one deny-level finding, a TCB-size regression, or an authz-spec
+//! gate failure; 2 — usage or I/O error.
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use utp_analyze::{analyze_workspace, deny_count, diag, passes, report, workspace};
+use utp_analyze::{analyze_workspace_filtered, deny_count, diag, passes, report, spec, workspace};
 
 enum Format {
     Text,
@@ -24,20 +26,30 @@ enum Format {
 
 fn usage() -> &'static str {
     "usage: utp-analyze [--root <path>] [--format text|json] [--list-passes]\n\
+     \x20                  [--pass <name>]\n\
      \x20                  [--tcb-report <out.json>] [--check-tcb-baseline <base.json>]\n\
-     \x20                  [--dataflow-report <out.json>]\n\
+     \x20                  [--dataflow-report <out.json>] [--authz-report <out.json>]\n\
+     \x20                  [--check-authz-spec <spec.json>]\n\
      \n\
      Runs the UTP workspace's TCB / constant-time / panic-freedom passes\n\
      over every .rs file and reports structured diagnostics. Exits 1 if\n\
      any deny-level finding remains unannotated, or if the measured TCB\n\
      grew beyond the baseline's declared threshold.\n\
      \n\
+     --pass                run a single pass by lint id (see --list-passes);\n\
+     \x20                    other passes' waivers are not flagged unused\n\
      --tcb-report          write the measured TCB-size report as JSON\n\
      --check-tcb-baseline  fail on TCB growth beyond the baseline's\n\
      \x20                    max_growth_pct (see scripts/tcb_report.json)\n\
      --dataflow-report     write CFG coverage and flow-pass finding\n\
      \x20                    counts as JSON (fallback_functions > 0 means\n\
-     \x20                    some body degraded to flow-insensitive)"
+     \x20                    some body degraded to flow-insensitive)\n\
+     --authz-report        write authorization-spec coverage (grant/sink/\n\
+     \x20                    order site counts, anchor check) as JSON\n\
+     --check-authz-spec    fail when the given spec file drifts from the\n\
+     \x20                    analyzer's embedded copy, or when any spec'd\n\
+     \x20                    name no longer anchors in the workspace\n\
+     \x20                    (see scripts/authz_spec.json)"
 }
 
 fn main() -> ExitCode {
@@ -45,7 +57,10 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut report_out: Option<PathBuf> = None;
     let mut dataflow_out: Option<PathBuf> = None;
+    let mut authz_out: Option<PathBuf> = None;
     let mut baseline: Option<PathBuf> = None;
+    let mut authz_spec_path: Option<PathBuf> = None;
+    let mut only_pass: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -76,6 +91,37 @@ fn main() -> ExitCode {
                 Some(p) => dataflow_out = Some(PathBuf::from(p)),
                 None => {
                     eprintln!("--dataflow-report expects an output path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--authz-report" => match args.next() {
+                Some(p) => authz_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--authz-report expects an output path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--check-authz-spec" => match args.next() {
+                Some(p) => authz_spec_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--check-authz-spec expects a spec JSON path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--pass" => match args.next() {
+                Some(name) => {
+                    let known: Vec<&str> = passes::registry().iter().map(|p| p.id()).collect();
+                    if !known.contains(&name.as_str()) {
+                        eprintln!(
+                            "--pass `{name}` is not a known pass (known: {})",
+                            known.join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                    only_pass = Some(name);
+                }
+                None => {
+                    eprintln!("--pass expects a lint id (see --list-passes)");
                     return ExitCode::from(2);
                 }
             },
@@ -117,7 +163,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let analysis = match analyze_workspace(&root) {
+    let analysis = match analyze_workspace_filtered(&root, only_pass.as_deref()) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("analysis failed: {e}");
@@ -138,6 +184,15 @@ fn main() -> ExitCode {
             let _ = std::fs::create_dir_all(parent);
         }
         if let Err(e) = std::fs::write(path, analysis.dataflow_report.to_json()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Some(path) = &authz_out {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(path, analysis.authz_report.to_json()) {
             eprintln!("cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }
@@ -170,6 +225,43 @@ fn main() -> ExitCode {
             },
             Err(e) => {
                 eprintln!("cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(path) = &authz_spec_path {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match spec::parse(&text) {
+                Ok(parsed) if parsed != *spec::embedded() => {
+                    eprintln!(
+                        "authz-spec: FAIL: {} differs from the analyzer's embedded copy \
+                         (rebuild utp-analyze after editing the spec)",
+                        path.display()
+                    );
+                    failed = true;
+                }
+                Ok(_) => {
+                    let missing = &analysis.authz_report.missing_anchors;
+                    if missing.is_empty() {
+                        eprintln!(
+                            "authz-spec: ok ({} in sync, all names anchored)",
+                            path.display()
+                        );
+                    } else {
+                        for m in missing {
+                            eprintln!("authz-spec: FAIL: unanchored {m}");
+                        }
+                        failed = true;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("authz-spec: FAIL: {} does not parse: {e}", path.display());
+                    failed = true;
+                }
+            },
+            Err(e) => {
+                eprintln!("cannot read authz spec {}: {e}", path.display());
                 return ExitCode::from(2);
             }
         }

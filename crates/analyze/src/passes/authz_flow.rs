@@ -1,0 +1,502 @@
+//! `authorization-flow` — settlement sinks must be *dominated* by
+//! authorization sources.
+//!
+//! The paper's core guarantee is that a transaction settles only when
+//! confirmation evidence has been verified end-to-end. This pass proves
+//! the static shadow of that property: every path from a function's
+//! entry to a settlement sink (settling the store, journaling a
+//! `Settle` decision, recording a Confirmed audit outcome, constructing
+//! a `Receipt`, demoting an order's status) must first pass through a
+//! capability-granting authorization source (quote-chain verification,
+//! the evidence-order binding pre-check, nonce settlement, a
+//! `Confirmed`-status branch check).
+//!
+//! Mechanics: a *must*-analysis over the statement CFG. The state is a
+//! bit-set of held capabilities; the join is set *intersection*, so a
+//! capability survives a merge point only when every incoming path
+//! granted it — exactly "the sink is dominated by a source". Two
+//! call-graph liftings make the analysis interprocedural:
+//!
+//! * **granting-set closure** — a function whose body must-grants
+//!   capabilities on every entry→exit path becomes a source itself
+//!   (calls to it grant what it grants), to a bounded fixpoint;
+//! * **caller-context** — a sink missing capabilities locally is
+//!   accepted when *every* live in-scope caller establishes the missing
+//!   capabilities before *every* call site (recursively, to a bounded
+//!   depth). A sink with no callers at all is an entry point and is
+//!   denied.
+//!
+//! Soundness caveats (see DESIGN.md): grants are polarity-insensitive
+//! (an `if` condition containing a source grants both branches), source
+//! matching is name-based (a rogue same-named function would grant),
+//! and fallback CFGs are treated as straight-line. All three err toward
+//! *missing* violations, never toward false positives.
+//!
+//! Policy lives in `scripts/authz_spec.json` ([`crate::spec`]); this
+//! file is mechanism only.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::{build_cfg, Cfg, Role, Stmt};
+use crate::dataflow::{solve, Lattice};
+use crate::diag::Severity;
+use crate::graph::WorkspaceIndex;
+use crate::items::{CallSite, FnItem};
+use crate::lexer::Token;
+use crate::passes::flow::{calls_in, range_has_ident, recv_chain_idents};
+use crate::passes::{Finding, Pass};
+use crate::source::SourceFile;
+use crate::spec::{AuthzSpec, SinkKind, SinkSpec};
+
+/// Caller-context recursion bound.
+const MAX_CALLER_DEPTH: usize = 3;
+
+/// Granting-set closure iteration bound (wrapper-of-wrapper chains).
+const MAX_CLOSURE_ROUNDS: usize = 4;
+
+/// The pass (see module docs).
+pub struct AuthzFlow;
+
+impl Pass for AuthzFlow {
+    fn id(&self) -> &'static str {
+        "authorization-flow"
+    }
+
+    fn description(&self) -> &'static str {
+        "settlement sinks must be dominated by verify / order-binding / nonce authorization sources"
+    }
+
+    fn check_workspace(&self, ws: &WorkspaceIndex) -> Vec<(usize, Finding)> {
+        let spec = crate::spec::embedded();
+        analyze(ws, spec)
+    }
+}
+
+/// Held-capability bit-set; the join is intersection (must-analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Caps(u32);
+
+impl Lattice for Caps {
+    fn join_from(&mut self, other: &Self) -> bool {
+        let met = self.0 & other.0;
+        let changed = met != self.0;
+        self.0 = met;
+        changed
+    }
+}
+
+/// Everything the transfer function needs, resolved once per run.
+struct Env<'a> {
+    spec: &'a AuthzSpec,
+    caps: Vec<&'a str>,
+    /// Closure-derived granting wrappers: fn name → granted bits.
+    wrappers: BTreeMap<String, u32>,
+    /// Call-sink callee names; their own bodies are mechanism, not
+    /// policy violations (`Store::settle` asserting `try_settle`).
+    sink_callees: BTreeSet<&'a str>,
+}
+
+impl<'a> Env<'a> {
+    fn new(spec: &'a AuthzSpec) -> Env<'a> {
+        Env {
+            spec,
+            caps: spec.capabilities(),
+            wrappers: BTreeMap::new(),
+            sink_callees: spec
+                .sinks
+                .iter()
+                .filter(|s| s.kind == SinkKind::Call)
+                .map(|s| s.target.as_str())
+                .collect(),
+        }
+    }
+
+    fn bits(&self, names: &[String]) -> u32 {
+        names
+            .iter()
+            .fold(0, |acc, n| acc | self.spec.cap_bit(&self.caps, n))
+    }
+
+    fn cap_names(&self, bits: u32) -> Vec<&str> {
+        self.caps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bits & (1 << i) != 0)
+            .map(|(_, c)| *c)
+            .collect()
+    }
+}
+
+/// Capabilities granted by one call site (spec sources + wrappers).
+fn call_grants(env: &Env, toks: &[Token], call: &CallSite) -> u32 {
+    let mut bits = 0;
+    for s in &env.spec.sources {
+        if call.name != s.call {
+            continue;
+        }
+        if let Some(r) = &s.recv {
+            if !recv_chain_idents(toks, call.tok).iter().any(|c| c == r) {
+                continue;
+            }
+        }
+        bits |= env.bits(&s.grants);
+    }
+    if let Some(&w) = env.wrappers.get(&call.name) {
+        bits |= w;
+    }
+    bits
+}
+
+/// The transfer function: statements only *add* capabilities.
+fn transfer(env: &Env, file: &SourceFile, item: &FnItem, s: &Stmt, state: &mut Caps) {
+    for call in calls_in(item, s) {
+        state.0 |= call_grants(env, &file.tokens, call);
+    }
+    if matches!(
+        s.role,
+        Role::If | Role::While | Role::Match | Role::MatchArm
+    ) {
+        for g in &env.spec.guards {
+            if range_has_ident(&file.tokens, s.lo, s.hi, &g.ident) {
+                state.0 |= env.bits(&g.grants);
+            }
+        }
+    }
+}
+
+/// Live library function inside the spec's scope, with a body.
+fn analyzable(ws: &WorkspaceIndex, env: &Env, idx: usize) -> bool {
+    ws.is_live_fn(idx) && env.spec.in_scope(ws.fn_path(idx)) && ws.fn_item(idx).body.is_some()
+}
+
+fn solved(ws: &WorkspaceIndex, env: &Env, idx: usize) -> (Cfg, Vec<Option<Caps>>) {
+    let file = &ws.files[ws.fns[idx].file];
+    let item = ws.fn_item(idx);
+    let body = item.body.expect("checked by analyzable()");
+    let cfg = build_cfg(&file.tokens, body);
+    let entries = solve(&cfg, Caps(0), |s, st| transfer(env, file, item, s, st));
+    (cfg, entries)
+}
+
+/// Capabilities held on *every* entry→exit path of fn `idx`.
+fn must_exit_caps(ws: &WorkspaceIndex, env: &Env, idx: usize) -> u32 {
+    let (cfg, entries) = solved(ws, env, idx);
+    entries[cfg.exit].map_or(0, |c| c.0)
+}
+
+/// Builds the granting-set closure: wrappers that must-grant on all
+/// paths become sources themselves.
+fn build_wrappers(ws: &WorkspaceIndex, env: &mut Env) {
+    for _ in 0..MAX_CLOSURE_ROUNDS {
+        let mut changed = false;
+        for idx in 0..ws.fns.len() {
+            if !analyzable(ws, env, idx) {
+                continue;
+            }
+            let name = &ws.fn_item(idx).name;
+            if env.sink_callees.contains(name.as_str()) {
+                continue; // a sink must never launder into a source
+            }
+            let exit = must_exit_caps(ws, env, idx);
+            if exit != 0 {
+                let entry = env.wrappers.entry(name.clone()).or_insert(0);
+                if *entry | exit != *entry {
+                    *entry |= exit;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// One matched sink site inside a statement.
+struct SinkHit<'a> {
+    sink: &'a SinkSpec,
+    line: u32,
+}
+
+fn sink_hits<'a>(env: &'a Env, file: &SourceFile, item: &FnItem, s: &Stmt) -> Vec<SinkHit<'a>> {
+    let toks = &file.tokens;
+    let mut hits = Vec::new();
+    for sink in &env.spec.sinks {
+        match sink.kind {
+            SinkKind::Call => {
+                for call in calls_in(item, s) {
+                    if call.name != sink.target {
+                        continue;
+                    }
+                    let chain = recv_chain_idents(toks, call.tok);
+                    if let Some(r) = &sink.recv {
+                        if !chain.iter().any(|c| c == r) {
+                            continue;
+                        }
+                    }
+                    if let Some(x) = &sink.exclude_recv {
+                        if chain.iter().any(|c| c == x) {
+                            continue;
+                        }
+                    }
+                    if let Some(w) = &sink.with_ident {
+                        if !range_has_ident(toks, call.args.0, call.args.1, w) {
+                            continue;
+                        }
+                    }
+                    hits.push(SinkHit {
+                        sink,
+                        line: call.line,
+                    });
+                }
+            }
+            SinkKind::Struct => {
+                // `Target { .. }` construction; arm *patterns* are
+                // destructuring, not construction.
+                if s.role == Role::MatchArm {
+                    continue;
+                }
+                for i in s.lo..s.hi.saturating_sub(1).min(toks.len().saturating_sub(1)) {
+                    if toks[i].is_ident(&sink.target) && toks[i + 1].is_punct("{") {
+                        hits.push(SinkHit {
+                            sink,
+                            line: toks[i].line,
+                        });
+                    }
+                }
+            }
+            SinkKind::Write => {
+                for i in s.lo..s.hi.min(toks.len()) {
+                    if !toks[i].is_ident(&sink.target) {
+                        continue;
+                    }
+                    let field_write = i > s.lo
+                        && toks[i - 1].is_punct(".")
+                        && toks.get(i + 1).is_some_and(|t| t.is_punct("="));
+                    if !field_write {
+                        continue;
+                    }
+                    if let Some(w) = &sink.with_ident {
+                        if !range_has_ident(toks, i + 2, s.hi, w) {
+                            continue;
+                        }
+                    }
+                    hits.push(SinkHit {
+                        sink,
+                        line: toks[i].line,
+                    });
+                }
+            }
+        }
+    }
+    hits
+}
+
+/// Pre-states at every call site in fn `idx` naming `callee`
+/// (unreachable sites are skipped — they cannot execute).
+fn call_pre_states(ws: &WorkspaceIndex, env: &Env, idx: usize, callee: &str) -> Vec<u32> {
+    let file = &ws.files[ws.fns[idx].file];
+    let item = ws.fn_item(idx);
+    let (cfg, entries) = solved(ws, env, idx);
+    let mut out = Vec::new();
+    for (bi, block) in cfg.blocks.iter().enumerate() {
+        let Some(entry) = entries[bi] else { continue };
+        let mut state = entry;
+        for s in &block.stmts {
+            for call in calls_in(item, s) {
+                if call.name == callee {
+                    out.push(state.0);
+                }
+            }
+            transfer(env, file, item, s, &mut state);
+        }
+    }
+    out
+}
+
+/// Does every live in-scope caller of `target` establish the `missing`
+/// capabilities before every call site (to a bounded depth)?
+fn callers_establish(
+    ws: &WorkspaceIndex,
+    env: &Env,
+    target: usize,
+    missing: u32,
+    depth: usize,
+    visiting: &mut BTreeSet<usize>,
+) -> bool {
+    if depth == 0 || !visiting.insert(target) {
+        return false;
+    }
+    let target_name = ws.fn_item(target).name.clone();
+    let callers: Vec<usize> = (0..ws.fns.len())
+        .filter(|&i| {
+            i != target && analyzable(ws, env, i) && ws.callees[i].binary_search(&target).is_ok()
+        })
+        .collect();
+    let mut ok = !callers.is_empty();
+    'outer: for c in callers {
+        let states = call_pre_states(ws, env, c, &target_name);
+        if states.is_empty() {
+            // The graph edge exists but no named site was found (e.g. a
+            // fallback parse oddity): stay conservative.
+            ok = false;
+            break;
+        }
+        for st in states {
+            let still = missing & !st;
+            if still != 0 && !callers_establish(ws, env, c, still, depth - 1, visiting) {
+                ok = false;
+                break 'outer;
+            }
+        }
+    }
+    visiting.remove(&target);
+    ok
+}
+
+/// Runs the pass over the workspace.
+pub(crate) fn analyze(ws: &WorkspaceIndex, spec: &AuthzSpec) -> Vec<(usize, Finding)> {
+    let mut env = Env::new(spec);
+    build_wrappers(ws, &mut env);
+    let mut findings = Vec::new();
+    for idx in 0..ws.fns.len() {
+        if !analyzable(ws, &env, idx) {
+            continue;
+        }
+        let item = ws.fn_item(idx);
+        if env.sink_callees.contains(item.name.as_str()) {
+            continue; // the sink's own body is mechanism (see Env)
+        }
+        let file = &ws.files[ws.fns[idx].file];
+        let (cfg, entries) = solved(ws, &env, idx);
+        for (bi, block) in cfg.blocks.iter().enumerate() {
+            let Some(entry) = entries[bi] else { continue };
+            let mut state = entry;
+            for s in &block.stmts {
+                for hit in sink_hits(&env, file, item, s) {
+                    let req_all = env.bits(&hit.sink.requires);
+                    let req_any = env.bits(&hit.sink.requires_any);
+                    let mut missing = req_all & !state.0;
+                    if req_any != 0 && state.0 & req_any == 0 {
+                        missing |= req_any;
+                    }
+                    if missing != 0 {
+                        let mut visiting = BTreeSet::new();
+                        if !callers_establish(
+                            ws,
+                            &env,
+                            idx,
+                            missing,
+                            MAX_CALLER_DEPTH,
+                            &mut visiting,
+                        ) {
+                            findings.push((
+                                ws.fns[idx].file,
+                                Finding {
+                                    line: hit.line,
+                                    severity: Severity::Deny,
+                                    message: format!(
+                                        "{} in `{}` is not dominated by its authorization \
+                                         source(s): [{}] missing on at least one path from the \
+                                         function entry (and no caller context supplies it); \
+                                         settlement sinks must be preceded by their sources on \
+                                         every path — see scripts/authz_spec.json",
+                                        hit.sink.describe,
+                                        item.name,
+                                        env.cap_names(missing).join(", "),
+                                    ),
+                                },
+                            ));
+                        }
+                    }
+                }
+                transfer(&env, file, item, s, &mut state);
+            }
+        }
+    }
+    findings
+}
+
+/// Report helper: capability-grant sites per source call name, over
+/// live in-scope code.
+pub(crate) fn grant_site_counts(ws: &WorkspaceIndex, spec: &AuthzSpec) -> BTreeMap<String, usize> {
+    let mut out: BTreeMap<String, usize> = BTreeMap::new();
+    for s in &spec.sources {
+        out.insert(s.call.clone(), 0);
+    }
+    let env = Env::new(spec);
+    let _ = &env;
+    for idx in 0..ws.fns.len() {
+        if !ws.is_live_fn(idx) || !spec.in_scope(ws.fn_path(idx)) {
+            continue;
+        }
+        let file = &ws.files[ws.fns[idx].file];
+        let item = ws.fn_item(idx);
+        for call in &item.calls {
+            for s in &spec.sources {
+                if call.name != s.call {
+                    continue;
+                }
+                if let Some(r) = &s.recv {
+                    if !recv_chain_idents(&file.tokens, call.tok)
+                        .iter()
+                        .any(|c| c == r)
+                    {
+                        continue;
+                    }
+                }
+                *out.entry(s.call.clone()).or_default() += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Report helper: sink sites checked per sink name (mechanism-exempt
+/// bodies excluded, matching the analysis).
+pub(crate) fn sink_site_counts(ws: &WorkspaceIndex, spec: &AuthzSpec) -> BTreeMap<String, usize> {
+    let env = Env::new(spec);
+    let mut out: BTreeMap<String, usize> = BTreeMap::new();
+    for s in &spec.sinks {
+        out.insert(s.name.clone(), 0);
+    }
+    for idx in 0..ws.fns.len() {
+        if !analyzable(ws, &env, idx) {
+            continue;
+        }
+        let item = ws.fn_item(idx);
+        if env.sink_callees.contains(item.name.as_str()) {
+            continue;
+        }
+        let file = &ws.files[ws.fns[idx].file];
+        let body = item.body.expect("checked by analyzable()");
+        let cfg = build_cfg(&file.tokens, body);
+        for block in &cfg.blocks {
+            for s in &block.stmts {
+                for hit in sink_hits(&env, file, item, s) {
+                    *out.entry(hit.sink.name.clone()).or_default() += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Report helper: `(scope files, live functions analyzed)`.
+pub(crate) fn scope_stats(ws: &WorkspaceIndex, spec: &AuthzSpec) -> (usize, usize) {
+    let mut files = 0;
+    let mut functions = 0;
+    for (fi, file) in ws.files.iter().enumerate() {
+        if !ws.metas[fi].is_src_ctx || !spec.in_scope(&file.path) {
+            continue;
+        }
+        files += 1;
+    }
+    let env = Env::new(spec);
+    for idx in 0..ws.fns.len() {
+        if analyzable(ws, &env, idx) {
+            functions += 1;
+        }
+    }
+    (files, functions)
+}

@@ -3,7 +3,14 @@
 //! chains.
 
 use crate::cfg::Stmt;
+use crate::items::{CallSite, FnItem};
 use crate::lexer::{Token, TokenKind};
+
+/// Call sites of `item` inside the statement's token range.
+pub fn calls_in<'a>(item: &'a FnItem, s: &Stmt) -> impl Iterator<Item = &'a CallSite> {
+    let (lo, hi) = (s.lo, s.hi);
+    item.calls.iter().filter(move |c| lo <= c.tok && c.tok < hi)
+}
 
 /// Is the ident at `i` a *use of a local* (as opposed to a method or
 /// field name after `.`, or a path segment after `::`)? Keeps a local
@@ -57,6 +64,53 @@ pub fn binding_of(toks: &[Token], s: &Stmt) -> Option<(String, usize, bool)> {
         }
     }
     None
+}
+
+/// Idents of the receiver chain to the left of the name token at `i`:
+/// `shard.ledger.lock().settle` yields `["lock", "ledger", "shard"]`
+/// from the `settle` token (call groups are skipped, their method name
+/// collected). Empty for free calls and path calls.
+pub fn recv_chain_idents(toks: &[Token], i: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut j = i;
+    // The chain continues only across a `.` to the left.
+    while let Some(dot) = j.checked_sub(1).filter(|&d| toks[d].is_punct(".")) {
+        let Some(prev) = dot.checked_sub(1) else {
+            break;
+        };
+        if toks[prev].is_punct(")") || toks[prev].is_punct("]") {
+            // A call/index group: skip it and collect its method name.
+            let (open, close) = if toks[prev].is_punct(")") {
+                ("(", ")")
+            } else {
+                ("[", "]")
+            };
+            let Some(o) = crate::items::matching_back(toks, prev, open, close) else {
+                break;
+            };
+            let Some(name) = o
+                .checked_sub(1)
+                .filter(|&n| toks[n].kind == TokenKind::Ident)
+            else {
+                break;
+            };
+            out.push(toks[name].text.clone());
+            j = name;
+        } else if toks[prev].kind == TokenKind::Ident {
+            out.push(toks[prev].text.clone());
+            j = prev;
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Does the token range `[lo, hi)` contain the ident `name`?
+pub fn range_has_ident(toks: &[Token], lo: usize, hi: usize, name: &str) -> bool {
+    toks[lo..hi.min(toks.len())]
+        .iter()
+        .any(|t| t.is_ident(name))
 }
 
 /// Walks the postfix chain after the ident at `i` (`.method(...)`,

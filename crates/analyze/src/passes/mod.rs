@@ -1,11 +1,13 @@
 //! The pass registry and shared pass helpers.
 
+pub mod authz_flow;
 pub mod ct_discipline;
 pub mod flow;
 pub mod forbid_unsafe;
 pub mod lock_discipline;
 pub mod no_panic;
 pub mod no_panic_transitive;
+pub mod protocol_order;
 pub mod secret_taint;
 pub mod tcb_boundary;
 pub mod tcb_reachability;
@@ -65,6 +67,8 @@ pub fn registry() -> Vec<Box<dyn Pass>> {
         Box::new(secret_taint::SecretTaint),
         Box::new(lock_discipline::LockDiscipline),
         Box::new(untrusted_arith::UntrustedArith),
+        Box::new(authz_flow::AuthzFlow),
+        Box::new(protocol_order::ProtocolOrder),
     ]
 }
 

@@ -1,0 +1,287 @@
+//! `protocol-order` — declarative happens-before rules over the
+//! settlement protocol.
+//!
+//! PR 5 established two ordering disciplines by convention: the
+//! settlement decision is journaled before the ticket is resolved
+//! (WAL-before-ack), and the order/nonce binding is WAL'd before the
+//! confirmation challenge is registered for issuance
+//! (WAL-before-challenge). This pass turns both from convention into
+//! machine-checked rule, driven by `scripts/authz_spec.json`.
+//!
+//! Each rule names a *before* event (a call, optionally constrained by
+//! an ident in its arguments), an *after* event (a call, optionally
+//! constrained by a receiver-chain ident), an optional *when* path
+//! marker (the rule applies to an after-site only on paths through a
+//! statement carrying the marker — e.g. only the `Settle` work-item arm
+//! resolves a settlement ticket), and an optional *guard* ident whose
+//! appearance in a branch condition discharges the obligation (the
+//! volatile no-journal mode is entered through a `if let Some(journal)`
+//! check, which is exactly the discharge the spec encodes).
+//!
+//! The engine is the same must-analysis substrate as
+//! [`crate::passes::authz_flow`]: three state bits {BEFORE, GUARD,
+//! WHEN} joined by intersection, so an obligation counts as met only
+//! when met on *every* path into the after-site; loop back-edges
+//! correctly erase bits that do not hold around the cycle. A
+//! *performer closure* lifts the rule across the call graph: a function
+//! whose body must-performs the before-event on every entry→exit path
+//! becomes a before-event itself (name-based, same caveat as the
+//! granting closure). Functions containing no before-event at all are
+//! skipped entirely — a recovery path that never journals is not
+//! *violating* the ordering, it is outside the protocol segment the
+//! rule describes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::{build_cfg, Cfg, Role, Stmt};
+use crate::dataflow::{solve, Lattice};
+use crate::diag::Severity;
+use crate::graph::WorkspaceIndex;
+use crate::items::{CallSite, FnItem};
+use crate::lexer::Token;
+use crate::passes::flow::{calls_in, range_has_ident, recv_chain_idents};
+use crate::passes::{Finding, Pass};
+use crate::source::SourceFile;
+use crate::spec::{AuthzSpec, OrderRule};
+
+/// Performer-closure iteration bound (wrapper-of-wrapper chains).
+const MAX_CLOSURE_ROUNDS: usize = 4;
+
+/// The before-event happened on every path here.
+const BEFORE: u8 = 1;
+/// A guard-ident branch check dominates this point.
+const GUARD: u8 = 2;
+/// The when-ident path marker dominates this point.
+const WHEN: u8 = 4;
+
+/// The pass (see module docs).
+pub struct ProtocolOrder;
+
+impl Pass for ProtocolOrder {
+    fn id(&self) -> &'static str {
+        "protocol-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "happens-before protocol rules (WAL-before-ack, WAL-before-challenge) hold on every path"
+    }
+
+    fn check_workspace(&self, ws: &WorkspaceIndex) -> Vec<(usize, Finding)> {
+        let spec = crate::spec::embedded();
+        analyze(ws, spec)
+    }
+}
+
+/// Must-held ordering bits; the join is intersection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Bits(u8);
+
+impl Lattice for Bits {
+    fn join_from(&mut self, other: &Self) -> bool {
+        let met = self.0 & other.0;
+        let changed = met != self.0;
+        self.0 = met;
+        changed
+    }
+}
+
+/// Live library function inside the spec's scope, with a body.
+fn analyzable(ws: &WorkspaceIndex, spec: &AuthzSpec, idx: usize) -> bool {
+    ws.is_live_fn(idx) && spec.in_scope(ws.fn_path(idx)) && ws.fn_item(idx).body.is_some()
+}
+
+/// Is this call site a before-event for the rule (direct, or a
+/// closure-derived performer)?
+fn is_before_call(
+    rule: &OrderRule,
+    performers: &BTreeSet<String>,
+    toks: &[Token],
+    call: &CallSite,
+) -> bool {
+    if call.name == rule.before {
+        match &rule.before_ident {
+            Some(id) => range_has_ident(toks, call.args.0, call.args.1, id),
+            None => true,
+        }
+    } else {
+        performers.contains(&call.name)
+    }
+}
+
+/// Is this call site an after-event for the rule?
+fn is_after_call(rule: &OrderRule, toks: &[Token], call: &CallSite) -> bool {
+    call.name == rule.after
+        && match &rule.after_recv {
+            Some(r) => recv_chain_idents(toks, call.tok).iter().any(|c| c == r),
+            None => true,
+        }
+}
+
+/// The transfer function: statements only *set* bits; merges clear them.
+fn transfer(
+    rule: &OrderRule,
+    performers: &BTreeSet<String>,
+    file: &SourceFile,
+    item: &FnItem,
+    s: &Stmt,
+    state: &mut Bits,
+) {
+    let toks = &file.tokens;
+    for call in calls_in(item, s) {
+        if is_before_call(rule, performers, toks, call) {
+            state.0 |= BEFORE;
+        }
+    }
+    if let Some(g) = &rule.guard_ident {
+        if matches!(
+            s.role,
+            Role::If | Role::While | Role::Match | Role::MatchArm
+        ) && range_has_ident(toks, s.lo, s.hi, g)
+        {
+            state.0 |= GUARD;
+        }
+    }
+    if let Some(w) = &rule.when_ident {
+        if range_has_ident(toks, s.lo, s.hi, w) {
+            state.0 |= WHEN;
+        }
+    }
+}
+
+fn solved(
+    ws: &WorkspaceIndex,
+    rule: &OrderRule,
+    performers: &BTreeSet<String>,
+    idx: usize,
+) -> (Cfg, Vec<Option<Bits>>) {
+    let file = &ws.files[ws.fns[idx].file];
+    let item = ws.fn_item(idx);
+    let body = item.body.expect("checked by analyzable()");
+    let cfg = build_cfg(&file.tokens, body);
+    let entries = solve(&cfg, Bits(0), |s, st| {
+        transfer(rule, performers, file, item, s, st)
+    });
+    (cfg, entries)
+}
+
+/// Builds the performer closure: functions that must-perform the
+/// before-event on every entry→exit path become before-events.
+fn build_performers(ws: &WorkspaceIndex, spec: &AuthzSpec, rule: &OrderRule) -> BTreeSet<String> {
+    let mut performers = BTreeSet::new();
+    for _ in 0..MAX_CLOSURE_ROUNDS {
+        let mut changed = false;
+        for idx in 0..ws.fns.len() {
+            if !analyzable(ws, spec, idx) {
+                continue;
+            }
+            let name = &ws.fn_item(idx).name;
+            if *name == rule.before || performers.contains(name) {
+                continue;
+            }
+            let (cfg, entries) = solved(ws, rule, &performers, idx);
+            if entries[cfg.exit].is_some_and(|b| b.0 & BEFORE != 0) {
+                performers.insert(name.clone());
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    performers
+}
+
+/// Does the function contain a before-event at all? Rules only apply
+/// inside the protocol segment that performs the before-event;
+/// unrelated code (recovery, accessors) is out of the rule's domain.
+fn aware(
+    rule: &OrderRule,
+    performers: &BTreeSet<String>,
+    file: &SourceFile,
+    item: &FnItem,
+) -> bool {
+    item.calls
+        .iter()
+        .any(|c| is_before_call(rule, performers, &file.tokens, c))
+}
+
+/// Runs the pass over the workspace.
+pub(crate) fn analyze(ws: &WorkspaceIndex, spec: &AuthzSpec) -> Vec<(usize, Finding)> {
+    let mut findings = Vec::new();
+    for rule in &spec.order {
+        let performers = build_performers(ws, spec, rule);
+        for idx in 0..ws.fns.len() {
+            if !analyzable(ws, spec, idx) {
+                continue;
+            }
+            let file = &ws.files[ws.fns[idx].file];
+            let item = ws.fn_item(idx);
+            if !aware(rule, &performers, file, item) {
+                continue;
+            }
+            let (cfg, entries) = solved(ws, rule, &performers, idx);
+            for (bi, block) in cfg.blocks.iter().enumerate() {
+                let Some(entry) = entries[bi] else { continue };
+                let mut state = entry;
+                for s in &block.stmts {
+                    for call in calls_in(item, s) {
+                        if !is_after_call(rule, &file.tokens, call) {
+                            continue;
+                        }
+                        if rule.when_ident.is_some() && state.0 & WHEN == 0 {
+                            continue; // rule scoped to marked paths only
+                        }
+                        if state.0 & (BEFORE | GUARD) == 0 {
+                            findings.push((
+                                ws.fns[idx].file,
+                                Finding {
+                                    line: call.line,
+                                    severity: Severity::Deny,
+                                    message: format!(
+                                        "`{}` here can run before `{}` on some path through \
+                                         `{}`: {} (protocol-order rule `{}`; see \
+                                         scripts/authz_spec.json)",
+                                        rule.after,
+                                        rule.before,
+                                        item.name,
+                                        rule.describe,
+                                        rule.rule,
+                                    ),
+                                },
+                            ));
+                        }
+                    }
+                    transfer(rule, &performers, file, item, s, &mut state);
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// Report helper: after-event sites checked per rule (inside aware
+/// functions, matching the analysis' domain).
+pub(crate) fn order_site_counts(ws: &WorkspaceIndex, spec: &AuthzSpec) -> BTreeMap<String, usize> {
+    let mut out: BTreeMap<String, usize> = BTreeMap::new();
+    for rule in &spec.order {
+        let performers = build_performers(ws, spec, rule);
+        let mut n = 0;
+        for idx in 0..ws.fns.len() {
+            if !analyzable(ws, spec, idx) {
+                continue;
+            }
+            let file = &ws.files[ws.fns[idx].file];
+            let item = ws.fn_item(idx);
+            if !aware(rule, &performers, file, item) {
+                continue;
+            }
+            n += item
+                .calls
+                .iter()
+                .filter(|c| is_after_call(rule, &file.tokens, c))
+                .count();
+        }
+        out.insert(rule.rule.clone(), n);
+    }
+    out
+}

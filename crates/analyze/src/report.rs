@@ -162,8 +162,10 @@ fn render_map(out: &mut String, key: &str, map: &BTreeMap<String, Stats>) {
 /// Lints whose findings are produced by the flow-sensitive engine
 /// (statement-level CFGs + fixpoint solver).
 const FLOW_LINTS: &[&str] = &[
+    "authorization-flow",
     "ct-discipline",
     "lock-discipline",
+    "protocol-order",
     "secret-taint",
     "untrusted-arith",
 ];

@@ -1,0 +1,682 @@
+//! The machine-readable authorization spec (`scripts/authz_spec.json`)
+//! driving the authorization-flow and protocol-order passes.
+//!
+//! The spec names the *policy* — which calls grant which capabilities,
+//! which sites are settlement sinks and what they require, and which
+//! happens-before pairs the protocol must respect — so the passes stay
+//! pure mechanism. The checked-in file is compiled into the analyzer
+//! via `include_str!` and gated like the TCB baseline:
+//! `--check-authz-spec` fails when the on-disk file drifts from the
+//! embedded copy, and when any spec'd name no longer *anchors* in the
+//! workspace (a silent rename would otherwise blind the passes while
+//! they keep reporting clean).
+//!
+//! The JSON subset here is what the spec needs — objects, arrays,
+//! strings, integers — parsed by a tiny recursive-descent reader in the
+//! same no-dependency spirit as the rest of the crate.
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use crate::graph::WorkspaceIndex;
+use crate::lexer::TokenKind;
+
+/// The checked-in spec source, compiled into the binary.
+pub const EMBEDDED_JSON: &str = include_str!("../../../scripts/authz_spec.json");
+
+/// A call that grants capabilities when it appears on a path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceSpec {
+    /// Callee name matched at call sites.
+    pub call: String,
+    /// Required receiver-chain ident (e.g. `ledger` for `x.ledger.settle`).
+    pub recv: Option<String>,
+    /// Capabilities granted to the rest of the path.
+    pub grants: Vec<String>,
+}
+
+/// A branch-condition ident that grants capabilities (e.g. a
+/// `matches!(status, Confirmed)` check).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardSpec {
+    /// Ident that must appear in an `if`/`while`/`match`/arm statement.
+    pub ident: String,
+    /// Capabilities granted to both branches (polarity-insensitive).
+    pub grants: Vec<String>,
+}
+
+/// How a sink site is recognized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SinkKind {
+    /// A call site named `target`.
+    Call,
+    /// A struct literal `Target { .. }`.
+    Struct,
+    /// A field assignment `recv.target = ..`.
+    Write,
+}
+
+/// A settlement sink and the capabilities it demands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SinkSpec {
+    /// Stable sink name (report key).
+    pub name: String,
+    /// Site shape.
+    pub kind: SinkKind,
+    /// Callee / struct / field name, per [`SinkKind`].
+    pub target: String,
+    /// Required receiver-chain ident for call sinks.
+    pub recv: Option<String>,
+    /// Receiver-chain ident that *disqualifies* a match (e.g. `ledger`
+    /// keeps `NonceLedger::settle` out of the `Store::settle` sink).
+    pub exclude_recv: Option<String>,
+    /// Ident that must appear in the call args / statement for a match.
+    pub with_ident: Option<String>,
+    /// Capabilities that must *all* hold at the site.
+    pub requires: Vec<String>,
+    /// Capabilities of which *at least one* must hold at the site.
+    pub requires_any: Vec<String>,
+    /// Human phrase used in diagnostics.
+    pub describe: String,
+}
+
+/// One happens-before rule: in any function performing `before`, every
+/// `after` site (on paths through `when_ident`, if set) must be
+/// preceded by a `before` event or a `guard_ident` branch check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderRule {
+    /// Stable rule name (report key).
+    pub rule: String,
+    /// Callee name of the before-event.
+    pub before: String,
+    /// Ident that must appear in the before-call's args to count.
+    pub before_ident: Option<String>,
+    /// Callee name of the after-event.
+    pub after: String,
+    /// Required receiver-chain ident of the after-event.
+    pub after_recv: Option<String>,
+    /// Path marker: the rule applies to an after-site only when a
+    /// statement containing this ident dominates it.
+    pub when_ident: Option<String>,
+    /// Branch-condition ident that discharges the obligation (e.g. a
+    /// `if let Some(journal)` presence check covering no-journal mode).
+    pub guard_ident: Option<String>,
+    /// Human phrase used in diagnostics.
+    pub describe: String,
+}
+
+/// The full parsed spec.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AuthzSpec {
+    /// Spec format version.
+    pub version: i64,
+    /// Path prefixes the sinks and rules apply to.
+    pub scope: Vec<String>,
+    /// Capability-granting calls.
+    pub sources: Vec<SourceSpec>,
+    /// Capability-granting branch conditions.
+    pub guards: Vec<GuardSpec>,
+    /// Settlement sinks.
+    pub sinks: Vec<SinkSpec>,
+    /// Happens-before rules.
+    pub order: Vec<OrderRule>,
+}
+
+impl AuthzSpec {
+    /// Is `path` inside the spec's scope?
+    pub fn in_scope(&self, path: &str) -> bool {
+        self.scope.iter().any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// The capability universe, in order of first appearance; the
+    /// passes use the index as a lattice bit.
+    pub fn capabilities(&self) -> Vec<&str> {
+        fn add_all<'a>(out: &mut Vec<&'a str>, names: &'a [String]) {
+            for n in names {
+                if !out.contains(&n.as_str()) {
+                    out.push(n.as_str());
+                }
+            }
+        }
+        let mut out: Vec<&str> = Vec::new();
+        for s in &self.sources {
+            add_all(&mut out, &s.grants);
+        }
+        for g in &self.guards {
+            add_all(&mut out, &g.grants);
+        }
+        for s in &self.sinks {
+            add_all(&mut out, &s.requires);
+            add_all(&mut out, &s.requires_any);
+        }
+        out
+    }
+
+    /// Bit index of a capability name in [`AuthzSpec::capabilities`].
+    pub fn cap_bit(&self, caps: &[&str], name: &str) -> u32 {
+        caps.iter()
+            .position(|c| *c == name)
+            .map(|i| 1u32 << i)
+            .unwrap_or(0)
+    }
+}
+
+/// The embedded spec, parsed once. The file is checked in and covered
+/// by tests, so a parse failure is a build defect, not a user error.
+pub fn embedded() -> &'static AuthzSpec {
+    static SPEC: OnceLock<AuthzSpec> = OnceLock::new();
+    SPEC.get_or_init(|| match parse(EMBEDDED_JSON) {
+        Ok(s) => s,
+        Err(e) => {
+            // Unreachable for a well-formed checked-in spec; degrade to
+            // an empty spec (passes report nothing) rather than abort.
+            debug_assert!(false, "embedded authz spec is malformed: {e}");
+            AuthzSpec::default()
+        }
+    })
+}
+
+/// Parses a spec JSON text.
+pub fn parse(text: &str) -> Result<AuthzSpec, String> {
+    let json = JsonParser::new(text).parse_document()?;
+    let obj = json.as_obj().ok_or("spec root must be an object")?;
+    let mut spec = AuthzSpec {
+        version: get(obj, "version")?.as_int().ok_or("version: integer")?,
+        scope: str_list(get(obj, "scope")?, "scope")?,
+        ..AuthzSpec::default()
+    };
+    for (i, s) in arr(get(obj, "sources")?, "sources")?.iter().enumerate() {
+        let o = s.as_obj().ok_or_else(|| format!("sources[{i}]: object"))?;
+        spec.sources.push(SourceSpec {
+            call: req_str(o, "call")?,
+            recv: opt_str(o, "recv"),
+            grants: str_list(get(o, "grants")?, "grants")?,
+        });
+    }
+    for (i, g) in arr(get(obj, "guards")?, "guards")?.iter().enumerate() {
+        let o = g.as_obj().ok_or_else(|| format!("guards[{i}]: object"))?;
+        spec.guards.push(GuardSpec {
+            ident: req_str(o, "ident")?,
+            grants: str_list(get(o, "grants")?, "grants")?,
+        });
+    }
+    for (i, s) in arr(get(obj, "sinks")?, "sinks")?.iter().enumerate() {
+        let o = s.as_obj().ok_or_else(|| format!("sinks[{i}]: object"))?;
+        let kind = match req_str(o, "kind")?.as_str() {
+            "call" => SinkKind::Call,
+            "struct" => SinkKind::Struct,
+            "write" => SinkKind::Write,
+            other => return Err(format!("sinks[{i}]: unknown kind `{other}`")),
+        };
+        spec.sinks.push(SinkSpec {
+            name: req_str(o, "name")?,
+            kind,
+            target: req_str(o, "target")?,
+            recv: opt_str(o, "recv"),
+            exclude_recv: opt_str(o, "exclude_recv"),
+            with_ident: opt_str(o, "with_ident"),
+            requires: opt_list(o, "requires")?,
+            requires_any: opt_list(o, "requires_any")?,
+            describe: req_str(o, "describe")?,
+        });
+    }
+    for (i, r) in arr(get(obj, "order")?, "order")?.iter().enumerate() {
+        let o = r.as_obj().ok_or_else(|| format!("order[{i}]: object"))?;
+        spec.order.push(OrderRule {
+            rule: req_str(o, "rule")?,
+            before: req_str(o, "before")?,
+            before_ident: opt_str(o, "before_ident"),
+            after: req_str(o, "after")?,
+            after_recv: opt_str(o, "after_recv"),
+            when_ident: opt_str(o, "when_ident"),
+            guard_ident: opt_str(o, "guard_ident"),
+            describe: req_str(o, "describe")?,
+        });
+    }
+    Ok(spec)
+}
+
+/// Every spec'd name that no longer *anchors* in the in-scope live
+/// workspace code: a renamed source/sink would silently blind the
+/// passes, so the spec gate reports these as failures.
+pub fn missing_anchors(ws: &WorkspaceIndex, spec: &AuthzSpec) -> Vec<String> {
+    let mut fn_names: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    let mut call_names: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    let mut struct_names: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    let mut field_names: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    let mut idents: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    for (fi, file) in ws.files.iter().enumerate() {
+        if !ws.metas[fi].is_src_ctx || !spec.in_scope(&file.path) {
+            continue;
+        }
+        for f in &file.items.fns {
+            if file.in_test_code(f.start_line) {
+                continue;
+            }
+            fn_names.insert(f.name.as_str());
+            for c in &f.calls {
+                call_names.insert(c.name.as_str());
+            }
+        }
+        for s in &file.items.structs {
+            struct_names.insert(s.name.as_str());
+            for fld in &s.fields {
+                field_names.insert(fld.name.as_str());
+            }
+        }
+        for t in &file.tokens {
+            if t.kind == TokenKind::Ident {
+                idents.insert(t.text.as_str());
+            }
+        }
+    }
+    let callable = |n: &str| fn_names.contains(n) || call_names.contains(n);
+    let mut missing = Vec::new();
+    for s in &spec.sources {
+        if !callable(&s.call) {
+            missing.push(format!("source `{}` (no such fn or call in scope)", s.call));
+        }
+    }
+    for g in &spec.guards {
+        if !idents.contains(g.ident.as_str()) {
+            missing.push(format!("guard ident `{}` (absent from scope)", g.ident));
+        }
+    }
+    for s in &spec.sinks {
+        let ok = match s.kind {
+            SinkKind::Call => callable(&s.target),
+            SinkKind::Struct => struct_names.contains(s.target.as_str()),
+            SinkKind::Write => field_names.contains(s.target.as_str()),
+        };
+        if !ok {
+            missing.push(format!(
+                "sink `{}` target `{}` (no such site shape in scope)",
+                s.name, s.target
+            ));
+        }
+    }
+    for r in &spec.order {
+        if !callable(&r.before) {
+            missing.push(format!(
+                "rule `{}` before-event `{}` (no such fn or call in scope)",
+                r.rule, r.before
+            ));
+        }
+        if !callable(&r.after) {
+            missing.push(format!(
+                "rule `{}` after-event `{}` (no such fn or call in scope)",
+                r.rule, r.after
+            ));
+        }
+    }
+    missing
+}
+
+/// The authorization-flow report: how many sites each spec entry
+/// matched plus the anchor check, written next to the TCB and dataflow
+/// reports and uploaded by CI.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct AuthzReport {
+    /// In-scope library files analyzed.
+    pub scope_files: usize,
+    /// Live in-scope functions analyzed.
+    pub functions: usize,
+    /// Capability-grant sites per source call name.
+    pub grant_sites: BTreeMap<String, usize>,
+    /// Sites checked per sink name.
+    pub sink_sites: BTreeMap<String, usize>,
+    /// After-event sites checked per happens-before rule.
+    pub order_sites: BTreeMap<String, usize>,
+    /// Post-suppression findings from the two passes.
+    pub findings: usize,
+    /// Spec names with no anchor in the workspace (gate failures).
+    pub missing_anchors: Vec<String>,
+}
+
+impl AuthzReport {
+    /// Stable, hand-rolled JSON rendering (same conventions as the TCB
+    /// and dataflow reports).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"authz_report\": {\n");
+        out.push_str(&format!("    \"scope_files\": {},\n", self.scope_files));
+        out.push_str(&format!("    \"functions\": {},\n", self.functions));
+        out.push_str(&format!("    \"findings\": {},\n", self.findings));
+        render_count_map(&mut out, "grant_sites", &self.grant_sites);
+        out.push_str(",\n");
+        render_count_map(&mut out, "sink_sites", &self.sink_sites);
+        out.push_str(",\n");
+        render_count_map(&mut out, "order_sites", &self.order_sites);
+        out.push_str(",\n");
+        out.push_str("    \"missing_anchors\": [");
+        for (i, m) in self.missing_anchors.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\"", m.replace('"', "'")));
+        }
+        out.push_str("]\n  }\n}\n");
+        out
+    }
+}
+
+fn render_count_map(out: &mut String, key: &str, map: &BTreeMap<String, usize>) {
+    out.push_str(&format!("    \"{key}\": {{"));
+    for (i, (name, n)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n      \"{name}\": {n}"));
+    }
+    if !map.is_empty() {
+        out.push_str("\n    ");
+    }
+    out.push('}');
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader.
+
+/// A parsed JSON value (the subset the spec uses).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// Object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+    /// Array.
+    Arr(Vec<Json>),
+    /// String.
+    Str(String),
+    /// Integer (the spec has no floats).
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Null.
+    Null,
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_int(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| format!("missing key `{key}`"))
+}
+
+fn arr<'a>(v: &'a Json, what: &str) -> Result<&'a [Json], String> {
+    v.as_arr().ok_or_else(|| format!("{what}: array"))
+}
+
+fn req_str(obj: &[(String, Json)], key: &str) -> Result<String, String> {
+    get(obj, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("{key}: string"))
+}
+
+fn opt_str(obj: &[(String, Json)], key: &str) -> Option<String> {
+    obj.iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.as_str())
+        .map(str::to_string)
+}
+
+fn str_list(v: &Json, what: &str) -> Result<Vec<String>, String> {
+    arr(v, what)?
+        .iter()
+        .map(|e| {
+            e.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{what}: strings"))
+        })
+        .collect()
+}
+
+fn opt_list(obj: &[(String, Json)], key: &str) -> Result<Vec<String>, String> {
+    match obj.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => str_list(v, key),
+        None => Ok(Vec::new()),
+    }
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(text: &'a str) -> JsonParser<'a> {
+        JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing content at byte {}", self.pos));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "utf8")?;
+        text.parse::<i64>()
+            .map(Json::Int)
+            .map_err(|_| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(&c @ (b'"' | b'\\' | b'/')) => out.push(c as char),
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(&c) => {
+                    // Multi-byte UTF-8 passes through verbatim.
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (self.pos + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[self.pos..end])
+                        .map_err(|_| "utf8 in string")?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let v = self.value()?;
+            out.push((key, v));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_spec_parses_and_is_nonempty() {
+        let spec = parse(EMBEDDED_JSON).expect("embedded spec parses");
+        assert_eq!(spec.version, 1);
+        assert!(!spec.scope.is_empty());
+        assert!(spec.sources.iter().any(|s| s.call == "verify"));
+        assert!(spec.sinks.iter().any(|s| s.name == "store-settle"));
+        assert!(spec.order.iter().any(|r| r.rule == "wal-before-ack"));
+        assert_eq!(spec, *embedded());
+    }
+
+    #[test]
+    fn capability_universe_is_stable_and_bit_indexed() {
+        let spec = embedded();
+        let caps = spec.capabilities();
+        assert!(caps.contains(&"verified"));
+        assert!(caps.contains(&"order-bound"));
+        assert!(caps.contains(&"confirmed-checked"));
+        let bit = spec.cap_bit(&caps, "verified");
+        assert_eq!(bit.count_ones(), 1);
+        assert_eq!(spec.cap_bit(&caps, "no-such-cap"), 0);
+    }
+
+    #[test]
+    fn json_reader_handles_nesting_escapes_and_errors() {
+        let v = JsonParser::new("{\"a\": [1, -2], \"b\": {\"c\": \"x\\\"y\"}}")
+            .parse_document()
+            .unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(get(obj, "a").unwrap().as_arr().unwrap().len(), 2);
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"version\": 1}").is_err(), "missing keys surface");
+    }
+
+    #[test]
+    fn report_renders_stable_json() {
+        let mut r = AuthzReport::default();
+        r.grant_sites.insert("verify".to_string(), 3);
+        r.sink_sites.insert("store-settle".to_string(), 1);
+        let json = r.to_json();
+        assert!(json.contains("\"authz_report\""));
+        assert!(json.contains("\"verify\": 3"));
+        assert!(json.contains("\"missing_anchors\": []"));
+    }
+}

@@ -23,6 +23,7 @@ fn clean_workspace_exits_zero_and_writes_both_reports() {
     // Nested path on purpose: the CLI must create missing parents for
     // the dataflow report (CI writes into target/analyze/).
     let dataflow = dir.join("nested/dataflow_report.json");
+    let authz = dir.join("nested/authz_report.json");
     std::fs::create_dir_all(&dir).expect("create temp dir");
 
     let out = bin()
@@ -30,6 +31,11 @@ fn clean_workspace_exits_zero_and_writes_both_reports() {
         .args(["--format", "json"])
         .args(["--tcb-report".as_ref(), tcb.as_os_str()])
         .args(["--dataflow-report".as_ref(), dataflow.as_os_str()])
+        .args(["--authz-report".as_ref(), authz.as_os_str()])
+        .args([
+            "--check-authz-spec".as_ref(),
+            workspace_root().join("scripts/authz_spec.json").as_os_str(),
+        ])
         .output()
         .expect("run utp-analyze");
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -53,8 +59,10 @@ fn clean_workspace_exits_zero_and_writes_both_reports() {
         "\"statements\"",
         "\"fallback_functions\"",
         "\"findings_by_lint\"",
+        "\"authorization-flow\"",
         "\"ct-discipline\"",
         "\"lock-discipline\"",
+        "\"protocol-order\"",
         "\"secret-taint\"",
         "\"untrusted-arith\"",
     ] {
@@ -63,8 +71,10 @@ fn clean_workspace_exits_zero_and_writes_both_reports() {
     // The clean-run invariant seen through the CLI: every flow lint
     // reports zero post-suppression findings on this workspace.
     for lint in [
+        "authorization-flow",
         "ct-discipline",
         "lock-discipline",
+        "protocol-order",
         "secret-taint",
         "untrusted-arith",
     ] {
@@ -74,7 +84,76 @@ fn clean_workspace_exits_zero_and_writes_both_reports() {
         );
     }
 
+    // The authz coverage report: real grant/sink/order sites were seen
+    // (the passes are not vacuously clean) and every spec name anchors.
+    let authz_json = std::fs::read_to_string(&authz).expect("authz report written");
+    for key in [
+        "\"authz_report\"",
+        "\"grant_sites\"",
+        "\"sink_sites\"",
+        "\"order_sites\"",
+        "\"wal-before-ack\"",
+        "\"missing_anchors\": []",
+    ] {
+        assert!(authz_json.contains(key), "missing {key} in:\n{authz_json}");
+    }
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("authz-spec: ok"),
+        "spec gate did not pass:\n{stderr}"
+    );
+
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pass_filter_runs_one_pass_and_rejects_unknown_names() {
+    // Unknown pass name: usage error listing the known ids.
+    let out = bin()
+        .args(["--pass", "no-such-pass"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("not a known pass") && stderr.contains("authorization-flow"),
+        "stderr:\n{stderr}"
+    );
+
+    // A fake workspace with a secret-taint deny: running only that pass
+    // still finds it; running only an unrelated pass exits clean, and
+    // the other pass's findings must not appear.
+    let root = std::env::temp_dir().join(format!("utp-analyze-pass-{}", std::process::id()));
+    let tpm_src = root.join("crates/tpm/src");
+    std::fs::create_dir_all(&tpm_src).expect("create fake workspace");
+    let leaky = std::fs::read_to_string(
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/taint/leaky.rs"),
+    )
+    .expect("read leaky fixture");
+    std::fs::write(tpm_src.join("leaky.rs"), leaky).expect("write fixture");
+
+    let out = bin()
+        .args(["--root".as_ref(), root.as_os_str()])
+        .args(["--pass", "secret-taint"])
+        .output()
+        .expect("run utp-analyze");
+    assert_eq!(out.status.code(), Some(1), "filtered pass still gates");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("secret-taint"));
+
+    let out = bin()
+        .args(["--root".as_ref(), root.as_os_str()])
+        .args(["--pass", "lock-discipline"])
+        .output()
+        .expect("run utp-analyze");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "unrelated pass must not see the taint finding:\n{stdout}"
+    );
+    assert!(!stdout.contains("secret-taint"), "stdout:\n{stdout}");
+
+    let _ = std::fs::remove_dir_all(&root);
 }
 
 #[test]
@@ -108,7 +187,15 @@ fn deny_findings_exit_nonzero_in_json_mode_too() {
 
 #[test]
 fn missing_flag_operand_is_a_usage_error() {
-    for flag in ["--dataflow-report", "--tcb-report", "--root", "--format"] {
+    for flag in [
+        "--dataflow-report",
+        "--tcb-report",
+        "--root",
+        "--format",
+        "--pass",
+        "--authz-report",
+        "--check-authz-spec",
+    ] {
         let out = bin().arg(flag).output().expect("run utp-analyze");
         assert_eq!(
             out.status.code(),

@@ -1,0 +1,39 @@
+//! Interprocedural lifting fixtures. `finish` lacks any local
+//! authorization, but its only caller establishes every capability
+//! before the call (via the `authorize` wrapper, which the granting
+//! closure turns into a source) — clean. `finish_unchecked`'s only
+//! caller establishes nothing — deny.
+
+pub fn entry(
+    store: &mut Store,
+    verifier: &Verifier,
+    order_id: u64,
+    evidence: &Evidence,
+    now: Duration,
+) {
+    authorize(store, verifier, order_id, evidence, now);
+    finish(store, order_id);
+}
+
+fn authorize(
+    store: &Store,
+    verifier: &Verifier,
+    order_id: u64,
+    evidence: &Evidence,
+    now: Duration,
+) {
+    check_order_binding(store, order_id, evidence);
+    verifier.verify(evidence, now);
+}
+
+fn finish(store: &mut Store, order_id: u64) {
+    store.try_settle(order_id);
+}
+
+pub fn entry_unchecked(store: &mut Store, order_id: u64) {
+    finish_unchecked(store, order_id);
+}
+
+fn finish_unchecked(store: &mut Store, order_id: u64) {
+    store.try_settle(order_id);
+}

@@ -1,0 +1,16 @@
+//! Revert-fixture for PR 7's second provider bug: sticky-Confirmed
+//! removed. A replayed rejection demotes an already-Confirmed order
+//! back to Rejected unless the status is checked first; the
+//! authorization-flow pass must deny the unguarded demotion for the
+//! missing `confirmed-checked` capability.
+
+pub fn reject_unchecked(order: &mut Order, err: VerifyError) {
+    order.status = OrderStatus::Rejected(err);
+}
+
+pub fn reject_checked(order: &mut Order, err: VerifyError) {
+    if matches!(order.status, OrderStatus::Confirmed) {
+        return;
+    }
+    order.status = OrderStatus::Rejected(err);
+}

@@ -196,17 +196,27 @@ fn secret_taint_flags_trace_sink_but_skips_key_name_paths() {
 #[test]
 fn secret_taint_flags_journal_sink_outside_key_crates() {
     let analysis = analyze(&[("crates/server/src/journal_leak.rs", "taint/journal_leak.rs")]);
-    // Exactly one finding: `session_key` in the append's value position.
-    // The `JournalRecord::` path segment does not trip the scan, and the
-    // rule fires even though `crates/server` is outside the key crates.
+    // Two findings on the append: `session_key` in the value position
+    // (the `JournalRecord::` path segment does not trip the scan, and
+    // the rule fires even though `crates/server` is outside the key
+    // crates), and — since PR 8 — the unauthorized `Settle` journal
+    // write itself (no verify/binding source on the path, no callers).
     assert_diags(
         &analysis,
-        &[(
-            "crates/server/src/journal_leak.rs",
-            8,
-            "secret-taint",
-            "secret `session_key` flows into journal sink `append_record` in `persist_session`",
-        )],
+        &[
+            (
+                "crates/server/src/journal_leak.rs",
+                8,
+                "authorization-flow",
+                "journaling a `Settle` decision in `persist_session` is not dominated",
+            ),
+            (
+                "crates/server/src/journal_leak.rs",
+                8,
+                "secret-taint",
+                "secret `session_key` flows into journal sink `append_record` in `persist_session`",
+            ),
+        ],
     );
 }
 

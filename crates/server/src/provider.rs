@@ -289,6 +289,27 @@ impl ServiceProvider {
         (order_id, request)
     }
 
+    /// Binds the evidence to *this* order before dispatch: the token
+    /// carries the digest of the transaction the human saw, and it must
+    /// be the transaction this order would settle. Without this check,
+    /// evidence confirming order A delivered against order B would debit
+    /// B's amount on A's approval — a settle without a matching
+    /// human-confirmed quote. Unparseable tokens pass through: the
+    /// verifier rejects them with the precise crypto error.
+    fn check_order_binding(&self, order_id: u64, evidence: &Evidence) -> Result<(), VerifyError> {
+        let Ok(token) = evidence.token() else {
+            return Ok(());
+        };
+        let mismatch = self
+            .store
+            .order(order_id)
+            .is_some_and(|o| token.tx_digest != o.transaction.digest());
+        if mismatch {
+            return Err(VerifyError::TokenMismatch);
+        }
+        Ok(())
+    }
+
     /// Accepts evidence for an order.
     ///
     /// Routed through the attached [`VerifierService`] when one is
@@ -305,35 +326,28 @@ impl ServiceProvider {
         evidence: &Evidence,
         now: Duration,
     ) -> Result<Receipt, VerifyError> {
-        // Bind the evidence to *this* order before dispatch: the token
-        // carries the digest of the transaction the human saw, and it
-        // must be the transaction this order would settle. Without this
-        // check, evidence confirming order A delivered against order B
-        // would debit B's amount on A's approval — a settle without a
-        // matching human-confirmed quote.
-        if let Ok(token) = evidence.token() {
-            let mismatch = self
-                .store
-                .order(order_id)
-                .is_some_and(|o| token.tx_digest != o.transaction.digest());
-            if mismatch {
-                let e = VerifyError::TokenMismatch;
-                if let Some(journal) = &self.journal {
-                    // Same WAL-before-effect discipline as the verify
-                    // paths below: the terminal decision is durable
-                    // before the audit log, store or caller see it.
-                    let receipt = journal.append_record(&JournalRecord::Settle {
-                        order_id,
-                        nonce: *token.nonce.as_bytes(),
-                        at: now,
-                        outcome: Err(e),
-                    });
-                    journal.sync_to(receipt.seq);
-                }
-                self.audit.record(now, order_id, Err(e));
-                self.store.reject(order_id, e);
-                return Err(e);
+        // The binding check dominates every path to settlement below —
+        // the authorization-flow pass proves this stays true.
+        if let Err(e) = self.check_order_binding(order_id, evidence) {
+            if let Some(journal) = &self.journal {
+                // Same WAL-before-effect discipline as the verify paths
+                // below: the terminal decision is durable before the
+                // audit log, store or caller see it.
+                let nonce = evidence
+                    .token()
+                    .map(|t| *t.nonce.as_bytes())
+                    .unwrap_or([0u8; 20]);
+                let receipt = journal.append_record(&JournalRecord::Settle {
+                    order_id,
+                    nonce,
+                    at: now,
+                    outcome: Err(e),
+                });
+                journal.sync_to(receipt.seq);
             }
+            self.audit.record(now, order_id, Err(e));
+            self.store.reject(order_id, e);
+            return Err(e);
         }
         let outcome = match &self.service {
             Some(service) => {

@@ -10,12 +10,14 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> utp-analyze (findings + measured TCB report vs baseline + dataflow coverage)"
+echo "==> utp-analyze (findings + TCB baseline + dataflow coverage + authz spec gate)"
 mkdir -p target
 cargo run -q -p utp-analyze -- --format json \
   --tcb-report target/tcb_report.json \
   --check-tcb-baseline scripts/tcb_report.json \
-  --dataflow-report target/analyze/dataflow_report.json
+  --dataflow-report target/analyze/dataflow_report.json \
+  --authz-report target/analyze/authz_report.json \
+  --check-authz-spec scripts/authz_spec.json
 
 echo "==> utp-analyze self-check (analyzer's own crate must be clean)"
 cargo run -q -p utp-analyze -- --root crates/analyze --format json > /dev/null
