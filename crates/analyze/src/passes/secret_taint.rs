@@ -59,7 +59,7 @@ use crate::cfg::{build_cfg, Role, Stmt};
 use crate::dataflow::{solve, JoinMap, Lattice};
 use crate::diag::Severity;
 use crate::graph::WorkspaceIndex;
-use crate::items::FnItem;
+use crate::items::{CallSite, FnItem};
 use crate::lexer::TokenKind;
 use crate::passes::{flow, Finding, Pass};
 use crate::source::SourceFile;
@@ -115,6 +115,24 @@ const TRACE_SINK_FNS: &[&str] = &["span", "event", "span_volatile", "event_volat
 /// Settlement-journal append sinks: the record payload is framed onto
 /// the WAL byte-for-byte and survives the process.
 const JOURNAL_SINK_METHODS: &[&str] = &["append_record", "install_snapshot"];
+
+/// Metrics/artifact emission sinks (`utp-obs`): registry registration
+/// carries label values and artifact pushes carry metric values, all of
+/// which are serialized verbatim into `BENCH_*.json` perf artifacts and
+/// the Prometheus-style exposition.
+const OBS_SINK_METHODS: &[&str] = &[
+    "counter",
+    "gauge",
+    "histogram",
+    "push_u64",
+    "push_f64",
+    "push_dist",
+    "push_hist",
+];
+
+/// Free-fn metrics sinks: the exposition renderer writes every metric
+/// name, label, and value of its artifacts into the `.prom` text.
+const OBS_SINK_FNS: &[&str] = &["render_exposition"];
 
 /// Files allowed to serialize key material (the sealing/wrapping
 /// boundary plus the key types' own codecs).
@@ -239,6 +257,7 @@ impl Pass for SecretTaint {
             }
             check_trace_sinks(file, ws.fn_item(idx), &scan_cx, fi, &mut out);
             check_journal_sinks(file, ws.fn_item(idx), &scan_cx, fi, &mut out);
+            check_obs_sinks(file, ws.fn_item(idx), &scan_cx, fi, &mut out);
         }
         out
     }
@@ -885,6 +904,63 @@ fn check_journal_sinks(
                         "secret `{ident}` flows into journal sink `{}` in `{}`; WAL \
                          frames are durable and outlive zeroization — journal a \
                          digest, a handle, or nothing",
+                        c.name, item.name
+                    ),
+                },
+            ));
+        }
+    }
+}
+
+/// Rule 6: tainted identifiers must not appear in the argument list of
+/// a metrics registration, artifact push, or exposition render. Runs
+/// workspace-wide — `utp-obs` serializes names, label values, and
+/// metric values verbatim into the checked-in `BENCH_*.json` artifacts
+/// and the Prometheus-style `.prom` text.
+fn check_obs_sinks(
+    file: &SourceFile,
+    item: &FnItem,
+    cx: &TaintCtx,
+    fi: usize,
+    out: &mut Vec<(usize, Finding)>,
+) {
+    let is_sink = |c: &CallSite| {
+        if c.is_method {
+            OBS_SINK_METHODS.contains(&c.name.as_str())
+        } else {
+            OBS_SINK_FNS.contains(&c.name.as_str())
+        }
+    };
+    if !item.calls.iter().any(is_sink) {
+        return;
+    }
+    let ft = fn_flow(file, item, cx);
+    for c in &item.calls {
+        if !is_sink(c) {
+            continue;
+        }
+        let args = &file.tokens[c.args.0..c.args.1];
+        let hit = args.iter().enumerate().find_map(|(j, t)| {
+            if t.kind != TokenKind::Ident || !ft.tainted_at(&t.text, c.args.0 + j) {
+                return None;
+            }
+            // `names::FOO`-style path qualifiers pick the metric name
+            // constant, not a value.
+            if args.get(j + 1).is_some_and(|n| n.is_punct("::")) {
+                return None;
+            }
+            Some(t.text.clone())
+        });
+        if let Some(ident) = hit {
+            out.push((
+                fi,
+                Finding {
+                    line: c.line,
+                    severity: Severity::Deny,
+                    message: format!(
+                        "secret `{ident}` flows into metrics sink `{}` in `{}`; metric \
+                         names, labels, and values are serialized into perf artifacts \
+                         and the exposition text — export a digest, a count, or nothing",
                         c.name, item.name
                     ),
                 },

@@ -21,6 +21,7 @@ const FORBIDDEN_CRATES: &[&str] = &[
     "utp_bench",
     "utp_journal",
     "utp_explore",
+    "utp_obs",
     "utp",
 ];
 

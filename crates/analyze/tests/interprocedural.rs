@@ -220,6 +220,32 @@ fn secret_taint_flags_journal_sink_outside_key_crates() {
     );
 }
 
+#[test]
+fn secret_taint_flags_obs_sinks_outside_key_crates() {
+    let analysis = analyze(&[("crates/server/src/obs_leak.rs", "taint/obs_leak.rs")]);
+    // Two findings: `session_key` as a label value in the registry
+    // registration and as the metric value of an artifact push. The
+    // `names::`-qualified path segment does not trip the scan, and the
+    // rule fires even though `crates/server` is outside the key crates.
+    assert_diags(
+        &analysis,
+        &[
+            (
+                "crates/server/src/obs_leak.rs",
+                9,
+                "secret-taint",
+                "secret `session_key` flows into metrics sink `counter` in `export_session`",
+            ),
+            (
+                "crates/server/src/obs_leak.rs",
+                13,
+                "secret-taint",
+                "secret `session_key` flows into metrics sink `push_u64` in `push_session`",
+            ),
+        ],
+    );
+}
+
 /// Flow-sensitive taint cases: a reassignment into a neutral-named
 /// buffer taints it (the old let-only scan missed this), a zeroized
 /// secret-named local is clean afterwards (the old name heuristic
@@ -324,6 +350,7 @@ fn golden_json_snapshot() {
         ("crates/tpm/src/leaky.rs", "taint/leaky.rs"),
         ("crates/tpm/src/trace_leak.rs", "taint/trace_leak.rs"),
         ("crates/server/src/journal_leak.rs", "taint/journal_leak.rs"),
+        ("crates/server/src/obs_leak.rs", "taint/obs_leak.rs"),
         ("crates/server/src/svc.rs", "locks/svc.rs"),
     ]);
     let findings = render_json(&analysis.diagnostics);

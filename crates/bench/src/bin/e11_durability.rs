@@ -1,5 +1,6 @@
 //! Prints the E11 tables (WAL group commit vs flush-per-record, and
-//! recovery time vs log length).
+//! recovery time vs log length) and drops the run's perf artifacts
+//! under `target/bench/`.
 use utp_bench::experiments::e11_durability as e11;
 
 fn main() {
@@ -11,4 +12,8 @@ fn main() {
             e11::best_speedup(&report, profile)
         );
     }
+    utp_bench::emit_artifacts(&e11::artifacts(
+        &report,
+        "records=2048 batches=1,4,16,64 logs=256,1024,4096",
+    ));
 }

@@ -1,9 +1,14 @@
 //! Prints the E12 tables (bounded adversarial exploration coverage and
-//! seeded-bug detection).
+//! seeded-bug detection) and drops the run's perf artifacts under
+//! `target/bench/`.
 use utp_bench::experiments::e12_explore as e12;
 
 fn main() {
     let report = e12::run(&[1, 2, 3], 2_000);
     println!("{}", e12::render(&report));
     assert!(e12::clean(&report), "real stack must be violation-free");
+    utp_bench::emit_artifacts(&e12::artifacts(
+        &report,
+        "depths=1,2,3 max_states=2000 seed=7 orders=2",
+    ));
 }

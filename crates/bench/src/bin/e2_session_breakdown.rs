@@ -1,6 +1,7 @@
 //! Prints the E2 table (trusted-session latency breakdown), the
 //! aggregate phase table, and one example session waterfall — all read
-//! from the run's flight recording.
+//! from the run's flight recording — and drops the run's perf
+//! artifacts under `target/bench/`.
 use utp_bench::experiments::e2_session_breakdown as e2;
 use utp_trace::report;
 
@@ -16,4 +17,5 @@ fn main() {
         println!("{}", report::waterfall(&records, &row.track));
         println!("{}", report::waterfall(&records, &row.tpm_track));
     }
+    utp_bench::emit_artifacts(&e2::artifacts(&out, "key_bits=1024"));
 }

@@ -1,7 +1,12 @@
-//! Prints the E4 table (server verification throughput).
+//! Prints the E4 table (server verification throughput) and drops the
+//! run's perf artifacts under `target/bench/`.
 use utp_bench::experiments::e4_server_throughput as e4;
 
 fn main() {
     let rows = e4::run(256, 1024, &[1, 2, 4, 8, 16]);
     println!("{}", e4::render(&rows));
+    utp_bench::emit_artifacts(&e4::artifacts(
+        &rows,
+        "jobs=256 key_bits=1024 threads=1,2,4,8,16",
+    ));
 }

@@ -1,7 +1,9 @@
-//! Prints the E8 ablation table (quote vs amortized MAC confirmation).
+//! Prints the E8 ablation table (quote vs amortized MAC confirmation)
+//! and drops the run's perf artifacts under `target/bench/`.
 use utp_bench::experiments::e8_amortized as e8;
 
 fn main() {
     let rows = e8::run(1024);
     println!("{}", e8::render(&rows));
+    utp_bench::emit_artifacts(&e8::artifacts(&rows, "key_bits=1024"));
 }

@@ -20,9 +20,9 @@ use crate::experiments::e4_server_throughput::{self as e4, ThroughputRow};
 use crate::table;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use utp_server::metrics::throughput;
+use utp_server::metrics::{throughput, ServiceStats};
 use utp_server::pipeline::verify_batch_parallel;
-use utp_server::service::{ServiceConfig, VerifierService};
+use utp_server::service::{ServiceConfig, SubmitError, VerifierService};
 use utp_trace::{keys, names, Export, LatencyHistogram, Recorder, Value};
 
 /// One (threads × shards) service measurement.
@@ -44,6 +44,22 @@ pub struct ServiceRow {
     pub wait: LatencyHistogram,
     /// Host-measured verification CPU, from `svc.job` records.
     pub verify: LatencyHistogram,
+    /// Full shutdown snapshot: per-shard settlement, per-worker
+    /// utilization, cache and overload counters, drain time.
+    pub stats: ServiceStats,
+}
+
+/// The overload scenario: a one-deep queue fed through the
+/// non-blocking submit path, so backpressure actually sheds.
+#[derive(Debug, Clone)]
+pub struct OverloadRow {
+    /// Evidence items eventually accepted into the queue.
+    pub submitted: usize,
+    /// Submissions bounced with `QueueFull` before acceptance
+    /// (host-scheduling dependent).
+    pub sheds: u64,
+    /// Shutdown snapshot of the overloaded service.
+    pub stats: ServiceStats,
 }
 
 /// The experiment output: legacy baseline rows plus service rows.
@@ -53,6 +69,8 @@ pub struct E10Report {
     pub legacy: Vec<ThroughputRow>,
     /// `VerifierService` at each thread × shard combination.
     pub service: Vec<ServiceRow>,
+    /// The deliberately overloaded run (queue depth 1, single worker).
+    pub overload: OverloadRow,
     /// Concatenated canonical JSONL exports (one block per service
     /// combination) — deterministic across identical runs.
     pub canonical_trace: String,
@@ -135,14 +153,141 @@ pub fn run(
                 cache_hit_rate: stats.cert_cache_hit_rate(),
                 wait,
                 verify,
+                stats,
             });
         }
     }
+    let overload = run_overload(&world);
     E10Report {
         legacy,
         service: service_rows,
+        overload,
         canonical_trace,
     }
+}
+
+/// Drives the whole workload through a queue of depth 1 on one worker
+/// via the non-blocking submit path, retrying each `QueueFull` bounce
+/// until the item lands. Every bounce increments the service's shed
+/// counter; the watermark and drain time come from the same snapshot.
+fn run_overload(world: &e4::ServerWorld) -> OverloadRow {
+    let mut config = ServiceConfig::new(1, 1);
+    config.trusted_pals = world.pals.clone();
+    config.queue_depth = 1;
+    let service = VerifierService::start(world.ca_key.clone(), config);
+    for request in &world.requests {
+        service.register(request, world.now);
+    }
+    let mut tickets = Vec::with_capacity(world.evidence.len());
+    let mut sheds = 0u64;
+    for evidence in &world.evidence {
+        loop {
+            match service.try_submit_evidence(evidence.clone(), world.now) {
+                Ok(t) => {
+                    tickets.push(t);
+                    break;
+                }
+                Err(SubmitError::QueueFull) => {
+                    sheds += 1;
+                    std::thread::yield_now();
+                }
+                Err(SubmitError::ShutDown) => unreachable!("service is alive"),
+            }
+        }
+    }
+    let submitted = tickets.len();
+    assert!(
+        tickets.into_iter().all(|t| t.wait().is_ok()),
+        "all evidence genuine"
+    );
+    let stats = service.shutdown();
+    assert_eq!(stats.jobs_shed, sheds, "shed counter matches bounces");
+    OverloadRow {
+        submitted,
+        sheds,
+        stats,
+    }
+}
+
+/// Flattens the report into its perf artifact pair. Job and per-shard
+/// settlement counts are fixed by the deterministic workload
+/// (canonical); elapsed times, throughput, cache hit rate, the
+/// wait/verify distributions, per-worker utilization, and the overload
+/// counters all depend on host scheduling (host class).
+pub fn artifacts(report: &E10Report, config: &str) -> utp_obs::ArtifactPair {
+    let mut pair = utp_obs::ArtifactPair::new("E10", config);
+    for r in &report.legacy {
+        let threads = r.threads.to_string();
+        let labels: &[(&str, &str)] = &[("pipeline", "batch"), ("threads", &threads)];
+        pair.canonical.push_u64("e10.jobs", labels, r.jobs as u64);
+        pair.host
+            .push_u64("e10.elapsed_ns", labels, r.elapsed.as_nanos() as u64);
+        pair.host.push_f64("e10.ops_per_sec", labels, r.ops_per_sec);
+    }
+    for r in &report.service {
+        let threads = r.threads.to_string();
+        let shards = r.shards.to_string();
+        let labels: &[(&str, &str)] = &[
+            ("pipeline", "service"),
+            ("threads", &threads),
+            ("shards", &shards),
+        ];
+        pair.canonical.push_u64("e10.jobs", labels, r.jobs as u64);
+        pair.canonical
+            .push_u64("e10.accepted", labels, r.stats.totals().accepted);
+        for (i, shard) in r.stats.shards.iter().enumerate() {
+            let idx = i.to_string();
+            pair.canonical.push_u64(
+                "e10.shard_accepted",
+                &[
+                    ("pipeline", "service"),
+                    ("threads", &threads),
+                    ("shards", &shards),
+                    ("shard", &idx),
+                ],
+                shard.accepted,
+            );
+        }
+        for (i, jobs) in r.stats.worker_jobs.iter().enumerate() {
+            let idx = i.to_string();
+            pair.host.push_u64(
+                "e10.worker_jobs",
+                &[
+                    ("pipeline", "service"),
+                    ("threads", &threads),
+                    ("shards", &shards),
+                    ("worker", &idx),
+                ],
+                *jobs,
+            );
+        }
+        pair.host
+            .push_u64("e10.elapsed_ns", labels, r.elapsed.as_nanos() as u64);
+        pair.host.push_f64("e10.ops_per_sec", labels, r.ops_per_sec);
+        pair.host
+            .push_f64("e10.cache_hit_rate", labels, r.cache_hit_rate);
+        pair.host.push_hist("e10.wait_ns", labels, &r.wait);
+        pair.host.push_hist("e10.verify_ns", labels, &r.verify);
+    }
+    let o = &report.overload;
+    pair.canonical
+        .push_u64("e10.overload.submitted", &[], o.submitted as u64);
+    pair.canonical
+        .push_u64("e10.overload.accepted", &[], o.stats.totals().accepted);
+    pair.host.push_u64("e10.overload.sheds", &[], o.sheds);
+    pair.host
+        .push_f64("e10.overload.shed_rate", &[], o.stats.shed_rate());
+    pair.host.push_u64(
+        "e10.overload.queue_depth_watermark",
+        &[],
+        o.stats.queue_depth_watermark,
+    );
+    pair.host.push_u64(
+        "e10.overload.drain_ns",
+        &[],
+        o.stats.drain_time.as_nanos() as u64,
+    );
+    pair
 }
 
 /// Renders the E10 table: legacy rows first (no shards, no cache, no
@@ -181,7 +326,7 @@ pub fn render(report: &E10Report) -> String {
             format!("{:.1}", r.verify.p50().as_secs_f64() * 1e6),
         ]
     }));
-    table::render(
+    let mut out = table::render(
         "E10 - VerifierService vs one-shot batch pipeline (host-measured, from utp-trace)",
         &[
             "pipeline",
@@ -196,7 +341,18 @@ pub fn render(report: &E10Report) -> String {
             "cpu p50(us)",
         ],
         &rows,
-    )
+    );
+    let o = &report.overload;
+    out.push_str(&format!(
+        "overload (queue=1, 1 worker): submitted={} sheds={} shed-rate={:.2} \
+         queue-watermark={} drain={}\n",
+        o.submitted,
+        o.sheds,
+        o.stats.shed_rate(),
+        o.stats.queue_depth_watermark,
+        table::ms(o.stats.drain_time),
+    ));
+    out
 }
 
 #[cfg(test)]
@@ -235,6 +391,21 @@ mod tests {
         let report = run(16, 512, &[1, 2], &[1, 2]);
         assert_eq!(report.legacy.len(), 2);
         assert_eq!(report.service.len(), 4);
+    }
+
+    #[test]
+    fn overload_scenario_settles_everything_and_snapshots_counters() {
+        let report = run(12, 512, &[1], &[1]);
+        let o = &report.overload;
+        assert_eq!(o.submitted, 12, "every item eventually lands");
+        assert_eq!(o.stats.totals().accepted, 12);
+        assert_eq!(o.stats.jobs_shed, o.sheds);
+        assert!(o.stats.queue_depth_watermark >= 1);
+        assert!(o.stats.drain_time > Duration::ZERO);
+        // The per-combination rows carry their shutdown snapshot too.
+        let row = &report.service[0];
+        assert_eq!(row.stats.totals().accepted as usize, row.jobs);
+        assert_eq!(row.stats.worker_jobs.iter().sum::<u64>() as usize, row.jobs);
     }
 
     #[test]

@@ -179,6 +179,60 @@ pub fn run(records_n: usize, batch_sizes: &[usize], log_lengths: &[usize]) -> E1
     E11Report { commit, recovery }
 }
 
+/// Flattens the report into its perf artifact pair. E11 runs entirely
+/// on the virtual device timeline, so everything — including the
+/// group-commit amortization ratio and ack-latency distributions — is
+/// canonical and byte-identical across runs; the host artifact stays
+/// empty.
+pub fn artifacts(report: &E11Report, config: &str) -> utp_obs::ArtifactPair {
+    let mut pair = utp_obs::ArtifactPair::new("E11", config);
+    for r in &report.commit {
+        let batch = r.group_commit.to_string();
+        let labels: &[(&str, &str)] = &[("device", r.profile), ("batch", &batch)];
+        pair.canonical
+            .push_u64("e11.records", labels, r.records as u64);
+        pair.canonical.push_u64(
+            "e11.device_time_ns",
+            labels,
+            r.device_time.as_nanos() as u64,
+        );
+        pair.canonical
+            .push_f64("e11.records_per_sec", labels, r.records_per_sec);
+        pair.canonical.push_u64("e11.syncs", labels, r.syncs);
+        pair.canonical.push_hist("e11.ack_ns", labels, &r.ack);
+    }
+    for profile in ["nvme", "ssd", "hdd"] {
+        // The amortization ratio needs the flush-per-record baseline row.
+        if report
+            .commit
+            .iter()
+            .any(|r| r.profile == profile && r.group_commit == 1)
+        {
+            pair.canonical.push_f64(
+                "e11.best_speedup",
+                &[("device", profile)],
+                best_speedup(report, profile),
+            );
+        }
+    }
+    for r in &report.recovery {
+        let records = r.records.to_string();
+        let labels: &[(&str, &str)] = &[
+            ("history", &records),
+            ("snapshot", if r.snapshot { "midpoint" } else { "none" }),
+        ];
+        pair.canonical
+            .push_u64("e11.log_bytes", labels, r.log_bytes as u64);
+        pair.canonical.push_u64("e11.replayed", labels, r.replayed);
+        pair.canonical.push_u64(
+            "e11.recovery_time_ns",
+            labels,
+            r.recovery_time.as_nanos() as u64,
+        );
+    }
+    pair
+}
+
 /// Speedup of the best batch size over flush-per-record on `profile`.
 pub fn best_speedup(report: &E11Report, profile: &str) -> f64 {
     let rows: Vec<&CommitRow> = report

@@ -158,6 +158,43 @@ pub fn run(depths: &[usize], max_states: usize) -> Report {
     }
 }
 
+/// Flattens the report into its perf artifact pair. Exploration is
+/// deterministic — states, pruning, checks, violation counts, and the
+/// shrunk schedule lengths are all canonical; only checks-per-second
+/// prices the host CPU.
+pub fn artifacts(report: &Report, config: &str) -> utp_obs::ArtifactPair {
+    let mut pair = utp_obs::ArtifactPair::new("E12", config);
+    for r in &report.coverage {
+        let depth = r.max_depth.to_string();
+        let labels: &[(&str, &str)] = &[("strategy", r.strategy), ("depth", &depth)];
+        pair.canonical.push_u64("e12.states", labels, r.states);
+        pair.canonical.push_u64("e12.pruned", labels, r.pruned);
+        pair.canonical
+            .push_u64("e12.deepest", labels, r.deepest as u64);
+        pair.canonical.push_u64("e12.checks", labels, r.checks);
+        pair.canonical
+            .push_u64("e12.violations", labels, r.violations as u64);
+        pair.canonical.push_u64(
+            "e12.budget_exhausted",
+            labels,
+            u64::from(r.budget_exhausted),
+        );
+        pair.host
+            .push_f64("e12.checks_per_sec", labels, r.checks_per_sec);
+    }
+    for r in &report.detection {
+        let labels: &[(&str, &str)] = &[("shim", r.shim)];
+        pair.canonical
+            .push_u64("e12.found_len", labels, r.found_len as u64);
+        pair.canonical.push_u64(
+            "e12.minimal_len",
+            labels,
+            r.minimal.split(" | ").count() as u64,
+        );
+    }
+    pair
+}
+
 /// Renders both E12 tables.
 pub fn render(report: &Report) -> String {
     let coverage_rows: Vec<Vec<String>> = report

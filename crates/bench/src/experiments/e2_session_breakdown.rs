@@ -136,6 +136,45 @@ pub fn machine_only(records: &[TraceRecord], track: &str) -> Duration {
     total(records, track).saturating_sub(phase(records, track, names::SESSION_HUMAN))
 }
 
+/// Flattens the run into its perf artifact pair: every phase duration
+/// per vendor × mode in nanoseconds of virtual time, plus the derived
+/// totals. E2 runs entirely on the virtual clock, so the host artifact
+/// stays empty and the canonical one is byte-identical across runs.
+pub fn artifacts(output: &E2Output, config: &str) -> utp_obs::ArtifactPair {
+    let mut pair = utp_obs::ArtifactPair::new("E2", config);
+    let records = output.recorder.records();
+    for r in &output.rows {
+        let vendor = r.vendor.name();
+        let mode = format!("{:?}", r.mode);
+        for (key, name) in [
+            ("suspend", names::SESSION_SUSPEND),
+            ("skinit", names::SESSION_SKINIT),
+            ("pal", names::SESSION_PAL),
+            ("human", names::SESSION_HUMAN),
+            ("attest", names::SESSION_ATTEST),
+            ("resume", names::SESSION_RESUME),
+        ] {
+            pair.canonical.push_u64(
+                "e2.phase_ns",
+                &[("vendor", vendor), ("mode", &mode), ("phase", key)],
+                phase(&records, &r.track, name).as_nanos() as u64,
+            );
+        }
+        let labels: &[(&str, &str)] = &[("vendor", vendor), ("mode", &mode)];
+        pair.canonical.push_u64(
+            "e2.total_ns",
+            labels,
+            total(&records, &r.track).as_nanos() as u64,
+        );
+        pair.canonical.push_u64(
+            "e2.machine_only_ns",
+            labels,
+            machine_only(&records, &r.track).as_nanos() as u64,
+        );
+    }
+    pair
+}
+
 /// Renders the E2 table from the flight recording.
 pub fn render(output: &E2Output) -> String {
     let records = output.recorder.records();

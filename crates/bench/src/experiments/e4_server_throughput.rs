@@ -127,6 +127,22 @@ pub fn run(jobs_n: usize, key_bits: usize, thread_counts: &[usize]) -> Vec<Throu
         .collect()
 }
 
+/// Flattens the rows into their perf artifact pair. Job counts are
+/// virtual-class (fixed by the workload); elapsed time and throughput
+/// are genuine host measurements and land in the host artifact.
+pub fn artifacts(rows: &[ThroughputRow], config: &str) -> utp_obs::ArtifactPair {
+    let mut pair = utp_obs::ArtifactPair::new("E4", config);
+    for r in rows {
+        let threads = r.threads.to_string();
+        let labels: &[(&str, &str)] = &[("threads", &threads)];
+        pair.canonical.push_u64("e4.jobs", labels, r.jobs as u64);
+        pair.host
+            .push_u64("e4.elapsed_ns", labels, r.elapsed.as_nanos() as u64);
+        pair.host.push_f64("e4.ops_per_sec", labels, r.ops_per_sec);
+    }
+    pair
+}
+
 /// Renders the E4 table.
 pub fn render(rows: &[ThroughputRow]) -> String {
     table::render(

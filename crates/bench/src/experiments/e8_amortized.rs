@@ -109,6 +109,38 @@ pub fn run(key_bits: usize) -> Vec<AmortizedRow> {
         .collect()
 }
 
+/// Flattens the rows into their perf artifact pair. Session times ride
+/// the virtual clock (canonical, exact); the two server-CPU columns
+/// are real host measurements (host class).
+pub fn artifacts(rows: &[AmortizedRow], config: &str) -> utp_obs::ArtifactPair {
+    let mut pair = utp_obs::ArtifactPair::new("E8", config);
+    for r in rows {
+        let labels: &[(&str, &str)] = &[("vendor", r.vendor.name())];
+        pair.canonical
+            .push_u64("e8.quote_mode_ns", labels, r.quote_mode.as_nanos() as u64);
+        pair.canonical.push_u64(
+            "e8.amortized_mode_ns",
+            labels,
+            r.amortized_mode.as_nanos() as u64,
+        );
+        pair.canonical
+            .push_u64("e8.setup_ns", labels, r.setup_cost.as_nanos() as u64);
+        pair.canonical
+            .push_u64("e8.break_even_tx", labels, r.break_even_transactions());
+        pair.host.push_u64(
+            "e8.server_cpu_quote_ns",
+            labels,
+            r.server_cpu_quote.as_nanos() as u64,
+        );
+        pair.host.push_u64(
+            "e8.server_cpu_amortized_ns",
+            labels,
+            r.server_cpu_amortized.as_nanos() as u64,
+        );
+    }
+    pair
+}
+
 /// Renders the E8 table.
 pub fn render(rows: &[AmortizedRow]) -> String {
     table::render(

@@ -11,3 +11,24 @@
 
 pub mod experiments;
 pub mod table;
+
+/// Where the experiment bins drop their perf artifacts (relative to the
+/// workspace root the bins are run from).
+pub const ARTIFACT_DIR: &str = "target/bench";
+
+/// Writes an experiment's artifact pair into [`ARTIFACT_DIR`] and notes
+/// the written paths on **stderr** — stdout is reserved for the tables
+/// that `scripts/record_experiments.sh` splices into EXPERIMENTS.md.
+pub fn emit_artifacts(pair: &utp_obs::ArtifactPair) {
+    match pair.write(std::path::Path::new(ARTIFACT_DIR)) {
+        Ok(paths) => {
+            for p in paths {
+                eprintln!("wrote {}", p.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("failed to write perf artifacts: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Two-run byte-identity of every experiment's canonical perf
+//! artifact, at small configurations (512-bit keys, reduced sweeps).
+//!
+//! The gate holds canonical (`class=virtual`) artifacts to zero drift,
+//! so these tests are the contract that makes that tolerance sound:
+//! run the experiment twice, serialize both canonical artifacts, and
+//! require byte equality. Host artifacts carry wall-clock noise by
+//! design and are only checked for schema round-tripping here.
+
+use utp_bench::experiments::{
+    e10_service as e10, e11_durability as e11, e12_explore as e12, e2_session_breakdown as e2,
+    e4_server_throughput as e4, e8_amortized as e8,
+};
+use utp_obs::{Artifact, ArtifactPair};
+
+/// Asserts the canonical artifact is byte-identical across two runs
+/// and that both halves of the pair survive a JSON round trip.
+fn assert_deterministic(a: &ArtifactPair, b: &ArtifactPair) {
+    assert!(
+        !a.canonical.metrics.is_empty(),
+        "{}: canonical artifact must not be empty",
+        a.canonical.experiment
+    );
+    assert_eq!(
+        a.canonical.to_json(),
+        b.canonical.to_json(),
+        "{}: canonical artifact drifted between identical runs",
+        a.canonical.experiment
+    );
+    for artifact in [&a.canonical, &a.host] {
+        let parsed = Artifact::from_json(&artifact.to_json()).expect("round trip parses");
+        assert_eq!(
+            parsed.to_json(),
+            artifact.to_json(),
+            "{}: re-serialization not byte-equal",
+            artifact.experiment
+        );
+    }
+}
+
+#[test]
+fn e2_canonical_artifact_is_byte_identical() {
+    let config = "key_bits=512";
+    let a = e2::artifacts(&e2::run(512), config);
+    let b = e2::artifacts(&e2::run(512), config);
+    assert_deterministic(&a, &b);
+}
+
+#[test]
+fn e4_canonical_artifact_is_byte_identical() {
+    let config = "jobs=16 key_bits=512 threads=1,2";
+    let a = e4::artifacts(&e4::run(16, 512, &[1, 2]), config);
+    let b = e4::artifacts(&e4::run(16, 512, &[1, 2]), config);
+    assert_deterministic(&a, &b);
+    assert!(
+        !a.host.metrics.is_empty(),
+        "E4's elapsed/ops metrics are host-class"
+    );
+}
+
+#[test]
+fn e8_canonical_artifact_is_byte_identical() {
+    let config = "key_bits=512";
+    let a = e8::artifacts(&e8::run(512), config);
+    let b = e8::artifacts(&e8::run(512), config);
+    assert_deterministic(&a, &b);
+}
+
+#[test]
+fn e10_canonical_artifact_is_byte_identical() {
+    let config = "jobs=16 key_bits=512 threads=1,2 shards=1,2";
+    let a = e10::artifacts(&e10::run(16, 512, &[1, 2], &[1, 2]), config);
+    let b = e10::artifacts(&e10::run(16, 512, &[1, 2], &[1, 2]), config);
+    assert_deterministic(&a, &b);
+    assert!(
+        !a.host.metrics.is_empty(),
+        "E10's latency distributions are host-class"
+    );
+}
+
+#[test]
+fn e11_canonical_artifact_is_byte_identical() {
+    let config = "records=128 batches=1,16 logs=128";
+    let a = e11::artifacts(&e11::run(128, &[1, 16], &[128]), config);
+    let b = e11::artifacts(&e11::run(128, &[1, 16], &[128]), config);
+    assert_deterministic(&a, &b);
+    assert!(
+        a.host.metrics.is_empty(),
+        "E11 is fully virtual: no host metrics"
+    );
+}
+
+#[test]
+fn e12_canonical_artifact_is_byte_identical() {
+    let config = "depths=1 max_states=500 seed=7 orders=2";
+    let a = e12::artifacts(&e12::run(&[1], 500), config);
+    let b = e12::artifacts(&e12::run(&[1], 500), config);
+    assert_deterministic(&a, &b);
+}

@@ -1,0 +1,209 @@
+//! `utp-obs` — the perf-regression gate CLI.
+//!
+//! ```text
+//! utp-obs gate   [--baselines DIR] [--artifacts DIR] [--warn-host]
+//! utp-obs update [--baselines DIR] [--artifacts DIR]
+//! ```
+//!
+//! `gate` compares every checked-in baseline under `--baselines`
+//! (default `scripts/bench_baseline`) against the artifact of the same
+//! file name under `--artifacts` (default `target/bench`) and exits
+//! non-zero on any out-of-tolerance metric, printing a per-metric
+//! diff. With `--warn-host`, host-class regressions (wall-clock
+//! numbers, machine-dependent) are reported but don't fail the gate —
+//! the mode `scripts/check.sh` and per-PR CI run in; the nightly CI
+//! job runs strict. `update` re-records every baseline from the
+//! current artifacts, keeping hand-tuned tolerances for metrics that
+//! already existed.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use utp_obs::{compare, Artifact, Baseline, Class};
+
+const USAGE: &str =
+    "usage: utp-obs <gate|update> [--baselines DIR] [--artifacts DIR] [--warn-host]";
+
+struct Options {
+    baselines: PathBuf,
+    artifacts: PathBuf,
+    warn_host: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        baselines: PathBuf::from("scripts/bench_baseline"),
+        artifacts: PathBuf::from("target/bench"),
+        warn_host: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baselines" => {
+                opts.baselines = PathBuf::from(it.next().ok_or("--baselines needs a DIR")?);
+            }
+            "--artifacts" => {
+                opts.artifacts = PathBuf::from(it.next().ok_or("--artifacts needs a DIR")?);
+            }
+            "--warn-host" => opts.warn_host = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// `BENCH_*.json` files in `dir`, sorted by name for stable output.
+fn artifact_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory `{}`: {e}", dir.display()))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            name.starts_with("BENCH_") && name.ends_with(".json")
+        })
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{}`: {e}", path.display()))
+}
+
+fn run_gate(opts: &Options) -> Result<bool, String> {
+    let baselines = artifact_files(&opts.baselines)?;
+    if baselines.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json baselines under `{}`",
+            opts.baselines.display()
+        ));
+    }
+    let mut failures = 0usize;
+    let mut warnings = 0usize;
+    let mut compared = 0usize;
+    for bpath in &baselines {
+        let baseline = Baseline::from_json(&read(bpath)?)
+            .map_err(|e| format!("bad baseline `{}`: {e}", bpath.display()))?;
+        let demote = opts.warn_host && baseline.class == Class::Host;
+        let tag = |is_warn: bool| if is_warn { "[warn]" } else { "[FAIL]" };
+        let name = bpath
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?")
+            .to_string();
+        let apath = opts.artifacts.join(&name);
+        if !apath.exists() {
+            println!(
+                "{} {name}: artifact `{}` missing — run the experiment bins first",
+                tag(demote),
+                apath.display()
+            );
+            if demote {
+                warnings += 1;
+            } else {
+                failures += 1;
+            }
+            continue;
+        }
+        let artifact = Artifact::from_json(&read(&apath)?)
+            .map_err(|e| format!("bad artifact `{}`: {e}", apath.display()))?;
+        let report = compare(&baseline, &artifact);
+        compared += 1;
+        for diff in &report.diffs {
+            println!(
+                "{} {}/{} {}: {}",
+                tag(demote),
+                report.experiment,
+                report.class.as_str(),
+                diff.metric,
+                diff.detail
+            );
+            if demote {
+                warnings += 1;
+            } else {
+                failures += 1;
+            }
+        }
+        for note in &report.notes {
+            println!(
+                "[note] {}/{}: {note}",
+                report.experiment,
+                report.class.as_str()
+            );
+        }
+    }
+    println!(
+        "perf gate: {compared} artifact(s) compared against {} baseline(s): \
+         {failures} failure(s), {warnings} warning(s)",
+        baselines.len()
+    );
+    Ok(failures == 0)
+}
+
+fn run_update(opts: &Options) -> Result<(), String> {
+    let artifacts = artifact_files(&opts.artifacts)?;
+    if artifacts.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json artifacts under `{}` — run the experiment bins first",
+            opts.artifacts.display()
+        ));
+    }
+    std::fs::create_dir_all(&opts.baselines)
+        .map_err(|e| format!("cannot create `{}`: {e}", opts.baselines.display()))?;
+    for apath in &artifacts {
+        let artifact = Artifact::from_json(&read(apath)?)
+            .map_err(|e| format!("bad artifact `{}`: {e}", apath.display()))?;
+        let mut baseline = Baseline::from_artifact(&artifact);
+        let name = apath
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("?")
+            .to_string();
+        let bpath = opts.baselines.join(&name);
+        if bpath.exists() {
+            if let Ok(old) = Baseline::from_json(&read(&bpath)?) {
+                baseline.inherit_tolerances(&old);
+            }
+        }
+        std::fs::write(&bpath, baseline.to_json())
+            .map_err(|e| format!("cannot write `{}`: {e}", bpath.display()))?;
+        println!("recorded {}", bpath.display());
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let opts = match parse_options(rest) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("utp-obs: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match cmd.as_str() {
+        "gate" => match run_gate(&opts) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("utp-obs: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "update" => match run_update(&opts) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("utp-obs: {e}");
+                ExitCode::from(2)
+            }
+        },
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Prometheus-style text exposition of artifacts, for human eyes.
+//!
+//! The canonical machine format is the JSON artifact; this renderer
+//! exists so `less target/bench/BENCH_E10.prom` answers "what did the
+//! run measure" without tooling. Names are flattened to the usual
+//! `[a-zA-Z0-9_]` identifier alphabet, every series carries
+//! `class="virtual|host"`, and distributions expand into `_count`,
+//! `_sum`, and `{quantile="..."}` series like a Prometheus summary.
+
+use crate::artifact::{Artifact, MetricValue};
+
+/// Maps a dotted metric name onto the exposition identifier alphabet.
+fn flat_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn label_block(
+    artifact: &Artifact,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+) -> String {
+    let mut parts = vec![format!("class=\"{}\"", artifact.class.as_str())];
+    for (k, v) in labels {
+        parts.push(format!(
+            "{}=\"{}\"",
+            flat_name(k),
+            v.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+    }
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{v}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Renders the artifacts as exposition text, one block per artifact.
+pub fn render_exposition(artifacts: &[&Artifact]) -> String {
+    let mut out = String::new();
+    for artifact in artifacts {
+        out.push_str(&format!(
+            "# experiment {} class {} config {}\n",
+            artifact.experiment,
+            artifact.class.as_str(),
+            artifact.config
+        ));
+        let mut sorted: Vec<_> = artifact.metrics.iter().collect();
+        sorted.sort_by(|a, b| a.id.cmp(&b.id));
+        for m in sorted {
+            let name = flat_name(&m.id.name);
+            match &m.value {
+                MetricValue::U64(v) => {
+                    out.push_str(&format!(
+                        "{name}{} {v}\n",
+                        label_block(artifact, &m.id.labels, None)
+                    ));
+                }
+                MetricValue::F64(v) => {
+                    out.push_str(&format!(
+                        "{name}{} {v:?}\n",
+                        label_block(artifact, &m.id.labels, None)
+                    ));
+                }
+                MetricValue::Dist(d) => {
+                    out.push_str(&format!(
+                        "{name}_count{} {}\n",
+                        label_block(artifact, &m.id.labels, None),
+                        d.count
+                    ));
+                    out.push_str(&format!(
+                        "{name}_sum{} {}\n",
+                        label_block(artifact, &m.id.labels, None),
+                        d.sum
+                    ));
+                    for (q, v) in [
+                        ("0", d.min),
+                        ("0.5", d.p50),
+                        ("0.9", d.p90),
+                        ("0.99", d.p99),
+                        ("0.999", d.p999),
+                        ("1", d.max),
+                    ] {
+                        out.push_str(&format!(
+                            "{name}{} {v}\n",
+                            label_block(artifact, &m.id.labels, Some(("quantile", q)))
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::Class;
+    use utp_trace::LatencyHistogram;
+
+    #[test]
+    fn renders_scalars_and_summaries() {
+        let mut a = Artifact::new("E9", Class::Virtual, "n=1");
+        a.push_u64("e9.jobs", &[("shard", "0")], 4);
+        let mut h = LatencyHistogram::new();
+        h.record_ns(1_000);
+        a.push_hist("e9.lat.ns", &[], &h);
+        let text = render_exposition(&[&a]);
+        assert!(text.starts_with("# experiment E9 class virtual config n=1\n"));
+        assert!(text.contains("e9_jobs{class=\"virtual\",shard=\"0\"} 4\n"));
+        assert!(text.contains("e9_lat_ns_count{class=\"virtual\"} 1\n"));
+        assert!(text.contains("e9_lat_ns{class=\"virtual\",quantile=\"0.999\"}"));
+    }
+
+    #[test]
+    fn label_values_escape_quotes() {
+        let mut a = Artifact::new("E9", Class::Host, "n=1");
+        a.push_u64("m", &[("k", "a\"b")], 1);
+        assert!(render_exposition(&[&a]).contains("k=\"a\\\"b\""));
+    }
+}

@@ -1,0 +1,53 @@
+//! Workspace-wide observability: a labeled metrics registry, canonical
+//! machine-readable perf artifacts, and a perf-regression gate.
+//!
+//! The crate has three layers, mirroring the tracing substrate's
+//! split between deterministic and host-measured data:
+//!
+//! * [`metrics`] — the lock-free primitive cells ([`Counter`],
+//!   [`Gauge`] with a persistent high-watermark, [`Summary`] with a
+//!   p999 tail) that the verification service, journal, and explorer
+//!   bump on their hot paths. These moved here from
+//!   `utp-server::metrics` so every crate can share them.
+//! * [`registry`] — a labeled [`MetricsRegistry`] that names those
+//!   cells (`name{label=value}`), hands out `Arc` handles whose
+//!   increments never take the registry lock, and exports
+//!   deterministic, sorted [`MetricsSnapshot`]s on the virtual clock.
+//! * [`artifact`] / [`gate`] — the schema-versioned `BENCH_<exp>.json`
+//!   artifact format every experiment bin emits, a Prometheus-style
+//!   text [`expo`]sition renderer for human inspection, and the
+//!   baseline comparator behind `utp-obs gate`.
+//!
+//! # Determinism contract
+//!
+//! Every metric is classified [`Class::Virtual`] or [`Class::Host`].
+//! Virtual metrics derive from the simulation's virtual clock and
+//! seeded randomness, so their values — and the canonical
+//! `BENCH_<exp>.json` carrying them — are byte-identical across runs
+//! *and machines*; the gate holds them to zero drift. Host metrics
+//! (wall-clock throughput, real queue waits) live in the separate
+//! `BENCH_<exp>.host.json` and get loose tolerance bands. This is the
+//! same canonical/volatile split `utp-trace` applies to its exports.
+//!
+//! Like the tracing crate, none of this code may be linked into the
+//! TCB: the `tcb-boundary` analyzer pass forbids `utp_obs` imports
+//! from attested code, and the `secret-taint` pass treats the
+//! registry/artifact writers as serialization sinks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod expo;
+pub mod gate;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+
+pub use artifact::{Artifact, ArtifactPair, Class, Dist, Metric, MetricValue, SCHEMA};
+pub use expo::render_exposition;
+pub use gate::{compare, Baseline, BaselineMetric, GateDiff, GateReport, BASELINE_SCHEMA};
+pub use metrics::{throughput, Counter, Gauge, Summary};
+pub use registry::{
+    HistogramCell, MetricId, MetricsRegistry, MetricsSnapshot, Sample, SampleValue,
+};

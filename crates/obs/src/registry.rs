@@ -1,0 +1,360 @@
+//! The labeled metrics registry: named cells, `Arc` handles, and
+//! deterministic snapshots.
+//!
+//! Registration takes the registry lock once per metric; the returned
+//! handles are plain atomics (or a mutex-guarded histogram whose
+//! critical section is one bucket increment), so the hot paths match
+//! the trace recorder's discipline — no lock is held while counting.
+//! Snapshots iterate a `BTreeMap` keyed by [`MetricId`], so export
+//! order is the sorted label order, independent of registration order
+//! or thread interleaving.
+
+use crate::artifact::{Artifact, Dist};
+use crate::metrics::{Counter, Gauge};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+use utp_trace::LatencyHistogram;
+
+/// A metric's identity: a dotted name plus sorted `key=value` labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricId {
+    /// Dotted metric name (`svc.jobs_shed`).
+    pub name: String,
+    /// Label set, sorted by key (then value).
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// Builds an id, sorting the labels into canonical order.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricId {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Renders as `name{k=v,...}` (or bare `name` without labels).
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let body: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!("{}{{{}}}", self.name, body.join(","))
+    }
+}
+
+/// A mutex-guarded log-scale histogram cell. The lock is per-cell and
+/// held for one bucket increment, never across other work.
+#[derive(Debug)]
+pub struct HistogramCell {
+    hist: Mutex<LatencyHistogram>,
+}
+
+impl HistogramCell {
+    /// An empty cell.
+    pub fn new() -> HistogramCell {
+        HistogramCell {
+            hist: Mutex::new(LatencyHistogram::new()),
+        }
+    }
+
+    /// Records one duration sample.
+    pub fn record(&self, d: Duration) {
+        self.hist.lock().record(d);
+    }
+
+    /// Records one raw-nanosecond sample.
+    pub fn record_ns(&self, ns: u64) {
+        self.hist.lock().record_ns(ns);
+    }
+
+    /// Folds a whole pre-built histogram in (per-worker merge).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        self.hist.lock().merge(other);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> LatencyHistogram {
+        self.hist.lock().clone()
+    }
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        HistogramCell::new()
+    }
+}
+
+enum Cell {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<HistogramCell>),
+}
+
+impl Cell {
+    fn kind(&self) -> &'static str {
+        match self {
+            Cell::Counter(_) => "counter",
+            Cell::Gauge(_) => "gauge",
+            Cell::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A registry of named, labeled metric cells.
+///
+/// `counter`/`gauge`/`histogram` return the existing cell when the
+/// same id is registered twice (two shards sharing a total), and
+/// panic if the id was already registered as a different kind — that
+/// is a programming error, not load-time data.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    cells: Mutex<BTreeMap<MetricId, Cell>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            cells: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Registers (or re-fetches) a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let id = MetricId::new(name, labels);
+        // Pre-rendered outside the lock so the mismatch panic below
+        // allocates nothing while the guard is held.
+        let rendered = id.render();
+        let mut cells = self.cells.lock();
+        match cells
+            .entry(id)
+            .or_insert_with(|| Cell::Counter(Arc::new(Counter::new())))
+        {
+            Cell::Counter(c) => Arc::clone(c),
+            other => panic!(
+                "metric `{rendered}` already registered as a {}, not a counter",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Registers (or re-fetches) a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let id = MetricId::new(name, labels);
+        let rendered = id.render();
+        let mut cells = self.cells.lock();
+        match cells
+            .entry(id)
+            .or_insert_with(|| Cell::Gauge(Arc::new(Gauge::new())))
+        {
+            Cell::Gauge(g) => Arc::clone(g),
+            other => panic!(
+                "metric `{rendered}` already registered as a {}, not a gauge",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Registers (or re-fetches) a log-scale latency histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<HistogramCell> {
+        let id = MetricId::new(name, labels);
+        let rendered = id.render();
+        let mut cells = self.cells.lock();
+        match cells
+            .entry(id)
+            .or_insert_with(|| Cell::Histogram(Arc::new(HistogramCell::new())))
+        {
+            Cell::Histogram(h) => Arc::clone(h),
+            other => panic!(
+                "metric `{rendered}` already registered as a {}, not a histogram",
+                other.kind()
+            ),
+        }
+    }
+
+    /// Number of registered cells.
+    pub fn len(&self) -> usize {
+        self.cells.lock().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.cells.lock().is_empty()
+    }
+
+    /// A deterministic point-in-time export: samples sorted by
+    /// [`MetricId`], stamped with the caller's *virtual* clock reading
+    /// (never the host clock — that would break byte-reproducibility).
+    /// Gauge watermarks are read non-destructively; see
+    /// [`Gauge::reset_watermark`](crate::metrics::Gauge::reset_watermark).
+    pub fn snapshot(&self, at: Duration) -> MetricsSnapshot {
+        // Clone the (cheap, `Arc`) handles under the registry lock,
+        // then read each cell after dropping it — reading a histogram
+        // takes the per-cell lock, and nesting that under the registry
+        // lock would invert against registration paths.
+        let handles: Vec<(MetricId, Cell)> = {
+            let cells = self.cells.lock();
+            cells
+                .iter()
+                .map(|(id, cell)| {
+                    let cell = match cell {
+                        Cell::Counter(c) => Cell::Counter(Arc::clone(c)),
+                        Cell::Gauge(g) => Cell::Gauge(Arc::clone(g)),
+                        Cell::Histogram(h) => Cell::Histogram(Arc::clone(h)),
+                    };
+                    (id.clone(), cell)
+                })
+                .collect()
+        };
+        let samples = handles
+            .into_iter()
+            .map(|(id, cell)| Sample {
+                id,
+                value: match cell {
+                    Cell::Counter(c) => SampleValue::Counter(c.get()),
+                    Cell::Gauge(g) => SampleValue::Gauge {
+                        level: g.get(),
+                        watermark: g.watermark(),
+                    },
+                    Cell::Histogram(h) => SampleValue::Dist(Dist::of(&h.snapshot())),
+                },
+            })
+            .collect();
+        MetricsSnapshot { at, samples }
+    }
+}
+
+/// One exported metric reading.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The metric's identity.
+    pub id: MetricId,
+    /// The reading.
+    pub value: SampleValue,
+}
+
+/// The value part of a [`Sample`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Instantaneous level plus the persistent high-watermark.
+    Gauge {
+        /// Level at snapshot time.
+        level: u64,
+        /// Highest level observed (survives the export).
+        watermark: u64,
+    },
+    /// Log-scale latency distribution.
+    Dist(Dist),
+}
+
+/// A sorted point-in-time export of a registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Virtual-clock reading the caller stamped the export with.
+    pub at: Duration,
+    /// Samples, sorted by metric id.
+    pub samples: Vec<Sample>,
+}
+
+impl MetricsSnapshot {
+    /// Appends every sample to an artifact: counters as `u64` metrics,
+    /// gauges as `<name>` plus `<name>.watermark`, histograms as
+    /// distributions.
+    pub fn append_to(&self, artifact: &mut Artifact) {
+        for s in &self.samples {
+            let labels: Vec<(&str, &str)> =
+                s.id.labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+            match &s.value {
+                SampleValue::Counter(v) => artifact.push_u64(&s.id.name, &labels, *v),
+                SampleValue::Gauge { level, watermark } => {
+                    artifact.push_u64(&s.id.name, &labels, *level);
+                    artifact.push_u64(&format!("{}.watermark", s.id.name), &labels, *watermark);
+                }
+                SampleValue::Dist(d) => artifact.push_dist(&s.id.name, &labels, *d),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::Class;
+
+    #[test]
+    fn ids_sort_labels_canonically() {
+        let a = MetricId::new("m", &[("b", "2"), ("a", "1")]);
+        let b = MetricId::new("m", &[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), "m{a=1,b=2}");
+        assert_eq!(MetricId::new("bare", &[]).render(), "bare");
+    }
+
+    #[test]
+    fn same_id_returns_same_cell() {
+        let reg = MetricsRegistry::new();
+        let c1 = reg.counter("hits", &[("shard", "0")]);
+        let c2 = reg.counter("hits", &[("shard", "0")]);
+        c1.incr();
+        c2.add(2);
+        assert_eq!(c1.get(), 3, "both handles hit one cell");
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        let _ = reg.counter("depth", &[]);
+        let _ = reg.gauge("depth", &[]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_watermark_survives() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("z.queue", &[]).set(5);
+        reg.gauge("z.queue", &[]).set(1);
+        reg.counter("a.jobs", &[("worker", "1")]).add(7);
+        reg.histogram("m.lat", &[]).record_ns(1_000);
+        let snap = reg.snapshot(Duration::from_millis(3));
+        let names: Vec<&str> = snap.samples.iter().map(|s| s.id.name.as_str()).collect();
+        assert_eq!(names, ["a.jobs", "m.lat", "z.queue"], "sorted by id");
+        let again = reg.snapshot(Duration::from_millis(3));
+        assert_eq!(snap, again, "snapshotting is non-destructive");
+        match &snap.samples[2].value {
+            SampleValue::Gauge { level, watermark } => {
+                assert_eq!(*level, 1);
+                assert_eq!(*watermark, 5, "peak survives both exports");
+            }
+            other => panic!("expected gauge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_appends_to_artifact() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c", &[]).add(4);
+        reg.gauge("g", &[("s", "0")]).set(2);
+        let mut art = Artifact::new("E0", Class::Virtual, "test");
+        reg.snapshot(Duration::ZERO).append_to(&mut art);
+        let names: Vec<&str> = art.metrics.iter().map(|m| m.id.name.as_str()).collect();
+        assert_eq!(names, ["c", "g", "g.watermark"]);
+    }
+}

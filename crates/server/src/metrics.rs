@@ -1,82 +1,18 @@
-//! Latency/throughput summaries shared by the experiment harnesses, plus
-//! the lock-free counters the sharded verification service exports.
+//! Service-level metric snapshots, plus the single sanctioned
+//! host-clock reader.
+//!
+//! The primitive cells ([`Counter`], [`Gauge`], [`Summary`]) and
+//! [`throughput`] moved to `utp-obs` so the journal, explorer, and
+//! bench harness share one vocabulary; they are re-exported here, so
+//! `utp_server::metrics::Counter` remains a valid path. What stays in
+//! this module is the service's own snapshot shapes and the host-clock
+//! readers — the `wallclock-in-model` analyzer pass exempts exactly
+//! this file, so [`host_timed`] and [`HostStopwatch`] must live here.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+use utp_obs::MetricsRegistry;
 
-/// A monotonically increasing, thread-safe event counter.
-///
-/// The service's hot path bumps these with relaxed ordering — counts are
-/// monitoring data, not synchronization; a snapshot taken while workers
-/// run may lag individual increments but never loses one.
-#[derive(Debug, Default)]
-pub struct Counter(AtomicU64);
-
-impl Counter {
-    /// A counter at zero.
-    pub const fn new() -> Self {
-        Counter(AtomicU64::new(0))
-    }
-
-    /// Adds one.
-    pub fn incr(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Adds `n` in one atomic step (batch completions).
-    pub fn add(&self, n: u64) {
-        self.0.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Adds one and returns the pre-increment value — an atomic sequence
-    /// allocator (submission sequence numbers in trace records).
-    pub fn next(&self) -> u64 {
-        self.0.fetch_add(1, Ordering::Relaxed)
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-}
-
-/// A thread-safe instantaneous-level gauge (queue depth, in-flight
-/// jobs). Same relaxed-ordering contract as [`Counter`]: monitoring
-/// data, not synchronization.
-#[derive(Debug, Default)]
-pub struct Gauge(AtomicU64);
-
-impl Gauge {
-    /// A gauge at zero.
-    pub const fn new() -> Self {
-        Gauge(AtomicU64::new(0))
-    }
-
-    /// Sets the level outright.
-    pub fn set(&self, v: u64) {
-        self.0.store(v, Ordering::Relaxed);
-    }
-
-    /// Current level.
-    pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
-    }
-
-    /// Raises the level by one.
-    pub fn incr(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Lowers the level by one, saturating at zero (a decrement racing
-    /// a `set(0)` must not wrap to `u64::MAX`).
-    pub fn decr(&self) {
-        let _ = self
-            .0
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
-                Some(v.saturating_sub(1))
-            });
-    }
-}
+pub use utp_obs::metrics::{throughput, Counter, Gauge, Summary};
 
 /// Per-shard settlement counters, snapshotted from the live atomics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -113,6 +49,21 @@ pub struct ServiceStats {
     pub cert_cache_hits: u64,
     /// AIK-certificate cache misses (full validation performed).
     pub cert_cache_misses: u64,
+    /// Submissions shed by [`try_submit_evidence`] because the queue
+    /// was full — the overload signal fleet-scale admission control
+    /// keys on.
+    ///
+    /// [`try_submit_evidence`]: crate::service::VerifierService::try_submit_evidence
+    pub jobs_shed: u64,
+    /// Highest queue depth observed over the service's life (the
+    /// gauge's persistent watermark — it survives snapshots).
+    pub queue_depth_watermark: u64,
+    /// Host time the final drain took: from intake close until the
+    /// last worker joined. Zero until shutdown.
+    pub drain_time: Duration,
+    /// Jobs executed per worker thread, in worker order — the
+    /// utilization spread across the pool.
+    pub worker_jobs: Vec<u64>,
 }
 
 impl ServiceStats {
@@ -132,67 +83,51 @@ impl ServiceStats {
         }
         self.cert_cache_hits as f64 / total as f64
     }
-}
 
-/// Summary statistics over a set of duration samples.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Summary {
-    /// Number of samples.
-    pub count: usize,
-    /// Arithmetic mean.
-    pub mean: Duration,
-    /// Minimum.
-    pub min: Duration,
-    /// Median (p50).
-    pub p50: Duration,
-    /// 90th percentile.
-    pub p90: Duration,
-    /// 95th percentile.
-    pub p95: Duration,
-    /// 99th percentile.
-    pub p99: Duration,
-    /// Maximum.
-    pub max: Duration,
-}
-
-impl Summary {
-    /// Computes a summary; returns `None` for an empty sample set.
-    pub fn of(samples: &[Duration]) -> Option<Summary> {
-        if samples.is_empty() {
-            return None;
+    /// Fraction of submissions shed at the queue, in `[0, 1]`: sheds
+    /// over sheds-plus-settled-outcomes. Zero before any submission.
+    pub fn shed_rate(&self) -> f64 {
+        let t = self.totals();
+        let outcomes = t.accepted + t.rejected + t.replayed + self.jobs_shed;
+        if outcomes == 0 {
+            return 0.0;
         }
-        let mut sorted = samples.to_vec();
-        sorted.sort_unstable();
-        let total: Duration = sorted.iter().sum();
-        let pct = |p: f64| -> Duration {
-            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-            sorted[idx]
-        };
-        Some(Summary {
-            count: sorted.len(),
-            mean: total / sorted.len() as u32,
-            min: sorted[0],
-            p50: pct(0.50),
-            p90: pct(0.90),
-            p95: pct(0.95),
-            p99: pct(0.99),
-            // The emptiness check above already ran; index the checked
-            // sorted slice instead of re-proving non-emptiness.
-            max: sorted[sorted.len() - 1],
-        })
+        self.jobs_shed as f64 / outcomes as f64
     }
 
-    /// Renders as `mean / p50 / p90 / p95 / p99` in milliseconds, the
-    /// format the experiment tables print.
-    pub fn to_ms_row(&self) -> String {
-        format!(
-            "{:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
-            self.mean.as_secs_f64() * 1e3,
-            self.p50.as_secs_f64() * 1e3,
-            self.p90.as_secs_f64() * 1e3,
-            self.p95.as_secs_f64() * 1e3,
-            self.p99.as_secs_f64() * 1e3
-        )
+    /// Registers this snapshot on a metrics registry: per-shard
+    /// settlement counters, per-worker job counters, cache and
+    /// overload totals. Labels follow the shard/worker index.
+    pub fn export_metrics(&self, registry: &MetricsRegistry) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let idx = i.to_string();
+            let labels: &[(&str, &str)] = &[("shard", idx.as_str())];
+            registry
+                .counter("svc.registered", labels)
+                .add(shard.registered);
+            registry.counter("svc.accepted", labels).add(shard.accepted);
+            registry.counter("svc.rejected", labels).add(shard.rejected);
+            registry.counter("svc.replayed", labels).add(shard.replayed);
+        }
+        for (i, jobs) in self.worker_jobs.iter().enumerate() {
+            let idx = i.to_string();
+            registry
+                .counter("svc.worker_jobs", &[("worker", idx.as_str())])
+                .add(*jobs);
+        }
+        registry
+            .counter("svc.cert_cache_hits", &[])
+            .add(self.cert_cache_hits);
+        registry
+            .counter("svc.cert_cache_misses", &[])
+            .add(self.cert_cache_misses);
+        registry.counter("svc.jobs_shed", &[]).add(self.jobs_shed);
+        registry
+            .gauge("svc.queue_depth", &[])
+            .set(self.queue_depth_watermark);
+        registry
+            .counter("svc.drain_ns", &[])
+            .add(self.drain_time.as_nanos() as u64);
     }
 }
 
@@ -230,128 +165,10 @@ impl HostStopwatch {
     }
 }
 
-/// Throughput in operations per second given a batch size and elapsed time.
-pub fn throughput(ops: usize, elapsed: Duration) -> f64 {
-    if elapsed.is_zero() {
-        return f64::INFINITY;
-    }
-    ops as f64 / elapsed.as_secs_f64()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn ms(v: u64) -> Duration {
-        Duration::from_millis(v)
-    }
-
-    #[test]
-    fn empty_samples_give_none() {
-        assert!(Summary::of(&[]).is_none());
-    }
-
-    #[test]
-    fn single_sample_summary() {
-        let s = Summary::of(&[ms(10)]).unwrap();
-        assert_eq!(s.count, 1);
-        assert_eq!(s.mean, ms(10));
-        assert_eq!(s.min, ms(10));
-        assert_eq!(s.p50, ms(10));
-        assert_eq!(s.p90, ms(10));
-        assert_eq!(s.p95, ms(10));
-        assert_eq!(s.p99, ms(10));
-        assert_eq!(s.max, ms(10));
-    }
-
-    #[test]
-    fn percentiles_are_order_invariant() {
-        let a = Summary::of(&[ms(1), ms(2), ms(3), ms(4), ms(100)]).unwrap();
-        let b = Summary::of(&[ms(100), ms(3), ms(1), ms(4), ms(2)]).unwrap();
-        assert_eq!(a, b);
-        assert_eq!(a.p50, ms(3));
-        assert_eq!(a.max, ms(100));
-        assert_eq!(a.min, ms(1));
-        assert_eq!(a.mean, ms(22));
-    }
-
-    #[test]
-    fn p95_tracks_tail() {
-        let mut samples = vec![ms(10); 99];
-        samples.push(ms(1000));
-        let s = Summary::of(&samples).unwrap();
-        assert_eq!(s.p50, ms(10));
-        assert_eq!(s.p90, ms(10));
-        assert!(s.p95 <= ms(1000));
-        // Nearest-rank rounding puts p99 of 100 samples at index 98,
-        // one short of the single outlier; max still reports it.
-        assert_eq!(s.p99, ms(10));
-        assert_eq!(s.max, ms(1000));
-    }
-
-    #[test]
-    fn p99_lands_on_tail_with_enough_samples() {
-        // Index round(999 * 0.99) = 989 must fall inside the tail block.
-        let mut samples = vec![ms(10); 989];
-        samples.extend(std::iter::repeat_n(ms(1000), 11));
-        let s = Summary::of(&samples).unwrap();
-        assert_eq!(s.p99, ms(1000));
-        assert_eq!(s.p90, ms(10));
-    }
-
-    #[test]
-    fn throughput_computes_ops_per_sec() {
-        assert!((throughput(100, Duration::from_secs(2)) - 50.0).abs() < 1e-9);
-        assert!(throughput(1, Duration::ZERO).is_infinite());
-    }
-
-    #[test]
-    fn ms_row_is_fixed_width() {
-        let s = Summary::of(&[ms(1), ms(2)]).unwrap();
-        let row = s.to_ms_row();
-        assert_eq!(row.split_whitespace().count(), 5);
-    }
-
-    #[test]
-    fn counter_is_thread_safe() {
-        let c = Counter::new();
-        std::thread::scope(|scope| {
-            for _ in 0..4 {
-                scope.spawn(|| {
-                    for _ in 0..1000 {
-                        c.incr();
-                    }
-                });
-            }
-        });
-        assert_eq!(c.get(), 4000);
-        c.add(58);
-        assert_eq!(c.get(), 4058);
-        assert_eq!(c.next(), 4058, "next returns the pre-increment value");
-        assert_eq!(c.get(), 4059);
-    }
-
-    #[test]
-    fn gauge_is_thread_safe() {
-        let g = Gauge::new();
-        std::thread::scope(|scope| {
-            for _ in 0..4 {
-                scope.spawn(|| {
-                    for _ in 0..1000 {
-                        g.incr();
-                        g.decr();
-                        g.incr();
-                    }
-                });
-            }
-        });
-        assert_eq!(g.get(), 4000, "balanced incr/decr leave the net level");
-        g.set(7);
-        assert_eq!(g.get(), 7);
-        g.set(0);
-        g.decr();
-        assert_eq!(g.get(), 0, "decr saturates at zero");
-    }
+    use utp_obs::SampleValue;
 
     #[test]
     fn service_stats_totals_and_hit_rate() {
@@ -372,6 +189,7 @@ mod tests {
             ],
             cert_cache_hits: 9,
             cert_cache_misses: 1,
+            ..ServiceStats::default()
         };
         let t = stats.totals();
         assert_eq!(t.registered, 8);
@@ -380,5 +198,69 @@ mod tests {
         assert_eq!(t.replayed, 1);
         assert!((stats.cert_cache_hit_rate() - 0.9).abs() < 1e-12);
         assert_eq!(ServiceStats::default().cert_cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn shed_rate_counts_sheds_against_all_outcomes() {
+        let stats = ServiceStats {
+            shards: vec![ShardCounters {
+                registered: 8,
+                accepted: 6,
+                rejected: 0,
+                replayed: 0,
+            }],
+            jobs_shed: 2,
+            ..ServiceStats::default()
+        };
+        assert!((stats.shed_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(ServiceStats::default().shed_rate(), 0.0);
+    }
+
+    #[test]
+    fn export_metrics_registers_labeled_cells() {
+        let stats = ServiceStats {
+            shards: vec![
+                ShardCounters {
+                    registered: 2,
+                    accepted: 1,
+                    rejected: 1,
+                    replayed: 0,
+                },
+                ShardCounters::default(),
+            ],
+            cert_cache_hits: 3,
+            cert_cache_misses: 1,
+            jobs_shed: 4,
+            queue_depth_watermark: 7,
+            drain_time: Duration::from_micros(5),
+            worker_jobs: vec![9, 0],
+        };
+        let registry = MetricsRegistry::new();
+        stats.export_metrics(&registry);
+        let snap = registry.snapshot(Duration::ZERO);
+        let get = |name: &str, labels: &[(&str, &str)]| {
+            let id = utp_obs::MetricId::new(name, labels);
+            snap.samples
+                .iter()
+                .find(|s| s.id == id)
+                .map(|s| s.value.clone())
+        };
+        assert_eq!(
+            get("svc.accepted", &[("shard", "0")]),
+            Some(SampleValue::Counter(1))
+        );
+        assert_eq!(
+            get("svc.worker_jobs", &[("worker", "0")]),
+            Some(SampleValue::Counter(9))
+        );
+        assert_eq!(get("svc.jobs_shed", &[]), Some(SampleValue::Counter(4)));
+        assert_eq!(
+            get("svc.queue_depth", &[]),
+            Some(SampleValue::Gauge {
+                level: 7,
+                watermark: 7
+            })
+        );
+        assert_eq!(get("svc.drain_ns", &[]), Some(SampleValue::Counter(5_000)));
     }
 }

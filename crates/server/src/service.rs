@@ -295,6 +295,13 @@ struct Inner {
     /// the deterministic `svc.submit` event and the worker's `svc.job`
     /// record so the two can be joined offline.
     submit_seq: Counter,
+    /// Submissions bounced by `try_submit_evidence` on a full queue —
+    /// the shed-rate numerator fleet-scale admission control keys on.
+    shed: Counter,
+    /// Jobs executed per worker thread (utilization spread).
+    worker_jobs: Vec<Counter>,
+    /// Host nanoseconds the final drain took (set once by `finish`).
+    drain_ns: Counter,
     /// Settlement WAL (see [`ServiceConfig::journal`]).
     journal: Option<Arc<Journal>>,
 }
@@ -392,6 +399,7 @@ impl Inner {
     fn run(&self, queued: Queued, worker: usize) {
         let wait = queued.enqueued.elapsed();
         self.queue_gauge.decr();
+        self.worker_jobs[worker].incr();
         utp_trace::event_volatile(
             names::SVC_QUEUE_DEPTH,
             Duration::ZERO,
@@ -513,6 +521,9 @@ impl VerifierService {
             cache: CertCache::new(config.cert_cache_capacity),
             queue_gauge: Gauge::new(),
             submit_seq: Counter::new(),
+            shed: Counter::new(),
+            worker_jobs: (0..threads).map(|_| Counter::new()).collect(),
+            drain_ns: Counter::new(),
             journal: config.journal,
         });
         let (queue, intake) = channel::bounded::<Queued>(config.queue_depth.max(1));
@@ -684,7 +695,10 @@ impl VerifierService {
             .map_err(|e| {
                 self.inner.queue_gauge.decr();
                 match e {
-                    TrySendError::Full(_) => SubmitError::QueueFull,
+                    TrySendError::Full(_) => {
+                        self.inner.shed.incr();
+                        SubmitError::QueueFull
+                    }
                     TrySendError::Disconnected(_) => SubmitError::ShutDown,
                 }
             })?;
@@ -761,7 +775,9 @@ impl VerifierService {
             .sum()
     }
 
-    /// Snapshot of per-shard settlement counters and cache hit counters.
+    /// Snapshot of per-shard settlement counters, cache hit counters,
+    /// and the overload instrumentation (sheds, queue watermark,
+    /// per-worker utilization; drain time once shutdown ran).
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             shards: self
@@ -772,6 +788,10 @@ impl VerifierService {
                 .collect(),
             cert_cache_hits: self.inner.cache.hits.get(),
             cert_cache_misses: self.inner.cache.misses.get(),
+            jobs_shed: self.inner.shed.get(),
+            queue_depth_watermark: self.inner.queue_gauge.watermark(),
+            drain_time: Duration::from_nanos(self.inner.drain_ns.get()),
+            worker_jobs: self.inner.worker_jobs.iter().map(Counter::get).collect(),
         }
     }
 
@@ -793,8 +813,12 @@ impl VerifierService {
                 &[(keys::PENDING, Value::U64(self.inner.queue_gauge.get()))],
             );
         }
+        let drain = HostStopwatch::start();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if was_running {
+            self.inner.drain_ns.add(drain.elapsed().as_nanos() as u64);
         }
         if was_running {
             utp_trace::event_volatile(
@@ -986,6 +1010,51 @@ mod tests {
             }
         }
         assert!(tickets.into_iter().all(|t| t.wait().is_ok()));
+    }
+
+    #[test]
+    fn overload_counters_track_sheds_watermark_and_drain() {
+        let w = world(12, 2600);
+        let mut config = ServiceConfig::new(1, 1);
+        config.queue_depth = 1;
+        let svc = VerifierService::start(w.ca_key.clone(), config);
+        for r in &w.requests {
+            svc.register(r, w.now);
+        }
+        let mut tickets = Vec::new();
+        let mut sheds = 0u64;
+        for e in &w.evidence {
+            loop {
+                match svc.try_submit_evidence(e.clone(), w.now) {
+                    Ok(t) => {
+                        tickets.push(t);
+                        break;
+                    }
+                    Err(SubmitError::QueueFull) => {
+                        sheds += 1;
+                        std::thread::yield_now();
+                    }
+                    Err(SubmitError::ShutDown) => panic!("service alive"),
+                }
+            }
+        }
+        assert!(tickets.into_iter().all(|t| t.wait().is_ok()));
+        let stats = svc.shutdown();
+        assert_eq!(stats.jobs_shed, sheds, "every QueueFull bounce is counted");
+        assert!(
+            stats.queue_depth_watermark >= 1,
+            "at least one job sat in the queue"
+        );
+        assert!(
+            stats.drain_time > Duration::ZERO,
+            "shutdown measured its drain"
+        );
+        assert_eq!(stats.worker_jobs.len(), 1);
+        assert_eq!(
+            stats.worker_jobs.iter().sum::<u64>(),
+            12,
+            "every job ran on a worker"
+        );
     }
 
     #[test]

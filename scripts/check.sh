@@ -37,4 +37,11 @@ cargo test --release -q --test pipeline_differential -- --nocapture
 echo "==> explore smoke (bounded adversarial exploration: 0 violations, byte-identical log, seeded bugs caught; E12 tables)"
 cargo run --release -q -p utp-bench --bin explore_smoke
 
+echo "==> perf artifacts + regression gate (virtual metrics exact, host metrics warn-only)"
+for bin in e2_session_breakdown e4_server_throughput e8_amortized \
+           e10_service e11_durability e12_explore; do
+  cargo run --release -q -p utp-bench --bin "$bin" > /dev/null
+done
+cargo run --release -q -p utp-obs -- gate --warn-host
+
 echo "All checks passed."

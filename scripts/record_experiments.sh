@@ -1,8 +1,25 @@
 #!/usr/bin/env bash
 # Regenerates every experiment harness and splices the outputs into
 # EXPERIMENTS.md at the <!--EN--> markers.
+#
+# With --refresh-perf-baselines, additionally re-runs the six
+# artifact-emitting experiments in release mode and re-records the
+# checked-in perf baselines under scripts/bench_baseline/ from the
+# fresh artifacts (an intentional act — the perf gate compares every
+# later run against exactly these files).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+refresh_baselines=0
+for arg in "$@"; do
+  case "$arg" in
+    --refresh-perf-baselines) refresh_baselines=1 ;;
+    *)
+      echo "usage: $0 [--refresh-perf-baselines]" >&2
+      exit 2
+      ;;
+  esac
+done
 
 run_and_splice() {
   local id="$1" bin="$2"
@@ -29,3 +46,15 @@ run_and_splice E7 e7_tcb_size
 run_and_splice E8 e8_amortized
 run_and_splice E9 e9_batching
 echo "EXPERIMENTS.md updated"
+
+if [ "$refresh_baselines" = 1 ]; then
+  echo ">> refreshing perf baselines (release-mode artifact runs)"
+  for bin in e2_session_breakdown e4_server_throughput e8_amortized \
+             e10_service e11_durability e12_explore; do
+    echo ">> running $bin (release)"
+    cargo run --release -q -p utp-bench --bin "$bin" > /dev/null
+  done
+  cargo run --release -q -p utp-obs -- update \
+    --baselines scripts/bench_baseline --artifacts target/bench
+  echo "perf baselines refreshed under scripts/bench_baseline/"
+fi
