@@ -134,6 +134,12 @@ const OBS_SINK_METHODS: &[&str] = &[
 /// name, label, and value of its artifacts into the `.prom` text.
 const OBS_SINK_FNS: &[&str] = &["render_exposition"];
 
+/// Fleet-simulation report sinks (`utp-netsim`): scenario run tags and
+/// report annotations are folded verbatim into the `FleetReport`
+/// digest — the byte-identity surface CI compares across runs — and
+/// exported into the `BENCH_E13.json` perf artifacts.
+const FLEET_SINK_METHODS: &[&str] = &["annotate", "tag_run"];
+
 /// Files allowed to serialize key material (the sealing/wrapping
 /// boundary plus the key types' own codecs).
 const WIRE_BOUNDARY_FILES: &[&str] = &[
@@ -258,6 +264,7 @@ impl Pass for SecretTaint {
             check_trace_sinks(file, ws.fn_item(idx), &scan_cx, fi, &mut out);
             check_journal_sinks(file, ws.fn_item(idx), &scan_cx, fi, &mut out);
             check_obs_sinks(file, ws.fn_item(idx), &scan_cx, fi, &mut out);
+            check_fleet_sinks(file, ws.fn_item(idx), &scan_cx, fi, &mut out);
         }
         out
     }
@@ -961,6 +968,56 @@ fn check_obs_sinks(
                         "secret `{ident}` flows into metrics sink `{}` in `{}`; metric \
                          names, labels, and values are serialized into perf artifacts \
                          and the exposition text — export a digest, a count, or nothing",
+                        c.name, item.name
+                    ),
+                },
+            ));
+        }
+    }
+}
+
+/// Rule 7: tainted identifiers must not appear in the argument list of
+/// a fleet-report sink. Runs workspace-wide — `Scenario::tag_run` and
+/// `FleetReport::annotate` fold their arguments verbatim into the
+/// report digest (compared byte-for-byte in CI logs) and the exported
+/// `BENCH_E13.json` artifacts.
+fn check_fleet_sinks(
+    file: &SourceFile,
+    item: &FnItem,
+    cx: &TaintCtx,
+    fi: usize,
+    out: &mut Vec<(usize, Finding)>,
+) {
+    let is_sink = |c: &CallSite| c.is_method && FLEET_SINK_METHODS.contains(&c.name.as_str());
+    if !item.calls.iter().any(is_sink) {
+        return;
+    }
+    let ft = fn_flow(file, item, cx);
+    for c in &item.calls {
+        if !is_sink(c) {
+            continue;
+        }
+        let args = &file.tokens[c.args.0..c.args.1];
+        let hit = args.iter().enumerate().find_map(|(j, t)| {
+            if t.kind != TokenKind::Ident || !ft.tainted_at(&t.text, c.args.0 + j) {
+                return None;
+            }
+            // Path-qualified segments pick a constant, not a value.
+            if args.get(j + 1).is_some_and(|n| n.is_punct("::")) {
+                return None;
+            }
+            Some(t.text.clone())
+        });
+        if let Some(ident) = hit {
+            out.push((
+                fi,
+                Finding {
+                    line: c.line,
+                    severity: Severity::Deny,
+                    message: format!(
+                        "secret `{ident}` flows into fleet-report sink `{}` in `{}`; \
+                         run tags and annotations are folded into the report digest \
+                         and the E13 perf artifacts — tag runs with public labels only",
                         c.name, item.name
                     ),
                 },

@@ -1,0 +1,9 @@
+// Fed as `crates/tpm/src/sim_hook.rs` (a TCB file). It imports the
+// fleet simulator — untrusted, clock-driving, allocation-heavy code
+// that a measured PAL can never contain. `utp_netsim` is on the
+// forbidden-crates list, so the tcb-boundary pass must deny the
+// import outright.
+use utp_netsim::Scenario;
+pub fn simulate_inside_pal() -> Scenario {
+    Scenario::default()
+}

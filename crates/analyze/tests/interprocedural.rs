@@ -246,6 +246,50 @@ fn secret_taint_flags_obs_sinks_outside_key_crates() {
     );
 }
 
+#[test]
+fn secret_taint_flags_fleet_report_sinks() {
+    let analysis = analyze(&[("crates/bench/src/fleet_leak.rs", "taint/fleet_leak.rs")]);
+    // Two findings: `session_key` as a scenario run tag and as a
+    // fleet-report annotation value — both are folded into the report
+    // digest and the E13 artifacts. The `labels::`-qualified path
+    // segment does not trip the scan, and the rule fires even though
+    // `crates/bench` is outside the key crates.
+    assert_diags(
+        &analysis,
+        &[
+            (
+                "crates/bench/src/fleet_leak.rs",
+                9,
+                "secret-taint",
+                "secret `session_key` flows into fleet-report sink `tag_run` in `tag_fleet_run`",
+            ),
+            (
+                "crates/bench/src/fleet_leak.rs",
+                13,
+                "secret-taint",
+                "secret `session_key` flows into fleet-report sink `annotate` in `annotate_report`",
+            ),
+        ],
+    );
+}
+
+#[test]
+fn tcb_boundary_denies_netsim_import() {
+    let analysis = analyze(&[("crates/tpm/src/sim_hook.rs", "reach/netsim_pal.rs")]);
+    // The fleet simulator is on the forbidden-crates list: a TCB file
+    // importing it is denied at the boundary, before reachability even
+    // runs.
+    assert_diags(
+        &analysis,
+        &[(
+            "crates/tpm/src/sim_hook.rs",
+            6,
+            "tcb-boundary",
+            "TCB file imports `utp_netsim`, which is outside the trusted computing base",
+        )],
+    );
+}
+
 /// Flow-sensitive taint cases: a reassignment into a neutral-named
 /// buffer taints it (the old let-only scan missed this), a zeroized
 /// secret-named local is clean afterwards (the old name heuristic

@@ -1,0 +1,33 @@
+//! Prints the E13 tables (fleet-scale saturation sweep, admission
+//! control vs silent queue collapse, and the sampled full-stack replay
+//! storm) and drops the run's perf artifacts under `target/bench/`.
+//!
+//! Fleet sizes up to 250k make this a release-profile binary:
+//! `cargo run --release -p utp-bench --bin e13_fleet`
+use utp_bench::experiments::e13_fleet as e13;
+
+fn main() {
+    let fleets = [20_000, 100_000, 250_000];
+    let report = e13::run(
+        &fleets,
+        &[50, 80, 100, 130, 200],
+        50_000,
+        &[120, 200, 400],
+        5_000,
+        50,
+    );
+    println!("{}", e13::render(&report));
+    for fleet in fleets {
+        if let Some(load) = e13::knee(&report, fleet) {
+            println!("knee({fleet} clients): sheds engage at {load}% of capacity");
+        }
+    }
+    assert!(
+        e13::zero_double_spends(&report),
+        "sampled full-stack replay storm double-spent"
+    );
+    utp_bench::emit_artifacts(&e13::artifacts(
+        &report,
+        "fleets=20k,100k,250k loads=50-200 cmp=50k@120,200,400 storm=5k/50 seed=13",
+    ));
+}

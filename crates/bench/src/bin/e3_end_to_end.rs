@@ -4,5 +4,6 @@ use utp_bench::experiments::e3_end_to_end as e3;
 fn main() {
     let rtt = e3::run_rtt_sweep();
     let payload = e3::run_payload_sweep();
-    println!("{}", e3::render(&rtt, &payload));
+    let bandwidth = e3::run_bandwidth_sweep();
+    println!("{}", e3::render(&rtt, &payload, &bandwidth));
 }

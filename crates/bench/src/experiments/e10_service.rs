@@ -187,7 +187,7 @@ fn run_overload(world: &e4::ServerWorld) -> OverloadRow {
                     tickets.push(t);
                     break;
                 }
-                Err(SubmitError::QueueFull) => {
+                Err(SubmitError::QueueFull | SubmitError::Overloaded { .. }) => {
                     sheds += 1;
                     std::thread::yield_now();
                 }

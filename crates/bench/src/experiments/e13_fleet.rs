@@ -1,0 +1,501 @@
+//! E13 — fleet-scale load: where does the verification pipeline
+//! saturate, and does it degrade or collapse past that point?
+//!
+//! **Part A** sweeps offered load across fleet sizes on the
+//! deterministic `utp-netsim` simulator (admission control on) and
+//! reports goodput, latency quantiles, and shed rate — the knee of the
+//! goodput-vs-offered-load curve is the service's capacity.
+//!
+//! **Part B** replays the overload region twice with identical seeds:
+//! once with the legacy silently-dropping bounded queue, once with
+//! admission control (early shed + typed retry-after). The silent
+//! queue lets queueing delay exceed the client timeout, so clients
+//! resend evidence that is still in flight — duplicate verifications
+//! eat the workers and goodput collapses. Admission keeps the queue
+//! (and so the delay) bounded, and overload degrades into shed rate
+//! instead.
+//!
+//! **Part C** samples fleet clients through the real stack
+//! ([`FleetStackHook`]: genuine DRTM evidence, journaled provider)
+//! under a loss-driven replay storm and checks that replays never
+//! double-spend.
+//!
+//! Regenerate: `cargo run --release -p utp-bench --bin e13_fleet`
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::table;
+use utp_journal::{Journal, JournalConfig};
+use utp_netsim::{
+    AdmissionConfig, ArrivalCurve, FleetReport, LinkConfig, LinkProfile, Scenario, Topology,
+};
+use utp_server::flow::FleetStackHook;
+
+/// Worker threads in the modeled verification pool (Part A).
+pub const WORKERS: u32 = 4;
+/// Modeled cost of one evidence verification (Part A).
+pub const VERIFY_COST: Duration = Duration::from_micros(120);
+/// Hubs in the two-tier sweep topology; fleet sizes must divide evenly.
+pub const HUBS: u32 = 10;
+/// Base seed; every scenario derives its own from this.
+pub const SEED: u64 = 13;
+
+/// Jobs/second the modeled pool can verify (the expected knee).
+pub fn capacity_per_sec() -> f64 {
+    f64::from(WORKERS) / VERIFY_COST.as_secs_f64()
+}
+
+/// One saturation-sweep measurement.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Fleet size.
+    pub fleet: u32,
+    /// Offered load as a percentage of capacity (100 = at capacity).
+    pub load_pct: u32,
+    /// Orders offered per virtual second.
+    pub offered_per_sec: f64,
+    /// The full fleet report.
+    pub report: FleetReport,
+    /// Host seconds the simulation took.
+    pub host_secs: f64,
+}
+
+/// One admission-comparison measurement (Part B).
+#[derive(Debug, Clone)]
+pub struct AdmissionRow {
+    /// Offered load as a percentage of capacity.
+    pub load_pct: u32,
+    /// `"silent"` (legacy bounded queue) or `"admission"`.
+    pub mode: &'static str,
+    /// The full fleet report.
+    pub report: FleetReport,
+    /// Host seconds the simulation took.
+    pub host_secs: f64,
+}
+
+/// The sampled full-stack replay-storm measurement (Part C).
+#[derive(Debug, Clone)]
+pub struct FullStackRow {
+    /// Fleet size.
+    pub fleet: u32,
+    /// Every n-th client runs the real stack.
+    pub sampled_every: u32,
+    /// The full fleet report (its `full_stack` tally is the point).
+    pub report: FleetReport,
+    /// Settles the real ledger saw beyond one per settled order — the
+    /// double-spend count, which must be zero.
+    pub double_spends: u64,
+    /// Host seconds the run took (real RSA on the sampled path).
+    pub host_secs: f64,
+}
+
+/// The full E13 report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Part A rows, grouped by fleet size then load.
+    pub sweep: Vec<SweepRow>,
+    /// Part B rows, grouped by load then mode.
+    pub admission: Vec<AdmissionRow>,
+    /// Part C row.
+    pub full_stack: FullStackRow,
+}
+
+/// Part A scenario: clean two-tier network, admission on, load set by
+/// squeezing the arrival horizon against the pool's capacity.
+fn sweep_scenario(fleet: u32, load_pct: u32, seed: u64) -> Scenario {
+    let core = LinkProfile::clean(LinkConfig::fixed_rtt_bw(
+        Duration::from_millis(4),
+        50_000_000,
+    ));
+    let leaf = LinkProfile::clean(LinkConfig::broadband());
+    let topo = Topology::two_tier(HUBS, fleet / HUBS, core, leaf);
+    let offered = capacity_per_sec() * f64::from(load_pct) / 100.0;
+    let horizon = Duration::from_secs_f64(f64::from(fleet) / offered);
+    let mut sc = Scenario::new(topo, ArrivalCurve::Steady, horizon, seed);
+    sc.provider.workers = WORKERS;
+    sc.provider.verify_cost = VERIFY_COST;
+    sc.provider.queue_limit = 4096;
+    // Shed once ~256 jobs (≈7.7 ms of delay) are waiting; the hint
+    // grows with the backlog so retries pace themselves.
+    sc.provider.admission = Some(AdmissionConfig::for_service_time(
+        256,
+        VERIFY_COST / WORKERS,
+    ));
+    sc.tag_run("e13-sweep");
+    sc
+}
+
+fn sweep_row(fleet: u32, load_pct: u32) -> SweepRow {
+    let seed = SEED ^ (u64::from(fleet) << 16) ^ u64::from(load_pct);
+    let sc = sweep_scenario(fleet, load_pct, seed);
+    let offered = capacity_per_sec() * f64::from(load_pct) / 100.0;
+    let start = Instant::now();
+    let report = sc.run();
+    SweepRow {
+        fleet,
+        load_pct,
+        offered_per_sec: offered,
+        report,
+        host_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Part B pool: slower verifies and a deep silent queue. Once ~1500
+/// jobs are waiting, queueing delay passes the 300 ms client timeout:
+/// clients resend evidence that is still in the queue and the workers
+/// start burning cycles on duplicates. Past 4096 the queue drops
+/// submissions without telling anyone.
+const CMP_WORKERS: u32 = 2;
+const CMP_VERIFY: Duration = Duration::from_micros(400);
+const CMP_QUEUE: usize = 4_096;
+const CMP_TIMEOUT: Duration = Duration::from_millis(300);
+
+/// Part B scenario; `admission` toggles the only difference between
+/// the two modes.
+fn compare_scenario(fleet: u32, load_pct: u32, admission: bool, seed: u64) -> Scenario {
+    let core = LinkProfile::clean(LinkConfig::fixed_rtt_bw(
+        Duration::from_millis(4),
+        50_000_000,
+    ));
+    let leaf = LinkProfile::clean(LinkConfig::broadband());
+    let topo = Topology::two_tier(HUBS, fleet / HUBS, core, leaf);
+    let capacity = f64::from(CMP_WORKERS) / CMP_VERIFY.as_secs_f64();
+    let offered = capacity * f64::from(load_pct) / 100.0;
+    let horizon = Duration::from_secs_f64(f64::from(fleet) / offered);
+    let mut sc = Scenario::new(topo, ArrivalCurve::Steady, horizon, seed);
+    sc.provider.workers = CMP_WORKERS;
+    sc.provider.verify_cost = CMP_VERIFY;
+    sc.provider.queue_limit = CMP_QUEUE;
+    sc.provider.admission =
+        admission.then(|| AdmissionConfig::for_service_time(256, CMP_VERIFY / CMP_WORKERS));
+    sc.retry.timeout = CMP_TIMEOUT;
+    // Impatient clients: the resend lands while the first copy is
+    // still queued — the duplication feedback that drives collapse.
+    sc.retry.backoff_base = Duration::from_millis(50);
+    sc.tag_run(if admission {
+        "e13-admission"
+    } else {
+        "e13-silent"
+    });
+    sc
+}
+
+fn admission_row(fleet: u32, load_pct: u32, admission: bool) -> AdmissionRow {
+    // Same seed for both modes: identical arrivals and jitter draws,
+    // the only difference is the queue policy.
+    let seed = SEED ^ 0xAD01 ^ u64::from(load_pct);
+    let sc = compare_scenario(fleet, load_pct, admission, seed);
+    let start = Instant::now();
+    let report = sc.run();
+    AdmissionRow {
+        load_pct,
+        mode: if admission { "admission" } else { "silent" },
+        report,
+        host_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Part C: a lossy star forces evidence replays; every `every`-th
+/// client runs the real journaled stack.
+pub fn full_stack_storm(fleet: u32, every: u32, seed: u64) -> FullStackRow {
+    let leaf = LinkProfile::clean(LinkConfig::broadband())
+        .with_loss_ppm(120_000)
+        .with_reorder(50_000, Duration::from_millis(30));
+    let topo = Topology::star(fleet, leaf);
+    let mut sc = Scenario::new(topo, ArrivalCurve::Steady, Duration::from_secs(2), seed);
+    sc.provider.workers = 2;
+    sc.retry.timeout = Duration::from_millis(250);
+    sc.full_stack_every = every;
+    sc.tag_run("e13-fullstack");
+    let mut hook = FleetStackHook::new(seed ^ 0xF00D);
+    hook.attach_journal(Arc::new(Journal::new(JournalConfig::fast_for_tests())));
+    let start = Instant::now();
+    let report = sc.run_with(&mut hook);
+    let spent = (i64::MAX / 2)
+        - hook
+            .provider()
+            .store()
+            .account("fleet")
+            .map(|a| a.balance_cents)
+            .unwrap_or(i64::MAX / 2);
+    let once = report.full_stack.settled * FleetStackHook::spend_per_order();
+    let double_spends = (spent as u64).saturating_sub(once) / FleetStackHook::spend_per_order();
+    FullStackRow {
+        fleet,
+        sampled_every: every,
+        report,
+        double_spends,
+        host_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs E13: the saturation sweep over `fleets × loads_pct`, the
+/// admission comparison at `cmp_loads_pct` on `cmp_fleet`, and the
+/// sampled full-stack storm.
+pub fn run(
+    fleets: &[u32],
+    loads_pct: &[u32],
+    cmp_fleet: u32,
+    cmp_loads_pct: &[u32],
+    storm_fleet: u32,
+    storm_every: u32,
+) -> Report {
+    let mut sweep = Vec::new();
+    for &fleet in fleets {
+        for &load in loads_pct {
+            sweep.push(sweep_row(fleet, load));
+        }
+    }
+    let mut admission = Vec::new();
+    for &load in cmp_loads_pct {
+        admission.push(admission_row(cmp_fleet, load, false));
+        admission.push(admission_row(cmp_fleet, load, true));
+    }
+    let full_stack = full_stack_storm(storm_fleet, storm_every, SEED ^ 0x5EED);
+    Report {
+        sweep,
+        admission,
+        full_stack,
+    }
+}
+
+/// The knee of one fleet's load curve: the smallest swept load at
+/// which the service visibly turns work away (shed rate above 5%).
+/// Goodput-vs-offered ratios are distorted by the post-horizon drain
+/// tail on small fleets; the shed rate is not — below the knee the
+/// queue absorbs Poisson bursts, at it the admission bound engages.
+/// `None` if the sweep never saturated.
+pub fn knee(report: &Report, fleet: u32) -> Option<u32> {
+    report
+        .sweep
+        .iter()
+        .filter(|r| r.fleet == fleet)
+        .find(|r| r.report.shed_rate() > 0.05)
+        .map(|r| r.load_pct)
+}
+
+/// True when the sampled real-stack leg never double-spent — the
+/// number the smoke gate and the E13 bin assert on.
+pub fn zero_double_spends(report: &Report) -> bool {
+    report.full_stack.double_spends == 0
+}
+
+/// Flattens the report into its perf artifact pair. Everything the
+/// simulator produces is virtual-clock deterministic and goes in the
+/// canonical artifact; only the host-measured simulation rates go in
+/// the host artifact.
+pub fn artifacts(report: &Report, config: &str) -> utp_obs::ArtifactPair {
+    let mut pair = utp_obs::ArtifactPair::new("E13", config);
+    let push_fleet = |art: &mut utp_obs::Artifact, labels: &[(&str, &str)], r: &FleetReport| {
+        art.push_u64("e13.placed", labels, r.placed);
+        art.push_u64("e13.settled", labels, r.settled);
+        art.push_u64("e13.gave_up", labels, r.gave_up);
+        art.push_u64("e13.timeouts", labels, r.timeouts);
+        art.push_u64("e13.replays_sent", labels, r.replays_sent);
+        art.push_u64("e13.shed_admission", labels, r.shed_admission);
+        art.push_u64("e13.dropped_queue_full", labels, r.dropped_queue_full);
+        art.push_u64("e13.dup_settles", labels, r.duplicate_settle_attempts);
+        art.push_u64("e13.queue_watermark", labels, r.queue_depth_watermark);
+        art.push_u64("e13.makespan_ns", labels, r.makespan.as_nanos() as u64);
+        art.push_hist("e13.latency", labels, &r.latency);
+    };
+    for row in &report.sweep {
+        let fleet = row.fleet.to_string();
+        let load = row.load_pct.to_string();
+        let labels: &[(&str, &str)] = &[("fleet", &fleet), ("load", &load)];
+        push_fleet(&mut pair.canonical, labels, &row.report);
+        pair.host.push_f64("e13.sim_secs", labels, row.host_secs);
+        pair.host.push_f64(
+            "e13.events_per_sec",
+            labels,
+            row.report.events_processed as f64 / row.host_secs.max(1e-9),
+        );
+    }
+    for row in &report.admission {
+        let load = row.load_pct.to_string();
+        let labels: &[(&str, &str)] = &[("mode", row.mode), ("load", &load)];
+        push_fleet(&mut pair.canonical, labels, &row.report);
+        pair.host.push_f64("e13.sim_secs", labels, row.host_secs);
+    }
+    let fs = &report.full_stack.report.full_stack;
+    let fleet = report.full_stack.fleet.to_string();
+    let labels: &[(&str, &str)] = &[("part", "fullstack"), ("fleet", &fleet)];
+    pair.canonical
+        .push_u64("e13.fullstack_submitted", labels, fs.submitted);
+    pair.canonical
+        .push_u64("e13.fullstack_settled", labels, fs.settled);
+    pair.canonical
+        .push_u64("e13.fullstack_replayed", labels, fs.replayed);
+    pair.canonical
+        .push_u64("e13.fullstack_rejected", labels, fs.rejected);
+    pair.canonical
+        .push_u64("e13.double_spends", labels, report.full_stack.double_spends);
+    pair.host
+        .push_f64("e13.sim_secs", labels, report.full_stack.host_secs);
+    pair
+}
+
+fn ms(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e3)
+}
+
+/// Renders the three E13 tables.
+pub fn render(report: &Report) -> String {
+    let sweep_rows: Vec<Vec<String>> = report
+        .sweep
+        .iter()
+        .map(|r| {
+            vec![
+                r.fleet.to_string(),
+                format!("{}%", r.load_pct),
+                format!("{:.0}", r.offered_per_sec),
+                format!("{:.0}", r.report.goodput_per_sec()),
+                ms(r.report.latency.p50()),
+                ms(r.report.latency.p99()),
+                ms(r.report.latency.p999()),
+                format!("{:.1}%", r.report.shed_rate() * 100.0),
+                r.report.queue_depth_watermark.to_string(),
+                r.report.gave_up.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = table::render(
+        &format!(
+            "E13a — saturation sweep (admission on, {} workers × {} µs verify ⇒ capacity {:.0}/s)",
+            WORKERS,
+            VERIFY_COST.as_micros(),
+            capacity_per_sec()
+        ),
+        &[
+            "fleet",
+            "load",
+            "offered/s",
+            "goodput/s",
+            "p50 ms",
+            "p99 ms",
+            "p999 ms",
+            "shed",
+            "queue max",
+            "gave up",
+        ],
+        &sweep_rows,
+    );
+    out.push('\n');
+    let adm_rows: Vec<Vec<String>> = report
+        .admission
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}%", r.load_pct),
+                r.mode.to_string(),
+                format!("{:.0}", r.report.goodput_per_sec()),
+                ms(r.report.latency.p999()),
+                r.report.duplicate_settle_attempts.to_string(),
+                r.report.timeouts.to_string(),
+                r.report.gave_up.to_string(),
+                (r.report.shed_admission + r.report.dropped_queue_full).to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&table::render(
+        &format!(
+            "E13b — silent queue vs admission control past the knee ({} workers × {} µs verify, \
+             {} ms client timeout)",
+            CMP_WORKERS,
+            CMP_VERIFY.as_micros(),
+            CMP_TIMEOUT.as_millis()
+        ),
+        &[
+            "load",
+            "mode",
+            "goodput/s",
+            "p999 ms",
+            "dup settles",
+            "timeouts",
+            "gave up",
+            "turned away",
+        ],
+        &adm_rows,
+    ));
+    out.push('\n');
+    let fsr = &report.full_stack;
+    let fs = &fsr.report.full_stack;
+    let fs_rows = vec![vec![
+        fsr.fleet.to_string(),
+        format!("1/{}", fsr.sampled_every),
+        fsr.report.replays_sent.to_string(),
+        fs.submitted.to_string(),
+        fs.settled.to_string(),
+        fs.replayed.to_string(),
+        fs.rejected.to_string(),
+        fsr.double_spends.to_string(),
+    ]];
+    out.push_str(&table::render(
+        "E13c — sampled full-stack replay storm (real evidence, journaled provider, 12% loss)",
+        &[
+            "fleet",
+            "sampled",
+            "fleet replays",
+            "submitted",
+            "settled",
+            "replayed",
+            "rejected",
+            "double spends",
+        ],
+        &fs_rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e13_small_run_saturates_and_never_double_spends() {
+        // 2000 clients at 400% of capacity: the excess backlog
+        // (fleet × (1 − 1/load) = 1500 jobs) overshoots the 256-job
+        // admission bound even after link jitter smears the burst.
+        // Part B needs the backlog (fleet × (1 − 1/load) = 2250) deep
+        // enough that queueing delay (450 ms at the peak) passes the
+        // 300 ms client timeout while the 4096 queue still accepts the
+        // resends — the duplicate-work collapse regime.
+        let report = run(&[2_000], &[80, 400], 3_000, &[400], 400, 20);
+        // Below capacity the queue absorbs the bursts; past it the
+        // admission bound engages and goodput plateaus at capacity.
+        let under = &report.sweep[0];
+        assert!(
+            under.report.shed_rate() < 0.05,
+            "80% load must not shed: {:.3}",
+            under.report.shed_rate()
+        );
+        assert_eq!(under.report.settled, under.report.placed);
+        let over = &report.sweep[1];
+        assert!(over.report.shed_admission > 0, "400% load must shed");
+        assert!(
+            over.report.goodput_per_sec() <= 1.1 * capacity_per_sec(),
+            "goodput cannot exceed the pool: {:.0}/s vs {:.0}/s",
+            over.report.goodput_per_sec(),
+            capacity_per_sec()
+        );
+        assert_eq!(knee(&report, 2_000), Some(400));
+        // Identical seeds: the silent queue collapses into duplicate
+        // work and timeouts, admission does not.
+        let silent = &report.admission[0];
+        let admission = &report.admission[1];
+        assert_eq!(silent.mode, "silent");
+        assert!(silent.report.timeouts > admission.report.timeouts);
+        assert!(
+            silent.report.duplicate_settle_attempts > admission.report.duplicate_settle_attempts
+        );
+        assert!(admission.report.shed_admission > 0);
+        // The real-stack leg settled sampled clients and never moved
+        // the ledger twice for one order.
+        assert!(report.full_stack.report.full_stack.settled > 0);
+        assert!(zero_double_spends(&report));
+        let rendered = render(&report);
+        assert!(rendered.contains("E13a"), "{rendered}");
+        assert!(rendered.contains("double spends"), "{rendered}");
+    }
+}

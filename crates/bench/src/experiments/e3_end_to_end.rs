@@ -20,20 +20,27 @@ use utp_tpm::VendorProfile;
 pub struct E2eRow {
     /// Link RTT.
     pub rtt: Duration,
+    /// Link bandwidth in bytes/second.
+    pub bandwidth: u64,
     /// Transaction memo size in bytes (payload sweep).
     pub memo_len: usize,
     /// The full report.
     pub report: E2eReport,
 }
 
-fn one_transaction(rtt: Duration, memo_len: usize, seed: u64) -> E2eReport {
+/// Bandwidth used by the RTT and payload sweeps (the [`LinkConfig::fixed_rtt`]
+/// default): every sweep now routes through [`LinkConfig::fixed_rtt_bw`] so
+/// the link model is the same one the fleet simulator drives at scale.
+const SWEEP_BW: u64 = 1_000_000;
+
+fn one_transaction(link: LinkConfig, memo_len: usize, seed: u64) -> E2eReport {
     let ca = PrivacyCa::new(512, seed);
     let mut provider = ServiceProvider::new(ca.public_key().clone(), seed ^ 1);
     provider.store_mut().open_account("alice", 100_000_000);
     let mut machine = Machine::new(MachineConfig::realistic(VendorProfile::Infineon, seed ^ 2));
     let enrollment = ca.enroll(&mut machine);
     let mut client = Client::new(ClientConfig::fast_for_tests(), enrollment);
-    let mut link = Link::new(LinkConfig::fixed_rtt(rtt), seed ^ 3);
+    let mut link = Link::new(link, seed ^ 3);
     let memo = "m".repeat(memo_len);
     let mut human = ConfirmingHuman::new(
         Intent {
@@ -65,8 +72,9 @@ pub fn run_rtt_sweep() -> Vec<E2eRow> {
             let rtt = Duration::from_millis(ms);
             E2eRow {
                 rtt,
+                bandwidth: SWEEP_BW,
                 memo_len: 64,
-                report: one_transaction(rtt, 64, 1000 + ms),
+                report: one_transaction(LinkConfig::fixed_rtt_bw(rtt, SWEEP_BW), 64, 1000 + ms),
             }
         })
         .collect()
@@ -82,20 +90,45 @@ pub fn run_payload_sweep() -> Vec<E2eRow> {
             let rtt = Duration::from_millis(50);
             E2eRow {
                 rtt,
+                bandwidth: SWEEP_BW,
                 memo_len: len,
-                report: one_transaction(rtt, len, 2000 + len as u64),
+                report: one_transaction(
+                    LinkConfig::fixed_rtt_bw(rtt, SWEEP_BW),
+                    len,
+                    2000 + len as u64,
+                ),
             }
         })
         .collect()
 }
 
-/// Renders both sweeps.
-pub fn render(rtt_rows: &[E2eRow], payload_rows: &[E2eRow]) -> String {
+/// Bandwidth sweep at a fixed 50 ms RTT and 16 KB payload: isolates the
+/// serialization term of [`LinkConfig::fixed_rtt_bw`]. On a dial-up-class
+/// link the wire time rivals the TPM; at broadband it vanishes under the
+/// propagation delay.
+pub fn run_bandwidth_sweep() -> Vec<E2eRow> {
+    [64_000u64, 256_000, 1_000_000, 10_000_000]
+        .iter()
+        .map(|&bw| {
+            let rtt = Duration::from_millis(50);
+            E2eRow {
+                rtt,
+                bandwidth: bw,
+                memo_len: 16_384,
+                report: one_transaction(LinkConfig::fixed_rtt_bw(rtt, bw), 16_384, 3000 + bw),
+            }
+        })
+        .collect()
+}
+
+/// Renders all three sweeps.
+pub fn render(rtt_rows: &[E2eRow], payload_rows: &[E2eRow], bw_rows: &[E2eRow]) -> String {
     let fmt = |rows: &[E2eRow], title: &str| {
         table::render(
             title,
             &[
                 "rtt(ms)",
+                "bw(KB/s)",
                 "memo(B)",
                 "network",
                 "session",
@@ -109,6 +142,7 @@ pub fn render(rtt_rows: &[E2eRow], payload_rows: &[E2eRow]) -> String {
                 .map(|r| {
                     vec![
                         table::ms(r.rtt),
+                        (r.bandwidth / 1_000).to_string(),
                         r.memo_len.to_string(),
                         table::ms(r.report.network),
                         table::ms(r.report.session.total()),
@@ -122,9 +156,10 @@ pub fn render(rtt_rows: &[E2eRow], payload_rows: &[E2eRow]) -> String {
         )
     };
     format!(
-        "{}\n{}",
+        "{}\n{}\n{}",
         fmt(rtt_rows, "E3a - end-to-end latency vs RTT (ms)"),
-        fmt(payload_rows, "E3b - end-to-end latency vs payload (ms)")
+        fmt(payload_rows, "E3b - end-to-end latency vs payload (ms)"),
+        fmt(bw_rows, "E3c - end-to-end latency vs link bandwidth (ms)")
     )
 }
 
@@ -147,6 +182,25 @@ mod tests {
         assert!(m200.report.network > m10.report.network);
         // Even at 200 ms RTT the human dwarfs the network.
         assert!(m200.report.session.human > m200.report.network * 5);
+    }
+
+    #[test]
+    fn bandwidth_sweep_shrinks_wire_time_monotonically() {
+        let rows = run_bandwidth_sweep();
+        for r in &rows {
+            assert!(r.report.outcome.is_ok(), "bw {}", r.bandwidth);
+        }
+        // Serialization of the 16 KB memo dominates at dial-up class
+        // bandwidth and vanishes at broadband; the propagation floor
+        // (the RTTs themselves) is common to every row.
+        for pair in rows.windows(2) {
+            assert!(
+                pair[0].report.network > pair[1].report.network,
+                "network time must fall as bandwidth rises: {:?} vs {:?}",
+                pair[0].report.network,
+                pair[1].report.network
+            );
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 pub mod e10_service;
 pub mod e11_durability;
 pub mod e12_explore;
+pub mod e13_fleet;
 pub mod e1_tpm_micro;
 pub mod e2_session_breakdown;
 pub mod e3_end_to_end;

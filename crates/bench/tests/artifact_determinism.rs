@@ -8,8 +8,8 @@
 //! design and are only checked for schema round-tripping here.
 
 use utp_bench::experiments::{
-    e10_service as e10, e11_durability as e11, e12_explore as e12, e2_session_breakdown as e2,
-    e4_server_throughput as e4, e8_amortized as e8,
+    e10_service as e10, e11_durability as e11, e12_explore as e12, e13_fleet as e13,
+    e2_session_breakdown as e2, e4_server_throughput as e4, e8_amortized as e8,
 };
 use utp_obs::{Artifact, ArtifactPair};
 
@@ -96,4 +96,17 @@ fn e12_canonical_artifact_is_byte_identical() {
     let a = e12::artifacts(&e12::run(&[1], 500), config);
     let b = e12::artifacts(&e12::run(&[1], 500), config);
     assert_deterministic(&a, &b);
+}
+
+#[test]
+fn e13_canonical_artifact_is_byte_identical() {
+    let config = "fleets=2000 loads=80,400 cmp=3000@400 storm=400/20 seed=13";
+    let small = || e13::run(&[2_000], &[80, 400], 3_000, &[400], 400, 20);
+    let a = e13::artifacts(&small(), config);
+    let b = e13::artifacts(&small(), config);
+    assert_deterministic(&a, &b);
+    assert!(
+        !a.host.metrics.is_empty(),
+        "E13's simulation rates are host-class"
+    );
 }

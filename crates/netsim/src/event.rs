@@ -1,0 +1,162 @@
+//! The discrete-event core: a binary-heap event queue keyed on virtual
+//! time with stable tie-breaking.
+//!
+//! Determinism contract: two events scheduled for the same virtual
+//! instant pop in the order they were scheduled (each entry carries a
+//! monotonically increasing sequence number that breaks ties). The
+//! queue never reads the host clock — `now` only moves when the caller
+//! pops, and only forward.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+/// One scheduled entry. Ordered by `(at, seq)` only; the payload does
+/// not participate in the ordering.
+struct Entry<T> {
+    at: Duration,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest
+        // `(at, seq)` on top.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A virtual-time event queue.
+///
+/// `schedule` accepts any time at or after `now`; a time in the past
+/// is clamped to `now` (the event fires immediately, after everything
+/// already due) rather than rewinding the clock.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+    now: Duration,
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue at virtual time zero.
+    pub fn new() -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Duration::ZERO,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the last popped event.
+    pub fn now(&self) -> Duration {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at virtual time `at` (clamped to `now`).
+    pub fn schedule(&mut self, at: Duration, payload: T) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Schedules `payload` at `now + delay`.
+    pub fn schedule_in(&mut self, delay: Duration, payload: T) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(Duration, T)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now, "virtual time went backwards");
+        self.now = entry.at;
+        Some((entry.at, entry.payload))
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(ms(30), "c");
+        q.schedule(ms(10), "a");
+        q.schedule(ms(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        for label in ["first", "second", "third"] {
+            q.schedule(ms(5), label);
+        }
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, p)| p)).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn now_advances_monotonically_and_past_is_clamped() {
+        let mut q = EventQueue::new();
+        q.schedule(ms(10), 1);
+        assert_eq!(q.pop(), Some((ms(10), 1)));
+        assert_eq!(q.now(), ms(10));
+        q.schedule(ms(3), 2); // in the past: clamps to now
+        assert_eq!(q.pop(), Some((ms(10), 2)));
+        assert_eq!(q.now(), ms(10));
+        q.schedule_in(ms(7), 3);
+        assert_eq!(q.pop(), Some((ms(17), 3)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_stable() {
+        let mut q = EventQueue::new();
+        q.schedule(ms(1), 10);
+        q.schedule(ms(2), 20);
+        assert_eq!(q.pop(), Some((ms(1), 10)));
+        q.schedule(ms(2), 21); // same instant as the pending 20: pops after it
+        q.schedule(ms(2), 22);
+        assert_eq!(q.pop(), Some((ms(2), 20)));
+        assert_eq!(q.pop(), Some((ms(2), 21)));
+        assert_eq!(q.pop(), Some((ms(2), 22)));
+    }
+}

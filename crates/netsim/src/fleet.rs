@@ -1,0 +1,309 @@
+//! The fleet layer: cheap per-client state machines and open-loop
+//! arrival curves.
+//!
+//! A [`FleetClient`] is a few bytes of state — phase, attempt count,
+//! birth time — so a million of them fit comfortably in memory. The
+//! protocol logic (what to send when, how the provider answers) lives
+//! in the scenario loop; this module only defines the client-visible
+//! shapes: phases, the retry policy, and the arrival curves that
+//! decide *when* each client shows up. Arrivals are open-loop: the
+//! curve is fixed up front from the seed and never reacts to system
+//! state, which is what makes saturation measurements honest.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// Where a client is in its place-order → deliver-evidence →
+/// await-receipt run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Not yet arrived.
+    Unborn,
+    /// Order placed; waiting for the challenge.
+    AwaitChallenge,
+    /// Evidence delivered; waiting for the receipt.
+    AwaitReceipt,
+    /// Shed by admission control; waiting out the retry-after hint.
+    Backoff,
+    /// Receipt received: settled. Terminal.
+    Settled,
+    /// Receipt received: rejected. Terminal.
+    Rejected,
+    /// Out of retry budget. Terminal.
+    GaveUp,
+    /// Churned away mid-flight without retrying. Terminal.
+    Abandoned,
+}
+
+impl Phase {
+    /// True for states that will never transition again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            Phase::Settled | Phase::Rejected | Phase::GaveUp | Phase::Abandoned
+        )
+    }
+}
+
+/// One simulated client. Kept deliberately small — the fleet allocates
+/// one of these per simulated machine.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetClient {
+    /// Current protocol phase.
+    pub phase: Phase,
+    /// Send attempts so far (first try included).
+    pub attempts: u8,
+    /// True once evidence has been sent at least once — later sends
+    /// are replays.
+    pub evidence_sent: bool,
+    /// Churny client: abandons on its first timeout instead of
+    /// retrying.
+    pub flaky: bool,
+    /// Arrival (order placement) time.
+    pub born_at: Duration,
+}
+
+impl FleetClient {
+    /// A not-yet-arrived client born at `born_at`.
+    pub fn new(born_at: Duration, flaky: bool) -> FleetClient {
+        FleetClient {
+            phase: Phase::Unborn,
+            attempts: 0,
+            evidence_sent: false,
+            flaky,
+            born_at,
+        }
+    }
+}
+
+/// Per-client timeout and backoff policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How long to wait for a challenge or receipt before retrying.
+    pub timeout: Duration,
+    /// Base of the exponential backoff between attempts.
+    pub backoff_base: Duration,
+    /// Total attempts before giving up.
+    pub max_attempts: u8,
+}
+
+impl RetryPolicy {
+    /// Exponential backoff before attempt number `attempt` (1-based;
+    /// attempt 1 has no backoff), scaled by a caller-supplied jitter
+    /// factor in `[0, 1]` to decorrelate the fleet.
+    pub fn backoff(&self, attempt: u8, jitter: f64) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let doublings = u32::from(attempt - 2).min(16);
+        let base = self.backoff_base * 2_u32.pow(doublings);
+        base + base.mul_f64(jitter)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: Duration::from_secs(2),
+            backoff_base: Duration::from_millis(250),
+            max_attempts: 4,
+        }
+    }
+}
+
+/// When the fleet's orders arrive, independent of system behavior.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalCurve {
+    /// Poisson-like process at constant rate `fleet / horizon`:
+    /// exponential gaps drawn from the seed.
+    Steady,
+    /// A background trickle plus a surge: `surge_fraction` of the
+    /// fleet arrives inside the window starting at `surge_at`.
+    FlashCrowd {
+        /// Fraction of clients arriving in the surge window, `[0, 1]`.
+        surge_fraction: f64,
+        /// Surge window start.
+        surge_at: Duration,
+        /// Surge window length.
+        surge_width: Duration,
+    },
+    /// Sinusoidal day/night intensity over the horizon (peak at half
+    /// the horizon, trough at the edges), sampled by rejection.
+    Diurnal,
+    /// Steady arrivals, but `flaky_ppm` of clients churn: they abandon
+    /// on their first timeout instead of retrying.
+    Churn {
+        /// Parts-per-million of the fleet that is flaky.
+        flaky_ppm: u32,
+    },
+}
+
+/// The materialized arrival schedule for one fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalPlan {
+    /// Per-client arrival time, indexed by fleet position.
+    pub born_at: Vec<Duration>,
+    /// Per-client churn flag (empty means nobody is flaky).
+    pub flaky: Vec<bool>,
+}
+
+impl ArrivalCurve {
+    /// Materializes arrival times for `clients` clients over `horizon`,
+    /// fully determined by `seed`.
+    pub fn plan(&self, seed: u64, clients: u32, horizon: Duration) -> ArrivalPlan {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4152_5249_u64);
+        let n = clients as usize;
+        let mut born_at = Vec::with_capacity(n);
+        let mut flaky = Vec::new();
+        match self {
+            ArrivalCurve::Steady => {
+                poisson_fill(&mut born_at, &mut rng, clients, horizon, Duration::ZERO);
+            }
+            ArrivalCurve::Churn { flaky_ppm } => {
+                poisson_fill(&mut born_at, &mut rng, clients, horizon, Duration::ZERO);
+                flaky = (0..n)
+                    .map(|_| rng.gen_range(0..1_000_000_u32) < *flaky_ppm)
+                    .collect();
+            }
+            ArrivalCurve::FlashCrowd {
+                surge_fraction,
+                surge_at,
+                surge_width,
+            } => {
+                let surge = (clients as f64 * surge_fraction.clamp(0.0, 1.0)).round() as u32;
+                let steady = clients - surge;
+                poisson_fill(&mut born_at, &mut rng, steady, horizon, Duration::ZERO);
+                poisson_fill(&mut born_at, &mut rng, surge, *surge_width, *surge_at);
+            }
+            ArrivalCurve::Diurnal => {
+                // Intensity 1 + sin(pi * t/h * 2 - pi/2), i.e. zero at
+                // the edges and peaking mid-horizon; rejection-sample
+                // against the constant majorant 2.
+                let h = horizon.as_secs_f64();
+                for _ in 0..clients {
+                    loop {
+                        let t = rng.gen::<f64>() * h;
+                        let phase = core::f64::consts::PI * (2.0 * t / h - 0.5);
+                        let intensity = 1.0 + phase.sin();
+                        if rng.gen::<f64>() * 2.0 < intensity {
+                            born_at.push(Duration::from_secs_f64(t));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        ArrivalPlan { born_at, flaky }
+    }
+}
+
+/// Appends `count` Poisson-process arrival times over `span`, offset
+/// by `offset`, clamping the tail to the span end.
+fn poisson_fill(
+    out: &mut Vec<Duration>,
+    rng: &mut StdRng,
+    count: u32,
+    span: Duration,
+    offset: Duration,
+) {
+    if count == 0 {
+        return;
+    }
+    let rate = f64::from(count) / span.as_secs_f64().max(1e-9);
+    let mut t = 0.0_f64;
+    for _ in 0..count {
+        // Exponential gap; 1 - u keeps the log argument away from 0.
+        let u: f64 = rng.gen();
+        t += -(1.0 - u).max(1e-12).ln() / rate;
+        let clamped = t.min(span.as_secs_f64());
+        out.push(offset + Duration::from_secs_f64(clamped));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HORIZON: Duration = Duration::from_secs(60);
+
+    #[test]
+    fn steady_plan_is_deterministic_and_in_range() {
+        let a = ArrivalCurve::Steady.plan(5, 1_000, HORIZON);
+        let b = ArrivalCurve::Steady.plan(5, 1_000, HORIZON);
+        assert_eq!(a, b);
+        assert_eq!(a.born_at.len(), 1_000);
+        assert!(a.born_at.iter().all(|t| *t <= HORIZON));
+        let c = ArrivalCurve::Steady.plan(6, 1_000, HORIZON);
+        assert_ne!(a.born_at, c.born_at, "seed moves the draws");
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_the_surge() {
+        let curve = ArrivalCurve::FlashCrowd {
+            surge_fraction: 0.8,
+            surge_at: Duration::from_secs(30),
+            surge_width: Duration::from_secs(5),
+        };
+        let plan = curve.plan(9, 10_000, HORIZON);
+        let in_window = plan
+            .born_at
+            .iter()
+            .filter(|t| **t >= Duration::from_secs(30) && **t <= Duration::from_secs(35))
+            .count();
+        assert!(
+            in_window >= 7_500,
+            "~80% of arrivals inside the 5s window, got {in_window}"
+        );
+    }
+
+    #[test]
+    fn diurnal_peaks_mid_horizon() {
+        let plan = ArrivalCurve::Diurnal.plan(4, 10_000, HORIZON);
+        let mid = plan
+            .born_at
+            .iter()
+            .filter(|t| **t >= Duration::from_secs(20) && **t <= Duration::from_secs(40))
+            .count();
+        let edge = plan
+            .born_at
+            .iter()
+            .filter(|t| **t <= Duration::from_secs(10) || **t >= Duration::from_secs(50))
+            .count();
+        assert!(
+            mid > 2 * edge,
+            "middle third beats the edges: {mid} vs {edge}"
+        );
+    }
+
+    #[test]
+    fn churn_marks_roughly_the_requested_fraction() {
+        let plan = ArrivalCurve::Churn { flaky_ppm: 250_000 }.plan(8, 20_000, HORIZON);
+        let flaky = plan.flaky.iter().filter(|f| **f).count();
+        assert!(
+            (3_000..=7_000).contains(&flaky),
+            "~25% flaky, got {flaky} of 20000"
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_respects_first_attempt() {
+        let p = RetryPolicy {
+            timeout: Duration::from_secs(1),
+            backoff_base: Duration::from_millis(100),
+            max_attempts: 5,
+        };
+        assert_eq!(p.backoff(1, 0.0), Duration::ZERO);
+        assert_eq!(p.backoff(2, 0.0), Duration::from_millis(100));
+        assert_eq!(p.backoff(3, 0.0), Duration::from_millis(200));
+        assert_eq!(p.backoff(4, 0.5), Duration::from_millis(600));
+    }
+
+    #[test]
+    fn phases_know_their_terminality() {
+        assert!(Phase::Settled.is_terminal());
+        assert!(Phase::GaveUp.is_terminal());
+        assert!(!Phase::AwaitReceipt.is_terminal());
+        assert!(!Phase::Unborn.is_terminal());
+    }
+}

@@ -1,10 +1,20 @@
-//! Deterministic network model between the client machine and the service
-//! provider.
+//! Deterministic network and fleet-load simulation.
 //!
-//! The paper's end-to-end numbers include ordinary Internet round trips.
-//! We model a link as base propagation delay + seedable jitter +
-//! bandwidth-limited serialization, which is all the end-to-end latency
-//! experiment (E3) needs. No packets are simulated — only time.
+//! Two layers live here:
+//!
+//! - The original flat [`Link`] model — base propagation delay +
+//!   seeded jitter + bandwidth-limited serialization — which is all
+//!   the single-client end-to-end experiment (E3) needs.
+//! - A discrete-event simulator ([`event`], [`topology`], [`bus`],
+//!   [`fleet`], [`scenario`]) that routes typed frames over tree
+//!   topologies with loss, reordering, and scripted partitions, and
+//!   drives fleets of 100k–1M state-machine clients against a modeled
+//!   provider — the E13 saturation harness. The [`admission`] policy
+//!   it tunes is the same type the live `VerifierService` enforces.
+//!
+//! Everything runs on virtual time: no host clock is ever read, and
+//! every random draw derives from caller-supplied seeds, so runs are
+//! byte-reproducible.
 //!
 //! # Example
 //!
@@ -19,6 +29,23 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod admission;
+pub mod bus;
+pub mod event;
+pub mod fleet;
+pub mod scenario;
+pub mod topology;
+
+pub use admission::{Admission, AdmissionConfig};
+pub use bus::{ClassStats, Frame, MessageBus, Payload};
+pub use event::EventQueue;
+pub use fleet::{ArrivalCurve, ArrivalPlan, FleetClient, Phase, RetryPolicy};
+pub use scenario::{
+    FleetReport, FullStackHook, FullStackTally, HookOutcome, NullHook, ProviderConfig, Scenario,
+    WireSizes,
+};
+pub use topology::{LinkProfile, NodeId, NodeRole, PartitionWindow, Topology};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -63,15 +90,30 @@ impl LinkConfig {
         }
     }
 
-    /// A custom symmetric link with the given RTT and no jitter — used by
-    /// parameter sweeps.
+    /// A custom symmetric link with the given RTT, no jitter, and the
+    /// 1 MB/s default bandwidth — used by RTT sweeps.
     pub fn fixed_rtt(rtt: Duration) -> Self {
+        LinkConfig::fixed_rtt_bw(rtt, 1_000_000)
+    }
+
+    /// A custom symmetric link with the given RTT and bandwidth and no
+    /// jitter — lets sweeps vary bandwidth independently of RTT.
+    pub fn fixed_rtt_bw(rtt: Duration, bandwidth: u64) -> Self {
         LinkConfig {
             base_rtt: rtt,
             jitter: Duration::ZERO,
-            bandwidth: 1_000_000,
+            bandwidth,
         }
     }
+}
+
+/// The fate of one message offered to a [`Link`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transmit {
+    /// The message survives and arrives after the carried delay.
+    Delivered(Duration),
+    /// The message was lost in flight.
+    Dropped,
 }
 
 /// A seeded link instance.
@@ -79,19 +121,32 @@ impl LinkConfig {
 pub struct Link {
     config: LinkConfig,
     rng: StdRng,
+    loss_ppm: u32,
     bytes_carried: u64,
     messages_carried: u64,
+    bytes_dropped: u64,
+    messages_dropped: u64,
 }
 
 impl Link {
-    /// Creates a link with the given config and jitter seed.
+    /// Creates a lossless link with the given config and jitter seed.
     pub fn new(config: LinkConfig, seed: u64) -> Self {
         Link {
             config,
             rng: StdRng::seed_from_u64(seed ^ 0x4e_4554_u64),
+            loss_ppm: 0,
             bytes_carried: 0,
             messages_carried: 0,
+            bytes_dropped: 0,
+            messages_dropped: 0,
         }
+    }
+
+    /// Sets a per-message loss probability (parts-per-million),
+    /// applied by [`Link::transmit`].
+    pub fn with_loss_ppm(mut self, ppm: u32) -> Self {
+        self.loss_ppm = ppm;
+        self
     }
 
     /// The configuration in use.
@@ -99,15 +154,44 @@ impl Link {
         &self.config
     }
 
-    /// Time for one message of `payload_len` bytes to cross the link.
-    pub fn one_way_delay(&mut self, payload_len: usize) -> Duration {
-        self.bytes_carried += payload_len as u64;
-        self.messages_carried += 1;
+    /// The raw delay model: propagation + jitter + serialization.
+    /// Draws one jitter sample; does no accounting.
+    fn raw_delay(&mut self, payload_len: usize) -> Duration {
         let propagation = self.config.base_rtt / 2;
         let jitter = self.config.jitter.mul_f64(self.rng.gen::<f64>());
         let serialization =
             Duration::from_secs_f64(payload_len as f64 / self.config.bandwidth as f64);
         propagation + jitter + serialization
+    }
+
+    /// Offers one message to the link and rolls its fate. Accounting
+    /// happens *after* survival is known: a delivered message counts
+    /// toward the carried totals, a lost one toward the dropped
+    /// totals — never both.
+    pub fn transmit(&mut self, payload_len: usize) -> Transmit {
+        let delay = self.raw_delay(payload_len);
+        let lost = self.loss_ppm > 0 && self.rng.gen_range(0..1_000_000_u32) < self.loss_ppm;
+        if lost {
+            self.messages_dropped += 1;
+            self.bytes_dropped += payload_len as u64;
+            return Transmit::Dropped;
+        }
+        self.messages_carried += 1;
+        self.bytes_carried += payload_len as u64;
+        Transmit::Delivered(delay)
+    }
+
+    /// Time for one message of `payload_len` bytes to cross the link.
+    ///
+    /// This models a message that *does* arrive (loss is the business
+    /// of [`Link::transmit`] and the bus), so it counts toward the
+    /// carried totals — the accounting only happens once survival is
+    /// decided, which for this path is by definition.
+    pub fn one_way_delay(&mut self, payload_len: usize) -> Duration {
+        let delay = self.raw_delay(payload_len);
+        self.bytes_carried += payload_len as u64;
+        self.messages_carried += 1;
+        delay
     }
 
     /// Time for a request/response exchange with the given payload sizes.
@@ -123,6 +207,16 @@ impl Link {
     /// Total messages carried.
     pub fn messages_carried(&self) -> u64 {
         self.messages_carried
+    }
+
+    /// Total bytes lost in flight.
+    pub fn bytes_dropped(&self) -> u64 {
+        self.bytes_dropped
+    }
+
+    /// Total messages lost in flight.
+    pub fn messages_dropped(&self) -> u64 {
+        self.messages_dropped
     }
 }
 
@@ -145,6 +239,27 @@ mod tests {
         let mut b = Link::new(LinkConfig::fixed_rtt(Duration::from_millis(10)), 1);
         let large = b.one_way_delay(1_000_000);
         assert!(large > small + Duration::from_millis(500)); // 1 MB at 1 MB/s
+    }
+
+    #[test]
+    fn fixed_rtt_bw_scales_serialization() {
+        let mut slow = Link::new(
+            LinkConfig::fixed_rtt_bw(Duration::from_millis(10), 100_000),
+            1,
+        );
+        let mut fast = Link::new(
+            LinkConfig::fixed_rtt_bw(Duration::from_millis(10), 10_000_000),
+            1,
+        );
+        let d_slow = slow.one_way_delay(1_000_000);
+        let d_fast = fast.one_way_delay(1_000_000);
+        assert!(d_slow >= Duration::from_secs(10), "1 MB at 100 kB/s");
+        assert!(d_fast <= Duration::from_millis(200), "1 MB at 10 MB/s");
+        assert_eq!(
+            LinkConfig::fixed_rtt(Duration::from_millis(5)),
+            LinkConfig::fixed_rtt_bw(Duration::from_millis(5), 1_000_000),
+            "fixed_rtt delegates to fixed_rtt_bw at the 1 MB/s default"
+        );
     }
 
     #[test]
@@ -172,6 +287,39 @@ mod tests {
         assert!(rt >= Duration::from_millis(40));
         assert_eq!(link.messages_carried(), 2);
         assert_eq!(link.bytes_carried(), 200);
+    }
+
+    #[test]
+    fn transmit_splits_carried_and_dropped_accounting() {
+        let mut link =
+            Link::new(LinkConfig::fixed_rtt(Duration::from_millis(10)), 5).with_loss_ppm(500_000);
+        let mut delivered = 0_u64;
+        let mut dropped = 0_u64;
+        for _ in 0..200 {
+            match link.transmit(100) {
+                Transmit::Delivered(d) => {
+                    assert!(d >= Duration::from_millis(5));
+                    delivered += 1;
+                }
+                Transmit::Dropped => dropped += 1,
+            }
+        }
+        assert!(delivered > 0 && dropped > 0, "50% loss splits both ways");
+        assert_eq!(link.messages_carried(), delivered);
+        assert_eq!(link.messages_dropped(), dropped);
+        assert_eq!(link.bytes_carried(), delivered * 100);
+        assert_eq!(link.bytes_dropped(), dropped * 100);
+    }
+
+    #[test]
+    fn lossless_transmit_never_drops_and_matches_one_way_counters() {
+        let mut link = Link::new(LinkConfig::broadband(), 2);
+        for _ in 0..50 {
+            assert!(matches!(link.transmit(64), Transmit::Delivered(_)));
+        }
+        assert_eq!(link.messages_carried(), 50);
+        assert_eq!(link.messages_dropped(), 0);
+        assert_eq!(link.bytes_dropped(), 0);
     }
 
     #[test]

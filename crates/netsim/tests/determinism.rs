@@ -1,0 +1,81 @@
+//! Determinism at fleet scale: same seed → byte-identical report,
+//! different seed → different draws but identical invariants.
+
+use std::time::Duration;
+use utp_netsim::{AdmissionConfig, ArrivalCurve, LinkConfig, LinkProfile, Scenario, Topology};
+
+/// A lossy two-tier fleet under real replay pressure: loss forces
+/// timeouts, timeouts force evidence replays, and a tight queue forces
+/// admission sheds.
+fn stormy_scenario(seed: u64, clients_per_hub: u32) -> Scenario {
+    let core = LinkProfile::clean(LinkConfig::fixed_rtt_bw(
+        Duration::from_millis(4),
+        50_000_000,
+    ));
+    let leaf = LinkProfile::clean(LinkConfig::broadband())
+        .with_loss_ppm(120_000)
+        .with_reorder(50_000, Duration::from_millis(30));
+    let topo = Topology::two_tier(8, clients_per_hub, core, leaf);
+    let mut sc = Scenario::new(topo, ArrivalCurve::Steady, Duration::from_secs(2), seed);
+    sc.provider.workers = 2;
+    sc.provider.verify_cost = Duration::from_micros(300);
+    sc.provider.queue_limit = 64;
+    sc.provider.admission = Some(AdmissionConfig::for_service_time(
+        64,
+        Duration::from_micros(300),
+    ));
+    sc.retry.timeout = Duration::from_millis(300);
+    sc.tag_run("determinism");
+    sc
+}
+
+#[test]
+fn same_seed_two_runs_byte_identical_report() {
+    let a = stormy_scenario(42, 250).run().digest();
+    let b = stormy_scenario(42, 250).run().digest();
+    assert_eq!(a, b, "two runs with one seed must agree to the byte");
+}
+
+#[test]
+fn different_seed_different_jitter_same_invariants() {
+    let a = stormy_scenario(42, 250).run();
+    let b = stormy_scenario(43, 250).run();
+    assert_ne!(
+        a.digest(),
+        b.digest(),
+        "a different seed must move the jitter/loss draws"
+    );
+    for (label, r) in [("seed 42", &a), ("seed 43", &b)] {
+        // Replay storms happened…
+        assert!(r.replays_sent > 0, "{label}: loss must force replays");
+        assert!(r.duplicate_settle_attempts > 0 || r.timeouts > 0, "{label}");
+        // …and no transaction ever settled twice: every client lands in
+        // exactly one terminal state, and unique settles never exceed
+        // the orders placed.
+        assert_eq!(
+            r.settled + r.rejected + r.gave_up + r.abandoned,
+            r.placed,
+            "{label}: terminal states must partition the fleet"
+        );
+        assert!(
+            r.verify_jobs >= r.settled + r.duplicate_settle_attempts,
+            "{label}: every settle or dup attempt costs a verify"
+        );
+        assert_eq!(r.rejected, 0, "{label}: the model never rejects");
+    }
+}
+
+/// 100k clients through the full storm — slow in debug builds, run
+/// with `cargo test --release -p utp-netsim -- --ignored`.
+#[test]
+#[ignore = "release-scale run; exercised by fleet_smoke/nightly CI"]
+fn hundred_k_clients_drain_deterministically() {
+    let report = stormy_scenario(7, 12_500).run(); // 8 hubs × 12.5k
+    assert_eq!(report.fleet, 100_000);
+    assert_eq!(
+        report.settled + report.rejected + report.gave_up + report.abandoned,
+        report.placed
+    );
+    let again = stormy_scenario(7, 12_500).run();
+    assert_eq!(report.digest(), again.digest());
+}

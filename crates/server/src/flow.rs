@@ -7,15 +7,19 @@
 //! (E3).
 
 use crate::provider::{Receipt, ServiceProvider};
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
-use utp_core::client::Client;
+use utp_core::ca::PrivacyCa;
+use utp_core::client::{Client, ClientConfig};
+use utp_core::operator::{ConfirmingHuman, Intent};
+use utp_core::protocol::Evidence;
 use utp_core::verifier::{VerifierConfig, VerifyError};
 use utp_crypto::rsa::RsaPublicKey;
 use utp_flicker::pal::Operator;
 use utp_flicker::runtime::PhaseTimings;
 use utp_journal::{Journal, RecoveryReport};
-use utp_netsim::Link;
+use utp_netsim::{FullStackHook, HookOutcome, Link};
 use utp_platform::machine::Machine;
 use utp_trace::{keys, names, Value};
 
@@ -196,12 +200,135 @@ pub fn run_transaction(
     })
 }
 
+/// The account every sampled fleet client draws on, and the fixed order
+/// it places (the fleet model varies load, not basket contents).
+const FLEET_ACCOUNT: &str = "fleet";
+const FLEET_PAYEE: &str = "fleet-shop";
+const FLEET_AMOUNT_CENTS: u64 = 4_200;
+
+/// A [`FullStackHook`] that runs sampled fleet transactions through the
+/// real stack: one enrolled machine/client pair produces genuine DRTM
+/// evidence, and a real (optionally journaled) [`ServiceProvider`]
+/// settles it. `utp-netsim` decides *when* a sampled client submits and
+/// whether the submission is a replay; this hook decides *what happens*,
+/// so replay storms in the simulator exercise the provider's actual
+/// nonce/settle machinery instead of a bookkeeping model.
+///
+/// Everything inside is seeded and the simulator calls the hook in
+/// deterministic event order, so a fleet run with full-stack sampling is
+/// still byte-reproducible.
+pub struct FleetStackHook {
+    machine: Machine,
+    client: Client,
+    provider: ServiceProvider,
+    /// First-submission artifacts per fleet index: replays must resend
+    /// the *same* evidence bytes, like a client retrying on timeout.
+    orders: HashMap<u32, (u64, Evidence)>,
+    seed: u64,
+}
+
+impl FleetStackHook {
+    /// Builds the enrolled client and provider world from one seed.
+    pub fn new(seed: u64) -> FleetStackHook {
+        use utp_platform::machine::MachineConfig;
+        let ca = PrivacyCa::new(512, seed);
+        let mut provider = ServiceProvider::new(ca.public_key().clone(), seed ^ 0x50524f56);
+        provider.open_account(FLEET_ACCOUNT, i64::MAX / 2);
+        let mut machine = Machine::new(MachineConfig::fast_for_tests(seed ^ 0x4d414348));
+        let enrollment = ca.enroll(&mut machine);
+        let client = Client::new(ClientConfig::fast_for_tests(), enrollment);
+        FleetStackHook {
+            machine,
+            client,
+            provider,
+            orders: HashMap::new(),
+            seed,
+        }
+    }
+
+    /// Attaches a settlement journal, so sampled settles are WAL-durable
+    /// and a crash/recovery can be checked against the fleet report.
+    pub fn attach_journal(&mut self, journal: Arc<Journal>) {
+        self.provider.attach_journal(journal);
+    }
+
+    /// The provider settling the sampled transactions (for post-run
+    /// balance / audit assertions).
+    pub fn provider(&self) -> &ServiceProvider {
+        &self.provider
+    }
+
+    /// Number of distinct sampled orders placed so far.
+    pub fn orders_placed(&self) -> usize {
+        self.orders.len()
+    }
+
+    /// Cents a single settled order moves — callers can assert the
+    /// account drained by exactly `settled × spend_per_order`, i.e. that
+    /// replays never double-spent.
+    pub fn spend_per_order() -> u64 {
+        FLEET_AMOUNT_CENTS
+    }
+
+    /// Runs the full place-order → confirm → submit path once.
+    fn first_submission(&mut self, fleet_index: u32) -> Result<Receipt, VerifyError> {
+        let now = self.machine.now();
+        let (order_id, request) = self.provider.place_order(
+            FLEET_ACCOUNT,
+            FLEET_PAYEE,
+            FLEET_AMOUNT_CENTS,
+            "EUR",
+            "fleet",
+            now,
+        );
+        let mut human = ConfirmingHuman::new(
+            Intent {
+                payee: FLEET_PAYEE.into(),
+                amount: "42.00 EUR".into(),
+                approve: true,
+            },
+            self.seed ^ u64::from(fleet_index),
+        );
+        let evidence = match self.client.confirm(&mut self.machine, &request, &mut human) {
+            Ok(e) => e,
+            Err(_) => return Err(VerifyError::MalformedEvidence),
+        };
+        let outcome = self
+            .provider
+            .submit_evidence(order_id, &evidence, self.machine.now());
+        self.orders.insert(fleet_index, (order_id, evidence));
+        outcome
+    }
+}
+
+impl FullStackHook for FleetStackHook {
+    fn submit(&mut self, fleet_index: u32, replay: bool, _at: Duration) -> HookOutcome {
+        let outcome = if replay {
+            match self.orders.get(&fleet_index) {
+                // A true replay: identical evidence, same order id.
+                Some((order_id, evidence)) => {
+                    self.provider
+                        .submit_evidence(*order_id, evidence, self.machine.now())
+                }
+                // The simulator saw a resend whose original was lost on
+                // the wire before reaching us: it is a first submission
+                // from the provider's point of view.
+                None => self.first_submission(fleet_index),
+            }
+        } else {
+            self.first_submission(fleet_index)
+        };
+        match outcome {
+            Ok(_) => HookOutcome::Settled,
+            Err(VerifyError::Replayed) => HookOutcome::Replayed,
+            Err(_) => HookOutcome::Rejected,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use utp_core::ca::PrivacyCa;
-    use utp_core::client::ClientConfig;
-    use utp_core::operator::{ConfirmingHuman, Intent};
     use utp_netsim::LinkConfig;
     use utp_platform::machine::MachineConfig;
     use utp_tpm::VendorProfile;
@@ -400,6 +527,78 @@ mod tests {
         assert!(!recs[0].volatile, "recovery span is deterministic");
         let canonical = recorder.export_jsonl(utp_trace::Export::Canonical);
         assert!(canonical.contains("journal.recover"), "{canonical}");
+    }
+
+    #[test]
+    fn fleet_stack_hook_settles_once_and_catches_replays() {
+        let mut hook = FleetStackHook::new(900);
+        assert!(matches!(
+            hook.submit(0, false, Duration::ZERO),
+            HookOutcome::Settled
+        ));
+        // A resend of the same fleet client is a true replay: identical
+        // evidence bytes, same order, caught by the settle table.
+        assert!(matches!(
+            hook.submit(0, true, Duration::from_millis(5)),
+            HookOutcome::Replayed
+        ));
+        // A "replay" whose first copy died on the wire is a first
+        // submission from the provider's point of view.
+        assert!(matches!(
+            hook.submit(1, true, Duration::from_millis(6)),
+            HookOutcome::Settled
+        ));
+        assert_eq!(hook.orders_placed(), 2);
+        let spent = (i64::MAX / 2)
+            - hook
+                .provider()
+                .store()
+                .account("fleet")
+                .unwrap()
+                .balance_cents;
+        assert_eq!(
+            spent,
+            2 * FleetStackHook::spend_per_order() as i64,
+            "two distinct orders settled exactly once each"
+        );
+    }
+
+    #[test]
+    fn lossy_fleet_with_sampled_full_stack_never_double_spends() {
+        use utp_netsim::{ArrivalCurve, LinkProfile, Scenario, Topology};
+        let scenario = || {
+            let leaf = LinkProfile::clean(LinkConfig::broadband()).with_loss_ppm(150_000);
+            let topo = Topology::star(40, leaf);
+            let mut sc = Scenario::new(topo, ArrivalCurve::Steady, Duration::from_secs(1), 77);
+            sc.provider.workers = 2;
+            sc.retry.timeout = Duration::from_millis(250);
+            sc.full_stack_every = 5;
+            sc
+        };
+        let mut hook = FleetStackHook::new(78);
+        let report = scenario().run_with(&mut hook);
+        let fs = &report.full_stack;
+        assert!(fs.settled > 0, "sampled clients must settle: {fs:?}");
+        assert_eq!(fs.submitted, fs.settled + fs.replayed + fs.rejected);
+        // The real provider's ledger moved once per settled order even
+        // though the loss storm forced evidence replays.
+        let spent = (i64::MAX / 2)
+            - hook
+                .provider()
+                .store()
+                .account("fleet")
+                .unwrap()
+                .balance_cents;
+        assert_eq!(
+            spent as u64,
+            fs.settled * FleetStackHook::spend_per_order(),
+            "replays must never double-spend"
+        );
+        // Same seeds, fresh hook: the full-stack leg is as reproducible
+        // as the pure model.
+        let mut hook2 = FleetStackHook::new(78);
+        let again = scenario().run_with(&mut hook2);
+        assert_eq!(report.digest(), again.digest());
     }
 
     #[test]

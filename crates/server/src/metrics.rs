@@ -55,6 +55,12 @@ pub struct ServiceStats {
     ///
     /// [`try_submit_evidence`]: crate::service::VerifierService::try_submit_evidence
     pub jobs_shed: u64,
+    /// The subset of `jobs_shed` turned away by admission control with
+    /// a typed retry-after ([`SubmitError::Overloaded`]) before ever
+    /// racing the channel. Zero when no admission policy is set.
+    ///
+    /// [`SubmitError::Overloaded`]: crate::service::SubmitError::Overloaded
+    pub jobs_shed_admission: u64,
     /// Highest queue depth observed over the service's life (the
     /// gauge's persistent watermark — it survives snapshots).
     pub queue_depth_watermark: u64,
@@ -122,6 +128,9 @@ impl ServiceStats {
             .counter("svc.cert_cache_misses", &[])
             .add(self.cert_cache_misses);
         registry.counter("svc.jobs_shed", &[]).add(self.jobs_shed);
+        registry
+            .counter("svc.jobs_shed_admission", &[])
+            .add(self.jobs_shed_admission);
         registry
             .gauge("svc.queue_depth", &[])
             .set(self.queue_depth_watermark);
@@ -231,6 +240,7 @@ mod tests {
             cert_cache_hits: 3,
             cert_cache_misses: 1,
             jobs_shed: 4,
+            jobs_shed_admission: 2,
             queue_depth_watermark: 7,
             drain_time: Duration::from_micros(5),
             worker_jobs: vec![9, 0],
@@ -254,6 +264,10 @@ mod tests {
             Some(SampleValue::Counter(9))
         );
         assert_eq!(get("svc.jobs_shed", &[]), Some(SampleValue::Counter(4)));
+        assert_eq!(
+            get("svc.jobs_shed_admission", &[]),
+            Some(SampleValue::Counter(2))
+        );
         assert_eq!(
             get("svc.queue_depth", &[]),
             Some(SampleValue::Gauge {

@@ -46,6 +46,7 @@ use utp_crypto::rsa::RsaPublicKey;
 use utp_crypto::sha1::{Sha1, Sha1Digest};
 use utp_flicker::runtime::io_digest;
 use utp_journal::{Journal, JournalRecord, NO_ORDER};
+use utp_netsim::{Admission, AdmissionConfig};
 use utp_trace::{keys, names, Recorder, Value};
 
 /// Full nonce-ledger state across all shards, as exported by
@@ -78,6 +79,14 @@ pub struct ServiceConfig {
     /// ticket resolves, so no accepted (or consumed-nonce) outcome can
     /// be forgotten by a crash.
     pub journal: Option<Arc<Journal>>,
+    /// Admission control for [`VerifierService::try_submit_evidence`]:
+    /// when set, submissions arriving at or past the policy's queue
+    /// bound are shed *early* with a typed retry-after hint
+    /// ([`SubmitError::Overloaded`]) instead of racing the channel and
+    /// reporting a bare [`SubmitError::QueueFull`]. `None` keeps the
+    /// legacy behavior. The policy type is shared with `utp-netsim`'s
+    /// fleet simulator, whose E13 saturation sweep tunes it.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -105,6 +114,7 @@ impl ServiceConfig {
             trusted_pals: config.trusted_pals.clone(),
             recorder: None,
             journal: None,
+            admission: None,
         }
     }
 }
@@ -114,6 +124,13 @@ impl ServiceConfig {
 pub enum SubmitError {
     /// The bounded queue is at capacity (backpressure; retry or shed).
     QueueFull,
+    /// Admission control shed the submission before it touched the
+    /// queue; the client should retry no sooner than `retry_after`.
+    /// Only returned when [`ServiceConfig::admission`] is set.
+    Overloaded {
+        /// Back-off hint proportional to the backlog at shed time.
+        retry_after: Duration,
+    },
     /// The service has shut down and accepts no further work.
     ShutDown,
 }
@@ -122,6 +139,9 @@ impl fmt::Display for SubmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SubmitError::QueueFull => write!(f, "submission queue full"),
+            SubmitError::Overloaded { retry_after } => {
+                write!(f, "service overloaded; retry after {retry_after:?}")
+            }
             SubmitError::ShutDown => write!(f, "verification service shut down"),
         }
     }
@@ -304,6 +324,12 @@ struct Inner {
     drain_ns: Counter,
     /// Settlement WAL (see [`ServiceConfig::journal`]).
     journal: Option<Arc<Journal>>,
+    /// Early-shed policy (see [`ServiceConfig::admission`]).
+    admission: Option<AdmissionConfig>,
+    /// Submissions shed by admission control with a typed retry-after
+    /// (a subset of the overload signal `shed` does not cover: these
+    /// never raced the channel).
+    shed_admission: Counter,
 }
 
 impl Inner {
@@ -525,6 +551,8 @@ impl VerifierService {
             worker_jobs: (0..threads).map(|_| Counter::new()).collect(),
             drain_ns: Counter::new(),
             journal: config.journal,
+            admission: config.admission,
+            shed_admission: Counter::new(),
         });
         let (queue, intake) = channel::bounded::<Queued>(config.queue_depth.max(1));
         let workers = (0..threads)
@@ -670,7 +698,9 @@ impl VerifierService {
     ///
     /// # Errors
     ///
-    /// [`SubmitError::QueueFull`] under backpressure,
+    /// [`SubmitError::Overloaded`] when admission control
+    /// ([`ServiceConfig::admission`]) sheds the submission early with a
+    /// retry-after hint, [`SubmitError::QueueFull`] under backpressure,
     /// [`SubmitError::ShutDown`] after shutdown.
     pub fn try_submit_evidence(
         &self,
@@ -679,6 +709,14 @@ impl VerifierService {
     ) -> Result<Ticket<VerifiedTransaction>, SubmitError> {
         let (reply, rx) = channel::bounded(1);
         let queue = self.queue.as_ref().ok_or(SubmitError::ShutDown)?;
+        if let Some(policy) = &self.inner.admission {
+            let depth = self.inner.queue_gauge.get() as usize;
+            if let Admission::Shed { retry_after } = policy.decide(depth) {
+                self.inner.shed.incr();
+                self.inner.shed_admission.incr();
+                return Err(SubmitError::Overloaded { retry_after });
+            }
+        }
         let seq = self.inner.submit_seq.next();
         self.inner.queue_gauge.incr();
         queue
@@ -789,6 +827,7 @@ impl VerifierService {
             cert_cache_hits: self.inner.cache.hits.get(),
             cert_cache_misses: self.inner.cache.misses.get(),
             jobs_shed: self.inner.shed.get(),
+            jobs_shed_admission: self.inner.shed_admission.get(),
             queue_depth_watermark: self.inner.queue_gauge.watermark(),
             drain_time: Duration::from_nanos(self.inner.drain_ns.get()),
             worker_jobs: self.inner.worker_jobs.iter().map(Counter::get).collect(),
@@ -1005,7 +1044,7 @@ mod tests {
                         break;
                     }
                     Err(SubmitError::QueueFull) => std::thread::yield_now(),
-                    Err(SubmitError::ShutDown) => panic!("service alive"),
+                    Err(e) => panic!("no admission policy configured: {e}"),
                 }
             }
         }
@@ -1034,7 +1073,7 @@ mod tests {
                         sheds += 1;
                         std::thread::yield_now();
                     }
-                    Err(SubmitError::ShutDown) => panic!("service alive"),
+                    Err(e) => panic!("no admission policy configured: {e}"),
                 }
             }
         }
@@ -1054,6 +1093,58 @@ mod tests {
             stats.worker_jobs.iter().sum::<u64>(),
             12,
             "every job ran on a worker"
+        );
+    }
+
+    #[test]
+    fn admission_policy_sheds_early_with_typed_retry_after() {
+        let w = world(1, 2700);
+        let mut config = ServiceConfig::new(1, 1);
+        config.queue_depth = 64;
+        // One queued job is the ceiling; hint grows 200µs per queued job.
+        config.admission = Some(AdmissionConfig::for_service_time(
+            1,
+            Duration::from_micros(200),
+        ));
+        let svc = VerifierService::start(w.ca_key.clone(), config);
+        for r in &w.requests {
+            svc.register(r, w.now);
+        }
+        // Burst far faster than one worker can verify: cloning and
+        // enqueueing evidence is orders of magnitude cheaper than an RSA
+        // verify, so the gauge is non-zero for most submissions and the
+        // policy must fire. Replays of one evidence still pay the
+        // full crypto path before the settle table rejects them.
+        let mut tickets = Vec::new();
+        let mut overloaded = 0u64;
+        let mut hint = Duration::ZERO;
+        for _ in 0..512 {
+            match svc.try_submit_evidence(w.evidence[0].clone(), w.now) {
+                Ok(t) => tickets.push(t),
+                Err(SubmitError::Overloaded { retry_after }) => {
+                    overloaded += 1;
+                    hint = hint.max(retry_after);
+                }
+                Err(e) => panic!("queue is deeper than the policy: {e}"),
+            }
+        }
+        for t in tickets {
+            let _ = t.wait();
+        }
+        assert!(overloaded > 0, "the burst must trip admission control");
+        // floor (200µs) + at least one queued job's worth (200µs).
+        assert!(
+            hint >= Duration::from_micros(400),
+            "retry hint must reflect the backlog: {hint:?}"
+        );
+        let stats = svc.shutdown();
+        assert_eq!(
+            stats.jobs_shed_admission, overloaded,
+            "every typed shed is counted"
+        );
+        assert_eq!(
+            stats.jobs_shed, overloaded,
+            "admission sheds roll up into the overall shed counter"
         );
     }
 

@@ -37,9 +37,12 @@ cargo test --release -q --test pipeline_differential -- --nocapture
 echo "==> explore smoke (bounded adversarial exploration: 0 violations, byte-identical log, seeded bugs caught; E12 tables)"
 cargo run --release -q -p utp-bench --bin explore_smoke
 
+echo "==> fleet smoke (two 2k-client lossy fleet runs, byte-identical report digest + artifact; invariants)"
+cargo run --release -q -p utp-bench --bin fleet_smoke
+
 echo "==> perf artifacts + regression gate (virtual metrics exact, host metrics warn-only)"
 for bin in e2_session_breakdown e4_server_throughput e8_amortized \
-           e10_service e11_durability e12_explore; do
+           e10_service e11_durability e12_explore e13_fleet; do
   cargo run --release -q -p utp-bench --bin "$bin" > /dev/null
 done
 cargo run --release -q -p utp-obs -- gate --warn-host

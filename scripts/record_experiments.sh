@@ -2,7 +2,7 @@
 # Regenerates every experiment harness and splices the outputs into
 # EXPERIMENTS.md at the <!--EN--> markers.
 #
-# With --refresh-perf-baselines, additionally re-runs the six
+# With --refresh-perf-baselines, additionally re-runs the seven
 # artifact-emitting experiments in release mode and re-records the
 # checked-in perf baselines under scripts/bench_baseline/ from the
 # fresh artifacts (an intentional act — the perf gate compares every
@@ -50,7 +50,7 @@ echo "EXPERIMENTS.md updated"
 if [ "$refresh_baselines" = 1 ]; then
   echo ">> refreshing perf baselines (release-mode artifact runs)"
   for bin in e2_session_breakdown e4_server_throughput e8_amortized \
-             e10_service e11_durability e12_explore; do
+             e10_service e11_durability e12_explore e13_fleet; do
     echo ">> running $bin (release)"
     cargo run --release -q -p utp-bench --bin "$bin" > /dev/null
   done
